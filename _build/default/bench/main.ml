@@ -1,0 +1,529 @@
+(* The benchmark harness: regenerates every figure of the paper's
+   evaluation (§5.1, Figures 2-5), the §5.2 lesson ablations, the design-
+   choice ablations called out in DESIGN.md, and a set of Bechamel
+   micro-benchmarks of the framework's hot paths.
+
+   Usage: dune exec bench/main.exe [-- quick|full|figures|ablations|micro]
+
+   The default preset replays 900 simulated seconds per (trace, policy)
+   pair; `quick` cuts that to 300 s, `full` raises it to 3600 s. Figure
+   CDFs and the Figure-5 table come from one shared set of runs. *)
+
+module Experiment = Capfs_patsy.Experiment
+module Replay = Capfs_patsy.Replay
+module Report = Capfs_patsy.Report
+module Synth = Capfs_trace.Synth
+module Stats = Capfs_stats
+module Lfs = Capfs_layout.Lfs
+
+let section title = Format.printf "@.=== %s@.@." title
+
+(* {1 Experiment configuration} *)
+
+(* Scaled-down Sprite server (see DESIGN.md §3 and EXPERIMENTS.md): the
+   synthetic traces carry roughly 1/5 the client population of the
+   original, so the server shrinks with them — 2 of the hot disks on one
+   SCSI string and a cache sized to keep the miss rate in the regime the
+   paper reports. *)
+let experiment_config ?(policy = Experiment.Ups) () =
+  {
+    (Experiment.default policy) with
+    Experiment.ndisks = 2;
+    nbuses = 1;
+    cache_mb = 24;
+    nvram_mb = 4;
+  }
+
+let trace_names = [ "sprite-1a"; "sprite-1b"; "sprite-2a"; "sprite-2b"; "sprite-5" ]
+
+let trace_cache : (string, Capfs_trace.Record.t list) Hashtbl.t =
+  Hashtbl.create 8
+
+let trace_of ~duration name =
+  let key = Printf.sprintf "%s@%.0f" name duration in
+  match Hashtbl.find_opt trace_cache key with
+  | Some t -> t
+  | None ->
+    let t =
+      Synth.generate ~seed:1996 ~duration (Synth.profile_by_name name)
+    in
+    Hashtbl.replace trace_cache key t;
+    t
+
+(* One run per (trace, policy), shared by Figures 2-5. *)
+let outcome_cache : (string * Experiment.policy, Experiment.outcome) Hashtbl.t =
+  Hashtbl.create 32
+
+let outcome ~duration trace_name policy =
+  match Hashtbl.find_opt outcome_cache (trace_name, policy) with
+  | Some o -> o
+  | None ->
+    let config = experiment_config ~policy () in
+    let o = Experiment.run config ~trace:(trace_of ~duration trace_name) in
+    Hashtbl.replace outcome_cache (trace_name, policy) o;
+    o
+
+(* {1 Figures} *)
+
+let figure_cdf ~duration ~figure trace_name =
+  section
+    (Printf.sprintf
+       "Figure %d: cumulative latency distribution, trace %s (paper: fig. %d)"
+       figure trace_name figure);
+  List.iter
+    (fun policy ->
+      let o = outcome ~duration trace_name policy in
+      Report.print_cdf ~points:40
+        ~title:(Printf.sprintf "%s / %s" trace_name (Experiment.policy_name policy))
+        Format.std_formatter o.Experiment.replay;
+      Format.printf "@.")
+    Experiment.all_policies
+
+let figure5 ~duration =
+  section "Figure 5: mean file-system latency, all traces x all policies";
+  let rows =
+    List.map
+      (fun trace_name ->
+        ( trace_name,
+          List.map
+            (fun policy ->
+              let o = outcome ~duration trace_name policy in
+              ( Experiment.policy_name policy,
+                Stats.Sample_set.mean o.Experiment.replay.Replay.latency ))
+            Experiment.all_policies ))
+      trace_names
+  in
+  Report.print_mean_table Format.std_formatter ~rows;
+  Format.printf "@.@.write traffic (cache blocks flushed to the log):@.";
+  let rows =
+    List.map
+      (fun trace_name ->
+        ( trace_name,
+          List.map
+            (fun policy ->
+              let o = outcome ~duration trace_name policy in
+              ( Experiment.policy_name policy,
+                float_of_int o.Experiment.blocks_flushed ))
+            Experiment.all_policies ))
+      trace_names
+  in
+  Report.print_mean_table ~scale:1e-3 ~unit:"k" Format.std_formatter ~rows;
+  Format.printf "@.@.cache hit rates and absorbed writes:@.";
+  List.iter
+    (fun trace_name ->
+      Format.printf "%-12s" trace_name;
+      List.iter
+        (fun policy ->
+          let o = outcome ~duration trace_name policy in
+          Format.printf " %s=%.1f%%/%dk"
+            (Experiment.policy_name policy)
+            (100. *. o.Experiment.cache_hit_rate)
+            (o.Experiment.writes_absorbed / 1000))
+        Experiment.all_policies;
+      Format.printf "@.")
+    trace_names
+
+(* {1 Ablations} *)
+
+let run_with config ~duration trace_name =
+  Experiment.run config ~trace:(trace_of ~duration trace_name)
+
+let mean_of o = Stats.Sample_set.mean o.Experiment.replay.Replay.latency
+
+let ablation_sync_flush ~duration =
+  ignore duration;
+  section
+    "Ablation (5.2 lesson): synchronous vs asynchronous cache flushing";
+  (* The paper: "the thread that needed a cache block was also the one
+     that initiated a cache flush and waited for the flush to complete.
+     As more esoteric flush policies were used, the delay for this
+     thread increased" — here the policy is whole-file flushing of
+     64-block files (2 ms of disk time per block). The synchronous
+     allocator sits through the entire file's write-back; the
+     asynchronous flusher releases frames chunk by chunk and the
+     allocator continues as soon as one is free. *)
+  List.iter
+    (fun async ->
+      let sched = Capfs_sched.Sched.create ~clock:`Virtual () in
+      let lat = Stats.Welford.create () in
+      let worst = ref 0. in
+      ignore
+        (Capfs_sched.Sched.spawn sched (fun () ->
+             let writeback batch =
+               Capfs_sched.Sched.sleep sched
+                 (0.002 *. float_of_int (List.length batch))
+             in
+             let cache =
+               Capfs_cache.Cache.create ~writeback sched
+                 { Capfs_cache.Cache.block_bytes = 4096;
+                   capacity_blocks = 80; nvram_blocks = 0;
+                   trigger = Capfs_cache.Cache.Demand; scope = `Whole_file;
+                   async_flush = async; mem_copy_rate = 0. }
+             in
+             for round = 0 to 19 do
+               (* a 64-block file fills most of the cache with dirty data *)
+               for blk = 0 to 63 do
+                 Capfs_cache.Cache.write cache (round, blk)
+                   (Capfs_disk.Data.sim 16)
+               done;
+               (* now a small client needs frames *)
+               for i = 0 to 19 do
+                 let t0 = Capfs_sched.Sched.now sched in
+                 Capfs_cache.Cache.write cache
+                   (1000 + round, i)
+                   (Capfs_disk.Data.sim 16);
+                 let dt = Capfs_sched.Sched.now sched -. t0 in
+                 Stats.Welford.add lat dt;
+                 if dt > !worst then worst := dt
+               done
+             done));
+      Capfs_sched.Sched.run sched;
+      Format.printf "  %-12s small-client mean=%8.3fms worst=%8.3fms@."
+        (if async then "async" else "sync")
+        (1000. *. Stats.Welford.mean lat)
+        (1000. *. !worst))
+    [ false; true ]
+
+let ablation_cleaner ~duration =
+  section "Ablation: LFS cleaner policy (greedy vs cost-benefit)";
+  (* shrink the disks (~160 MB each) so the log wraps and cleaning runs *)
+  let small_disk =
+    { Capfs_disk.Disk_model.hp97560 with
+      Capfs_disk.Disk_model.model_name = "hp97560/8";
+      geometry =
+        Capfs_disk.Geometry.v ~cylinders:245 ~heads:19 ~sectors_per_track:72
+          ~sector_bytes:512 ~track_skew:8 ~cylinder_skew:18 () }
+  in
+  List.iter
+    (fun (name, cleaner) ->
+      let config =
+        { (experiment_config ()) with
+          Experiment.cleaner; cache_mb = 8; disk_model = small_disk }
+      in
+      let o = run_with config ~duration "sprite-1b" in
+      let cleanings =
+        List.filter (fun (k, _) -> Filename.check_suffix k "cleanings")
+          o.Experiment.layout_stats
+        |> List.fold_left (fun acc (_, v) -> acc +. v) 0.
+      in
+      Format.printf "  %-14s mean=%8.3fms cleanings=%.0f@." name
+        (1000. *. mean_of o) cleanings)
+    [ ("greedy", Lfs.Greedy); ("cost-benefit", Lfs.Cost_benefit) ]
+
+let ablation_iosched ~duration =
+  section "Ablation: disk-queue scheduling policy";
+  List.iter
+    (fun iosched ->
+      let config = { (experiment_config ()) with Experiment.iosched } in
+      let o = run_with config ~duration "sprite-5" in
+      Format.printf "  %-10s mean=%8.3fms p99=%8.3fms@." iosched
+        (1000. *. mean_of o)
+        (1000.
+         *. Stats.Sample_set.quantile o.Experiment.replay.Replay.latency 0.99))
+    [ "fcfs"; "sstf"; "clook"; "scan-edf" ]
+
+let ablation_replacement ~duration =
+  section "Ablation: cache replacement policy";
+  List.iter
+    (fun replacement ->
+      let config =
+        { (experiment_config ()) with Experiment.replacement; cache_mb = 8 }
+      in
+      let o = run_with config ~duration "sprite-1a" in
+      Format.printf "  %-8s mean=%8.3fms hit=%5.1f%%@." replacement
+        (1000. *. mean_of o)
+        (100. *. o.Experiment.cache_hit_rate))
+    [ "lru"; "random"; "lfu"; "slru"; "lru-2" ]
+
+let ablation_disk_features ~duration =
+  section "Ablation: disk model features (read-ahead, immediate report)";
+  let base = Capfs_disk.Disk_model.hp97560 in
+  List.iter
+    (fun (name, cache) ->
+      let config =
+        { (experiment_config ()) with
+          Experiment.disk_model = { base with Capfs_disk.Disk_model.cache } }
+      in
+      let o = run_with config ~duration "sprite-1a" in
+      Format.printf "  %-28s mean=%8.3fms@." name (1000. *. mean_of o))
+    [
+      ("full HP97560 cache", base.Capfs_disk.Disk_model.cache);
+      ( "no read-ahead",
+        { base.Capfs_disk.Disk_model.cache with
+          Capfs_disk.Disk_model.read_ahead_bytes = 0 } );
+      ( "no immediate report",
+        { base.Capfs_disk.Disk_model.cache with
+          Capfs_disk.Disk_model.immediate_report = false } );
+      ( "no disk cache at all",
+        { Capfs_disk.Disk_model.cache_bytes = 0; read_ahead_bytes = 0;
+          immediate_report = false } );
+    ]
+
+let ablation_cache_size ~duration =
+  section "Ablation: server cache size sweep (UPS policy)";
+  List.iter
+    (fun cache_mb ->
+      let config = { (experiment_config ()) with Experiment.cache_mb } in
+      let o = run_with config ~duration "sprite-1a" in
+      Format.printf "  %3d MB  mean=%8.3fms hit=%5.1f%%@." cache_mb
+        (1000. *. mean_of o)
+        (100. *. o.Experiment.cache_hit_rate))
+    [ 4; 8; 16; 32; 64 ]
+
+let ablation_nvram_size ~duration =
+  section "Ablation: NVRAM size sweep (whole-file drains, sprite-1b)";
+  List.iter
+    (fun nvram_mb ->
+      let config =
+        { (experiment_config ~policy:Experiment.Nvram_whole ()) with
+          Experiment.nvram_mb }
+      in
+      let o = run_with config ~duration "sprite-1b" in
+      Format.printf "  %3d MB  mean=%8.3fms flushed=%dk@." nvram_mb
+        (1000. *. mean_of o)
+        (o.Experiment.blocks_flushed / 1000))
+    [ 1; 2; 4; 8; 16 ]
+
+let ablation_client_caching () =
+  section
+    "Extension (3): client caching with Sprite consistency — network \
+     traffic and latency";
+  let run ~cache_blocks =
+    let s = Capfs_sched.Sched.create ~clock:`Virtual () in
+    let out = ref (0, 0.) in
+    ignore
+      (Capfs_sched.Sched.spawn s (fun () ->
+           let drv =
+             Capfs_disk.Driver.create s
+               (Capfs_disk.Driver.mem_transport ~sector_bytes:512
+                  ~total_sectors:65536 s ())
+           in
+           let layout =
+             Capfs_layout.Lfs.format_and_mount s drv ~block_bytes:4096
+           in
+           let fs =
+             Capfs.Fsys.create
+               ~cache_config:
+                 (Capfs_cache.Cache.default_config ~capacity_blocks:512)
+               ~layout s
+           in
+           let net = Capfs_ccache.Netlink.ethernet_10 s in
+           let server =
+             Capfs_ccache.Cc_server.create (Capfs.Client.create fs) net
+           in
+           let pub =
+             Capfs_ccache.Cc_client.attach server ~client_id:0
+               ~cache_blocks:64
+           in
+           for f = 0 to 7 do
+             let p = Printf.sprintf "/hot%d" f in
+             Capfs_ccache.Cc_client.open_ pub p Capfs_ccache.Cc_server.Write;
+             Capfs_ccache.Cc_client.write pub p ~offset:0
+               (Capfs_disk.Data.sim 65536);
+             Capfs_ccache.Cc_client.close_ pub p
+           done;
+           let base = Capfs_ccache.Netlink.bytes_carried net in
+           let t0 = Capfs_sched.Sched.now s in
+           let remaining = ref 4 in
+           let all_done = Capfs_sched.Sched.new_event s in
+           for w = 1 to 4 do
+             ignore
+               (Capfs_sched.Sched.spawn s (fun () ->
+                    let c =
+                      Capfs_ccache.Cc_client.attach server ~client_id:w
+                        ~cache_blocks
+                    in
+                    for _ = 1 to 5 do
+                      for f = 0 to 7 do
+                        let p = Printf.sprintf "/hot%d" f in
+                        Capfs_ccache.Cc_client.open_ c p
+                          Capfs_ccache.Cc_server.Read;
+                        ignore
+                          (Capfs_ccache.Cc_client.read c p ~offset:0
+                             ~bytes:65536);
+                        Capfs_ccache.Cc_client.close_ c p
+                      done
+                    done;
+                    decr remaining;
+                    if !remaining = 0 then
+                      Capfs_sched.Sched.broadcast s all_done))
+           done;
+           Capfs_sched.Sched.await s all_done;
+           out :=
+             ( Capfs_ccache.Netlink.bytes_carried net - base,
+               Capfs_sched.Sched.now s -. t0 )));
+    Capfs_sched.Sched.run s;
+    !out
+  in
+  List.iter
+    (fun (name, cache_blocks) ->
+      let bytes, time = run ~cache_blocks in
+      Format.printf "  %-18s %7.1f MB on the wire, %6.2f s@." name
+        (float_of_int bytes /. 1048576.)
+        time)
+    [ ("no client cache", 1); ("with client cache", 256) ]
+
+(* {1 Bechamel micro-benchmarks}
+
+   The paper found its simulator bottleneck in cache-list maintenance
+   (§5.2); these keep the framework's hot paths honest. *)
+
+let micro () =
+  section "Microbenchmarks (Bechamel; monotonic clock)";
+  let open Bechamel in
+  let sched_bench =
+    Test.make ~name:"sched: spawn+dispatch fibre"
+      (Staged.stage (fun () ->
+           let s = Capfs_sched.Sched.create ~clock:`Virtual () in
+           ignore (Capfs_sched.Sched.spawn s (fun () -> ()));
+           Capfs_sched.Sched.run s))
+  in
+  let cache_hit_bench =
+    let s = Capfs_sched.Sched.create ~clock:`Virtual () in
+    let cache = ref None in
+    ignore
+      (Capfs_sched.Sched.spawn s (fun () ->
+           let c =
+             Capfs_cache.Cache.create
+               ~writeback:(fun _ -> ())
+               s
+               { (Capfs_cache.Cache.default_config ~capacity_blocks:1024) with
+                 Capfs_cache.Cache.trigger = Capfs_cache.Cache.Demand }
+           in
+           for i = 0 to 511 do
+             Capfs_cache.Cache.write c (1, i) (Capfs_disk.Data.sim 16)
+           done;
+           cache := Some c));
+    Capfs_sched.Sched.run s;
+    let c = Option.get !cache in
+    let i = ref 0 in
+    Test.make ~name:"cache: hit lookup + LRU touch"
+      (Staged.stage (fun () ->
+           let s2 = Capfs_sched.Sched.create ~clock:`Virtual () in
+           ignore
+             (Capfs_sched.Sched.spawn s2 (fun () ->
+                  incr i;
+                  ignore
+                    (Capfs_cache.Cache.read c (1, !i mod 512)
+                       ~fill:(fun () -> Capfs_disk.Data.sim 16))));
+           Capfs_sched.Sched.run s2))
+  in
+  let lru_bench =
+    let p = Capfs_cache.Replacement.lru () in
+    let blocks =
+      Array.init 1024 (fun i ->
+          Capfs_cache.Block.make ~key:(1, i) ~data:(Capfs_disk.Data.sim 16)
+            ~now:0.)
+    in
+    Array.iter (Capfs_cache.Replacement.insert p) blocks;
+    let i = ref 0 in
+    Test.make ~name:"replacement: lru access (move-to-front)"
+      (Staged.stage (fun () ->
+           incr i;
+           Capfs_cache.Replacement.access p blocks.(!i mod 1024)))
+  in
+  let heap_bench =
+    Test.make ~name:"heap: push+pop 64 timers"
+      (Staged.stage (fun () ->
+           let h = Capfs_sched.Heap.create ~cmp:compare in
+           for i = 0 to 63 do
+             Capfs_sched.Heap.push h ((i * 37) mod 64)
+           done;
+           while Capfs_sched.Heap.pop h <> None do
+             ()
+           done))
+  in
+  let geometry_bench =
+    let g = Capfs_disk.Disk_model.hp97560.Capfs_disk.Disk_model.geometry in
+    let i = ref 0 in
+    Test.make ~name:"geometry: lba->chs with skew"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Capfs_disk.Geometry.pos_of_lba g (!i * 7919 mod 2000000))))
+  in
+  let seek_bench =
+    let i = ref 0 in
+    Test.make ~name:"seek: hp97560 curve"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Capfs_disk.Seek.time Capfs_disk.Seek.hp97560
+                     ~distance:(!i mod 1961 + 1))))
+  in
+  let inode_bench =
+    let inode =
+      Capfs_layout.Inode.make ~ino:42 ~kind:Capfs_layout.Inode.Regular ~now:0.
+    in
+    for i = 0 to 31 do
+      Capfs_layout.Inode.set_addr inode i (i * 100)
+    done;
+    Test.make ~name:"codec: inode serialize+parse"
+      (Staged.stage (fun () ->
+           ignore
+             (Capfs_layout.Inode.deserialize
+                (Capfs_layout.Inode.serialize inode ~indirect:[]))))
+  in
+  let prng_bench =
+    let p = Stats.Prng.create ~seed:1 in
+    Test.make ~name:"prng: splitmix64 draw"
+      (Staged.stage (fun () -> ignore (Stats.Prng.float p)))
+  in
+  let tests =
+    [ sched_bench; cache_hit_bench; lru_bench; heap_bench; geometry_bench;
+      seek_bench; inode_bench; prng_bench ]
+  in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let benchmark test =
+    let quota = Time.second 0.25 in
+    Benchmark.all (Benchmark.cfg ~quota ~kde:None ()) [ clock ] test
+  in
+  let ols results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      clock results
+  in
+  List.iter
+    (fun test ->
+      let results = ols (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "  %-40s %12.1f ns/run@." name est
+          | Some _ | None -> Format.printf "  %-40s (no estimate)@." name)
+        results)
+    tests
+
+(* {1 Main} *)
+
+let () =
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "default" in
+  let duration, do_figures, do_ablations, do_micro =
+    match arg with
+    | "quick" -> (300., true, true, true)
+    | "full" -> (3600., true, true, true)
+    | "figures" -> (900., true, false, false)
+    | "ablations" -> (900., false, true, false)
+    | "micro" -> (0., false, false, true)
+    | _ -> (900., true, true, true)
+  in
+  Format.printf
+    "cut-and-paste file-systems benchmark harness (preset: %s, %.0f \
+     simulated seconds per run)@."
+    arg duration;
+  if do_figures then begin
+    figure_cdf ~duration ~figure:2 "sprite-1a";
+    figure_cdf ~duration ~figure:3 "sprite-1b";
+    figure_cdf ~duration ~figure:4 "sprite-5";
+    figure5 ~duration
+  end;
+  if do_ablations then begin
+    ablation_sync_flush ~duration;
+    ablation_cleaner ~duration;
+    ablation_iosched ~duration;
+    ablation_replacement ~duration;
+    ablation_disk_features ~duration;
+    ablation_cache_size ~duration;
+    ablation_nvram_size ~duration;
+    ablation_client_caching ()
+  end;
+  if do_micro then micro ();
+  Format.printf "@.done.@."

@@ -1,0 +1,154 @@
+(* Patsy: the off-line file-system simulator.
+
+   Replays a trace (synthetic profile or trace file) against a fully
+   simulated file server and reports operation latencies, per the
+   experiments of §5.1. *)
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let load_trace ~trace ~format ~seed ~duration =
+  match format with
+  | "sprite-file" -> Capfs_trace.Sprite_format.load trace
+  | "coda-file" -> Capfs_trace.Coda_format.load trace
+  | "synth" ->
+    let profile = Capfs_trace.Synth.profile_by_name trace in
+    Capfs_trace.Synth.generate ~seed ?duration profile
+  | f -> invalid_arg ("unknown trace format: " ^ f)
+
+let run_main trace format policy duration seed disks buses cache_mb nvram_mb
+    iosched replacement cleaner sync_flush show_cdf show_windows show_stats
+    log_level =
+  setup_logs log_level;
+  let policy =
+    match policy with
+    | "write-delay" | "write-delay-30s" -> Capfs_patsy.Experiment.Write_delay
+    | "ups" -> Capfs_patsy.Experiment.Ups
+    | "nvram-whole" -> Capfs_patsy.Experiment.Nvram_whole
+    | "nvram-partial" -> Capfs_patsy.Experiment.Nvram_partial
+    | p -> invalid_arg ("unknown policy: " ^ p)
+  in
+  let records = load_trace ~trace ~format ~seed ~duration in
+  let config =
+    {
+      (Capfs_patsy.Experiment.default policy) with
+      Capfs_patsy.Experiment.ndisks = disks;
+      nbuses = buses;
+      cache_mb;
+      nvram_mb;
+      iosched;
+      replacement;
+      cleaner =
+        (match cleaner with
+        | "greedy" -> Capfs_layout.Lfs.Greedy
+        | "cost-benefit" -> Capfs_layout.Lfs.Cost_benefit
+        | c -> invalid_arg ("unknown cleaner: " ^ c));
+      async_flush = not sync_flush;
+      seed;
+    }
+  in
+  Format.printf "# patsy: trace=%s policy=%s records=%d@." trace
+    (Capfs_patsy.Experiment.policy_name policy)
+    (List.length records);
+  let outcome = Capfs_patsy.Experiment.run config ~trace:records in
+  Format.printf "%a@." Capfs_patsy.Report.print_outcome_summary outcome;
+  if show_windows then
+    Format.printf "%a@." Capfs_patsy.Report.print_windows
+      outcome.Capfs_patsy.Experiment.replay;
+  if show_stats then begin
+    (* "plug-in statistics ... provide standard statistics output with
+       or without histograms" *)
+    Format.printf "@.# plug-in statistics:@.";
+    Capfs_stats.Registry.report ~histograms:true Format.std_formatter
+      outcome.Capfs_patsy.Experiment.registry
+  end;
+  if show_cdf then begin
+    let title =
+      Printf.sprintf "%s / %s" trace
+        (Capfs_patsy.Experiment.policy_name policy)
+    in
+    Capfs_patsy.Report.print_cdf ~title Format.std_formatter
+      outcome.Capfs_patsy.Experiment.replay;
+    Format.printf "@."
+  end;
+  0
+
+open Cmdliner
+
+let trace =
+  Arg.(value & opt string "sprite-1a"
+       & info [ "t"; "trace" ] ~docv:"TRACE"
+           ~doc:"Synthetic profile name (sprite-1a, sprite-1b, sprite-2a, \
+                 sprite-2b, sprite-5) or a trace file path.")
+
+let format =
+  Arg.(value & opt string "synth"
+       & info [ "f"; "format" ] ~docv:"FMT"
+           ~doc:"Trace source: synth, sprite-file or coda-file.")
+
+let policy =
+  Arg.(value & opt string "ups"
+       & info [ "p"; "policy" ] ~docv:"POLICY"
+           ~doc:"Flush policy: write-delay, ups, nvram-whole, nvram-partial.")
+
+let duration =
+  Arg.(value & opt (some float) None
+       & info [ "d"; "duration" ] ~docv:"SECONDS"
+           ~doc:"Override the synthetic trace duration.")
+
+let seed = Arg.(value & opt int 1996 & info [ "seed" ] ~docv:"SEED")
+let disks = Arg.(value & opt int 10 & info [ "disks" ] ~docv:"N")
+let buses = Arg.(value & opt int 3 & info [ "buses" ] ~docv:"N")
+let cache_mb = Arg.(value & opt int 128 & info [ "cache-mb" ] ~docv:"MB")
+let nvram_mb = Arg.(value & opt int 4 & info [ "nvram-mb" ] ~docv:"MB")
+
+let iosched =
+  Arg.(value & opt string "clook"
+       & info [ "iosched" ] ~docv:"POLICY"
+           ~doc:"Disk queue policy: fcfs, sstf, scan, look, cscan, clook, \
+                 scan-edf.")
+
+let replacement =
+  Arg.(value & opt string "lru"
+       & info [ "replacement" ] ~docv:"POLICY"
+           ~doc:"Cache replacement: lru, random, lfu, slru, lru-2.")
+
+let cleaner =
+  Arg.(value & opt string "cost-benefit"
+       & info [ "cleaner" ] ~doc:"LFS cleaner: greedy or cost-benefit.")
+
+let sync_flush =
+  Arg.(value & flag
+       & info [ "sync-flush" ]
+           ~doc:"Flush synchronously from the allocating thread (the \
+                 pre-lesson behaviour of §5.2).")
+
+let show_cdf =
+  Arg.(value & flag & info [ "cdf" ] ~doc:"Print the latency CDF series.")
+
+let show_windows =
+  Arg.(value & flag
+       & info [ "windows" ] ~doc:"Print 15-minute window summaries.")
+
+let show_stats =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Activate and print the plug-in statistics (with \
+                 histograms of disk queue sizes, rotational delays, \
+                 cache behaviour).")
+
+let log_level =
+  let env = Cmd.Env.info "PATSY_VERBOSITY" in
+  Logs_cli.level ~env ()
+
+let cmd =
+  let doc = "trace-driven file-system simulator (Bosch & Mullender, 1996)" in
+  Cmd.v
+    (Cmd.info "patsy" ~doc)
+    Term.(
+      const run_main $ trace $ format $ policy $ duration $ seed $ disks
+      $ buses $ cache_mb $ nvram_mb $ iosched $ replacement $ cleaner
+      $ sync_flush $ show_cdf $ show_windows $ show_stats $ log_level)
+
+let () = exit (Cmd.eval' cmd)

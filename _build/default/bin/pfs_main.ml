@@ -1,0 +1,111 @@
+(* pfs: serve a file-system image and drive it with a small shell.
+
+   Commands (one per line on stdin, or via --command):
+     mkdir PATH | ls PATH | write PATH TEXT | cat PATH | rm PATH |
+     rmdir PATH | mv SRC DST | ln TARGET LINK | stat PATH | statfs |
+     sync | help | quit *)
+
+module Sched = Capfs_sched.Sched
+module Data = Capfs_disk.Data
+module Client = Capfs.Client
+module Pfs = Capfs_pfs.Pfs
+
+let help_text =
+  "commands: mkdir P | ls P | write P TEXT | cat P | rm P | rmdir P | \
+   mv A B | ln TARGET LINK | stat P | statfs | sync | help | quit"
+
+let exec_command t line =
+  let client = t.Pfs.client in
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> ()
+  | [ "help" ] -> print_endline help_text
+  | [ "mkdir"; p ] -> Client.mkdir client p
+  | [ "ls"; p ] ->
+    List.iter
+      (fun e ->
+        Printf.printf "%c %s\n"
+          (match e.Capfs.Dir.kind with
+          | Capfs_layout.Inode.Directory -> 'd'
+          | Capfs_layout.Inode.Symlink -> 'l'
+          | Capfs_layout.Inode.Multimedia -> 'm'
+          | Capfs_layout.Inode.Regular -> '-')
+          e.Capfs.Dir.name)
+      (Client.readdir client p)
+  | "write" :: p :: rest ->
+    let text = String.concat " " rest in
+    Client.write client ~client:0 p ~offset:0 (Data.of_string text);
+    Client.truncate client p ~size:(String.length text)
+  | [ "cat"; p ] ->
+    let st = Client.stat client p in
+    let d = Client.read client ~client:0 p ~offset:0 ~bytes:st.Client.st_size in
+    print_endline (Data.to_string d)
+  | [ "rm"; p ] -> Client.delete client p
+  | [ "rmdir"; p ] -> Client.rmdir client p
+  | [ "mv"; a; b ] -> Client.rename client ~src:a ~dst:b
+  | [ "ln"; target; link ] -> Client.symlink client ~target link
+  | [ "stat"; p ] ->
+    let st = Client.stat client p in
+    Printf.printf "ino=%d size=%d nlink=%d mtime=%.3f\n" st.Client.st_ino
+      st.Client.st_size st.Client.st_nlink st.Client.st_mtime
+  | [ "statfs" ] ->
+    let fs = Client.fsys client in
+    let layout = fs.Capfs.Fsys.layout in
+    Printf.printf "%s: %d blocks, %d free\n"
+      layout.Capfs_layout.Layout.l_name
+      layout.Capfs_layout.Layout.total_blocks
+      (layout.Capfs_layout.Layout.free_blocks ())
+  | [ "sync" ] -> Client.sync client
+  | cmd :: _ -> Printf.printf "unknown command %S (try help)\n" cmd
+
+let run_line t line =
+  ignore
+    (Sched.spawn t.Pfs.sched (fun () ->
+         try exec_command t line with
+         | Capfs.Namespace.Not_found_path p ->
+           Printf.printf "no such path: %s\n" p
+         | Capfs.Namespace.Already_exists p -> Printf.printf "exists: %s\n" p
+         | Capfs.Namespace.Not_a_directory p ->
+           Printf.printf "not a directory: %s\n" p
+         | Capfs.Namespace.Is_a_directory p ->
+           Printf.printf "is a directory: %s\n" p
+         | Capfs.Namespace.Not_empty p -> Printf.printf "not empty: %s\n" p));
+  Sched.run t.Pfs.sched
+
+let main image size_mb commands =
+  let t = Pfs.start ~image ~size_mb () in
+  Printf.printf "pfs: serving %s (%d MB)\n%!" image size_mb;
+  (match commands with
+  | [] ->
+    (try
+       let quit = ref false in
+       while not !quit do
+         print_string "pfs> ";
+         flush stdout;
+         let line = input_line stdin in
+         if String.trim line = "quit" then quit := true else run_line t line
+       done
+     with End_of_file -> ())
+  | cmds -> List.iter (fun c -> run_line t c) cmds);
+  Pfs.shutdown t;
+  Printf.printf "pfs: image synced\n";
+  0
+
+open Cmdliner
+
+let image = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE")
+let size_mb = Arg.(value & opt int 64 & info [ "size-mb" ])
+
+let commands =
+  Arg.(value & opt_all string []
+       & info [ "c"; "command" ] ~doc:"Run a command and exit (repeatable).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "pfs" ~doc:"the on-line cut-and-paste file system")
+    Term.(const main $ image $ size_mb $ commands)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,59 @@
+(* tracegen: emit synthetic Sprite- or Coda-style trace files. *)
+
+open Cmdliner
+
+let generate profile seed duration out format list_profiles =
+  if list_profiles then begin
+    List.iter
+      (fun p -> print_endline p.Capfs_trace.Synth.profile_name)
+      Capfs_trace.Synth.all_profiles;
+    0
+  end
+  else begin
+    let p = Capfs_trace.Synth.profile_by_name profile in
+    let records = Capfs_trace.Synth.generate ~seed ?duration p in
+    let render =
+      match format with
+      | "sprite" -> Capfs_trace.Sprite_format.to_string
+      | "coda" -> Capfs_trace.Coda_format.to_string
+      | f -> invalid_arg ("unknown format: " ^ f)
+    in
+    let body = render records in
+    let header =
+      Printf.sprintf
+        "# synthetic %s trace: profile=%s seed=%d records=%d\n" format
+        profile seed (List.length records)
+    in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc header;
+      output_string oc body;
+      close_out oc
+    | None ->
+      print_string header;
+      print_string body);
+    0
+  end
+
+let profile =
+  Arg.(value & opt string "sprite-1a" & info [ "p"; "profile" ] ~docv:"NAME")
+
+let seed = Arg.(value & opt int 1996 & info [ "seed" ])
+let duration = Arg.(value & opt (some float) None & info [ "d"; "duration" ])
+let out = Arg.(value & opt (some string) None & info [ "o"; "output" ])
+
+let format =
+  Arg.(value & opt string "sprite"
+       & info [ "f"; "format" ] ~doc:"Output format: sprite or coda.")
+
+let list_profiles =
+  Arg.(value & flag & info [ "list" ] ~doc:"List known profiles.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tracegen" ~doc:"synthetic file-system workload generator")
+    Term.(const generate $ profile $ seed $ duration $ out $ format
+          $ list_profiles)
+
+let () = exit (Cmd.eval' cmd)

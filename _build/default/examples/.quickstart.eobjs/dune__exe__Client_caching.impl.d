@@ -1,0 +1,1 @@
+examples/client_caching.ml: Capfs Capfs_cache Capfs_ccache Capfs_disk Capfs_layout Capfs_sched Format Printf String

@@ -1,0 +1,1 @@
+examples/disk_model.ml: Capfs_disk Capfs_sched Capfs_stats Format List

@@ -1,0 +1,1 @@
+examples/disk_model.mli:

@@ -1,0 +1,1 @@
+examples/multimedia.ml: Capfs Capfs_cache Capfs_disk Capfs_layout Capfs_sched Capfs_stats Format List

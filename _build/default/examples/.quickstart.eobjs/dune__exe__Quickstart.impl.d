@@ -1,0 +1,1 @@
+examples/quickstart.ml: Capfs Capfs_cache Capfs_disk Capfs_layout Capfs_sched Format List

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Capfs_patsy Capfs_trace Filename Format List Sys

@@ -1,0 +1,1 @@
+examples/write_saving.ml: Capfs_patsy Capfs_trace Format List

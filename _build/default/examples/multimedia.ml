@@ -1,0 +1,118 @@
+(* Active multimedia files: a file type that brings its own policy.
+
+   A multimedia file spawns a thread of control inside the file system
+   that pre-loads data ahead of the reader (the paper's "active files",
+   §2). This example streams the same media file twice — once as an
+   ordinary regular file, once as a multimedia file — over a simulated
+   HP97560, pacing the reader at a playback rate, and reports how often
+   each reader had to wait for the disk longer than its real-time budget.
+
+   A competing client hammers the same disk with random reads
+   throughout, so a reader that misses the file-system cache queues
+   behind it — the situation the active file's standing prefetch window
+   is there to survive.
+
+   Run: dune exec examples/multimedia.exe *)
+
+module Sched = Capfs_sched.Sched
+module Driver = Capfs_disk.Driver
+module Data = Capfs_disk.Data
+module Bus = Capfs_disk.Bus
+module Sim_disk = Capfs_disk.Sim_disk
+module Cache = Capfs_cache.Cache
+module Lfs = Capfs_layout.Lfs
+module Inode = Capfs_layout.Inode
+module Client = Capfs.Client
+
+let media_bytes = 2 * 1024 * 1024
+let chunk = 16 * 1024
+let frame_budget = 0.100 (* a chunk every 100 ms: a ~1.3 Mbit/s MPEG-1 stream *)
+
+let stream sched client path =
+  let stalls = ref 0 and worst = ref 0. and total = ref 0. in
+  let chunks = media_bytes / chunk in
+  Client.open_ client ~client:1 path Client.RO;
+  for i = 0 to chunks - 1 do
+    let t0 = Sched.now sched in
+    ignore (Client.read client ~client:1 path ~offset:(i * chunk) ~bytes:chunk);
+    let dt = Sched.now sched -. t0 in
+    total := !total +. dt;
+    if dt > frame_budget then incr stalls;
+    if dt > !worst then worst := dt;
+    (* consume the frame in real time *)
+    let left = frame_budget -. dt in
+    if left > 0. then Sched.sleep sched left
+  done;
+  Client.close_ client ~client:1 path;
+  (!stalls, !worst, !total /. float_of_int chunks)
+
+let () =
+  let sched = Sched.create ~clock:`Virtual () in
+  ignore
+    (Sched.spawn sched (fun () ->
+         let bus = Bus.scsi2 sched in
+         let disk =
+           Sim_disk.create ~backing:true sched Capfs_disk.Disk_model.hp97560 bus
+         in
+         let driver = Driver.create sched (Driver.sim_transport disk) in
+         let layout =
+           Lfs.format_and_mount sched driver ~block_bytes:4096
+         in
+         let fs =
+           Capfs.Fsys.create
+             ~cache_config:
+               { (Cache.default_config ~capacity_blocks:128) with
+                 Cache.trigger = Cache.Demand }
+             ~layout sched
+         in
+         let client = Client.create fs in
+         (* write both media files, flush, and push them out of cache *)
+         List.iter
+           (fun (kind, path) ->
+             Client.create_file client ~kind path;
+             Client.open_ client ~client:1 path Client.WO;
+             let step = 64 * 1024 in
+             for i = 0 to (media_bytes / step) - 1 do
+               Client.write client ~client:1 path ~offset:(i * step)
+                 (Data.sim step)
+             done;
+             Client.close_ client ~client:1 path;
+             Client.fsync client path)
+           [ (Inode.Regular, "/plain.dat"); (Inode.Multimedia, "/movie.dat") ];
+         (* evict: the cache only holds 512 KB; a scan of junk clears it *)
+         Client.open_ client ~client:1 "/junk" Client.WO;
+         Client.write client ~client:1 "/junk" ~offset:0
+           (Data.sim (1024 * 1024));
+         Client.fsync client "/junk";
+         (* an antagonist keeps the disk queue busy with random reads *)
+         let noise_bytes = 64 * 1024 * 1024 in
+         Client.synthesize_file client "/noise.db" ~size:noise_bytes;
+         let antagonist_on = ref true in
+         let prng = Capfs_stats.Prng.create ~seed:11 in
+         ignore
+           (Sched.spawn sched ~name:"antagonist" ~daemon:true (fun () ->
+                while !antagonist_on do
+                  let block = Capfs_stats.Prng.int prng (noise_bytes / 4096) in
+                  ignore
+                    (Client.read client ~client:2 "/noise.db"
+                       ~offset:(block * 4096) ~bytes:4096);
+                  Sched.sleep sched 0.025
+                done));
+         let plain_stalls, plain_worst, plain_mean =
+           stream sched client "/plain.dat"
+         in
+         let mm_stalls, mm_worst, mm_mean =
+           stream sched client "/movie.dat"
+         in
+         antagonist_on := false;
+         Format.printf
+           "streaming %d KB in %d KB chunks, %.0f ms budget per chunk, \
+            against competing random I/O:@."
+           (media_bytes / 1024) (chunk / 1024) (1000. *. frame_budget);
+         Format.printf
+           "  regular file:    %3d missed deadlines, mean %6.1f ms, worst %6.1f ms@."
+           plain_stalls (1000. *. plain_mean) (1000. *. plain_worst);
+         Format.printf
+           "  multimedia file: %3d missed deadlines, mean %6.1f ms, worst %6.1f ms@."
+           mm_stalls (1000. *. mm_mean) (1000. *. mm_worst)));
+  Sched.run sched

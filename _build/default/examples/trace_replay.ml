@@ -1,0 +1,39 @@
+(* Trace round-trip: generate a synthetic workload, save it in the
+   Sprite text format, read it back, replay it in Patsy, and print the
+   15-minute interval report plus the latency CDF — the simulator's
+   standard outputs.
+
+   Run: dune exec examples/trace_replay.exe *)
+
+module Synth = Capfs_trace.Synth
+module Sprite_format = Capfs_trace.Sprite_format
+module Experiment = Capfs_patsy.Experiment
+module Report = Capfs_patsy.Report
+
+let () =
+  let profile =
+    { Synth.sprite_2a with Synth.clients = 8; files = 300; dirs = 8 }
+  in
+  let trace = Synth.generate ~seed:42 ~duration:1800. profile in
+  let path = Filename.temp_file "capfs_example" ".trc" in
+  Sprite_format.save path trace;
+  Format.printf "saved %d records to %s@." (List.length trace) path;
+  (* read it back, as if it were a recorded trace from another system *)
+  let loaded = Sprite_format.load path in
+  assert (List.length loaded = List.length trace);
+  Sys.remove path;
+  let config =
+    {
+      (Experiment.default Experiment.Write_delay) with
+      Experiment.ndisks = 2;
+      nbuses = 1;
+      cache_mb = 8;
+    }
+  in
+  let o = Experiment.run config ~trace:loaded in
+  Format.printf "@.measurements every 15 minutes of simulation time:@.";
+  Format.printf "%a@." Report.print_windows o.Experiment.replay;
+  Format.printf "@.";
+  Report.print_cdf ~points:25 ~title:"sprite-2a / write-delay-30s"
+    Format.std_formatter o.Experiment.replay;
+  Format.printf "@."

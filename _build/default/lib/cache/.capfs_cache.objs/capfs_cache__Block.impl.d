@@ -1,0 +1,1 @@
+lib/cache/block.ml: Capfs_disk Format Hashtbl

@@ -1,0 +1,1 @@
+lib/cache/cache.ml: Block Capfs_disk Capfs_sched Capfs_stats Dlist Hashtbl List Logs Option Replacement

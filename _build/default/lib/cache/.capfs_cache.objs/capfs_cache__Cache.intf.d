@@ -1,0 +1,1 @@
+lib/cache/cache.mli: Block Capfs_disk Capfs_sched Capfs_stats Replacement

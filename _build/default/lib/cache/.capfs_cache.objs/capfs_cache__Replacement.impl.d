@@ -1,0 +1,1 @@
+lib/cache/replacement.ml: Array Block Capfs_stats Dlist Hashtbl List Printf Stdlib

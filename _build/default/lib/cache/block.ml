@@ -1,0 +1,54 @@
+module Key = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = Hashtbl.hash (a, b)
+  let pp ppf (ino, idx) = Format.fprintf ppf "%d:%d" ino idx
+end
+
+type state = Clean | Dirty | Flushing
+
+type t = {
+  key : Key.t;
+  mutable data : Capfs_disk.Data.t;
+  mutable state : state;
+  mutable dirtied_at : float;
+  mutable last_access : float;
+  mutable access_count : int;
+  mutable version : int;
+  mutable in_nvram : bool;
+  mutable pinned : int;
+  mutable policy_slot : int;
+  mutable zombie : bool;
+}
+
+let make ~key ~data ~now =
+  {
+    key;
+    data;
+    state = Clean;
+    dirtied_at = now;
+    last_access = now;
+    access_count = 0;
+    version = 0;
+    in_nvram = false;
+    pinned = 0;
+    policy_slot = -1;
+    zombie = false;
+  }
+
+let ino t = fst t.key
+let index t = snd t.key
+let is_dirty t = match t.state with Dirty | Flushing -> true | Clean -> false
+let evictable t = t.state = Clean && t.pinned = 0
+let pin t = t.pinned <- t.pinned + 1
+
+let unpin t =
+  if t.pinned <= 0 then invalid_arg "Block.unpin: not pinned";
+  t.pinned <- t.pinned - 1
+
+let pp ppf t =
+  Format.fprintf ppf "%a[%s%s%s]" Key.pp t.key
+    (match t.state with Clean -> "C" | Dirty -> "D" | Flushing -> "F")
+    (if t.in_nvram then "N" else "")
+    (if t.pinned > 0 then "P" else "")

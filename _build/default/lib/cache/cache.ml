@@ -1,0 +1,533 @@
+module Sched = Capfs_sched.Sched
+module Mailbox = Capfs_sched.Mailbox
+module Data = Capfs_disk.Data
+module Stats = Capfs_stats
+module Ktbl = Hashtbl.Make (Block.Key)
+
+let src = Logs.Src.create "capfs.cache" ~doc:"file-system block cache"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type flush_trigger =
+  | Demand
+  | Periodic of { max_age : float; scan_interval : float }
+
+type flush_scope = [ `Whole_file | `Single_block ]
+
+type config = {
+  block_bytes : int;
+  capacity_blocks : int;
+  nvram_blocks : int;
+  trigger : flush_trigger;
+  scope : flush_scope;
+  async_flush : bool;
+  mem_copy_rate : float;
+}
+
+let default_config ~capacity_blocks =
+  {
+    block_bytes = 4096;
+    capacity_blocks;
+    nvram_blocks = 0;
+    trigger = Periodic { max_age = 30.; scan_interval = 5. };
+    scope = `Whole_file;
+    async_flush = true;
+    mem_copy_rate = 0.;
+  }
+
+(* A flush job: blocks with the version each had when snapshotted. *)
+type flush_job = (Block.t * int) list
+
+type t = {
+  sched : Sched.t;
+  cfg : config;
+  cname : string;
+  registry : Stats.Registry.t option;
+  writeback : (Block.Key.t * Data.t) list -> unit;
+  policy : Replacement.t;
+  table : Block.t Ktbl.t;
+  by_ino : (int, (int, Block.t) Hashtbl.t) Hashtbl.t;
+  dirty : Block.t Dlist.t; (* state Dirty only; front = oldest *)
+  dirty_nodes : Block.t Dlist.node Ktbl.t;
+  filling : Sched.event Ktbl.t; (* in-flight read fills *)
+  mutable volatile_used : int;
+  mutable nvram_count : int;
+  mutable flushing_count : int;
+  space_ev : Sched.event;
+  flush_q : flush_job Mailbox.t;
+}
+
+let stat_names =
+  [
+    "hits"; "misses"; "evictions"; "flushed_blocks"; "absorbed_writes";
+    "overwrites"; "read_stall"; "write_stall"; "dirty_blocks"; "nvram_used";
+  ]
+
+let record t stat v =
+  match t.registry with
+  | Some r -> Stats.Registry.record r (t.cname ^ "." ^ stat) v
+  | None -> ()
+
+let config t = t.cfg
+let now t = Sched.now t.sched
+let find t key = Ktbl.find_opt t.table key
+
+let copy_delay t =
+  if t.cfg.mem_copy_rate > 0. then
+    Sched.sleep t.sched
+      (Data.copy_seconds ~rate_bytes_per_sec:t.cfg.mem_copy_rate
+         t.cfg.block_bytes)
+
+let touch t b =
+  b.Block.last_access <- now t;
+  b.Block.access_count <- b.Block.access_count + 1
+
+(* table / by_ino bookkeeping *)
+
+let table_add t b =
+  Ktbl.replace t.table b.Block.key b;
+  let ino = Block.ino b in
+  let file_blocks =
+    match Hashtbl.find_opt t.by_ino ino with
+    | Some fb -> fb
+    | None ->
+      let fb = Hashtbl.create 8 in
+      Hashtbl.replace t.by_ino ino fb;
+      fb
+  in
+  Hashtbl.replace file_blocks (Block.index b) b
+
+let table_remove t b =
+  Ktbl.remove t.table b.Block.key;
+  match Hashtbl.find_opt t.by_ino (Block.ino b) with
+  | Some fb ->
+    Hashtbl.remove fb (Block.index b);
+    if Hashtbl.length fb = 0 then Hashtbl.remove t.by_ino (Block.ino b)
+  | None -> ()
+
+let blocks_of_ino t ino =
+  match Hashtbl.find_opt t.by_ino ino with
+  | Some fb -> Hashtbl.fold (fun _ b acc -> b :: acc) fb []
+  | None -> []
+
+(* dirty-list bookkeeping: the list holds blocks in state Dirty only,
+   ordered by the time they became dirty (front = oldest). *)
+
+let dirty_push t b =
+  Ktbl.replace t.dirty_nodes b.Block.key (Dlist.push_back t.dirty b)
+
+let dirty_remove t b =
+  match Ktbl.find_opt t.dirty_nodes b.Block.key with
+  | Some n ->
+    Dlist.remove t.dirty n;
+    Ktbl.remove t.dirty_nodes b.Block.key
+  | None -> ()
+
+let release_frame t b =
+  if b.Block.in_nvram then begin
+    b.Block.in_nvram <- false;
+    t.nvram_count <- t.nvram_count - 1
+  end
+  else t.volatile_used <- t.volatile_used - 1
+
+let space_freed t = Sched.broadcast t.sched t.space_ev
+
+(* {2 Flushing} *)
+
+let snapshot_for_flush t blocks =
+  List.filter_map
+    (fun b ->
+      if b.Block.state = Block.Dirty then begin
+        b.Block.state <- Block.Flushing;
+        dirty_remove t b;
+        t.flushing_count <- t.flushing_count + 1;
+        Some (b, b.Block.version)
+      end
+      else None)
+    blocks
+
+(* Re-house a block that just came clean out of NVRAM: it needs a
+   volatile frame, possibly evicting a clean victim; with no frame
+   obtainable the block is simply dropped (it is clean, that is safe). *)
+let rehouse_from_nvram t b =
+  if t.volatile_used < t.cfg.capacity_blocks then begin
+    t.volatile_used <- t.volatile_used + 1;
+    Replacement.insert t.policy b
+  end
+  else
+    match Replacement.victim t.policy with
+    | Some victim ->
+      table_remove t victim;
+      record t "evictions" 1.;
+      (* victim frees a frame; [b] takes it: volatile_used unchanged *)
+      Replacement.insert t.policy b
+    | None -> table_remove t b
+
+(* Write back in bounded chunks, releasing frames and waking waiters
+   after each — the §5.2 lesson: a thread short of one frame must not
+   sit through the write-back of a whole large file. *)
+let flush_chunk_blocks = 8
+
+let rec take_chunk n = function
+  | [] -> ([], [])
+  | rest when n = 0 -> ([], rest)
+  | x :: rest ->
+    let chunk, remaining = take_chunk (n - 1) rest in
+    (x :: chunk, remaining)
+
+let rec do_writeback t (job : flush_job) =
+  match job with
+  | [] -> space_freed t
+  | _ ->
+    let chunk, rest = take_chunk flush_chunk_blocks job in
+    let payload =
+      List.map (fun (b, _) -> (b.Block.key, b.Block.data)) chunk
+    in
+    t.writeback payload;
+    List.iter
+      (fun ((b : Block.t), version) ->
+        t.flushing_count <- t.flushing_count - 1;
+        record t "flushed_blocks" 1.;
+        if b.Block.zombie then release_frame t b
+        else if b.Block.state = Block.Flushing && b.Block.version = version
+        then begin
+          b.Block.state <- Block.Clean;
+          if b.Block.in_nvram then begin
+            b.Block.in_nvram <- false;
+            t.nvram_count <- t.nvram_count - 1;
+            rehouse_from_nvram t b
+          end
+          else Replacement.insert t.policy b
+        end
+        (* else: re-dirtied while in flight; it is back on the dirty list *))
+      chunk;
+    space_freed t;
+    do_writeback t rest
+
+let flush_blocks t blocks =
+  match snapshot_for_flush t blocks with
+  | [] -> ()
+  | job ->
+    if t.cfg.async_flush then Mailbox.send t.flush_q job else do_writeback t job
+
+(* Flush "through the oldest dirty block": the whole owning file or just
+   the block itself, per the configured scope. *)
+let flush_oldest t =
+  match Dlist.front t.dirty with
+  | None -> false
+  | Some oldest ->
+    let batch =
+      match t.cfg.scope with
+      | `Single_block -> [ oldest ]
+      | `Whole_file ->
+        blocks_of_ino t (Block.ino oldest)
+        |> List.filter (fun b -> b.Block.state = Block.Dirty)
+        |> List.sort (fun a b -> compare (Block.index a) (Block.index b))
+    in
+    flush_blocks t batch;
+    true
+
+(* Nudge a flush, then block until space may be available. A synchronous
+   flush frees frames before returning, so re-check [satisfied] instead of
+   awaiting a broadcast that already happened. *)
+let wait_for_space t ~satisfied =
+  (* Initiate a drain only when none is outstanding: every waiter
+     kicking off its own flush floods the flusher with duplicate work. *)
+  let progressed =
+    if t.flushing_count = 0 then flush_oldest t else true
+  in
+  if (not progressed) && t.flushing_count = 0 then
+    Log.warn (fun m ->
+        m "%s: stalled with nothing to flush (all frames pinned?)" t.cname);
+  if not (satisfied ()) then Sched.await t.sched t.space_ev
+
+(* {2 Frame allocation} *)
+
+let rec reserve_volatile t ~stall_stat =
+  if t.volatile_used < t.cfg.capacity_blocks then
+    t.volatile_used <- t.volatile_used + 1
+  else
+    match Replacement.victim t.policy with
+    | Some victim ->
+      table_remove t victim;
+      record t "evictions" 1.;
+      (* reuse the victim's frame: counters unchanged *)
+      ()
+    | None ->
+      let t0 = now t in
+      wait_for_space t ~satisfied:(fun () ->
+          t.volatile_used < t.cfg.capacity_blocks
+          || Replacement.count t.policy > 0);
+      record t stall_stat (now t -. t0);
+      reserve_volatile t ~stall_stat
+
+let rec acquire_nvram t =
+  if t.nvram_count < t.cfg.nvram_blocks then
+    t.nvram_count <- t.nvram_count + 1
+  else begin
+    let t0 = now t in
+    wait_for_space t ~satisfied:(fun () ->
+        t.nvram_count < t.cfg.nvram_blocks);
+    record t "write_stall" (now t -. t0);
+    acquire_nvram t
+  end
+
+(* {2 Reads} *)
+
+let rec read t key ~fill =
+  match find t key with
+  | Some b ->
+    record t "hits" 1.;
+    if b.Block.state = Block.Clean then Replacement.access t.policy b;
+    touch t b;
+    copy_delay t;
+    b.Block.data
+  | None -> (
+    record t "misses" 1.;
+    match Ktbl.find_opt t.filling key with
+    | Some ev ->
+      Sched.await t.sched ev;
+      read t key ~fill
+    | None ->
+      let ev = Sched.new_event ~name:"cache.fill" t.sched in
+      Ktbl.replace t.filling key ev;
+      reserve_volatile t ~stall_stat:"read_stall";
+      let data = fill () in
+      Ktbl.remove t.filling key;
+      Sched.broadcast t.sched ev;
+      (match find t key with
+      | Some b ->
+        (* a writer created the block while we were reading the stale
+           copy from disk: their contents win, our frame is returned *)
+        t.volatile_used <- t.volatile_used - 1;
+        space_freed t;
+        if b.Block.state = Block.Clean then Replacement.access t.policy b;
+        touch t b;
+        copy_delay t;
+        b.Block.data
+      | None ->
+        let b = Block.make ~key ~data ~now:(now t) in
+        table_add t b;
+        Replacement.insert t.policy b;
+        touch t b;
+        copy_delay t;
+        data))
+
+let peek t key = Option.map (fun b -> b.Block.data) (find t key)
+
+(* {2 Writes} *)
+
+let mark_dirty t b data =
+  b.Block.data <- data;
+  b.Block.version <- b.Block.version + 1;
+  b.Block.state <- Block.Dirty;
+  b.Block.dirtied_at <- now t;
+  dirty_push t b;
+  touch t b
+
+let rec write t key data =
+  (match find t key with
+  | Some b when b.Block.state = Block.Dirty ->
+    (* overwrite in memory: one disk write saved *)
+    b.Block.data <- data;
+    b.Block.version <- b.Block.version + 1;
+    touch t b;
+    record t "overwrites" 1.
+  | Some b when b.Block.state = Block.Flushing ->
+    (* re-dirty a block whose old contents are being written out *)
+    mark_dirty t b data;
+    record t "overwrites" 1.
+  | Some b ->
+    (* clean block becomes dirty *)
+    if t.cfg.nvram_blocks > 0 then begin
+      Block.pin b;
+      acquire_nvram t;
+      Block.unpin b;
+      (* During the stall another client may have dirtied this very
+         block (hot shared files) or invalidated it: only proceed if it
+         is still the same, still-clean block. *)
+      let still_ours =
+        match find t key with
+        | Some cur -> cur == b && b.Block.state = Block.Clean
+        | None -> false
+      in
+      if still_ours then begin
+        Replacement.forget t.policy b;
+        t.volatile_used <- t.volatile_used - 1;
+        space_freed t;
+        b.Block.in_nvram <- true;
+        mark_dirty t b data
+      end
+      else begin
+        (* invalidated while we stalled: release and retry *)
+        t.nvram_count <- t.nvram_count - 1;
+        space_freed t;
+        write t key data
+      end
+    end
+    else begin
+      Replacement.forget t.policy b;
+      mark_dirty t b data
+    end
+  | None ->
+    if t.cfg.nvram_blocks > 0 then begin
+      acquire_nvram t;
+      match find t key with
+      | Some _ ->
+        (* another writer beat us to the insert *)
+        t.nvram_count <- t.nvram_count - 1;
+        space_freed t;
+        write t key data
+      | None ->
+        let b = Block.make ~key ~data ~now:(now t) in
+        b.Block.in_nvram <- true;
+        table_add t b;
+        mark_dirty t b data
+    end
+    else begin
+      reserve_volatile t ~stall_stat:"write_stall";
+      match find t key with
+      | Some _ ->
+        t.volatile_used <- t.volatile_used - 1;
+        space_freed t;
+        write t key data
+      | None ->
+        let b = Block.make ~key ~data ~now:(now t) in
+        table_add t b;
+        mark_dirty t b data
+    end);
+  copy_delay t;
+  record t "dirty_blocks" (float_of_int (Dlist.length t.dirty));
+  record t "nvram_used" (float_of_int t.nvram_count)
+
+(* {2 Invalidation} *)
+
+let invalidate_block t b =
+  match b.Block.state with
+  | Block.Clean ->
+    Replacement.forget t.policy b;
+    table_remove t b;
+    t.volatile_used <- t.volatile_used - 1;
+    space_freed t
+  | Block.Dirty ->
+    dirty_remove t b;
+    table_remove t b;
+    release_frame t b;
+    record t "absorbed_writes" 1.;
+    space_freed t
+  | Block.Flushing ->
+    (* the flusher holds a snapshot; it releases the frame on completion *)
+    b.Block.zombie <- true;
+    table_remove t b;
+    record t "absorbed_writes" 1.
+
+let invalidate t key =
+  match find t key with Some b -> invalidate_block t b | None -> ()
+
+let truncate t ino ~from =
+  blocks_of_ino t ino
+  |> List.filter (fun b -> Block.index b >= from)
+  |> List.iter (invalidate_block t)
+
+let remove_file t ino = List.iter (invalidate_block t) (blocks_of_ino t ino)
+
+(* {2 Synchronous flushing} *)
+
+let file_has_unstable t ino =
+  List.exists (fun b -> Block.is_dirty b) (blocks_of_ino t ino)
+
+let flush_file t ino =
+  (* Loop: a block re-dirtied while its snapshot was in flight needs
+     another round before the file is stable. *)
+  while file_has_unstable t ino do
+    blocks_of_ino t ino
+    |> List.filter (fun b -> b.Block.state = Block.Dirty)
+    |> List.sort (fun a b -> compare (Block.index a) (Block.index b))
+    |> flush_blocks t;
+    if file_has_unstable t ino then Sched.await t.sched t.space_ev
+  done
+
+let sync t =
+  while Dlist.length t.dirty > 0 || t.flushing_count > 0 do
+    if Dlist.length t.dirty > 0 then
+      flush_blocks t (Dlist.to_list t.dirty)
+    else Sched.await t.sched t.space_ev
+  done
+
+(* {2 Daemons} *)
+
+let flusher_loop t () =
+  while true do
+    let job = Mailbox.recv t.flush_q in
+    do_writeback t job
+  done
+
+let periodic_loop t ~max_age ~scan_interval () =
+  while true do
+    Sched.sleep t.sched scan_interval;
+    let rec drain () =
+      match Dlist.front t.dirty with
+      | Some b when now t -. b.Block.dirtied_at >= max_age ->
+        ignore (flush_oldest t);
+        drain ()
+      | Some _ | None -> ()
+    in
+    drain ()
+  done
+
+(* {2 Construction} *)
+
+let create ?registry ?(name = "cache") ?replacement ~writeback sched cfg =
+  if cfg.capacity_blocks < 1 then invalid_arg "Cache.create: no capacity";
+  if cfg.block_bytes < 1 then invalid_arg "Cache.create: bad block size";
+  if cfg.nvram_blocks < 0 then invalid_arg "Cache.create: negative nvram";
+  (match registry with
+  | Some r ->
+    List.iter
+      (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
+      stat_names
+  | None -> ());
+  let policy =
+    match replacement with Some p -> p | None -> Replacement.lru ()
+  in
+  let t =
+    {
+      sched;
+      cfg;
+      cname = name;
+      registry;
+      writeback;
+      policy;
+      table = Ktbl.create 1024;
+      by_ino = Hashtbl.create 256;
+      dirty = Dlist.create ();
+      dirty_nodes = Ktbl.create 256;
+      filling = Ktbl.create 16;
+      volatile_used = 0;
+      nvram_count = 0;
+      flushing_count = 0;
+      space_ev = Sched.new_event ~name:(name ^ ".space") sched;
+      flush_q = Mailbox.create ~name:(name ^ ".flushq") sched;
+    }
+  in
+  if cfg.async_flush then
+    ignore
+      (Sched.spawn sched ~name:(name ^ ".flusher") ~daemon:true
+         (flusher_loop t));
+  (match cfg.trigger with
+  | Periodic { max_age; scan_interval } ->
+    ignore
+      (Sched.spawn sched ~name:(name ^ ".update") ~daemon:true
+         (periodic_loop t ~max_age ~scan_interval))
+  | Demand -> ());
+  t
+
+(* {2 Introspection} *)
+
+let block_count t = Ktbl.length t.table
+let dirty_count t = Dlist.length t.dirty + t.flushing_count
+let nvram_used t = t.nvram_count
+let contains t key = Ktbl.mem t.table key
+
+let keys_of_file t ino =
+  List.map (fun b -> b.Block.key) (blocks_of_ino t ino)

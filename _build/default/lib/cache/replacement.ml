@@ -1,0 +1,272 @@
+type ops = {
+  o_name : string;
+  o_insert : Block.t -> unit;
+  o_access : Block.t -> unit;
+  o_forget : Block.t -> unit;
+  o_victim : unit -> Block.t option;
+  o_count : unit -> int;
+}
+
+type t = ops
+
+let name t = t.o_name
+let insert t b = t.o_insert b
+let access t b = t.o_access b
+let forget t b = t.o_forget b
+let victim t = t.o_victim ()
+let count t = t.o_count ()
+
+module Ktbl = Hashtbl.Make (Block.Key)
+
+(* LRU on a doubly-linked list: front = most recent, victims from the
+   back. Pinned blocks at the back are temporarily skipped by relinking
+   them to the front (they are hot by definition: an I/O holds them). *)
+let lru_ops list_name =
+  let list : Block.t Dlist.t = Dlist.create () in
+  let nodes : Block.t Dlist.node Ktbl.t = Ktbl.create 256 in
+  let insert b =
+    if not (Ktbl.mem nodes b.Block.key) then
+      Ktbl.replace nodes b.Block.key (Dlist.push_front list b)
+  in
+  let access b =
+    match Ktbl.find_opt nodes b.Block.key with
+    | Some n -> Dlist.move_front list n
+    | None -> ()
+  in
+  let forget b =
+    match Ktbl.find_opt nodes b.Block.key with
+    | Some n ->
+      Dlist.remove list n;
+      Ktbl.remove nodes b.Block.key
+    | None -> ()
+  in
+  let victim () =
+    let rec go attempts =
+      if attempts = 0 then None
+      else
+        match Dlist.back list with
+        | None -> None
+        | Some b ->
+          if Block.evictable b then begin
+            forget b;
+            Some b
+          end
+          else begin
+            (match Ktbl.find_opt nodes b.Block.key with
+            | Some n -> Dlist.move_front list n
+            | None -> ());
+            go (attempts - 1)
+          end
+    in
+    go (Dlist.length list)
+  in
+  {
+    o_name = list_name;
+    o_insert = insert;
+    o_access = access;
+    o_forget = forget;
+    o_victim = victim;
+    o_count = (fun () -> Dlist.length list);
+  }
+
+let lru () = lru_ops "lru"
+
+(* Array-backed set with O(1) swap-remove through Block.policy_slot. *)
+module Pool = struct
+  type pool = { mutable blocks : Block.t array; mutable len : int }
+
+  let create () = { blocks = [||]; len = 0 }
+
+  let add p b =
+    if b.Block.policy_slot >= 0 then ()
+    else begin
+      if p.len = Array.length p.blocks then begin
+        let grown = Array.make (Stdlib.max 16 (2 * p.len)) b in
+        Array.blit p.blocks 0 grown 0 p.len;
+        p.blocks <- grown
+      end;
+      p.blocks.(p.len) <- b;
+      b.Block.policy_slot <- p.len;
+      p.len <- p.len + 1
+    end
+
+  let remove p b =
+    let i = b.Block.policy_slot in
+    if i >= 0 && i < p.len && p.blocks.(i) == b then begin
+      let last = p.blocks.(p.len - 1) in
+      p.blocks.(i) <- last;
+      last.Block.policy_slot <- i;
+      b.Block.policy_slot <- -1;
+      p.len <- p.len - 1
+    end
+
+  let min_by p key =
+    let best = ref None in
+    for i = 0 to p.len - 1 do
+      let b = p.blocks.(i) in
+      if Block.evictable b then
+        match !best with
+        | Some best_b when key best_b <= key b -> ()
+        | Some _ | None -> best := Some b
+    done;
+    !best
+  end
+
+let random ~seed =
+  let pool = Pool.create () in
+  let rng = Capfs_stats.Prng.create ~seed in
+  let victim () =
+    if pool.Pool.len = 0 then None
+    else begin
+      (* a few random probes, then give up and scan *)
+      let rec probe n =
+        if n = 0 then Pool.min_by pool (fun b -> b.Block.last_access)
+        else begin
+          let b = pool.Pool.blocks.(Capfs_stats.Prng.int rng pool.Pool.len) in
+          if Block.evictable b then Some b else probe (n - 1)
+        end
+      in
+      match probe 8 with
+      | Some b ->
+        Pool.remove pool b;
+        Some b
+      | None -> None
+    end
+  in
+  {
+    o_name = "random";
+    o_insert = Pool.add pool;
+    o_access = (fun _ -> ());
+    o_forget = Pool.remove pool;
+    o_victim = victim;
+    o_count = (fun () -> pool.Pool.len);
+  }
+
+let lfu () =
+  let pool = Pool.create () in
+  let victim () =
+    match Pool.min_by pool (fun b -> b.Block.access_count) with
+    | Some b ->
+      Pool.remove pool b;
+      Some b
+    | None -> None
+  in
+  {
+    o_name = "lfu";
+    o_insert = Pool.add pool;
+    o_access = (fun _ -> ());
+    (* access_count lives on the block *)
+    o_forget = Pool.remove pool;
+    o_victim = victim;
+    o_count = (fun () -> pool.Pool.len);
+  }
+
+let slru ~protected_capacity =
+  if protected_capacity < 1 then invalid_arg "Replacement.slru: capacity < 1";
+  let probation = lru_ops "slru.probation" in
+  let protected_ = lru_ops "slru.protected" in
+  let where : [ `Probation | `Protected ] Ktbl.t = Ktbl.create 256 in
+  let insert b =
+    if not (Ktbl.mem where b.Block.key) then begin
+      probation.o_insert b;
+      Ktbl.replace where b.Block.key `Probation
+    end
+  in
+  let access b =
+    match Ktbl.find_opt where b.Block.key with
+    | Some `Probation ->
+      (* promote; demote the protected tail if over capacity *)
+      probation.o_forget b;
+      protected_.o_insert b;
+      Ktbl.replace where b.Block.key `Protected;
+      if protected_.o_count () > protected_capacity then begin
+        match protected_.o_victim () with
+        | Some demoted ->
+          probation.o_insert demoted;
+          Ktbl.replace where demoted.Block.key `Probation
+        | None -> ()
+      end
+    | Some `Protected -> protected_.o_access b
+    | None -> ()
+  in
+  let forget b =
+    match Ktbl.find_opt where b.Block.key with
+    | Some `Probation ->
+      probation.o_forget b;
+      Ktbl.remove where b.Block.key
+    | Some `Protected ->
+      protected_.o_forget b;
+      Ktbl.remove where b.Block.key
+    | None -> ()
+  in
+  let victim () =
+    let take seg =
+      match seg.o_victim () with
+      | Some b ->
+        Ktbl.remove where b.Block.key;
+        Some b
+      | None -> None
+    in
+    match take probation with Some b -> Some b | None -> take protected_
+  in
+  {
+    o_name = "slru";
+    o_insert = insert;
+    o_access = access;
+    o_forget = forget;
+    o_victim = victim;
+    o_count = (fun () -> probation.o_count () + protected_.o_count ());
+  }
+
+let lru_k ~k =
+  if k < 1 then invalid_arg "Replacement.lru_k: k < 1";
+  let pool = Pool.create () in
+  let history : float list Ktbl.t = Ktbl.create 256 in
+  let note b =
+    let past =
+      match Ktbl.find_opt history b.Block.key with Some h -> h | None -> []
+    in
+    let h =
+      b.Block.last_access
+      :: (if List.length past >= k then List.filteri (fun i _ -> i < k - 1) past
+          else past)
+    in
+    Ktbl.replace history b.Block.key h
+  in
+  let kth_age b =
+    match Ktbl.find_opt history b.Block.key with
+    | Some h when List.length h >= k -> List.nth h (k - 1)
+    | Some _ | None -> neg_infinity (* young history: preferred victim *)
+  in
+  let victim () =
+    match Pool.min_by pool kth_age with
+    | Some b ->
+      Pool.remove pool b;
+      Ktbl.remove history b.Block.key;
+      Some b
+    | None -> None
+  in
+  {
+    o_name = Printf.sprintf "lru-%d" k;
+    o_insert =
+      (fun b ->
+        Pool.add pool b;
+        note b);
+    o_access = note;
+    o_forget =
+      (fun b ->
+        Pool.remove pool b;
+        Ktbl.remove history b.Block.key);
+    o_victim = victim;
+    o_count = (fun () -> pool.Pool.len);
+  }
+
+let known_policies = [ "lru"; "random"; "lfu"; "slru"; "lru-2" ]
+
+let by_name ?(seed = 17) ?(capacity = 1024) = function
+  | "lru" -> lru ()
+  | "random" -> random ~seed
+  | "lfu" -> lfu ()
+  | "slru" -> slru ~protected_capacity:(Stdlib.max 1 (capacity / 2))
+  | "lru-2" -> lru_k ~k:2
+  | s -> invalid_arg ("Replacement.by_name: unknown policy " ^ s)

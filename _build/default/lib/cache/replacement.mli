@@ -1,0 +1,55 @@
+(** Clean-block replacement policies.
+
+    "Different cache administration policies are easily implemented by
+    re-implementing the replacement methods of the base-class … (e.g. RR,
+    LFU, SLRU, LRU-K or adaptive)". A policy tracks the cache's {e clean}
+    blocks only — dirty blocks are never replaced, they must be flushed
+    first — and elects eviction victims. Pinned blocks are skipped.
+
+    All policies are deterministic given their inputs ([random] draws
+    from an explicit seed), so simulation runs replay exactly. *)
+
+type t
+
+val name : t -> string
+
+(** The block just joined the clean set. *)
+val insert : t -> Block.t -> unit
+
+(** A clean block was accessed (hit). *)
+val access : t -> Block.t -> unit
+
+(** The block left the clean set (dirtied, invalidated or evicted by the
+    cache itself). No-op if the policy does not know it. *)
+val forget : t -> Block.t -> unit
+
+(** Remove and return the policy's eviction victim: an evictable
+    (clean, unpinned) block, or [None] if every tracked block is pinned. *)
+val victim : t -> Block.t option
+
+(** Tracked block count (diagnostics). *)
+val count : t -> int
+
+(** Least-recently-used, the paper's base policy. *)
+val lru : unit -> t
+
+(** Uniform random replacement ("RR"). *)
+val random : seed:int -> t
+
+(** Least-frequently-used (whole-lifetime access counts). *)
+val lfu : unit -> t
+
+(** Segmented LRU: a probationary and a protected segment; a hit in
+    probation promotes, the protected segment is bounded by
+    [protected_capacity] blocks and overflows back into probation. *)
+val slru : protected_capacity:int -> t
+
+(** LRU-K (O'Neil et al.): evict the block whose [k]-th most recent
+    reference is oldest; blocks with fewer than [k] references are
+    preferred victims, oldest-first. *)
+val lru_k : k:int -> t
+
+(** Constructor by name: "lru", "random", "lfu", "slru", "lru-2". *)
+val by_name : ?seed:int -> ?capacity:int -> string -> t
+
+val known_policies : string list

@@ -1,0 +1,1 @@
+lib/ccache/cc_client.ml: Capfs_disk Cc_server Hashtbl List Queue Stdlib

@@ -1,0 +1,1 @@
+lib/ccache/cc_client.mli: Capfs_disk Cc_server

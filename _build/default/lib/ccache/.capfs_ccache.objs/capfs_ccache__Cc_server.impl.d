@@ -1,0 +1,1 @@
+lib/ccache/cc_server.ml: Capfs Capfs_disk Capfs_layout Capfs_stats Hashtbl List Netlink String

@@ -1,0 +1,1 @@
+lib/ccache/cc_server.mli: Capfs Capfs_disk Capfs_stats Netlink

@@ -1,0 +1,1 @@
+lib/ccache/netlink.ml: Capfs_sched Capfs_stats

@@ -1,0 +1,1 @@
+lib/ccache/netlink.mli: Capfs_sched Capfs_stats

@@ -1,0 +1,234 @@
+module Data = Capfs_disk.Data
+
+type centry = {
+  mutable data : Data.t;
+  mutable dirty : bool;
+  version : int;
+}
+
+type handle = {
+  ino : int;
+  mutable cacheable : bool;
+  mutable size : int;
+  version : int;
+}
+
+type t = {
+  server : Cc_server.t;
+  client_id : int;
+  cache_blocks : int;
+  blocks : (int * int, centry) Hashtbl.t; (* (ino, idx) -> entry *)
+  lru : (int * int) Queue.t; (* rough FIFO eviction order, clean only *)
+  handles : (string, handle) Hashtbl.t;
+  versions : (int, int) Hashtbl.t; (* newest version seen per ino *)
+  mutable hits : int;
+  mutable remote : int;
+}
+
+let block_bytes t = Cc_server.block_bytes t.server
+
+(* {2 Local cache plumbing} *)
+
+let drop_block t key =
+  if Hashtbl.mem t.blocks key then Hashtbl.remove t.blocks key
+
+let drop_file t ino =
+  let doomed =
+    Hashtbl.fold
+      (fun ((i, _) as key) _ acc -> if i = ino then key :: acc else acc)
+      t.blocks []
+  in
+  List.iter (drop_block t) doomed
+
+let flush_file_dirty t ino =
+  Hashtbl.iter
+    (fun (i, idx) e ->
+      if i = ino && e.dirty then begin
+        Cc_server.rpc_write_block t.server ~client_id:t.client_id ~ino idx
+          e.data;
+        e.dirty <- false
+      end)
+    (Hashtbl.copy t.blocks)
+
+let evict_one_clean t =
+  let rec go attempts =
+    if attempts = 0 then ()
+    else
+      match Queue.take_opt t.lru with
+      | None -> ()
+      | Some key -> (
+        match Hashtbl.find_opt t.blocks key with
+        | Some e when not e.dirty -> Hashtbl.remove t.blocks key
+        | Some _ ->
+          Queue.push key t.lru;
+          go (attempts - 1)
+        | None -> go attempts)
+  in
+  go (Queue.length t.lru)
+
+let insert t key entry =
+  while Hashtbl.length t.blocks >= t.cache_blocks do
+    let before = Hashtbl.length t.blocks in
+    evict_one_clean t;
+    if Hashtbl.length t.blocks = before then
+      (* everything dirty: push one file home to make room *)
+      match Hashtbl.fold (fun (i, _) e acc ->
+          if e.dirty then Some i else acc) t.blocks None with
+      | Some ino -> flush_file_dirty t ino
+      | None -> Hashtbl.reset t.blocks
+  done;
+  Hashtbl.replace t.blocks key entry;
+  Queue.push key t.lru
+
+(* {2 Server-driven callbacks} *)
+
+let recall t ~ino = flush_file_dirty t ino
+
+let disable t ~ino =
+  flush_file_dirty t ino;
+  drop_file t ino;
+  Hashtbl.iter
+    (fun _ h -> if h.ino = ino then h.cacheable <- false)
+    t.handles
+
+let attach server ~client_id ~cache_blocks =
+  let t =
+    {
+      server;
+      client_id;
+      cache_blocks;
+      blocks = Hashtbl.create 256;
+      lru = Queue.create ();
+      handles = Hashtbl.create 16;
+      versions = Hashtbl.create 64;
+      hits = 0;
+      remote = 0;
+    }
+  in
+  Cc_server.attach server ~client_id ~recall:(recall t) ~disable:(disable t);
+  t
+
+(* {2 The file interface} *)
+
+let open_ t path mode =
+  let grant = Cc_server.rpc_open t.server ~client_id:t.client_id path mode in
+  (* sequential write sharing: our cached copy may be stale *)
+  (match Hashtbl.find_opt t.versions grant.Cc_server.g_ino with
+  | Some v when v < grant.Cc_server.g_version -> drop_file t grant.Cc_server.g_ino
+  | Some _ | None -> ());
+  Hashtbl.replace t.versions grant.Cc_server.g_ino grant.Cc_server.g_version;
+  Hashtbl.replace t.handles path
+    {
+      ino = grant.Cc_server.g_ino;
+      cacheable = grant.Cc_server.g_cacheable;
+      size = grant.Cc_server.g_size;
+      version = grant.Cc_server.g_version;
+    }
+
+let handle t path =
+  match Hashtbl.find_opt t.handles path with
+  | Some h -> h
+  | None -> invalid_arg ("Cc_client: not open: " ^ path)
+
+let fetch_block t h idx =
+  t.remote <- t.remote + 1;
+  Cc_server.rpc_read_block t.server ~client_id:t.client_id ~ino:h.ino idx
+
+let read_block t h idx =
+  let key = (h.ino, idx) in
+  if not h.cacheable then fetch_block t h idx
+  else
+    match Hashtbl.find_opt t.blocks key with
+    | Some e ->
+      t.hits <- t.hits + 1;
+      e.data
+    | None ->
+      let data = fetch_block t h idx in
+      insert t key { data; dirty = false; version = h.version };
+      data
+
+let read t path ~offset ~bytes =
+  let h = handle t path in
+  let bb = block_bytes t in
+  let avail = Stdlib.max 0 (h.size - offset) in
+  let len = Stdlib.min bytes avail in
+  if len = 0 then Data.sim 0
+  else begin
+    let first = offset / bb and last = (offset + len - 1) / bb in
+    let parts =
+      List.init (last - first + 1) (fun k ->
+          let idx = first + k in
+          let block = read_block t h idx in
+          let lo = Stdlib.max offset (idx * bb) in
+          let hi = Stdlib.min (offset + len) ((idx + 1) * bb) in
+          Data.sub block ~pos:(lo - (idx * bb)) ~len:(hi - lo))
+    in
+    Data.concat parts
+  end
+
+let write_block_local t h idx data =
+  let key = (h.ino, idx) in
+  match Hashtbl.find_opt t.blocks key with
+  | Some e ->
+    e.data <- data;
+    e.dirty <- true
+  | None -> insert t key { data; dirty = true; version = h.version }
+
+let write t path ~offset data =
+  let h = handle t path in
+  let bb = block_bytes t in
+  let len = Data.length data in
+  if len > 0 then begin
+    let first = offset / bb and last = (offset + len - 1) / bb in
+    for idx = first to last do
+      let lo = Stdlib.max offset (idx * bb) in
+      let hi = Stdlib.min (offset + len) ((idx + 1) * bb) in
+      let slice = Data.sub data ~pos:(lo - offset) ~len:(hi - lo) in
+      if not h.cacheable then
+        (* write-through: concurrent write sharing *)
+        Cc_server.rpc_write_block t.server ~client_id:t.client_id ~ino:h.ino
+          idx slice
+      else begin
+        (* delayed write: merge into the local block *)
+        let at = lo - (idx * bb) in
+        let base =
+          match Hashtbl.find_opt t.blocks (h.ino, idx) with
+          | Some e -> e.data
+          | None ->
+            if at = 0 && hi - lo = bb then Data.sim bb
+            else if idx * bb < h.size then read_block t h idx
+            else Data.sim bb
+        in
+        let merged =
+          if Data.is_real base || Data.is_real slice then begin
+            let out = Data.real bb in
+            Data.blit ~src:base ~src_pos:0 ~dst:out ~dst_pos:0
+              ~len:(Stdlib.min bb (Data.length base));
+            Data.blit ~src:slice ~src_pos:0 ~dst:out ~dst_pos:at
+              ~len:(Data.length slice);
+            out
+          end
+          else Data.sim bb
+        in
+        write_block_local t h idx merged
+      end
+    done;
+    if offset + len > h.size then begin
+      h.size <- offset + len;
+      Cc_server.rpc_set_size t.server ~client_id:t.client_id ~ino:h.ino
+        (offset + len)
+    end
+  end
+
+let close_ t path =
+  let h = handle t path in
+  flush_file_dirty t h.ino;
+  Cc_server.rpc_close t.server ~client_id:t.client_id ~ino:h.ino;
+  Hashtbl.remove t.handles path
+
+let local_hits t = t.hits
+let remote_reads t = t.remote
+let cached_blocks t = Hashtbl.length t.blocks
+
+let dirty_blocks t =
+  Hashtbl.fold (fun _ e n -> if e.dirty then n + 1 else n) t.blocks 0

@@ -1,0 +1,36 @@
+(** The caching client (workstation) half of Sprite-style consistency.
+
+    Keeps a bounded block cache of file data fetched from the server,
+    tagged with the file version granted at open. Reads hit the local
+    cache when the server said the file is cacheable; writes are
+    buffered locally (delayed write-back) and pushed home on close — or
+    earlier, when the server recalls them because another client wants
+    the file. When the server disables caching (concurrent write
+    sharing), every operation goes through the wire. *)
+
+type t
+
+(** [attach server ~client_id ~cache_blocks] registers the workstation
+    with the server's consistency engine. *)
+val attach : Cc_server.t -> client_id:int -> cache_blocks:int -> t
+
+val open_ : t -> string -> Cc_server.open_mode -> unit
+
+(** [read t path ~offset ~bytes] — through the local cache when
+    allowed. The file must be open by this client. *)
+val read : t -> string -> offset:int -> bytes:int -> Capfs_disk.Data.t
+
+val write : t -> string -> offset:int -> Capfs_disk.Data.t -> unit
+
+(** Push dirty blocks home and release the descriptor. *)
+val close_ : t -> string -> unit
+
+(** {2 Introspection} *)
+
+val local_hits : t -> int
+val remote_reads : t -> int
+
+(** Blocks currently cached locally (clean + dirty). *)
+val cached_blocks : t -> int
+
+val dirty_blocks : t -> int

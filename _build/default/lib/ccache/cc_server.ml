@@ -1,0 +1,185 @@
+module Client = Capfs.Client
+module File = Capfs.File
+module File_table = Capfs.File_table
+module Inode = Capfs_layout.Inode
+module Data = Capfs_disk.Data
+module Stats = Capfs_stats
+
+type open_mode = Read | Write
+
+type open_grant = {
+  g_ino : int;
+  g_version : int;
+  g_cacheable : bool;
+  g_size : int;
+}
+
+type client_hooks = {
+  recall : ino:int -> unit;
+  disable : ino:int -> unit;
+}
+
+(* Per-file consistency state. *)
+type fstate = {
+  mutable version : int;
+  mutable readers : int list;  (* client ids with the file open read-only *)
+  mutable writers : int list;  (* client ids with the file open writing *)
+  mutable last_writer : int option;
+  mutable cacheable : bool;
+}
+
+type t = {
+  fs_client : Client.t;
+  net : Netlink.t;
+  clients : (int, client_hooks) Hashtbl.t;
+  files : (int, fstate) Hashtbl.t;
+  registry : Stats.Registry.t option;
+}
+
+let stat_names = [ "opens"; "recalls"; "disables"; "reads"; "writes" ]
+
+let create ?registry fs_client net =
+  (match registry with
+  | Some r ->
+    List.iter
+      (fun s -> Stats.Registry.register r (Stats.Stat.scalar ("ccsrv." ^ s)))
+      stat_names
+  | None -> ());
+  {
+    fs_client;
+    net;
+    clients = Hashtbl.create 16;
+    files = Hashtbl.create 256;
+    registry;
+  }
+
+let record t stat v =
+  match t.registry with
+  | Some r -> Stats.Registry.record r ("ccsrv." ^ stat) v
+  | None -> ()
+
+let block_bytes t =
+  (Client.fsys t.fs_client).Capfs.Fsys.config.Capfs.Fsys.block_bytes
+
+let attach t ~client_id ~recall ~disable =
+  Hashtbl.replace t.clients client_id { recall; disable }
+
+let fstate t ino =
+  match Hashtbl.find_opt t.files ino with
+  | Some st -> st
+  | None ->
+    let st =
+      { version = 1; readers = []; writers = []; last_writer = None;
+        cacheable = true }
+    in
+    Hashtbl.replace t.files ino st;
+    st
+
+let file_of t ino =
+  match File_table.get (Client.file_table t.fs_client) ino with
+  | Some f -> f
+  | None -> raise (Capfs.Namespace.Not_found_path (string_of_int ino))
+
+(* Ask the last writer to push its dirty blocks home before someone else
+   reads the file (the "recall" of Sprite's sequential write sharing). *)
+let recall_from_last_writer t st ~ino ~except =
+  match st.last_writer with
+  | Some w when w <> except -> (
+    match Hashtbl.find_opt t.clients w with
+    | Some hooks ->
+      record t "recalls" 1.;
+      hooks.recall ~ino
+    | None -> ())
+  | Some _ | None -> ()
+
+let disable_caching t st ~ino =
+  if st.cacheable then begin
+    st.cacheable <- false;
+    record t "disables" 1.;
+    let holders = st.readers @ st.writers in
+    Hashtbl.iter
+      (fun cid hooks -> if List.mem cid holders then hooks.disable ~ino)
+      t.clients
+  end
+
+let rpc_open t ~client_id path mode =
+  Netlink.transfer t.net ~bytes:(String.length path);
+  record t "opens" 1.;
+  (match mode with
+  | Read -> Client.open_ t.fs_client ~client:client_id path Client.RO
+  | Write -> Client.open_ t.fs_client ~client:client_id path Client.WO);
+  let st_info = Client.stat t.fs_client path in
+  let ino = st_info.Client.st_ino in
+  let st = fstate t ino in
+  (* someone else may hold dirty blocks for what we are about to read *)
+  recall_from_last_writer t st ~ino ~except:client_id;
+  (match mode with
+  | Read -> st.readers <- client_id :: st.readers
+  | Write ->
+    st.version <- st.version + 1;
+    st.writers <- client_id :: st.writers;
+    st.last_writer <- Some client_id);
+  (* concurrent write sharing: a writer plus any other holder *)
+  let holders =
+    List.length st.readers + List.length st.writers
+  in
+  if st.writers <> [] && holders > 1 then disable_caching t st ~ino;
+  Netlink.transfer t.net ~bytes:0;
+  {
+    g_ino = ino;
+    g_version = st.version;
+    g_cacheable = st.cacheable;
+    g_size = (Client.stat t.fs_client path).Client.st_size;
+  }
+
+let remove_one x xs =
+  let rec go = function
+    | [] -> []
+    | y :: rest -> if y = x then rest else y :: go rest
+  in
+  go xs
+
+let rpc_close t ~client_id ~ino =
+  Netlink.transfer t.net ~bytes:0;
+  (match Hashtbl.find_opt t.files ino with
+  | Some st ->
+    st.readers <- remove_one client_id st.readers;
+    st.writers <- remove_one client_id st.writers;
+    (* all sharers gone: caching may resume for future opens *)
+    if st.writers = [] && st.readers = [] then st.cacheable <- true
+  | None -> ());
+  Netlink.transfer t.net ~bytes:0
+
+let rpc_read_block t ~client_id ~ino idx =
+  let bb = block_bytes t in
+  Netlink.transfer t.net ~bytes:0;
+  record t "reads" 1.;
+  let st = fstate t ino in
+  recall_from_last_writer t st ~ino ~except:client_id;
+  let data = File.read (file_of t ino) ~offset:(idx * bb) ~bytes:bb in
+  Netlink.transfer t.net ~bytes:(Data.length data);
+  data
+
+let rpc_write_block t ~client_id ~ino idx data =
+  ignore client_id;
+  Netlink.transfer t.net ~bytes:(Data.length data);
+  record t "writes" 1.;
+  let bb = block_bytes t in
+  File.write (file_of t ino) ~offset:(idx * bb) data;
+  Netlink.transfer t.net ~bytes:0
+
+let rpc_set_size t ~client_id ~ino size =
+  ignore client_id;
+  Netlink.transfer t.net ~bytes:0;
+  let file = file_of t ino in
+  let inode = File.inode file in
+  if size > inode.Inode.size then begin
+    inode.Inode.size <- size;
+    (Client.fsys t.fs_client).Capfs.Fsys.layout.Capfs_layout.Layout.update_inode
+      inode
+  end
+  else if size < inode.Inode.size then File.truncate file ~size;
+  Netlink.transfer t.net ~bytes:0
+
+let uncacheable_files t =
+  Hashtbl.fold (fun _ st n -> if st.cacheable then n else n + 1) t.files 0

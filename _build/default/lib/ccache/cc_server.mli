@@ -1,0 +1,62 @@
+(** The server half of Sprite-style client caching (§3 future work).
+
+    "By using client caching we hope to reduce the amount of network
+    traffic and file latency" — with Sprite's consistency protocol
+    (Nelson, Welch & Ousterhout 1988):
+
+    - every write-open bumps the file's {e version}; a client whose
+      cached copy carries an older version invalidates it on open
+      (sequential write-sharing);
+    - when one client has a file open for writing while another opens
+      it, caching of that file is {e disabled} on every client and all
+      I/O goes through the server (concurrent write-sharing);
+    - dirty client blocks are recalled on demand when another client
+      opens the file before the writer closed it.
+
+    The server wraps the ordinary abstract client interface, so the same
+    PFS/Patsy stack sits underneath unchanged. *)
+
+type t
+
+type open_mode = Read | Write
+
+(** What the client must do with its cache after an open. *)
+type open_grant = {
+  g_ino : int;
+  g_version : int;   (** invalidate the cached copy if yours is older *)
+  g_cacheable : bool; (** false: concurrent write sharing, bypass cache *)
+  g_size : int;
+}
+
+val create :
+  ?registry:Capfs_stats.Registry.t -> Capfs.Client.t -> Netlink.t -> t
+
+val block_bytes : t -> int
+
+(** Attach a client: [recall] asks it to write back and drop its dirty
+    blocks of the file; [disable] tells it to stop caching the file.
+    Returns the client's server-side id (pass to the rpcs). *)
+val attach :
+  t ->
+  client_id:int ->
+  recall:(ino:int -> unit) ->
+  disable:(ino:int -> unit) ->
+  unit
+
+(** {2 RPC entry points} (each charges the network link) *)
+
+val rpc_open : t -> client_id:int -> string -> open_mode -> open_grant
+val rpc_close : t -> client_id:int -> ino:int -> unit
+
+(** [rpc_read_block t ~ino idx] — one file block. *)
+val rpc_read_block : t -> client_id:int -> ino:int -> int -> Capfs_disk.Data.t
+
+val rpc_write_block :
+  t -> client_id:int -> ino:int -> int -> Capfs_disk.Data.t -> unit
+
+(** [rpc_set_size] propagates a client-side size change (append). *)
+val rpc_set_size : t -> client_id:int -> ino:int -> int -> unit
+
+(** Number of files currently under the concurrent-write-sharing
+    (uncacheable) regime. *)
+val uncacheable_files : t -> int

@@ -1,0 +1,50 @@
+module Sched = Capfs_sched.Sched
+module Sync = Capfs_sched.Sync
+
+let header_bytes = 160
+
+type t = {
+  sched : Sched.t;
+  bandwidth : float;
+  latency : float;
+  medium : Sync.Mutex.t;
+  mutable carried : int;
+  registry : Capfs_stats.Registry.t option;
+  nname : string;
+}
+
+let create ?registry ?(name = "net") ~bandwidth_bytes_per_sec ~latency sched =
+  if bandwidth_bytes_per_sec <= 0. then invalid_arg "Netlink.create: bandwidth";
+  (match registry with
+  | Some r ->
+    Capfs_stats.Registry.register r
+      (Capfs_stats.Stat.scalar (name ^ ".transfer"))
+  | None -> ());
+  {
+    sched;
+    bandwidth = bandwidth_bytes_per_sec;
+    latency;
+    medium = Sync.Mutex.create ~name sched;
+    carried = 0;
+    registry;
+    nname = name;
+  }
+
+let ethernet_10 ?registry sched =
+  create ?registry ~name:"ether10"
+    ~bandwidth_bytes_per_sec:(10.0e6 /. 8.)
+    ~latency:0.5e-3 sched
+
+let transfer t ~bytes =
+  if bytes < 0 then invalid_arg "Netlink.transfer: negative size";
+  let wire = bytes + header_bytes in
+  Sync.Mutex.with_lock t.medium (fun () ->
+      let dt = t.latency +. (float_of_int wire /. t.bandwidth) in
+      Sched.sleep t.sched dt;
+      t.carried <- t.carried + bytes;
+      match t.registry with
+      | Some r ->
+        Capfs_stats.Registry.record r (t.nname ^ ".transfer") dt
+      | None -> ())
+
+let bytes_carried t = t.carried

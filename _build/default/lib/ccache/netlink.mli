@@ -1,0 +1,30 @@
+(** Simulated client/server network links.
+
+    PFS speaks NFS over a network; to "simulate client/server interaction
+    and client cache performance" (§3) the framework needs the wire too.
+    A link charges each message a fixed per-RPC latency plus payload
+    serialization time, and models half-duplex contention: concurrent
+    senders share the medium (10 Mbit/s Ethernet of the era by
+    default). *)
+
+type t
+
+(** [ethernet_10 sched] — 10 Mbit/s, 0.5 ms per-message latency: a
+    1990s departmental LAN. *)
+val ethernet_10 : ?registry:Capfs_stats.Registry.t -> Capfs_sched.Sched.t -> t
+
+val create :
+  ?registry:Capfs_stats.Registry.t ->
+  ?name:string ->
+  bandwidth_bytes_per_sec:float ->
+  latency:float ->
+  Capfs_sched.Sched.t ->
+  t
+
+(** [transfer t ~bytes] blocks the calling fibre for the message's time
+    on the (contended) medium. [bytes] excludes protocol overhead; a
+    fixed 160-byte header is added per message. *)
+val transfer : t -> bytes:int -> unit
+
+(** Total payload bytes carried so far (both directions). *)
+val bytes_carried : t -> int

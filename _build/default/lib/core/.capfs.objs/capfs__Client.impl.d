@@ -1,0 +1,1 @@
+lib/core/client.ml: Capfs_disk Capfs_layout Dir File File_table Fsys Hashtbl List Namespace Printf String

@@ -1,0 +1,1 @@
+lib/core/client.mli: Capfs_disk Capfs_layout Dir File_table Fsys Namespace

@@ -1,0 +1,1 @@
+lib/core/dir.ml: Capfs_disk Capfs_layout File List

@@ -1,0 +1,1 @@
+lib/core/dir.mli: Capfs_layout File

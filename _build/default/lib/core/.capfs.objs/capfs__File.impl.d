@@ -1,0 +1,1 @@
+lib/core/file.ml: Bytes Capfs_cache Capfs_disk Capfs_layout Capfs_sched Fsys List Printf Stdlib

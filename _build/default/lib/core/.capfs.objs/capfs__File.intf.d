@@ -1,0 +1,1 @@
+lib/core/file.mli: Capfs_disk Capfs_layout Fsys

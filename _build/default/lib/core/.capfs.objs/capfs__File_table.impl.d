@@ -1,0 +1,1 @@
+lib/core/file_table.ml: Capfs_cache Capfs_layout File Fsys Hashtbl

@@ -1,0 +1,1 @@
+lib/core/file_table.mli: Capfs_layout File Fsys

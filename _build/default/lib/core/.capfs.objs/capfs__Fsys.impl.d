@@ -1,0 +1,1 @@
+lib/core/fsys.ml: Capfs_cache Capfs_layout Capfs_sched Capfs_stats List

@@ -1,0 +1,1 @@
+lib/core/namespace.ml: Capfs_disk Capfs_layout Dir File File_table Fsys Hashtbl List String

@@ -1,0 +1,1 @@
+lib/core/namespace.mli: Capfs_layout Dir File_table Fsys

@@ -1,0 +1,254 @@
+module Inode = Capfs_layout.Inode
+module Data = Capfs_disk.Data
+
+exception Bad_handle of string
+
+type stat = {
+  st_ino : int;
+  st_kind : Inode.kind;
+  st_size : int;
+  st_nlink : int;
+  st_mtime : float;
+  st_atime : float;
+}
+
+type open_mode = RO | WO | RW
+
+type t = {
+  fs : Fsys.t;
+  ftable : File_table.t;
+  ns : Namespace.t;
+  (* (client, path) -> ino of the open descriptor *)
+  handles : (int * string, int) Hashtbl.t;
+}
+
+let create fs =
+  let ftable = File_table.create fs in
+  let ns = Namespace.create fs ftable in
+  { fs; ftable; ns; handles = Hashtbl.create 256 }
+
+let fsys t = t.fs
+let file_table t = t.ftable
+let namespace t = t.ns
+
+let file_of_ino t ino =
+  match File_table.get t.ftable ino with
+  | Some f -> f
+  | None -> raise (Namespace.Not_found_path (Printf.sprintf "ino %d" ino))
+
+let file_of_path t path = file_of_ino t (Namespace.resolve t.ns path)
+
+(* {2 Namespace operations} *)
+
+let mkdir t path =
+  let path = Namespace.normalize path in
+  let parent, name = Namespace.split_parent t.ns path in
+  let dir = File_table.create_file t.ftable ~kind:Inode.Directory in
+  let inode = File.inode dir in
+  inode.Inode.nlink <- 2;
+  t.fs.Fsys.layout.Capfs_layout.Layout.update_inode inode;
+  Namespace.add_entry t.ns ~parent ~name ~ino:(File.ino dir)
+    ~kind:Inode.Directory
+
+let create_file t ?(kind = Inode.Regular) path =
+  let path = Namespace.normalize path in
+  let parent, name = Namespace.split_parent t.ns path in
+  let file = File_table.create_file t.ftable ~kind in
+  Namespace.add_entry t.ns ~parent ~name ~ino:(File.ino file) ~kind
+
+let symlink t ~target path =
+  let path = Namespace.normalize path in
+  let parent, name = Namespace.split_parent t.ns path in
+  let link = File_table.create_file t.ftable ~kind:Inode.Symlink in
+  Namespace.add_entry t.ns ~parent ~name ~ino:(File.ino link)
+    ~kind:Inode.Symlink;
+  Namespace.set_symlink_target t.ns (File.ino link) target
+
+let readlink t path =
+  let path = Namespace.normalize path in
+  let parent, name = Namespace.split_parent t.ns path in
+  match Namespace.lookup t.ns ~dir:parent ~name with
+  | Some { Dir.kind = Inode.Symlink; entry_ino; _ } -> (
+    match Namespace.symlink_target t.ns entry_ino with
+    | Some target -> target
+    | None -> raise (Namespace.Not_found_path path))
+  | Some _ -> invalid_arg ("readlink: not a symlink: " ^ path)
+  | None -> raise (Namespace.Not_found_path path)
+
+let rmdir t path =
+  let path = Namespace.normalize path in
+  let parent, name = Namespace.split_parent t.ns path in
+  (match Namespace.lookup t.ns ~dir:parent ~name with
+  | Some { Dir.kind = Inode.Directory; entry_ino; _ } ->
+    if Namespace.entries t.ns entry_ino <> [] then
+      raise (Namespace.Not_empty path);
+    ignore (Namespace.remove_entry t.ns ~parent ~name);
+    File_table.unlink t.ftable entry_ino
+  | Some _ -> raise (Namespace.Not_a_directory path)
+  | None -> raise (Namespace.Not_found_path path))
+
+let delete t path =
+  let path = Namespace.normalize path in
+  let parent, name = Namespace.split_parent t.ns path in
+  match Namespace.lookup t.ns ~dir:parent ~name with
+  | Some { Dir.kind = Inode.Directory; _ } ->
+    raise (Namespace.Is_a_directory path)
+  | Some { Dir.entry_ino; _ } ->
+    ignore (Namespace.remove_entry t.ns ~parent ~name);
+    let inode_alive =
+      match File_table.get t.ftable entry_ino with
+      | Some f ->
+        let inode = File.inode f in
+        inode.Inode.nlink <- inode.Inode.nlink - 1;
+        inode.Inode.nlink > 0
+      | None -> false
+    in
+    if not inode_alive then File_table.unlink t.ftable entry_ino
+  | None -> raise (Namespace.Not_found_path path)
+
+let rename t ~src ~dst =
+  let src = Namespace.normalize src and dst = Namespace.normalize dst in
+  let sparent, sname = Namespace.split_parent t.ns src in
+  let dparent, dname = Namespace.split_parent t.ns dst in
+  let entry = Namespace.remove_entry t.ns ~parent:sparent ~name:sname in
+  (* replace an existing destination, as rename(2) does *)
+  (match Namespace.lookup t.ns ~dir:dparent ~name:dname with
+  | Some { Dir.entry_ino; kind; _ } ->
+    ignore (Namespace.remove_entry t.ns ~parent:dparent ~name:dname);
+    if kind <> Inode.Directory then File_table.unlink t.ftable entry_ino
+  | None -> ());
+  Namespace.add_entry t.ns ~parent:dparent ~name:dname
+    ~ino:entry.Dir.entry_ino ~kind:entry.Dir.kind
+
+let readdir t path =
+  let path = Namespace.normalize path in
+  let ino = Namespace.resolve t.ns path in
+  Namespace.entries t.ns ino
+
+let stat t path =
+  let path = Namespace.normalize path in
+  let file = file_of_path t path in
+  let inode = File.inode file in
+  {
+    st_ino = inode.Inode.ino;
+    st_kind = inode.Inode.kind;
+    st_size = inode.Inode.size;
+    st_nlink = inode.Inode.nlink;
+    st_mtime = inode.Inode.mtime;
+    st_atime = inode.Inode.atime;
+  }
+
+let exists t path = Namespace.resolve_opt t.ns (Namespace.normalize path) <> None
+
+let ensure_dirs t path =
+  let path = Namespace.normalize path in
+  let comps = String.split_on_char '/' path |> List.filter (fun c -> c <> "") in
+  match List.rev comps with
+  | [] -> ()
+  | _leaf :: rev_dirs ->
+    let dirs = List.rev rev_dirs in
+    ignore
+      (List.fold_left
+         (fun prefix d ->
+           let dir_path = prefix ^ "/" ^ d in
+           if not (exists t dir_path) then mkdir t dir_path;
+           dir_path)
+         "" dirs)
+
+let synthesize_file t ?(kind = Inode.Regular) path ~size =
+  let path = Namespace.normalize path in
+  ensure_dirs t path;
+  if not (exists t path) then create_file t ~kind path;
+  let file = file_of_path t path in
+  let inode = File.inode file in
+  if inode.Inode.size < size then begin
+    let bb = t.fs.Fsys.config.Fsys.block_bytes in
+    let blocks = (size + bb - 1) / bb in
+    t.fs.Fsys.layout.Capfs_layout.Layout.adopt inode ~blocks;
+    inode.Inode.size <- size;
+    t.fs.Fsys.layout.Capfs_layout.Layout.update_inode inode
+  end
+
+(* {2 File I/O} *)
+
+let open_ t ~client path mode =
+  let path = Namespace.normalize path in
+  let ino =
+    match Namespace.resolve_opt t.ns path with
+    | Some ino -> ino
+    | None -> (
+      match mode with
+      | RO -> raise (Namespace.Not_found_path path)
+      | WO | RW ->
+        create_file t path;
+        Namespace.resolve t.ns path)
+  in
+  let file = file_of_ino t ino in
+  if File.kind file = Inode.Directory then
+    raise (Namespace.Is_a_directory path);
+  let key = (client, path) in
+  if Hashtbl.mem t.handles key then
+    (* idempotent re-open: traces occasionally re-open without a close *)
+    ()
+  else begin
+    Hashtbl.replace t.handles key ino;
+    File.opened file
+  end
+
+let close_ t ~client path =
+  let path = Namespace.normalize path in
+  let key = (client, path) in
+  match Hashtbl.find_opt t.handles key with
+  | None -> raise (Bad_handle path)
+  | Some ino ->
+    Hashtbl.remove t.handles key;
+    (match File_table.get t.ftable ino with
+    | Some file ->
+      File.closed file;
+      File_table.maybe_reap t.ftable ino
+    | None -> ())
+
+(* An I/O against a path the client never opened: transient open. Real
+   traces miss open records now and then. *)
+let with_file t ~client path ~create_if_missing f =
+  let path = Namespace.normalize path in
+  let key = (client, path) in
+  match Hashtbl.find_opt t.handles key with
+  | Some ino -> f (file_of_ino t ino)
+  | None ->
+    (match Namespace.resolve_opt t.ns path with
+    | Some ino -> f (file_of_ino t ino)
+    | None ->
+      if create_if_missing then begin
+        create_file t path;
+        f (file_of_path t path)
+      end
+      else raise (Namespace.Not_found_path path))
+
+let read t ~client path ~offset ~bytes =
+  with_file t ~client path ~create_if_missing:false (fun file ->
+      File.read file ~offset ~bytes)
+
+let write t ~client path ~offset data =
+  with_file t ~client path ~create_if_missing:true (fun file ->
+      File.write file ~offset data)
+
+let truncate t path ~size =
+  let path = Namespace.normalize path in
+  File.truncate (file_of_path t path) ~size
+
+let fsync t path =
+  let path = Namespace.normalize path in
+  File.flush (file_of_path t path)
+
+let sync t = Fsys.sync t.fs
+
+let close_all t ~client =
+  let keys =
+    Hashtbl.fold
+      (fun (c, path) _ acc -> if c = client then path :: acc else acc)
+      t.handles []
+  in
+  List.iter (fun path -> close_ t ~client path) keys
+
+let open_handles t = Hashtbl.length t.handles

@@ -1,0 +1,98 @@
+(** The abstract client interface.
+
+    "The abstract client interface provides the basic file-system
+    interface. There are functions to open, close, read, write or delete
+    a file and there are functions to manipulate an hierarchical
+    name-space." Both front ends dispatch onto this module: the NFS
+    class in PFS and the trace-replay classes in Patsy.
+
+    Operations identify files by path; [open_]/[close_] maintain a
+    per-(client, path) descriptor so traces replay naturally. Reads and
+    writes against a path that is not open perform an implicit transient
+    open — real traces occasionally miss the open record.
+
+    Errors surface as the {!Namespace} exceptions plus {!Bad_handle}. *)
+
+exception Bad_handle of string
+
+type t
+
+type stat = {
+  st_ino : int;
+  st_kind : Capfs_layout.Inode.kind;
+  st_size : int;
+  st_nlink : int;
+  st_mtime : float;
+  st_atime : float;
+}
+
+type open_mode = RO | WO | RW
+
+val create : Fsys.t -> t
+val fsys : t -> Fsys.t
+
+(** Underlying components, for front ends that need them. *)
+val file_table : t -> File_table.t
+
+val namespace : t -> Namespace.t
+
+(** {2 Namespace operations} *)
+
+val mkdir : t -> string -> unit
+val rmdir : t -> string -> unit
+
+(** [create_file t ?kind path] creates an empty file (exclusive). *)
+val create_file : t -> ?kind:Capfs_layout.Inode.kind -> string -> unit
+
+val symlink : t -> target:string -> string -> unit
+val readlink : t -> string -> string
+val rename : t -> src:string -> dst:string -> unit
+
+(** Unlink. Open files live on until their last close. *)
+val delete : t -> string -> unit
+
+val readdir : t -> string -> Dir.entry list
+val stat : t -> string -> stat
+val exists : t -> string -> bool
+
+(** [ensure_dirs t path] creates every missing directory on the way to
+    [path]'s parent (mkdir -p for the dirname). *)
+val ensure_dirs : t -> string -> unit
+
+(** Simulator aid ("we synthesize those parameters that are missing,
+    e.g. … the initial layout of the file-system"): make sure [path]
+    exists with at least [size] bytes whose blocks are already "on
+    disk" — adopted by the layout at no simulated cost, so subsequent
+    reads pay real disk time. Creates missing parents. *)
+val synthesize_file :
+  t -> ?kind:Capfs_layout.Inode.kind -> string -> size:int -> unit
+
+(** {2 File I/O} *)
+
+(** [open_ t ~client path mode] opens (creating on [WO]/[RW] if
+    absent). *)
+val open_ : t -> client:int -> string -> open_mode -> unit
+
+val close_ : t -> client:int -> string -> unit
+
+(** [read t ~client path ~offset ~bytes] returns the data read (short
+    at EOF). *)
+val read :
+  t -> client:int -> string -> offset:int -> bytes:int -> Capfs_disk.Data.t
+
+val write :
+  t -> client:int -> string -> offset:int -> Capfs_disk.Data.t -> unit
+
+val truncate : t -> string -> size:int -> unit
+
+(** fsync: the file's dirty blocks reach stable storage. *)
+val fsync : t -> string -> unit
+
+(** Whole-system sync: cache write-back plus layout checkpoint. *)
+val sync : t -> unit
+
+(** Close every descriptor a client still holds (end-of-trace tidy-up). *)
+val close_all : t -> client:int -> unit
+
+(** Open-descriptor count (diagnostics). *)
+val open_handles : t -> int

@@ -1,0 +1,45 @@
+module Codec = Capfs_layout.Codec
+module Inode = Capfs_layout.Inode
+module Data = Capfs_disk.Data
+
+type entry = { name : string; entry_ino : int; kind : Inode.kind }
+
+let serialize entries =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "DIR1";
+  Codec.Writer.u32 w (List.length entries);
+  List.iter
+    (fun e ->
+      Codec.Writer.string w e.name;
+      Codec.Writer.u64 w e.entry_ino;
+      Codec.Writer.u8 w (Inode.kind_to_int e.kind))
+    entries;
+  Codec.Writer.contents w
+
+let deserialize s =
+  let r = Codec.Reader.of_string s in
+  let m = Codec.Reader.string r in
+  if m <> "DIR1" then raise (Codec.Corrupt "directory magic");
+  let n = Codec.Reader.u32 r in
+  List.init n (fun _ ->
+      let name = Codec.Reader.string r in
+      let entry_ino = Codec.Reader.u64 r in
+      let kind = Inode.kind_of_int (Codec.Reader.u8 r) in
+      { name; entry_ino; kind })
+
+let load file =
+  let size = File.size file in
+  if size = 0 then Some []
+  else begin
+    let data = File.read file ~offset:0 ~bytes:size in
+    if not (Data.is_real data) then None
+    else
+      match deserialize (Data.to_string data) with
+      | entries -> Some entries
+      | exception Codec.Corrupt _ -> None
+  end
+
+let store file entries =
+  let s = serialize entries in
+  File.truncate file ~size:0;
+  File.write file ~offset:0 (Data.of_string s)

@@ -1,0 +1,55 @@
+module Sched = Capfs_sched.Sched
+module Cache = Capfs_cache.Cache
+module Layout = Capfs_layout.Layout
+module Inode = Capfs_layout.Inode
+
+type config = { block_bytes : int; track_atime : bool; root_ino : int }
+
+let default_config = { block_bytes = 4096; track_atime = false; root_ino = 1 }
+
+type t = {
+  sched : Sched.t;
+  registry : Capfs_stats.Registry.t;
+  cache : Cache.t;
+  layout : Layout.t;
+  config : config;
+}
+
+let create ?registry ?(config = default_config) ?replacement ~cache_config
+    ~layout sched =
+  if layout.Layout.block_bytes <> config.block_bytes then
+    invalid_arg "Fsys.create: layout and config disagree on block size";
+  if cache_config.Cache.block_bytes <> config.block_bytes then
+    invalid_arg "Fsys.create: cache and config disagree on block size";
+  let registry =
+    match registry with Some r -> r | None -> Capfs_stats.Registry.create ()
+  in
+  let writeback batch =
+    layout.Layout.write_blocks
+      (List.map (fun ((ino, idx), data) -> (ino, idx, data)) batch)
+  in
+  let cache =
+    Cache.create ~registry ?replacement ~writeback sched cache_config
+  in
+  let t = { sched; registry; cache; layout; config } in
+  (* a fresh layout has no root directory yet *)
+  (match layout.Layout.get_inode config.root_ino with
+  | Some _ -> ()
+  | None ->
+    let root = layout.Layout.alloc_inode ~kind:Inode.Directory in
+    if root.Inode.ino <> config.root_ino then
+      invalid_arg "Fsys.create: layout did not assign the root inode number";
+    root.Inode.nlink <- 2;
+    layout.Layout.update_inode root);
+  t
+
+let now t = Sched.now t.sched
+
+let root t =
+  match t.layout.Layout.get_inode t.config.root_ino with
+  | Some inode -> inode
+  | None -> failwith "Fsys.root: root inode missing"
+
+let sync t =
+  Cache.sync t.cache;
+  t.layout.Layout.sync ()

@@ -1,0 +1,1 @@
+lib/disk/bus.ml: Capfs_sched Capfs_stats Stdlib

@@ -1,0 +1,1 @@
+lib/disk/bus.mli: Capfs_sched Capfs_stats

@@ -1,0 +1,1 @@
+lib/disk/disk_model.ml: Geometry Seek

@@ -1,0 +1,1 @@
+lib/disk/driver.ml: Bytes Capfs_sched Capfs_stats Data Disk_model Geometry Hashtbl Iorequest Iosched List Sim_disk

@@ -1,0 +1,1 @@
+lib/disk/driver.mli: Capfs_sched Capfs_stats Data Iorequest Iosched Sim_disk

@@ -1,0 +1,1 @@
+lib/disk/iorequest.ml: Capfs_sched Data Format

@@ -1,0 +1,1 @@
+lib/disk/iorequest.mli: Capfs_sched Data Format

@@ -1,0 +1,1 @@
+lib/disk/iosched.ml: Geometry Iorequest List Stdlib

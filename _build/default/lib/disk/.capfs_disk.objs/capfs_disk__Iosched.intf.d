@@ -1,0 +1,1 @@
+lib/disk/iosched.mli: Geometry Iorequest

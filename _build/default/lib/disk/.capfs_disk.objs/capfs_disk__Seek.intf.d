@@ -1,0 +1,1 @@
+lib/disk/seek.mli:

@@ -1,0 +1,1 @@
+lib/disk/sim_disk.ml: Bus Bytes Capfs_sched Capfs_stats Data Disk_model Float Geometry Hashtbl Iorequest List Printf Seek Stdlib

@@ -1,0 +1,1 @@
+lib/disk/sim_disk.mli: Bus Capfs_sched Capfs_stats Disk_model Iorequest

@@ -1,0 +1,59 @@
+module Sched = Capfs_sched.Sched
+module Sync = Capfs_sched.Sync
+
+type t = {
+  bname : string;
+  sched : Sched.t;
+  rate : float;
+  arbitration : float;
+  phase_overhead : float;
+  owner : Sync.Mutex.t;
+  mutable busy : float;
+  registry : Capfs_stats.Registry.t option;
+}
+
+let create ?registry ?(name = "bus") ~rate_bytes_per_sec ?(arbitration = 2.4e-6)
+    ?(phase_overhead = 1.0e-4) sched =
+  if rate_bytes_per_sec <= 0. then invalid_arg "Bus.create: rate <= 0";
+  (match registry with
+  | Some r ->
+    Capfs_stats.Registry.register r
+      (Capfs_stats.Stat.scalar (name ^ ".acquire_wait"))
+  | None -> ());
+  {
+    bname = name;
+    sched;
+    rate = rate_bytes_per_sec;
+    arbitration;
+    phase_overhead;
+    owner = Sync.Mutex.create ~name sched;
+    busy = 0.;
+    registry;
+  }
+
+let scsi2 ?registry ?(name = "scsi2") sched =
+  create ?registry ~name ~rate_bytes_per_sec:10.0e6 sched
+
+let name t = t.bname
+
+let transfer t ~bytes =
+  if bytes < 0 then invalid_arg "Bus.transfer: negative bytes";
+  let wait_start = Sched.now t.sched in
+  Sync.Mutex.lock t.owner;
+  (match t.registry with
+  | Some r ->
+    Capfs_stats.Registry.record r
+      (t.bname ^ ".acquire_wait")
+      (Sched.now t.sched -. wait_start)
+  | None -> ());
+  let hold =
+    t.arbitration +. t.phase_overhead +. (float_of_int bytes /. t.rate)
+  in
+  Sched.sleep t.sched hold;
+  t.busy <- t.busy +. hold;
+  Sync.Mutex.unlock t.owner
+
+let busy_seconds t = t.busy
+
+let utilization t ~elapsed =
+  if elapsed <= 0. then 0. else Stdlib.min 1. (t.busy /. elapsed)

@@ -1,0 +1,57 @@
+type t = Real of bytes | Sim of int
+
+let real n =
+  if n < 0 then invalid_arg "Data.real: negative length";
+  Real (Bytes.make n '\000')
+
+let sim n =
+  if n < 0 then invalid_arg "Data.sim: negative length";
+  Sim n
+
+let of_string s = Real (Bytes.of_string s)
+let length = function Real b -> Bytes.length b | Sim n -> n
+
+let check_range what t pos len =
+  if pos < 0 || len < 0 || pos + len > length t then
+    invalid_arg (Printf.sprintf "Data.%s: range [%d, %d) of %d" what pos
+                   (pos + len) (length t))
+
+let sub t ~pos ~len =
+  check_range "sub" t pos len;
+  match t with
+  | Real b -> Real (Bytes.sub b pos len)
+  | Sim _ -> Sim len
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  check_range "blit(src)" src src_pos len;
+  check_range "blit(dst)" dst dst_pos len;
+  match (src, dst) with
+  | Real s, Real d -> Bytes.blit s src_pos d dst_pos len
+  | Sim _, Real d -> Bytes.fill d dst_pos len '\000'
+  | (Real _ | Sim _), Sim _ -> ()
+
+let concat ts =
+  let total = List.fold_left (fun n t -> n + length t) 0 ts in
+  if List.for_all (function Real _ -> true | Sim _ -> false) ts then begin
+    let out = Bytes.create total in
+    let pos = ref 0 in
+    List.iter
+      (function
+        | Real b ->
+          Bytes.blit b 0 out !pos (Bytes.length b);
+          pos := !pos + Bytes.length b
+        | Sim _ -> assert false)
+      ts;
+    Real out
+  end
+  else Sim total
+
+let to_string = function
+  | Real b -> Bytes.to_string b
+  | Sim n -> String.make n '\000'
+
+let is_real = function Real _ -> true | Sim _ -> false
+
+let copy_seconds ~rate_bytes_per_sec len =
+  if rate_bytes_per_sec <= 0. then 0.
+  else float_of_int len /. rate_bytes_per_sec

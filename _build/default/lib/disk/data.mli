@@ -1,0 +1,49 @@
+(** Data payloads: real bytes or simulated placeholders.
+
+    "The difference between a simulated cache and a real cache is the lack
+    of a data pointer in the simulated case." A [Data.t] is either a real
+    byte buffer (PFS) or just a length (Patsy). All framework code moves
+    [Data.t] values around; only the PFS helper components ever look
+    inside. The simulator charges memory-copy time through
+    {!copy_seconds}, so moving fake data still costs simulated time. *)
+
+type t =
+  | Real of bytes
+  | Sim of int  (** length in bytes, no backing store *)
+
+(** [real n] is a zero-filled real buffer of [n] bytes. *)
+val real : int -> t
+
+(** [sim n] is a simulated payload of [n] bytes. *)
+val sim : int -> t
+
+(** [of_string s] is a real payload holding [s]. *)
+val of_string : string -> t
+
+(** Payload length in bytes. *)
+val length : t -> int
+
+(** [sub t ~pos ~len] extracts a slice. Simulated slices stay simulated.
+    Raises [Invalid_argument] on out-of-range. *)
+val sub : t -> pos:int -> len:int -> t
+
+(** [blit ~src ~src_pos ~dst ~dst_pos ~len] copies bytes when both sides
+    are real; when either side is simulated it only checks bounds (there
+    is nothing to move). Mixed copies into a [Real] destination from a
+    [Sim] source zero-fill the range, modelling reading from a fresh
+    simulated disk. *)
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+(** [concat ts] joins payloads; the result is [Real] iff all inputs are. *)
+val concat : t list -> t
+
+(** [to_string t] renders real bytes, or zeros for simulated data. *)
+val to_string : t -> string
+
+(** [is_real t]. *)
+val is_real : t -> bool
+
+(** [copy_seconds ~rate_bytes_per_sec len] is the simulated cost of a
+    [len]-byte memory copy; the simulator sleeps this long wherever a real
+    system would move data between buffers. *)
+val copy_seconds : rate_bytes_per_sec:float -> int -> float

@@ -1,0 +1,165 @@
+module Sched = Capfs_sched.Sched
+module Stats = Capfs_stats
+
+type transport = {
+  t_name : string;
+  sector_bytes : int;
+  total_sectors : int;
+  execute : queue_empty:(unit -> bool) -> Iorequest.t -> unit;
+  current_cylinder : unit -> int;
+}
+
+let sim_transport disk =
+  let model = Sim_disk.model disk in
+  {
+    t_name = Sim_disk.name disk;
+    sector_bytes = model.Disk_model.geometry.Geometry.sector_bytes;
+    total_sectors = Sim_disk.capacity_sectors disk;
+    execute = (fun ~queue_empty req -> Sim_disk.execute disk ~queue_empty req);
+    current_cylinder = (fun () -> Sim_disk.current_cylinder disk);
+  }
+
+let mem_transport ?(latency = 0.) ~sector_bytes ~total_sectors sched () =
+  if sector_bytes < 1 || total_sectors < 1 then
+    invalid_arg "Driver.mem_transport: non-positive size";
+  let store = Hashtbl.create 4096 in
+  let execute ~queue_empty:_ (req : Iorequest.t) =
+    if Iorequest.last_lba req > total_sectors then
+      invalid_arg "mem_transport: request beyond capacity";
+    req.Iorequest.started_at <- Sched.now sched;
+    if latency > 0. then Sched.sleep sched latency;
+    (match req.Iorequest.op with
+    | Iorequest.Read ->
+      let out = Bytes.make (req.Iorequest.sectors * sector_bytes) '\000' in
+      for i = 0 to req.Iorequest.sectors - 1 do
+        match Hashtbl.find_opt store (req.Iorequest.lba + i) with
+        | Some b -> Bytes.blit b 0 out (i * sector_bytes) sector_bytes
+        | None -> ()
+      done;
+      req.Iorequest.data <- Some (Data.Real out)
+    | Iorequest.Write -> (
+      match req.Iorequest.data with
+      | Some d ->
+        let nsec = Data.length d / sector_bytes in
+        for i = 0 to nsec - 1 do
+          match Data.sub d ~pos:(i * sector_bytes) ~len:sector_bytes with
+          | Data.Real b -> Hashtbl.replace store (req.Iorequest.lba + i) b
+          | Data.Sim _ -> Hashtbl.remove store (req.Iorequest.lba + i)
+        done
+      | None -> ()));
+    Iorequest.complete sched req
+  in
+  {
+    t_name = "memdisk";
+    sector_bytes;
+    total_sectors;
+    execute;
+    current_cylinder = (fun () -> 0);
+  }
+
+type t = {
+  drv_name : string;
+  sched : Sched.t;
+  transport : transport;
+  policy : Iosched.t;
+  work : Sched.event;
+  mutable in_service : bool;
+  mutable idle_ev : Sched.event;
+  registry : Stats.Registry.t option;
+}
+
+let record t stat v =
+  match t.registry with
+  | Some r -> Stats.Registry.record r (t.drv_name ^ "." ^ stat) v
+  | None -> ()
+
+let service_loop t () =
+  while true do
+    match
+      Iosched.next t.policy ~current_cyl:(t.transport.current_cylinder ())
+    with
+    | None ->
+      t.in_service <- false;
+      Sched.broadcast t.sched t.idle_ev;
+      Sched.await t.sched t.work
+    | Some req ->
+      t.in_service <- true;
+      let queue_empty () = Iosched.length t.policy = 0 in
+      t.transport.execute ~queue_empty req;
+      (* Defensive: transports complete requests themselves, but an early
+         immediate-report path must not leave the request dangling. *)
+      Iorequest.complete t.sched req;
+      record t "wait" (Iorequest.wait_time req);
+      record t "response" (Iorequest.response_time req)
+  done
+
+let create ?registry ?(name = "driver") ?policy sched transport =
+  let policy =
+    match policy with
+    | Some p -> p
+    | None ->
+      (* Flat 1-sector-per-cylinder geometry: C-LOOK then degrades to
+         sorting by sector number, which is the right default for
+         transports without real geometry. *)
+      Iosched.clook
+        (Geometry.v ~cylinders:transport.total_sectors ~heads:1
+           ~sectors_per_track:1 ~sector_bytes:transport.sector_bytes ())
+  in
+  (match registry with
+  | Some r ->
+    List.iter
+      (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
+      [ "wait"; "response" ];
+    (* the paper's "histograms of disk queue sizes" plug-in *)
+    Stats.Registry.register r
+      (Stats.Stat.with_histogram (name ^ ".queue_len")
+         (Stats.Histogram.linear ~lo:0. ~hi:64. ~buckets:32))
+  | None -> ());
+  let t =
+    {
+      drv_name = name;
+      sched;
+      transport;
+      policy;
+      work = Sched.new_event ~name:(name ^ ".work") sched;
+      in_service = false;
+      idle_ev = Sched.new_event ~name:(name ^ ".idle") sched;
+      registry;
+    }
+  in
+  ignore (Sched.spawn sched ~name:(name ^ ".service") ~daemon:true (service_loop t));
+  t
+
+let name t = t.drv_name
+let sector_bytes t = t.transport.sector_bytes
+let total_sectors t = t.transport.total_sectors
+let queue_length t = Iosched.length t.policy
+
+let submit t req =
+  record t "queue_len" (float_of_int (Iosched.length t.policy));
+  Iosched.add t.policy req;
+  Sched.signal t.sched t.work
+
+let read t ~lba ~sectors =
+  let req = Iorequest.make t.sched Iorequest.Read ~lba ~sectors () in
+  submit t req;
+  Iorequest.await t.sched req;
+  match req.Iorequest.data with
+  | Some d -> d
+  | None -> Data.sim (sectors * t.transport.sector_bytes)
+
+let write t ?deadline ~lba data =
+  let len = Data.length data in
+  if len = 0 || len mod t.transport.sector_bytes <> 0 then
+    invalid_arg "Driver.write: payload not a whole number of sectors";
+  let sectors = len / t.transport.sector_bytes in
+  let req =
+    Iorequest.make t.sched Iorequest.Write ~lba ~sectors ?deadline ~data ()
+  in
+  submit t req;
+  Iorequest.await t.sched req
+
+let drain t =
+  while Iosched.length t.policy > 0 || t.in_service do
+    Sched.await t.sched t.idle_ev
+  done

@@ -1,0 +1,74 @@
+(** Disk drivers: a scheduled I/O queue in front of a transport.
+
+    "Disk-drivers implement one or more disk queues and send new
+    operations to disks whenever they are ready to service new requests."
+    The driver is the same component in both instantiations; only the
+    {!transport} behind it changes — the paper's "simulated disk-drivers
+    have exactly the same interface as a real disk-driver: the
+    differences are in the internal implementation".
+
+    A driver owns a queue-scheduling policy (default C-LOOK, as in the
+    paper) and a service fibre that executes one request at a time
+    through the transport. Statistics: [<name>.queue_len] (sampled at
+    every submit), [<name>.wait] (queueing delay), [<name>.response]
+    (end-to-end). *)
+
+(** What the driver drives. [execute] services one request to completion,
+    blocking the calling fibre for however long that takes, and must call
+    [Iorequest.complete] (the driver completes it defensively anyway).
+    [current_cylinder] feeds the queue policy. *)
+type transport = {
+  t_name : string;
+  sector_bytes : int;
+  total_sectors : int;
+  execute : queue_empty:(unit -> bool) -> Iorequest.t -> unit;
+  current_cylinder : unit -> int;
+}
+
+(** [sim_transport disk] drives a {!Sim_disk}. *)
+val sim_transport : Sim_disk.t -> transport
+
+(** [mem_transport ?latency ~sector_bytes ~total_sectors ()] is a RAM
+    disk holding real bytes, servicing every request in [latency]
+    (default 0) seconds — for unit tests and as a trivially fast device
+    baseline. *)
+val mem_transport :
+  ?latency:float ->
+  sector_bytes:int ->
+  total_sectors:int ->
+  Capfs_sched.Sched.t ->
+  unit ->
+  transport
+
+type t
+
+(** [create sched transport] starts the service fibre (a daemon).
+    [policy] defaults to C-LOOK over a flat geometry derived from the
+    transport when the transport has no geometry of its own. *)
+val create :
+  ?registry:Capfs_stats.Registry.t ->
+  ?name:string ->
+  ?policy:Iosched.t ->
+  Capfs_sched.Sched.t ->
+  transport ->
+  t
+
+val name : t -> string
+val sector_bytes : t -> int
+val total_sectors : t -> int
+
+(** Pending requests (excluding the one in service). *)
+val queue_length : t -> int
+
+(** Asynchronous submission; completion is signalled on the request. *)
+val submit : t -> Iorequest.t -> unit
+
+(** Blocking read of [sectors] sectors at [lba]. *)
+val read : t -> lba:int -> sectors:int -> Data.t
+
+(** Blocking write. The payload length must be a multiple of the sector
+    size; the sector count is derived from it. *)
+val write : t -> ?deadline:float -> lba:int -> Data.t -> unit
+
+(** Block until the queue is empty and the device idle. *)
+val drain : t -> unit

@@ -1,0 +1,59 @@
+type t = {
+  cylinders : int;
+  heads : int;
+  sectors_per_track : int;
+  sector_bytes : int;
+  track_skew : int;
+  cylinder_skew : int;
+}
+
+type pos = { cylinder : int; head : int; angle : int }
+
+let v ~cylinders ~heads ~sectors_per_track ~sector_bytes ?(track_skew = 0)
+    ?(cylinder_skew = 0) () =
+  if cylinders < 1 || heads < 1 || sectors_per_track < 1 || sector_bytes < 1
+  then invalid_arg "Geometry.v: non-positive dimension";
+  {
+    cylinders;
+    heads;
+    sectors_per_track;
+    sector_bytes;
+    track_skew = track_skew mod sectors_per_track;
+    cylinder_skew = cylinder_skew mod sectors_per_track;
+  }
+
+let capacity_sectors t = t.cylinders * t.heads * t.sectors_per_track
+let capacity_bytes t = capacity_sectors t * t.sector_bytes
+
+(* Total skew of a given track: every track boundary adds track_skew and
+   every cylinder boundary adds cylinder_skew on top. *)
+let skew_of t ~cylinder ~head =
+  let tracks = (cylinder * t.heads) + head in
+  ((tracks * t.track_skew) + (cylinder * t.cylinder_skew))
+  mod t.sectors_per_track
+
+let pos_of_lba t lba =
+  if lba < 0 || lba >= capacity_sectors t then
+    invalid_arg (Printf.sprintf "Geometry.pos_of_lba: %d out of range" lba);
+  let spt = t.sectors_per_track in
+  let track = lba / spt in
+  let offset = lba mod spt in
+  let cylinder = track / t.heads in
+  let head = track mod t.heads in
+  let angle = (offset + skew_of t ~cylinder ~head) mod spt in
+  { cylinder; head; angle }
+
+let lba_of_pos t { cylinder; head; angle } =
+  if
+    cylinder < 0 || cylinder >= t.cylinders || head < 0 || head >= t.heads
+    || angle < 0
+    || angle >= t.sectors_per_track
+  then invalid_arg "Geometry.lba_of_pos: position out of range";
+  let spt = t.sectors_per_track in
+  let offset = (angle - skew_of t ~cylinder ~head + spt) mod spt in
+  (((cylinder * t.heads) + head) * spt) + offset
+
+let cylinder_of_lba t lba =
+  if lba < 0 || lba >= capacity_sectors t then
+    invalid_arg "Geometry.cylinder_of_lba: out of range";
+  lba / (t.sectors_per_track * t.heads)

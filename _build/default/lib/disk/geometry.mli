@@ -1,0 +1,46 @@
+(** Disk geometry and logical-block mapping.
+
+    Maps logical block addresses (sector numbers as seen by the driver)
+    onto physical cylinder/head/sector positions, including track and
+    cylinder skew — the deliberate rotational offset between consecutive
+    tracks that gives the head-switch or seek time a chance to complete
+    without losing a revolution on sequential transfers. *)
+
+type t = {
+  cylinders : int;
+  heads : int;            (** data surfaces, i.e. tracks per cylinder *)
+  sectors_per_track : int;
+  sector_bytes : int;
+  track_skew : int;       (** sectors of offset between adjacent tracks *)
+  cylinder_skew : int;    (** extra offset across a cylinder boundary *)
+}
+
+(** Physical position of a sector. [angle] is the rotational slot of the
+    sector on its track, in [0, sectors_per_track). *)
+type pos = { cylinder : int; head : int; angle : int }
+
+val v :
+  cylinders:int ->
+  heads:int ->
+  sectors_per_track:int ->
+  sector_bytes:int ->
+  ?track_skew:int ->
+  ?cylinder_skew:int ->
+  unit ->
+  t
+
+(** Total addressable sectors. *)
+val capacity_sectors : t -> int
+
+(** Total bytes. *)
+val capacity_bytes : t -> int
+
+(** [pos_of_lba t lba] is the physical position of logical sector [lba].
+    Raises [Invalid_argument] when out of range. *)
+val pos_of_lba : t -> int -> pos
+
+(** [lba_of_pos t pos] inverts {!pos_of_lba}. *)
+val lba_of_pos : t -> pos -> int
+
+(** Cylinder of a logical sector (cheap; for queue schedulers). *)
+val cylinder_of_lba : t -> int -> int

@@ -1,0 +1,57 @@
+module Sched = Capfs_sched.Sched
+
+type op = Read | Write
+
+type t = {
+  id : int;
+  op : op;
+  lba : int;
+  sectors : int;
+  mutable data : Data.t option;
+  deadline : float option;
+  submitted_at : float;
+  mutable started_at : float;
+  mutable completed_at : float;
+  done_ev : Sched.event;
+  mutable completed : bool;
+}
+
+let next_id = ref 0
+
+let make sched op ~lba ~sectors ?deadline ?data () =
+  if sectors < 1 then invalid_arg "Iorequest.make: sectors < 1";
+  if lba < 0 then invalid_arg "Iorequest.make: negative lba";
+  incr next_id;
+  let now = Sched.now sched in
+  {
+    id = !next_id;
+    op;
+    lba;
+    sectors;
+    data;
+    deadline;
+    submitted_at = now;
+    started_at = now;
+    completed_at = now;
+    done_ev = Sched.new_event ~name:"iorequest.done" sched;
+    completed = false;
+  }
+
+let complete sched t =
+  if not t.completed then begin
+    t.completed <- true;
+    t.completed_at <- Sched.now sched;
+    Sched.broadcast sched t.done_ev
+  end
+
+let await sched t = if not t.completed then Sched.await sched t.done_ev
+
+let wait_time t = t.started_at -. t.submitted_at
+let service_time t = t.completed_at -. t.started_at
+let response_time t = t.completed_at -. t.submitted_at
+let last_lba t = t.lba + t.sectors
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %s lba=%d n=%d" t.id
+    (match t.op with Read -> "R" | Write -> "W")
+    t.lba t.sectors

@@ -1,0 +1,56 @@
+(** I/O request descriptors.
+
+    "Simulation disk drivers package disk operations in I/O-request data
+    structures [containing] all the relevant information for the disk
+    simulator … and timing information to measure the performance of the
+    I/O operation." The same structure carries real payloads in PFS. *)
+
+type op = Read | Write
+
+type t = {
+  id : int;                      (** unique per process, monotonically increasing *)
+  op : op;
+  lba : int;                     (** first sector *)
+  sectors : int;
+  mutable data : Data.t option;  (** write payload in; read result out *)
+  deadline : float option;       (** absolute time, for scan-EDF *)
+  submitted_at : float;
+  mutable started_at : float;    (** when the disk began servicing it *)
+  mutable completed_at : float;  (** when completion was reported to the host *)
+  done_ev : Capfs_sched.Sched.event;
+  mutable completed : bool;
+}
+
+(** [make sched op ~lba ~sectors] stamps the submission time from the
+    scheduler clock. Raises [Invalid_argument] on a non-positive sector
+    count or negative lba. *)
+val make :
+  Capfs_sched.Sched.t ->
+  op ->
+  lba:int ->
+  sectors:int ->
+  ?deadline:float ->
+  ?data:Data.t ->
+  unit ->
+  t
+
+(** Report completion to the host: stamps [completed_at], sets
+    [completed], wakes every waiter. Idempotent. *)
+val complete : Capfs_sched.Sched.t -> t -> unit
+
+(** Block until {!complete} has been called (returns at once if already). *)
+val await : Capfs_sched.Sched.t -> t -> unit
+
+(** Queueing delay: [started_at - submitted_at]. *)
+val wait_time : t -> float
+
+(** Service delay: [completed_at - started_at]. *)
+val service_time : t -> float
+
+(** End-to-end: [completed_at - submitted_at]. *)
+val response_time : t -> float
+
+(** Sector one past the end. *)
+val last_lba : t -> int
+
+val pp : Format.formatter -> t -> unit

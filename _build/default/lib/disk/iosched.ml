@@ -1,0 +1,121 @@
+type state = {
+  pname : string;
+  geometry : Geometry.t;
+  mutable queue : Iorequest.t list; (* submission order *)
+  mutable direction_up : bool;
+  elect : state -> current_cyl:int -> Iorequest.t option;
+}
+
+type t = state
+
+let name t = t.pname
+let add t r = t.queue <- t.queue @ [ r ]
+let length t = List.length t.queue
+let pending t = t.queue
+
+let remove t r =
+  t.queue <- List.filter (fun q -> q.Iorequest.id <> r.Iorequest.id) t.queue
+
+let next t ~current_cyl =
+  match t.elect t ~current_cyl with
+  | None -> None
+  | Some r ->
+    remove t r;
+    Some r
+
+let cyl t r = Geometry.cylinder_of_lba t.geometry r.Iorequest.lba
+
+(* Pick the minimum of [candidates] under [key]; submission order (list
+   order) breaks ties because [List.fold_left] keeps the earlier one on
+   equal keys. *)
+let min_by key = function
+  | [] -> None
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun best r -> if key r < key best then r else best)
+        first rest
+    in
+    Some best
+
+let elect_fcfs t ~current_cyl:_ =
+  match t.queue with [] -> None | r :: _ -> Some r
+
+let elect_sstf t ~current_cyl =
+  min_by (fun r -> abs (cyl t r - current_cyl)) t.queue
+
+(* LOOK/SCAN: nearest request in the travel direction; reverse when the
+   direction is exhausted. *)
+let elect_look t ~current_cyl =
+  if t.queue = [] then None
+  else begin
+    let ahead_up = List.filter (fun r -> cyl t r >= current_cyl) t.queue in
+    let ahead_down = List.filter (fun r -> cyl t r <= current_cyl) t.queue in
+    let pick_up () = min_by (fun r -> cyl t r - current_cyl) ahead_up in
+    let pick_down () = min_by (fun r -> current_cyl - cyl t r) ahead_down in
+    if t.direction_up then
+      match pick_up () with
+      | Some r -> Some r
+      | None ->
+        t.direction_up <- false;
+        pick_down ()
+    else
+      match pick_down () with
+      | Some r -> Some r
+      | None ->
+        t.direction_up <- true;
+        pick_up ()
+  end
+
+(* C-LOOK/C-SCAN: upward only; wrap to the lowest pending request. *)
+let elect_clook t ~current_cyl =
+  if t.queue = [] then None
+  else begin
+    let ahead = List.filter (fun r -> cyl t r >= current_cyl) t.queue in
+    match min_by (fun r -> cyl t r - current_cyl) ahead with
+    | Some r -> Some r
+    | None -> min_by (fun r -> cyl t r) t.queue
+  end
+
+(* scan-EDF: earliest deadline wins; equal deadlines (and the no-deadline
+   class) are served in C-LOOK order. *)
+let elect_scan_edf t ~current_cyl =
+  if t.queue = [] then None
+  else begin
+    let deadline r =
+      match r.Iorequest.deadline with Some d -> d | None -> infinity
+    in
+    let earliest =
+      List.fold_left (fun acc r -> Stdlib.min acc (deadline r)) infinity
+        t.queue
+    in
+    let batch = List.filter (fun r -> deadline r = earliest) t.queue in
+    let ahead = List.filter (fun r -> cyl t r >= current_cyl) batch in
+    match min_by (fun r -> cyl t r - current_cyl) ahead with
+    | Some r -> Some r
+    | None -> min_by (fun r -> cyl t r) batch
+  end
+
+let make pname geometry elect =
+  { pname; geometry; queue = []; direction_up = true; elect }
+
+let fcfs g = make "fcfs" g elect_fcfs
+let sstf g = make "sstf" g elect_sstf
+let look g = make "look" g elect_look
+let scan g = make "scan" g elect_look
+let clook g = make "clook" g elect_clook
+let cscan g = make "cscan" g elect_clook
+let scan_edf g = make "scan-edf" g elect_scan_edf
+
+let known_policies =
+  [ "fcfs"; "sstf"; "scan"; "look"; "cscan"; "clook"; "scan-edf" ]
+
+let by_name g = function
+  | "fcfs" -> fcfs g
+  | "sstf" -> sstf g
+  | "scan" -> scan g
+  | "look" -> look g
+  | "cscan" -> cscan g
+  | "clook" -> clook g
+  | "scan-edf" -> scan_edf g
+  | s -> invalid_arg ("Iosched.by_name: unknown policy " ^ s)

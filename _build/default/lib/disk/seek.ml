@@ -1,0 +1,37 @@
+type t =
+  | Constant of float
+  | Linear of { single : float; max : float; cylinders : int }
+  | Piecewise of { knee : int; a : float; b : float; c : float; d : float }
+
+let constant s =
+  if s < 0. then invalid_arg "Seek.constant: negative";
+  Constant s
+
+let linear ~single ~max ~cylinders =
+  if single < 0. || max < single || cylinders < 2 then
+    invalid_arg "Seek.linear: bad parameters";
+  Linear { single; max; cylinders }
+
+let piecewise ~knee ~a ~b ~c ~d = Piecewise { knee; a; b; c; d }
+
+let hp97560 =
+  piecewise ~knee:383 ~a:3.24e-3 ~b:0.400e-3 ~c:8.00e-3 ~d:0.008e-3
+
+let time t ~distance =
+  if distance < 0 then invalid_arg "Seek.time: negative distance";
+  if distance = 0 then 0.
+  else
+    match t with
+    | Constant s -> s
+    | Linear { single; max; cylinders } ->
+      (* distance ranges over 1 .. cylinders-1 (full stroke). *)
+      if cylinders = 2 then max
+      else begin
+        let frac =
+          float_of_int (distance - 1) /. float_of_int (cylinders - 2)
+        in
+        single +. ((max -. single) *. frac)
+      end
+    | Piecewise { knee; a; b; c; d } ->
+      let dist = float_of_int distance in
+      if distance < knee then a +. (b *. sqrt dist) else c +. (d *. dist)

@@ -1,0 +1,53 @@
+(** Simulated disk drive mechanics.
+
+    "A simulated disk component knows about heads, tracks, sectors,
+    rotational speed, controller overhead and it may implement disk cache
+    policies." This module executes one I/O request at a time with full
+    mechanical accounting:
+
+    - seek time from the model's seek curve, overlapped with head
+      switches;
+    - rotational delay derived from the platter's angular position, which
+      is a pure function of simulated time (the platter never stops);
+    - media transfer per track chunk, honouring track and cylinder skew;
+    - an on-disk segment cache serving sequential re-reads, grown by
+      read-ahead when the queue is idle;
+    - immediate-reported writes that complete to the host after the bus
+      transfer while the mechanical write continues.
+
+    Timing information is recorded in the request and in plug-in
+    statistics ([<name>.seek], [<name>.rotation], [<name>.transfer],
+    [<name>.service], [<name>.cache_hit]).
+
+    With [backing:true] the disk also stores real sector contents in
+    memory, so the same simulated mechanics can sit under a real
+    file-system instance ("the system itself does not know it is
+    communicating with a fake disk"). *)
+
+type t
+
+val create :
+  ?registry:Capfs_stats.Registry.t ->
+  ?name:string ->
+  ?backing:bool ->
+  Capfs_sched.Sched.t ->
+  Disk_model.t ->
+  Bus.t ->
+  t
+
+val name : t -> string
+val model : t -> Disk_model.t
+
+(** Number of addressable sectors. *)
+val capacity_sectors : t -> int
+
+(** [execute t ~queue_empty req] services [req] to completion, sleeping
+    for every mechanical and bus delay. [queue_empty] is consulted after
+    a read to decide whether to spend idle time on read-ahead. Calls
+    [Iorequest.complete] (possibly before the mechanical work finishes,
+    for immediate-reported writes). Intended to be called from a driver's
+    service fibre, one request at a time. *)
+val execute : t -> queue_empty:(unit -> bool) -> Iorequest.t -> unit
+
+(** Current head cylinder (for queue schedulers). *)
+val current_cylinder : t -> int

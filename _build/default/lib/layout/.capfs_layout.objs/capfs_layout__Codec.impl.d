@@ -1,0 +1,1 @@
+lib/layout/codec.ml: Buffer Bytes Char Int64 Printf String

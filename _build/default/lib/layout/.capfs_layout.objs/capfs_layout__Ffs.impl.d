@@ -1,0 +1,1 @@
+lib/layout/ffs.ml: Array Bytes Capfs_disk Capfs_sched Capfs_stats Char Codec Hashtbl Inode Layout List Logs Stdlib String

@@ -1,0 +1,1 @@
+lib/layout/ffs.mli: Capfs_disk Capfs_sched Capfs_stats Layout

@@ -1,0 +1,1 @@
+lib/layout/inode.ml: Array Codec Format List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/layout/jfs.ml: Bytes Capfs_disk Capfs_sched Capfs_stats Char Codec Hashtbl Inode Layout List Stdlib String

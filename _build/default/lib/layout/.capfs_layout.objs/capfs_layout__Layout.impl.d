@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Capfs_disk Inode List

@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Capfs_disk Inode

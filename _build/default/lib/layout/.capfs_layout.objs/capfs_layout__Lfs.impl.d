@@ -1,0 +1,1 @@
+lib/layout/lfs.ml: Array Bytes Capfs_disk Capfs_sched Capfs_stats Codec Hashtbl Inode Layout List Logs Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/layout/lfs.mli: Capfs_disk Capfs_sched Capfs_stats Layout

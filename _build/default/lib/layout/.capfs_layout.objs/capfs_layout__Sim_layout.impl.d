@@ -1,0 +1,1 @@
+lib/layout/sim_layout.ml: Capfs_disk Capfs_sched Capfs_stats Hashtbl Inode Layout List

@@ -1,0 +1,1 @@
+lib/layout/sim_layout.mli: Capfs_disk Capfs_sched Capfs_stats Layout

@@ -1,0 +1,48 @@
+(** Little-endian binary encoding helpers for on-disk structures.
+
+    Every persistent structure (superblock, checkpoint, inode, segment
+    summary) round-trips through these, so a PFS image written by one
+    process mounts in another. A writer appends into a growing buffer; a
+    reader walks a string with bounds checking and raises {!Corrupt} on
+    malformed input rather than crashing. *)
+
+exception Corrupt of string
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u32 : t -> int -> unit
+
+  (** 63-bit OCaml ints, stored as 8 bytes. *)
+  val u64 : t -> int -> unit
+
+  val f64 : t -> float -> unit
+
+  (** Length-prefixed string. *)
+  val string : t -> string -> unit
+
+  val bytes_raw : t -> bytes -> unit
+  val contents : t -> string
+  val length : t -> int
+end
+
+module Reader : sig
+  type t
+
+  (** [of_string s] starts reading at offset 0. *)
+  val of_string : string -> t
+
+  val u8 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int
+  val f64 : t -> float
+  val string : t -> string
+  val bytes_raw : t -> int -> bytes
+  val remaining : t -> int
+end
+
+(** [crc s] — a simple 32-bit checksum (Adler-32 flavour) used to verify
+    checkpoints and the superblock. *)
+val crc : string -> int

@@ -1,0 +1,48 @@
+(** An FFS-like update-in-place layout (McKusick et al. 1984), the
+    comparison baseline for the log-structured layout.
+
+    The disk is divided into cylinder groups, each holding a block
+    bitmap, an inode bitmap, an inode table and data blocks. Inodes are
+    spread across groups round-robin; a file's data blocks are allocated
+    first-fit inside its inode's group and spill into following groups
+    when it fills. Data is written in place, so a cache flush of blocks
+    scattered over many files produces the seek-heavy traffic pattern
+    log-structuring exists to avoid — exactly the contrast the
+    "logging versus clustering" benchmarks measure.
+
+    Metadata (bitmaps, inodes) is held in core, updated lazily and
+    persisted by [sync]; [mount] reads it back. *)
+
+type config = {
+  group_blocks : int;      (** blocks per cylinder group *)
+  inodes_per_group : int;  (** inode-table slots (one block each) *)
+}
+
+val default_config : config
+
+exception Disk_full
+
+val format :
+  ?config:config ->
+  Capfs_sched.Sched.t ->
+  Capfs_disk.Driver.t ->
+  block_bytes:int ->
+  unit
+
+val mount :
+  ?registry:Capfs_stats.Registry.t ->
+  ?name:string ->
+  Capfs_sched.Sched.t ->
+  Capfs_disk.Driver.t ->
+  Layout.t
+
+(** Format a fresh image and use it without re-reading metadata — works
+    on simulated disks without a backing store. *)
+val format_and_mount :
+  ?registry:Capfs_stats.Registry.t ->
+  ?name:string ->
+  ?config:config ->
+  Capfs_sched.Sched.t ->
+  Capfs_disk.Driver.t ->
+  block_bytes:int ->
+  Layout.t

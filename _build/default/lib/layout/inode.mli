@@ -1,0 +1,59 @@
+(** Inodes — the per-file metadata every storage layout persists.
+
+    The block map is a growable in-memory array of disk-block addresses
+    ({!addr_none} marks holes). Layouts serialize the first
+    {!ndirect} addresses inline and spill the remainder into indirect
+    blocks they allocate themselves. *)
+
+type kind = Regular | Directory | Symlink | Multimedia
+
+(** Address of a hole / unallocated block. *)
+val addr_none : int
+
+(** Direct addresses stored inline in the on-disk inode. *)
+val ndirect : int
+
+type t = {
+  ino : int;
+  mutable kind : kind;
+  mutable size : int;     (** bytes *)
+  mutable nlink : int;
+  mutable uid : int;
+  mutable atime : float;
+  mutable mtime : float;
+  mutable ctime : float;
+  mutable blocks : int array;  (** disk address per file block *)
+  mutable nblocks : int;       (** addresses in use *)
+}
+
+val make : ino:int -> kind:kind -> now:float -> t
+
+(** [get_addr t i] is the disk address of file block [i], or
+    [addr_none]. *)
+val get_addr : t -> int -> int
+
+(** [set_addr t i addr] grows the map as needed. *)
+val set_addr : t -> int -> int -> unit
+
+(** [truncate_blocks t ~blocks] drops addresses at index >= [blocks] and
+    returns the dropped (non-hole) addresses, for the layout to free. *)
+val truncate_blocks : t -> blocks:int -> int list
+
+(** Addresses currently mapped, as (file_block, disk_addr) pairs. *)
+val mapped : t -> (int * int) list
+
+val kind_to_int : kind -> int
+val kind_of_int : int -> kind
+
+(** Serialize everything except the spilled block map: the caller passes
+    the disk addresses of the indirect blocks it wrote. *)
+val serialize : t -> indirect:int list -> string
+
+(** Inverse of {!serialize}: returns the inode (with only direct
+    addresses present) and the indirect block addresses to fetch. *)
+val deserialize : string -> t * int list
+
+(** How many block addresses fit in one indirect block of [block_bytes]. *)
+val addrs_per_indirect : block_bytes:int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** A metadata-journaling, update-in-place storage layout — the third
+    concrete layout the paper names ("FFS, EFS, or journalling
+    file-systems") behind the same abstract interface.
+
+    Data blocks live in an update-in-place region allocated first-fit;
+    metadata (inodes with their full block maps, deletions, the
+    allocation frontier) is made durable by appending {e commit records}
+    to a dedicated journal region on every [sync]. When the journal
+    fills, it is compacted: a checkpoint record holding the complete
+    metadata state restarts it. [mount] replays the journal — the last
+    checkpoint plus every later commit — and rebuilds the allocation
+    bitmap by walking the live inodes, so a crash between commits loses
+    at most the uncommitted metadata, never the journal's.
+
+    Commit records are crc-guarded; a torn tail record is ignored, as in
+    real journaling file systems. *)
+
+type config = {
+  journal_blocks : int;  (** size of the journal region *)
+}
+
+val default_config : config
+
+exception Disk_full
+
+val format :
+  ?config:config ->
+  Capfs_sched.Sched.t ->
+  Capfs_disk.Driver.t ->
+  block_bytes:int ->
+  unit
+
+val mount :
+  ?registry:Capfs_stats.Registry.t ->
+  ?name:string ->
+  Capfs_sched.Sched.t ->
+  Capfs_disk.Driver.t ->
+  Layout.t
+
+(** Format + use without re-reading metadata (works on simulated disks
+    with no backing bytes). *)
+val format_and_mount :
+  ?registry:Capfs_stats.Registry.t ->
+  ?name:string ->
+  ?config:config ->
+  Capfs_sched.Sched.t ->
+  Capfs_disk.Driver.t ->
+  block_bytes:int ->
+  Layout.t

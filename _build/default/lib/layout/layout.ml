@@ -1,0 +1,20 @@
+type t = {
+  l_name : string;
+  block_bytes : int;
+  total_blocks : int;
+  alloc_inode : kind:Inode.kind -> Inode.t;
+  get_inode : int -> Inode.t option;
+  update_inode : Inode.t -> unit;
+  free_inode : int -> unit;
+  read_block : Inode.t -> int -> Capfs_disk.Data.t;
+  write_blocks : (int * int * Capfs_disk.Data.t) list -> unit;
+  truncate : Inode.t -> blocks:int -> unit;
+  adopt : Inode.t -> blocks:int -> unit;
+  sync : unit -> unit;
+  free_blocks : unit -> int;
+  layout_stats : unit -> (string * float) list;
+}
+
+let read_span t inode ~first ~count =
+  Capfs_disk.Data.concat
+    (List.init count (fun i -> t.read_block inode (first + i)))

@@ -1,0 +1,49 @@
+(** The abstract storage-layout interface.
+
+    "The base storage-layout class is only an interface: it does not
+    implement an algorithm. Specific layouts are implemented through
+    derived classes… for all layout and policy decisions, there exists a
+    virtual method." A [Layout.t] is that interface as a record of
+    closures; {!Lfs}, {!Ffs} and {!Sim_layout} instantiate it. The
+    file-system core is "consulted whenever something needs to be done
+    with a raw disk" exclusively through this record. *)
+
+type t = {
+  l_name : string;
+  block_bytes : int;
+  total_blocks : int;
+  (* inodes *)
+  alloc_inode : kind:Inode.kind -> Inode.t;
+      (** mint a fresh in-core inode with a unique number *)
+  get_inode : int -> Inode.t option;
+      (** fetch (loading from disk if necessary); [None] if free *)
+  update_inode : Inode.t -> unit;
+      (** schedule the inode's new state for persistence *)
+  free_inode : int -> unit;  (** release the number and its blocks *)
+  (* file blocks *)
+  read_block : Inode.t -> int -> Capfs_disk.Data.t;
+      (** blocking read of one file block (holes read as zeroes) *)
+  write_blocks : (int * int * Capfs_disk.Data.t) list -> unit;
+      (** write-back of [(ino, file_block, data)] from the cache;
+          blocking until on stable storage *)
+  truncate : Inode.t -> blocks:int -> unit;
+      (** release file blocks at index >= [blocks] *)
+  adopt : Inode.t -> blocks:int -> unit;
+      (** simulator aid: instantly assign on-disk addresses to the
+          file's first [blocks] blocks, as if they had been written long
+          ago — "if a file is accessed that is not yet known … it picks a
+          random location on disk. Once an initial location has been
+          chosen, the simulator sticks to those addresses." Costs no
+          simulated time; subsequent reads miss the cache and pay real
+          disk time. *)
+  sync : unit -> unit;  (** persist all metadata (checkpoint) *)
+  (* diagnostics *)
+  free_blocks : unit -> int;
+  layout_stats : unit -> (string * float) list;
+}
+
+(** [read_span t inode ~block_bytes ~first ~count] reads [count]
+    consecutive file blocks via [read_block] and concatenates them —
+    convenience for layouts and tests. *)
+val read_span :
+  t -> Inode.t -> first:int -> count:int -> Capfs_disk.Data.t

@@ -1,0 +1,110 @@
+module Sched = Capfs_sched.Sched
+module Data = Capfs_disk.Data
+module Driver = Capfs_disk.Driver
+
+let create ?registry ?(name = "simlayout") ?(seed = 1996) sched driver
+    ~block_bytes =
+  (match registry with
+  | Some r ->
+    Capfs_stats.Registry.register r
+      (Capfs_stats.Stat.scalar (name ^ ".guesses"))
+  | None -> ());
+  let prng = Capfs_stats.Prng.create ~seed in
+  let spb = block_bytes / Driver.sector_bytes driver in
+  if spb < 1 || block_bytes mod Driver.sector_bytes driver <> 0 then
+    invalid_arg "Sim_layout: block size must be a multiple of the sector size";
+  let total_blocks =
+    Driver.total_sectors driver * Driver.sector_bytes driver / block_bytes
+  in
+  let origins : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let inodes : (int, Inode.t) Hashtbl.t = Hashtbl.create 1024 in
+  let loaded : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let next_ino = ref 1 in
+  let guesses = ref 0 in
+  let origin_of ino =
+    match Hashtbl.find_opt origins ino with
+    | Some o -> o
+    | None ->
+      incr guesses;
+      (match registry with
+      | Some r -> Capfs_stats.Registry.record r (name ^ ".guesses") 1.
+      | None -> ());
+      let o = Capfs_stats.Prng.int prng total_blocks in
+      Hashtbl.replace origins ino o;
+      o
+  in
+  let addr_of ino blk = (origin_of ino + blk) mod total_blocks in
+  let charge_inode_load ino =
+    (* first touch of an unknown file costs one inode read *)
+    if not (Hashtbl.mem loaded ino) then begin
+      Hashtbl.replace loaded ino ();
+      let addr = (origin_of ino + total_blocks - 1) mod total_blocks in
+      ignore (Driver.read driver ~lba:(addr * spb) ~sectors:spb)
+    end
+  in
+  let alloc_inode ~kind =
+    let ino = !next_ino in
+    incr next_ino;
+    let inode = Inode.make ~ino ~kind ~now:(Sched.now sched) in
+    Hashtbl.replace inodes ino inode;
+    Hashtbl.replace loaded ino ();
+    inode
+  in
+  let get_inode ino =
+    match Hashtbl.find_opt inodes ino with
+    | Some i ->
+      charge_inode_load ino;
+      Some i
+    | None -> None
+  in
+  let update_inode (inode : Inode.t) =
+    Hashtbl.replace inodes inode.Inode.ino inode
+  in
+  let free_inode ino =
+    Hashtbl.remove inodes ino;
+    Hashtbl.remove origins ino;
+    Hashtbl.remove loaded ino
+  in
+  let read_block (inode : Inode.t) blk =
+    charge_inode_load inode.Inode.ino;
+    Driver.read driver ~lba:(addr_of inode.Inode.ino blk * spb) ~sectors:spb
+  in
+  let write_blocks updates =
+    List.iter
+      (fun (ino, blk, data) ->
+        let data =
+          if Data.length data = block_bytes then data else Data.sim block_bytes
+        in
+        Driver.write driver ~lba:(addr_of ino blk * spb) data)
+      updates
+  in
+  let truncate (inode : Inode.t) ~blocks =
+    ignore (Inode.truncate_blocks inode ~blocks)
+  in
+  let adopt (inode : Inode.t) ~blocks =
+    (* addresses are implicit (origin + index); just fix the origin *)
+    ignore (origin_of inode.Inode.ino);
+    if blocks > 0 then
+      Inode.set_addr inode (blocks - 1) (addr_of inode.Inode.ino (blocks - 1))
+  in
+  {
+    Layout.l_name = name;
+    block_bytes;
+    total_blocks;
+    alloc_inode;
+    get_inode;
+    update_inode;
+    free_inode;
+    read_block;
+    write_blocks;
+    truncate;
+    adopt;
+    sync = (fun () -> ());
+    free_blocks = (fun () -> total_blocks);
+    layout_stats =
+      (fun () ->
+        [
+          ("files_placed", float_of_int (Hashtbl.length origins));
+          ("guesses", float_of_int !guesses);
+        ]);
+  }

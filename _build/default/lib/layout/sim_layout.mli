@@ -1,0 +1,25 @@
+(** The simulator's storage layout: educated guesses.
+
+    "A storage-layout module can also be instantiated for a simulator. In
+    this case, all information that would have been read or written to
+    disk is simulated by making educated guesses. If … a file is accessed
+    that is not yet known by the storage-layout module, it picks a random
+    location on disk. Once an initial location has been chosen for a
+    file, the simulator sticks to those addresses."
+
+    Placement guess: each file gets a random extent origin; its blocks
+    map to consecutive addresses from that origin (wrapping), so
+    sequential scans look sequential while independent files are
+    scattered — the statistical behaviour of an aged update-in-place
+    file system. An optional inode address per file charges one metadata
+    read the first time a file is loaded. All metadata lives in memory;
+    [sync] is a no-op. *)
+
+val create :
+  ?registry:Capfs_stats.Registry.t ->
+  ?name:string ->
+  ?seed:int ->
+  Capfs_sched.Sched.t ->
+  Capfs_disk.Driver.t ->
+  block_bytes:int ->
+  Layout.t

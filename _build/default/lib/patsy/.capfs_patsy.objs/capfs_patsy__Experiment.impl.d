@@ -1,0 +1,1 @@
+lib/patsy/experiment.ml: Array Capfs Capfs_cache Capfs_disk Capfs_layout Capfs_sched Capfs_stats Multiplex Printf Replay

@@ -1,0 +1,1 @@
+lib/patsy/experiment.mli: Capfs Capfs_disk Capfs_layout Capfs_sched Capfs_stats Capfs_trace Replay

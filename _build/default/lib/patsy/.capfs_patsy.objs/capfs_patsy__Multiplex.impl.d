@@ -1,0 +1,1 @@
+lib/patsy/multiplex.ml: Array Capfs_layout List Printf

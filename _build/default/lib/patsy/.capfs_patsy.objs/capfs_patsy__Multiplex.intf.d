@@ -1,0 +1,1 @@
+lib/patsy/multiplex.mli: Capfs_layout

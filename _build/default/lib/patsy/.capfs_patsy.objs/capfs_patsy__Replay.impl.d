@@ -1,0 +1,1 @@
+lib/patsy/replay.ml: Array Capfs Capfs_disk Capfs_sched Capfs_stats Capfs_trace Hashtbl List Logs Option Printf Stdlib

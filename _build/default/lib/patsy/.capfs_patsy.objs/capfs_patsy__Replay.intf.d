@@ -1,0 +1,1 @@
+lib/patsy/replay.mli: Capfs Capfs_stats Capfs_trace

@@ -1,0 +1,1 @@
+lib/patsy/report.ml: Capfs_stats Experiment Format List Replay

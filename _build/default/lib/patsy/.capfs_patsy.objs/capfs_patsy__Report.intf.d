@@ -1,0 +1,1 @@
+lib/patsy/report.mli: Experiment Format Replay

@@ -1,0 +1,202 @@
+module Sched = Capfs_sched.Sched
+module Stats = Capfs_stats
+module Disk_model = Capfs_disk.Disk_model
+module Bus = Capfs_disk.Bus
+module Sim_disk = Capfs_disk.Sim_disk
+module Driver = Capfs_disk.Driver
+module Iosched = Capfs_disk.Iosched
+module Geometry = Capfs_disk.Geometry
+module Cache = Capfs_cache.Cache
+module Replacement = Capfs_cache.Replacement
+module Lfs = Capfs_layout.Lfs
+module Fsys = Capfs.Fsys
+module Client = Capfs.Client
+
+type policy = Write_delay | Ups | Nvram_whole | Nvram_partial
+
+let policy_name = function
+  | Write_delay -> "write-delay-30s"
+  | Ups -> "ups"
+  | Nvram_whole -> "nvram-whole-file"
+  | Nvram_partial -> "nvram-partial"
+
+let all_policies = [ Write_delay; Ups; Nvram_whole; Nvram_partial ]
+
+type config = {
+  policy : policy;
+  cache_mb : int;
+  nvram_mb : int;
+  ndisks : int;
+  nbuses : int;
+  disk_model : Disk_model.t;
+  iosched : string;
+  replacement : string;
+  mem_copy_rate : float;
+  seg_blocks : int;
+  cleaner : Lfs.cleaner_policy;
+  async_flush : bool;
+  seed : int;
+}
+
+let default policy =
+  {
+    policy;
+    cache_mb = 128;
+    nvram_mb = 4;
+    ndisks = 10;
+    nbuses = 3;
+    disk_model = Disk_model.hp97560;
+    iosched = "clook";
+    replacement = "lru";
+    (* a Sun-4/280-era memcpy: buffer copies are not free *)
+    mem_copy_rate = 20.0e6;
+    seg_blocks = 128;
+    cleaner = Lfs.Cost_benefit;
+    async_flush = true;
+    seed = 1996;
+  }
+
+type outcome = {
+  name : string;
+  config : config;
+  replay : Replay.result;
+  registry : Stats.Registry.t;
+  layout_stats : (string * float) list;
+  blocks_flushed : int;
+  writes_absorbed : int;
+  cache_hit_rate : float;
+}
+
+let block_bytes = 4096
+
+let cache_config_of cfg =
+  let capacity_blocks = cfg.cache_mb * 1024 * 1024 / block_bytes in
+  let nvram_blocks = cfg.nvram_mb * 1024 * 1024 / block_bytes in
+  match cfg.policy with
+  | Write_delay ->
+    {
+      Cache.block_bytes;
+      capacity_blocks;
+      nvram_blocks = 0;
+      trigger = Cache.Periodic { max_age = 30.; scan_interval = 5. };
+      scope = `Whole_file;
+      async_flush = cfg.async_flush;
+      mem_copy_rate = cfg.mem_copy_rate;
+    }
+  | Ups ->
+    {
+      Cache.block_bytes;
+      capacity_blocks;
+      nvram_blocks = 0;
+      trigger = Cache.Demand;
+      scope = `Whole_file;
+      async_flush = cfg.async_flush;
+      mem_copy_rate = cfg.mem_copy_rate;
+    }
+  | Nvram_whole ->
+    {
+      Cache.block_bytes;
+      capacity_blocks;
+      nvram_blocks;
+      trigger = Cache.Demand;
+      scope = `Whole_file;
+      async_flush = cfg.async_flush;
+      mem_copy_rate = cfg.mem_copy_rate;
+    }
+  | Nvram_partial ->
+    {
+      Cache.block_bytes;
+      capacity_blocks;
+      nvram_blocks;
+      trigger = Cache.Demand;
+      scope = `Single_block;
+      async_flush = cfg.async_flush;
+      mem_copy_rate = cfg.mem_copy_rate;
+    }
+
+let build_instance sched cfg =
+  if cfg.ndisks < 1 || cfg.nbuses < 1 then
+    invalid_arg "Experiment: need at least one disk and one bus";
+  let registry = Stats.Registry.create () in
+  let buses =
+    Array.init cfg.nbuses (fun b ->
+        Bus.scsi2 ~registry ~name:(Printf.sprintf "bus%d" b) sched)
+  in
+  let volumes =
+    Array.init cfg.ndisks (fun d ->
+        let disk =
+          Sim_disk.create ~registry
+            ~name:(Printf.sprintf "disk%d" d)
+            sched cfg.disk_model
+            buses.(d mod cfg.nbuses)
+        in
+        let geometry = cfg.disk_model.Disk_model.geometry in
+        let driver =
+          Driver.create ~registry
+            ~name:(Printf.sprintf "driver%d" d)
+            ~policy:(Iosched.by_name geometry cfg.iosched)
+            sched
+            (Driver.sim_transport disk)
+        in
+        let lfs_config =
+          {
+            Lfs.default_config with
+            Lfs.seg_blocks = cfg.seg_blocks;
+            cleaner = cfg.cleaner;
+            first_ino = d + 1;
+            ino_stride = cfg.ndisks;
+          }
+        in
+        Lfs.format_and_mount ~registry
+          ~name:(Printf.sprintf "lfs%d" d)
+          ~config:lfs_config sched driver ~block_bytes)
+  in
+  let layout = Multiplex.layout volumes in
+  let replacement =
+    Replacement.by_name ~seed:cfg.seed
+      ~capacity:(cfg.cache_mb * 1024 * 1024 / block_bytes)
+      cfg.replacement
+  in
+  let fs =
+    Fsys.create ~registry ~replacement ~cache_config:(cache_config_of cfg)
+      ~layout sched
+  in
+  (Client.create fs, registry)
+
+let stat_count registry name =
+  match Stats.Registry.find registry name with
+  | Some st -> Stats.Stat.count st
+  | None -> 0
+
+let run cfg ~trace =
+  let sched = Sched.create ~seed:cfg.seed ~clock:`Virtual () in
+  let out = ref None in
+  ignore
+    (Sched.spawn sched ~name:"experiment" (fun () ->
+         let client, registry = build_instance sched cfg in
+         let replay = Replay.run client trace in
+         (* drain outstanding writes so flush counters are complete *)
+         Client.sync client;
+         let fs = Client.fsys client in
+         let hits = stat_count registry "cache.hits" in
+         let misses = stat_count registry "cache.misses" in
+         let hit_rate =
+           if hits + misses = 0 then 0.
+           else float_of_int hits /. float_of_int (hits + misses)
+         in
+         out :=
+           Some
+             {
+               name = policy_name cfg.policy;
+               config = cfg;
+               replay;
+               registry;
+               layout_stats = fs.Fsys.layout.Capfs_layout.Layout.layout_stats ();
+               blocks_flushed = stat_count registry "cache.flushed_blocks";
+               writes_absorbed = stat_count registry "cache.absorbed_writes";
+               cache_hit_rate = hit_rate;
+             }));
+  Sched.run sched;
+  match !out with
+  | Some o -> o
+  | None -> failwith "Experiment.run: simulation produced no outcome"

@@ -1,0 +1,62 @@
+(** The write-saving policy experiments (§5.1 of the paper).
+
+    An experiment builds a complete Patsy instance — virtual-time
+    scheduler, [ndisks] simulated HP97560 drives spread over [nbuses]
+    SCSI-2 buses, one segmented-LFS volume per disk behind a shared
+    server cache — configures one of the four flush policies, replays a
+    trace, and returns the measured latency distribution.
+
+    Policies:
+    - {!Write_delay}: the Unix 30-second-update baseline;
+    - {!Ups}: write-saving — dirty data stays in (UPS-protected) RAM
+      until block allocation runs out of clean frames;
+    - {!Nvram_whole}: dirty data confined to a small NVRAM, whole-file
+      drains;
+    - {!Nvram_partial}: same NVRAM, single-block drains. *)
+
+type policy = Write_delay | Ups | Nvram_whole | Nvram_partial
+
+val policy_name : policy -> string
+val all_policies : policy list
+
+type config = {
+  policy : policy;
+  cache_mb : int;           (** server cache, MB (paper: 128) *)
+  nvram_mb : int;           (** NVRAM pool, MB (paper: 4) *)
+  ndisks : int;             (** simulated HP97560 drives *)
+  nbuses : int;             (** SCSI-2 buses the disks share *)
+  disk_model : Capfs_disk.Disk_model.t;
+  iosched : string;         (** disk-queue policy name (paper: clook) *)
+  replacement : string;     (** cache replacement policy name *)
+  mem_copy_rate : float;    (** simulated memcpy bytes/s (0 = free) *)
+  seg_blocks : int;         (** LFS segment size in blocks *)
+  cleaner : Capfs_layout.Lfs.cleaner_policy;
+  async_flush : bool;       (** §5.2 lesson; false for the ablation *)
+  seed : int;
+}
+
+(** Paper-shaped defaults for a policy (128 MB cache, 4 MB NVRAM, 10
+    disks on 3 buses, C-LOOK, LRU). *)
+val default : policy -> config
+
+type outcome = {
+  name : string;
+  config : config;
+  replay : Replay.result;
+  registry : Capfs_stats.Registry.t;
+  layout_stats : (string * float) list;
+  (* headline counters summed over the run *)
+  blocks_flushed : int;     (** cache blocks written to the log *)
+  writes_absorbed : int;    (** dirty blocks that died in memory *)
+  cache_hit_rate : float;
+}
+
+(** [run config ~trace] executes one experiment in its own virtual-time
+    scheduler and returns the measurements. *)
+val run : config -> trace:Capfs_trace.Record.t list -> outcome
+
+(** [build_instance sched config] assembles the simulator stack (for
+    callers that want to drive it themselves, e.g. the bin/patsy CLI and
+    the examples): returns the client interface and the registry. *)
+val build_instance :
+  Capfs_sched.Sched.t -> config -> Capfs.Client.t * Capfs_stats.Registry.t

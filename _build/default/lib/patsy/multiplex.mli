@@ -1,0 +1,17 @@
+(** Multi-volume layout router.
+
+    The traced Sprite server held "a total of 14 file-systems on the set
+    of [10] disks" behind one 128 MB cache. This module presents several
+    volume layouts (each typically an LFS on its own simulated disk) as
+    one {!Capfs_layout.Layout.t}, so a single server-wide cache and
+    namespace sit on top, while I/O spreads over the disks.
+
+    The volumes must have been created with disjoint inode spaces
+    ([Lfs.config.first_ino = v + 1], [ino_stride = nvolumes]); requests
+    route by [ino mod nvolumes]. New inodes go to volumes round-robin —
+    except directories, which follow their caller's choice of layout
+    only through this allocator, so a file's blocks always live on one
+    disk, like a real multi-volume server. *)
+
+val layout :
+  Capfs_layout.Layout.t array -> Capfs_layout.Layout.t

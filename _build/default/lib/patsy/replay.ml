@@ -1,0 +1,200 @@
+module Sched = Capfs_sched.Sched
+module Record = Capfs_trace.Record
+module Client = Capfs.Client
+module Data = Capfs_disk.Data
+module Stats = Capfs_stats
+
+let src = Logs.Src.create "capfs.replay" ~doc:"trace replay engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type result = {
+  operations : int;
+  errors : int;
+  elapsed : float;
+  latency : Stats.Sample_set.t;
+  latency_by_op : (string * Stats.Welford.t) list;
+  windows : Stats.Interval.t;
+}
+
+(* {2 Missing-parameter synthesis} *)
+
+let synthesize_times records =
+  let arr = Array.of_list records in
+  let times = Array.map (fun r -> r.Record.time) arr in
+  (* per (client, path): open time and pending untimed I/O indices *)
+  let sessions : (int * string, float * int list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iteri
+    (fun i r ->
+      let key = (r.Record.client, Record.path r) in
+      match r.Record.op with
+      | Record.Open _ when Record.has_time r ->
+        Hashtbl.replace sessions key (r.Record.time, [])
+      | (Record.Read _ | Record.Write _ | Record.Truncate _)
+        when not (Record.has_time r) -> (
+        match Hashtbl.find_opt sessions key with
+        | Some (t_open, pending) ->
+          Hashtbl.replace sessions key (t_open, i :: pending)
+        | None -> ())
+      | Record.Close _ when Record.has_time r -> (
+        match Hashtbl.find_opt sessions key with
+        | Some (t_open, pending) ->
+          let pending = List.rev pending in
+          let n = List.length pending in
+          List.iteri
+            (fun j idx ->
+              times.(idx) <-
+                t_open
+                +. ((r.Record.time -. t_open) *. float_of_int (j + 1)
+                    /. float_of_int (n + 1)))
+            pending;
+          Hashtbl.remove sessions key
+        | None -> ())
+      | _ -> ())
+    arr;
+  (* leftovers inherit the previous record's (possibly synthesized) time *)
+  let last = ref 0. in
+  Array.iteri
+    (fun i r ->
+      if times.(i) < 0. then times.(i) <- !last else last := times.(i);
+      ignore r)
+    arr;
+  Array.to_list (Array.mapi (fun i r -> { r with Record.time = times.(i) }) arr)
+
+(* {2 Dispatch} *)
+
+let mode_of = function
+  | Record.Read_only -> Client.RO
+  | Record.Write_only -> Client.WO
+  | Record.Read_write -> Client.RW
+
+let dispatch client (r : Record.t) =
+  let c = r.Record.client in
+  match r.Record.op with
+  | Record.Open { path; mode } -> Client.open_ client ~client:c path (mode_of mode)
+  | Record.Close { path } -> Client.close_ client ~client:c path
+  | Record.Read { path; offset; bytes } ->
+    ignore (Client.read client ~client:c path ~offset ~bytes)
+  | Record.Write { path; offset; bytes } ->
+    Client.write client ~client:c path ~offset (Data.sim bytes)
+  | Record.Stat { path } -> ignore (Client.stat client path)
+  | Record.Delete { path } -> Client.delete client path
+  | Record.Truncate { path; size } -> Client.truncate client path ~size
+  | Record.Mkdir { path } -> Client.mkdir client path
+  | Record.Rmdir { path } -> Client.rmdir client path
+
+(* {2 The replay proper} *)
+
+(* A reference to a file the trace assumes pre-exists: synthesize it
+   (with adopted, "already on disk" blocks) and retry the operation. *)
+let synthesized_size (r : Record.t) =
+  match r.Record.op with
+  | Record.Read { offset; bytes; _ } -> Stdlib.max 8192 (offset + bytes)
+  | Record.Truncate { size; _ } -> size
+  | _ -> 8192
+
+let dispatch_synthesizing client (r : Record.t) =
+  try dispatch client r
+  with Capfs.Namespace.Not_found_path _ -> (
+    match r.Record.op with
+    | Record.Open { path; _ }
+    | Record.Read { path; _ }
+    | Record.Stat { path }
+    | Record.Truncate { path; _ } ->
+      Client.synthesize_file client path ~size:(synthesized_size r);
+      dispatch client r
+    | Record.Write { path; _ } | Record.Mkdir { path } ->
+      (* missing parents *)
+      Client.ensure_dirs client path;
+      dispatch client r
+    | Record.Close _ | Record.Delete _ | Record.Rmdir _ ->
+      (* nothing sensible to synthesize *)
+      raise (Capfs.Namespace.Not_found_path (Record.path r)))
+
+let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
+    records =
+  if speedup <= 0. then invalid_arg "Replay.run: speedup <= 0";
+  let dispatch = if synthesize_missing then dispatch_synthesizing else dispatch in
+  let records = synthesize_times records in
+  let sched = (Client.fsys client).Capfs.Fsys.sched in
+  let latency = Stats.Sample_set.create ~cap:200_000 () in
+  let by_op : (string, Stats.Welford.t) Hashtbl.t = Hashtbl.create 16 in
+  let windows = Stats.Interval.create ~width:window () in
+  let operations = ref 0 and errors = ref 0 in
+  let t_first = ref infinity and t_last = ref 0. in
+  let base = Sched.now sched in
+  (* group records per client, preserving order *)
+  let per_client : (int, Record.t list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt per_client r.Record.client)
+      in
+      Hashtbl.replace per_client r.Record.client (r :: cur))
+    records;
+  let clients =
+    Hashtbl.fold (fun c rs acc -> (c, List.rev rs) :: acc) per_client []
+  in
+  let remaining = ref (List.length clients) in
+  let all_done = Sched.new_event ~name:"replay.done" sched in
+  let measure (r : Record.t) f =
+    let t0 = Sched.now sched in
+    (try f () with
+    | Capfs.Namespace.Not_found_path _ | Capfs.Namespace.Already_exists _
+    | Capfs.Namespace.Not_a_directory _ | Capfs.Namespace.Is_a_directory _
+    | Capfs.Namespace.Not_empty _ | Capfs.Namespace.Symlink_loop _
+    | Client.Bad_handle _ ->
+      incr errors);
+    let t1 = Sched.now sched in
+    incr operations;
+    let dt = t1 -. t0 in
+    Stats.Sample_set.add latency dt;
+    Stats.Interval.add windows ~time:(t1 -. base) dt;
+    t_first := Stdlib.min !t_first t0;
+    t_last := Stdlib.max !t_last t1;
+    let w =
+      match Hashtbl.find_opt by_op (Record.op_name r) with
+      | Some w -> w
+      | None ->
+        let w = Stats.Welford.create () in
+        Hashtbl.replace by_op (Record.op_name r) w;
+        w
+    in
+    Stats.Welford.add w dt
+  in
+  let client_fibre (cid, rs) () =
+    List.iter
+      (fun (r : Record.t) ->
+        let target = base +. (r.Record.time /. speedup) in
+        let now = Sched.now sched in
+        if target > now then Sched.sleep sched (target -. now);
+        measure r (fun () -> dispatch client r))
+      rs;
+    Client.close_all client ~client:cid;
+    decr remaining;
+    if !remaining = 0 then Sched.broadcast sched all_done
+  in
+  List.iter
+    (fun ((cid, _) as work) ->
+      ignore
+        (Sched.spawn sched
+           ~name:(Printf.sprintf "replay.c%d" cid)
+           (client_fibre work)))
+    clients;
+  if !remaining > 0 then Sched.await sched all_done;
+  Stats.Interval.flush windows;
+  Log.info (fun m ->
+      m "replay: %d ops, %d errors, %.1f simulated seconds" !operations
+        !errors (!t_last -. !t_first));
+  {
+    operations = !operations;
+    errors = !errors;
+    elapsed = (if !operations = 0 then 0. else !t_last -. !t_first);
+    latency;
+    latency_by_op =
+      Hashtbl.fold (fun k w acc -> (k, w) :: acc) by_op []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    windows;
+  }

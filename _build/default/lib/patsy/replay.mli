@@ -1,0 +1,48 @@
+(** Trace replay: drive the abstract client interface from a trace.
+
+    "Clients are modeled by separate threads of control… The threads read
+    a part of the trace file, group operations that obviously belong
+    together (such as an open, read, read, write, …, close sequence), and
+    call the abstract-client interface… Since all of the trace records
+    have timing information in them, the threads know how long they have
+    to delay themselves before they can dispatch the next operation.
+    When simulation information is missing (such as the actual time a
+    read or write operation took place), the client thread makes a guess
+    … the operations are positioned equidistant between the open and
+    close operation."
+
+    Latency of every dispatched operation is measured from its scheduled
+    dispatch time to completion, recorded per operation class and
+    overall, in 15-minute simulation windows and in a retained sample
+    set for cumulative-distribution plots. *)
+
+type result = {
+  operations : int;
+  errors : int;         (** operations refused (ENOENT etc.) *)
+  elapsed : float;      (** simulated seconds from first to last op *)
+  latency : Capfs_stats.Sample_set.t;   (** per-operation latency *)
+  latency_by_op : (string * Capfs_stats.Welford.t) list;
+  windows : Capfs_stats.Interval.t;     (** 15-minute interval summaries *)
+}
+
+(** [synthesize_times records] fills in missing read/write times
+    equidistantly between the enclosing open and close of the same
+    (client, path) session; other untimed records inherit the previous
+    record's time. Input order is preserved. *)
+val synthesize_times : Capfs_trace.Record.t list -> Capfs_trace.Record.t list
+
+(** [run client records] spawns one fibre per trace client, replays to
+    completion (all fibres joined), then closes leftover descriptors.
+    [speedup] divides every inter-operation delay (default 1.0 = trace
+    time); [window] is the report interval (default 900 s). When
+    [synthesize_missing] is true (default), a reference to a file the
+    trace assumes pre-exists creates it on the fly with adopted
+    ("already on disk") blocks — the paper's synthesis of the initial
+    file-system layout. *)
+val run :
+  ?speedup:float ->
+  ?window:float ->
+  ?synthesize_missing:bool ->
+  Capfs.Client.t ->
+  Capfs_trace.Record.t list ->
+  result

@@ -1,0 +1,1 @@
+lib/pfs/file_blockdev.ml: Bytes Capfs_disk Capfs_sched Hashtbl Unix

@@ -1,0 +1,1 @@
+lib/pfs/file_blockdev.mli: Capfs_disk Capfs_sched

@@ -1,0 +1,1 @@
+lib/pfs/nfs.ml: Capfs Capfs_disk Capfs_layout Capfs_sched Format List Printf

@@ -1,0 +1,1 @@
+lib/pfs/nfs.mli: Capfs Capfs_disk Capfs_layout Format

@@ -1,0 +1,1 @@
+lib/pfs/pfs.ml: Capfs Capfs_cache Capfs_disk Capfs_layout Capfs_sched File_blockdev Logs Nfs

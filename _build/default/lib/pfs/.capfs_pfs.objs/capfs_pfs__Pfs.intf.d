@@ -1,0 +1,1 @@
+lib/pfs/pfs.mli: Capfs Capfs_cache Capfs_sched Capfs_stats Nfs

@@ -1,0 +1,75 @@
+module Sched = Capfs_sched.Sched
+module Driver = Capfs_disk.Driver
+module Iorequest = Capfs_disk.Iorequest
+module Data = Capfs_disk.Data
+
+(* transports we created, so [close] can find the fd *)
+let fds : (string, Unix.file_descr) Hashtbl.t = Hashtbl.create 4
+
+let transport ?(sector_bytes = 512) sched ~path ~size_bytes () =
+  if size_bytes < sector_bytes then
+    invalid_arg "File_blockdev.transport: size smaller than one sector";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let current = (Unix.fstat fd).Unix.st_size in
+  if current < size_bytes then begin
+    ignore (Unix.lseek fd (size_bytes - 1) Unix.SEEK_SET);
+    ignore (Unix.write fd (Bytes.make 1 '\000') 0 1)
+  end;
+  let total_sectors = size_bytes / sector_bytes in
+  let pread ~off ~len =
+    let buf = Bytes.make len '\000' in
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let rec fill pos =
+      if pos < len then begin
+        let n = Unix.read fd buf pos (len - pos) in
+        if n = 0 then () (* sparse tail reads as zeroes *)
+        else fill (pos + n)
+      end
+    in
+    fill 0;
+    buf
+  in
+  let pwrite ~off b =
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let len = Bytes.length b in
+    let rec drain pos =
+      if pos < len then begin
+        let n = Unix.write fd b pos (len - pos) in
+        drain (pos + n)
+      end
+    in
+    drain 0
+  in
+  let execute ~queue_empty:_ (req : Iorequest.t) =
+    if Iorequest.last_lba req > total_sectors then
+      invalid_arg "File_blockdev: request beyond device";
+    req.Iorequest.started_at <- Sched.now sched;
+    let off = req.Iorequest.lba * sector_bytes in
+    let len = req.Iorequest.sectors * sector_bytes in
+    (match req.Iorequest.op with
+    | Iorequest.Read -> req.Iorequest.data <- Some (Data.Real (pread ~off ~len))
+    | Iorequest.Write -> (
+      match req.Iorequest.data with
+      | Some (Data.Real b) -> pwrite ~off b
+      | Some (Data.Sim _) ->
+        (* simulated payloads have no bytes; persist zeroes *)
+        pwrite ~off (Bytes.make len '\000')
+      | None -> ()));
+    Iorequest.complete sched req
+  in
+  let name = "file:" ^ path in
+  Hashtbl.replace fds name fd;
+  {
+    Driver.t_name = name;
+    sector_bytes;
+    total_sectors;
+    execute;
+    current_cylinder = (fun () -> 0);
+  }
+
+let close (t : Driver.transport) =
+  match Hashtbl.find_opt fds t.Driver.t_name with
+  | Some fd ->
+    Unix.close fd;
+    Hashtbl.remove fds t.Driver.t_name
+  | None -> ()

@@ -1,0 +1,230 @@
+module Sched = Capfs_sched.Sched
+module Mailbox = Capfs_sched.Mailbox
+module Inode = Capfs_layout.Inode
+module Data = Capfs_disk.Data
+module Client = Capfs.Client
+module File = Capfs.File
+module File_table = Capfs.File_table
+module Namespace = Capfs.Namespace
+module Fsys = Capfs.Fsys
+
+type fh = int
+
+type error = Noent | Exist | Notdir | Isdir | Notempty | Stale | Loop
+
+type attr = {
+  a_kind : Inode.kind;
+  a_size : int;
+  a_nlink : int;
+  a_mtime : float;
+}
+
+type request =
+  | Getattr of fh
+  | Setattr of { file : fh; size : int }
+  | Lookup of { dir : fh; name : string }
+  | Readlink of fh
+  | Read of { file : fh; offset : int; count : int }
+  | Write of { file : fh; offset : int; data : Data.t }
+  | Create of { dir : fh; name : string }
+  | Remove of { dir : fh; name : string }
+  | Rename of { sdir : fh; sname : string; ddir : fh; dname : string }
+  | Symlink of { dir : fh; name : string; target : string }
+  | Mkdir of { dir : fh; name : string }
+  | Rmdir of { dir : fh; name : string }
+  | Readdir of fh
+  | Commit of fh
+  | Statfs
+
+type response =
+  | Attr of attr
+  | Handle of fh * attr
+  | Payload of Data.t
+  | Link of string
+  | Entries of (string * fh) list
+  | Fsinfo of { total_blocks : int; free_blocks : int }
+  | Done
+  | Error of error
+
+type call_box = { request : request; reply : Sched.event; mutable result : response option }
+
+type t = {
+  client : Client.t;
+  sched : Sched.t;
+  inbox : call_box Mailbox.t;
+  mutable served : int;
+}
+
+let pp_error ppf e =
+  Format.pp_print_string ppf
+    (match e with
+    | Noent -> "NFSERR_NOENT"
+    | Exist -> "NFSERR_EXIST"
+    | Notdir -> "NFSERR_NOTDIR"
+    | Isdir -> "NFSERR_ISDIR"
+    | Notempty -> "NFSERR_NOTEMPTY"
+    | Stale -> "NFSERR_STALE"
+    | Loop -> "NFSERR_LOOP")
+
+let attr_of (inode : Inode.t) =
+  {
+    a_kind = inode.Inode.kind;
+    a_size = inode.Inode.size;
+    a_nlink = inode.Inode.nlink;
+    a_mtime = inode.Inode.mtime;
+  }
+
+let file_of t fh =
+  match File_table.get (Client.file_table t.client) fh with
+  | Some f -> f
+  | None -> raise Not_found
+
+(* Directory-relative mutations reuse the path-based abstract interface
+   by reconstructing a two-component path rooted at the handle. Handles
+   are inode numbers; names are single components. *)
+let handle t (req : request) : response =
+  let ns = Client.namespace t.client in
+  try
+    match req with
+    | Getattr fh -> Attr (attr_of (File.inode (file_of t fh)))
+    | Setattr { file; size } ->
+      let f = file_of t file in
+      File.truncate f ~size;
+      Attr (attr_of (File.inode f))
+    | Lookup { dir; name } -> (
+      match Namespace.lookup ns ~dir ~name with
+      | Some e ->
+        let f = file_of t e.Capfs.Dir.entry_ino in
+        Handle (e.Capfs.Dir.entry_ino, attr_of (File.inode f))
+      | None -> Error Noent)
+    | Readlink fh -> (
+      match Namespace.symlink_target ns fh with
+      | Some target -> Link target
+      | None -> Error Noent)
+    | Read { file; offset; count } ->
+      Payload (File.read (file_of t file) ~offset ~bytes:count)
+    | Write { file; offset; data } ->
+      let f = file_of t file in
+      File.write f ~offset data;
+      Attr (attr_of (File.inode f))
+    | Create { dir; name } ->
+      let ft = Client.file_table t.client in
+      (match Namespace.lookup ns ~dir ~name with
+      | Some _ -> Error Exist
+      | None ->
+        let f = File_table.create_file ft ~kind:Inode.Regular in
+        Namespace.add_entry ns ~parent:dir ~name ~ino:(File.ino f)
+          ~kind:Inode.Regular;
+        Handle (File.ino f, attr_of (File.inode f)))
+    | Remove { dir; name } -> (
+      match Namespace.lookup ns ~dir ~name with
+      | None -> Error Noent
+      | Some { Capfs.Dir.kind = Inode.Directory; _ } -> Error Isdir
+      | Some { Capfs.Dir.entry_ino; _ } ->
+        ignore (Namespace.remove_entry ns ~parent:dir ~name);
+        File_table.unlink (Client.file_table t.client) entry_ino;
+        Done)
+    | Rename { sdir; sname; ddir; dname } -> (
+      match Namespace.lookup ns ~dir:sdir ~name:sname with
+      | None -> Error Noent
+      | Some entry ->
+        (match Namespace.lookup ns ~dir:ddir ~name:dname with
+        | Some { Capfs.Dir.entry_ino; kind; _ } ->
+          ignore (Namespace.remove_entry ns ~parent:ddir ~name:dname);
+          if kind <> Inode.Directory then
+            File_table.unlink (Client.file_table t.client) entry_ino
+        | None -> ());
+        ignore (Namespace.remove_entry ns ~parent:sdir ~name:sname);
+        Namespace.add_entry ns ~parent:ddir ~name:dname
+          ~ino:entry.Capfs.Dir.entry_ino ~kind:entry.Capfs.Dir.kind;
+        Done)
+    | Symlink { dir; name; target } ->
+      let ft = Client.file_table t.client in
+      (match Namespace.lookup ns ~dir ~name with
+      | Some _ -> Error Exist
+      | None ->
+        let f = File_table.create_file ft ~kind:Inode.Symlink in
+        Namespace.add_entry ns ~parent:dir ~name ~ino:(File.ino f)
+          ~kind:Inode.Symlink;
+        Namespace.set_symlink_target ns (File.ino f) target;
+        Handle (File.ino f, attr_of (File.inode f)))
+    | Mkdir { dir; name } ->
+      let ft = Client.file_table t.client in
+      (match Namespace.lookup ns ~dir ~name with
+      | Some _ -> Error Exist
+      | None ->
+        let f = File_table.create_file ft ~kind:Inode.Directory in
+        (File.inode f).Inode.nlink <- 2;
+        Namespace.add_entry ns ~parent:dir ~name ~ino:(File.ino f)
+          ~kind:Inode.Directory;
+        Handle (File.ino f, attr_of (File.inode f)))
+    | Rmdir { dir; name } -> (
+      match Namespace.lookup ns ~dir ~name with
+      | None -> Error Noent
+      | Some { Capfs.Dir.kind = Inode.Directory; entry_ino; _ } ->
+        if Namespace.entries ns entry_ino <> [] then Error Notempty
+        else begin
+          ignore (Namespace.remove_entry ns ~parent:dir ~name);
+          File_table.unlink (Client.file_table t.client) entry_ino;
+          Done
+        end
+      | Some _ -> Error Notdir)
+    | Readdir fh ->
+      Entries
+        (List.map
+           (fun e -> (e.Capfs.Dir.name, e.Capfs.Dir.entry_ino))
+           (Namespace.entries ns fh))
+    | Commit fh ->
+      File.flush (file_of t fh);
+      Done
+    | Statfs ->
+      let fs = Client.fsys t.client in
+      Fsinfo
+        {
+          total_blocks = fs.Fsys.layout.Capfs_layout.Layout.total_blocks;
+          free_blocks = fs.Fsys.layout.Capfs_layout.Layout.free_blocks ();
+        }
+  with
+  | Not_found | Namespace.Not_found_path _ -> Error Noent
+  | Namespace.Already_exists _ -> Error Exist
+  | Namespace.Not_a_directory _ -> Error Notdir
+  | Namespace.Is_a_directory _ -> Error Isdir
+  | Namespace.Not_empty _ -> Error Notempty
+  | Namespace.Symlink_loop _ -> Error Loop
+
+let worker t () =
+  while true do
+    let box = Mailbox.recv t.inbox in
+    box.result <- Some (handle t box.request);
+    t.served <- t.served + 1;
+    Sched.signal t.sched box.reply
+  done
+
+let serve ?(workers = 4) client =
+  let fs = Client.fsys client in
+  let sched = fs.Fsys.sched in
+  let t =
+    { client; sched; inbox = Mailbox.create ~name:"nfs.inbox" sched; served = 0 }
+  in
+  for i = 1 to workers do
+    ignore
+      (Sched.spawn sched
+         ~name:(Printf.sprintf "nfsd-%d" i)
+         ~daemon:true (worker t))
+  done;
+  t
+
+let mount_root t =
+  (Client.fsys t.client).Fsys.config.Fsys.root_ino
+
+let call t request =
+  let box =
+    { request; reply = Sched.new_event ~name:"nfs.reply" t.sched; result = None }
+  in
+  Mailbox.send t.inbox box;
+  Sched.await t.sched box.reply;
+  match box.result with
+  | Some r -> r
+  | None -> failwith "Nfs.call: worker replied without a result"
+
+let served t = t.served

@@ -1,0 +1,78 @@
+(** NFS-flavoured front end.
+
+    "We use NFS as the external PFS interface… The NFS class spawns a
+    number of threads that wait for incoming mount and NFS requests.
+    Whenever a request is received, the call is dispatched to one (or
+    more) calls in the abstract client interface. Each thread in the NFS
+    component acts as a representative of a client while the request is
+    in progress."
+
+    This is an in-process rendition of NFSv2's procedures: requests
+    name files by opaque handles (inode numbers) plus names, workers
+    pull them from a mailbox and reply through a per-call event — the
+    RPC marshalling layer is the only thing left out (see DESIGN.md §3).
+    It runs under either clock, so client/server interaction can also be
+    simulated, as the paper plans for its client-caching work. *)
+
+type fh = int
+
+type error =
+  | Noent
+  | Exist
+  | Notdir
+  | Isdir
+  | Notempty
+  | Stale
+  | Loop
+
+type attr = {
+  a_kind : Capfs_layout.Inode.kind;
+  a_size : int;
+  a_nlink : int;
+  a_mtime : float;
+}
+
+type request =
+  | Getattr of fh
+  | Setattr of { file : fh; size : int }
+  | Lookup of { dir : fh; name : string }
+  | Readlink of fh
+  | Read of { file : fh; offset : int; count : int }
+  | Write of { file : fh; offset : int; data : Capfs_disk.Data.t }
+  | Create of { dir : fh; name : string }
+  | Remove of { dir : fh; name : string }
+  | Rename of { sdir : fh; sname : string; ddir : fh; dname : string }
+  | Symlink of { dir : fh; name : string; target : string }
+  | Mkdir of { dir : fh; name : string }
+  | Rmdir of { dir : fh; name : string }
+  | Readdir of fh
+  | Commit of fh  (** NFSv3-style: force the file to stable storage *)
+  | Statfs
+
+type response =
+  | Attr of attr
+  | Handle of fh * attr
+  | Payload of Capfs_disk.Data.t
+  | Link of string
+  | Entries of (string * fh) list
+  | Fsinfo of { total_blocks : int; free_blocks : int }
+  | Done
+  | Error of error
+
+type t
+
+(** [serve client ~workers] spawns the worker fibres (daemons) and
+    returns the server. *)
+val serve : ?workers:int -> Capfs.Client.t -> t
+
+(** Handle of the root directory (the MOUNT protocol's job). *)
+val mount_root : t -> fh
+
+(** [call t request] enqueues the request and blocks until a worker
+    replies. *)
+val call : t -> request -> response
+
+(** Requests served so far. *)
+val served : t -> int
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,93 @@
+module Sched = Capfs_sched.Sched
+module Cache = Capfs_cache.Cache
+module Driver = Capfs_disk.Driver
+module Iosched = Capfs_disk.Iosched
+module Geometry = Capfs_disk.Geometry
+module Lfs = Capfs_layout.Lfs
+module Codec = Capfs_layout.Codec
+
+let src = Logs.Src.create "capfs.pfs" ~doc:"on-line PFS instantiation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  cache_mb : int;
+  nvram_mb : int;
+  trigger : Cache.flush_trigger;
+  scope : Cache.flush_scope;
+  iosched : string;
+  workers : int;
+}
+
+let default_config =
+  {
+    cache_mb = 16;
+    nvram_mb = 0;
+    trigger = Cache.Periodic { max_age = 30.; scan_interval = 5. };
+    scope = `Whole_file;
+    iosched = "clook";
+    workers = 4;
+  }
+
+type t = {
+  sched : Sched.t;
+  client : Capfs.Client.t;
+  nfs : Nfs.t;
+  image_path : string;
+}
+
+let block_bytes = 4096
+
+let start ?(clock = `Real) ?(config = default_config) ?registry ~image
+    ~size_mb () =
+  let sched = Sched.create ~clock () in
+  let transport =
+    File_blockdev.transport sched ~path:image
+      ~size_bytes:(size_mb * 1024 * 1024) ()
+  in
+  let flat_geometry =
+    Geometry.v ~cylinders:transport.Driver.total_sectors ~heads:1
+      ~sectors_per_track:1 ~sector_bytes:transport.Driver.sector_bytes ()
+  in
+  let driver =
+    Driver.create ?registry ~name:"pfsdisk"
+      ~policy:(Iosched.by_name flat_geometry config.iosched)
+      sched transport
+  in
+  (* [start] runs outside the scheduler, but mounting needs fibre
+     context (driver I/O blocks): do the assembly in a bootstrap fibre. *)
+  let assembled = ref None in
+  ignore
+    (Sched.spawn sched ~name:"pfs.boot" (fun () ->
+         let layout =
+           try Lfs.mount ?registry sched driver
+           with Codec.Corrupt reason ->
+             Log.info (fun m ->
+                 m "image %s not mountable (%s): formatting" image reason);
+             Lfs.format_and_mount ?registry sched driver ~block_bytes
+         in
+         let cache_config =
+           {
+             Cache.block_bytes;
+             capacity_blocks = config.cache_mb * 1024 * 1024 / block_bytes;
+             nvram_blocks = config.nvram_mb * 1024 * 1024 / block_bytes;
+             trigger = config.trigger;
+             scope = config.scope;
+             async_flush = true;
+             mem_copy_rate = 0.;
+           }
+         in
+         let fs = Capfs.Fsys.create ?registry ~cache_config ~layout sched in
+         let client = Capfs.Client.create fs in
+         let nfs = Nfs.serve ~workers:config.workers client in
+         assembled := Some (client, nfs)));
+  Sched.run sched;
+  match !assembled with
+  | Some (client, nfs) -> { sched; client; nfs; image_path = image }
+  | None -> failwith "Pfs.start: bootstrap did not complete"
+
+let shutdown t =
+  ignore
+    (Sched.spawn t.sched ~name:"pfs.shutdown" (fun () ->
+         Capfs.Client.sync t.client));
+  Sched.run t.sched

@@ -1,0 +1,44 @@
+(** PFS: the on-line instantiation of the cut-and-paste framework.
+
+    Assembles the same components Patsy uses — driver with C-LOOK
+    queueing, block cache with a pluggable flush policy, segmented LFS,
+    abstract client interface — over a {e real} clock and a {e real}
+    Unix-file block device, and puts the NFS front end on top. "We did
+    not have to change anything in the code except for some small
+    additions when data was actually moved." *)
+
+type config = {
+  cache_mb : int;
+  nvram_mb : int;
+  trigger : Capfs_cache.Cache.flush_trigger;
+  scope : Capfs_cache.Cache.flush_scope;
+  iosched : string;
+  workers : int;  (** NFS worker fibres *)
+}
+
+(** 30-second-update, whole-file flushes, C-LOOK — a classic Unix
+    server. 16 MB cache by default (a PFS image is usually small). *)
+val default_config : config
+
+type t = {
+  sched : Capfs_sched.Sched.t;
+  client : Capfs.Client.t;
+  nfs : Nfs.t;
+  image_path : string;
+}
+
+(** [start ~image ~size_mb ()] opens (formatting when fresh or invalid)
+    the file-system image at [image] and starts the server. [clock]
+    defaults to [`Real]; tests pass [`Virtual] to run PFS under
+    simulated time — the very point of the shared framework. *)
+val start :
+  ?clock:Capfs_sched.Sched.clock ->
+  ?config:config ->
+  ?registry:Capfs_stats.Registry.t ->
+  image:string ->
+  size_mb:int ->
+  unit ->
+  t
+
+(** Flush everything and checkpoint (call before exiting). *)
+val shutdown : t -> unit

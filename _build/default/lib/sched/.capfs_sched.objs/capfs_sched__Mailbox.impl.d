@@ -1,0 +1,1 @@
+lib/sched/mailbox.ml: Queue Sched

@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Capfs_stats Effect Hashtbl Heap List Logs Printexc Printf Queue Stdlib String Unix

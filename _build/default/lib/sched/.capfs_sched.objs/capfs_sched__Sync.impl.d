@@ -1,0 +1,1 @@
+lib/sched/sync.ml: Sched

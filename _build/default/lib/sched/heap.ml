@@ -1,0 +1,74 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ~cmp = { cmp; data = [||]; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.len && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let grown = Array.make (Stdlib.max 8 (2 * t.len)) x in
+    Array.blit t.data 0 grown 0 t.len;
+    t.data <- grown
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some t.data.(0)
+
+let delete_at t i =
+  t.len <- t.len - 1;
+  if i <> t.len then begin
+    t.data.(i) <- t.data.(t.len);
+    sift_down t i;
+    sift_up t i
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    delete_at t 0;
+    Some top
+  end
+
+let remove t p =
+  let rec find i = if i >= t.len then None else
+      if p t.data.(i) then Some i else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some i ->
+    delete_at t i;
+    true
+
+let to_list t = Array.to_list (Array.sub t.data 0 t.len)
+let clear t = t.len <- 0

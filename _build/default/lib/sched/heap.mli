@@ -1,0 +1,28 @@
+(** Polymorphic binary min-heap.
+
+    Used for the scheduler's timer queue and by disk-queue scheduling
+    policies that service requests in key order. *)
+
+type 'a t
+
+(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+(** Smallest element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element. *)
+val pop : 'a t -> 'a option
+
+(** [remove t p] removes the first element satisfying [p], if any;
+    O(n). Returns whether an element was removed. *)
+val remove : 'a t -> ('a -> bool) -> bool
+
+(** Elements in arbitrary order. *)
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit

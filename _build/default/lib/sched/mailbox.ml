@@ -1,0 +1,76 @@
+type 'a t = {
+  sched : Sched.t;
+  capacity : int option;
+  items : 'a Queue.t;
+  nonempty : Sched.event;
+  nonfull : Sched.event;
+}
+
+let create ?(name = "mailbox") ?capacity sched =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Mailbox.create: capacity < 1"
+  | _ -> ());
+  {
+    sched;
+    capacity;
+    items = Queue.create ();
+    nonempty = Sched.new_event ~name:(name ^ ".nonempty") sched;
+    nonfull = Sched.new_event ~name:(name ^ ".nonfull") sched;
+  }
+
+let full t =
+  match t.capacity with
+  | None -> false
+  | Some c -> Queue.length t.items >= c
+
+let rec send t v =
+  if full t then begin
+    Sched.await t.sched t.nonfull;
+    send t v
+  end
+  else begin
+    Queue.push v t.items;
+    Sched.signal t.sched t.nonempty
+  end
+
+let try_send t v =
+  if full t then false
+  else begin
+    Queue.push v t.items;
+    Sched.signal t.sched t.nonempty;
+    true
+  end
+
+let rec recv t =
+  match Queue.take_opt t.items with
+  | Some v ->
+    Sched.signal t.sched t.nonfull;
+    v
+  | None ->
+    Sched.await t.sched t.nonempty;
+    recv t
+
+let recv_timeout t dt =
+  match Queue.take_opt t.items with
+  | Some v ->
+    Sched.signal t.sched t.nonfull;
+    Some v
+  | None ->
+    if Sched.await_timeout t.sched t.nonempty dt then
+      (* A signal arrived, but a competing receiver may have raced us. *)
+      match Queue.take_opt t.items with
+      | Some v ->
+        Sched.signal t.sched t.nonfull;
+        Some v
+      | None -> None
+    else None
+
+let try_recv t =
+  match Queue.take_opt t.items with
+  | Some v ->
+    Sched.signal t.sched t.nonfull;
+    Some v
+  | None -> None
+
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items

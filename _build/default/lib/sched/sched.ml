@@ -1,0 +1,356 @@
+let src = Logs.Src.create "capfs.sched" ~doc:"cut-and-paste thread scheduler"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type clock = [ `Virtual | `Real ]
+type policy = [ `Random | `Fifo ]
+type thread_id = int
+
+exception Deadlock of string list
+exception Stopped
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock names ->
+      Some
+        (Printf.sprintf "Sched.Deadlock: blocked non-daemon fibres: [%s]"
+           (String.concat "; " names))
+    | _ -> None)
+
+type thread = {
+  tid : thread_id;
+  name : string;
+  daemon : bool;
+}
+
+type runnable = { thread : thread; thunk : unit -> unit }
+type timer = { at : float; seq : int; action : unit -> unit }
+
+type waiter = {
+  wthread : thread;
+  mutable active : bool;
+  wake : bool -> unit; (* true = signalled, false = timed out *)
+}
+
+type event = {
+  ename : string;
+  mutable pending : int;
+  queue : waiter Queue.t;
+}
+
+type fd_waiter = { fd : Unix.file_descr; fresume : unit -> unit }
+
+type t = {
+  clk : clock;
+  policy : policy;
+  rng : Capfs_stats.Prng.t;
+  mutable vnow : float;
+  mutable epoch : float; (* wall-clock at run start, `Real only *)
+  mutable runq : runnable array;
+  mutable runq_len : int;
+  timers : timer Heap.t;
+  mutable timer_seq : int;
+  mutable next_tid : int;
+  live : (thread_id, thread) Hashtbl.t;
+  mutable fd_waiters : fd_waiter list;
+  mutable current : thread option;
+  mutable running : bool;
+  mutable stopping : bool;
+  mutable failure : exn option;
+}
+
+let cmp_timer a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 42) ?(policy = `Random) ~clock () =
+  {
+    clk = clock;
+    policy;
+    rng = Capfs_stats.Prng.create ~seed;
+    vnow = 0.;
+    epoch = 0.;
+    runq = [||];
+    runq_len = 0;
+    timers = Heap.create ~cmp:cmp_timer;
+    timer_seq = 0;
+    next_tid = 1;
+    live = Hashtbl.create 64;
+    fd_waiters = [];
+    current = None;
+    running = false;
+    stopping = false;
+    failure = None;
+  }
+
+let clock t = t.clk
+
+let now t =
+  match t.clk with
+  | `Virtual -> t.vnow
+  | `Real -> if t.running then Unix.gettimeofday () -. t.epoch else t.vnow
+
+let push_run t r =
+  if t.runq_len = Array.length t.runq then begin
+    let grown = Array.make (Stdlib.max 8 (2 * t.runq_len)) r in
+    Array.blit t.runq 0 grown 0 t.runq_len;
+    t.runq <- grown
+  end;
+  t.runq.(t.runq_len) <- r;
+  t.runq_len <- t.runq_len + 1
+
+let pop_run t =
+  if t.runq_len = 0 then None
+  else begin
+    let i =
+      match t.policy with
+      | `Fifo -> 0
+      | `Random -> Capfs_stats.Prng.int t.rng t.runq_len
+    in
+    let r = t.runq.(i) in
+    (* swap-remove for Random; shift for Fifo to preserve order *)
+    (match t.policy with
+    | `Random ->
+      t.runq.(i) <- t.runq.(t.runq_len - 1);
+      t.runq_len <- t.runq_len - 1
+    | `Fifo ->
+      Array.blit t.runq 1 t.runq 0 (t.runq_len - 1);
+      t.runq_len <- t.runq_len - 1);
+    Some r
+  end
+
+let add_timer t ~at action =
+  t.timer_seq <- t.timer_seq + 1;
+  Heap.push t.timers { at; seq = t.timer_seq; action }
+
+(* The single suspension effect: the performer hands the handler a
+   registration function that receives the resume callback. Resuming
+   pushes the continuation back on the run queue; it never runs inline. *)
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let suspend register = Effect.perform (Suspend register)
+
+let check_alive t = if t.stopping then raise Stopped
+
+let finish t thread result =
+  Hashtbl.remove t.live thread.tid;
+  match result with
+  | None -> ()
+  | Some Stopped -> ()
+  | Some e ->
+    Log.err (fun m ->
+        m "thread %S died: %s" thread.name (Printexc.to_string e));
+    if t.failure = None then t.failure <- Some e
+
+let start t thread f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> finish t thread None);
+      exnc = (fun e -> finish t thread (Some e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                register (fun v ->
+                    push_run t { thread; thunk = (fun () -> continue k v) }))
+          | _ -> None);
+    }
+
+let spawn ?name ?(daemon = false) t f =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let name = match name with Some n -> n | None -> Printf.sprintf "t%d" tid in
+  let thread = { tid; name; daemon } in
+  Hashtbl.replace t.live tid thread;
+  push_run t { thread; thunk = (fun () -> start t thread f) };
+  tid
+
+let yield t =
+  check_alive t;
+  suspend (fun resume -> resume ())
+
+let sleep t dt =
+  check_alive t;
+  if dt <= 0. then yield t
+  else begin
+    let at = now t +. dt in
+    suspend (fun resume -> add_timer t ~at (fun () -> resume ()))
+  end
+
+let new_event ?(name = "event") _t =
+  { ename = name; pending = 0; queue = Queue.create () }
+
+let current_thread t =
+  match t.current with
+  | Some th -> th
+  | None -> { tid = 0; name = "<main>"; daemon = false }
+
+let await t ev =
+  check_alive t;
+  if ev.pending > 0 then ev.pending <- ev.pending - 1
+  else begin
+    let th = current_thread t in
+    let signalled =
+      suspend (fun resume ->
+          Queue.push { wthread = th; active = true; wake = resume } ev.queue)
+    in
+    ignore (signalled : bool)
+  end
+
+let await_timeout t ev dt =
+  check_alive t;
+  if ev.pending > 0 then begin
+    ev.pending <- ev.pending - 1;
+    true
+  end
+  else begin
+    let th = current_thread t in
+    let at = now t +. dt in
+    suspend (fun resume ->
+        let w = { wthread = th; active = true; wake = resume } in
+        Queue.push w ev.queue;
+        add_timer t ~at (fun () ->
+            if w.active then begin
+              w.active <- false;
+              w.wake false
+            end))
+  end
+
+let rec wake_one ev =
+  match Queue.take_opt ev.queue with
+  | None -> false
+  | Some w ->
+    if w.active then begin
+      w.active <- false;
+      w.wake true;
+      true
+    end
+    else wake_one ev
+
+let signal _t ev = if not (wake_one ev) then ev.pending <- ev.pending + 1
+let broadcast _t ev = while wake_one ev do () done
+
+let waiters _t ev =
+  Queue.fold (fun n w -> if w.active then n + 1 else n) 0 ev.queue
+
+let wait_readable t fd =
+  (match t.clk with
+  | `Virtual ->
+    invalid_arg "Sched.wait_readable: external events need a `Real clock"
+  | `Real -> ());
+  check_alive t;
+  suspend (fun resume ->
+      t.fd_waiters <- { fd; fresume = resume } :: t.fd_waiters)
+
+let self_name t = (current_thread t).name
+let live_threads t = Hashtbl.length t.live
+
+let live_names t =
+  Hashtbl.fold
+    (fun _ th acc ->
+      if th.daemon then ("*" ^ th.name) :: acc else th.name :: acc)
+    t.live []
+  |> List.sort compare
+
+let live_nondaemon t =
+  Hashtbl.fold (fun _ th n -> if th.daemon then n else n + 1) t.live 0
+
+let stop t = t.stopping <- true
+
+(* Fire every timer due at or before [horizon]. Virtual mode advances the
+   clock to each timer's expiry; real mode has already slept past it. *)
+let fire_due t horizon =
+  let rec go () =
+    match Heap.peek t.timers with
+    | Some timer when timer.at <= horizon ->
+      ignore (Heap.pop t.timers);
+      if t.clk = `Virtual && timer.at > t.vnow then t.vnow <- timer.at;
+      timer.action ();
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let select_real t timeout =
+  let fds = List.map (fun w -> w.fd) t.fd_waiters in
+  match Unix.select fds [] [] timeout with
+  | ready, _, _ ->
+    let woken, still =
+      List.partition (fun w -> List.mem w.fd ready) t.fd_waiters
+    in
+    t.fd_waiters <- still;
+    List.iter (fun w -> w.fresume ()) woken
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let run ?until t =
+  if t.running then invalid_arg "Sched.run: already running";
+  t.running <- true;
+  t.stopping <- false;
+  t.failure <- None;
+  t.epoch <- Unix.gettimeofday () -. t.vnow;
+  let horizon = until in
+  let past_horizon at =
+    match horizon with Some u -> at > u | None -> false
+  in
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match pop_run t with
+      | Some { thread; thunk } ->
+        t.current <- Some thread;
+        thunk ();
+        t.current <- None;
+        loop ()
+      | None -> idle ()
+  and idle () =
+    if live_nondaemon t = 0 then ()
+      (* Only daemons (service loops, periodic flushers) remain: their
+         timers and fds must not keep the system alive. *)
+    else
+      match Heap.peek t.timers with
+      | Some timer when not (past_horizon timer.at) ->
+        (match t.clk with
+        | `Virtual -> ()
+        | `Real ->
+          let delay = timer.at -. now t in
+          if delay > 0. then select_real t delay);
+        fire_due t (match t.clk with `Virtual -> timer.at | `Real -> now t);
+        loop ()
+      | Some timer ->
+        (* Next event lies beyond the horizon: stop the simulation there. *)
+        ignore (timer : timer);
+        (match horizon with
+        | Some u when t.clk = `Virtual && u > t.vnow -> t.vnow <- u
+        | Some _ | None -> ())
+      | None ->
+        if t.fd_waiters <> [] && t.clk = `Real then begin
+          select_real t (-1.);
+          loop ()
+        end
+        else begin
+          (* A dead helper fibre (e.g. a crashed flusher daemon) usually
+             explains why everyone else is stuck: surface its exception
+             rather than the symptom. *)
+          match t.failure with
+          | Some e -> raise e
+          | None -> raise (Deadlock (live_names t))
+        end
+  in
+  let cleanup () =
+    t.running <- false;
+    t.current <- None;
+    if t.clk = `Real then t.vnow <- Unix.gettimeofday () -. t.epoch
+  in
+  (try loop ()
+   with e ->
+     cleanup ();
+     raise e);
+  cleanup ();
+  match t.failure with
+  | Some e ->
+    t.failure <- None;
+    raise e
+  | None -> ()

@@ -1,0 +1,1 @@
+lib/stats/prng.ml: Array Float Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/stats/registry.ml: Format Hashtbl List Stat String

@@ -1,0 +1,1 @@
+lib/stats/registry.mli: Format Stat

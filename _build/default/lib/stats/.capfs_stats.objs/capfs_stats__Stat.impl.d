@@ -1,0 +1,1 @@
+lib/stats/stat.ml: Format Histogram Option Sample_set Welford

@@ -1,0 +1,1 @@
+lib/stats/stat.mli: Format Histogram Sample_set Welford

@@ -1,0 +1,56 @@
+type window = { start : float; stop : float; summary : Welford.t }
+
+type t = {
+  width : float;
+  mutable closed : window list; (* reverse chronological *)
+  mutable current : window option;
+  overall : Welford.t;
+}
+
+let create ~width () =
+  if width <= 0. then invalid_arg "Interval.create: width <= 0";
+  { width; closed = []; current = None; overall = Welford.create () }
+
+let window_for t time =
+  let start = t.width *. floor (time /. t.width) in
+  { start; stop = start +. t.width; summary = Welford.create () }
+
+let add t ~time x =
+  Welford.add t.overall x;
+  match t.current with
+  | None ->
+    let w = window_for t time in
+    Welford.add w.summary x;
+    t.current <- Some w
+  | Some w when time >= w.start && time < w.stop -> Welford.add w.summary x
+  | Some w when time >= w.stop ->
+    t.closed <- w :: t.closed;
+    let w' = window_for t time in
+    Welford.add w'.summary x;
+    t.current <- Some w'
+  | Some _ -> () (* late observation: overall only *)
+
+let windows t = List.rev t.closed
+
+let flush t =
+  match t.current with
+  | None -> ()
+  | Some w ->
+    t.closed <- w :: t.closed;
+    t.current <- None
+
+let overall t = t.overall
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "[%10.1f, %10.1f) %a@," w.start w.stop Welford.pp
+        w.summary)
+    (windows t);
+  (match t.current with
+  | Some w ->
+    Format.fprintf ppf "[%10.1f, %10.1f) %a (open)@," w.start w.stop
+      Welford.pp w.summary
+  | None -> ());
+  Format.fprintf ppf "overall: %a@]" Welford.pp t.overall

@@ -1,0 +1,37 @@
+(** Interval summaries.
+
+    Patsy "shows measurements every 15 minutes of simulation time and of
+    the overall simulation". An [Interval.t] accumulates observations into
+    fixed-width time windows and retains the per-window summary plus a
+    whole-run summary. The caller supplies the observation time (virtual
+    or real), so this module is clock-agnostic. *)
+
+type t
+
+type window = {
+  start : float;  (** window start time (inclusive) *)
+  stop : float;   (** window end time (exclusive) *)
+  summary : Welford.t;
+}
+
+(** [create ~width ()] accumulates into windows of [width] time units
+    starting at the time of the first observation (rounded down to a
+    multiple of [width]). Raises [Invalid_argument] if [width <= 0]. *)
+val create : width:float -> unit -> t
+
+(** [add t ~time x] records observation [x] made at [time]. Times may
+    arrive slightly out of order; an observation belonging to an already
+    closed window is folded into the overall summary only. *)
+val add : t -> time:float -> float -> unit
+
+(** Closed windows in chronological order (the currently open window is
+    not included until a later observation closes it or {!flush} runs). *)
+val windows : t -> window list
+
+(** Close the open window, if any. *)
+val flush : t -> unit
+
+(** Whole-run summary over every observation. *)
+val overall : t -> Welford.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type entry = { stat : Stat.t; mutable enabled : bool }
+type t = { table : (string, entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let register t stat =
+  let name = Stat.name stat in
+  if Hashtbl.mem t.table name then
+    invalid_arg ("Registry.register: duplicate stat " ^ name);
+  Hashtbl.add t.table name { stat; enabled = true }
+
+let find t name =
+  match Hashtbl.find_opt t.table name with
+  | Some e -> Some e.stat
+  | None -> None
+
+let record t name x =
+  match Hashtbl.find_opt t.table name with
+  | Some e when e.enabled -> Stat.record e.stat x
+  | Some _ | None -> ()
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let set_enabled t ~prefix on =
+  Hashtbl.iter
+    (fun name e -> if starts_with ~prefix name then e.enabled <- on)
+    t.table
+
+let enabled t name =
+  match Hashtbl.find_opt t.table name with
+  | Some e -> e.enabled
+  | None -> false
+
+let all t =
+  Hashtbl.fold (fun _ e acc -> e.stat :: acc) t.table []
+  |> List.sort (fun a b -> compare (Stat.name a) (Stat.name b))
+
+let reset t = Hashtbl.iter (fun _ e -> Stat.reset e.stat) t.table
+
+let report ?histograms ppf t =
+  List.iter
+    (fun stat ->
+      if enabled t (Stat.name stat) && Stat.count stat > 0 then
+        Format.fprintf ppf "%a@." (Stat.report ?histograms) stat)
+    (all t)

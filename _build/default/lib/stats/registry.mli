@@ -1,0 +1,38 @@
+(** Registry of plug-in statistics.
+
+    Components register the statistics they maintain under a dotted name
+    (["disk.0.queue_len"], ["cache.hit_rate"], …). A registry is created
+    per system instantiation, so independent simulations never share
+    counters. Statistics can be activated selectively, mirroring Patsy's
+    "plug-in statistics can be activated when the simulator is started". *)
+
+type t
+
+val create : unit -> t
+
+(** [register t stat] adds [stat]; raises [Invalid_argument] on a
+    duplicate name. *)
+val register : t -> Stat.t -> unit
+
+(** [find t name] is the registered stat, or [None]. *)
+val find : t -> string -> Stat.t option
+
+(** [record t name x] records into the named stat if it exists and is
+    enabled; silently drops otherwise (cheap no-op for deactivated
+    statistics). *)
+val record : t -> string -> float -> unit
+
+(** [set_enabled t ~prefix on] toggles every stat whose name starts with
+    [prefix]. All stats start enabled. *)
+val set_enabled : t -> prefix:string -> bool -> unit
+
+val enabled : t -> string -> bool
+
+(** All registered stats, sorted by name. *)
+val all : t -> Stat.t list
+
+val reset : t -> unit
+
+(** [report ?histograms ppf t] reports every enabled stat with at least
+    one observation. *)
+val report : ?histograms:bool -> Format.formatter -> t -> unit

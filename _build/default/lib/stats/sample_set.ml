@@ -1,0 +1,98 @@
+type t = {
+  cap : int option;
+  mutable samples : float array;
+  mutable len : int;
+  mutable seen : int;
+  mutable sum : float;
+  rng : Prng.t;
+  mutable sorted : bool;
+}
+
+let create ?cap ?(seed = 0x9e3779b9) () =
+  (match cap with
+  | Some c when c < 1 -> invalid_arg "Sample_set.create: cap < 1"
+  | _ -> ());
+  {
+    cap;
+    samples = Array.make 64 0.;
+    len = 0;
+    seen = 0;
+    sum = 0.;
+    rng = Prng.create ~seed;
+    sorted = true;
+  }
+
+let push t x =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0. in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1
+
+let add t x =
+  t.seen <- t.seen + 1;
+  t.sum <- t.sum +. x;
+  t.sorted <- false;
+  match t.cap with
+  | None -> push t x
+  | Some cap ->
+    if t.len < cap then push t x
+    else begin
+      (* Vitter's algorithm R: replace a random slot with probability
+         cap/seen. *)
+      let j = Prng.int t.rng t.seen in
+      if j < cap then t.samples.(j) <- x
+    end
+
+let count t = t.seen
+let mean t = if t.seen = 0 then 0. else t.sum /. float_of_int t.seen
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let view = Array.sub t.samples 0 t.len in
+    Array.sort compare view;
+    Array.blit view 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let quantile t q =
+  if t.len = 0 then invalid_arg "Sample_set.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Sample_set.quantile: q out of range";
+  ensure_sorted t;
+  let pos = q *. float_of_int (t.len - 1) in
+  let i = int_of_float (floor pos) in
+  let frac = pos -. float_of_int i in
+  if i + 1 >= t.len then t.samples.(t.len - 1)
+  else t.samples.(i) +. (frac *. (t.samples.(i + 1) -. t.samples.(i)))
+
+let fraction_le t x =
+  if t.len = 0 then 0.
+  else begin
+    ensure_sorted t;
+    (* binary search for the rightmost index with samples.(i) <= x *)
+    let rec go lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if t.samples.(mid) <= x then go (mid + 1) hi else go lo mid
+      end
+    in
+    float_of_int (go 0 t.len) /. float_of_int t.len
+  end
+
+let cdf_points t ~points =
+  if t.len = 0 || points < 2 then []
+  else begin
+    ensure_sorted t;
+    List.init points (fun i ->
+        let q = float_of_int i /. float_of_int (points - 1) in
+        (quantile t q, q))
+  end
+
+let reset t =
+  t.len <- 0;
+  t.seen <- 0;
+  t.sum <- 0.;
+  t.sorted <- true

@@ -1,0 +1,35 @@
+(** Retained-sample distribution, for exact CDFs.
+
+    The paper's Figures 2–4 are cumulative latency distributions; those are
+    produced from a [Sample_set] that keeps every observation. For very long
+    runs, [create ~cap] switches to reservoir sampling with capacity [cap]
+    so that memory stays bounded while the empirical distribution remains
+    unbiased. *)
+
+type t
+
+(** [create ?cap ()] retains all samples, or a uniform reservoir of at most
+    [cap] samples when [cap] is given. The reservoir uses its own
+    deterministic PRNG seeded by [seed] (default 0x9e3779b9) so simulation
+    runs stay reproducible. *)
+val create : ?cap:int -> ?seed:int -> unit -> t
+
+val add : t -> float -> unit
+
+(** Number of observations offered (not the retained count). *)
+val count : t -> int
+
+val mean : t -> float
+
+(** [quantile t q] is the [q]-quantile of the retained samples.
+    Raises [Invalid_argument] when empty or [q] outside [0,1]. *)
+val quantile : t -> float -> float
+
+(** [fraction_le t x] is the empirical P(X ≤ x); [0.] when empty. *)
+val fraction_le : t -> float -> float
+
+(** [cdf_points t ~points] is an evenly-spaced-in-probability list of
+    [(value, cumulative_fraction)] pairs suitable for plotting. *)
+val cdf_points : t -> points:int -> (float * float) list
+
+val reset : t -> unit

@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  welford : Welford.t;
+  histogram : Histogram.t option;
+  samples : Sample_set.t option;
+}
+
+let scalar name =
+  { name; welford = Welford.create (); histogram = None; samples = None }
+
+let with_histogram name hist =
+  { name; welford = Welford.create (); histogram = Some hist; samples = None }
+
+let with_samples name samples =
+  { name; welford = Welford.create (); histogram = None; samples = Some samples }
+
+let name t = t.name
+
+let record t x =
+  Welford.add t.welford x;
+  Option.iter (fun h -> Histogram.add h x) t.histogram;
+  Option.iter (fun s -> Sample_set.add s x) t.samples
+
+let count t = Welford.count t.welford
+let mean t = Welford.mean t.welford
+let welford t = t.welford
+let histogram t = t.histogram
+let samples t = t.samples
+
+let reset t =
+  Welford.reset t.welford;
+  Option.iter Histogram.reset t.histogram;
+  Option.iter Sample_set.reset t.samples
+
+let report ?(histograms = true) ppf t =
+  Format.fprintf ppf "@[<v>%-32s %a@," t.name Welford.pp t.welford;
+  if histograms then
+    Option.iter (fun h -> Histogram.pp ppf h) t.histogram;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/trace/coda_format.ml: Buffer Hashtbl List Printf Record String

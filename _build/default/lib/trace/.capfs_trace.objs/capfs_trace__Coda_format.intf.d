@@ -1,0 +1,1 @@
+lib/trace/coda_format.mli: Record

@@ -1,0 +1,1 @@
+lib/trace/sprite_format.ml: Buffer Format List Printf Record String

@@ -1,0 +1,1 @@
+lib/trace/sprite_format.mli: Buffer Record

@@ -1,0 +1,1 @@
+lib/trace/synth.ml: Capfs_stats Hashtbl List Printf Record Stdlib String

@@ -1,0 +1,26 @@
+(** Coda-style trace format (Mummert & Satyanarayanan's DFSTrace
+    flavour).
+
+    Coda traces identify files by (volume, vnode) fids rather than
+    paths, and batch per-session. One record per line:
+    {v <time|?> <client> <op> <volume>:<vnode> [args] v}
+    e.g. {v 4.250000 17 STORE 7f000123:22 65536 v}
+
+    Ops: [OPEN r|w|rw], [CLOSE], [FETCH off len] (read), [STORE off len]
+    (write), [GETATTR] (stat), [REMOVE], [TRUNCATE size], [MKDIR],
+    [RMDIR]. Fids are mapped onto synthetic paths
+    ["/coda/<volume>/<vnode>"] so the same replay engine drives both
+    trace families, exactly as the paper's Sprite and Coda classes both
+    dispatch onto the abstract client interface. *)
+
+exception Parse_error of int * string
+
+val parse_line : line:int -> string -> Record.t option
+val of_string : string -> Record.t list
+
+(** Render records whose paths have the ["/coda/vol/vnode"] shape back
+    into fid form; other paths get a deterministic synthetic fid. *)
+val to_string : Record.t list -> string
+
+val load : string -> Record.t list
+val save : string -> Record.t list -> unit

@@ -1,0 +1,30 @@
+(** Sprite-style trace text format.
+
+    One record per line:
+    {v <time|?> c<client> <op> <path> [args...] v}
+    e.g. {v 12.000731 c3 write /usr/alice/paper.tex 8192 4096 v}
+    ["?"] as the time field marks an unrecorded timestamp. Lines starting
+    with [#] and blank lines are ignored, so trace files can carry
+    headers describing their provenance.
+
+    This module parses/prints the format the {!Record} pretty-printer
+    emits; drop-in readers for the original binary Sprite traces would
+    slot in beside it. *)
+
+exception Parse_error of int * string
+(** line number, message *)
+
+val parse_line : line:int -> string -> Record.t option
+(** [None] for comments/blank lines. Raises {!Parse_error}. *)
+
+val print_record : Buffer.t -> Record.t -> unit
+
+(** Parse a whole trace body. *)
+val of_string : string -> Record.t list
+
+val to_string : Record.t list -> string
+
+(** File I/O convenience wrappers. *)
+val load : string -> Record.t list
+
+val save : string -> Record.t list -> unit

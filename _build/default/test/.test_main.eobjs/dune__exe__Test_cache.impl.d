@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Block Cache Capfs_cache Capfs_disk Capfs_sched Capfs_stats Gen List QCheck QCheck_alcotest Replacement

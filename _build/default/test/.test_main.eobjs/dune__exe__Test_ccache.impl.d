@@ -1,0 +1,1 @@
+test/test_ccache.ml: Alcotest Capfs Capfs_cache Capfs_ccache Capfs_disk Capfs_layout Capfs_sched String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Capfs Capfs_cache Capfs_disk Capfs_layout Capfs_sched Capfs_stats Char Client Dir File Fsys Gen Hashtbl List Namespace Option Printf QCheck QCheck_alcotest Stdlib String

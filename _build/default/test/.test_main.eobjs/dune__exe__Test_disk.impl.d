@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bus Capfs_disk Capfs_sched Capfs_stats Data Disk_model Driver Geometry Iorequest Iosched List QCheck QCheck_alcotest Seek Sim_disk Stdlib String

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Capfs_disk Capfs_layout Capfs_sched Capfs_stats Char Codec Ffs Fun Gen Hashtbl Inode Jfs Layout Lfs List Printf QCheck QCheck_alcotest Sim_layout String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cache Test_ccache Test_core Test_disk Test_integration Test_layout Test_patsy Test_pfs Test_sched Test_stats Test_trace

@@ -1,0 +1,1 @@
+test/test_patsy.ml: Alcotest Array Capfs_disk Capfs_layout Capfs_patsy Capfs_sched Capfs_stats Capfs_trace List String

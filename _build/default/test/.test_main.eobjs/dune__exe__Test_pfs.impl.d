@@ -1,0 +1,1 @@
+test/test_pfs.ml: Alcotest Capfs Capfs_disk Capfs_layout Capfs_pfs Capfs_sched Filename Fun List Printf String Sys Unix

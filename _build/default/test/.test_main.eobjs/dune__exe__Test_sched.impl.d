@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Buffer Bytes Capfs_sched Char Heap List Mailbox QCheck QCheck_alcotest Sched String Sync Unix

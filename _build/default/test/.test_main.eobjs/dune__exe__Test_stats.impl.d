@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Capfs_stats Gen Histogram Interval List Prng QCheck QCheck_alcotest Registry Sample_set Stat Stdlib Welford

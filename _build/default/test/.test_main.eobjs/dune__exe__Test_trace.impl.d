@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Capfs_trace Coda_format Hashtbl List Printf QCheck QCheck_alcotest Record Sprite_format Synth

@@ -1,0 +1,580 @@
+(* Tests for the block cache: hit/miss accounting, LRU lists, flush
+   policies (30-s update, UPS demand, NVRAM), write absorption,
+   invalidation, and the replacement policies. *)
+
+open Capfs_cache
+module Sched = Capfs_sched.Sched
+module Data = Capfs_disk.Data
+
+let vsched () = Sched.create ~clock:`Virtual ()
+
+(* A writeback sink recording every flushed block, with optional delay to
+   model disk time. *)
+type sink = {
+  mutable flushed : (Block.Key.t * Data.t) list list;
+  mutable blocks_written : int;
+}
+
+let make_sink ?(delay = 0.) sched =
+  let sink = { flushed = []; blocks_written = 0 } in
+  let writeback batch =
+    if delay > 0. then Sched.sleep sched delay;
+    sink.flushed <- batch :: sink.flushed;
+    sink.blocks_written <- sink.blocks_written + List.length batch
+  in
+  (sink, writeback)
+
+let demand_config ?(nvram = 0) ?(scope = `Whole_file) ?(async = true) capacity =
+  {
+    Cache.block_bytes = 4096;
+    capacity_blocks = capacity;
+    nvram_blocks = nvram;
+    trigger = Cache.Demand;
+    scope;
+    async_flush = async;
+    mem_copy_rate = 0.;
+  }
+
+let run_fs f =
+  let s = vsched () in
+  ignore (Sched.spawn s (fun () -> f s));
+  Sched.run s
+
+let fill_const n () = Data.sim n
+
+let test_read_miss_then_hit () =
+  run_fs (fun s ->
+      let _, wb = make_sink s in
+      let c = Cache.create ~writeback:wb s (demand_config 8) in
+      let fills = ref 0 in
+      let fill () =
+        incr fills;
+        Data.of_string "abcd"
+      in
+      let d1 = Cache.read c (1, 0) ~fill in
+      Alcotest.(check string) "filled" "abcd" (Data.to_string d1);
+      let d2 = Cache.read c (1, 0) ~fill in
+      Alcotest.(check string) "cached" "abcd" (Data.to_string d2);
+      Alcotest.(check int) "fill ran once" 1 !fills;
+      Alcotest.(check int) "one block" 1 (Cache.block_count c))
+
+let test_write_then_read_back () =
+  run_fs (fun s ->
+      let _, wb = make_sink s in
+      let c = Cache.create ~writeback:wb s (demand_config 8) in
+      Cache.write c (1, 0) (Data.of_string "dirty!");
+      let d = Cache.read c (1, 0) ~fill:(fun () -> Alcotest.fail "no fill") in
+      Alcotest.(check string) "dirty read back" "dirty!" (Data.to_string d);
+      Alcotest.(check int) "dirty" 1 (Cache.dirty_count c))
+
+let test_lru_eviction_order () =
+  run_fs (fun s ->
+      let _, wb = make_sink s in
+      let c = Cache.create ~writeback:wb s (demand_config 3) in
+      (* fill 3 frames clean *)
+      for i = 0 to 2 do
+        ignore (Cache.read c (1, i) ~fill:(fill_const 16))
+      done;
+      (* touch block 0 so block 1 is the LRU *)
+      ignore (Cache.read c (1, 0) ~fill:(fill_const 16));
+      (* a 4th block evicts block 1 *)
+      ignore (Cache.read c (1, 3) ~fill:(fill_const 16));
+      Alcotest.(check bool) "b0 kept" true (Cache.contains c (1, 0));
+      Alcotest.(check bool) "b1 evicted" false (Cache.contains c (1, 1));
+      Alcotest.(check bool) "b2 kept" true (Cache.contains c (1, 2));
+      Alcotest.(check bool) "b3 present" true (Cache.contains c (1, 3)))
+
+let test_dirty_blocks_never_evicted_silently () =
+  run_fs (fun s ->
+      let sink, wb = make_sink s in
+      let c = Cache.create ~writeback:wb s (demand_config 3) in
+      Cache.write c (1, 0) (Data.sim 16);
+      Cache.write c (1, 1) (Data.sim 16);
+      Cache.write c (1, 2) (Data.sim 16);
+      (* cache full of dirty; a read miss must force a flush, not drop *)
+      ignore (Cache.read c (2, 0) ~fill:(fill_const 16));
+      Sched.sleep s 0.01;
+      Alcotest.(check bool) "flushed something" true (sink.blocks_written > 0))
+
+let test_demand_flush_whole_file () =
+  run_fs (fun s ->
+      let sink, wb = make_sink s in
+      let c =
+        Cache.create ~writeback:wb s (demand_config ~scope:`Whole_file 4)
+      in
+      (* oldest dirty is file 7; file 7 has 3 dirty blocks *)
+      Cache.write c (7, 0) (Data.sim 16);
+      Cache.write c (7, 1) (Data.sim 16);
+      Cache.write c (7, 2) (Data.sim 16);
+      Cache.write c (9, 0) (Data.sim 16);
+      (* full: next allocation flushes all of file 7 *)
+      ignore (Cache.read c (2, 0) ~fill:(fill_const 16));
+      Sched.sleep s 0.01;
+      let flushed_keys = List.concat sink.flushed |> List.map fst in
+      Alcotest.(check int) "3 blocks of file 7" 3 (List.length flushed_keys);
+      Alcotest.(check bool) "all of ino 7" true
+        (List.for_all (fun (ino, _) -> ino = 7) flushed_keys))
+
+let test_demand_flush_single_block () =
+  run_fs (fun s ->
+      let sink, wb = make_sink s in
+      let c =
+        Cache.create ~writeback:wb s (demand_config ~scope:`Single_block 4)
+      in
+      Cache.write c (7, 0) (Data.sim 16);
+      Cache.write c (7, 1) (Data.sim 16);
+      Cache.write c (7, 2) (Data.sim 16);
+      Cache.write c (9, 0) (Data.sim 16);
+      ignore (Cache.read c (2, 0) ~fill:(fill_const 16));
+      Sched.sleep s 0.01;
+      let flushed_keys = List.concat sink.flushed |> List.map fst in
+      Alcotest.(check (list (pair int int))) "only the oldest block"
+        [ (7, 0) ] flushed_keys)
+
+let test_overwrite_absorption () =
+  run_fs (fun s ->
+      let sink, wb = make_sink s in
+      let c = Cache.create ~writeback:wb s (demand_config 8) in
+      for _ = 1 to 10 do
+        Cache.write c (1, 0) (Data.sim 16)
+      done;
+      Cache.sync c;
+      (* ten writes, one disk write: nine absorbed in memory *)
+      Alcotest.(check int) "single disk write" 1 sink.blocks_written)
+
+let test_delete_absorbs_writes () =
+  run_fs (fun s ->
+      let sink, wb = make_sink s in
+      let c = Cache.create ~writeback:wb s (demand_config 8) in
+      Cache.write c (1, 0) (Data.sim 16);
+      Cache.write c (1, 1) (Data.sim 16);
+      Cache.remove_file c 1;
+      Cache.sync c;
+      Alcotest.(check int) "nothing hit the disk" 0 sink.blocks_written;
+      Alcotest.(check int) "cache empty" 0 (Cache.block_count c))
+
+let test_truncate_drops_tail () =
+  run_fs (fun s ->
+      let _, wb = make_sink s in
+      let c = Cache.create ~writeback:wb s (demand_config 8) in
+      for i = 0 to 3 do
+        Cache.write c (1, i) (Data.sim 16)
+      done;
+      Cache.truncate c 1 ~from:2;
+      Alcotest.(check bool) "b1 kept" true (Cache.contains c (1, 1));
+      Alcotest.(check bool) "b2 dropped" false (Cache.contains c (1, 2));
+      Alcotest.(check bool) "b3 dropped" false (Cache.contains c (1, 3));
+      Alcotest.(check int) "two dirty remain" 2 (Cache.dirty_count c))
+
+let test_periodic_update_flushes_old_dirty () =
+  run_fs (fun s ->
+      let sink, wb = make_sink s in
+      let cfg =
+        {
+          (demand_config 16) with
+          Cache.trigger =
+            Cache.Periodic { max_age = 30.; scan_interval = 5. };
+        }
+      in
+      let c = Cache.create ~writeback:wb s cfg in
+      Cache.write c (1, 0) (Data.sim 16);
+      Sched.sleep s 20.;
+      Alcotest.(check int) "still buffered at 20s" 0 sink.blocks_written;
+      Sched.sleep s 20.;
+      Alcotest.(check int) "flushed after 30s + scan" 1 sink.blocks_written;
+      Alcotest.(check int) "now clean" 0 (Cache.dirty_count c))
+
+let test_ups_keeps_dirty_indefinitely () =
+  run_fs (fun s ->
+      let sink, wb = make_sink s in
+      let c = Cache.create ~writeback:wb s (demand_config 16) in
+      Cache.write c (1, 0) (Data.sim 16);
+      Sched.sleep s 3600.;
+      (* demand-only: an hour passes, nothing is written *)
+      Alcotest.(check int) "no writes in an hour" 0 sink.blocks_written;
+      Alcotest.(check int) "still dirty" 1 (Cache.dirty_count c))
+
+let test_nvram_capacity_stalls_writer () =
+  run_fs (fun s ->
+      let _, wb = make_sink ~delay:0.010 s in
+      let c =
+        Cache.create ~writeback:wb s
+          (demand_config ~nvram:2 ~scope:`Single_block 8)
+      in
+      let t0 = Sched.now s in
+      Cache.write c (1, 0) (Data.sim 16);
+      Cache.write c (1, 1) (Data.sim 16);
+      Alcotest.(check (float 1e-9)) "first two writes instant" 0.
+        (Sched.now s -. t0);
+      (* third write: NVRAM full -> drain the oldest (10ms writeback) *)
+      Cache.write c (1, 2) (Data.sim 16);
+      let elapsed = Sched.now s -. t0 in
+      if elapsed < 0.009 then
+        Alcotest.failf "writer should stall for the drain, took %.4f" elapsed;
+      Alcotest.(check int) "nvram bounded" 2 (Cache.nvram_used c))
+
+let test_nvram_whole_file_leaves_more_room () =
+  (* Whole-file flush drains every dirty block of the oldest file, so a
+     burst of writes to another file stalls less often. *)
+  let stalls scope =
+    let s = vsched () in
+    let total = ref 0. in
+    ignore
+      (Sched.spawn s (fun () ->
+           let _, wb = make_sink ~delay:0.010 s in
+           let c = Cache.create ~writeback:wb s
+               (demand_config ~nvram:4 ~scope 16) in
+           for i = 0 to 3 do
+             Cache.write c (1, i) (Data.sim 16)
+           done;
+           let t0 = Sched.now s in
+           for i = 0 to 7 do
+             Cache.write c (2, i) (Data.sim 16)
+           done;
+           total := Sched.now s -. t0));
+    Sched.run s;
+    !total
+  in
+  let whole = stalls `Whole_file and partial = stalls `Single_block in
+  if whole >= partial then
+    Alcotest.failf "whole-file %.4f should beat partial %.4f" whole partial
+
+let test_concurrent_writes_same_clean_block_nvram () =
+  (* Regression: two clients writing the same clean block while the
+     NVRAM pool is full used to double-account the frame and corrupt
+     the dirty list (deadlocking the whole server). *)
+  run_fs (fun s ->
+      let _, wb = make_sink ~delay:0.010 s in
+      let c =
+        Cache.create ~writeback:wb s
+          (demand_config ~nvram:2 ~scope:`Single_block 8)
+      in
+      (* a clean shared block *)
+      ignore (Cache.read c (7, 0) ~fill:(fill_const 16));
+      (* fill the NVRAM so clean->dirty transitions stall *)
+      Cache.write c (1, 0) (Data.sim 16);
+      Cache.write c (1, 1) (Data.sim 16);
+      let writers_done = ref 0 in
+      for _ = 1 to 2 do
+        ignore
+          (Sched.spawn s (fun () ->
+               Cache.write c (7, 0) (Data.sim 16);
+               incr writers_done))
+      done;
+      Sched.sleep s 1.0;
+      Alcotest.(check int) "both writers completed" 2 !writers_done;
+      Cache.sync c;
+      Alcotest.(check int) "cache drains clean" 0 (Cache.dirty_count c);
+      Alcotest.(check int) "nvram accounting intact" 0 (Cache.nvram_used c))
+
+let test_sync_leaves_cache_clean () =
+  run_fs (fun s ->
+      let sink, wb = make_sink ~delay:0.001 s in
+      let c = Cache.create ~writeback:wb s (demand_config 32) in
+      for i = 0 to 9 do
+        Cache.write c (i, 0) (Data.sim 16)
+      done;
+      Cache.sync c;
+      Alcotest.(check int) "all written" 10 sink.blocks_written;
+      Alcotest.(check int) "clean" 0 (Cache.dirty_count c);
+      (* blocks survive as clean cached copies *)
+      Alcotest.(check int) "still cached" 10 (Cache.block_count c))
+
+let test_flush_file_only_that_file () =
+  run_fs (fun s ->
+      let sink, wb = make_sink ~delay:0.001 s in
+      let c = Cache.create ~writeback:wb s (demand_config 32) in
+      Cache.write c (1, 0) (Data.sim 16);
+      Cache.write c (2, 0) (Data.sim 16);
+      Cache.flush_file c 1;
+      Alcotest.(check int) "one block written" 1 sink.blocks_written;
+      Alcotest.(check int) "file 2 still dirty" 1 (Cache.dirty_count c))
+
+let test_write_during_flush_keeps_block_dirty () =
+  run_fs (fun s ->
+      let sink, wb = make_sink ~delay:0.010 s in
+      let c = Cache.create ~writeback:wb s (demand_config 8) in
+      Cache.write c (1, 0) (Data.of_string "v1");
+      (* start a flush, then overwrite while the snapshot is in flight:
+         the overwrite must not be lost *)
+      ignore (Sched.spawn s (fun () -> Cache.flush_file c 1));
+      Sched.sleep s 0.001;
+      Cache.write c (1, 0) (Data.of_string "v2");
+      Sched.sleep s 0.1;
+      (* fsync re-flushes until stable: two writes, v2 written last *)
+      Alcotest.(check int) "two writes reached disk" 2 sink.blocks_written;
+      Alcotest.(check int) "stable" 0 (Cache.dirty_count c);
+      (match sink.flushed with
+      | last :: _ ->
+        Alcotest.(check string) "newest contents persisted" "v2"
+          (Data.to_string (snd (List.hd last)))
+      | [] -> Alcotest.fail "nothing flushed");
+      match Cache.peek c (1, 0) with
+      | Some d ->
+        Alcotest.(check string) "cache keeps v2" "v2" (Data.to_string d)
+      | None -> Alcotest.fail "block must still be cached")
+
+let test_concurrent_misses_share_fill () =
+  run_fs (fun s ->
+      let _, wb = make_sink s in
+      let c = Cache.create ~writeback:wb s (demand_config 8) in
+      let fills = ref 0 in
+      let fill () =
+        incr fills;
+        Sched.sleep s 0.005;
+        Data.sim 16
+      in
+      let done_count = ref 0 in
+      for _ = 1 to 5 do
+        ignore
+          (Sched.spawn s (fun () ->
+               ignore (Cache.read c (1, 0) ~fill);
+               incr done_count))
+      done;
+      Sched.sleep s 0.1;
+      Alcotest.(check int) "five readers" 5 !done_count;
+      Alcotest.(check int) "one fill" 1 !fills)
+
+let test_sync_flush_delays_allocator () =
+  (* §5.2: with synchronous flushing the allocating thread waits for the
+     writeback; the async flusher hides it. *)
+  let alloc_time async =
+    let s = vsched () in
+    let elapsed = ref 0. in
+    ignore
+      (Sched.spawn s (fun () ->
+           let _, wb = make_sink ~delay:0.050 s in
+           let c = Cache.create ~writeback:wb s (demand_config ~async 2) in
+           Cache.write c (1, 0) (Data.sim 16);
+           Cache.write c (1, 1) (Data.sim 16);
+           let t0 = Sched.now s in
+           (* miss forces eviction of a dirty block *)
+           ignore (Cache.read c (2, 0) ~fill:(fill_const 16));
+           elapsed := Sched.now s -. t0));
+    Sched.run s;
+    !elapsed
+  in
+  let sync_cost = alloc_time false in
+  if sync_cost < 0.050 then
+    Alcotest.failf "sync flush should delay the allocator (%.4f)" sync_cost
+
+let test_mem_copy_rate_charges_time () =
+  run_fs (fun s ->
+      let _, wb = make_sink s in
+      let cfg = { (demand_config 8) with Cache.mem_copy_rate = 1.0e6 } in
+      let c = Cache.create ~writeback:wb s cfg in
+      let t0 = Sched.now s in
+      Cache.write c (1, 0) (Data.sim 4096);
+      let dt = Sched.now s -. t0 in
+      (* 4096 bytes at 1 MB/s = ~4.1 ms *)
+      Alcotest.(check (float 1e-6)) "copy cost" 0.004096 dt)
+
+let test_stats_recorded () =
+  run_fs (fun s ->
+      let reg = Capfs_stats.Registry.create () in
+      let _, wb = make_sink s in
+      let c = Cache.create ~registry:reg ~writeback:wb s (demand_config 4) in
+      ignore (Cache.read c (1, 0) ~fill:(fill_const 16));
+      ignore (Cache.read c (1, 0) ~fill:(fill_const 16));
+      Cache.write c (1, 1) (Data.sim 16);
+      Cache.write c (1, 1) (Data.sim 16);
+      Cache.remove_file c 1;
+      let count name =
+        match Capfs_stats.Registry.find reg ("cache." ^ name) with
+        | Some st -> Capfs_stats.Stat.count st
+        | None -> Alcotest.failf "stat %s missing" name
+      in
+      Alcotest.(check int) "hits" 1 (count "hits");
+      Alcotest.(check int) "misses" 1 (count "misses");
+      Alcotest.(check int) "overwrites" 1 (count "overwrites");
+      Alcotest.(check int) "absorbed" 1 (count "absorbed_writes"))
+
+(* Replacement policies *)
+
+let mk_block key =
+  Block.make ~key ~data:(Data.sim 16) ~now:0.
+
+let test_replacement_lru_basic () =
+  let p = Replacement.lru () in
+  let b1 = mk_block (1, 1) and b2 = mk_block (1, 2) and b3 = mk_block (1, 3) in
+  List.iter (Replacement.insert p) [ b1; b2; b3 ];
+  Replacement.access p b1;
+  (match Replacement.victim p with
+  | Some v -> Alcotest.(check (pair int int)) "b2 is victim" (1, 2) v.Block.key
+  | None -> Alcotest.fail "victim expected");
+  Alcotest.(check int) "two left" 2 (Replacement.count p)
+
+let test_replacement_skips_pinned () =
+  let p = Replacement.lru () in
+  let b1 = mk_block (1, 1) and b2 = mk_block (1, 2) in
+  Replacement.insert p b1;
+  Replacement.insert p b2;
+  Block.pin b1;
+  (match Replacement.victim p with
+  | Some v -> Alcotest.(check (pair int int)) "pinned skipped" (1, 2)
+                v.Block.key
+  | None -> Alcotest.fail "victim expected");
+  (match Replacement.victim p with
+  | Some _ -> Alcotest.fail "only pinned block left"
+  | None -> ());
+  Block.unpin b1
+
+let test_replacement_lfu_prefers_cold () =
+  let p = Replacement.lfu () in
+  let hot = mk_block (1, 1) and cold = mk_block (1, 2) in
+  hot.Block.access_count <- 10;
+  cold.Block.access_count <- 1;
+  Replacement.insert p hot;
+  Replacement.insert p cold;
+  match Replacement.victim p with
+  | Some v -> Alcotest.(check (pair int int)) "cold victim" (1, 2) v.Block.key
+  | None -> Alcotest.fail "victim expected"
+
+let test_replacement_random_deterministic () =
+  let run seed =
+    let p = Replacement.random ~seed in
+    let blocks = List.init 10 (fun i -> mk_block (1, i)) in
+    List.iter (Replacement.insert p) blocks;
+    let rec drain acc =
+      match Replacement.victim p with
+      | Some v -> drain (v.Block.key :: acc)
+      | None -> List.rev acc
+    in
+    drain []
+  in
+  Alcotest.(check (list (pair int int))) "same seed same order" (run 3) (run 3)
+
+let test_replacement_slru_promotes () =
+  let p = Replacement.slru ~protected_capacity:2 in
+  let b1 = mk_block (1, 1) and b2 = mk_block (1, 2) and b3 = mk_block (1, 3) in
+  List.iter (Replacement.insert p) [ b1; b2; b3 ];
+  (* b1 promoted to protected; victims come from probation first *)
+  Replacement.access p b1;
+  (match Replacement.victim p with
+  | Some v ->
+    if v.Block.key = (1, 1) then
+      Alcotest.fail "protected block evicted before probation"
+  | None -> Alcotest.fail "victim expected");
+  Alcotest.(check int) "two left" 2 (Replacement.count p)
+
+let test_replacement_lru_k_prefers_single_access () =
+  let p = Replacement.lru_k ~k:2 in
+  let once = mk_block (1, 1) and twice = mk_block (1, 2) in
+  once.Block.last_access <- 1.;
+  Replacement.insert p once;
+  twice.Block.last_access <- 2.;
+  Replacement.insert p twice;
+  twice.Block.last_access <- 3.;
+  Replacement.access p twice;
+  (* [once] has no 2nd reference: preferred victim *)
+  match Replacement.victim p with
+  | Some v -> Alcotest.(check (pair int int)) "once-accessed evicted" (1, 1)
+                v.Block.key
+  | None -> Alcotest.fail "victim expected"
+
+let test_replacement_by_name () =
+  List.iter
+    (fun n -> ignore (Replacement.by_name n))
+    Replacement.known_policies;
+  try
+    ignore (Replacement.by_name "clock-pro");
+    Alcotest.fail "unknown policy must raise"
+  with Invalid_argument _ -> ()
+
+(* Property: the cache never exceeds its configured frames, and every
+   operation sequence leaves hit+miss accounting consistent. *)
+let prop_cache_capacity_respected =
+  QCheck.Test.make ~name:"cache never exceeds volatile+nvram capacity"
+    ~count:60
+    QCheck.(
+      list_of_size Gen.(int_range 1 120)
+        (pair (int_range 0 5) (pair (int_range 0 9) bool)))
+    (fun ops ->
+      let s = vsched () in
+      let ok = ref true in
+      ignore
+        (Sched.spawn s (fun () ->
+             let _, wb = make_sink s in
+             let c = Cache.create ~writeback:wb s (demand_config ~nvram:2 4) in
+             List.iter
+               (fun (ino, (idx, is_write)) ->
+                 if is_write then Cache.write c (ino, idx) (Data.sim 16)
+                 else ignore (Cache.read c (ino, idx) ~fill:(fill_const 16));
+                 if Cache.block_count c > 4 + 2 then ok := false)
+               ops));
+      Sched.run s;
+      !ok)
+
+let prop_sync_always_cleans =
+  QCheck.Test.make ~name:"sync leaves no dirty blocks" ~count:60
+    QCheck.(
+      list_of_size Gen.(int_range 1 60)
+        (pair (int_range 0 3) (int_range 0 6)))
+    (fun writes ->
+      let s = vsched () in
+      let clean = ref false in
+      ignore
+        (Sched.spawn s (fun () ->
+             let _, wb = make_sink s in
+             let c = Cache.create ~writeback:wb s (demand_config 16) in
+             List.iter
+               (fun (ino, idx) -> Cache.write c (ino, idx) (Data.sim 16))
+               writes;
+             Cache.sync c;
+             clean := Cache.dirty_count c = 0));
+      Sched.run s;
+      !clean)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cache_capacity_respected; prop_sync_always_cleans ]
+
+let suite =
+  [
+    Alcotest.test_case "read miss then hit" `Quick test_read_miss_then_hit;
+    Alcotest.test_case "write then read back" `Quick test_write_then_read_back;
+    Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "dirty never silently dropped" `Quick
+      test_dirty_blocks_never_evicted_silently;
+    Alcotest.test_case "demand flush whole file" `Quick
+      test_demand_flush_whole_file;
+    Alcotest.test_case "demand flush single block" `Quick
+      test_demand_flush_single_block;
+    Alcotest.test_case "overwrite absorption" `Quick test_overwrite_absorption;
+    Alcotest.test_case "delete absorbs writes" `Quick test_delete_absorbs_writes;
+    Alcotest.test_case "truncate drops tail" `Quick test_truncate_drops_tail;
+    Alcotest.test_case "periodic update flushes old dirty" `Quick
+      test_periodic_update_flushes_old_dirty;
+    Alcotest.test_case "ups keeps dirty indefinitely" `Quick
+      test_ups_keeps_dirty_indefinitely;
+    Alcotest.test_case "nvram capacity stalls writer" `Quick
+      test_nvram_capacity_stalls_writer;
+    Alcotest.test_case "nvram whole-file beats partial" `Quick
+      test_nvram_whole_file_leaves_more_room;
+    Alcotest.test_case "concurrent writes same clean block (nvram)" `Quick
+      test_concurrent_writes_same_clean_block_nvram;
+    Alcotest.test_case "sync leaves cache clean" `Quick
+      test_sync_leaves_cache_clean;
+    Alcotest.test_case "flush_file scoped" `Quick test_flush_file_only_that_file;
+    Alcotest.test_case "write during flush re-dirties" `Quick
+      test_write_during_flush_keeps_block_dirty;
+    Alcotest.test_case "concurrent misses share fill" `Quick
+      test_concurrent_misses_share_fill;
+    Alcotest.test_case "sync flush delays allocator" `Quick
+      test_sync_flush_delays_allocator;
+    Alcotest.test_case "mem copy rate charges time" `Quick
+      test_mem_copy_rate_charges_time;
+    Alcotest.test_case "stats recorded" `Quick test_stats_recorded;
+    Alcotest.test_case "replacement lru basic" `Quick test_replacement_lru_basic;
+    Alcotest.test_case "replacement skips pinned" `Quick
+      test_replacement_skips_pinned;
+    Alcotest.test_case "replacement lfu" `Quick test_replacement_lfu_prefers_cold;
+    Alcotest.test_case "replacement random deterministic" `Quick
+      test_replacement_random_deterministic;
+    Alcotest.test_case "replacement slru promotes" `Quick
+      test_replacement_slru_promotes;
+    Alcotest.test_case "replacement lru-k" `Quick
+      test_replacement_lru_k_prefers_single_access;
+    Alcotest.test_case "replacement by name" `Quick test_replacement_by_name;
+  ]
+  @ qsuite

@@ -1,0 +1,203 @@
+(* Tests for Sprite-style client caching (the paper's §3 future work):
+   local hits, network savings, sequential and concurrent write sharing,
+   recalls and cache bounds. *)
+
+module Sched = Capfs_sched.Sched
+module Data = Capfs_disk.Data
+module Driver = Capfs_disk.Driver
+module Cache = Capfs_cache.Cache
+module Lfs = Capfs_layout.Lfs
+module Netlink = Capfs_ccache.Netlink
+module Cc_server = Capfs_ccache.Cc_server
+module Cc_client = Capfs_ccache.Cc_client
+
+let run_fs f =
+  let s = Sched.create ~clock:`Virtual () in
+  ignore (Sched.spawn s (fun () -> f s));
+  Sched.run s
+
+let make_server s =
+  let drv =
+    Driver.create s
+      (Driver.mem_transport ~sector_bytes:512 ~total_sectors:32768 s ())
+  in
+  let layout =
+    Lfs.format_and_mount
+      ~config:{ Lfs.default_config with Lfs.seg_blocks = 32;
+                checkpoint_blocks = 16 }
+      s drv ~block_bytes:4096
+  in
+  let fs =
+    Capfs.Fsys.create
+      ~cache_config:
+        { (Cache.default_config ~capacity_blocks:256) with
+          Cache.trigger = Cache.Demand }
+      ~layout s
+  in
+  let client = Capfs.Client.create fs in
+  let net = Netlink.ethernet_10 s in
+  (Cc_server.create client net, net, client)
+
+let prime server path contents =
+  (* create the file server-side *)
+  let c = ref (Cc_client.attach server ~client_id:99 ~cache_blocks:64) in
+  Cc_client.open_ !c path Cc_server.Write;
+  Cc_client.write !c path ~offset:0 (Data.of_string contents);
+  Cc_client.close_ !c path
+
+let test_local_cache_hits () =
+  run_fs (fun s ->
+      let server, _, _ = make_server s in
+      prime server "/shared" (String.make 8192 's');
+      let a = Cc_client.attach server ~client_id:1 ~cache_blocks:64 in
+      Cc_client.open_ a "/shared" Cc_server.Read;
+      ignore (Cc_client.read a "/shared" ~offset:0 ~bytes:8192);
+      let remote_first = Cc_client.remote_reads a in
+      ignore (Cc_client.read a "/shared" ~offset:0 ~bytes:8192);
+      ignore (Cc_client.read a "/shared" ~offset:0 ~bytes:8192);
+      Alcotest.(check int) "no more remote reads" remote_first
+        (Cc_client.remote_reads a);
+      Alcotest.(check int) "four local hits" 4 (Cc_client.local_hits a);
+      Cc_client.close_ a "/shared")
+
+let test_caching_reduces_network_traffic () =
+  run_fs (fun s ->
+      let server, net, _ = make_server s in
+      prime server "/bigfile" (String.make 65536 'n');
+      let a = Cc_client.attach server ~client_id:1 ~cache_blocks:64 in
+      Cc_client.open_ a "/bigfile" Cc_server.Read;
+      ignore (Cc_client.read a "/bigfile" ~offset:0 ~bytes:65536);
+      let after_first = Netlink.bytes_carried net in
+      for _ = 1 to 5 do
+        ignore (Cc_client.read a "/bigfile" ~offset:0 ~bytes:65536)
+      done;
+      let after_rereads = Netlink.bytes_carried net in
+      Alcotest.(check int) "re-reads move no bytes" after_first after_rereads;
+      Cc_client.close_ a "/bigfile")
+
+let test_sequential_write_sharing () =
+  run_fs (fun s ->
+      let server, _, _ = make_server s in
+      prime server "/doc" "version one ";
+      let a = Cc_client.attach server ~client_id:1 ~cache_blocks:64 in
+      let b = Cc_client.attach server ~client_id:2 ~cache_blocks:64 in
+      (* B reads and caches v1 *)
+      Cc_client.open_ b "/doc" Cc_server.Read;
+      let v1 = Cc_client.read b "/doc" ~offset:0 ~bytes:12 in
+      Alcotest.(check string) "v1" "version one " (Data.to_string v1);
+      Cc_client.close_ b "/doc";
+      (* A rewrites the file (bumps the version) *)
+      Cc_client.open_ a "/doc" Cc_server.Write;
+      Cc_client.write a "/doc" ~offset:0 (Data.of_string "version two!");
+      Cc_client.close_ a "/doc";
+      (* B re-opens: its stale copy must be invalidated *)
+      Cc_client.open_ b "/doc" Cc_server.Read;
+      let v2 = Cc_client.read b "/doc" ~offset:0 ~bytes:12 in
+      Alcotest.(check string) "fresh contents" "version two!"
+        (Data.to_string v2);
+      Cc_client.close_ b "/doc")
+
+let test_concurrent_write_sharing_disables_caching () =
+  run_fs (fun s ->
+      let server, _, _ = make_server s in
+      prime server "/log" (String.make 4096 '0');
+      let writer = Cc_client.attach server ~client_id:1 ~cache_blocks:64 in
+      let reader = Cc_client.attach server ~client_id:2 ~cache_blocks:64 in
+      Cc_client.open_ writer "/log" Cc_server.Write;
+      (* second open while a writer holds it: caching off *)
+      Cc_client.open_ reader "/log" Cc_server.Read;
+      Alcotest.(check int) "file marked uncacheable" 1
+        (Cc_server.uncacheable_files server);
+      (* the writer's writes go through; the reader sees them at once *)
+      Cc_client.write writer "/log" ~offset:0 (Data.of_string "LIVE");
+      let seen = Cc_client.read reader "/log" ~offset:0 ~bytes:4 in
+      Alcotest.(check string) "read-through sees the write" "LIVE"
+        (Data.to_string seen);
+      (* and again: no stale cache in between *)
+      Cc_client.write writer "/log" ~offset:0 (Data.of_string "MORE");
+      let seen2 = Cc_client.read reader "/log" ~offset:0 ~bytes:4 in
+      Alcotest.(check string) "still read-through" "MORE"
+        (Data.to_string seen2);
+      Cc_client.close_ writer "/log";
+      Cc_client.close_ reader "/log")
+
+let test_caching_resumes_after_sharing_ends () =
+  run_fs (fun s ->
+      let server, _, _ = make_server s in
+      prime server "/f" (String.make 4096 'x');
+      let a = Cc_client.attach server ~client_id:1 ~cache_blocks:64 in
+      let b = Cc_client.attach server ~client_id:2 ~cache_blocks:64 in
+      Cc_client.open_ a "/f" Cc_server.Write;
+      Cc_client.open_ b "/f" Cc_server.Read;
+      Cc_client.close_ a "/f";
+      Cc_client.close_ b "/f";
+      Alcotest.(check int) "sharing over" 0
+        (Cc_server.uncacheable_files server);
+      (* new open caches again *)
+      Cc_client.open_ b "/f" Cc_server.Read;
+      ignore (Cc_client.read b "/f" ~offset:0 ~bytes:4096);
+      ignore (Cc_client.read b "/f" ~offset:0 ~bytes:4096);
+      Alcotest.(check bool) "hits again" true (Cc_client.local_hits b > 0);
+      Cc_client.close_ b "/f")
+
+let test_delayed_writes_flush_on_close () =
+  run_fs (fun s ->
+      let server, _, fs_client = make_server s in
+      let a = Cc_client.attach server ~client_id:1 ~cache_blocks:64 in
+      Cc_client.open_ a "/delayed" Cc_server.Write;
+      Cc_client.write a "/delayed" ~offset:0 (Data.of_string "buffered!");
+      Alcotest.(check bool) "dirty locally" true (Cc_client.dirty_blocks a > 0);
+      Cc_client.close_ a "/delayed";
+      Alcotest.(check int) "clean after close" 0 (Cc_client.dirty_blocks a);
+      (* visible server-side *)
+      let d =
+        Capfs.Client.read fs_client ~client:50 "/delayed" ~offset:0 ~bytes:9
+      in
+      Alcotest.(check string) "at the server" "buffered!" (Data.to_string d))
+
+let test_client_cache_bounded () =
+  run_fs (fun s ->
+      let server, _, _ = make_server s in
+      prime server "/big" (String.make (64 * 4096) 'b');
+      let a = Cc_client.attach server ~client_id:1 ~cache_blocks:8 in
+      Cc_client.open_ a "/big" Cc_server.Read;
+      ignore (Cc_client.read a "/big" ~offset:0 ~bytes:(64 * 4096));
+      if Cc_client.cached_blocks a > 8 then
+        Alcotest.failf "cache exceeded bound: %d" (Cc_client.cached_blocks a);
+      Cc_client.close_ a "/big")
+
+let test_network_time_is_charged () =
+  run_fs (fun s ->
+      let server, _, _ = make_server s in
+      prime server "/timed" (String.make 8192 't');
+      let a = Cc_client.attach server ~client_id:1 ~cache_blocks:64 in
+      Cc_client.open_ a "/timed" Cc_server.Read;
+      let t0 = Sched.now s in
+      ignore (Cc_client.read a "/timed" ~offset:0 ~bytes:8192);
+      let cold = Sched.now s -. t0 in
+      let t1 = Sched.now s in
+      ignore (Cc_client.read a "/timed" ~offset:0 ~bytes:8192);
+      let warm = Sched.now s -. t1 in
+      (* 8 KB at ~1.2 MB/s plus two RPC latencies: the cold read costs
+         simulated milliseconds; the warm one is free *)
+      if cold < 0.005 then Alcotest.failf "cold read too cheap: %.6f" cold;
+      Alcotest.(check (float 1e-9)) "warm read free" 0. warm;
+      Cc_client.close_ a "/timed")
+
+let suite =
+  [
+    Alcotest.test_case "local cache hits" `Quick test_local_cache_hits;
+    Alcotest.test_case "network traffic saved" `Quick
+      test_caching_reduces_network_traffic;
+    Alcotest.test_case "sequential write sharing" `Quick
+      test_sequential_write_sharing;
+    Alcotest.test_case "concurrent write sharing" `Quick
+      test_concurrent_write_sharing_disables_caching;
+    Alcotest.test_case "caching resumes" `Quick
+      test_caching_resumes_after_sharing_ends;
+    Alcotest.test_case "delayed writes flush on close" `Quick
+      test_delayed_writes_flush_on_close;
+    Alcotest.test_case "client cache bounded" `Quick test_client_cache_bounded;
+    Alcotest.test_case "network time charged" `Quick
+      test_network_time_is_charged;
+  ]

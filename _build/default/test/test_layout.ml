@@ -1,0 +1,741 @@
+(* Tests for the storage layouts: codec, inodes, segmented LFS (log,
+   cleaner, checkpoints, roll-forward), FFS baseline, simulator layout. *)
+
+open Capfs_layout
+module Sched = Capfs_sched.Sched
+module Data = Capfs_disk.Data
+module Driver = Capfs_disk.Driver
+
+let run_fs f =
+  let s = Sched.create ~clock:`Virtual () in
+  ignore (Sched.spawn s (fun () -> f s));
+  Sched.run s
+
+(* a 4 MB RAM disk: big enough for several segments, small enough to
+   force cleaning quickly *)
+let mem_driver ?(sectors = 8192) s =
+  Driver.create s (Driver.mem_transport ~sector_bytes:512 ~total_sectors:sectors s ())
+
+let small_lfs_config =
+  {
+    Lfs.seg_blocks = 16;
+    checkpoint_blocks = 8;
+    cleaner = Lfs.Cost_benefit;
+    min_free_segments = 3;
+    target_free_segments = 5;
+    first_ino = 1;
+    ino_stride = 1;
+  }
+
+let block_of_char c = Data.of_string (String.make 4096 c)
+
+(* Codec *)
+
+let test_codec_roundtrip () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 200;
+  Codec.Writer.u32 w 123456;
+  Codec.Writer.u64 w 987654321012;
+  Codec.Writer.f64 w (-3.14159);
+  Codec.Writer.string w "hello";
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  Alcotest.(check int) "u8" 200 (Codec.Reader.u8 r);
+  Alcotest.(check int) "u32" 123456 (Codec.Reader.u32 r);
+  Alcotest.(check int) "u64" 987654321012 (Codec.Reader.u64 r);
+  Alcotest.(check (float 1e-12)) "f64" (-3.14159) (Codec.Reader.f64 r);
+  Alcotest.(check string) "string" "hello" (Codec.Reader.string r);
+  Alcotest.(check int) "drained" 0 (Codec.Reader.remaining r)
+
+let test_codec_truncation_detected () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u64 w 42;
+  let s = String.sub (Codec.Writer.contents w) 0 3 in
+  let r = Codec.Reader.of_string s in
+  try
+    ignore (Codec.Reader.u64 r);
+    Alcotest.fail "truncated read must raise"
+  with Codec.Corrupt _ -> ()
+
+let prop_codec_f64_roundtrip =
+  QCheck.Test.make ~name:"codec f64 roundtrip" ~count:300
+    QCheck.(float_range (-1e12) 1e12)
+    (fun x ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.f64 w x;
+      let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+      Codec.Reader.f64 r = x)
+
+let test_crc_detects_flip () =
+  let s = "the quick brown fox" in
+  let flipped = "the quick brown fix" in
+  if Codec.crc s = Codec.crc flipped then Alcotest.fail "crc collision"
+
+(* Inode *)
+
+let test_inode_addr_map () =
+  let i = Inode.make ~ino:7 ~kind:Inode.Regular ~now:0. in
+  Alcotest.(check int) "hole" Inode.addr_none (Inode.get_addr i 5);
+  Inode.set_addr i 5 1234;
+  Alcotest.(check int) "set" 1234 (Inode.get_addr i 5);
+  Alcotest.(check int) "intermediate holes" Inode.addr_none
+    (Inode.get_addr i 3);
+  Alcotest.(check int) "nblocks" 6 i.Inode.nblocks
+
+let test_inode_truncate_returns_addrs () =
+  let i = Inode.make ~ino:7 ~kind:Inode.Regular ~now:0. in
+  Inode.set_addr i 0 10;
+  Inode.set_addr i 1 11;
+  Inode.set_addr i 3 13;
+  let dropped = Inode.truncate_blocks i ~blocks:1 in
+  Alcotest.(check (list int)) "dropped non-holes" [ 11; 13 ] dropped;
+  Alcotest.(check int) "nblocks" 1 i.Inode.nblocks;
+  Alcotest.(check int) "kept" 10 (Inode.get_addr i 0)
+
+let prop_inode_roundtrip =
+  QCheck.Test.make ~name:"inode serialize/deserialize roundtrip (direct)"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 30) (int_range 0 100000))
+    (fun addrs ->
+      let i = Inode.make ~ino:42 ~kind:Inode.Directory ~now:1.5 in
+      List.iteri (fun k a -> Inode.set_addr i k a) addrs;
+      i.Inode.size <- List.length addrs * 4096;
+      let i', indirect = Inode.deserialize (Inode.serialize i ~indirect:[]) in
+      indirect = []
+      && i'.Inode.ino = 42
+      && i'.Inode.size = i.Inode.size
+      && i'.Inode.nblocks = i.Inode.nblocks
+      && List.for_all
+           (fun k -> Inode.get_addr i' k = Inode.get_addr i k)
+           (List.init (List.length addrs) Fun.id))
+
+(* LFS *)
+
+let test_lfs_write_read_roundtrip () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+          ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks
+        [ (f.Inode.ino, 0, block_of_char 'a'); (f.Inode.ino, 1, block_of_char 'b') ];
+      Alcotest.(check string) "block 0" (String.make 4096 'a')
+        (Data.to_string (l.Layout.read_block f 0));
+      Alcotest.(check string) "block 1" (String.make 4096 'b')
+        (Data.to_string (l.Layout.read_block f 1));
+      (* a hole reads back as nothing *)
+      Alcotest.(check int) "hole size" 4096 (Data.length (l.Layout.read_block f 9)))
+
+let test_lfs_persists_across_remount () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let ino =
+        let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+            ~block_bytes:4096 in
+        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        f.Inode.size <- 8192;
+        l.Layout.update_inode f;
+        l.Layout.write_blocks
+          [ (f.Inode.ino, 0, block_of_char 'x');
+            (f.Inode.ino, 1, block_of_char 'y') ];
+        l.Layout.sync ();
+        f.Inode.ino
+      in
+      (* fresh mount from disk state only *)
+      let l2 = Lfs.mount ~config:small_lfs_config s drv in
+      match l2.Layout.get_inode ino with
+      | None -> Alcotest.fail "inode lost across remount"
+      | Some f ->
+        Alcotest.(check int) "size" 8192 f.Inode.size;
+        Alcotest.(check string) "block 0" (String.make 4096 'x')
+          (Data.to_string (l2.Layout.read_block f 0));
+        Alcotest.(check string) "block 1" (String.make 4096 'y')
+          (Data.to_string (l2.Layout.read_block f 1)))
+
+let test_lfs_indirect_blocks_roundtrip () =
+  run_fs (fun s ->
+      let drv = mem_driver ~sectors:32768 s in
+      let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+          ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      (* more blocks than ndirect (32) forces indirect spill *)
+      let n = 50 in
+      l.Layout.write_blocks
+        (List.init n (fun i ->
+             (f.Inode.ino, i, block_of_char (Char.chr (Char.code 'A' + (i mod 26))))));
+      l.Layout.sync ();
+      let l2 = Lfs.mount ~config:small_lfs_config s drv in
+      match l2.Layout.get_inode f.Inode.ino with
+      | None -> Alcotest.fail "inode lost"
+      | Some f' ->
+        for i = 0 to n - 1 do
+          let expect = String.make 4096 (Char.chr (Char.code 'A' + (i mod 26))) in
+          Alcotest.(check string)
+            (Printf.sprintf "block %d" i)
+            expect
+            (Data.to_string (l2.Layout.read_block f' i))
+        done)
+
+let test_lfs_overwrite_updates_in_log () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+          ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char '1') ];
+      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char '2') ];
+      Alcotest.(check string) "latest wins" (String.make 4096 '2')
+        (Data.to_string (l.Layout.read_block f 0)))
+
+let test_lfs_cleaner_preserves_data () =
+  run_fs (fun s ->
+      (* small disk (2 MB, ~30 segments) so overwrites must trigger
+         cleaning *)
+      let drv = mem_driver ~sectors:4096 s in
+      let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+          ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      (* Overwrite a small file many times: the log fills with dead
+         blocks and the cleaner must run. *)
+      for round = 0 to 60 do
+        l.Layout.write_blocks
+          (List.init 8 (fun i ->
+               (f.Inode.ino, i,
+                block_of_char (Char.chr (Char.code 'a' + ((round + i) mod 26))))))
+      done;
+      let cleanings =
+        match List.assoc_opt "cleanings" (l.Layout.layout_stats ()) with
+        | Some c -> int_of_float c
+        | None -> 0
+      in
+      if cleanings = 0 then Alcotest.fail "cleaner never ran";
+      (* last round was round 60 *)
+      for i = 0 to 7 do
+        let expect = String.make 4096 (Char.chr (Char.code 'a' + ((60 + i) mod 26))) in
+        Alcotest.(check string) (Printf.sprintf "block %d intact" i) expect
+          (Data.to_string (l.Layout.read_block f i))
+      done)
+
+let test_lfs_greedy_cleaner_also_works () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let cfg = { small_lfs_config with Lfs.cleaner = Lfs.Greedy } in
+      let l = Lfs.format_and_mount ~config:cfg s drv ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      for round = 0 to 60 do
+        l.Layout.write_blocks
+          [ (f.Inode.ino, round mod 4, block_of_char 'g') ]
+      done;
+      Alcotest.(check string) "data intact" (String.make 4096 'g')
+        (Data.to_string (l.Layout.read_block f 0)))
+
+let test_lfs_truncate_frees_segments () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+          ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks
+        (List.init 20 (fun i -> (f.Inode.ino, i, block_of_char 'z')));
+      let free_before = l.Layout.free_blocks () in
+      l.Layout.truncate f ~blocks:0;
+      ignore free_before;
+      Alcotest.(check int) "no mapped blocks" 0
+        (List.length (Inode.mapped f));
+      Alcotest.(check int) "hole read" 4096
+        (Data.length (l.Layout.read_block f 0)))
+
+let test_lfs_free_inode_forgets () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+          ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'q') ];
+      l.Layout.free_inode f.Inode.ino;
+      Alcotest.(check bool) "gone" true (l.Layout.get_inode f.Inode.ino = None))
+
+let test_lfs_roll_forward_recovers () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let ino =
+        let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+            ~block_bytes:4096 in
+        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'c') ];
+        l.Layout.sync ();
+        (* post-checkpoint writes: enough to seal full segments, then
+           "crash" without checkpointing *)
+        for i = 0 to 39 do
+          l.Layout.write_blocks [ (f.Inode.ino, 1 + (i mod 20), block_of_char 'd') ]
+        done;
+        f.Inode.ino
+      in
+      let l2 = Lfs.mount ~config:small_lfs_config s drv in
+      match l2.Layout.get_inode ino with
+      | None -> Alcotest.fail "inode lost in recovery"
+      | Some f ->
+        (* the checkpointed block must be there; rolled-forward blocks
+           for any sealed segment must read back as 'd' *)
+        Alcotest.(check string) "checkpointed block" (String.make 4096 'c')
+          (Data.to_string (l2.Layout.read_block f 0));
+        if f.Inode.nblocks > 1 then begin
+          match Inode.get_addr f 1 with
+          | a when a = Inode.addr_none -> ()
+          | _ ->
+            Alcotest.(check string) "rolled-forward block"
+              (String.make 4096 'd')
+              (Data.to_string (l2.Layout.read_block f 1))
+        end)
+
+let test_lfs_disk_full_raises () =
+  run_fs (fun s ->
+      let drv = mem_driver ~sectors:4096 s in
+      (* 2 MB disk, 16-block segments: fill it with live data *)
+      let cfg = { small_lfs_config with Lfs.min_free_segments = 1;
+                  target_free_segments = 2 } in
+      let l = Lfs.format_and_mount ~config:cfg s drv ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      try
+        (* one batch exceeding the log's capacity: all blocks live, the
+           cleaner has nothing to reclaim, the log must report full *)
+        l.Layout.write_blocks
+          (List.init 600 (fun i -> (f.Inode.ino, i, block_of_char 'f')));
+        Alcotest.fail "expected Disk_full"
+      with Lfs.Disk_full -> ())
+
+let test_lfs_stats_exposed () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+          ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks
+        (List.init 40 (fun i -> (f.Inode.ino, i, block_of_char 'k')));
+      let stats = l.Layout.layout_stats () in
+      List.iter
+        (fun k ->
+          if not (List.mem_assoc k stats) then
+            Alcotest.failf "missing stat %s" k)
+        [ "free_segments"; "sealed_segments"; "cleanings"; "log_blocks_written" ];
+      let sealed = List.assoc "sealed_segments" stats in
+      if sealed < 1. then Alcotest.fail "expected sealed segments")
+
+(* Failure injection: damaged images must be detected, and a torn
+   checkpoint must fall back to the other region. *)
+
+let corrupt_sector drv ~lba =
+  (* overwrite with garbage *)
+  Driver.write drv ~lba (Data.of_string (String.make 512 '\xde'))
+
+let test_lfs_corrupt_superblock_detected () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+          ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'v') ];
+      l.Layout.sync ();
+      corrupt_sector drv ~lba:0;
+      match Lfs.mount ~config:small_lfs_config s drv with
+      | _ -> Alcotest.fail "corrupt superblock must be rejected"
+      | exception Codec.Corrupt _ -> ())
+
+let test_lfs_torn_checkpoint_falls_back () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let ino =
+        let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+            ~block_bytes:4096 in
+        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'c') ];
+        l.Layout.sync ();
+        (* a second sync writes the alternate region *)
+        l.Layout.write_blocks [ (f.Inode.ino, 1, block_of_char 'd') ];
+        l.Layout.sync ();
+        f.Inode.ino
+      in
+      (* tear the newer checkpoint region (region A and B alternate; the
+         2nd sync went to B at block 9 with checkpoint_blocks = 8) *)
+      corrupt_sector drv ~lba:(9 * 8);
+      let l2 = Lfs.mount ~config:small_lfs_config s drv in
+      match l2.Layout.get_inode ino with
+      | None -> Alcotest.fail "fallback checkpoint lost the inode"
+      | Some f ->
+        (* the older checkpoint plus roll-forward still reads block 0 *)
+        Alcotest.(check string) "block 0 intact" (String.make 4096 'c')
+          (Data.to_string (l2.Layout.read_block f 0)))
+
+let test_ffs_corrupt_superblock_detected () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Ffs.format_and_mount
+          ~config:{ Ffs.group_blocks = 128; inodes_per_group = 16 }
+          s drv ~block_bytes:4096 in
+      l.Layout.sync ();
+      corrupt_sector drv ~lba:0;
+      match Ffs.mount s drv with
+      | _ -> Alcotest.fail "corrupt ffs superblock must be rejected"
+      | exception Codec.Corrupt _ -> ())
+
+let test_lfs_adopted_blocks_survive_cleaning_pressure () =
+  run_fs (fun s ->
+      let drv = mem_driver ~sectors:4096 s in
+      let l = Lfs.format_and_mount ~config:small_lfs_config s drv
+          ~block_bytes:4096 in
+      (* adopt a pre-existing file, then churn real writes around it *)
+      let old = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.adopt old ~blocks:8;
+      old.Inode.size <- 8 * 4096;
+      l.Layout.update_inode old;
+      let churn = l.Layout.alloc_inode ~kind:Inode.Regular in
+      for round = 0 to 40 do
+        l.Layout.write_blocks
+          [ (churn.Inode.ino, round mod 6, block_of_char 'w') ]
+      done;
+      (* the adopted addresses must still be mapped *)
+      for i = 0 to 7 do
+        if Inode.get_addr old i = Inode.addr_none then
+          Alcotest.failf "adopted block %d lost its address" i
+      done)
+
+(* FFS *)
+
+let small_ffs_config = { Ffs.group_blocks = 128; inodes_per_group = 16 }
+
+let test_ffs_write_read_roundtrip () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Ffs.format_and_mount ~config:small_ffs_config s drv
+          ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks
+        [ (f.Inode.ino, 0, block_of_char 'm'); (f.Inode.ino, 1, block_of_char 'n') ];
+      Alcotest.(check string) "block 0" (String.make 4096 'm')
+        (Data.to_string (l.Layout.read_block f 0));
+      Alcotest.(check string) "block 1" (String.make 4096 'n')
+        (Data.to_string (l.Layout.read_block f 1)))
+
+let test_ffs_persists_across_remount () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let ino =
+        let l = Ffs.format_and_mount ~config:small_ffs_config s drv
+            ~block_bytes:4096 in
+        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        f.Inode.size <- 4096;
+        l.Layout.update_inode f;
+        l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'p') ];
+        l.Layout.sync ();
+        f.Inode.ino
+      in
+      let l2 = Ffs.mount s drv in
+      match l2.Layout.get_inode ino with
+      | None -> Alcotest.fail "ffs inode lost"
+      | Some f ->
+        Alcotest.(check int) "size" 4096 f.Inode.size;
+        Alcotest.(check string) "data" (String.make 4096 'p')
+          (Data.to_string (l2.Layout.read_block f 0)))
+
+let test_ffs_blocks_stay_put_on_overwrite () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Ffs.format_and_mount ~config:small_ffs_config s drv
+          ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char '1') ];
+      let a1 = Inode.get_addr f 0 in
+      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char '2') ];
+      Alcotest.(check int) "update in place" a1 (Inode.get_addr f 0);
+      Alcotest.(check string) "new data" (String.make 4096 '2')
+        (Data.to_string (l.Layout.read_block f 0)))
+
+let test_ffs_free_reuses_blocks () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Ffs.format_and_mount ~config:small_ffs_config s drv
+          ~block_bytes:4096 in
+      let free0 = l.Layout.free_blocks () in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks
+        (List.init 10 (fun i -> (f.Inode.ino, i, block_of_char 'r')));
+      Alcotest.(check int) "10 used" (free0 - 10) (l.Layout.free_blocks ());
+      l.Layout.truncate f ~blocks:0;
+      Alcotest.(check int) "freed" free0 (l.Layout.free_blocks ())
+
+)
+
+let test_ffs_inode_numbers_unique () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Ffs.format_and_mount ~config:small_ffs_config s drv
+          ~block_bytes:4096 in
+      let seen = Hashtbl.create 64 in
+      for _ = 1 to 40 do
+        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        if Hashtbl.mem seen f.Inode.ino then
+          Alcotest.failf "duplicate ino %d" f.Inode.ino;
+        Hashtbl.replace seen f.Inode.ino ()
+      done)
+
+(* JFS — the metadata-journaling layout *)
+
+let jfs_config = { Jfs.journal_blocks = 8 }
+
+let test_jfs_write_read_roundtrip () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Jfs.format_and_mount ~config:jfs_config s drv ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks
+        [ (f.Inode.ino, 0, block_of_char 'j'); (f.Inode.ino, 1, block_of_char 'k') ];
+      Alcotest.(check string) "block 0" (String.make 4096 'j')
+        (Data.to_string (l.Layout.read_block f 0));
+      Alcotest.(check string) "block 1" (String.make 4096 'k')
+        (Data.to_string (l.Layout.read_block f 1)))
+
+let test_jfs_journal_replay_on_mount () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let ino =
+        let l = Jfs.format_and_mount ~config:jfs_config s drv
+            ~block_bytes:4096 in
+        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        f.Inode.size <- 8192;
+        l.Layout.update_inode f;
+        l.Layout.write_blocks
+          [ (f.Inode.ino, 0, block_of_char 'p');
+            (f.Inode.ino, 1, block_of_char 'q') ];
+        l.Layout.sync ();
+        (* a deletion in a later commit must also replay *)
+        let victim = l.Layout.alloc_inode ~kind:Inode.Regular in
+        l.Layout.write_blocks [ (victim.Inode.ino, 0, block_of_char 'v') ];
+        l.Layout.sync ();
+        l.Layout.free_inode victim.Inode.ino;
+        l.Layout.sync ();
+        f.Inode.ino
+      in
+      let l2 = Jfs.mount s drv in
+      (match l2.Layout.get_inode ino with
+      | None -> Alcotest.fail "journal replay lost the inode"
+      | Some f ->
+        Alcotest.(check int) "size" 8192 f.Inode.size;
+        Alcotest.(check string) "data" (String.make 4096 'p')
+          (Data.to_string (l2.Layout.read_block f 0)));
+      Alcotest.(check bool) "deleted inode stays deleted" true
+        (l2.Layout.get_inode (ino + 1) = None))
+
+let test_jfs_uncommitted_changes_lost_on_crash () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let committed, uncommitted =
+        let l = Jfs.format_and_mount ~config:jfs_config s drv
+            ~block_bytes:4096 in
+        let a = l.Layout.alloc_inode ~kind:Inode.Regular in
+        l.Layout.write_blocks [ (a.Inode.ino, 0, block_of_char 'a') ];
+        l.Layout.sync ();
+        (* no sync after this one: a crash forgets it *)
+        let b = l.Layout.alloc_inode ~kind:Inode.Regular in
+        l.Layout.write_blocks [ (b.Inode.ino, 0, block_of_char 'b') ];
+        (a.Inode.ino, b.Inode.ino)
+      in
+      let l2 = Jfs.mount s drv in
+      Alcotest.(check bool) "committed survives" true
+        (l2.Layout.get_inode committed <> None);
+      Alcotest.(check bool) "uncommitted is gone" true
+        (l2.Layout.get_inode uncommitted = None))
+
+let test_jfs_compaction_keeps_state () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Jfs.format_and_mount ~config:jfs_config s drv ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      (* many small commits overflow an 8-block journal repeatedly *)
+      for round = 0 to 59 do
+        l.Layout.write_blocks
+          [ (f.Inode.ino, round mod 4,
+             block_of_char (Char.chr (97 + (round mod 26)))) ];
+        l.Layout.sync ()
+      done;
+      let compactions = List.assoc "compactions" (l.Layout.layout_stats ()) in
+      if compactions < 1. then Alcotest.fail "journal never compacted";
+      let l2 = Jfs.mount s drv in
+      match l2.Layout.get_inode f.Inode.ino with
+      | None -> Alcotest.fail "inode lost across compactions"
+      | Some f' ->
+        Alcotest.(check string) "latest committed data"
+          (String.make 4096 (Char.chr (97 + (56 mod 26))))
+          (Data.to_string (l2.Layout.read_block f' 0)))
+
+let test_jfs_free_blocks_accounting () =
+  run_fs (fun s ->
+      let drv = mem_driver s in
+      let l = Jfs.format_and_mount ~config:jfs_config s drv ~block_bytes:4096 in
+      let free0 = l.Layout.free_blocks () in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      l.Layout.write_blocks
+        (List.init 10 (fun i -> (f.Inode.ino, i, block_of_char 'z')));
+      Alcotest.(check int) "allocated" (free0 - 10) (l.Layout.free_blocks ());
+      l.Layout.truncate f ~blocks:0;
+      Alcotest.(check int) "freed" free0 (l.Layout.free_blocks ()))
+
+(* Simulator layout *)
+
+let test_sim_layout_sticky_addresses () =
+  run_fs (fun s ->
+      let bus = Capfs_disk.Bus.scsi2 s in
+      let disk = Capfs_disk.Sim_disk.create s Capfs_disk.Disk_model.hp97560 bus in
+      let drv = Driver.create s (Driver.sim_transport disk) in
+      let l = Sim_layout.create ~seed:7 s drv ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      (* reading the same block twice must hit the same disk address:
+         timing of the second read shows the on-disk cache hit *)
+      let t0 = Sched.now s in
+      ignore (l.Layout.read_block f 0);
+      let first = Sched.now s -. t0 in
+      let t1 = Sched.now s in
+      ignore (l.Layout.read_block f 0);
+      let second = Sched.now s -. t1 in
+      if second >= first then
+        Alcotest.failf
+          "sticky address should re-hit the disk cache (%.5f vs %.5f)" second
+          first)
+
+let test_sim_layout_deterministic_by_seed () =
+  let run seed =
+    let order = ref [] in
+    run_fs (fun s ->
+        let mem = Driver.mem_transport ~sector_bytes:512 ~total_sectors:8192 s () in
+        let drv = Driver.create s mem in
+        let l = Sim_layout.create ~seed s drv ~block_bytes:4096 in
+        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'w') ];
+        order := l.Layout.layout_stats ());
+    !order
+  in
+  Alcotest.(check bool) "same seed same placement" true (run 3 = run 3)
+
+let test_sim_layout_charges_first_touch () =
+  run_fs (fun s ->
+      let reg = Capfs_stats.Registry.create () in
+      let mem = Driver.mem_transport ~sector_bytes:512 ~total_sectors:8192 s () in
+      let drv = Driver.create s mem in
+      let l = Sim_layout.create ~registry:reg ~seed:5 s drv ~block_bytes:4096 in
+      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      ignore (l.Layout.read_block f 0);
+      ignore (l.Layout.read_block f 1);
+      match Capfs_stats.Registry.find reg "simlayout.guesses" with
+      | Some st ->
+        Alcotest.(check int) "one placement guess" 1
+          (Capfs_stats.Stat.count st)
+      | None -> Alcotest.fail "guesses stat missing")
+
+(* Cross-layout property: random write/read sequences always read back
+   the last write, on both LFS and FFS. *)
+let prop_layout_read_after_write layout_name make_layout =
+  QCheck.Test.make
+    ~name:(layout_name ^ " reads back the last write")
+    ~count:30
+    QCheck.(
+      list_of_size Gen.(int_range 1 40)
+        (pair (int_range 0 2) (int_range 0 11)))
+    (fun ops ->
+      let ok = ref true in
+      run_fs (fun s ->
+          let drv = mem_driver ~sectors:16384 s in
+          let l = make_layout s drv in
+          let files = Array.init 3 (fun _ -> l.Layout.alloc_inode ~kind:Inode.Regular) in
+          let model : (int * int, char) Hashtbl.t = Hashtbl.create 64 in
+          List.iteri
+            (fun i (fidx, blk) ->
+              let c = Char.chr (Char.code 'a' + (i mod 26)) in
+              l.Layout.write_blocks [ (files.(fidx).Inode.ino, blk, block_of_char c) ];
+              Hashtbl.replace model (fidx, blk) c)
+            ops;
+          Hashtbl.iter
+            (fun (fidx, blk) c ->
+              let got = Data.to_string (l.Layout.read_block files.(fidx) blk) in
+              if got <> String.make 4096 c then ok := false)
+            model);
+      !ok)
+
+let prop_lfs_read_after_write =
+  prop_layout_read_after_write "lfs" (fun s drv ->
+      Lfs.format_and_mount ~config:small_lfs_config s drv ~block_bytes:4096)
+
+let prop_ffs_read_after_write =
+  prop_layout_read_after_write "ffs" (fun s drv ->
+      Ffs.format_and_mount ~config:small_ffs_config s drv ~block_bytes:4096)
+
+let prop_jfs_read_after_write =
+  prop_layout_read_after_write "jfs" (fun s drv ->
+      Jfs.format_and_mount ~config:jfs_config s drv ~block_bytes:4096)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_codec_f64_roundtrip;
+      prop_inode_roundtrip;
+      prop_lfs_read_after_write;
+      prop_ffs_read_after_write;
+      prop_jfs_read_after_write;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec truncation detected" `Quick
+      test_codec_truncation_detected;
+    Alcotest.test_case "crc detects flip" `Quick test_crc_detects_flip;
+    Alcotest.test_case "inode addr map" `Quick test_inode_addr_map;
+    Alcotest.test_case "inode truncate" `Quick test_inode_truncate_returns_addrs;
+    Alcotest.test_case "lfs write/read roundtrip" `Quick
+      test_lfs_write_read_roundtrip;
+    Alcotest.test_case "lfs persists across remount" `Quick
+      test_lfs_persists_across_remount;
+    Alcotest.test_case "lfs indirect blocks" `Quick
+      test_lfs_indirect_blocks_roundtrip;
+    Alcotest.test_case "lfs overwrite in log" `Quick
+      test_lfs_overwrite_updates_in_log;
+    Alcotest.test_case "lfs cleaner preserves data" `Quick
+      test_lfs_cleaner_preserves_data;
+    Alcotest.test_case "lfs greedy cleaner" `Quick
+      test_lfs_greedy_cleaner_also_works;
+    Alcotest.test_case "lfs truncate" `Quick test_lfs_truncate_frees_segments;
+    Alcotest.test_case "lfs free inode" `Quick test_lfs_free_inode_forgets;
+    Alcotest.test_case "lfs roll-forward recovery" `Quick
+      test_lfs_roll_forward_recovers;
+    Alcotest.test_case "lfs disk full" `Quick test_lfs_disk_full_raises;
+    Alcotest.test_case "lfs stats exposed" `Quick test_lfs_stats_exposed;
+    Alcotest.test_case "lfs corrupt superblock" `Quick
+      test_lfs_corrupt_superblock_detected;
+    Alcotest.test_case "lfs torn checkpoint fallback" `Quick
+      test_lfs_torn_checkpoint_falls_back;
+    Alcotest.test_case "ffs corrupt superblock" `Quick
+      test_ffs_corrupt_superblock_detected;
+    Alcotest.test_case "adopted blocks survive churn" `Quick
+      test_lfs_adopted_blocks_survive_cleaning_pressure;
+    Alcotest.test_case "ffs write/read roundtrip" `Quick
+      test_ffs_write_read_roundtrip;
+    Alcotest.test_case "ffs persists across remount" `Quick
+      test_ffs_persists_across_remount;
+    Alcotest.test_case "ffs update in place" `Quick
+      test_ffs_blocks_stay_put_on_overwrite;
+    Alcotest.test_case "ffs free reuses blocks" `Quick
+      test_ffs_free_reuses_blocks;
+    Alcotest.test_case "ffs unique inos" `Quick test_ffs_inode_numbers_unique;
+    Alcotest.test_case "jfs write/read" `Quick test_jfs_write_read_roundtrip;
+    Alcotest.test_case "jfs journal replay" `Quick
+      test_jfs_journal_replay_on_mount;
+    Alcotest.test_case "jfs crash loses uncommitted only" `Quick
+      test_jfs_uncommitted_changes_lost_on_crash;
+    Alcotest.test_case "jfs compaction" `Quick test_jfs_compaction_keeps_state;
+    Alcotest.test_case "jfs free accounting" `Quick
+      test_jfs_free_blocks_accounting;
+    Alcotest.test_case "sim layout sticky" `Quick
+      test_sim_layout_sticky_addresses;
+    Alcotest.test_case "sim layout deterministic" `Quick
+      test_sim_layout_deterministic_by_seed;
+    Alcotest.test_case "sim layout first-touch charge" `Quick
+      test_sim_layout_charges_first_touch;
+  ]
+  @ qsuite

@@ -1,0 +1,268 @@
+(* Tests for the Patsy instantiation: time synthesis, replay, the
+   multiplexed volumes and the write-policy experiment harness. *)
+
+module Sched = Capfs_sched.Sched
+module Record = Capfs_trace.Record
+module Synth = Capfs_trace.Synth
+module Replay = Capfs_patsy.Replay
+module Experiment = Capfs_patsy.Experiment
+module Report = Capfs_patsy.Report
+module Multiplex = Capfs_patsy.Multiplex
+module Layout = Capfs_layout.Layout
+module Inode = Capfs_layout.Inode
+module Lfs = Capfs_layout.Lfs
+module Driver = Capfs_disk.Driver
+module Data = Capfs_disk.Data
+
+(* a fast config for tests: tiny cache, 2 disks, 1 bus *)
+let test_config policy =
+  {
+    (Experiment.default policy) with
+    Experiment.ndisks = 2;
+    nbuses = 1;
+    cache_mb = 4;
+    nvram_mb = 1;
+    seed = 7;
+  }
+
+let small_trace ?(seed = 3) ?(duration = 120.) () =
+  Synth.generate ~seed ~duration
+    { Synth.sprite_1a with Synth.clients = 4; files = 60; dirs = 4 }
+
+(* Time synthesis *)
+
+let test_synthesize_times_equidistant () =
+  let mk time op = { Record.time; client = 1; op } in
+  let path = "/f" in
+  let records =
+    [
+      mk 10. (Record.Open { path; mode = Record.Write_only });
+      mk Record.no_time (Record.Write { path; offset = 0; bytes = 100 });
+      mk Record.no_time (Record.Write { path; offset = 100; bytes = 100 });
+      mk Record.no_time (Record.Write { path; offset = 200; bytes = 100 });
+      mk 14. (Record.Close { path });
+    ]
+  in
+  match Replay.synthesize_times records with
+  | [ _; w1; w2; w3; _ ] ->
+    Alcotest.(check (float 1e-9)) "w1" 11. w1.Record.time;
+    Alcotest.(check (float 1e-9)) "w2" 12. w2.Record.time;
+    Alcotest.(check (float 1e-9)) "w3" 13. w3.Record.time
+  | _ -> Alcotest.fail "record count changed"
+
+let test_synthesize_times_leftovers_inherit () =
+  let mk time op = { Record.time; client = 1; op } in
+  let records =
+    [
+      mk 5. (Record.Stat { path = "/x" });
+      mk Record.no_time (Record.Truncate { path = "/y"; size = 0 });
+      mk 9. (Record.Stat { path = "/z" });
+    ]
+  in
+  match Replay.synthesize_times records with
+  | [ _; t; _ ] -> Alcotest.(check (float 1e-9)) "inherits prev" 5. t.Record.time
+  | _ -> Alcotest.fail "record count changed"
+
+let test_synthesize_preserves_order_and_count () =
+  let records = small_trace () in
+  let out = Replay.synthesize_times records in
+  Alcotest.(check int) "count" (List.length records) (List.length out);
+  List.iter
+    (fun r ->
+      if not (Record.has_time r) then
+        Alcotest.failf "record still untimed: %a" Record.pp r)
+    out
+
+(* Replay over a full simulated instance *)
+
+let run_replay ?(config = test_config Experiment.Ups) trace =
+  Experiment.run config ~trace
+
+let test_replay_executes_all_operations () =
+  let trace = small_trace () in
+  let o = run_replay trace in
+  Alcotest.(check int) "every record dispatched" (List.length trace)
+    o.Experiment.replay.Replay.operations;
+  if o.Experiment.replay.Replay.errors * 10 > List.length trace then
+    Alcotest.failf "too many errors: %d of %d"
+      o.Experiment.replay.Replay.errors (List.length trace)
+
+let test_replay_takes_trace_time () =
+  let trace = small_trace ~duration:120. () in
+  let o = run_replay trace in
+  let elapsed = o.Experiment.replay.Replay.elapsed in
+  if elapsed < 30. || elapsed > 600. then
+    Alcotest.failf "simulated span %.1f implausible for a 120 s trace" elapsed
+
+let test_replay_deterministic () =
+  let trace = small_trace () in
+  let o1 = run_replay trace and o2 = run_replay trace in
+  Alcotest.(check int) "ops" o1.Experiment.replay.Replay.operations
+    o2.Experiment.replay.Replay.operations;
+  Alcotest.(check (float 1e-12)) "identical mean latency"
+    (Capfs_stats.Sample_set.mean o1.Experiment.replay.Replay.latency)
+    (Capfs_stats.Sample_set.mean o2.Experiment.replay.Replay.latency);
+  Alcotest.(check int) "identical flush traffic" o1.Experiment.blocks_flushed
+    o2.Experiment.blocks_flushed
+
+let test_replay_windows_cover_run () =
+  let trace = small_trace ~duration:120. () in
+  let o =
+    Experiment.run (test_config Experiment.Ups) ~trace
+  in
+  let windows =
+    Capfs_stats.Interval.windows o.Experiment.replay.Replay.windows
+  in
+  (* 120 s at a 900 s window: one window *)
+  Alcotest.(check int) "one window" 1 (List.length windows);
+  let total =
+    List.fold_left
+      (fun n w -> n + Capfs_stats.Welford.count w.Capfs_stats.Interval.summary)
+      0 windows
+  in
+  Alcotest.(check int) "all ops in windows"
+    o.Experiment.replay.Replay.operations total
+
+(* Policy behaviour on the shared trace *)
+
+let test_ups_writes_less_than_write_delay () =
+  let trace = small_trace ~duration:240. () in
+  let wd = Experiment.run (test_config Experiment.Write_delay) ~trace in
+  let ups = Experiment.run (test_config Experiment.Ups) ~trace in
+  if ups.Experiment.blocks_flushed >= wd.Experiment.blocks_flushed then
+    Alcotest.failf "write saving failed: ups flushed %d, write-delay %d"
+      ups.Experiment.blocks_flushed wd.Experiment.blocks_flushed;
+  if ups.Experiment.writes_absorbed <= wd.Experiment.writes_absorbed then
+    Alcotest.failf "ups should absorb more (%d vs %d)"
+      ups.Experiment.writes_absorbed wd.Experiment.writes_absorbed
+
+let test_nvram_bounds_dirty_data () =
+  let trace = small_trace ~duration:240. () in
+  let o = Experiment.run (test_config Experiment.Nvram_whole) ~trace in
+  (* 1 MB NVRAM = 256 blocks: the nvram_used stat must never exceed it *)
+  match Capfs_stats.Registry.find o.Experiment.registry "cache.nvram_used" with
+  | Some st ->
+    if Capfs_stats.Welford.max (Capfs_stats.Stat.welford st) > 256. then
+      Alcotest.fail "NVRAM budget exceeded"
+  | None -> Alcotest.fail "nvram_used stat missing"
+
+let test_all_policies_complete () =
+  let trace = small_trace ~duration:60. () in
+  List.iter
+    (fun policy ->
+      let o = Experiment.run (test_config policy) ~trace in
+      Alcotest.(check int)
+        (Experiment.policy_name policy ^ " completes")
+        (List.length trace)
+        o.Experiment.replay.Replay.operations)
+    Experiment.all_policies
+
+(* Multiplex *)
+
+let test_multiplex_routes_by_ino () =
+  let s = Sched.create ~clock:`Virtual () in
+  ignore
+    (Sched.spawn s (fun () ->
+         let vol v =
+           let drv =
+             Driver.create s
+               (Driver.mem_transport ~sector_bytes:512 ~total_sectors:8192 s ())
+           in
+           Lfs.format_and_mount
+             ~config:
+               {
+                 Lfs.default_config with
+                 Lfs.seg_blocks = 16;
+                 checkpoint_blocks = 8;
+                 first_ino = v + 1;
+                 ino_stride = 2;
+               }
+             s drv ~block_bytes:4096
+         in
+         let volumes = [| vol 0; vol 1 |] in
+         let m = Multiplex.layout volumes in
+         let a = m.Layout.alloc_inode ~kind:Inode.Regular in
+         let b = m.Layout.alloc_inode ~kind:Inode.Regular in
+         (* round-robin: volume 0 mints odd inos (1,3,..), volume 1 even *)
+         Alcotest.(check int) "first ino" 1 a.Inode.ino;
+         Alcotest.(check int) "second ino" 2 b.Inode.ino;
+         m.Layout.write_blocks
+           [ (a.Inode.ino, 0, Data.of_string (String.make 4096 'a'));
+             (b.Inode.ino, 0, Data.of_string (String.make 4096 'b')) ];
+         Alcotest.(check string) "a data" (String.make 4096 'a')
+           (Data.to_string (m.Layout.read_block a 0));
+         Alcotest.(check string) "b data" (String.make 4096 'b')
+           (Data.to_string (m.Layout.read_block b 0));
+         (* each volume holds exactly its own file *)
+         Alcotest.(check bool) "a on vol0" true
+           (volumes.(0).Layout.get_inode 1 <> None);
+         Alcotest.(check bool) "a not on vol1" true
+           (volumes.(1).Layout.get_inode 1 = None)));
+  Sched.run s
+
+(* Report plumbing *)
+
+let test_report_cdf_is_monotone () =
+  let trace = small_trace () in
+  let o = run_replay trace in
+  let series = Report.cdf_series o.Experiment.replay in
+  let rec check = function
+    | (v1, q1) :: ((v2, q2) :: _ as rest) ->
+      if v2 < v1 -. 1e-12 || q2 < q1 -. 1e-12 then
+        Alcotest.fail "CDF must be monotone";
+      check rest
+    | _ -> ()
+  in
+  check series;
+  (match List.rev series with
+  | (_, q_last) :: _ -> Alcotest.(check (float 1e-9)) "ends at 1" 1. q_last
+  | [] -> Alcotest.fail "empty series");
+  let cache_frac, rot_frac = Report.boundary_fractions o.Experiment.replay in
+  if cache_frac > rot_frac +. 1e-12 then
+    Alcotest.fail "2ms fraction cannot exceed 17ms fraction"
+
+let test_adopted_files_cost_disk_reads () =
+  (* a trace that only reads a pre-existing file: the first read must
+     pay disk time (synthesized blocks are on disk, not in cache) *)
+  let mk time op = { Record.time; client = 1; op } in
+  let trace =
+    [
+      mk 0.1 (Record.Open { path = "/d0/old"; mode = Record.Read_only });
+      mk Record.no_time (Record.Read { path = "/d0/old"; offset = 0; bytes = 8192 });
+      mk 0.5 (Record.Close { path = "/d0/old" });
+    ]
+  in
+  let o = run_replay trace in
+  Alcotest.(check int) "no errors" 0 o.Experiment.replay.Replay.errors;
+  let misses =
+    match Capfs_stats.Registry.find o.Experiment.registry "cache.misses" with
+    | Some st -> Capfs_stats.Stat.count st
+    | None -> 0
+  in
+  if misses = 0 then Alcotest.fail "pre-existing file should miss the cache"
+
+let suite =
+  [
+    Alcotest.test_case "synthesize equidistant" `Quick
+      test_synthesize_times_equidistant;
+    Alcotest.test_case "synthesize leftovers" `Quick
+      test_synthesize_times_leftovers_inherit;
+    Alcotest.test_case "synthesize preserves order" `Quick
+      test_synthesize_preserves_order_and_count;
+    Alcotest.test_case "replay executes all" `Quick
+      test_replay_executes_all_operations;
+    Alcotest.test_case "replay takes trace time" `Quick
+      test_replay_takes_trace_time;
+    Alcotest.test_case "replay deterministic" `Quick test_replay_deterministic;
+    Alcotest.test_case "replay windows" `Quick test_replay_windows_cover_run;
+    Alcotest.test_case "ups writes less" `Quick
+      test_ups_writes_less_than_write_delay;
+    Alcotest.test_case "nvram bounded" `Quick test_nvram_bounds_dirty_data;
+    Alcotest.test_case "all policies complete" `Quick
+      test_all_policies_complete;
+    Alcotest.test_case "multiplex routes by ino" `Quick
+      test_multiplex_routes_by_ino;
+    Alcotest.test_case "report cdf monotone" `Quick test_report_cdf_is_monotone;
+    Alcotest.test_case "adopted files cost reads" `Quick
+      test_adopted_files_cost_disk_reads;
+  ]

@@ -1,0 +1,321 @@
+(* Unit and property tests for capfs_stats. *)
+
+open Capfs_stats
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) what expected got =
+  if not (feq ~eps expected got) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" what expected got
+
+(* Welford *)
+
+let test_welford_basic () =
+  let w = Welford.create () in
+  List.iter (Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Welford.count w);
+  check_float "mean" 5. (Welford.mean w);
+  (* unbiased sample variance of that classic data set is 32/7 *)
+  check_float ~eps:1e-9 "variance" (32. /. 7.) (Welford.variance w);
+  check_float "min" 2. (Welford.min w);
+  check_float "max" 9. (Welford.max w);
+  check_float "total" 40. (Welford.total w)
+
+let test_welford_empty () =
+  let w = Welford.create () in
+  Alcotest.(check int) "count" 0 (Welford.count w);
+  check_float "mean" 0. (Welford.mean w);
+  check_float "variance" 0. (Welford.variance w)
+
+let test_welford_reset () =
+  let w = Welford.create () in
+  Welford.add w 10.;
+  Welford.reset w;
+  Alcotest.(check int) "count" 0 (Welford.count w);
+  Welford.add w 3.;
+  check_float "mean" 3. (Welford.mean w)
+
+let test_welford_merge () =
+  let a = Welford.create () and b = Welford.create () in
+  List.iter (Welford.add a) [ 1.; 2.; 3. ];
+  List.iter (Welford.add b) [ 10.; 20. ];
+  let m = Welford.merge a b in
+  let all = Welford.create () in
+  List.iter (Welford.add all) [ 1.; 2.; 3.; 10.; 20. ];
+  Alcotest.(check int) "count" (Welford.count all) (Welford.count m);
+  check_float ~eps:1e-9 "mean" (Welford.mean all) (Welford.mean m);
+  check_float ~eps:1e-9 "variance" (Welford.variance all) (Welford.variance m)
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~name:"welford matches naive mean/variance" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let w = Welford.create () in
+      List.iter (Welford.add w) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+        /. (n -. 1.)
+      in
+      feq ~eps:1e-6 mean (Welford.mean w)
+      && (var < 1e-12 || abs_float (var -. Welford.variance w) /. var < 1e-6))
+
+(* Histogram *)
+
+let test_histogram_linear () =
+  let h = Histogram.linear ~lo:0. ~hi:10. ~buckets:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; -1.; 10.; 100. ];
+  Alcotest.(check int) "bucket0" 1 (Histogram.count h 0);
+  Alcotest.(check int) "bucket1" 2 (Histogram.count h 1);
+  Alcotest.(check int) "bucket9" 1 (Histogram.count h 9);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Histogram.overflow h);
+  Alcotest.(check int) "total" 7 (Histogram.total h)
+
+let test_histogram_log () =
+  let h = Histogram.log ~lo:1e-4 ~hi:10. ~per_decade:5 in
+  Alcotest.(check int) "buckets" 25 (Histogram.buckets h);
+  Histogram.add h 1e-4;
+  Histogram.add h 0.99;
+  Histogram.add h 0.;
+  Alcotest.(check int) "underflow counts nonpositive" 1 (Histogram.underflow h);
+  Alcotest.(check int) "total" 3 (Histogram.total h);
+  let lo, hi = Histogram.bounds h 0 in
+  check_float ~eps:1e-12 "first lo" 1e-4 lo;
+  if not (hi > lo) then Alcotest.fail "bucket bounds ordered"
+
+let test_histogram_weights_and_cdf () =
+  let h = Histogram.linear ~lo:0. ~hi:4. ~buckets:4 in
+  Histogram.add ~weight:3 h 0.5;
+  Histogram.add ~weight:1 h 3.5;
+  let cdf = Histogram.cdf h in
+  Alcotest.(check int) "cdf points" 4 (List.length cdf);
+  let _, f0 = List.nth cdf 0 in
+  check_float "cdf after bucket0" 0.75 f0;
+  let _, f3 = List.nth cdf 3 in
+  check_float "cdf after bucket3" 1.0 f3
+
+let test_histogram_quantile () =
+  let h = Histogram.linear ~lo:0. ~hi:100. ~buckets:100 in
+  for i = 0 to 99 do
+    Histogram.add h (float_of_int i +. 0.5)
+  done;
+  let q50 = Histogram.quantile h 0.5 in
+  if q50 < 45. || q50 > 55. then
+    Alcotest.failf "median %g out of expected band" q50
+
+let prop_histogram_mass_conserved =
+  QCheck.Test.make ~name:"histogram conserves observation mass" ~count:200
+    QCheck.(list (float_range (-10.) 110.))
+    (fun xs ->
+      let h = Histogram.linear ~lo:0. ~hi:100. ~buckets:13 in
+      List.iter (Histogram.add h) xs;
+      let in_buckets = ref 0 in
+      for i = 0 to Histogram.buckets h - 1 do
+        in_buckets := !in_buckets + Histogram.count h i
+      done;
+      Histogram.total h = List.length xs
+      && !in_buckets + Histogram.underflow h + Histogram.overflow h
+         = Histogram.total h)
+
+let prop_histogram_cdf_monotone =
+  QCheck.Test.make ~name:"histogram cdf is monotone and ends at <= 1" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_range 0. 99.))
+    (fun xs ->
+      let h = Histogram.linear ~lo:0. ~hi:100. ~buckets:10 in
+      List.iter (Histogram.add h) xs;
+      let cdf = Histogram.cdf h in
+      let rec monotone = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-12 && monotone rest
+        | [ (_, last) ] -> last <= 1. +. 1e-12
+        | [] -> true
+      in
+      monotone cdf)
+
+(* Sample_set *)
+
+let test_sample_set_quantiles () =
+  let s = Sample_set.create () in
+  for i = 1 to 100 do
+    Sample_set.add s (float_of_int i)
+  done;
+  check_float "q0" 1. (Sample_set.quantile s 0.);
+  check_float "q1" 100. (Sample_set.quantile s 1.);
+  check_float ~eps:1e-9 "median" 50.5 (Sample_set.quantile s 0.5);
+  check_float "mean" 50.5 (Sample_set.mean s);
+  check_float "fraction_le 50" 0.5 (Sample_set.fraction_le s 50.);
+  check_float "fraction_le 0" 0. (Sample_set.fraction_le s 0.);
+  check_float "fraction_le 1000" 1. (Sample_set.fraction_le s 1000.)
+
+let test_sample_set_reservoir () =
+  let s = Sample_set.create ~cap:100 () in
+  for i = 1 to 10_000 do
+    Sample_set.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "seen" 10_000 (Sample_set.count s);
+  (* The reservoir median should be near the true median 5000.5. *)
+  let med = Sample_set.quantile s 0.5 in
+  if med < 3000. || med > 7000. then
+    Alcotest.failf "reservoir median %g too far from 5000" med
+
+let test_sample_set_cdf_points () =
+  let s = Sample_set.create () in
+  List.iter (Sample_set.add s) [ 1.; 2.; 3.; 4. ];
+  let pts = Sample_set.cdf_points s ~points:5 in
+  Alcotest.(check int) "points" 5 (List.length pts);
+  let v, q = List.nth pts 4 in
+  check_float "last value" 4. v;
+  check_float "last q" 1. q
+
+let prop_sample_quantile_monotone =
+  QCheck.Test.make ~name:"sample quantiles are monotone in q" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 60) (float_range (-50.) 50.))
+        (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (xs, (q1, q2)) ->
+      let s = Sample_set.create () in
+      List.iter (Sample_set.add s) xs;
+      let lo = Stdlib.min q1 q2 and hi = Stdlib.max q1 q2 in
+      Sample_set.quantile s lo <= Sample_set.quantile s hi +. 1e-9)
+
+(* Stat / Registry *)
+
+let test_stat_records_everywhere () =
+  let h = Histogram.linear ~lo:0. ~hi:10. ~buckets:10 in
+  let st = Stat.with_histogram "x" h in
+  Stat.record st 5.;
+  Stat.record st 6.;
+  Alcotest.(check int) "count" 2 (Stat.count st);
+  Alcotest.(check int) "hist total" 2 (Histogram.total h);
+  check_float "mean" 5.5 (Stat.mean st)
+
+let test_registry () =
+  let r = Registry.create () in
+  Registry.register r (Stat.scalar "disk.queue");
+  Registry.register r (Stat.scalar "cache.hits");
+  (try
+     Registry.register r (Stat.scalar "disk.queue");
+     Alcotest.fail "duplicate registration should raise"
+   with Invalid_argument _ -> ());
+  Registry.record r "disk.queue" 4.;
+  Registry.record r "missing.stat" 1.;
+  (* dropped silently *)
+  Registry.set_enabled r ~prefix:"disk." false;
+  Registry.record r "disk.queue" 100.;
+  (match Registry.find r "disk.queue" with
+  | Some st -> Alcotest.(check int) "disabled drops" 1 (Stat.count st)
+  | None -> Alcotest.fail "stat must exist");
+  Alcotest.(check bool) "enabled query" true (Registry.enabled r "cache.hits");
+  Alcotest.(check int) "all" 2 (List.length (Registry.all r))
+
+(* Interval *)
+
+let test_interval_windows () =
+  let iv = Interval.create ~width:900. () in
+  Interval.add iv ~time:10. 1.;
+  Interval.add iv ~time:899. 2.;
+  Interval.add iv ~time:900. 3.;
+  Interval.add iv ~time:2000. 4.;
+  Interval.flush iv;
+  let ws = Interval.windows iv in
+  Alcotest.(check int) "windows" 3 (List.length ws);
+  (match ws with
+  | w1 :: w2 :: _ ->
+    check_float "w1 start" 0. w1.Interval.start;
+    Alcotest.(check int) "w1 count" 2 (Welford.count w1.Interval.summary);
+    check_float "w2 start" 900. w2.Interval.start
+  | _ -> Alcotest.fail "expected windows");
+  Alcotest.(check int) "overall" 4 (Welford.count (Interval.overall iv))
+
+let test_interval_late_observation () =
+  let iv = Interval.create ~width:100. () in
+  Interval.add iv ~time:50. 1.;
+  Interval.add iv ~time:150. 2.;
+  (* late arrival for an already-closed window: overall only *)
+  Interval.add iv ~time:60. 3.;
+  Interval.flush iv;
+  Alcotest.(check int) "overall sees all" 3
+    (Welford.count (Interval.overall iv));
+  let ws = Interval.windows iv in
+  let in_windows =
+    List.fold_left (fun n w -> n + Welford.count w.Interval.summary) 0 ws
+  in
+  Alcotest.(check int) "windows saw 2" 2 in_windows
+
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    if Prng.bits64 a <> Prng.bits64 b then Alcotest.fail "streams diverge"
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:7 in
+  let c = Prng.split a in
+  if Prng.bits64 a = Prng.bits64 c then
+    Alcotest.fail "split stream should differ from parent"
+
+let prop_prng_int_in_range =
+  QCheck.Test.make ~name:"prng int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Prng.create ~seed in
+      let x = Prng.int r bound in
+      x >= 0 && x < bound)
+
+let prop_prng_float_unit_interval =
+  QCheck.Test.make ~name:"prng float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let r = Prng.create ~seed in
+      let x = Prng.float r in
+      x >= 0. && x < 1.)
+
+let test_prng_choose_weights () =
+  let r = Prng.create ~seed:3 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 3000 do
+    let i = Prng.choose r [| 1.; 0.; 9. |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight never chosen" 0 counts.(1);
+  if counts.(2) < counts.(0) then
+    Alcotest.fail "weight 9 should dominate weight 1"
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [
+      prop_welford_matches_naive;
+      prop_histogram_mass_conserved;
+      prop_histogram_cdf_monotone;
+      prop_sample_quantile_monotone;
+      prop_prng_int_in_range;
+      prop_prng_float_unit_interval;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "welford basic" `Quick test_welford_basic;
+    Alcotest.test_case "welford empty" `Quick test_welford_empty;
+    Alcotest.test_case "welford reset" `Quick test_welford_reset;
+    Alcotest.test_case "welford merge" `Quick test_welford_merge;
+    Alcotest.test_case "histogram linear" `Quick test_histogram_linear;
+    Alcotest.test_case "histogram log" `Quick test_histogram_log;
+    Alcotest.test_case "histogram weights+cdf" `Quick
+      test_histogram_weights_and_cdf;
+    Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+    Alcotest.test_case "sample set quantiles" `Quick test_sample_set_quantiles;
+    Alcotest.test_case "sample set reservoir" `Quick test_sample_set_reservoir;
+    Alcotest.test_case "sample set cdf points" `Quick test_sample_set_cdf_points;
+    Alcotest.test_case "stat records everywhere" `Quick
+      test_stat_records_everywhere;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "interval windows" `Quick test_interval_windows;
+    Alcotest.test_case "interval late observation" `Quick
+      test_interval_late_observation;
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng choose weights" `Quick test_prng_choose_weights;
+  ]
+  @ qsuite
