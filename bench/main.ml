@@ -3,13 +3,22 @@
    choice ablations called out in DESIGN.md, and a set of Bechamel
    micro-benchmarks of the framework's hot paths.
 
-   Usage: dune exec bench/main.exe [-- quick|full|figures|ablations|micro]
+   Usage: dune exec bench/main.exe [-- [quick|full|figures|ablations|micro] [-j N]]
 
    The default preset replays 900 simulated seconds per (trace, policy)
    pair; `quick` cuts that to 300 s, `full` raises it to 3600 s. Figure
-   CDFs and the Figure-5 table come from one shared set of runs. *)
+   CDFs and the Figure-5 table come from one shared set of runs.
+
+   Independent experiments fan out over a Fleet of OCaml 5 domains
+   (-j N, default Domain.recommended_domain_count); every experiment
+   builds its own virtual-time scheduler, disks, cache and statistics
+   registry, so the figures are identical at any -j. A machine-readable
+   BENCH_results.json (per-experiment wall-clock, replayed ops/s, mean
+   latency, cache hit rate) is written next to the working directory so
+   the perf trajectory of successive PRs can be tracked. *)
 
 module Experiment = Capfs_patsy.Experiment
+module Fleet = Capfs_patsy.Fleet
 module Replay = Capfs_patsy.Replay
 module Report = Capfs_patsy.Report
 module Synth = Capfs_trace.Synth
@@ -36,50 +45,83 @@ let experiment_config ?(policy = Experiment.Ups) () =
 
 let trace_names = [ "sprite-1a"; "sprite-1b"; "sprite-2a"; "sprite-2b"; "sprite-5" ]
 
-let trace_cache : (string, Capfs_trace.Record.t list) Hashtbl.t =
-  Hashtbl.create 8
+(* Traces are generated inside the worker domain that replays them (the
+   Fleet [gen] callback) — no cross-domain PRNG or cache sharing. *)
+let gen_trace ~duration name =
+  Synth.generate ~seed:1996 ~duration (Synth.profile_by_name name)
 
-let trace_of ~duration name =
-  let key = Printf.sprintf "%s@%.0f" name duration in
-  match Hashtbl.find_opt trace_cache key with
-  | Some t -> t
-  | None ->
-    let t =
-      Synth.generate ~seed:1996 ~duration (Synth.profile_by_name name)
-    in
-    Hashtbl.replace trace_cache key t;
-    t
+(* Every Fleet result is also logged here for BENCH_results.json. *)
+let results_log : Fleet.job_result list ref = ref []
 
-(* One run per (trace, policy), shared by Figures 2-5. *)
-let outcome_cache : (string * Experiment.policy, Experiment.outcome) Hashtbl.t =
-  Hashtbl.create 32
+let run_fleet ~jobs ~duration job_list =
+  let results = Fleet.run_jobs ~jobs ~gen:(gen_trace ~duration) job_list in
+  results_log := !results_log @ results;
+  results
 
-let outcome ~duration trace_name policy =
-  match Hashtbl.find_opt outcome_cache (trace_name, policy) with
-  | Some o -> o
-  | None ->
-    let config = experiment_config ~policy () in
-    let o = Experiment.run config ~trace:(trace_of ~duration trace_name) in
-    Hashtbl.replace outcome_cache (trace_name, policy) o;
-    o
+(* {1 Figures}
 
-(* {1 Figures} *)
+   One run per (trace, policy), shared by Figures 2-5. The runs fan out
+   over the Fleet; the per-run result map replaces the global mutable
+   caches the sequential harness used, so the harness itself is safe
+   under -j. *)
 
-let figure_cdf ~duration ~figure trace_name =
+type matrix = {
+  lookup : string -> Experiment.policy -> Experiment.outcome;
+  wall_sum : float;   (** summed per-experiment wall-clock *)
+  wall_real : float;  (** elapsed wall-clock for the whole matrix *)
+}
+
+let run_matrix ~jobs ~duration =
+  let pairs =
+    List.concat_map
+      (fun trace -> List.map (fun p -> (trace, p)) Experiment.all_policies)
+      trace_names
+  in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Fleet.run_matrix ~jobs
+      ~config:(fun policy -> experiment_config ~policy ())
+      ~gen:(gen_trace ~duration) pairs
+  in
+  let wall_real = Unix.gettimeofday () -. t0 in
+  results_log := !results_log @ results;
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Fleet.job_result) ->
+      Hashtbl.replace table (r.Fleet.job.Fleet.trace, r.Fleet.job.Fleet.config.Experiment.policy)
+        (Fleet.outcome_exn r))
+    results;
+  let lookup trace policy =
+    match Hashtbl.find_opt table (trace, policy) with
+    | Some o -> o
+    | None -> failwith ("matrix: no outcome for " ^ Fleet.matrix_label ~trace policy)
+  in
+  let wall_sum =
+    List.fold_left (fun acc (r : Fleet.job_result) -> acc +. r.Fleet.wall_s) 0. results
+  in
+  Format.printf
+    "matrix: %d experiments in %.1f s wall (%.1f s of experiment time, \
+     %.2fx parallel speedup at -j %d)@."
+    (List.length results) wall_real wall_sum
+    (if wall_real > 0. then wall_sum /. wall_real else 1.)
+    jobs;
+  { lookup; wall_sum; wall_real }
+
+let figure_cdf ~matrix ~figure trace_name =
   section
     (Printf.sprintf
        "Figure %d: cumulative latency distribution, trace %s (paper: fig. %d)"
        figure trace_name figure);
   List.iter
     (fun policy ->
-      let o = outcome ~duration trace_name policy in
+      let o = matrix.lookup trace_name policy in
       Report.print_cdf ~points:40
         ~title:(Printf.sprintf "%s / %s" trace_name (Experiment.policy_name policy))
         Format.std_formatter o.Experiment.replay;
       Format.printf "@.")
     Experiment.all_policies
 
-let figure5 ~duration =
+let figure5 ~matrix =
   section "Figure 5: mean file-system latency, all traces x all policies";
   let rows =
     List.map
@@ -87,7 +129,7 @@ let figure5 ~duration =
         ( trace_name,
           List.map
             (fun policy ->
-              let o = outcome ~duration trace_name policy in
+              let o = matrix.lookup trace_name policy in
               ( Experiment.policy_name policy,
                 Stats.Sample_set.mean o.Experiment.replay.Replay.latency ))
             Experiment.all_policies ))
@@ -101,7 +143,7 @@ let figure5 ~duration =
         ( trace_name,
           List.map
             (fun policy ->
-              let o = outcome ~duration trace_name policy in
+              let o = matrix.lookup trace_name policy in
               ( Experiment.policy_name policy,
                 float_of_int o.Experiment.blocks_flushed ))
             Experiment.all_policies ))
@@ -114,7 +156,7 @@ let figure5 ~duration =
       Format.printf "%-12s" trace_name;
       List.iter
         (fun policy ->
-          let o = outcome ~duration trace_name policy in
+          let o = matrix.lookup trace_name policy in
           Format.printf " %s=%.1f%%/%dk"
             (Experiment.policy_name policy)
             (100. *. o.Experiment.cache_hit_rate)
@@ -123,12 +165,26 @@ let figure5 ~duration =
       Format.printf "@.")
     trace_names
 
-(* {1 Ablations} *)
+(* {1 Ablations}
 
-let run_with config ~duration trace_name =
-  Experiment.run config ~trace:(trace_of ~duration trace_name)
+   Each ablation is a small independent job list; the Experiment-backed
+   ones ride the same Fleet. *)
 
 let mean_of o = Stats.Sample_set.mean o.Experiment.replay.Replay.latency
+
+(* run a named set of configs against one trace, in parallel *)
+let ablate ~jobs ~duration ~trace variants =
+  let job_list =
+    List.map
+      (fun (name, config) ->
+        { Fleet.label = Printf.sprintf "ablation:%s:%s" trace name;
+          trace; config })
+      variants
+  in
+  let results = run_fleet ~jobs ~duration job_list in
+  List.map2
+    (fun (name, _) r -> (name, Fleet.outcome_exn r))
+    variants results
 
 let ablation_sync_flush ~duration =
   ignore duration;
@@ -184,7 +240,7 @@ let ablation_sync_flush ~duration =
         (1000. *. !worst))
     [ false; true ]
 
-let ablation_cleaner ~duration =
+let ablation_cleaner ~jobs ~duration =
   section "Ablation: LFS cleaner policy (greedy vs cost-benefit)";
   (* shrink the disks (~160 MB each) so the log wraps and cleaning runs *)
   let small_disk =
@@ -194,13 +250,16 @@ let ablation_cleaner ~duration =
         Capfs_disk.Geometry.v ~cylinders:245 ~heads:19 ~sectors_per_track:72
           ~sector_bytes:512 ~track_skew:8 ~cylinder_skew:18 () }
   in
+  let variants =
+    List.map
+      (fun (name, cleaner) ->
+        ( name,
+          { (experiment_config ()) with
+            Experiment.cleaner; cache_mb = 8; disk_model = small_disk } ))
+      [ ("greedy", Lfs.Greedy); ("cost-benefit", Lfs.Cost_benefit) ]
+  in
   List.iter
-    (fun (name, cleaner) ->
-      let config =
-        { (experiment_config ()) with
-          Experiment.cleaner; cache_mb = 8; disk_model = small_disk }
-      in
-      let o = run_with config ~duration "sprite-1b" in
+    (fun (name, o) ->
       let cleanings =
         List.filter (fun (k, _) -> Filename.check_suffix k "cleanings")
           o.Experiment.layout_stats
@@ -208,81 +267,96 @@ let ablation_cleaner ~duration =
       in
       Format.printf "  %-14s mean=%8.3fms cleanings=%.0f@." name
         (1000. *. mean_of o) cleanings)
-    [ ("greedy", Lfs.Greedy); ("cost-benefit", Lfs.Cost_benefit) ]
+    (ablate ~jobs ~duration ~trace:"sprite-1b" variants)
 
-let ablation_iosched ~duration =
+let ablation_iosched ~jobs ~duration =
   section "Ablation: disk-queue scheduling policy";
+  let variants =
+    List.map
+      (fun iosched -> (iosched, { (experiment_config ()) with Experiment.iosched }))
+      [ "fcfs"; "sstf"; "clook"; "scan-edf" ]
+  in
   List.iter
-    (fun iosched ->
-      let config = { (experiment_config ()) with Experiment.iosched } in
-      let o = run_with config ~duration "sprite-5" in
-      Format.printf "  %-10s mean=%8.3fms p99=%8.3fms@." iosched
+    (fun (name, o) ->
+      Format.printf "  %-10s mean=%8.3fms p99=%8.3fms@." name
         (1000. *. mean_of o)
         (1000.
          *. Stats.Sample_set.quantile o.Experiment.replay.Replay.latency 0.99))
-    [ "fcfs"; "sstf"; "clook"; "scan-edf" ]
+    (ablate ~jobs ~duration ~trace:"sprite-5" variants)
 
-let ablation_replacement ~duration =
+let ablation_replacement ~jobs ~duration =
   section "Ablation: cache replacement policy";
+  let variants =
+    List.map
+      (fun replacement ->
+        (replacement, { (experiment_config ()) with Experiment.replacement; cache_mb = 8 }))
+      [ "lru"; "random"; "lfu"; "slru"; "lru-2" ]
+  in
   List.iter
-    (fun replacement ->
-      let config =
-        { (experiment_config ()) with Experiment.replacement; cache_mb = 8 }
-      in
-      let o = run_with config ~duration "sprite-1a" in
-      Format.printf "  %-8s mean=%8.3fms hit=%5.1f%%@." replacement
+    (fun (name, o) ->
+      Format.printf "  %-8s mean=%8.3fms hit=%5.1f%%@." name
         (1000. *. mean_of o)
         (100. *. o.Experiment.cache_hit_rate))
-    [ "lru"; "random"; "lfu"; "slru"; "lru-2" ]
+    (ablate ~jobs ~duration ~trace:"sprite-1a" variants)
 
-let ablation_disk_features ~duration =
+let ablation_disk_features ~jobs ~duration =
   section "Ablation: disk model features (read-ahead, immediate report)";
   let base = Capfs_disk.Disk_model.hp97560 in
+  let variants =
+    List.map
+      (fun (name, cache) ->
+        ( name,
+          { (experiment_config ()) with
+            Experiment.disk_model = { base with Capfs_disk.Disk_model.cache } } ))
+      [
+        ("full HP97560 cache", base.Capfs_disk.Disk_model.cache);
+        ( "no read-ahead",
+          { base.Capfs_disk.Disk_model.cache with
+            Capfs_disk.Disk_model.read_ahead_bytes = 0 } );
+        ( "no immediate report",
+          { base.Capfs_disk.Disk_model.cache with
+            Capfs_disk.Disk_model.immediate_report = false } );
+        ( "no disk cache at all",
+          { Capfs_disk.Disk_model.cache_bytes = 0; read_ahead_bytes = 0;
+            immediate_report = false } );
+      ]
+  in
   List.iter
-    (fun (name, cache) ->
-      let config =
-        { (experiment_config ()) with
-          Experiment.disk_model = { base with Capfs_disk.Disk_model.cache } }
-      in
-      let o = run_with config ~duration "sprite-1a" in
+    (fun (name, o) ->
       Format.printf "  %-28s mean=%8.3fms@." name (1000. *. mean_of o))
-    [
-      ("full HP97560 cache", base.Capfs_disk.Disk_model.cache);
-      ( "no read-ahead",
-        { base.Capfs_disk.Disk_model.cache with
-          Capfs_disk.Disk_model.read_ahead_bytes = 0 } );
-      ( "no immediate report",
-        { base.Capfs_disk.Disk_model.cache with
-          Capfs_disk.Disk_model.immediate_report = false } );
-      ( "no disk cache at all",
-        { Capfs_disk.Disk_model.cache_bytes = 0; read_ahead_bytes = 0;
-          immediate_report = false } );
-    ]
+    (ablate ~jobs ~duration ~trace:"sprite-1a" variants)
 
-let ablation_cache_size ~duration =
+let ablation_cache_size ~jobs ~duration =
   section "Ablation: server cache size sweep (UPS policy)";
+  let variants =
+    List.map
+      (fun cache_mb ->
+        (Printf.sprintf "%d" cache_mb, { (experiment_config ()) with Experiment.cache_mb }))
+      [ 4; 8; 16; 32; 64 ]
+  in
   List.iter
-    (fun cache_mb ->
-      let config = { (experiment_config ()) with Experiment.cache_mb } in
-      let o = run_with config ~duration "sprite-1a" in
-      Format.printf "  %3d MB  mean=%8.3fms hit=%5.1f%%@." cache_mb
+    (fun (name, o) ->
+      Format.printf "  %3s MB  mean=%8.3fms hit=%5.1f%%@." name
         (1000. *. mean_of o)
         (100. *. o.Experiment.cache_hit_rate))
-    [ 4; 8; 16; 32; 64 ]
+    (ablate ~jobs ~duration ~trace:"sprite-1a" variants)
 
-let ablation_nvram_size ~duration =
+let ablation_nvram_size ~jobs ~duration =
   section "Ablation: NVRAM size sweep (whole-file drains, sprite-1b)";
+  let variants =
+    List.map
+      (fun nvram_mb ->
+        ( Printf.sprintf "%d" nvram_mb,
+          { (experiment_config ~policy:Experiment.Nvram_whole ()) with
+            Experiment.nvram_mb } ))
+      [ 1; 2; 4; 8; 16 ]
+  in
   List.iter
-    (fun nvram_mb ->
-      let config =
-        { (experiment_config ~policy:Experiment.Nvram_whole ()) with
-          Experiment.nvram_mb }
-      in
-      let o = run_with config ~duration "sprite-1b" in
-      Format.printf "  %3d MB  mean=%8.3fms flushed=%dk@." nvram_mb
+    (fun (name, o) ->
+      Format.printf "  %3s MB  mean=%8.3fms flushed=%dk@." name
         (1000. *. mean_of o)
         (o.Experiment.blocks_flushed / 1000))
-    [ 1; 2; 4; 8; 16 ]
+    (ablate ~jobs ~duration ~trace:"sprite-1b" variants)
 
 let ablation_client_caching () =
   section
@@ -492,12 +566,128 @@ let micro () =
         results)
     tests
 
+(* {1 BENCH_results.json}
+
+   Schema (one object): { "preset", "jobs", "duration_s",
+   "results": [ { "label", "trace", "policy", "worker", "ok",
+   "wall_s", "operations", "replayed_ops_per_s", "mean_latency_ms",
+   "p95_latency_ms", "cache_hit_rate", "blocks_flushed",
+   "writes_absorbed", "errors", "sim_elapsed_s" } ] } —
+   failed jobs carry "ok": false and "error" instead of the figures. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  (* JSON has no inf/nan; clamp to null *)
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let result_json (r : Fleet.job_result) =
+  let j = r.Fleet.job in
+  let common =
+    [
+      ("label", Printf.sprintf "%S" (json_escape j.Fleet.label));
+      ("trace", Printf.sprintf "%S" (json_escape j.Fleet.trace));
+      ( "policy",
+        Printf.sprintf "%S"
+          (json_escape (Experiment.policy_name j.Fleet.config.Experiment.policy)) );
+      ("worker", string_of_int r.Fleet.worker);
+      ("wall_s", json_float r.Fleet.wall_s);
+    ]
+  in
+  let fields =
+    match r.Fleet.result with
+    | Error e ->
+      common
+      @ [
+          ("ok", "false");
+          ("error", Printf.sprintf "%S" (json_escape (Printexc.to_string e)));
+        ]
+    | Ok o ->
+      let ops = o.Experiment.replay.Replay.operations in
+      common
+      @ [
+          ("ok", "true");
+          ("operations", string_of_int ops);
+          ( "replayed_ops_per_s",
+            json_float
+              (if r.Fleet.wall_s > 0. then float_of_int ops /. r.Fleet.wall_s
+               else 0.) );
+          ( "mean_latency_ms",
+            json_float
+              (1000. *. Stats.Sample_set.mean o.Experiment.replay.Replay.latency) );
+          ( "p95_latency_ms",
+            json_float
+              (1000.
+               *. (try
+                     Stats.Sample_set.quantile o.Experiment.replay.Replay.latency
+                       0.95
+                   with Invalid_argument _ -> 0.)) );
+          ("cache_hit_rate", json_float o.Experiment.cache_hit_rate);
+          ("blocks_flushed", string_of_int o.Experiment.blocks_flushed);
+          ("writes_absorbed", string_of_int o.Experiment.writes_absorbed);
+          ("errors", string_of_int o.Experiment.replay.Replay.errors);
+          ("sim_elapsed_s", json_float o.Experiment.replay.Replay.elapsed);
+        ]
+  in
+  "    {"
+  ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) fields)
+  ^ "}"
+
+let write_results_json ~path ~preset ~jobs ~duration results =
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc (Printf.sprintf "  \"preset\": %S,\n" (json_escape preset));
+  output_string oc (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  output_string oc
+    (Printf.sprintf "  \"duration_s\": %s,\n" (json_float duration));
+  output_string oc "  \"results\": [\n";
+  output_string oc (String.concat ",\n" (List.map result_json results));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s (%d experiments)@." path (List.length results)
+
 (* {1 Main} *)
 
+let usage = "usage: main.exe [quick|full|figures|ablations|micro] [-j N]"
+
+let parse_args () =
+  let preset = ref "default" in
+  let jobs = ref (Fleet.default_jobs ()) in
+  let rec go i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "-j" | "--jobs" ->
+        if i + 1 >= Array.length Sys.argv then failwith usage;
+        jobs := int_of_string Sys.argv.(i + 1);
+        go (i + 2)
+      | s when String.length s > 2 && String.sub s 0 2 = "-j" ->
+        jobs := int_of_string (String.sub s 2 (String.length s - 2));
+        go (i + 1)
+      | s ->
+        preset := s;
+        go (i + 1)
+  in
+  go 1;
+  (!preset, Stdlib.max 1 !jobs)
+
 let () =
-  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "default" in
+  let preset, jobs = parse_args () in
   let duration, do_figures, do_ablations, do_micro =
-    match arg with
+    match preset with
     | "quick" -> (300., true, true, true)
     | "full" -> (3600., true, true, true)
     | "figures" -> (900., true, false, false)
@@ -507,23 +697,27 @@ let () =
   in
   Format.printf
     "cut-and-paste file-systems benchmark harness (preset: %s, %.0f \
-     simulated seconds per run)@."
-    arg duration;
+     simulated seconds per run, -j %d)@."
+    preset duration jobs;
   if do_figures then begin
-    figure_cdf ~duration ~figure:2 "sprite-1a";
-    figure_cdf ~duration ~figure:3 "sprite-1b";
-    figure_cdf ~duration ~figure:4 "sprite-5";
-    figure5 ~duration
+    let matrix = run_matrix ~jobs ~duration in
+    figure_cdf ~matrix ~figure:2 "sprite-1a";
+    figure_cdf ~matrix ~figure:3 "sprite-1b";
+    figure_cdf ~matrix ~figure:4 "sprite-5";
+    figure5 ~matrix
   end;
   if do_ablations then begin
     ablation_sync_flush ~duration;
-    ablation_cleaner ~duration;
-    ablation_iosched ~duration;
-    ablation_replacement ~duration;
-    ablation_disk_features ~duration;
-    ablation_cache_size ~duration;
-    ablation_nvram_size ~duration;
+    ablation_cleaner ~jobs ~duration;
+    ablation_iosched ~jobs ~duration;
+    ablation_replacement ~jobs ~duration;
+    ablation_disk_features ~jobs ~duration;
+    ablation_cache_size ~jobs ~duration;
+    ablation_nvram_size ~jobs ~duration;
     ablation_client_caching ()
   end;
   if do_micro then micro ();
+  if !results_log <> [] then
+    write_results_json ~path:"BENCH_results.json" ~preset ~jobs ~duration
+      !results_log;
   Format.printf "@.done.@."

@@ -2,7 +2,12 @@
 
    Replays a trace (synthetic profile or trace file) against a fully
    simulated file server and reports operation latencies, per the
-   experiments of §5.1. *)
+   experiments of §5.1. Several policies (-p ups,nvram-whole or -p all)
+   fan out over a fleet of domains (-j N). *)
+
+module Experiment = Capfs_patsy.Experiment
+module Fleet = Capfs_patsy.Fleet
+module Report = Capfs_patsy.Report
 
 let setup_logs level =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -17,23 +22,45 @@ let load_trace ~trace ~format ~seed ~duration =
     Capfs_trace.Synth.generate ~seed ?duration profile
   | f -> invalid_arg ("unknown trace format: " ^ f)
 
-let run_main trace format policy duration seed disks buses cache_mb nvram_mb
-    iosched replacement cleaner sync_flush show_cdf show_windows show_stats
-    log_level =
+let policy_of_name = function
+  | "write-delay" | "write-delay-30s" -> Experiment.Write_delay
+  | "ups" -> Experiment.Ups
+  | "nvram-whole" -> Experiment.Nvram_whole
+  | "nvram-partial" -> Experiment.Nvram_partial
+  | p -> invalid_arg ("unknown policy: " ^ p)
+
+let policies_of_arg arg =
+  if arg = "all" then Experiment.all_policies
+  else String.split_on_char ',' arg |> List.map policy_of_name
+
+let print_one ~trace ~show_cdf ~show_windows ~show_stats outcome =
+  Format.printf "%a@." Report.print_outcome_summary outcome;
+  if show_windows then
+    Format.printf "%a@." Report.print_windows outcome.Experiment.replay;
+  if show_stats then begin
+    (* "plug-in statistics ... provide standard statistics output with
+       or without histograms" *)
+    Format.printf "@.# plug-in statistics:@.";
+    Capfs_stats.Registry.report ~histograms:true Format.std_formatter
+      outcome.Experiment.registry
+  end;
+  if show_cdf then begin
+    let title =
+      Printf.sprintf "%s / %s" trace (Experiment.policy_name outcome.Experiment.config.Experiment.policy)
+    in
+    Report.print_cdf ~title Format.std_formatter outcome.Experiment.replay;
+    Format.printf "@."
+  end
+
+let run_main trace format policy duration seed parallel_jobs disks buses
+    cache_mb nvram_mb iosched replacement cleaner sync_flush show_cdf
+    show_windows show_stats log_level =
   setup_logs log_level;
-  let policy =
-    match policy with
-    | "write-delay" | "write-delay-30s" -> Capfs_patsy.Experiment.Write_delay
-    | "ups" -> Capfs_patsy.Experiment.Ups
-    | "nvram-whole" -> Capfs_patsy.Experiment.Nvram_whole
-    | "nvram-partial" -> Capfs_patsy.Experiment.Nvram_partial
-    | p -> invalid_arg ("unknown policy: " ^ p)
-  in
-  let records = load_trace ~trace ~format ~seed ~duration in
-  let config =
+  let policies = policies_of_arg policy in
+  let config policy =
     {
-      (Capfs_patsy.Experiment.default policy) with
-      Capfs_patsy.Experiment.ndisks = disks;
+      (Experiment.default policy) with
+      Experiment.ndisks = disks;
       nbuses = buses;
       cache_mb;
       nvram_mb;
@@ -48,30 +75,29 @@ let run_main trace format policy duration seed disks buses cache_mb nvram_mb
       seed;
     }
   in
-  Format.printf "# patsy: trace=%s policy=%s records=%d@." trace
-    (Capfs_patsy.Experiment.policy_name policy)
-    (List.length records);
-  let outcome = Capfs_patsy.Experiment.run config ~trace:records in
-  Format.printf "%a@." Capfs_patsy.Report.print_outcome_summary outcome;
-  if show_windows then
-    Format.printf "%a@." Capfs_patsy.Report.print_windows
-      outcome.Capfs_patsy.Experiment.replay;
-  if show_stats then begin
-    (* "plug-in statistics ... provide standard statistics output with
-       or without histograms" *)
-    Format.printf "@.# plug-in statistics:@.";
-    Capfs_stats.Registry.report ~histograms:true Format.std_formatter
-      outcome.Capfs_patsy.Experiment.registry
-  end;
-  if show_cdf then begin
-    let title =
-      Printf.sprintf "%s / %s" trace
-        (Capfs_patsy.Experiment.policy_name policy)
-    in
-    Capfs_patsy.Report.print_cdf ~title Format.std_formatter
-      outcome.Capfs_patsy.Experiment.replay;
-    Format.printf "@."
-  end;
+  (* load once here for the record count; the trace array is immutable,
+     so the fleet workers can share it *)
+  let records = load_trace ~trace ~format ~seed ~duration in
+  Format.printf "# patsy: trace=%s policies=%s records=%d jobs=%d@." trace
+    (String.concat ","
+       (List.map Experiment.policy_name policies))
+    (Array.length records) parallel_jobs;
+  let results =
+    Fleet.run_matrix ~jobs:parallel_jobs ~config
+      ~gen:(fun _ -> records)
+      (List.map (fun p -> (trace, p)) policies)
+  in
+  (match Fleet.failures results with
+  | [] -> ()
+  | (job, e) :: _ ->
+    Format.eprintf "patsy: experiment %s failed: %s@." job.Fleet.label
+      (Printexc.to_string e);
+    raise e);
+  List.iter
+    (fun r ->
+      print_one ~trace ~show_cdf ~show_windows ~show_stats
+        (Fleet.outcome_exn r))
+    results;
   0
 
 open Cmdliner
@@ -90,7 +116,9 @@ let format =
 let policy =
   Arg.(value & opt string "ups"
        & info [ "p"; "policy" ] ~docv:"POLICY"
-           ~doc:"Flush policy: write-delay, ups, nvram-whole, nvram-partial.")
+           ~doc:"Flush policy: write-delay, ups, nvram-whole, nvram-partial; \
+                 a comma-separated list, or 'all', replays the trace under \
+                 each policy (in parallel with -j).")
 
 let duration =
   Arg.(value & opt (some float) None
@@ -98,6 +126,15 @@ let duration =
            ~doc:"Override the synthetic trace duration.")
 
 let seed = Arg.(value & opt int 1996 & info [ "seed" ] ~docv:"SEED")
+
+let parallel_jobs =
+  let default = Fleet.default_jobs () in
+  Arg.(value & opt int default
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for multi-policy runs (default: the \
+                 recommended domain count). Each experiment is fully \
+                 domain-isolated, so results are identical at any -j.")
+
 let disks = Arg.(value & opt int 10 & info [ "disks" ] ~docv:"N")
 let buses = Arg.(value & opt int 3 & info [ "buses" ] ~docv:"N")
 let cache_mb = Arg.(value & opt int 128 & info [ "cache-mb" ] ~docv:"MB")
@@ -147,8 +184,9 @@ let cmd =
   Cmd.v
     (Cmd.info "patsy" ~doc)
     Term.(
-      const run_main $ trace $ format $ policy $ duration $ seed $ disks
-      $ buses $ cache_mb $ nvram_mb $ iosched $ replacement $ cleaner
-      $ sync_flush $ show_cdf $ show_windows $ show_stats $ log_level)
+      const run_main $ trace $ format $ policy $ duration $ seed
+      $ parallel_jobs $ disks $ buses $ cache_mb $ nvram_mb $ iosched
+      $ replacement $ cleaner $ sync_flush $ show_cdf $ show_windows
+      $ show_stats $ log_level)
 
 let () = exit (Cmd.eval' cmd)

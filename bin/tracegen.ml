@@ -22,7 +22,7 @@ let generate profile seed duration out format list_profiles =
     let header =
       Printf.sprintf
         "# synthetic %s trace: profile=%s seed=%d records=%d\n" format
-        profile seed (List.length records)
+        profile seed (Array.length records)
     in
     (match out with
     | Some path ->

@@ -17,10 +17,10 @@ let () =
   let trace = Synth.generate ~seed:42 ~duration:1800. profile in
   let path = Filename.temp_file "capfs_example" ".trc" in
   Sprite_format.save path trace;
-  Format.printf "saved %d records to %s@." (List.length trace) path;
+  Format.printf "saved %d records to %s@." (Array.length trace) path;
   (* read it back, as if it were a recorded trace from another system *)
   let loaded = Sprite_format.load path in
-  assert (List.length loaded = List.length trace);
+  assert (Array.length loaded = Array.length trace);
   Sys.remove path;
   let config =
     {

@@ -1,35 +1,36 @@
 (* The paper's §5.1 experiment in miniature: replay the same synthetic
    Sprite-like trace under the four write policies and compare mean
-   latency, disk traffic and absorbed writes.
+   latency, disk traffic and absorbed writes. The four experiments are
+   independent, so they fan out over a Fleet of domains.
 
    Run: dune exec examples/write_saving.exe *)
 
 module Experiment = Capfs_patsy.Experiment
+module Fleet = Capfs_patsy.Fleet
 module Report = Capfs_patsy.Report
 module Synth = Capfs_trace.Synth
 
+let gen _name =
+  Synth.generate ~seed:1996 ~duration:600.
+    { Synth.sprite_1a with Synth.clients = 10; files = 400; dirs = 10 }
+
 let () =
-  let trace =
-    Synth.generate ~seed:1996 ~duration:600.
-      { Synth.sprite_1a with Synth.clients = 10; files = 400; dirs = 10 }
-  in
   Format.printf "trace: %d records over 600 simulated seconds@.@."
-    (List.length trace);
-  let outcomes =
-    List.map
-      (fun policy ->
-        let config =
-          {
-            (Experiment.default policy) with
-            Experiment.ndisks = 2;
-            nbuses = 1;
-            cache_mb = 8;
-            nvram_mb = 2;
-          }
-        in
-        Experiment.run config ~trace)
-      Experiment.all_policies
+    (Array.length (gen "sprite-1a"));
+  let config policy =
+    {
+      (Experiment.default policy) with
+      Experiment.ndisks = 2;
+      nbuses = 1;
+      cache_mb = 8;
+      nvram_mb = 2;
+    }
   in
+  let results =
+    Fleet.run_matrix ~config ~gen
+      (List.map (fun p -> ("sprite-1a", p)) Experiment.all_policies)
+  in
+  let outcomes = List.map Fleet.outcome_exn results in
   List.iter
     (fun o -> Format.printf "%a@." Report.print_outcome_summary o)
     outcomes;

@@ -12,11 +12,12 @@ type 'a t = {
   mutable len : int;
 }
 
-let next_id = ref 0
+(* atomic: lists are created from concurrently running experiment
+   domains, and owner checks rely on ids being unique *)
+let next_id = Atomic.make 1
 
 let create () =
-  incr next_id;
-  { id = !next_id; first = None; last = None; len = 0 }
+  { id = Atomic.fetch_and_add next_id 1; first = None; last = None; len = 0 }
 
 let length t = t.len
 let is_empty t = t.len = 0

@@ -16,15 +16,16 @@ type t = {
   mutable completed : bool;
 }
 
-let next_id = ref 0
+(* atomic: requests are minted from concurrently running experiment
+   domains, and queue removal matches on id *)
+let next_id = Atomic.make 1
 
 let make sched op ~lba ~sectors ?deadline ?data () =
   if sectors < 1 then invalid_arg "Iorequest.make: sectors < 1";
   if lba < 0 then invalid_arg "Iorequest.make: negative lba";
-  incr next_id;
   let now = Sched.now sched in
   {
-    id = !next_id;
+    id = Atomic.fetch_and_add next_id 1;
     op;
     lba;
     sectors;

@@ -52,8 +52,11 @@ type outcome = {
 }
 
 (** [run config ~trace] executes one experiment in its own virtual-time
-    scheduler and returns the measurements. *)
-val run : config -> trace:Capfs_trace.Record.t list -> outcome
+    scheduler and returns the measurements. Every run builds a private
+    scheduler, disk farm, cache and statistics registry, so concurrent
+    runs in different domains share no mutable state; the trace array
+    is read, never written. *)
+val run : config -> trace:Capfs_trace.Record.t array -> outcome
 
 (** [build_instance sched config] assembles the simulator stack (for
     callers that want to drive it themselves, e.g. the bin/patsy CLI and

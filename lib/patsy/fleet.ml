@@ -1,0 +1,93 @@
+(* Domain-pool experiment runner. See fleet.mli for the isolation
+   rules; the implementation is a work-stealing-free fixed pool: an
+   atomic counter hands out job indices, each worker writes only its
+   own result slots, and [Domain.join] publishes them to the caller. *)
+
+type job = {
+  label : string;
+  trace : string;
+  config : Experiment.config;
+}
+
+type job_result = {
+  job : job;
+  result : (Experiment.outcome, exn) result;
+  wall_s : float;
+  worker : int;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let matrix_label ~trace policy = trace ^ "/" ^ Experiment.policy_name policy
+
+let run_jobs ?(jobs = default_jobs ()) ~gen jl =
+  let table = Array.of_list jl in
+  let n = Array.length table in
+  let jobs = Stdlib.max 1 (Stdlib.min jobs n) in
+  let results : job_result option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker w () =
+    (* per-worker trace memo: the same trace name may back several
+       policies; regenerating it in every worker keeps the generator's
+       PRNG private to the domain that uses it *)
+    let traces : (string, Capfs_trace.Record.t array) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let trace_of name =
+      match Hashtbl.find_opt traces name with
+      | Some t -> t
+      | None ->
+        let t = gen name in
+        Hashtbl.replace traces name t;
+        t
+    in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let job = table.(i) in
+        let t0 = Unix.gettimeofday () in
+        let result =
+          match trace_of job.trace with
+          | trace -> (
+            match Experiment.run job.config ~trace with
+            | o -> Ok o
+            | exception e -> Error e)
+          | exception e -> Error e
+        in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        (* each slot is written by exactly one worker; Domain.join
+           below publishes the writes to the caller *)
+        results.(i) <- Some { job; result; wall_s; worker = w };
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if jobs = 1 then worker 0 ()
+  else begin
+    let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
+    Array.iter Domain.join domains
+  end;
+  Array.to_list results
+  |> List.mapi (fun i r ->
+         match r with
+         | Some r -> r
+         | None ->
+           (* unreachable: every index below [n] is claimed exactly once *)
+           failwith
+             (Printf.sprintf "Fleet.run_jobs: job %d produced no result" i))
+
+let run_matrix ?jobs ?(config = Experiment.default) ~gen pairs =
+  run_jobs ?jobs ~gen
+    (List.map
+       (fun (trace, policy) ->
+         { label = matrix_label ~trace policy; trace; config = config policy })
+       pairs)
+
+let outcome_exn r =
+  match r.result with Ok o -> o | Error e -> raise e
+
+let failures results =
+  List.filter_map
+    (fun r -> match r.result with Ok _ -> None | Error e -> Some (r.job, e))
+    results

@@ -1,0 +1,66 @@
+(** Parallel experiment fleet: fan a matrix of independent experiments
+    out over OCaml 5 domains.
+
+    Every {!Experiment.run} builds a private virtual-time scheduler,
+    disk farm, cache and statistics registry, so the (trace × policy)
+    matrix of the paper's evaluation (§5.1, Figures 2–5) is
+    embarrassingly parallel. The fleet runs a fixed pool of worker
+    domains over a shared work queue (an atomic job counter); results
+    land in per-job slots, so the output order is the input order and is
+    independent of scheduling.
+
+    Domain isolation rules:
+    - traces are generated {e inside} the worker domain that needs them
+      (the [gen] callback), memoized per worker by trace name — the
+      generator's PRNG state is never shared;
+    - trace record arrays are immutable, so a caller-supplied [gen] may
+      return a shared pre-loaded array;
+    - a job that raises is captured as [Error exn] in its result slot;
+      the worker moves on to the next job and the pool never wedges. *)
+
+type job = {
+  label : string;             (** display / report key, unique per job *)
+  trace : string;             (** trace name, passed to [gen] *)
+  config : Experiment.config;
+}
+
+type job_result = {
+  job : job;
+  result : (Experiment.outcome, exn) result;
+  wall_s : float;             (** host wall-clock seconds for this job *)
+  worker : int;               (** index of the worker domain that ran it *)
+}
+
+(** [Domain.recommended_domain_count ()] — the default worker count. *)
+val default_jobs : unit -> int
+
+(** The canonical label of a matrix cell: ["<trace>/<policy-name>"]. *)
+val matrix_label : trace:string -> Experiment.policy -> string
+
+(** [run_jobs ~jobs ~gen jl] runs every job of [jl] on a pool of [jobs]
+    worker domains ([jobs <= 1] runs inline on the calling domain, with
+    identical results — experiments depend only on their config, trace
+    and seed, never on which domain runs them). [gen name] must produce
+    the trace for [name]; it is called from worker domains and memoized
+    per worker. Results are returned in job order. *)
+val run_jobs :
+  ?jobs:int ->
+  gen:(string -> Capfs_trace.Record.t array) ->
+  job list ->
+  job_result list
+
+(** [run_matrix ~jobs ~gen ~config pairs] — the (trace × policy) matrix:
+    one job per pair, configured by [config policy] (default
+    {!Experiment.default}), labelled with {!matrix_label}. *)
+val run_matrix :
+  ?jobs:int ->
+  ?config:(Experiment.policy -> Experiment.config) ->
+  gen:(string -> Capfs_trace.Record.t array) ->
+  (string * Experiment.policy) list ->
+  job_result list
+
+(** Outcome of a result, re-raising the captured exception on [Error]. *)
+val outcome_exn : job_result -> Experiment.outcome
+
+(** [failures results] — the jobs that raised, with their exceptions. *)
+val failures : job_result list -> (job * exn) list

@@ -20,7 +20,10 @@ type result = {
 (* {2 Missing-parameter synthesis} *)
 
 let synthesize_times records =
-  let arr = Array.of_list records in
+  (* Work on a copy: the input array may be shared across concurrently
+     running experiment domains, so it is never mutated. Synthesized
+     times are patched straight into the copy — no list round-trips. *)
+  let arr = Array.copy records in
   let times = Array.map (fun r -> r.Record.time) arr in
   (* per (client, path): open time and pending untimed I/O indices *)
   let sessions : (int * string, float * int list) Hashtbl.t =
@@ -57,11 +60,14 @@ let synthesize_times records =
   (* leftovers inherit the previous record's (possibly synthesized) time *)
   let last = ref 0. in
   Array.iteri
-    (fun i r ->
-      if times.(i) < 0. then times.(i) <- !last else last := times.(i);
-      ignore r)
+    (fun i _ ->
+      if times.(i) < 0. then times.(i) <- !last else last := times.(i))
     arr;
-  Array.to_list (Array.mapi (fun i r -> { r with Record.time = times.(i) }) arr)
+  Array.iteri
+    (fun i r ->
+      if times.(i) <> r.Record.time then arr.(i) <- { r with Record.time = times.(i) })
+    arr;
+  arr
 
 (* {2 Dispatch} *)
 
@@ -125,18 +131,28 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
   let operations = ref 0 and errors = ref 0 in
   let t_first = ref infinity and t_last = ref 0. in
   let base = Sched.now sched in
-  (* group records per client, preserving order *)
-  let per_client : (int, Record.t list) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
+  (* group records per client, preserving order: one index array per
+     client, so the fibres walk the shared record array directly *)
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
     (fun r ->
-      let cur =
-        Option.value ~default:[] (Hashtbl.find_opt per_client r.Record.client)
-      in
-      Hashtbl.replace per_client r.Record.client (r :: cur))
+      let c = r.Record.client in
+      Hashtbl.replace counts c
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
     records;
-  let clients =
-    Hashtbl.fold (fun c rs acc -> (c, List.rev rs) :: acc) per_client []
+  let slots : (int, int array * int ref) Hashtbl.t =
+    Hashtbl.create (Hashtbl.length counts)
   in
+  Hashtbl.iter
+    (fun c n -> Hashtbl.replace slots c (Array.make n 0, ref 0))
+    counts;
+  Array.iteri
+    (fun i r ->
+      let a, fill = Hashtbl.find slots r.Record.client in
+      a.(!fill) <- i;
+      incr fill)
+    records;
+  let clients = Hashtbl.fold (fun c (a, _) acc -> (c, a) :: acc) slots [] in
   let remaining = ref (List.length clients) in
   let all_done = Sched.new_event ~name:"replay.done" sched in
   let measure (r : Record.t) f =
@@ -164,14 +180,15 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
     in
     Stats.Welford.add w dt
   in
-  let client_fibre (cid, rs) () =
-    List.iter
-      (fun (r : Record.t) ->
+  let client_fibre (cid, indices) () =
+    Array.iter
+      (fun i ->
+        let r = records.(i) in
         let target = base +. (r.Record.time /. speedup) in
         let now = Sched.now sched in
         if target > now then Sched.sleep sched (target -. now);
         measure r (fun () -> dispatch client r))
-      rs;
+      indices;
     Client.close_all client ~client:cid;
     decr remaining;
     if !remaining = 0 then Sched.broadcast sched all_done

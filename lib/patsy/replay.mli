@@ -28,8 +28,11 @@ type result = {
 (** [synthesize_times records] fills in missing read/write times
     equidistantly between the enclosing open and close of the same
     (client, path) session; other untimed records inherit the previous
-    record's time. Input order is preserved. *)
-val synthesize_times : Capfs_trace.Record.t list -> Capfs_trace.Record.t list
+    record's time. Input order is preserved. The synthesized times are
+    patched directly into a copy of the array (no list round-trips);
+    the input — possibly shared across experiment domains — is never
+    mutated. *)
+val synthesize_times : Capfs_trace.Record.t array -> Capfs_trace.Record.t array
 
 (** [run client records] spawns one fibre per trace client, replays to
     completion (all fibres joined), then closes leftover descriptors.
@@ -44,5 +47,5 @@ val run :
   ?window:float ->
   ?synthesize_missing:bool ->
   Capfs.Client.t ->
-  Capfs_trace.Record.t list ->
+  Capfs_trace.Record.t array ->
   result

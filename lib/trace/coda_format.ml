@@ -61,6 +61,7 @@ let of_string s =
   String.split_on_char '\n' s
   |> List.mapi (fun i l -> (i + 1, l))
   |> List.filter_map (fun (i, l) -> parse_line ~line:i l)
+  |> Array.of_list
 
 (* Turn a path back into a fid: /coda/<vol>/<vnode> round-trips; other
    paths hash deterministically into a synthetic volume. *)
@@ -101,7 +102,7 @@ let emit buf (r : Record.t) =
 
 let to_string records =
   let buf = Buffer.create 4096 in
-  List.iter (emit buf) records;
+  Array.iter (emit buf) records;
   Buffer.contents buf
 
 let load path =

@@ -16,11 +16,11 @@
 exception Parse_error of int * string
 
 val parse_line : line:int -> string -> Record.t option
-val of_string : string -> Record.t list
+val of_string : string -> Record.t array
 
 (** Render records whose paths have the ["/coda/vol/vnode"] shape back
     into fid form; other paths get a deterministic synthetic fid. *)
-val to_string : Record.t list -> string
+val to_string : Record.t array -> string
 
-val load : string -> Record.t list
-val save : string -> Record.t list -> unit
+val load : string -> Record.t array
+val save : string -> Record.t array -> unit

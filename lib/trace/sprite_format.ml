@@ -76,10 +76,11 @@ let of_string s =
   String.split_on_char '\n' s
   |> List.mapi (fun i l -> (i + 1, l))
   |> List.filter_map (fun (i, l) -> parse_line ~line:i l)
+  |> Array.of_list
 
 let to_string records =
   let buf = Buffer.create 4096 in
-  List.iter (print_record buf) records;
+  Array.iter (print_record buf) records;
   Buffer.contents buf
 
 let load path =

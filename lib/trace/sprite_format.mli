@@ -20,11 +20,11 @@ val parse_line : line:int -> string -> Record.t option
 val print_record : Buffer.t -> Record.t -> unit
 
 (** Parse a whole trace body. *)
-val of_string : string -> Record.t list
+val of_string : string -> Record.t array
 
-val to_string : Record.t list -> string
+val to_string : Record.t array -> string
 
 (** File I/O convenience wrappers. *)
-val load : string -> Record.t list
+val load : string -> Record.t array
 
-val save : string -> Record.t list -> unit
+val save : string -> Record.t array -> unit

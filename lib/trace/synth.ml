@@ -272,19 +272,19 @@ let generate ~seed ?duration p =
      stable sort keyed only on recorded times being monotone per client,
      so keep them adjacent: assign each untimed record the time of the
      preceding timed record from the same emission order. *)
-  let records = List.rev !out in
+  let records = Array.of_list (List.rev !out) in
+  let n = Array.length records in
+  let keys = Array.make n 0. in
   let last = ref 0. in
-  let keyed =
-    List.mapi
-      (fun i r ->
-        let k =
-          if Record.has_time r then begin
-            last := r.Record.time;
-            r.Record.time
-          end
-          else !last
-        in
-        (k, i, r))
-      records
-  in
-  List.sort compare keyed |> List.map (fun (_, _, r) -> r)
+  for i = 0 to n - 1 do
+    if Record.has_time records.(i) then last := records.(i).Record.time;
+    keys.(i) <- !last
+  done;
+  let order = Array.init n (fun i -> i) in
+  (* emission order breaks key ties, which makes the sort stable *)
+  Array.sort
+    (fun a b ->
+      let c = compare keys.(a) keys.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  Array.map (fun i -> records.(i)) order

@@ -60,5 +60,8 @@ val all_profiles : profile list
 val profile_by_name : string -> profile
 
 (** [generate ~seed ?duration profile] produces a time-sorted record
-    list. Same seed, same trace. [duration] overrides the profile's. *)
-val generate : seed:int -> ?duration:float -> profile -> Record.t list
+    array. Same seed, same trace. [duration] overrides the profile's.
+    The array is immutable by convention (no writer mutates it after
+    generation), so it can be shared freely — including across domains
+    running concurrent experiments. *)
+val generate : seed:int -> ?duration:float -> profile -> Record.t array

@@ -137,7 +137,7 @@ let test_coda_trace_replay () =
       ]
   in
   let trace = Capfs_trace.Coda_format.of_string text in
-  Alcotest.(check int) "parsed" 8 (List.length trace);
+  Alcotest.(check int) "parsed" 8 (Array.length trace);
   let config =
     {
       (Experiment.default Experiment.Ups) with

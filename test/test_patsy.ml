@@ -35,39 +35,41 @@ let test_synthesize_times_equidistant () =
   let mk time op = { Record.time; client = 1; op } in
   let path = "/f" in
   let records =
-    [
+    [|
       mk 10. (Record.Open { path; mode = Record.Write_only });
       mk Record.no_time (Record.Write { path; offset = 0; bytes = 100 });
       mk Record.no_time (Record.Write { path; offset = 100; bytes = 100 });
       mk Record.no_time (Record.Write { path; offset = 200; bytes = 100 });
       mk 14. (Record.Close { path });
-    ]
+    |]
   in
-  match Replay.synthesize_times records with
-  | [ _; w1; w2; w3; _ ] ->
+  (match Replay.synthesize_times records with
+  | [| _; w1; w2; w3; _ |] ->
     Alcotest.(check (float 1e-9)) "w1" 11. w1.Record.time;
     Alcotest.(check (float 1e-9)) "w2" 12. w2.Record.time;
     Alcotest.(check (float 1e-9)) "w3" 13. w3.Record.time
-  | _ -> Alcotest.fail "record count changed"
+  | _ -> Alcotest.fail "record count changed");
+  (* the input array — possibly shared across domains — is untouched *)
+  Alcotest.(check bool) "input not mutated" false (Record.has_time records.(1))
 
 let test_synthesize_times_leftovers_inherit () =
   let mk time op = { Record.time; client = 1; op } in
   let records =
-    [
+    [|
       mk 5. (Record.Stat { path = "/x" });
       mk Record.no_time (Record.Truncate { path = "/y"; size = 0 });
       mk 9. (Record.Stat { path = "/z" });
-    ]
+    |]
   in
   match Replay.synthesize_times records with
-  | [ _; t; _ ] -> Alcotest.(check (float 1e-9)) "inherits prev" 5. t.Record.time
+  | [| _; t; _ |] -> Alcotest.(check (float 1e-9)) "inherits prev" 5. t.Record.time
   | _ -> Alcotest.fail "record count changed"
 
 let test_synthesize_preserves_order_and_count () =
   let records = small_trace () in
   let out = Replay.synthesize_times records in
-  Alcotest.(check int) "count" (List.length records) (List.length out);
-  List.iter
+  Alcotest.(check int) "count" (Array.length records) (Array.length out);
+  Array.iter
     (fun r ->
       if not (Record.has_time r) then
         Alcotest.failf "record still untimed: %a" Record.pp r)
@@ -81,11 +83,11 @@ let run_replay ?(config = test_config Experiment.Ups) trace =
 let test_replay_executes_all_operations () =
   let trace = small_trace () in
   let o = run_replay trace in
-  Alcotest.(check int) "every record dispatched" (List.length trace)
+  Alcotest.(check int) "every record dispatched" (Array.length trace)
     o.Experiment.replay.Replay.operations;
-  if o.Experiment.replay.Replay.errors * 10 > List.length trace then
+  if o.Experiment.replay.Replay.errors * 10 > Array.length trace then
     Alcotest.failf "too many errors: %d of %d"
-      o.Experiment.replay.Replay.errors (List.length trace)
+      o.Experiment.replay.Replay.errors (Array.length trace)
 
 let test_replay_takes_trace_time () =
   let trace = small_trace ~duration:120. () in
@@ -153,7 +155,7 @@ let test_all_policies_complete () =
       let o = Experiment.run (test_config policy) ~trace in
       Alcotest.(check int)
         (Experiment.policy_name policy ^ " completes")
-        (List.length trace)
+        (Array.length trace)
         o.Experiment.replay.Replay.operations)
     Experiment.all_policies
 
@@ -226,11 +228,11 @@ let test_adopted_files_cost_disk_reads () =
      pay disk time (synthesized blocks are on disk, not in cache) *)
   let mk time op = { Record.time; client = 1; op } in
   let trace =
-    [
+    [|
       mk 0.1 (Record.Open { path = "/d0/old"; mode = Record.Read_only });
       mk Record.no_time (Record.Read { path = "/d0/old"; offset = 0; bytes = 8192 });
       mk 0.5 (Record.Close { path = "/d0/old" });
-    ]
+    |]
   in
   let o = run_replay trace in
   Alcotest.(check int) "no errors" 0 o.Experiment.replay.Replay.errors;
@@ -240,6 +242,101 @@ let test_adopted_files_cost_disk_reads () =
     | None -> 0
   in
   if misses = 0 then Alcotest.fail "pre-existing file should miss the cache"
+
+(* Fleet: the parallel experiment runner *)
+
+module Fleet = Capfs_patsy.Fleet
+
+let fleet_pairs =
+  [
+    ("sprite-1a", Experiment.Ups);
+    ("sprite-1a", Experiment.Write_delay);
+    ("sprite-1b", Experiment.Ups);
+    ("sprite-1b", Experiment.Nvram_whole);
+  ]
+
+let fleet_gen name =
+  Synth.generate ~seed:3 ~duration:90.
+    { (Synth.profile_by_name name) with Synth.clients = 3; files = 40; dirs = 4 }
+
+let test_fleet_parallel_matches_sequential () =
+  (* same seeds => byte-identical figures regardless of the domain count *)
+  let run jobs =
+    Fleet.run_matrix ~jobs ~config:test_config ~gen:fleet_gen fleet_pairs
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check int) "result count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Fleet.job_result) (b : Fleet.job_result) ->
+      Alcotest.(check string) "deterministic ordering" a.Fleet.job.Fleet.label
+        b.Fleet.job.Fleet.label;
+      let oa = Fleet.outcome_exn a and ob = Fleet.outcome_exn b in
+      Alcotest.(check int)
+        (a.Fleet.job.Fleet.label ^ " ops")
+        oa.Experiment.replay.Replay.operations
+        ob.Experiment.replay.Replay.operations;
+      Alcotest.(check (float 0.))
+        (a.Fleet.job.Fleet.label ^ " mean latency")
+        (Capfs_stats.Sample_set.mean oa.Experiment.replay.Replay.latency)
+        (Capfs_stats.Sample_set.mean ob.Experiment.replay.Replay.latency);
+      Alcotest.(check int)
+        (a.Fleet.job.Fleet.label ^ " flushed")
+        oa.Experiment.blocks_flushed ob.Experiment.blocks_flushed;
+      Alcotest.(check int)
+        (a.Fleet.job.Fleet.label ^ " absorbed")
+        oa.Experiment.writes_absorbed ob.Experiment.writes_absorbed)
+    seq par
+
+let test_fleet_crash_does_not_wedge_pool () =
+  (* one poisoned job (ndisks = 0 -> invalid_arg inside the worker):
+     the pool must complete every other job and report the failure *)
+  let good policy = test_config policy in
+  let bad = { (test_config Experiment.Ups) with Experiment.ndisks = 0 } in
+  let jobs_list =
+    [
+      { Fleet.label = "ok-1"; trace = "sprite-1a"; config = good Experiment.Ups };
+      { Fleet.label = "boom"; trace = "sprite-1a"; config = bad };
+      { Fleet.label = "ok-2"; trace = "sprite-1a";
+        config = good Experiment.Write_delay };
+    ]
+  in
+  let results = Fleet.run_jobs ~jobs:2 ~gen:fleet_gen jobs_list in
+  Alcotest.(check int) "all jobs reported" 3 (List.length results);
+  (match Fleet.failures results with
+  | [ (job, Invalid_argument _) ] ->
+    Alcotest.(check string) "failed job" "boom" job.Fleet.label
+  | fs -> Alcotest.failf "expected 1 Invalid_argument failure, got %d" (List.length fs));
+  List.iter
+    (fun (r : Fleet.job_result) ->
+      if r.Fleet.job.Fleet.label <> "boom" then
+        match r.Fleet.result with
+        | Ok o ->
+          if o.Experiment.replay.Replay.operations = 0 then
+            Alcotest.failf "%s replayed nothing" r.Fleet.job.Fleet.label
+        | Error e ->
+          Alcotest.failf "%s should have succeeded: %s" r.Fleet.job.Fleet.label
+            (Printexc.to_string e))
+    results
+
+let test_fleet_gen_failure_is_an_error () =
+  let gen name =
+    if name = "no-such-trace" then failwith "cannot generate" else fleet_gen name
+  in
+  let results =
+    Fleet.run_jobs ~jobs:2 ~gen
+      [
+        { Fleet.label = "missing"; trace = "no-such-trace";
+          config = test_config Experiment.Ups };
+        { Fleet.label = "fine"; trace = "sprite-1a";
+          config = test_config Experiment.Ups };
+      ]
+  in
+  (match (List.nth results 0).Fleet.result with
+  | Error (Failure _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "gen failure must surface as Error");
+  match (List.nth results 1).Fleet.result with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "good job failed: %s" (Printexc.to_string e)
 
 let suite =
   [
@@ -265,4 +362,10 @@ let suite =
     Alcotest.test_case "report cdf monotone" `Quick test_report_cdf_is_monotone;
     Alcotest.test_case "adopted files cost reads" `Quick
       test_adopted_files_cost_disk_reads;
+    Alcotest.test_case "fleet parallel == sequential" `Quick
+      test_fleet_parallel_matches_sequential;
+    Alcotest.test_case "fleet crash does not wedge" `Quick
+      test_fleet_crash_does_not_wedge_pool;
+    Alcotest.test_case "fleet gen failure is Error" `Quick
+      test_fleet_gen_failure_is_an_error;
   ]

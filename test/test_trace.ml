@@ -11,8 +11,19 @@ let rec_eq (a : Record.t) (b : Record.t) =
   && (abs_float (a.Record.time -. b.Record.time) <= 1e-6
       || ((not (Record.has_time a)) && not (Record.has_time b)))
 
+let check_record_arrays name expected actual =
+  Alcotest.(check int) (name ^ " count") (Array.length expected)
+    (Array.length actual);
+  Array.iteri
+    (fun i a ->
+      let b = actual.(i) in
+      if not (rec_eq a b) then
+        Alcotest.failf "%s mismatch at %d: %a vs %a" name i Record.pp a
+          Record.pp b)
+    expected
+
 let sample_records =
-  [
+  [|
     { Record.time = 0.; client = 0; op = Record.Mkdir { path = "/d0" } };
     {
       Record.time = 1.25;
@@ -44,10 +55,10 @@ let sample_records =
     { Record.time = 4.0; client = 5; op = Record.Stat { path = "/d0/f1" } };
     { Record.time = 5.0; client = 3; op = Record.Delete { path = "/d0/f1" } };
     { Record.time = 6.0; client = 0; op = Record.Rmdir { path = "/d0" } };
-  ]
+  |]
 
 let test_record_accessors () =
-  let r = List.nth sample_records 2 in
+  let r = sample_records.(2) in
   Alcotest.(check string) "path" "/d0/f1" (Record.path r);
   Alcotest.(check string) "op name" "write" (Record.op_name r);
   Alcotest.(check int) "bytes" 4096 (Record.bytes_moved r);
@@ -56,20 +67,15 @@ let test_record_accessors () =
 let test_sprite_roundtrip () =
   let text = Sprite_format.to_string sample_records in
   let parsed = Sprite_format.of_string text in
-  Alcotest.(check int) "count" (List.length sample_records)
-    (List.length parsed);
-  List.iter2
-    (fun a b -> if not (rec_eq a b) then
-        Alcotest.failf "mismatch: %a vs %a" Record.pp a Record.pp b)
-    sample_records parsed
+  check_record_arrays "sprite" sample_records parsed
 
 let test_sprite_comments_skipped () =
   let text = "# a header\n\n12.5 c1 stat /x\n# trailing\n" in
   match Sprite_format.of_string text with
-  | [ r ] ->
+  | [| r |] ->
     Alcotest.(check string) "op" "stat" (Record.op_name r);
     Alcotest.(check (float 1e-9)) "time" 12.5 r.Record.time
-  | l -> Alcotest.failf "expected 1 record, got %d" (List.length l)
+  | a -> Alcotest.failf "expected 1 record, got %d" (Array.length a)
 
 let test_sprite_bad_input_raises () =
   List.iter
@@ -88,7 +94,7 @@ let test_sprite_bad_input_raises () =
 
 let test_coda_roundtrip () =
   let coda_records =
-    List.map
+    Array.map
       (fun (r : Record.t) ->
         (* coda fids live under /coda/<vol>/<vnode> *)
         let fix p = "/coda/v7/" ^ string_of_int (Hashtbl.hash p land 0xffff) in
@@ -112,11 +118,7 @@ let test_coda_roundtrip () =
   in
   let text = Coda_format.to_string coda_records in
   let parsed = Coda_format.of_string text in
-  Alcotest.(check int) "count" (List.length coda_records) (List.length parsed);
-  List.iter2
-    (fun a b -> if not (rec_eq a b) then
-        Alcotest.failf "mismatch: %a vs %a" Record.pp a Record.pp b)
-    coda_records parsed
+  check_record_arrays "coda" coda_records parsed
 
 let test_coda_rejects_garbage () =
   try
@@ -131,19 +133,16 @@ let small = { Synth.sprite_1a with Synth.clients = 4; files = 100; dirs = 5 }
 let test_synth_deterministic () =
   let a = Synth.generate ~seed:11 ~duration:300. small in
   let b = Synth.generate ~seed:11 ~duration:300. small in
-  Alcotest.(check int) "same length" (List.length a) (List.length b);
-  List.iter2
-    (fun x y -> if not (rec_eq x y) then Alcotest.fail "diverged")
-    a b;
+  check_record_arrays "same seed" a b;
   let c = Synth.generate ~seed:12 ~duration:300. small in
-  if List.length a = List.length c
-     && List.for_all2 rec_eq a c then
+  if Array.length a = Array.length c
+     && Array.for_all2 rec_eq a c then
     Alcotest.fail "different seeds should differ"
 
 let test_synth_times_sorted () =
   let recs = Synth.generate ~seed:3 ~duration:600. small in
   let last = ref 0. in
-  List.iter
+  Array.iter
     (fun r ->
       if Record.has_time r then begin
         if r.Record.time < !last -. 1e-9 then
@@ -156,7 +155,7 @@ let test_synth_sessions_well_formed () =
   (* every read/write/close is preceded by an open from the same client *)
   let recs = Synth.generate ~seed:5 ~duration:600. small in
   let open_files : (int * string, unit) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
+  Array.iter
     (fun (r : Record.t) ->
       let key = (r.Record.client, Record.path r) in
       match r.Record.op with
@@ -175,7 +174,7 @@ let test_synth_sessions_well_formed () =
 let test_synth_io_times_unrecorded_by_default () =
   let recs = Synth.generate ~seed:7 ~duration:300. small in
   let io_with_time =
-    List.exists
+    Array.exists
       (fun (r : Record.t) ->
         match r.Record.op with
         | Record.Read _ | Record.Write _ -> Record.has_time r
@@ -189,7 +188,7 @@ let test_synth_io_times_unrecorded_by_default () =
       { small with Synth.record_io_times = true }
   in
   let all_io_timed =
-    List.for_all
+    Array.for_all
       (fun (r : Record.t) ->
         match r.Record.op with
         | Record.Read _ | Record.Write _ -> Record.has_time r
@@ -202,7 +201,7 @@ let test_synth_profiles_have_character () =
   (* sprite-5 must move far more write bytes than sprite-1a at equal
      duration; sprite-1a must have more reads than writes. *)
   let bytes_of recs p =
-    List.fold_left
+    Array.fold_left
       (fun (r, w) (x : Record.t) ->
         match x.Record.op with
         | Record.Read { bytes; _ } -> (r + bytes, w)
@@ -225,11 +224,10 @@ let test_synth_profiles_have_character () =
 let test_synth_deletes_happen () =
   let recs = Synth.generate ~seed:9 ~duration:1200. small in
   let deletes =
-    List.length
-      (List.filter
-         (fun (r : Record.t) ->
-           match r.Record.op with Record.Delete _ -> true | _ -> false)
-         recs)
+    Array.fold_left
+      (fun n (r : Record.t) ->
+        match r.Record.op with Record.Delete _ -> n + 1 | _ -> n)
+      0 recs
   in
   if deletes = 0 then Alcotest.fail "workload must delete files"
 
@@ -276,9 +274,10 @@ let prop_sprite_roundtrip =
     ~count:200
     (QCheck.make QCheck.Gen.(list_size (int_range 1 20) record_gen))
     (fun records ->
+      let records = Array.of_list records in
       let parsed = Sprite_format.of_string (Sprite_format.to_string records) in
-      List.length parsed = List.length records
-      && List.for_all2 rec_eq records parsed)
+      Array.length parsed = Array.length records
+      && Array.for_all2 rec_eq records parsed)
 
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_sprite_roundtrip ]
 
