@@ -34,6 +34,9 @@ let section title = Format.printf "@.=== %s@.@." title
    original, so the server shrinks with them — 2 of the hot disks on one
    SCSI string and a cache sized to keep the miss rate in the regime the
    paper reports. *)
+(* Set by -trace-out: per-experiment event ring capacity (0 = off). *)
+let trace_buffer = ref 0
+
 let experiment_config ?(policy = Experiment.Ups) () =
   {
     (Experiment.default policy) with
@@ -41,6 +44,7 @@ let experiment_config ?(policy = Experiment.Ups) () =
     nbuses = 1;
     cache_mb = 24;
     nvram_mb = 4;
+    trace_buffer = !trace_buffer;
   }
 
 let trace_names = [ "sprite-1a"; "sprite-1b"; "sprite-2a"; "sprite-2b"; "sprite-5" ]
@@ -662,11 +666,14 @@ let write_results_json ~path ~preset ~jobs ~duration results =
 
 (* {1 Main} *)
 
-let usage = "usage: main.exe [quick|full|figures|ablations|micro] [-j N]"
+let usage =
+  "usage: main.exe [quick|full|figures|ablations|micro] [-j N] \
+   [-trace-out FILE]"
 
 let parse_args () =
   let preset = ref "default" in
   let jobs = ref (Fleet.default_jobs ()) in
+  let trace_out = ref None in
   let rec go i =
     if i < Array.length Sys.argv then
       match Sys.argv.(i) with
@@ -677,15 +684,20 @@ let parse_args () =
       | s when String.length s > 2 && String.sub s 0 2 = "-j" ->
         jobs := int_of_string (String.sub s 2 (String.length s - 2));
         go (i + 1)
+      | "-trace-out" | "--trace-out" ->
+        if i + 1 >= Array.length Sys.argv then failwith usage;
+        trace_out := Some Sys.argv.(i + 1);
+        go (i + 2)
       | s ->
         preset := s;
         go (i + 1)
   in
   go 1;
-  (!preset, Stdlib.max 1 !jobs)
+  (!preset, Stdlib.max 1 !jobs, !trace_out)
 
 let () =
-  let preset, jobs = parse_args () in
+  let preset, jobs, trace_out = parse_args () in
+  if trace_out <> None then trace_buffer := 65536;
   let duration, do_figures, do_ablations, do_micro =
     match preset with
     | "quick" -> (300., true, true, true)
@@ -720,4 +732,10 @@ let () =
   if !results_log <> [] then
     write_results_json ~path:"BENCH_results.json" ~preset ~jobs ~duration
       !results_log;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    let stream = Fleet.merged_events !results_log in
+    Capfs_obs.Export.to_file path stream;
+    Format.printf "@.wrote %d trace events to %s@." (List.length stream) path);
   Format.printf "@.done.@."

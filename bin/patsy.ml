@@ -53,8 +53,8 @@ let print_one ~trace ~show_cdf ~show_windows ~show_stats outcome =
   end
 
 let run_main trace format policy duration seed parallel_jobs disks buses
-    cache_mb nvram_mb iosched replacement cleaner sync_flush show_cdf
-    show_windows show_stats log_level =
+    cache_mb nvram_mb iosched replacement cleaner sync_flush trace_out
+    trace_buffer show_cdf show_windows show_stats log_level =
   setup_logs log_level;
   let policies = policies_of_arg policy in
   let config policy =
@@ -73,6 +73,7 @@ let run_main trace format policy duration seed parallel_jobs disks buses
         | c -> invalid_arg ("unknown cleaner: " ^ c));
       async_flush = not sync_flush;
       seed;
+      trace_buffer = (if trace_out = None then 0 else trace_buffer);
     }
   in
   (* load once here for the record count; the trace array is immutable,
@@ -98,6 +99,12 @@ let run_main trace format policy duration seed parallel_jobs disks buses
       print_one ~trace ~show_cdf ~show_windows ~show_stats
         (Fleet.outcome_exn r))
     results;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    let stream = Fleet.merged_events results in
+    Capfs_obs.Export.to_file path stream;
+    Format.printf "# wrote %d trace events to %s@." (List.length stream) path);
   0
 
 open Cmdliner
@@ -161,6 +168,19 @@ let sync_flush =
            ~doc:"Flush synchronously from the allocating thread (the \
                  pre-lesson behaviour of §5.2).")
 
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the merged structured event trace as Chrome \
+                 trace_event JSON to $(docv) (open with Perfetto or \
+                 chrome://tracing). Enables event tracing for the run.")
+
+let trace_buffer =
+  Arg.(value & opt int 65536
+       & info [ "trace-buffer" ] ~docv:"EVENTS"
+           ~doc:"Per-experiment event ring capacity; when the run emits \
+                 more events, only the newest $(docv) are kept.")
+
 let show_cdf =
   Arg.(value & flag & info [ "cdf" ] ~doc:"Print the latency CDF series.")
 
@@ -186,7 +206,7 @@ let cmd =
     Term.(
       const run_main $ trace $ format $ policy $ duration $ seed
       $ parallel_jobs $ disks $ buses $ cache_mb $ nvram_mb $ iosched
-      $ replacement $ cleaner $ sync_flush $ show_cdf $ show_windows
-      $ show_stats $ log_level)
+      $ replacement $ cleaner $ sync_flush $ trace_out $ trace_buffer
+      $ show_cdf $ show_windows $ show_stats $ log_level)
 
 let () = exit (Cmd.eval' cmd)

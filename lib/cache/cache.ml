@@ -2,6 +2,8 @@ module Sched = Capfs_sched.Sched
 module Mailbox = Capfs_sched.Mailbox
 module Data = Capfs_disk.Data
 module Stats = Capfs_stats
+module Tracer = Capfs_obs.Tracer
+module Ev = Capfs_obs.Event
 module Ktbl = Hashtbl.Make (Block.Key)
 
 let src = Logs.Src.create "capfs.cache" ~doc:"file-system block cache"
@@ -70,6 +72,15 @@ let record t stat v =
 
 let config t = t.cfg
 let now t = Sched.now t.sched
+let tracer t = Sched.tracer t.sched
+
+let trace_evict t (victim : Block.t) =
+  let tr = tracer t in
+  if Tracer.enabled tr then
+    Tracer.emit tr ~time:(now t)
+      (Ev.Cache_evict
+         { cache = t.cname; ino = Block.ino victim; index = Block.index victim })
+
 let find t key = Ktbl.find_opt t.table key
 
 let copy_delay t =
@@ -159,6 +170,7 @@ let rehouse_from_nvram t b =
     | Some victim ->
       table_remove t victim;
       record t "evictions" 1.;
+      trace_evict t victim;
       (* victim frees a frame; [b] takes it: volatile_used unchanged *)
       Replacement.insert t.policy b
     | None -> table_remove t b
@@ -183,6 +195,10 @@ let rec do_writeback t (job : flush_job) =
     let payload =
       List.map (fun (b, _) -> (b.Block.key, b.Block.data)) chunk
     in
+    let tr = tracer t in
+    if Tracer.enabled tr then
+      Tracer.emit tr ~time:(now t)
+        (Ev.Cache_flush { cache = t.cname; blocks = List.length chunk });
     t.writeback payload;
     List.iter
       (fun ((b : Block.t), version) ->
@@ -251,8 +267,7 @@ let rec reserve_volatile t ~stall_stat =
     | Some victim ->
       table_remove t victim;
       record t "evictions" 1.;
-      (* reuse the victim's frame: counters unchanged *)
-      ()
+      trace_evict t victim
     | None ->
       let t0 = now t in
       wait_for_space t ~satisfied:(fun () ->
@@ -278,12 +293,20 @@ let rec read t key ~fill =
   match find t key with
   | Some b ->
     record t "hits" 1.;
+    let tr = tracer t in
+    if Tracer.enabled tr then
+      Tracer.emit tr ~time:(now t)
+        (Ev.Cache_hit { cache = t.cname; ino = fst key; index = snd key });
     if b.Block.state = Block.Clean then Replacement.access t.policy b;
     touch t b;
     copy_delay t;
     b.Block.data
   | None -> (
     record t "misses" 1.;
+    let tr = tracer t in
+    if Tracer.enabled tr then
+      Tracer.emit tr ~time:(now t)
+        (Ev.Cache_miss { cache = t.cname; ino = fst key; index = snd key });
     match Ktbl.find_opt t.filling key with
     | Some ev ->
       Sched.await t.sched ev;

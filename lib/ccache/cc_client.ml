@@ -1,4 +1,7 @@
 module Data = Capfs_disk.Data
+module Sched = Capfs_sched.Sched
+module Tracer = Capfs_obs.Tracer
+module Ev = Capfs_obs.Event
 
 type centry = {
   mutable data : Data.t;
@@ -134,6 +137,16 @@ let fetch_block t h idx =
   t.remote <- t.remote + 1;
   Cc_server.rpc_read_block t.server ~client_id:t.client_id ~ino:h.ino idx
 
+let trace_lookup t ~hit ~ino ~index =
+  let sched = Cc_server.sched t.server in
+  let tr = Sched.tracer sched in
+  if Tracer.enabled tr then begin
+    let cache = "cc" ^ string_of_int t.client_id in
+    Tracer.emit tr ~time:(Sched.now sched)
+      (if hit then Ev.Cache_hit { cache; ino; index }
+       else Ev.Cache_miss { cache; ino; index })
+  end
+
 let read_block t h idx =
   let key = (h.ino, idx) in
   if not h.cacheable then fetch_block t h idx
@@ -141,8 +154,10 @@ let read_block t h idx =
     match Hashtbl.find_opt t.blocks key with
     | Some e ->
       t.hits <- t.hits + 1;
+      trace_lookup t ~hit:true ~ino:h.ino ~index:idx;
       e.data
     | None ->
+      trace_lookup t ~hit:false ~ino:h.ino ~index:idx;
       let data = fetch_block t h idx in
       insert t key { data; dirty = false; version = h.version };
       data

@@ -61,6 +61,8 @@ let record t stat v =
 let block_bytes t =
   (Client.fsys t.fs_client).Capfs.Fsys.config.Capfs.Fsys.block_bytes
 
+let sched t = (Client.fsys t.fs_client).Capfs.Fsys.sched
+
 let attach t ~client_id ~recall ~disable =
   Hashtbl.replace t.clients client_id { recall; disable }
 

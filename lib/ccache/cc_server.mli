@@ -33,6 +33,10 @@ val create :
 
 val block_bytes : t -> int
 
+(** The scheduler of the file system behind the server; clients use it
+    to timestamp trace events with the shared virtual clock. *)
+val sched : t -> Capfs_sched.Sched.t
+
 (** Attach a client: [recall] asks it to write back and drop its dirty
     blocks of the file; [disable] tells it to stop caching the file.
     Returns the client's server-side id (pass to the rpcs). *)

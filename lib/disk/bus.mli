@@ -18,6 +18,11 @@ type t
 val scsi2 : ?registry:Capfs_stats.Registry.t -> ?name:string ->
   Capfs_sched.Sched.t -> t
 
+(** [create ~rate_bytes_per_sec sched] is a bus with the given raw
+    transfer rate; [arbitration] and [phase_overhead] are the fixed
+    per-acquisition costs in seconds (both default to 0 — an idealised
+    link). Registers its utilisation statistics under
+    ["<name>."] when a [registry] is given. *)
 val create :
   ?registry:Capfs_stats.Registry.t ->
   ?name:string ->
@@ -27,6 +32,8 @@ val create :
   Capfs_sched.Sched.t ->
   t
 
+(** The name given at creation (default ["bus"]); prefixes the bus's
+    statistics. *)
 val name : t -> string
 
 (** [transfer t ~bytes] waits for bus ownership, holds the bus for the

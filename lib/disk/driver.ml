@@ -1,5 +1,7 @@
 module Sched = Capfs_sched.Sched
 module Stats = Capfs_stats
+module Tracer = Capfs_obs.Tracer
+module Ev = Capfs_obs.Event
 
 type transport = {
   t_name : string;
@@ -137,6 +139,16 @@ let queue_length t = Iosched.length t.policy
 
 let submit t req =
   record t "queue_len" (float_of_int (Iosched.length t.policy));
+  let tr = Sched.tracer t.sched in
+  if Tracer.enabled tr then
+    Tracer.emit tr ~time:(Sched.now t.sched)
+      (Ev.Disk_enqueue
+         {
+           disk = t.drv_name;
+           lba = req.Iorequest.lba;
+           sectors = req.Iorequest.sectors;
+           write = req.Iorequest.op = Iorequest.Write;
+         });
   Iosched.add t.policy req;
   Sched.signal t.sched t.work
 

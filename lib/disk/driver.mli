@@ -53,8 +53,14 @@ val create :
   transport ->
   t
 
+(** The name given at creation (default ["driver"]); prefixes the
+    driver's statistics and trace events. *)
 val name : t -> string
+
+(** The transport's sector size in bytes. *)
 val sector_bytes : t -> int
+
+(** The transport's capacity in sectors. *)
 val total_sectors : t -> int
 
 (** Pending requests (excluding the one in service). *)

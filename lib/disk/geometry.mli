@@ -19,6 +19,9 @@ type t = {
     sector on its track, in [0, sectors_per_track). *)
 type pos = { cylinder : int; head : int; angle : int }
 
+(** [v ~cylinders ~heads ~sectors_per_track ~sector_bytes ()] builds a
+    geometry; both skews default to 0 (no rotational offset). Raises
+    [Invalid_argument] on non-positive dimensions. *)
 val v :
   cylinders:int ->
   heads:int ->

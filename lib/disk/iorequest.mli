@@ -53,4 +53,5 @@ val response_time : t -> float
 (** Sector one past the end. *)
 val last_lba : t -> int
 
+(** One-line rendering (id, op, sector range) for logs and debugging. *)
 val pp : Format.formatter -> t -> unit

@@ -43,6 +43,7 @@ val sstf : Geometry.t -> t
     LOOK implementation.) *)
 val look : Geometry.t -> t
 
+(** Alias of {!look} — see the note there. *)
 val scan : Geometry.t -> t
 
 (** Circular LOOK: service upward only; wrap to the lowest pending
@@ -63,4 +64,5 @@ val scan_edf : Geometry.t -> t
     Raises [Invalid_argument] on unknown names. *)
 val by_name : Geometry.t -> string -> t
 
+(** Every name {!by_name} accepts, for CLI help and error messages. *)
 val known_policies : string list

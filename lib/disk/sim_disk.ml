@@ -1,5 +1,7 @@
 module Sched = Capfs_sched.Sched
 module Stats = Capfs_stats
+module Tracer = Capfs_obs.Tracer
+module Ev = Capfs_obs.Event
 
 type t = {
   dname : string;
@@ -125,7 +127,15 @@ let position t (pos : Geometry.pos) =
   record t "seek" positioning;
   let rot = rotational_delay t ~target:pos.Geometry.angle in
   if rot > 0. then Sched.sleep t.sched rot;
-  record t "rotation" rot
+  record t "rotation" rot;
+  let dur = positioning +. rot in
+  if dur > 0. then begin
+    let tr = Sched.tracer t.sched in
+    if Tracer.enabled tr then
+      Tracer.emit tr ~time:(Sched.now t.sched)
+        (Ev.Disk_seek
+           { disk = t.dname; cylinder = pos.Geometry.cylinder; dur })
+  end
 
 (* Media transfer of a whole request, chunked per track. *)
 let mechanical t ~lba ~sectors =
@@ -242,4 +252,15 @@ let execute t ~queue_empty (req : Iorequest.t) =
     if immediate then Iorequest.complete t.sched req;
     mechanical t ~lba:req.Iorequest.lba ~sectors:req.Iorequest.sectors;
     if not immediate then Iorequest.complete t.sched req);
-  record t "service" (Sched.now t.sched -. start)
+  record t "service" (Sched.now t.sched -. start);
+  let tr = Sched.tracer t.sched in
+  if Tracer.enabled tr then
+    Tracer.emit tr ~time:(Sched.now t.sched)
+      (Ev.Disk_service
+         {
+           disk = t.dname;
+           lba = req.Iorequest.lba;
+           sectors = req.Iorequest.sectors;
+           write = req.Iorequest.op = Iorequest.Write;
+           dur = Sched.now t.sched -. start;
+         })

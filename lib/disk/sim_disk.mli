@@ -26,6 +26,10 @@
 
 type t
 
+(** [create sched model bus] is a drive of the given model attached to
+    [bus], head parked at cylinder 0. [backing:true] (default [false])
+    keeps real sector contents in memory; a [registry] activates the
+    per-drive statistics listed above under ["<name>."]. *)
 val create :
   ?registry:Capfs_stats.Registry.t ->
   ?name:string ->
@@ -35,7 +39,11 @@ val create :
   Bus.t ->
   t
 
+(** The name given at creation (default ["disk"]); prefixes the drive's
+    statistics and trace events. *)
 val name : t -> string
+
+(** The drive model passed to {!create}. *)
 val model : t -> Disk_model.t
 
 (** Number of addressable sectors. *)

@@ -11,20 +11,33 @@ exception Corrupt of string
 module Writer : sig
   type t
 
+  (** A fresh, empty buffer. *)
   val create : unit -> t
+
+  (** One byte; raises [Invalid_argument] outside [0, 255]. *)
   val u8 : t -> int -> unit
+
+  (** Four bytes, little-endian; raises [Invalid_argument] outside
+      the unsigned 32-bit range. *)
   val u32 : t -> int -> unit
 
   (** 63-bit OCaml ints, stored as 8 bytes. *)
   val u64 : t -> int -> unit
 
+  (** IEEE-754 double, 8 bytes. *)
   val f64 : t -> float -> unit
 
   (** Length-prefixed string. *)
   val string : t -> string -> unit
 
+  (** Raw bytes, {e without} a length prefix — the reader must know the
+      length (fixed-size fields, block payloads). *)
   val bytes_raw : t -> bytes -> unit
+
+  (** Everything written so far. *)
   val contents : t -> string
+
+  (** Bytes written so far. *)
   val length : t -> int
 end
 
@@ -34,12 +47,18 @@ module Reader : sig
   (** [of_string s] starts reading at offset 0. *)
   val of_string : string -> t
 
+  (** Each reader consumes the field its {!Writer} counterpart wrote and
+      advances; all raise {!Corrupt} when the input is exhausted
+      mid-field. [bytes_raw t n] reads exactly [n] bytes. *)
+
   val u8 : t -> int
   val u32 : t -> int
   val u64 : t -> int
   val f64 : t -> float
   val string : t -> string
   val bytes_raw : t -> int -> bytes
+
+  (** Bytes left to read. *)
   val remaining : t -> int
 end
 

@@ -22,6 +22,9 @@ val default_config : config
 
 exception Disk_full
 
+(** [format sched driver ~block_bytes] writes a fresh file system:
+    superblock, then per-group bitmaps and empty inode tables. Whatever
+    the disk held before is gone. *)
 val format :
   ?config:config ->
   Capfs_sched.Sched.t ->
@@ -29,6 +32,9 @@ val format :
   block_bytes:int ->
   unit
 
+(** [mount sched driver] reads the superblock and group metadata back
+    from a {!format}ted (or previously synced) image and returns the
+    layout interface. Requires a transport with a backing store. *)
 val mount :
   ?registry:Capfs_stats.Registry.t ->
   ?name:string ->

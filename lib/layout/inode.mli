@@ -26,6 +26,8 @@ type t = {
   mutable nblocks : int;       (** addresses in use *)
 }
 
+(** [make ~ino ~kind ~now] is a fresh empty inode ([nlink = 1], all
+    three timestamps set to [now], no blocks mapped). *)
 val make : ino:int -> kind:kind -> now:float -> t
 
 (** [get_addr t i] is the disk address of file block [i], or
@@ -42,7 +44,10 @@ val truncate_blocks : t -> blocks:int -> int list
 (** Addresses currently mapped, as (file_block, disk_addr) pairs. *)
 val mapped : t -> (int * int) list
 
+(** The on-disk encoding of {!kind}. [kind_of_int] raises
+    [Codec.Corrupt] on an unknown tag. *)
 val kind_to_int : kind -> int
+
 val kind_of_int : int -> kind
 
 (** Serialize everything except the spilled block map: the caller passes
@@ -56,4 +61,5 @@ val deserialize : string -> t * int list
 (** How many block addresses fit in one indirect block of [block_bytes]. *)
 val addrs_per_indirect : block_bytes:int -> int
 
+(** One-line rendering (ino, kind, size, mapped blocks) for logs. *)
 val pp : Format.formatter -> t -> unit

@@ -23,6 +23,8 @@ val default_config : config
 
 exception Disk_full
 
+(** [format sched driver ~block_bytes] writes a fresh image: superblock
+    and an empty journal with an initial checkpoint record. *)
 val format :
   ?config:config ->
   Capfs_sched.Sched.t ->
@@ -30,6 +32,9 @@ val format :
   block_bytes:int ->
   unit
 
+(** [mount sched driver] replays the journal of a {!format}ted image —
+    last checkpoint plus every later intact commit — and returns the
+    layout interface. Requires a transport with a backing store. *)
 val mount :
   ?registry:Capfs_stats.Registry.t ->
   ?name:string ->

@@ -2,6 +2,8 @@ module Sched = Capfs_sched.Sched
 module Data = Capfs_disk.Data
 module Driver = Capfs_disk.Driver
 module Stats = Capfs_stats
+module Tracer = Capfs_obs.Tracer
+module Ev = Capfs_obs.Event
 
 let src = Logs.Src.create "capfs.lfs" ~doc:"segmented log-structured layout"
 
@@ -193,6 +195,11 @@ let rec seal_segment t =
     t.sealed_segments <- t.sealed_segments + 1;
     t.log_blocks_written <- t.log_blocks_written + List.length blocks + 1;
     record t "segment_sealed" (float_of_int (List.length blocks));
+    (let tr = Sched.tracer t.sched in
+     if Tracer.enabled tr then
+       Tracer.emit tr ~time:(Sched.now t.sched)
+         (Ev.Seg_write
+            { volume = t.lname; seg = t.cur_seg; blocks = List.length blocks }));
     (* buffered blocks are now on disk *)
     List.iteri
       (fun i _ -> Hashtbl.remove t.pending (seg_base t t.cur_seg + 1 + i))

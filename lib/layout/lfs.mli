@@ -38,6 +38,7 @@ type config = {
           volumes behind one server share the ino space disjointly *)
 }
 
+(** 128-block (512 KB) segments, cost-benefit cleaning, ino stride 1. *)
 val default_config : config
 
 exception Disk_full

@@ -15,6 +15,8 @@
     read the first time a file is loaded. All metadata lives in memory;
     [sync] is a no-op. *)
 
+(** [create ?seed sched driver ~block_bytes] — the guesses draw from a
+    PRNG seeded by [seed] (default 1996), so runs are reproducible. *)
 val create :
   ?registry:Capfs_stats.Registry.t ->
   ?name:string ->

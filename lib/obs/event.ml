@@ -1,0 +1,91 @@
+type layer = Sched | Cache | Disk | Layout
+
+type kind =
+  | Dispatch of { tid : int; thread : string }
+  | Block of { tid : int; thread : string; on : string }
+  | Wake of { tid : int; thread : string }
+  | Cache_hit of { cache : string; ino : int; index : int }
+  | Cache_miss of { cache : string; ino : int; index : int }
+  | Cache_evict of { cache : string; ino : int; index : int }
+  | Cache_flush of { cache : string; blocks : int }
+  | Disk_enqueue of { disk : string; lba : int; sectors : int; write : bool }
+  | Disk_seek of { disk : string; cylinder : int; dur : float }
+  | Disk_service of {
+      disk : string;
+      lba : int;
+      sectors : int;
+      write : bool;
+      dur : float;
+    }
+  | Seg_write of { volume : string; seg : int; blocks : int }
+
+type t = { time : float; seq : int; kind : kind }
+
+let layer_of = function
+  | Dispatch _ | Block _ | Wake _ -> Sched
+  | Cache_hit _ | Cache_miss _ | Cache_evict _ | Cache_flush _ -> Cache
+  | Disk_enqueue _ | Disk_seek _ | Disk_service _ -> Disk
+  | Seg_write _ -> Layout
+
+let layer_name = function
+  | Sched -> "sched"
+  | Cache -> "cache"
+  | Disk -> "disk"
+  | Layout -> "layout"
+
+let kind_name = function
+  | Dispatch _ -> "dispatch"
+  | Block _ -> "block"
+  | Wake _ -> "wake"
+  | Cache_hit _ -> "hit"
+  | Cache_miss _ -> "miss"
+  | Cache_evict _ -> "evict"
+  | Cache_flush _ -> "flush"
+  | Disk_enqueue _ -> "enqueue"
+  | Disk_seek _ -> "seek"
+  | Disk_service _ -> "service"
+  | Seg_write _ -> "segment"
+
+let source = function
+  | Dispatch { thread; _ } | Block { thread; _ } | Wake { thread; _ } -> thread
+  | Cache_hit { cache; _ }
+  | Cache_miss { cache; _ }
+  | Cache_evict { cache; _ }
+  | Cache_flush { cache; _ } ->
+    cache
+  | Disk_enqueue { disk; _ } | Disk_seek { disk; _ } | Disk_service { disk; _ }
+    ->
+    disk
+  | Seg_write { volume; _ } -> volume
+
+let duration = function
+  | Disk_seek { dur; _ } | Disk_service { dur; _ } -> dur
+  | Dispatch _ | Block _ | Wake _ | Cache_hit _ | Cache_miss _ | Cache_evict _
+  | Cache_flush _ | Disk_enqueue _ | Seg_write _ ->
+    0.
+
+let pp_args ppf = function
+  | Dispatch { tid; _ } | Wake { tid; _ } -> Format.fprintf ppf "tid=%d" tid
+  | Block { tid; on; _ } -> Format.fprintf ppf "tid=%d on=%s" tid on
+  | Cache_hit { ino; index; _ }
+  | Cache_miss { ino; index; _ }
+  | Cache_evict { ino; index; _ } ->
+    Format.fprintf ppf "ino=%d idx=%d" ino index
+  | Cache_flush { blocks; _ } -> Format.fprintf ppf "blocks=%d" blocks
+  | Disk_enqueue { lba; sectors; write; _ } ->
+    Format.fprintf ppf "%s lba=%d sectors=%d"
+      (if write then "write" else "read")
+      lba sectors
+  | Disk_seek { cylinder; dur; _ } ->
+    Format.fprintf ppf "cyl=%d dur=%.6f" cylinder dur
+  | Disk_service { lba; sectors; write; dur; _ } ->
+    Format.fprintf ppf "%s lba=%d sectors=%d dur=%.6f"
+      (if write then "write" else "read")
+      lba sectors dur
+  | Seg_write { seg; blocks; _ } ->
+    Format.fprintf ppf "seg=%d blocks=%d" seg blocks
+
+let pp ppf t =
+  Format.fprintf ppf "%12.6f %-6s %-8s %-16s %a" t.time
+    (layer_name (layer_of t.kind))
+    (kind_name t.kind) (source t.kind) pp_args t.kind

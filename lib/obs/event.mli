@@ -1,0 +1,75 @@
+(** Structured trace events.
+
+    Where the plug-in statistics registry ({!Capfs_stats.Registry})
+    reproduces the {e aggregate} half of Patsy's observability —
+    "plug-in statistics … activated when the simulator is started" —
+    these events record the {e individual} state transitions behind the
+    aggregates: every thread dispatch, cache state change, disk-queue
+    event and log-segment write, stamped with the scheduler's (virtual
+    or real) time. A number in a report can then be traced back to the
+    exact sequence of component interactions that produced it.
+
+    Events are plain immutable values; they carry no formatting or I/O.
+    {!Tracer} buffers them, {!Export} renders them. *)
+
+(** The framework layer an event originates from. Becomes the Chrome
+    [cat] field, so layers can be toggled independently in a viewer. *)
+type layer = Sched | Cache | Disk | Layout
+
+type kind =
+  (* scheduler *)
+  | Dispatch of { tid : int; thread : string }
+      (** a fibre was taken off the run queue and given the CPU *)
+  | Block of { tid : int; thread : string; on : string }
+      (** a fibre suspended; [on] names what it waits for (an event
+          name, ["timer"], ["yield"], ["fd"]) *)
+  | Wake of { tid : int; thread : string }
+      (** a suspended fibre was made runnable again *)
+  (* block cache *)
+  | Cache_hit of { cache : string; ino : int; index : int }
+  | Cache_miss of { cache : string; ino : int; index : int }
+  | Cache_evict of { cache : string; ino : int; index : int }
+      (** a clean block's frame was reclaimed for another block *)
+  | Cache_flush of { cache : string; blocks : int }
+      (** one write-back chunk of [blocks] dirty blocks left the cache *)
+  (* disk subsystem *)
+  | Disk_enqueue of { disk : string; lba : int; sectors : int; write : bool }
+      (** a request entered the driver's scheduled queue *)
+  | Disk_seek of { disk : string; cylinder : int; dur : float }
+      (** arm movement + rotational positioning, [dur] seconds ending
+          at the event's time *)
+  | Disk_service of {
+      disk : string;
+      lba : int;
+      sectors : int;
+      write : bool;
+      dur : float;
+    }  (** a request finished service; [dur] covers the whole service *)
+  (* storage layout *)
+  | Seg_write of { volume : string; seg : int; blocks : int }
+      (** the LFS sealed segment [seg] and wrote it as one large I/O *)
+
+type t = {
+  time : float;  (** scheduler seconds (virtual in Patsy, elapsed in PFS) *)
+  seq : int;     (** per-tracer emission counter, 1-based, never reused *)
+  kind : kind;
+}
+
+val layer_of : kind -> layer
+
+(** Lowercase layer mnemonic: ["sched"], ["cache"], ["disk"],
+    ["layout"]. *)
+val layer_name : layer -> string
+
+(** Short event mnemonic: ["dispatch"], ["hit"], ["seek"], … *)
+val kind_name : kind -> string
+
+(** Component instance the event belongs to (thread, cache, disk or
+    volume name). *)
+val source : kind -> string
+
+(** Seconds the event spans, ending at [time]; [0.] for instants. *)
+val duration : kind -> float
+
+(** One-line rendering: [time layer name source key=value …]. *)
+val pp : Format.formatter -> t -> unit

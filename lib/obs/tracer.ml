@@ -1,0 +1,37 @@
+type t = {
+  on : bool;
+  cap : int;
+  buf : Event.t array; (* ring; slot i holds emission number (pushed - k) *)
+  mutable pushed : int; (* total events ever emitted *)
+  mutable base : int; (* emissions forgotten by [clear] *)
+  mutable seq : int;
+}
+
+let dummy =
+  { Event.time = 0.; seq = 0; kind = Event.Wake { tid = 0; thread = "" } }
+
+let null = { on = false; cap = 0; buf = [||]; pushed = 0; base = 0; seq = 0 }
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity < 1";
+  { on = true; cap = capacity; buf = Array.make capacity dummy; pushed = 0;
+    base = 0; seq = 0 }
+
+let enabled t = t.on
+
+let emit t ~time kind =
+  if t.on then begin
+    t.seq <- t.seq + 1;
+    t.buf.(t.pushed mod t.cap) <- { Event.time; seq = t.seq; kind };
+    t.pushed <- t.pushed + 1
+  end
+
+let length t = Stdlib.min (t.pushed - t.base) t.cap
+let capacity t = t.cap
+let dropped t = t.pushed - t.base - length t
+
+let events t =
+  let n = length t in
+  List.init n (fun i -> t.buf.((t.pushed - n + i) mod t.cap))
+
+let clear t = t.base <- t.pushed

@@ -1,0 +1,60 @@
+(** Low-overhead structured event tracer.
+
+    A tracer is a fixed-capacity ring buffer of {!Event.t}: emissions
+    never allocate queue nodes or grow memory, and once the buffer is
+    full the {e oldest} events are overwritten — a flight recorder, not
+    a log. The tail of a long run is what debugging needs (the state
+    that led to the interesting end condition), and a bounded buffer
+    means tracing can stay on in week-long simulated runs.
+
+    {b Cost discipline.} Instrumented hot paths must guard every
+    emission with {!enabled}:
+
+    {[
+      if Tracer.enabled tr then
+        Tracer.emit tr ~time (Event.Cache_hit { cache; ino; index })
+    ]}
+
+    so that with tracing off ({!null}, the default everywhere) the whole
+    instrumentation point compiles to one load and one conditional
+    branch — the event payload is never even allocated.
+
+    {b Concurrency.} A tracer is single-domain mutable state. The
+    experiment fleet gives each worker-domain job its own tracer (the
+    scheduler carries it, and every component of one experiment shares
+    that scheduler); streams are merged deterministically afterwards —
+    see [Fleet.merged_events]. *)
+
+type t
+
+(** The disabled tracer: {!enabled} is [false], {!emit} does nothing.
+    Components default to this. *)
+val null : t
+
+(** [create ~capacity ()] — an enabled tracer retaining the newest
+    [capacity] events (default 65536). Raises [Invalid_argument] if
+    [capacity < 1]. *)
+val create : ?capacity:int -> unit -> t
+
+(** Constant-time guard; [false] only for {!null}. *)
+val enabled : t -> bool
+
+(** [emit t ~time kind] appends an event, overwriting the oldest when
+    full. Each emission gets the next sequence number (1-based), so
+    [(time, seq)] totally orders one tracer's stream even when many
+    events share a timestamp. No-op on {!null}. *)
+val emit : t -> time:float -> Event.kind -> unit
+
+(** Buffered events, oldest first. At most [capacity] of them. *)
+val events : t -> Event.t list
+
+(** Events currently buffered. *)
+val length : t -> int
+
+val capacity : t -> int
+
+(** Events overwritten so far ([total emitted - length]). *)
+val dropped : t -> int
+
+(** Forget everything buffered (sequence numbers keep counting up). *)
+val clear : t -> unit

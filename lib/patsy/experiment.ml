@@ -36,6 +36,7 @@ type config = {
   cleaner : Lfs.cleaner_policy;
   async_flush : bool;
   seed : int;
+  trace_buffer : int;
 }
 
 let default policy =
@@ -54,6 +55,7 @@ let default policy =
     cleaner = Lfs.Cost_benefit;
     async_flush = true;
     seed = 1996;
+    trace_buffer = 0;
   }
 
 type outcome = {
@@ -65,6 +67,7 @@ type outcome = {
   blocks_flushed : int;
   writes_absorbed : int;
   cache_hit_rate : float;
+  events : Capfs_obs.Event.t list;
 }
 
 let block_bytes = 4096
@@ -169,7 +172,12 @@ let stat_count registry name =
   | None -> 0
 
 let run cfg ~trace =
-  let sched = Sched.create ~seed:cfg.seed ~clock:`Virtual () in
+  let tracer =
+    if cfg.trace_buffer > 0 then
+      Capfs_obs.Tracer.create ~capacity:cfg.trace_buffer ()
+    else Capfs_obs.Tracer.null
+  in
+  let sched = Sched.create ~seed:cfg.seed ~clock:`Virtual ~tracer () in
   let out = ref None in
   ignore
     (Sched.spawn sched ~name:"experiment" (fun () ->
@@ -195,6 +203,7 @@ let run cfg ~trace =
                blocks_flushed = stat_count registry "cache.flushed_blocks";
                writes_absorbed = stat_count registry "cache.absorbed_writes";
                cache_hit_rate = hit_rate;
+               events = Capfs_obs.Tracer.events tracer;
              }));
   Sched.run sched;
   match !out with

@@ -33,6 +33,8 @@ type config = {
   cleaner : Capfs_layout.Lfs.cleaner_policy;
   async_flush : bool;       (** §5.2 lesson; false for the ablation *)
   seed : int;
+  trace_buffer : int;
+      (** event-trace ring capacity; 0 (the default) disables tracing *)
 }
 
 (** Paper-shaped defaults for a policy (128 MB cache, 4 MB NVRAM, 10
@@ -49,6 +51,9 @@ type outcome = {
   blocks_flushed : int;     (** cache blocks written to the log *)
   writes_absorbed : int;    (** dirty blocks that died in memory *)
   cache_hit_rate : float;
+  events : Capfs_obs.Event.t list;
+      (** the run's structured event trace, oldest first; empty unless
+          [config.trace_buffer] > 0 *)
 }
 
 (** [run config ~trace] executes one experiment in its own virtual-time

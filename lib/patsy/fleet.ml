@@ -91,3 +91,25 @@ let failures results =
   List.filter_map
     (fun r -> match r.result with Ok _ -> None | Error e -> Some (r.job, e))
     results
+
+let merged_events results =
+  let streams =
+    List.mapi
+      (fun i r ->
+        match r.result with
+        | Ok o -> List.map (fun ev -> (i, ev)) o.Experiment.events
+        | Error _ -> [])
+      results
+  in
+  let all = List.concat streams in
+  (* each job's virtual clock starts at 0, so (time, stream, seq) gives a
+     deterministic interleaving whatever the worker count was *)
+  List.stable_sort
+    (fun (ia, a) (ib, b) ->
+      let c = Float.compare a.Capfs_obs.Event.time b.Capfs_obs.Event.time in
+      if c <> 0 then c
+      else
+        let c = Int.compare ia ib in
+        if c <> 0 then c
+        else Int.compare a.Capfs_obs.Event.seq b.Capfs_obs.Event.seq)
+    all

@@ -64,3 +64,12 @@ val outcome_exn : job_result -> Experiment.outcome
 
 (** [failures results] — the jobs that raised, with their exceptions. *)
 val failures : job_result list -> (job * exn) list
+
+(** [merged_events results] — the event traces of the successful jobs,
+    merged into one stream tagged with each event's job index. The order
+    is (virtual time, job index, sequence number) and depends only on
+    the jobs' configs and seeds — never on [?jobs] or on which domain
+    ran what — so a [-j 1] and a [-j 8] run of the same matrix merge to
+    identical streams. *)
+val merged_events :
+  job_result list -> (int * Capfs_obs.Event.t) list

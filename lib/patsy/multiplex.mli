@@ -13,5 +13,7 @@
     only through this allocator, so a file's blocks always live on one
     disk, like a real multi-volume server. *)
 
+(** [layout volumes] is the routing layout over [volumes]; raises
+    [Invalid_argument] on an empty array. *)
 val layout :
   Capfs_layout.Layout.t array -> Capfs_layout.Layout.t

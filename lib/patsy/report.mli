@@ -14,6 +14,9 @@ val cdf_series :
     and within the ~17 ms rotation boundary. *)
 val boundary_fractions : Replay.result -> float * float
 
+(** [print_cdf ~title ppf result] prints the {!cdf_series} (default 60
+    points) as a titled two-column text series, with the
+    {!boundary_fractions} annotated below it. *)
 val print_cdf :
   ?points:int -> title:string -> Format.formatter -> Replay.result -> unit
 

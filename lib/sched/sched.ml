@@ -1,6 +1,8 @@
 let src = Logs.Src.create "capfs.sched" ~doc:"cut-and-paste thread scheduler"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Tracer = Capfs_obs.Tracer
+module Ev = Capfs_obs.Event
 
 type clock = [ `Virtual | `Real ]
 type policy = [ `Random | `Fifo ]
@@ -44,6 +46,7 @@ type t = {
   clk : clock;
   policy : policy;
   rng : Capfs_stats.Prng.t;
+  tracer : Tracer.t;
   mutable vnow : float;
   mutable epoch : float; (* wall-clock at run start, `Real only *)
   mutable runq : runnable array;
@@ -63,11 +66,12 @@ let cmp_timer a b =
   let c = compare a.at b.at in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?(seed = 42) ?(policy = `Random) ~clock () =
+let create ?(seed = 42) ?(policy = `Random) ?(tracer = Tracer.null) ~clock () =
   {
     clk = clock;
     policy;
     rng = Capfs_stats.Prng.create ~seed;
+    tracer;
     vnow = 0.;
     epoch = 0.;
     runq = [||];
@@ -84,6 +88,7 @@ let create ?(seed = 42) ?(policy = `Random) ~clock () =
   }
 
 let clock t = t.clk
+let tracer t = t.tracer
 
 let now t =
   match t.clk with
@@ -125,10 +130,11 @@ let add_timer t ~at action =
 
 (* The single suspension effect: the performer hands the handler a
    registration function that receives the resume callback. Resuming
-   pushes the continuation back on the run queue; it never runs inline. *)
-type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+   pushes the continuation back on the run queue; it never runs inline.
+   The label names what the fibre blocks on, for the event tracer. *)
+type _ Effect.t += Suspend : string * (('a -> unit) -> unit) -> 'a Effect.t
 
-let suspend register = Effect.perform (Suspend register)
+let suspend ~on register = Effect.perform (Suspend (on, register))
 
 let check_alive t = if t.stopping then raise Stopped
 
@@ -151,10 +157,16 @@ let start t thread f =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Suspend register ->
+          | Suspend (on, register) ->
             Some
               (fun (k : (a, _) continuation) ->
+                if Tracer.enabled t.tracer then
+                  Tracer.emit t.tracer ~time:(now t)
+                    (Ev.Block { tid = thread.tid; thread = thread.name; on });
                 register (fun v ->
+                    if Tracer.enabled t.tracer then
+                      Tracer.emit t.tracer ~time:(now t)
+                        (Ev.Wake { tid = thread.tid; thread = thread.name });
                     push_run t { thread; thunk = (fun () -> continue k v) }))
           | _ -> None);
     }
@@ -170,14 +182,14 @@ let spawn ?name ?(daemon = false) t f =
 
 let yield t =
   check_alive t;
-  suspend (fun resume -> resume ())
+  suspend ~on:"yield" (fun resume -> resume ())
 
 let sleep t dt =
   check_alive t;
   if dt <= 0. then yield t
   else begin
     let at = now t +. dt in
-    suspend (fun resume -> add_timer t ~at (fun () -> resume ()))
+    suspend ~on:"timer" (fun resume -> add_timer t ~at (fun () -> resume ()))
   end
 
 let new_event ?(name = "event") _t =
@@ -194,7 +206,7 @@ let await t ev =
   else begin
     let th = current_thread t in
     let signalled =
-      suspend (fun resume ->
+      suspend ~on:ev.ename (fun resume ->
           Queue.push { wthread = th; active = true; wake = resume } ev.queue)
     in
     ignore (signalled : bool)
@@ -209,7 +221,7 @@ let await_timeout t ev dt =
   else begin
     let th = current_thread t in
     let at = now t +. dt in
-    suspend (fun resume ->
+    suspend ~on:ev.ename (fun resume ->
         let w = { wthread = th; active = true; wake = resume } in
         Queue.push w ev.queue;
         add_timer t ~at (fun () ->
@@ -242,7 +254,7 @@ let wait_readable t fd =
     invalid_arg "Sched.wait_readable: external events need a `Real clock"
   | `Real -> ());
   check_alive t;
-  suspend (fun resume ->
+  suspend ~on:"fd" (fun resume ->
       t.fd_waiters <- { fd; fresume = resume } :: t.fd_waiters)
 
 let self_name t = (current_thread t).name
@@ -300,6 +312,9 @@ let run ?until t =
     else
       match pop_run t with
       | Some { thread; thunk } ->
+        if Tracer.enabled t.tracer then
+          Tracer.emit t.tracer ~time:(now t)
+            (Ev.Dispatch { tid = thread.tid; thread = thread.name });
         t.current <- Some thread;
         thunk ();
         t.current <- None;

@@ -38,8 +38,26 @@ exception Deadlock of string list
 (** Raised by blocking operations when the scheduler has been stopped. *)
 exception Stopped
 
-val create : ?seed:int -> ?policy:policy -> clock:clock -> unit -> t
+(** [create ~clock ()] builds a scheduler. [tracer] (default
+    {!Capfs_obs.Tracer.null}, i.e. off) receives a structured event for
+    every fibre dispatch, block and wake; components built on this
+    scheduler (cache, disk driver, layouts) emit their own events
+    through the same tracer, so one flight recorder covers the whole
+    instantiation. *)
+val create :
+  ?seed:int ->
+  ?policy:policy ->
+  ?tracer:Capfs_obs.Tracer.t ->
+  clock:clock ->
+  unit ->
+  t
+
 val clock : t -> clock
+
+(** The scheduler's event tracer ({!Capfs_obs.Tracer.null} when tracing
+    is off). Instrumented components guard emissions with
+    [Tracer.enabled (Sched.tracer sched)]. *)
+val tracer : t -> Capfs_obs.Tracer.t
 
 (** Current time in seconds: virtual-time offset (simulator) or elapsed
     wall-clock since [run] started (real). Starts at [0.]. *)

@@ -39,9 +39,14 @@ let all t =
 
 let reset t = Hashtbl.iter (fun _ e -> Stat.reset e.stat) t.table
 
-let report ?histograms ppf t =
+(* alias: [report]'s [all] parameter shadows the function above *)
+let all_stats = all
+
+let report ?histograms ?(all = false) ppf t =
   List.iter
     (fun stat ->
-      if enabled t (Stat.name stat) && Stat.count stat > 0 then
-        Format.fprintf ppf "%a@." (Stat.report ?histograms) stat)
-    (all t)
+      if enabled t (Stat.name stat) && (all || Stat.count stat > 0) then
+        if Stat.count stat = 0 then
+          Format.fprintf ppf "%s: (no observations)@." (Stat.name stat)
+        else Format.fprintf ppf "%a@." (Stat.report ?histograms) stat)
+    (all_stats t)

@@ -33,6 +33,11 @@ val all : t -> Stat.t list
 
 val reset : t -> unit
 
-(** [report ?histograms ppf t] reports every enabled stat with at least
-    one observation. *)
-val report : ?histograms:bool -> Format.formatter -> t -> unit
+(** [report ?histograms ?all ppf t] reports every enabled stat.
+
+    A stat that was registered but never recorded into is {e skipped} by
+    default — idle components (a disk that served no requests, a cleaner
+    that never ran) would otherwise clutter the report with empty lines.
+    Pass [~all:true] to include them; a zero-observation stat is then
+    printed as ["<name>: (no observations)"]. *)
+val report : ?histograms:bool -> ?all:bool -> Format.formatter -> t -> unit

@@ -210,6 +210,32 @@ let test_registry () =
   Alcotest.(check bool) "enabled query" true (Registry.enabled r "cache.hits");
   Alcotest.(check int) "all" 2 (List.length (Registry.all r))
 
+let test_registry_report_zero_observation () =
+  let r = Registry.create () in
+  Registry.register r (Stat.scalar "disk.idle");
+  Registry.register r (Stat.scalar "cache.hits");
+  Registry.record r "cache.hits" 1.;
+  let render ?all () =
+    let buf = Buffer.create 128 in
+    let ppf = Format.formatter_of_buffer buf in
+    Registry.report ?all ppf r;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let default = render () in
+  Alcotest.(check bool)
+    "zero-observation stat skipped by default" false
+    (contains default "disk.idle");
+  let full = render ~all:true () in
+  Alcotest.(check bool)
+    "~all:true includes the idle stat" true
+    (contains full "disk.idle: (no observations)")
+
 (* Interval *)
 
 let test_interval_windows () =
@@ -311,6 +337,8 @@ let suite =
     Alcotest.test_case "stat records everywhere" `Quick
       test_stat_records_everywhere;
     Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "registry report zero-observation" `Quick
+      test_registry_report_zero_observation;
     Alcotest.test_case "interval windows" `Quick test_interval_windows;
     Alcotest.test_case "interval late observation" `Quick
       test_interval_late_observation;
