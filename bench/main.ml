@@ -3,7 +3,8 @@
    choice ablations called out in DESIGN.md, and a set of Bechamel
    micro-benchmarks of the framework's hot paths.
 
-   Usage: dune exec bench/main.exe [-- [quick|full|figures|ablations|micro] [-j N]]
+   Usage: dune exec bench/main.exe
+            [-- [quick|full|figures|ablations|micro|perfsmoke] [-j N]]
 
    The default preset replays 900 simulated seconds per (trace, policy)
    pair; `quick` cuts that to 300 s, `full` raises it to 3600 s. Figure
@@ -14,8 +15,11 @@
    builds its own virtual-time scheduler, disks, cache and statistics
    registry, so the figures are identical at any -j. A machine-readable
    BENCH_results.json (per-experiment wall-clock, replayed ops/s, mean
-   latency, cache hit rate) is written next to the working directory so
-   the perf trajectory of successive PRs can be tracked. *)
+   latency, cache hit rate, and GC counters: minor/promoted words per
+   replayed operation) is written next to the working directory so the
+   perf trajectory of successive PRs can be tracked. The `perfsmoke`
+   preset replays just sprite-1a — a fast CI guard against gross
+   (5x-style) throughput regressions. *)
 
 module Experiment = Capfs_patsy.Experiment
 module Fleet = Capfs_patsy.Fleet
@@ -223,14 +227,15 @@ let ablation_sync_flush ~duration =
              for round = 0 to 19 do
                (* a 64-block file fills most of the cache with dirty data *)
                for blk = 0 to 63 do
-                 Capfs_cache.Cache.write cache (round, blk)
+                 Capfs_cache.Cache.write cache
+                   (Capfs_cache.Block.Key.v round blk)
                    (Capfs_disk.Data.sim 16)
                done;
                (* now a small client needs frames *)
                for i = 0 to 19 do
                  let t0 = Capfs_sched.Sched.now sched in
                  Capfs_cache.Cache.write cache
-                   (1000 + round, i)
+                   (Capfs_cache.Block.Key.v (1000 + round) i)
                    (Capfs_disk.Data.sim 16);
                  let dt = Capfs_sched.Sched.now sched -. t0 in
                  Stats.Welford.add lat dt;
@@ -469,7 +474,8 @@ let micro () =
                  Capfs_cache.Cache.trigger = Capfs_cache.Cache.Demand }
            in
            for i = 0 to 511 do
-             Capfs_cache.Cache.write c (1, i) (Capfs_disk.Data.sim 16)
+             Capfs_cache.Cache.write c (Capfs_cache.Block.Key.v 1 i)
+               (Capfs_disk.Data.sim 16)
            done;
            cache := Some c));
     Capfs_sched.Sched.run s;
@@ -482,7 +488,8 @@ let micro () =
              (Capfs_sched.Sched.spawn s2 (fun () ->
                   incr i;
                   ignore
-                    (Capfs_cache.Cache.read c (1, !i mod 512)
+                    (Capfs_cache.Cache.read c
+                       (Capfs_cache.Block.Key.v 1 (!i mod 512))
                        ~fill:(fun () -> Capfs_disk.Data.sim 16))));
            Capfs_sched.Sched.run s2))
   in
@@ -490,8 +497,8 @@ let micro () =
     let p = Capfs_cache.Replacement.lru () in
     let blocks =
       Array.init 1024 (fun i ->
-          Capfs_cache.Block.make ~key:(1, i) ~data:(Capfs_disk.Data.sim 16)
-            ~now:0.)
+          Capfs_cache.Block.make ~key:(Capfs_cache.Block.Key.v 1 i)
+            ~data:(Capfs_disk.Data.sim 16) ~now:0.)
     in
     Array.iter (Capfs_cache.Replacement.insert p) blocks;
     let i = ref 0 in
@@ -540,6 +547,15 @@ let micro () =
              (Capfs_layout.Inode.deserialize
                 (Capfs_layout.Inode.serialize inode ~indirect:[]))))
   in
+  let key_bench =
+    let i = ref 0 in
+    Test.make ~name:"block-key: pack+hash"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore
+             (Capfs_cache.Block.Key.hash
+                (Capfs_cache.Block.Key.v (!i land 0xffff) (!i land 0xff)))))
+  in
   let prng_bench =
     let p = Stats.Prng.create ~seed:1 in
     Test.make ~name:"prng: splitmix64 draw"
@@ -547,7 +563,7 @@ let micro () =
   in
   let tests =
     [ sched_bench; cache_hit_bench; lru_bench; heap_bench; geometry_bench;
-      seek_bench; inode_bench; prng_bench ]
+      seek_bench; inode_bench; key_bench; prng_bench ]
   in
   let clock = Toolkit.Instance.monotonic_clock in
   let benchmark test =
@@ -576,7 +592,10 @@ let micro () =
    "results": [ { "label", "trace", "policy", "worker", "ok",
    "wall_s", "operations", "replayed_ops_per_s", "mean_latency_ms",
    "p95_latency_ms", "cache_hit_rate", "blocks_flushed",
-   "writes_absorbed", "errors", "sim_elapsed_s" } ] } —
+   "writes_absorbed", "errors", "errors_by_kind", "sim_elapsed_s",
+   "minor_words_per_op", "promoted_words_per_op",
+   "major_collections" } ] } — the GC fields are per-domain
+   Gc.quick_stat deltas taken around the experiment (see Fleet);
    failed jobs carry "ok": false and "error" instead of the figures. *)
 
 let json_escape s =
@@ -644,7 +663,24 @@ let result_json (r : Fleet.job_result) =
           ("blocks_flushed", string_of_int o.Experiment.blocks_flushed);
           ("writes_absorbed", string_of_int o.Experiment.writes_absorbed);
           ("errors", string_of_int o.Experiment.replay.Replay.errors);
+          ( "errors_by_kind",
+            "{"
+            ^ String.concat ", "
+                (List.map
+                   (fun (kind, n) ->
+                     Printf.sprintf "%S: %d" (json_escape kind) n)
+                   o.Experiment.replay.Replay.errors_by_kind)
+            ^ "}" );
           ("sim_elapsed_s", json_float o.Experiment.replay.Replay.elapsed);
+          ( "minor_words_per_op",
+            json_float
+              (if ops > 0 then r.Fleet.minor_words /. float_of_int ops
+               else 0.) );
+          ( "promoted_words_per_op",
+            json_float
+              (if ops > 0 then r.Fleet.promoted_words /. float_of_int ops
+               else 0.) );
+          ("major_collections", string_of_int r.Fleet.major_collections);
         ]
   in
   "    {"
@@ -664,10 +700,57 @@ let write_results_json ~path ~preset ~jobs ~duration results =
   close_out oc;
   Format.printf "@.wrote %s (%d experiments)@." path (List.length results)
 
+(* {1 perfsmoke}
+
+   The CI guard: replay one small trace (sprite-1a) across the four
+   policies and print the aggregate replayed ops/s so a workflow step
+   can compare it against a committed floor. The floor should be set
+   generously (an order of magnitude below typical) — it exists to
+   catch 5x-style regressions, not scheduling noise. *)
+
+let perfsmoke ~jobs ~duration =
+  section "perf smoke: sprite-1a, all policies";
+  let pairs =
+    List.map (fun p -> ("sprite-1a", p)) Experiment.all_policies
+  in
+  let results =
+    Fleet.run_matrix ~jobs
+      ~config:(fun policy -> experiment_config ~policy ())
+      ~gen:(gen_trace ~duration) pairs
+  in
+  results_log := !results_log @ results;
+  let total_ops, total_wall =
+    List.fold_left
+      (fun (ops, wall) (r : Fleet.job_result) ->
+        match r.Fleet.result with
+        | Ok o ->
+          ( ops + o.Experiment.replay.Replay.operations,
+            wall +. r.Fleet.wall_s )
+        | Error _ -> (ops, wall))
+      (0, 0.) results
+  in
+  List.iter
+    (fun (r : Fleet.job_result) ->
+      match r.Fleet.result with
+      | Ok o ->
+        let ops = o.Experiment.replay.Replay.operations in
+        Format.printf "  %-28s %9.0f ops/s  %10.1f minor words/op@."
+          r.Fleet.job.Fleet.label
+          (if r.Fleet.wall_s > 0. then float_of_int ops /. r.Fleet.wall_s
+           else 0.)
+          (if ops > 0 then r.Fleet.minor_words /. float_of_int ops else 0.)
+      | Error e ->
+        Format.printf "  %-28s FAILED: %s@." r.Fleet.job.Fleet.label
+          (Printexc.to_string e))
+    results;
+  (* the line CI parses: *)
+  Format.printf "perfsmoke_total_ops_per_s %.0f@."
+    (if total_wall > 0. then float_of_int total_ops /. total_wall else 0.)
+
 (* {1 Main} *)
 
 let usage =
-  "usage: main.exe [quick|full|figures|ablations|micro] [-j N] \
+  "usage: main.exe [quick|full|figures|ablations|micro|perfsmoke] [-j N] \
    [-trace-out FILE]"
 
 let parse_args () =
@@ -698,14 +781,15 @@ let parse_args () =
 let () =
   let preset, jobs, trace_out = parse_args () in
   if trace_out <> None then trace_buffer := 65536;
-  let duration, do_figures, do_ablations, do_micro =
+  let duration, do_figures, do_ablations, do_micro, do_perfsmoke =
     match preset with
-    | "quick" -> (300., true, true, true)
-    | "full" -> (3600., true, true, true)
-    | "figures" -> (900., true, false, false)
-    | "ablations" -> (900., false, true, false)
-    | "micro" -> (0., false, false, true)
-    | _ -> (900., true, true, true)
+    | "quick" -> (300., true, true, true, false)
+    | "full" -> (3600., true, true, true, false)
+    | "figures" -> (900., true, false, false, false)
+    | "ablations" -> (900., false, true, false, false)
+    | "micro" -> (0., false, false, true, false)
+    | "perfsmoke" -> (900., false, false, false, true)
+    | _ -> (900., true, true, true, false)
   in
   Format.printf
     "cut-and-paste file-systems benchmark harness (preset: %s, %.0f \
@@ -729,6 +813,7 @@ let () =
     ablation_client_caching ()
   end;
   if do_micro then micro ();
+  if do_perfsmoke then perfsmoke ~jobs ~duration;
   if !results_log <> [] then
     write_results_json ~path:"BENCH_results.json" ~preset ~jobs ~duration
       !results_log;

@@ -1,9 +1,31 @@
 module Key = struct
-  type t = int * int
+  type t = int
 
-  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
-  let hash (a, b) = Hashtbl.hash (a, b)
-  let pp ppf (ino, idx) = Format.fprintf ppf "%d:%d" ino idx
+  let index_bits = 25
+  let max_index = (1 lsl index_bits) - 1
+  let max_ino = (1 lsl (Sys.int_size - 1 - index_bits)) - 1
+
+  let v ino index =
+    if ino < 0 || ino > max_ino then
+      invalid_arg "Block.Key.v: inode number out of range"
+    else if index < 0 || index > max_index then
+      invalid_arg "Block.Key.v: block index out of range"
+    else (ino lsl index_bits) lor index
+
+  let ino k = k lsr index_bits
+  let index k = k land max_index
+  let equal (a : int) (b : int) = a = b
+  let compare (a : int) (b : int) = compare a b
+
+  (* Fibonacci-style multiplicative mix. OCaml's [Hashtbl] masks the
+     hash with a power-of-two table size, so an identity hash would
+     collide every key sharing low index bits; folding the high product
+     bits back down spreads both ino and index over the low bits. *)
+  let hash k =
+    let h = k * 0x9E3779B97F4A7C1 in
+    (h lxor (h lsr 29)) land max_int
+
+  let pp ppf k = Format.fprintf ppf "%d:%d" (ino k) (index k)
 end
 
 type state = Clean | Dirty | Flushing
@@ -37,8 +59,8 @@ let make ~key ~data ~now =
     zombie = false;
   }
 
-let ino t = fst t.key
-let index t = snd t.key
+let ino t = Key.ino t.key
+let index t = Key.index t.key
 let is_dirty t = match t.state with Dirty | Flushing -> true | Clean -> false
 let evictable t = t.state = Clean && t.pinned = 0
 let pin t = t.pinned <- t.pinned + 1

@@ -7,11 +7,35 @@
     disk (the write-saving effect the experiments measure). *)
 
 module Key : sig
-  (** (inode number, block index within the file). *)
-  type t = int * int
+  (** (inode number, block index within the file), packed into one
+      immediate [int]: ino in the high bits, index in the low
+      {!index_bits}. Keys built on the read/write hot path therefore
+      allocate nothing, and hashing them is pure integer arithmetic
+      instead of a polymorphic traversal of a boxed pair. *)
+  type t = private int
 
+  val index_bits : int
+
+  (** Largest representable block index, [2^index_bits - 1] (a 32 TB
+      file at 4 KB blocks). *)
+  val max_index : int
+
+  (** Largest representable inode number ([2^37 - 1] on 64-bit). *)
+  val max_ino : int
+
+  (** [v ino index] packs a key; raises [Invalid_argument] if either
+      component is negative or exceeds its field width. *)
+  val v : int -> int -> t
+
+  val ino : t -> int
+  val index : t -> int
   val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  (** Multiplicative mixing hash — spreads ino and index bits across
+      the low bits that [Hashtbl]'s power-of-two mask keeps. *)
   val hash : t -> int
+
   val pp : Format.formatter -> t -> unit
 end
 

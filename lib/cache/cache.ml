@@ -2,6 +2,7 @@ module Sched = Capfs_sched.Sched
 module Mailbox = Capfs_sched.Mailbox
 module Data = Capfs_disk.Data
 module Stats = Capfs_stats
+module Counter = Capfs_stats.Counter
 module Tracer = Capfs_obs.Tracer
 module Ev = Capfs_obs.Event
 module Ktbl = Hashtbl.Make (Block.Key)
@@ -38,14 +39,29 @@ let default_config ~capacity_blocks =
   }
 
 (* A flush job: blocks with the version each had when snapshotted. *)
-type flush_job = (Block.t * int) list
+type flush_job = { job_blocks : Block.t array; job_versions : int array }
+
+(* Stat handles, resolved once at [create] so the hot paths never
+   concatenate or hash a stat name (see {!Stats.Counter}). *)
+type counters = {
+  hits : Counter.t;
+  misses : Counter.t;
+  evictions : Counter.t;
+  flushed_blocks : Counter.t;
+  absorbed_writes : Counter.t;
+  overwrites : Counter.t;
+  read_stall : Counter.t;
+  write_stall : Counter.t;
+  dirty_blocks : Counter.t;
+  nvram_used : Counter.t;
+}
 
 type t = {
   sched : Sched.t;
   cfg : config;
   cname : string;
-  registry : Stats.Registry.t option;
-  writeback : (Block.Key.t * Data.t) list -> unit;
+  c : counters;
+  writeback : (int * int * Data.t) list -> unit;
   policy : Replacement.t;
   table : Block.t Ktbl.t;
   by_ino : (int, (int, Block.t) Hashtbl.t) Hashtbl.t;
@@ -65,10 +81,34 @@ let stat_names =
     "overwrites"; "read_stall"; "write_stall"; "dirty_blocks"; "nvram_used";
   ]
 
-let record t stat v =
-  match t.registry with
-  | Some r -> Stats.Registry.record r (t.cname ^ "." ^ stat) v
-  | None -> ()
+let null_counters =
+  {
+    hits = Counter.null;
+    misses = Counter.null;
+    evictions = Counter.null;
+    flushed_blocks = Counter.null;
+    absorbed_writes = Counter.null;
+    overwrites = Counter.null;
+    read_stall = Counter.null;
+    write_stall = Counter.null;
+    dirty_blocks = Counter.null;
+    nvram_used = Counter.null;
+  }
+
+let resolve_counters r name =
+  let c s = Stats.Registry.counter r (name ^ "." ^ s) in
+  {
+    hits = c "hits";
+    misses = c "misses";
+    evictions = c "evictions";
+    flushed_blocks = c "flushed_blocks";
+    absorbed_writes = c "absorbed_writes";
+    overwrites = c "overwrites";
+    read_stall = c "read_stall";
+    write_stall = c "write_stall";
+    dirty_blocks = c "dirty_blocks";
+    nvram_used = c "nvram_used";
+  }
 
 let config t = t.cfg
 let now t = Sched.now t.sched
@@ -121,6 +161,22 @@ let blocks_of_ino t ino =
   | Some fb -> Hashtbl.fold (fun _ b acc -> b :: acc) fb []
   | None -> []
 
+(* The whole-file flush path: every Dirty block of [ino], sorted by
+   index, as a fresh array — sorted in place rather than through
+   [List.sort]'s merge allocations. *)
+let dirty_blocks_of_ino t ino =
+  match Hashtbl.find_opt t.by_ino ino with
+  | None -> [||]
+  | Some fb ->
+    let dirty =
+      Hashtbl.fold
+        (fun _ b acc -> if b.Block.state = Block.Dirty then b :: acc else acc)
+        fb []
+    in
+    let arr = Array.of_list dirty in
+    Array.sort (fun a b -> compare (Block.index a) (Block.index b)) arr;
+    arr
+
 (* dirty-list bookkeeping: the list holds blocks in state Dirty only,
    ordered by the time they became dirty (front = oldest). *)
 
@@ -145,17 +201,30 @@ let space_freed t = Sched.broadcast t.sched t.space_ev
 
 (* {2 Flushing} *)
 
-let snapshot_for_flush t blocks =
-  List.filter_map
-    (fun b ->
-      if b.Block.state = Block.Dirty then begin
-        b.Block.state <- Block.Flushing;
-        dirty_remove t b;
-        t.flushing_count <- t.flushing_count + 1;
-        Some (b, b.Block.version)
-      end
-      else None)
-    blocks
+let snapshot_for_flush t (blocks : Block.t array) =
+  let n =
+    Array.fold_left
+      (fun acc b -> if b.Block.state = Block.Dirty then acc + 1 else acc)
+      0 blocks
+  in
+  if n = 0 then None
+  else begin
+    let job_blocks = Array.make n blocks.(0) in
+    let job_versions = Array.make n 0 in
+    let j = ref 0 in
+    Array.iter
+      (fun b ->
+        if b.Block.state = Block.Dirty then begin
+          b.Block.state <- Block.Flushing;
+          dirty_remove t b;
+          t.flushing_count <- t.flushing_count + 1;
+          job_blocks.(!j) <- b;
+          job_versions.(!j) <- b.Block.version;
+          incr j
+        end)
+      blocks;
+    Some { job_blocks; job_versions }
+  end
 
 (* Re-house a block that just came clean out of NVRAM: it needs a
    volatile frame, possibly evicting a clean victim; with no frame
@@ -169,7 +238,7 @@ let rehouse_from_nvram t b =
     match Replacement.victim t.policy with
     | Some victim ->
       table_remove t victim;
-      record t "evictions" 1.;
+      Counter.incr t.c.evictions;
       trace_evict t victim;
       (* victim frees a frame; [b] takes it: volatile_used unchanged *)
       Replacement.insert t.policy b
@@ -180,30 +249,28 @@ let rehouse_from_nvram t b =
    sit through the write-back of a whole large file. *)
 let flush_chunk_blocks = 8
 
-let rec take_chunk n = function
-  | [] -> ([], [])
-  | rest when n = 0 -> ([], rest)
-  | x :: rest ->
-    let chunk, remaining = take_chunk (n - 1) rest in
-    (x :: chunk, remaining)
-
-let rec do_writeback t (job : flush_job) =
-  match job with
-  | [] -> space_freed t
-  | _ ->
-    let chunk, rest = take_chunk flush_chunk_blocks job in
-    let payload =
-      List.map (fun (b, _) -> (b.Block.key, b.Block.data)) chunk
-    in
-    let tr = tracer t in
-    if Tracer.enabled tr then
-      Tracer.emit tr ~time:(now t)
-        (Ev.Cache_flush { cache = t.cname; blocks = List.length chunk });
-    t.writeback payload;
-    List.iter
-      (fun ((b : Block.t), version) ->
+let do_writeback t (job : flush_job) =
+  let n = Array.length job.job_blocks in
+  if n = 0 then space_freed t
+  else begin
+    let pos = ref 0 in
+    while !pos < n do
+      let len = min flush_chunk_blocks (n - !pos) in
+      let payload = ref [] in
+      for i = !pos + len - 1 downto !pos do
+        let b = job.job_blocks.(i) in
+        payload := (Block.ino b, Block.index b, b.Block.data) :: !payload
+      done;
+      let tr = tracer t in
+      if Tracer.enabled tr then
+        Tracer.emit tr ~time:(now t)
+          (Ev.Cache_flush { cache = t.cname; blocks = len });
+      t.writeback !payload;
+      for i = !pos to !pos + len - 1 do
+        let b = job.job_blocks.(i) in
+        let version = job.job_versions.(i) in
         t.flushing_count <- t.flushing_count - 1;
-        record t "flushed_blocks" 1.;
+        Counter.incr t.c.flushed_blocks;
         if b.Block.zombie then release_frame t b
         else if b.Block.state = Block.Flushing && b.Block.version = version
         then begin
@@ -215,15 +282,17 @@ let rec do_writeback t (job : flush_job) =
           end
           else Replacement.insert t.policy b
         end
-        (* else: re-dirtied while in flight; it is back on the dirty list *))
-      chunk;
-    space_freed t;
-    do_writeback t rest
+        (* else: re-dirtied while in flight; it is back on the dirty list *)
+      done;
+      space_freed t;
+      pos := !pos + len
+    done
+  end
 
 let flush_blocks t blocks =
   match snapshot_for_flush t blocks with
-  | [] -> ()
-  | job ->
+  | None -> ()
+  | Some job ->
     if t.cfg.async_flush then Mailbox.send t.flush_q job else do_writeback t job
 
 (* Flush "through the oldest dirty block": the whole owning file or just
@@ -234,11 +303,8 @@ let flush_oldest t =
   | Some oldest ->
     let batch =
       match t.cfg.scope with
-      | `Single_block -> [ oldest ]
-      | `Whole_file ->
-        blocks_of_ino t (Block.ino oldest)
-        |> List.filter (fun b -> b.Block.state = Block.Dirty)
-        |> List.sort (fun a b -> compare (Block.index a) (Block.index b))
+      | `Single_block -> [| oldest |]
+      | `Whole_file -> dirty_blocks_of_ino t (Block.ino oldest)
     in
     flush_blocks t batch;
     true
@@ -259,22 +325,22 @@ let wait_for_space t ~satisfied =
 
 (* {2 Frame allocation} *)
 
-let rec reserve_volatile t ~stall_stat =
+let rec reserve_volatile t ~stall =
   if t.volatile_used < t.cfg.capacity_blocks then
     t.volatile_used <- t.volatile_used + 1
   else
     match Replacement.victim t.policy with
     | Some victim ->
       table_remove t victim;
-      record t "evictions" 1.;
+      Counter.incr t.c.evictions;
       trace_evict t victim
     | None ->
       let t0 = now t in
       wait_for_space t ~satisfied:(fun () ->
           t.volatile_used < t.cfg.capacity_blocks
           || Replacement.count t.policy > 0);
-      record t stall_stat (now t -. t0);
-      reserve_volatile t ~stall_stat
+      Counter.record stall (now t -. t0);
+      reserve_volatile t ~stall
 
 let rec acquire_nvram t =
   if t.nvram_count < t.cfg.nvram_blocks then
@@ -283,30 +349,34 @@ let rec acquire_nvram t =
     let t0 = now t in
     wait_for_space t ~satisfied:(fun () ->
         t.nvram_count < t.cfg.nvram_blocks);
-    record t "write_stall" (now t -. t0);
+    Counter.record t.c.write_stall (now t -. t0);
     acquire_nvram t
   end
 
 (* {2 Reads} *)
 
+(* the hit path avoids [find]'s option allocation: one table probe,
+   no [Some] box, per read *)
 let rec read t key ~fill =
-  match find t key with
-  | Some b ->
-    record t "hits" 1.;
+  match Ktbl.find t.table key with
+  | b ->
+    Counter.incr t.c.hits;
     let tr = tracer t in
     if Tracer.enabled tr then
       Tracer.emit tr ~time:(now t)
-        (Ev.Cache_hit { cache = t.cname; ino = fst key; index = snd key });
+        (Ev.Cache_hit
+           { cache = t.cname; ino = Block.Key.ino key; index = Block.Key.index key });
     if b.Block.state = Block.Clean then Replacement.access t.policy b;
     touch t b;
     copy_delay t;
     b.Block.data
-  | None -> (
-    record t "misses" 1.;
+  | exception Not_found -> (
+    Counter.incr t.c.misses;
     let tr = tracer t in
     if Tracer.enabled tr then
       Tracer.emit tr ~time:(now t)
-        (Ev.Cache_miss { cache = t.cname; ino = fst key; index = snd key });
+        (Ev.Cache_miss
+           { cache = t.cname; ino = Block.Key.ino key; index = Block.Key.index key });
     match Ktbl.find_opt t.filling key with
     | Some ev ->
       Sched.await t.sched ev;
@@ -314,7 +384,7 @@ let rec read t key ~fill =
     | None ->
       let ev = Sched.new_event ~name:"cache.fill" t.sched in
       Ktbl.replace t.filling key ev;
-      reserve_volatile t ~stall_stat:"read_stall";
+      reserve_volatile t ~stall:t.c.read_stall;
       let data = fill () in
       Ktbl.remove t.filling key;
       Sched.broadcast t.sched ev;
@@ -349,18 +419,18 @@ let mark_dirty t b data =
   touch t b
 
 let rec write t key data =
-  (match find t key with
-  | Some b when b.Block.state = Block.Dirty ->
+  (match Ktbl.find t.table key with
+  | b when b.Block.state = Block.Dirty ->
     (* overwrite in memory: one disk write saved *)
     b.Block.data <- data;
     b.Block.version <- b.Block.version + 1;
     touch t b;
-    record t "overwrites" 1.
-  | Some b when b.Block.state = Block.Flushing ->
+    Counter.incr t.c.overwrites
+  | b when b.Block.state = Block.Flushing ->
     (* re-dirty a block whose old contents are being written out *)
     mark_dirty t b data;
-    record t "overwrites" 1.
-  | Some b ->
+    Counter.incr t.c.overwrites
+  | b ->
     (* clean block becomes dirty *)
     if t.cfg.nvram_blocks > 0 then begin
       Block.pin b;
@@ -392,7 +462,7 @@ let rec write t key data =
       Replacement.forget t.policy b;
       mark_dirty t b data
     end
-  | None ->
+  | exception Not_found ->
     if t.cfg.nvram_blocks > 0 then begin
       acquire_nvram t;
       match find t key with
@@ -408,7 +478,7 @@ let rec write t key data =
         mark_dirty t b data
     end
     else begin
-      reserve_volatile t ~stall_stat:"write_stall";
+      reserve_volatile t ~stall:t.c.write_stall;
       match find t key with
       | Some _ ->
         t.volatile_used <- t.volatile_used - 1;
@@ -420,8 +490,8 @@ let rec write t key data =
         mark_dirty t b data
     end);
   copy_delay t;
-  record t "dirty_blocks" (float_of_int (Dlist.length t.dirty));
-  record t "nvram_used" (float_of_int t.nvram_count)
+  Counter.record t.c.dirty_blocks (float_of_int (Dlist.length t.dirty));
+  Counter.record t.c.nvram_used (float_of_int t.nvram_count)
 
 (* {2 Invalidation} *)
 
@@ -436,13 +506,13 @@ let invalidate_block t b =
     dirty_remove t b;
     table_remove t b;
     release_frame t b;
-    record t "absorbed_writes" 1.;
+    Counter.incr t.c.absorbed_writes;
     space_freed t
   | Block.Flushing ->
     (* the flusher holds a snapshot; it releases the frame on completion *)
     b.Block.zombie <- true;
     table_remove t b;
-    record t "absorbed_writes" 1.
+    Counter.incr t.c.absorbed_writes
 
 let invalidate t key =
   match find t key with Some b -> invalidate_block t b | None -> ()
@@ -457,23 +527,22 @@ let remove_file t ino = List.iter (invalidate_block t) (blocks_of_ino t ino)
 (* {2 Synchronous flushing} *)
 
 let file_has_unstable t ino =
-  List.exists (fun b -> Block.is_dirty b) (blocks_of_ino t ino)
+  match Hashtbl.find_opt t.by_ino ino with
+  | None -> false
+  | Some fb -> Hashtbl.fold (fun _ b acc -> acc || Block.is_dirty b) fb false
 
 let flush_file t ino =
   (* Loop: a block re-dirtied while its snapshot was in flight needs
      another round before the file is stable. *)
   while file_has_unstable t ino do
-    blocks_of_ino t ino
-    |> List.filter (fun b -> b.Block.state = Block.Dirty)
-    |> List.sort (fun a b -> compare (Block.index a) (Block.index b))
-    |> flush_blocks t;
+    flush_blocks t (dirty_blocks_of_ino t ino);
     if file_has_unstable t ino then Sched.await t.sched t.space_ev
   done
 
 let sync t =
   while Dlist.length t.dirty > 0 || t.flushing_count > 0 do
     if Dlist.length t.dirty > 0 then
-      flush_blocks t (Dlist.to_list t.dirty)
+      flush_blocks t (Dlist.to_array t.dirty)
     else Sched.await t.sched t.space_ev
   done
 
@@ -504,12 +573,16 @@ let create ?registry ?(name = "cache") ?replacement ~writeback sched cfg =
   if cfg.capacity_blocks < 1 then invalid_arg "Cache.create: no capacity";
   if cfg.block_bytes < 1 then invalid_arg "Cache.create: bad block size";
   if cfg.nvram_blocks < 0 then invalid_arg "Cache.create: negative nvram";
-  (match registry with
-  | Some r ->
-    List.iter
-      (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
-      stat_names
-  | None -> ());
+  let c =
+    match registry with
+    | Some r ->
+      List.iter
+        (fun s ->
+          Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
+        stat_names;
+      resolve_counters r name
+    | None -> null_counters
+  in
   let policy =
     match replacement with Some p -> p | None -> Replacement.lru ()
   in
@@ -518,7 +591,7 @@ let create ?registry ?(name = "cache") ?replacement ~writeback sched cfg =
       sched;
       cfg;
       cname = name;
-      registry;
+      c;
       writeback;
       policy;
       table = Ktbl.create 1024;

@@ -30,8 +30,10 @@
     {2 Write-back plumbing}
 
     The cache does not know what a disk is: [writeback] (usually the
-    storage layout's [write_file_blocks]) persists a batch of blocks and
-    blocks the flusher fibre until they are on stable storage.
+    storage layout's [write_blocks], whose [(ino, index, data)] batch
+    signature it matches exactly so no adapter list is rebuilt per
+    flush chunk) persists a batch of blocks and blocks the flusher
+    fibre until they are on stable storage.
 
     Dirty blocks dropped by [truncate]/[remove_file] before any flush are
     counted as {e absorbed} writes — the disk traffic the write-saving
@@ -68,7 +70,7 @@ val create :
   ?registry:Capfs_stats.Registry.t ->
   ?name:string ->
   ?replacement:Replacement.t ->
-  writeback:((Block.Key.t * Capfs_disk.Data.t) list -> unit) ->
+  writeback:((int * int * Capfs_disk.Data.t) list -> unit) ->
   Capfs_sched.Sched.t ->
   config ->
   t

@@ -117,3 +117,17 @@ let find t p =
   go t.first
 
 let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+let to_array t =
+  match t.first with
+  | None -> [||]
+  | Some n0 ->
+    let arr = Array.make t.len n0.v in
+    let rec go i = function
+      | None -> ()
+      | Some n ->
+        arr.(i) <- n.v;
+        go (i + 1) n.next
+    in
+    go 0 t.first;
+    arr

@@ -41,3 +41,6 @@ val iter : ('a -> unit) -> 'a t -> unit
 val find : 'a t -> ('a -> bool) -> 'a option
 
 val to_list : 'a t -> 'a list
+
+(** Front-to-back snapshot as a fresh array (no intermediate list). *)
+val to_array : 'a t -> 'a array

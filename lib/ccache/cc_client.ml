@@ -1,5 +1,7 @@
 module Data = Capfs_disk.Data
 module Sched = Capfs_sched.Sched
+module Key = Capfs_cache.Block.Key
+module Ktbl = Hashtbl.Make (Key)
 module Tracer = Capfs_obs.Tracer
 module Ev = Capfs_obs.Event
 
@@ -20,8 +22,8 @@ type t = {
   server : Cc_server.t;
   client_id : int;
   cache_blocks : int;
-  blocks : (int * int, centry) Hashtbl.t; (* (ino, idx) -> entry *)
-  lru : (int * int) Queue.t; (* rough FIFO eviction order, clean only *)
+  blocks : centry Ktbl.t; (* packed (ino, idx) -> entry *)
+  lru : Key.t Queue.t; (* rough FIFO eviction order, clean only *)
   handles : (string, handle) Hashtbl.t;
   versions : (int, int) Hashtbl.t; (* newest version seen per ino *)
   mutable hits : int;
@@ -33,25 +35,25 @@ let block_bytes t = Cc_server.block_bytes t.server
 (* {2 Local cache plumbing} *)
 
 let drop_block t key =
-  if Hashtbl.mem t.blocks key then Hashtbl.remove t.blocks key
+  if Ktbl.mem t.blocks key then Ktbl.remove t.blocks key
 
 let drop_file t ino =
   let doomed =
-    Hashtbl.fold
-      (fun ((i, _) as key) _ acc -> if i = ino then key :: acc else acc)
+    Ktbl.fold
+      (fun key _ acc -> if Key.ino key = ino then key :: acc else acc)
       t.blocks []
   in
   List.iter (drop_block t) doomed
 
 let flush_file_dirty t ino =
-  Hashtbl.iter
-    (fun (i, idx) e ->
-      if i = ino && e.dirty then begin
-        Cc_server.rpc_write_block t.server ~client_id:t.client_id ~ino idx
-          e.data;
+  Ktbl.iter
+    (fun key e ->
+      if Key.ino key = ino && e.dirty then begin
+        Cc_server.rpc_write_block t.server ~client_id:t.client_id ~ino
+          (Key.index key) e.data;
         e.dirty <- false
       end)
-    (Hashtbl.copy t.blocks)
+    (Ktbl.copy t.blocks)
 
 let evict_one_clean t =
   let rec go attempts =
@@ -60,8 +62,8 @@ let evict_one_clean t =
       match Queue.take_opt t.lru with
       | None -> ()
       | Some key -> (
-        match Hashtbl.find_opt t.blocks key with
-        | Some e when not e.dirty -> Hashtbl.remove t.blocks key
+        match Ktbl.find_opt t.blocks key with
+        | Some e when not e.dirty -> Ktbl.remove t.blocks key
         | Some _ ->
           Queue.push key t.lru;
           go (attempts - 1)
@@ -70,17 +72,17 @@ let evict_one_clean t =
   go (Queue.length t.lru)
 
 let insert t key entry =
-  while Hashtbl.length t.blocks >= t.cache_blocks do
-    let before = Hashtbl.length t.blocks in
+  while Ktbl.length t.blocks >= t.cache_blocks do
+    let before = Ktbl.length t.blocks in
     evict_one_clean t;
-    if Hashtbl.length t.blocks = before then
+    if Ktbl.length t.blocks = before then
       (* everything dirty: push one file home to make room *)
-      match Hashtbl.fold (fun (i, _) e acc ->
-          if e.dirty then Some i else acc) t.blocks None with
+      match Ktbl.fold (fun key e acc ->
+          if e.dirty then Some (Key.ino key) else acc) t.blocks None with
       | Some ino -> flush_file_dirty t ino
-      | None -> Hashtbl.reset t.blocks
+      | None -> Ktbl.reset t.blocks
   done;
-  Hashtbl.replace t.blocks key entry;
+  Ktbl.replace t.blocks key entry;
   Queue.push key t.lru
 
 (* {2 Server-driven callbacks} *)
@@ -100,7 +102,7 @@ let attach server ~client_id ~cache_blocks =
       server;
       client_id;
       cache_blocks;
-      blocks = Hashtbl.create 256;
+      blocks = Ktbl.create 256;
       lru = Queue.create ();
       handles = Hashtbl.create 16;
       versions = Hashtbl.create 64;
@@ -148,10 +150,10 @@ let trace_lookup t ~hit ~ino ~index =
   end
 
 let read_block t h idx =
-  let key = (h.ino, idx) in
+  let key = Key.v h.ino idx in
   if not h.cacheable then fetch_block t h idx
   else
-    match Hashtbl.find_opt t.blocks key with
+    match Ktbl.find_opt t.blocks key with
     | Some e ->
       t.hits <- t.hits + 1;
       trace_lookup t ~hit:true ~ino:h.ino ~index:idx;
@@ -182,8 +184,8 @@ let read t path ~offset ~bytes =
   end
 
 let write_block_local t h idx data =
-  let key = (h.ino, idx) in
-  match Hashtbl.find_opt t.blocks key with
+  let key = Key.v h.ino idx in
+  match Ktbl.find_opt t.blocks key with
   | Some e ->
     e.data <- data;
     e.dirty <- true
@@ -207,7 +209,7 @@ let write t path ~offset data =
         (* delayed write: merge into the local block *)
         let at = lo - (idx * bb) in
         let base =
-          match Hashtbl.find_opt t.blocks (h.ino, idx) with
+          match Ktbl.find_opt t.blocks (Key.v h.ino idx) with
           | Some e -> e.data
           | None ->
             if at = 0 && hi - lo = bb then Data.sim bb
@@ -243,7 +245,7 @@ let close_ t path =
 
 let local_hits t = t.hits
 let remote_reads t = t.remote
-let cached_blocks t = Hashtbl.length t.blocks
+let cached_blocks t = Ktbl.length t.blocks
 
 let dirty_blocks t =
-  Hashtbl.fold (fun _ e n -> if e.dirty then n + 1 else n) t.blocks 0
+  Ktbl.fold (fun _ e n -> if e.dirty then n + 1 else n) t.blocks 0

@@ -4,6 +4,7 @@ module File_table = Capfs.File_table
 module Inode = Capfs_layout.Inode
 module Data = Capfs_disk.Data
 module Stats = Capfs_stats
+module Counter = Capfs_stats.Counter
 
 type open_mode = Read | Write
 
@@ -33,30 +34,37 @@ type t = {
   net : Netlink.t;
   clients : (int, client_hooks) Hashtbl.t;
   files : (int, fstate) Hashtbl.t;
-  registry : Stats.Registry.t option;
+  c_opens : Counter.t;
+  c_recalls : Counter.t;
+  c_disables : Counter.t;
+  c_reads : Counter.t;
+  c_writes : Counter.t;
 }
 
 let stat_names = [ "opens"; "recalls"; "disables"; "reads"; "writes" ]
 
 let create ?registry fs_client net =
-  (match registry with
-  | Some r ->
-    List.iter
-      (fun s -> Stats.Registry.register r (Stats.Stat.scalar ("ccsrv." ^ s)))
-      stat_names
-  | None -> ());
+  let c_opens, c_recalls, c_disables, c_reads, c_writes =
+    match registry with
+    | Some r ->
+      List.iter
+        (fun s -> Stats.Registry.register r (Stats.Stat.scalar ("ccsrv." ^ s)))
+        stat_names;
+      let c s = Stats.Registry.counter r ("ccsrv." ^ s) in
+      (c "opens", c "recalls", c "disables", c "reads", c "writes")
+    | None -> Counter.(null, null, null, null, null)
+  in
   {
     fs_client;
     net;
     clients = Hashtbl.create 16;
     files = Hashtbl.create 256;
-    registry;
+    c_opens;
+    c_recalls;
+    c_disables;
+    c_reads;
+    c_writes;
   }
-
-let record t stat v =
-  match t.registry with
-  | Some r -> Stats.Registry.record r ("ccsrv." ^ stat) v
-  | None -> ()
 
 let block_bytes t =
   (Client.fsys t.fs_client).Capfs.Fsys.config.Capfs.Fsys.block_bytes
@@ -89,7 +97,7 @@ let recall_from_last_writer t st ~ino ~except =
   | Some w when w <> except -> (
     match Hashtbl.find_opt t.clients w with
     | Some hooks ->
-      record t "recalls" 1.;
+      Counter.record t.c_recalls 1.;
       hooks.recall ~ino
     | None -> ())
   | Some _ | None -> ()
@@ -97,7 +105,7 @@ let recall_from_last_writer t st ~ino ~except =
 let disable_caching t st ~ino =
   if st.cacheable then begin
     st.cacheable <- false;
-    record t "disables" 1.;
+    Counter.record t.c_disables 1.;
     let holders = st.readers @ st.writers in
     Hashtbl.iter
       (fun cid hooks -> if List.mem cid holders then hooks.disable ~ino)
@@ -106,7 +114,7 @@ let disable_caching t st ~ino =
 
 let rpc_open t ~client_id path mode =
   Netlink.transfer t.net ~bytes:(String.length path);
-  record t "opens" 1.;
+  Counter.record t.c_opens 1.;
   (match mode with
   | Read -> Client.open_ t.fs_client ~client:client_id path Client.RO
   | Write -> Client.open_ t.fs_client ~client:client_id path Client.WO);
@@ -155,7 +163,7 @@ let rpc_close t ~client_id ~ino =
 let rpc_read_block t ~client_id ~ino idx =
   let bb = block_bytes t in
   Netlink.transfer t.net ~bytes:0;
-  record t "reads" 1.;
+  Counter.record t.c_reads 1.;
   let st = fstate t ino in
   recall_from_last_writer t st ~ino ~except:client_id;
   let data = File.read (file_of t ino) ~offset:(idx * bb) ~bytes:bb in
@@ -165,7 +173,7 @@ let rpc_read_block t ~client_id ~ino idx =
 let rpc_write_block t ~client_id ~ino idx data =
   ignore client_id;
   Netlink.transfer t.net ~bytes:(Data.length data);
-  record t "writes" 1.;
+  Counter.record t.c_writes 1.;
   let bb = block_bytes t in
   File.write (file_of t ino) ~offset:(idx * bb) data;
   Netlink.transfer t.net ~bytes:0

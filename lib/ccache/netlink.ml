@@ -9,24 +9,27 @@ type t = {
   latency : float;
   medium : Sync.Mutex.t;
   mutable carried : int;
-  registry : Capfs_stats.Registry.t option;
+  c_transfer : Capfs_stats.Counter.t;
   nname : string;
 }
 
 let create ?registry ?(name = "net") ~bandwidth_bytes_per_sec ~latency sched =
   if bandwidth_bytes_per_sec <= 0. then invalid_arg "Netlink.create: bandwidth";
-  (match registry with
-  | Some r ->
-    Capfs_stats.Registry.register r
-      (Capfs_stats.Stat.scalar (name ^ ".transfer"))
-  | None -> ());
+  let c_transfer =
+    match registry with
+    | Some r ->
+      Capfs_stats.Registry.register r
+        (Capfs_stats.Stat.scalar (name ^ ".transfer"));
+      Capfs_stats.Registry.counter r (name ^ ".transfer")
+    | None -> Capfs_stats.Counter.null
+  in
   {
     sched;
     bandwidth = bandwidth_bytes_per_sec;
     latency;
     medium = Sync.Mutex.create ~name sched;
     carried = 0;
-    registry;
+    c_transfer;
     nname = name;
   }
 
@@ -42,9 +45,6 @@ let transfer t ~bytes =
       let dt = t.latency +. (float_of_int wire /. t.bandwidth) in
       Sched.sleep t.sched dt;
       t.carried <- t.carried + bytes;
-      match t.registry with
-      | Some r ->
-        Capfs_stats.Registry.record r (t.nname ^ ".transfer") dt
-      | None -> ())
+      Capfs_stats.Counter.record t.c_transfer dt)
 
 let bytes_carried t = t.carried

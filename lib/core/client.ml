@@ -18,14 +18,25 @@ type t = {
   fs : Fsys.t;
   ftable : File_table.t;
   ns : Namespace.t;
-  (* (client, path) -> ino of the open descriptor *)
-  handles : (int * string, int) Hashtbl.t;
+  (* client -> (path -> ino of the open descriptor). Two levels rather
+     than a [(int * string)]-keyed table: handle lookups run once per
+     replayed I/O, and a tuple key costs a fresh allocation (plus a
+     polymorphic hash of the pair) on every probe. *)
+  handles : (int, (string, int) Hashtbl.t) Hashtbl.t;
 }
 
 let create fs =
   let ftable = File_table.create fs in
   let ns = Namespace.create fs ftable in
-  { fs; ftable; ns; handles = Hashtbl.create 256 }
+  { fs; ftable; ns; handles = Hashtbl.create 16 }
+
+let client_handles t client =
+  match Hashtbl.find t.handles client with
+  | h -> h
+  | exception Not_found ->
+    let h = Hashtbl.create 16 in
+    Hashtbl.replace t.handles client h;
+    h
 
 let fsys t = t.fs
 let file_table t = t.ftable
@@ -186,52 +197,56 @@ let open_ t ~client path mode =
   let file = file_of_ino t ino in
   if File.kind file = Inode.Directory then
     raise (Namespace.Is_a_directory path);
-  let key = (client, path) in
-  if Hashtbl.mem t.handles key then
+  let h = client_handles t client in
+  if Hashtbl.mem h path then
     (* idempotent re-open: traces occasionally re-open without a close *)
     ()
   else begin
-    Hashtbl.replace t.handles key ino;
+    Hashtbl.replace h path ino;
     File.opened file
   end
 
 let close_ t ~client path =
   let path = Namespace.normalize path in
-  let key = (client, path) in
-  match Hashtbl.find_opt t.handles key with
-  | None -> raise (Bad_handle path)
-  | Some ino ->
-    Hashtbl.remove t.handles key;
+  let h = client_handles t client in
+  match Hashtbl.find h path with
+  | exception Not_found -> raise (Bad_handle path)
+  | ino ->
+    Hashtbl.remove h path;
     (match File_table.get t.ftable ino with
     | Some file ->
       File.closed file;
       File_table.maybe_reap t.ftable ino
     | None -> ())
 
-(* An I/O against a path the client never opened: transient open. Real
-   traces miss open records now and then. *)
-let with_file t ~client path ~create_if_missing f =
-  let path = Namespace.normalize path in
-  let key = (client, path) in
-  match Hashtbl.find_opt t.handles key with
-  | Some ino -> f (file_of_ino t ino)
-  | None ->
-    (match Namespace.resolve_opt t.ns path with
-    | Some ino -> f (file_of_ino t ino)
+(* An I/O against a path the client never opened falls back to a
+   transient open (real traces miss open records now and then).
+   Direct style rather than a [with_file f] combinator: [read] and
+   [write] sit on the replay hot path, and a callback would allocate a
+   closure capturing the I/O parameters on every call. *)
+let lookup_file t ~client path ~create_if_missing =
+  let h = client_handles t client in
+  match Hashtbl.find h path with
+  | ino -> file_of_ino t ino
+  | exception Not_found -> (
+    match Namespace.resolve_opt t.ns path with
+    | Some ino -> file_of_ino t ino
     | None ->
       if create_if_missing then begin
         create_file t path;
-        f (file_of_path t path)
+        file_of_path t path
       end
       else raise (Namespace.Not_found_path path))
 
 let read t ~client path ~offset ~bytes =
-  with_file t ~client path ~create_if_missing:false (fun file ->
-      File.read file ~offset ~bytes)
+  let path = Namespace.normalize path in
+  let file = lookup_file t ~client path ~create_if_missing:false in
+  File.read file ~offset ~bytes
 
 let write t ~client path ~offset data =
-  with_file t ~client path ~create_if_missing:true (fun file ->
-      File.write file ~offset data)
+  let path = Namespace.normalize path in
+  let file = lookup_file t ~client path ~create_if_missing:true in
+  File.write file ~offset data
 
 let truncate t path ~size =
   let path = Namespace.normalize path in
@@ -244,11 +259,11 @@ let fsync t path =
 let sync t = Fsys.sync t.fs
 
 let close_all t ~client =
-  let keys =
-    Hashtbl.fold
-      (fun (c, path) _ acc -> if c = client then path :: acc else acc)
-      t.handles []
-  in
-  List.iter (fun path -> close_ t ~client path) keys
+  match Hashtbl.find_opt t.handles client with
+  | None -> ()
+  | Some h ->
+    let paths = Hashtbl.fold (fun path _ acc -> path :: acc) h [] in
+    List.iter (fun path -> close_ t ~client path) paths
 
-let open_handles t = Hashtbl.length t.handles
+let open_handles t =
+  Hashtbl.fold (fun _ h acc -> acc + Hashtbl.length h) t.handles 0

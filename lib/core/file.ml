@@ -1,5 +1,6 @@
 module Sched = Capfs_sched.Sched
 module Cache = Capfs_cache.Cache
+module Key = Capfs_cache.Block.Key
 module Layout = Capfs_layout.Layout
 module Inode = Capfs_layout.Inode
 module Data = Capfs_disk.Data
@@ -28,7 +29,8 @@ let fill_from_layout t idx () =
   t.fsys.Fsys.layout.Layout.read_block t.inode idx
 
 let read_cached_block t idx =
-  Cache.read t.fsys.Fsys.cache (ino t, idx) ~fill:(fill_from_layout t idx)
+  Cache.read t.fsys.Fsys.cache (Key.v (ino t) idx)
+    ~fill:(fill_from_layout t idx)
 
 (* {2 Multimedia prefetch fibre} *)
 
@@ -81,19 +83,28 @@ let read t ~offset ~bytes =
     let first = offset / bb and last = (offset + len - 1) / bb in
     if kind t = Inode.Multimedia then
       t.mm_high_water <- Stdlib.max t.mm_high_water last;
-    let parts =
-      List.init (last - first + 1) (fun k ->
-          let idx = first + k in
-          let block = read_cached_block t idx in
-          let lo = Stdlib.max offset (idx * bb) in
-          let hi = Stdlib.min (offset + len) ((idx + 1) * bb) in
-          Data.sub block ~pos:(lo - (idx * bb)) ~len:(hi - lo))
+    let result =
+      if first = last then
+        (* common case: the range lives in one block — no part list,
+           no concat *)
+        let block = read_cached_block t first in
+        Data.sub block ~pos:(offset - (first * bb)) ~len
+      else
+        let parts =
+          List.init (last - first + 1) (fun k ->
+              let idx = first + k in
+              let block = read_cached_block t idx in
+              let lo = Stdlib.max offset (idx * bb) in
+              let hi = Stdlib.min (offset + len) ((idx + 1) * bb) in
+              Data.sub block ~pos:(lo - (idx * bb)) ~len:(hi - lo))
+        in
+        Data.concat parts
     in
     if t.fsys.Fsys.config.Fsys.track_atime then begin
       t.inode.Inode.atime <- Fsys.now t.fsys;
       t.fsys.Fsys.layout.Layout.update_inode t.inode
     end;
-    Data.concat parts
+    result
   end
 
 (* {2 Writes} *)
@@ -138,8 +149,11 @@ let write t ~offset data =
       in
       let block_data =
         if whole_block then
-          if Data.is_real slice then slice else Data.sim bb
-        else if covers_tail && not (Cache.contains t.fsys.Fsys.cache (ino t, idx))
+          (* [slice] is exactly one block long: real slices are fresh
+             copies, simulated ones are immutable — use it as-is *)
+          slice
+        else if covers_tail
+                && not (Cache.contains t.fsys.Fsys.cache (Key.v (ino t) idx))
                 && Inode.get_addr t.inode idx = Inode.addr_none then
           (* fresh tail block: pad to a block *)
           if Data.is_real slice then begin
@@ -154,7 +168,7 @@ let write t ~offset data =
           merge_block ~block_bytes:bb ~old ~at slice
         end
       in
-      Cache.write t.fsys.Fsys.cache (ino t, idx) block_data
+      Cache.write t.fsys.Fsys.cache (Key.v (ino t) idx) block_data
     done;
     let new_size = Stdlib.max (size t) (offset + len) in
     t.inode.Inode.size <- new_size;

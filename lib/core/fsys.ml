@@ -24,12 +24,9 @@ let create ?registry ?(config = default_config) ?replacement ~cache_config
   let registry =
     match registry with Some r -> r | None -> Capfs_stats.Registry.create ()
   in
-  let writeback batch =
-    layout.Layout.write_blocks
-      (List.map (fun ((ino, idx), data) -> (ino, idx, data)) batch)
-  in
   let cache =
-    Cache.create ~registry ?replacement ~writeback sched cache_config
+    Cache.create ~registry ?replacement ~writeback:layout.Layout.write_blocks
+      sched cache_config
   in
   let t = { sched; registry; cache; layout; config } in
   (* a fresh layout has no root directory yet *)

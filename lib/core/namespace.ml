@@ -15,15 +15,51 @@ type t = {
   (* in-core mirror: dir ino -> (name -> entry); loaded lazily *)
   dirs : (int, (string, Dir.entry) Hashtbl.t) Hashtbl.t;
   symlinks : (int, string) Hashtbl.t;
+  (* path -> ino memo for [resolve]: only successful resolutions are
+     cached, so adding an entry can never stale it (a name that now
+     resolves simply was not cached); any removal or symlink retarget
+     resets it wholesale. Bounded by the number of distinct live paths. *)
+  resolved : (string, int) Hashtbl.t;
 }
 
 let create fsys ftable =
-  { fsys; ftable; dirs = Hashtbl.create 256; symlinks = Hashtbl.create 16 }
+  {
+    fsys;
+    ftable;
+    dirs = Hashtbl.create 256;
+    symlinks = Hashtbl.create 16;
+    resolved = Hashtbl.create 256;
+  }
+
+(* Replay calls [normalize] on every operation, and trace paths are
+   almost always already in normal form: detect that with a char scan
+   and return the argument itself, so the split/concat (a list of
+   component strings plus a fresh result string, per op) only runs on
+   the odd denormal path. A "." component is a lone dot bounded by
+   slashes (or the ends); ".." is an ordinary component either way. *)
+let already_normal path =
+  let n = String.length path in
+  n > 0
+  && path.[0] = '/'
+  && (n = 1 || path.[n - 1] <> '/')
+  &&
+  let ok = ref true in
+  for i = 1 to n - 1 do
+    match String.unsafe_get path i with
+    | '/' -> if path.[i - 1] = '/' then ok := false
+    | '.' ->
+      if path.[i - 1] = '/' && (i = n - 1 || path.[i + 1] = '/') then
+        ok := false
+    | _ -> ()
+  done;
+  !ok
 
 let normalize path =
-  let parts = String.split_on_char '/' path in
-  let parts = List.filter (fun p -> p <> "" && p <> ".") parts in
-  "/" ^ String.concat "/" parts
+  if already_normal path then path
+  else
+    let parts = String.split_on_char '/' path in
+    let parts = List.filter (fun p -> p <> "" && p <> ".") parts in
+    "/" ^ String.concat "/" parts
 
 let components path =
   String.split_on_char '/' path |> List.filter (fun p -> p <> "" && p <> ".")
@@ -62,6 +98,7 @@ let entries t ino =
 let lookup t ~dir ~name = Hashtbl.find_opt (mirror t dir) name
 
 let set_symlink_target t ino target =
+  Hashtbl.reset t.resolved;
   Hashtbl.replace t.symlinks ino target;
   match File_table.get t.ftable ino with
   | Some f -> File.write f ~offset:0 (Data.of_string target)
@@ -85,7 +122,7 @@ let symlink_target t ino =
 
 let max_symlink_depth = 8
 
-let resolve t path =
+let resolve_uncached t path =
   let root = t.fsys.Fsys.config.Fsys.root_ino in
   let rec walk dir_ino comps depth ~orig =
     match comps with
@@ -110,6 +147,18 @@ let resolve t path =
   in
   let comps = components path in
   walk root comps 0 ~orig:path
+
+(* Replay resolves the same handful of paths over and over; the memo
+   turns the per-op component split + directory walk into one string
+   probe. Failures are never cached (they carry no entry to go stale,
+   and a later create must be visible immediately). *)
+let resolve t path =
+  match Hashtbl.find t.resolved path with
+  | ino -> ino
+  | exception Not_found ->
+    let ino = resolve_uncached t path in
+    Hashtbl.replace t.resolved path ino;
+    ino
 
 let resolve_opt t path =
   match resolve t path with
@@ -138,6 +187,7 @@ let remove_entry t ~parent ~name =
   match Hashtbl.find_opt m name with
   | None -> raise (Not_found_path name)
   | Some e ->
+    Hashtbl.reset t.resolved;
     Hashtbl.remove m name;
     persist t parent;
     e

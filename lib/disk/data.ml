@@ -20,7 +20,10 @@ let sub t ~pos ~len =
   check_range "sub" t pos len;
   match t with
   | Real b -> Real (Bytes.sub b pos len)
-  | Sim _ -> Sim len
+  (* a full-range sub of simulated data is the value itself — [Sim] is
+     immutable, so sharing is safe, and replay's block-aligned I/O hits
+     this on nearly every operation *)
+  | Sim n -> if len = n then t else Sim len
 
 let blit ~src ~src_pos ~dst ~dst_pos ~len =
   check_range "blit(src)" src src_pos len;

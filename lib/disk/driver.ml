@@ -1,5 +1,6 @@
 module Sched = Capfs_sched.Sched
 module Stats = Capfs_stats
+module Counter = Capfs_stats.Counter
 module Tracer = Capfs_obs.Tracer
 module Ev = Capfs_obs.Event
 
@@ -67,13 +68,10 @@ type t = {
   work : Sched.event;
   mutable in_service : bool;
   mutable idle_ev : Sched.event;
-  registry : Stats.Registry.t option;
+  c_wait : Counter.t;
+  c_response : Counter.t;
+  c_queue_len : Counter.t;
 }
-
-let record t stat v =
-  match t.registry with
-  | Some r -> Stats.Registry.record r (t.drv_name ^ "." ^ stat) v
-  | None -> ()
 
 let service_loop t () =
   while true do
@@ -91,8 +89,8 @@ let service_loop t () =
       (* Defensive: transports complete requests themselves, but an early
          immediate-report path must not leave the request dangling. *)
       Iorequest.complete t.sched req;
-      record t "wait" (Iorequest.wait_time req);
-      record t "response" (Iorequest.response_time req)
+      Counter.record t.c_wait (Iorequest.wait_time req);
+      Counter.record t.c_response (Iorequest.response_time req)
   done
 
 let create ?registry ?(name = "driver") ?policy sched transport =
@@ -107,16 +105,20 @@ let create ?registry ?(name = "driver") ?policy sched transport =
         (Geometry.v ~cylinders:transport.total_sectors ~heads:1
            ~sectors_per_track:1 ~sector_bytes:transport.sector_bytes ())
   in
-  (match registry with
-  | Some r ->
-    List.iter
-      (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
-      [ "wait"; "response" ];
-    (* the paper's "histograms of disk queue sizes" plug-in *)
-    Stats.Registry.register r
-      (Stats.Stat.with_histogram (name ^ ".queue_len")
-         (Stats.Histogram.linear ~lo:0. ~hi:64. ~buckets:32))
-  | None -> ());
+  let c_wait, c_response, c_queue_len =
+    match registry with
+    | Some r ->
+      List.iter
+        (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
+        [ "wait"; "response" ];
+      (* the paper's "histograms of disk queue sizes" plug-in *)
+      Stats.Registry.register r
+        (Stats.Stat.with_histogram (name ^ ".queue_len")
+           (Stats.Histogram.linear ~lo:0. ~hi:64. ~buckets:32));
+      let c s = Stats.Registry.counter r (name ^ "." ^ s) in
+      (c "wait", c "response", c "queue_len")
+    | None -> Counter.(null, null, null)
+  in
   let t =
     {
       drv_name = name;
@@ -126,7 +128,9 @@ let create ?registry ?(name = "driver") ?policy sched transport =
       work = Sched.new_event ~name:(name ^ ".work") sched;
       in_service = false;
       idle_ev = Sched.new_event ~name:(name ^ ".idle") sched;
-      registry;
+      c_wait;
+      c_response;
+      c_queue_len;
     }
   in
   ignore (Sched.spawn sched ~name:(name ^ ".service") ~daemon:true (service_loop t));
@@ -138,7 +142,7 @@ let total_sectors t = t.transport.total_sectors
 let queue_length t = Iosched.length t.policy
 
 let submit t req =
-  record t "queue_len" (float_of_int (Iosched.length t.policy));
+  Counter.record t.c_queue_len (float_of_int (Iosched.length t.policy));
   let tr = Sched.tracer t.sched in
   if Tracer.enabled tr then
     Tracer.emit tr ~time:(Sched.now t.sched)

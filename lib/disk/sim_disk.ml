@@ -1,5 +1,6 @@
 module Sched = Capfs_sched.Sched
 module Stats = Capfs_stats
+module Counter = Capfs_stats.Counter
 module Tracer = Capfs_obs.Tracer
 module Ev = Capfs_obs.Event
 
@@ -8,7 +9,11 @@ type t = {
   sched : Sched.t;
   model : Disk_model.t;
   bus : Bus.t;
-  registry : Stats.Registry.t option;
+  c_seek : Counter.t;
+  c_transfer : Counter.t;
+  c_service : Counter.t;
+  c_cache_hit : Counter.t;
+  c_rotation : Counter.t;
   (* mechanical state *)
   mutable head_cyl : int;
   mutable head : int;
@@ -20,24 +25,33 @@ type t = {
 }
 
 let create ?registry ?(name = "disk") ?(backing = false) sched model bus =
-  (match registry with
-  | Some r ->
-    List.iter
-      (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
-      [ "seek"; "transfer"; "service"; "cache_hit" ];
-    (* the paper's "disk rotational delay statistics" plug-in: a
-       histogram over one revolution *)
-    Stats.Registry.register r
-      (Stats.Stat.with_histogram (name ^ ".rotation")
-         (Stats.Histogram.linear ~lo:0. ~hi:(60. /. model.Disk_model.rpm)
-            ~buckets:30))
-  | None -> ());
+  let c_seek, c_transfer, c_service, c_cache_hit, c_rotation =
+    match registry with
+    | Some r ->
+      List.iter
+        (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
+        [ "seek"; "transfer"; "service"; "cache_hit" ];
+      (* the paper's "disk rotational delay statistics" plug-in: a
+         histogram over one revolution *)
+      Stats.Registry.register r
+        (Stats.Stat.with_histogram (name ^ ".rotation")
+           (Stats.Histogram.linear ~lo:0. ~hi:(60. /. model.Disk_model.rpm)
+              ~buckets:30));
+      let c s = Stats.Registry.counter r (name ^ "." ^ s) in
+      (c "seek", c "transfer", c "service", c "cache_hit", c "rotation")
+    | None ->
+      Counter.(null, null, null, null, null)
+  in
   {
     dname = name;
     sched;
     model;
     bus;
-    registry;
+    c_seek;
+    c_transfer;
+    c_service;
+    c_cache_hit;
+    c_rotation;
     head_cyl = 0;
     head = 0;
     cache_start = 0;
@@ -49,11 +63,6 @@ let name t = t.dname
 let model t = t.model
 let capacity_sectors t = Geometry.capacity_sectors t.model.Disk_model.geometry
 let current_cylinder t = t.head_cyl
-
-let record t stat v =
-  match t.registry with
-  | Some r -> Stats.Registry.record r (t.dname ^ "." ^ stat) v
-  | None -> ()
 
 let geometry t = t.model.Disk_model.geometry
 let sector_bytes t = (geometry t).Geometry.sector_bytes
@@ -107,8 +116,9 @@ let invalidate_cache_overlap t ~lba ~sectors =
     end
   end
 
-(* Move the arm/heads to [pos] and wait for its sector slot; returns
-   through [record] the component times. Seek and head switch overlap
+(* Move the arm/heads to [pos] and wait for its sector slot; records
+   the component times into the seek/rotation stats. Seek and head
+   switch overlap
    (the arm moves while the head multiplexer settles). *)
 let position t (pos : Geometry.pos) =
   let seek_t =
@@ -124,10 +134,10 @@ let position t (pos : Geometry.pos) =
   if positioning > 0. then Sched.sleep t.sched positioning;
   t.head_cyl <- pos.Geometry.cylinder;
   t.head <- pos.Geometry.head;
-  record t "seek" positioning;
+  Counter.record t.c_seek positioning;
   let rot = rotational_delay t ~target:pos.Geometry.angle in
   if rot > 0. then Sched.sleep t.sched rot;
-  record t "rotation" rot;
+  Counter.record t.c_rotation rot;
   let dur = positioning +. rot in
   if dur > 0. then begin
     let tr = Sched.tracer t.sched in
@@ -154,7 +164,7 @@ let mechanical t ~lba ~sectors =
     end
   in
   go lba sectors;
-  record t "transfer" !xfer_total
+  Counter.record t.c_transfer !xfer_total
 
 (* Real-content plumbing for backed disks. *)
 
@@ -214,7 +224,7 @@ let execute t ~queue_empty (req : Iorequest.t) =
   (match req.Iorequest.op with
   | Iorequest.Read ->
     let hit = in_cache t ~lba:req.Iorequest.lba ~sectors:req.Iorequest.sectors in
-    record t "cache_hit" (if hit then 1. else 0.);
+    Counter.record t.c_cache_hit (if hit then 1. else 0.);
     if hit then begin
       (* the drive keeps prefetching while serving from its buffer, so a
          sequential stream of hits slides the window forward; the media
@@ -252,7 +262,7 @@ let execute t ~queue_empty (req : Iorequest.t) =
     if immediate then Iorequest.complete t.sched req;
     mechanical t ~lba:req.Iorequest.lba ~sectors:req.Iorequest.sectors;
     if not immediate then Iorequest.complete t.sched req);
-  record t "service" (Sched.now t.sched -. start);
+  Counter.record t.c_service (Sched.now t.sched -. start);
   let tr = Sched.tracer t.sched in
   if Tracer.enabled tr then
     Tracer.emit tr ~time:(Sched.now t.sched)

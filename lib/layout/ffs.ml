@@ -2,6 +2,7 @@ module Sched = Capfs_sched.Sched
 module Data = Capfs_disk.Data
 module Driver = Capfs_disk.Driver
 module Stats = Capfs_stats
+module Counter = Capfs_stats.Counter
 
 let src = Logs.Src.create "capfs.ffs" ~doc:"FFS-like update-in-place layout"
 
@@ -26,7 +27,7 @@ type group = {
 type t = {
   sched : Sched.t;
   driver : Driver.t;
-  registry : Stats.Registry.t option;
+  c_alloc : Counter.t;
   lname : string;
   cfg : config;
   block_bytes : int;
@@ -61,11 +62,6 @@ let inode_addr t ino =
   group_base t g + 2 + slot
 
 let group_of_ino t ino = (ino - 1) / t.cfg.inodes_per_group
-
-let record t stat v =
-  match t.registry with
-  | Some r -> Stats.Registry.record r (t.lname ^ "." ^ stat) v
-  | None -> ()
 
 let write_block_raw t ~addr data = Driver.write t.driver ~lba:(addr * t.spb) data
 let read_block_raw t ~addr = Driver.read t.driver ~lba:(addr * t.spb) ~sectors:t.spb
@@ -223,15 +219,18 @@ let make_t ?registry ?(name = "ffs") ~cfg sched driver ~block_bytes
     invalid_arg "Ffs: block size must be a multiple of the sector size";
   if cfg.group_blocks <= meta_blocks cfg + 8 then
     invalid_arg "Ffs: group too small for its metadata";
-  (match registry with
-  | Some r ->
-    Stats.Registry.register r (Stats.Stat.scalar (name ^ ".alloc"))
-  | None -> ());
+  let c_alloc =
+    match registry with
+    | Some r ->
+      Stats.Registry.register r (Stats.Stat.scalar (name ^ ".alloc"));
+      Stats.Registry.counter r (name ^ ".alloc")
+    | None -> Counter.null
+  in
   let t =
     {
       sched;
       driver;
-      registry;
+      c_alloc;
       lname = name;
       cfg;
       block_bytes;
@@ -304,7 +303,7 @@ let to_layout t =
       end
     in
     let ino = scan 0 in
-    record t "alloc" (float_of_int ino);
+    Counter.record t.c_alloc (float_of_int ino);
     let inode = Inode.make ~ino ~kind ~now:(now ()) in
     Hashtbl.replace t.inodes ino inode;
     Hashtbl.replace t.dirty_inodes ino ();

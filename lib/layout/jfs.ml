@@ -13,7 +13,7 @@ let magic = "CAPJFS01"
 type t = {
   sched : Sched.t;
   driver : Driver.t;
-  registry : Capfs_stats.Registry.t option;
+  c_commits : Capfs_stats.Counter.t;
   lname : string;
   cfg : config;
   block_bytes : int;
@@ -231,15 +231,18 @@ let make_t ?registry ?(name = "jfs") ~cfg sched driver ~block_bytes
     invalid_arg "Jfs: block size must be a multiple of the sector size";
   let data0 = 1 + cfg.journal_blocks in
   if total_blocks - data0 < 8 then invalid_arg "Jfs: disk too small";
-  (match registry with
-  | Some r ->
-    Capfs_stats.Registry.register r
-      (Capfs_stats.Stat.scalar (name ^ ".commits"))
-  | None -> ());
+  let c_commits =
+    match registry with
+    | Some r ->
+      Capfs_stats.Registry.register r
+        (Capfs_stats.Stat.scalar (name ^ ".commits"));
+      Capfs_stats.Registry.counter r (name ^ ".commits")
+    | None -> Capfs_stats.Counter.null
+  in
   {
     sched;
     driver;
-    registry;
+    c_commits;
     lname = name;
     cfg;
     block_bytes;
@@ -325,10 +328,7 @@ let to_layout t =
   in
   let sync () =
     commit t;
-    match t.registry with
-    | Some r ->
-      Capfs_stats.Registry.record r (t.lname ^ ".commits") 1.
-    | None -> ()
+    Capfs_stats.Counter.record t.c_commits 1.
   in
   let free_blocks () =
     let n = ref 0 in

@@ -2,6 +2,7 @@ module Sched = Capfs_sched.Sched
 module Data = Capfs_disk.Data
 module Driver = Capfs_disk.Driver
 module Stats = Capfs_stats
+module Counter = Capfs_stats.Counter
 module Tracer = Capfs_obs.Tracer
 module Ev = Capfs_obs.Event
 
@@ -53,7 +54,9 @@ type seg_state = {
 type t = {
   sched : Sched.t;
   driver : Driver.t;
-  registry : Stats.Registry.t option;
+  c_segment_sealed : Counter.t;
+  c_free_segments : Counter.t;
+  c_checkpoint : Counter.t;
   lname : string;
   cfg : config;
   block_bytes : int;
@@ -113,11 +116,6 @@ let pad_to_blocks t s =
   let b = Bytes.make n '\000' in
   Bytes.blit_string s 0 b 0 (String.length s);
   Data.Real b
-
-let record t stat v =
-  match t.registry with
-  | Some r -> Stats.Registry.record r (t.lname ^ "." ^ stat) v
-  | None -> ()
 
 (* {2 Segment summaries} *)
 
@@ -194,7 +192,7 @@ let rec seal_segment t =
     t.seq <- t.seq + 1;
     t.sealed_segments <- t.sealed_segments + 1;
     t.log_blocks_written <- t.log_blocks_written + List.length blocks + 1;
-    record t "segment_sealed" (float_of_int (List.length blocks));
+    Counter.record t.c_segment_sealed (float_of_int (List.length blocks));
     (let tr = Sched.tracer t.sched in
      if Tracer.enabled tr then
        Tracer.emit tr ~time:(Sched.now t.sched)
@@ -388,7 +386,7 @@ and maybe_clean t =
        t.cleaning <- false;
        raise e);
     t.cleaning <- false;
-    record t "free_segments" (float_of_int (free_segments t))
+    Counter.record t.c_free_segments (float_of_int (free_segments t))
   end
 
 (* {2 Inode loading} *)
@@ -476,7 +474,7 @@ let checkpoint t =
   t.ckpt_next_a <- not t.ckpt_next_a;
   write_block_raw t ~addr:region (pad_to_blocks t ser);
   t.ckpt_seq <- t.seq;
-  record t "checkpoint" 1.
+  Counter.record t.c_checkpoint 1.
 
 let parse_checkpoint s =
   let crc_pos = String.length s - 4 in
@@ -572,19 +570,25 @@ let stat_names = [ "segment_sealed"; "free_segments"; "checkpoint" ]
 
 let make_t ?registry ?(name = "lfs") ~cfg sched driver ~block_bytes
     ~total_blocks ~ckpt_a ~ckpt_b ~seg0 ~nsegs () =
-  (match registry with
-  | Some r ->
-    List.iter
-      (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
-      stat_names
-  | None -> ());
+  let c_segment_sealed, c_free_segments, c_checkpoint =
+    match registry with
+    | Some r ->
+      List.iter
+        (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
+        stat_names;
+      let c s = Stats.Registry.counter r (name ^ "." ^ s) in
+      (c "segment_sealed", c "free_segments", c "checkpoint")
+    | None -> Counter.(null, null, null)
+  in
   let spb = block_bytes / Driver.sector_bytes driver in
   if spb < 1 || block_bytes mod Driver.sector_bytes driver <> 0 then
     invalid_arg "Lfs: block size must be a multiple of the sector size";
   {
     sched;
     driver;
-    registry;
+    c_segment_sealed;
+    c_free_segments;
+    c_checkpoint;
     lname = name;
     cfg;
     block_bytes;

@@ -4,11 +4,14 @@ module Driver = Capfs_disk.Driver
 
 let create ?registry ?(name = "simlayout") ?(seed = 1996) sched driver
     ~block_bytes =
-  (match registry with
-  | Some r ->
-    Capfs_stats.Registry.register r
-      (Capfs_stats.Stat.scalar (name ^ ".guesses"))
-  | None -> ());
+  let c_guesses =
+    match registry with
+    | Some r ->
+      Capfs_stats.Registry.register r
+        (Capfs_stats.Stat.scalar (name ^ ".guesses"));
+      Capfs_stats.Registry.counter r (name ^ ".guesses")
+    | None -> Capfs_stats.Counter.null
+  in
   let prng = Capfs_stats.Prng.create ~seed in
   let spb = block_bytes / Driver.sector_bytes driver in
   if spb < 1 || block_bytes mod Driver.sector_bytes driver <> 0 then
@@ -26,9 +29,7 @@ let create ?registry ?(name = "simlayout") ?(seed = 1996) sched driver
     | Some o -> o
     | None ->
       incr guesses;
-      (match registry with
-      | Some r -> Capfs_stats.Registry.record r (name ^ ".guesses") 1.
-      | None -> ());
+      Capfs_stats.Counter.record c_guesses 1.;
       let o = Capfs_stats.Prng.int prng total_blocks in
       Hashtbl.replace origins ino o;
       o

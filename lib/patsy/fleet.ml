@@ -13,6 +13,9 @@ type job_result = {
   job : job;
   result : (Experiment.outcome, exn) result;
   wall_s : float;
+  minor_words : float;
+  promoted_words : float;
+  major_collections : int;
   worker : int;
 }
 
@@ -46,18 +49,38 @@ let run_jobs ?(jobs = default_jobs ()) ~gen jl =
       if i < n then begin
         let job = table.(i) in
         let t0 = Unix.gettimeofday () in
-        let result =
+        (* GC counters are per-domain in OCaml 5, and a worker runs one
+           job at a time, so quick_stat deltas around the experiment
+           (trace generation excluded: it is memoized, so it would bill
+           only the first job to use each trace) are exact. *)
+        let result, minor_words, promoted_words, major_collections =
           match trace_of job.trace with
           | trace -> (
+            let g0 = Gc.quick_stat () in
             match Experiment.run job.config ~trace with
-            | o -> Ok o
-            | exception e -> Error e)
-          | exception e -> Error e
+            | o ->
+              let g1 = Gc.quick_stat () in
+              ( Ok o,
+                g1.Gc.minor_words -. g0.Gc.minor_words,
+                g1.Gc.promoted_words -. g0.Gc.promoted_words,
+                g1.Gc.major_collections - g0.Gc.major_collections )
+            | exception e -> (Error e, 0., 0., 0))
+          | exception e -> (Error e, 0., 0., 0)
         in
         let wall_s = Unix.gettimeofday () -. t0 in
         (* each slot is written by exactly one worker; Domain.join
            below publishes the writes to the caller *)
-        results.(i) <- Some { job; result; wall_s; worker = w };
+        results.(i) <-
+          Some
+            {
+              job;
+              result;
+              wall_s;
+              minor_words;
+              promoted_words;
+              major_collections;
+              worker = w;
+            };
         loop ()
       end
     in

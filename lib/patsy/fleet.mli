@@ -28,6 +28,12 @@ type job_result = {
   job : job;
   result : (Experiment.outcome, exn) result;
   wall_s : float;             (** host wall-clock seconds for this job *)
+  minor_words : float;
+      (** words allocated in the worker domain's minor heap during the
+          experiment (trace generation excluded) — divide by the
+          operation count for the allocation rate of the replay loop *)
+  promoted_words : float;     (** of those, words promoted to the major heap *)
+  major_collections : int;    (** major GC cycles during the experiment *)
   worker : int;               (** index of the worker domain that ran it *)
 }
 

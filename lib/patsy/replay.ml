@@ -11,11 +11,19 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type result = {
   operations : int;
   errors : int;
+  errors_by_kind : (string * int) list;
   elapsed : float;
   latency : Stats.Sample_set.t;
   latency_by_op : (string * Stats.Welford.t) list;
   windows : Stats.Interval.t;
 }
+
+(* indices into the per-kind error counters of [run] *)
+let error_kind_names =
+  [|
+    "not_found_path"; "already_exists"; "not_a_directory"; "is_a_directory";
+    "not_empty"; "symlink_loop"; "bad_handle";
+  |]
 
 (* {2 Missing-parameter synthesis} *)
 
@@ -76,6 +84,28 @@ let mode_of = function
   | Record.Write_only -> Client.WO
   | Record.Read_write -> Client.RW
 
+(* fixed tags for the per-op latency Welfords, so the replay loop
+   indexes an array instead of hashing the op name every operation *)
+let op_count = 9
+
+let op_index (r : Record.t) =
+  match r.Record.op with
+  | Record.Open _ -> 0
+  | Record.Close _ -> 1
+  | Record.Read _ -> 2
+  | Record.Write _ -> 3
+  | Record.Stat _ -> 4
+  | Record.Delete _ -> 5
+  | Record.Truncate _ -> 6
+  | Record.Mkdir _ -> 7
+  | Record.Rmdir _ -> 8
+
+let op_index_names =
+  [|
+    "open"; "close"; "read"; "write"; "stat"; "delete"; "truncate"; "mkdir";
+    "rmdir";
+  |]
+
 let dispatch client (r : Record.t) =
   let c = r.Record.client in
   match r.Record.op with
@@ -126,9 +156,10 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
   let records = synthesize_times records in
   let sched = (Client.fsys client).Capfs.Fsys.sched in
   let latency = Stats.Sample_set.create ~cap:200_000 () in
-  let by_op : (string, Stats.Welford.t) Hashtbl.t = Hashtbl.create 16 in
+  let by_op = Array.init op_count (fun _ -> Stats.Welford.create ()) in
   let windows = Stats.Interval.create ~width:window () in
   let operations = ref 0 and errors = ref 0 in
+  let error_kinds = Array.make (Array.length error_kind_names) 0 in
   let t_first = ref infinity and t_last = ref 0. in
   let base = Sched.now sched in
   (* group records per client, preserving order: one index array per
@@ -155,14 +186,22 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
   let clients = Hashtbl.fold (fun c (a, _) acc -> (c, a) :: acc) slots [] in
   let remaining = ref (List.length clients) in
   let all_done = Sched.new_event ~name:"replay.done" sched in
-  let measure (r : Record.t) f =
+  let fail kind =
+    incr errors;
+    error_kinds.(kind) <- error_kinds.(kind) + 1
+  in
+  (* [dispatch client r] is called directly rather than through a
+     per-op closure: this runs once per trace record. *)
+  let measure (r : Record.t) =
     let t0 = Sched.now sched in
-    (try f () with
-    | Capfs.Namespace.Not_found_path _ | Capfs.Namespace.Already_exists _
-    | Capfs.Namespace.Not_a_directory _ | Capfs.Namespace.Is_a_directory _
-    | Capfs.Namespace.Not_empty _ | Capfs.Namespace.Symlink_loop _
-    | Client.Bad_handle _ ->
-      incr errors);
+    (try dispatch client r with
+    | Capfs.Namespace.Not_found_path _ -> fail 0
+    | Capfs.Namespace.Already_exists _ -> fail 1
+    | Capfs.Namespace.Not_a_directory _ -> fail 2
+    | Capfs.Namespace.Is_a_directory _ -> fail 3
+    | Capfs.Namespace.Not_empty _ -> fail 4
+    | Capfs.Namespace.Symlink_loop _ -> fail 5
+    | Client.Bad_handle _ -> fail 6);
     let t1 = Sched.now sched in
     incr operations;
     let dt = t1 -. t0 in
@@ -170,15 +209,7 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
     Stats.Interval.add windows ~time:(t1 -. base) dt;
     t_first := Stdlib.min !t_first t0;
     t_last := Stdlib.max !t_last t1;
-    let w =
-      match Hashtbl.find_opt by_op (Record.op_name r) with
-      | Some w -> w
-      | None ->
-        let w = Stats.Welford.create () in
-        Hashtbl.replace by_op (Record.op_name r) w;
-        w
-    in
-    Stats.Welford.add w dt
+    Stats.Welford.add by_op.(op_index r) dt
   in
   let client_fibre (cid, indices) () =
     Array.iter
@@ -187,7 +218,7 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
         let target = base +. (r.Record.time /. speedup) in
         let now = Sched.now sched in
         if target > now then Sched.sleep sched (target -. now);
-        measure r (fun () -> dispatch client r))
+        measure r)
       indices;
     Client.close_all client ~client:cid;
     decr remaining;
@@ -205,13 +236,20 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
   Log.info (fun m ->
       m "replay: %d ops, %d errors, %.1f simulated seconds" !operations
         !errors (!t_last -. !t_first));
+  let errors_by_kind =
+    List.filteri (fun _ (_, n) -> n > 0)
+      (Array.to_list
+         (Array.mapi (fun i n -> (error_kind_names.(i), n)) error_kinds))
+  in
   {
     operations = !operations;
     errors = !errors;
+    errors_by_kind;
     elapsed = (if !operations = 0 then 0. else !t_last -. !t_first);
     latency;
     latency_by_op =
-      Hashtbl.fold (fun k w acc -> (k, w) :: acc) by_op []
+      Array.to_list (Array.mapi (fun i w -> (op_index_names.(i), w)) by_op)
+      |> List.filter (fun (_, w) -> Stats.Welford.count w > 0)
       |> List.sort (fun (a, _) (b, _) -> compare a b);
     windows;
   }

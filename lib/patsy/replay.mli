@@ -19,6 +19,9 @@
 type result = {
   operations : int;
   errors : int;         (** operations refused (ENOENT etc.) *)
+  errors_by_kind : (string * int) list;
+      (** nonzero error classes only, e.g. [("not_found_path", 33)] —
+          which exception each refused operation raised *)
   elapsed : float;      (** simulated seconds from first to last op *)
   latency : Capfs_stats.Sample_set.t;   (** per-operation latency *)
   latency_by_op : (string * Capfs_stats.Welford.t) list;

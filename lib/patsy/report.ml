@@ -41,6 +41,16 @@ let print_mean_table ?(scale = 1000.) ?(unit = "ms") ppf ~rows =
       rows;
     Format.fprintf ppf "@]"
 
+let print_error_breakdown ppf (r : Replay.result) =
+  if r.Replay.errors > 0 then begin
+    Format.fprintf ppf "@[<v>errors: %d refused operations@," r.Replay.errors;
+    List.iter
+      (fun (kind, n) -> Format.fprintf ppf "  %-16s %6d@," kind n)
+      r.Replay.errors_by_kind;
+    Format.fprintf ppf "@]"
+  end
+  else Format.fprintf ppf "errors: none"
+
 let print_outcome_summary ppf (o : Experiment.outcome) =
   Format.fprintf ppf
     "%-18s mean=%8.3fms p95=%8.3fms ops=%7d hit=%5.1f%% flushed=%7d absorbed=%7d"
@@ -51,7 +61,14 @@ let print_outcome_summary ppf (o : Experiment.outcome) =
          with Invalid_argument _ -> 0.))
     o.Experiment.replay.Replay.operations
     (100. *. o.Experiment.cache_hit_rate)
-    o.Experiment.blocks_flushed o.Experiment.writes_absorbed
+    o.Experiment.blocks_flushed o.Experiment.writes_absorbed;
+  if o.Experiment.replay.Replay.errors > 0 then
+    Format.fprintf ppf " errors=%d(%s)"
+      o.Experiment.replay.Replay.errors
+      (String.concat ","
+         (List.map
+            (fun (kind, n) -> Printf.sprintf "%s:%d" kind n)
+            o.Experiment.replay.Replay.errors_by_kind))
 
 let print_windows ppf (r : Replay.result) =
   Format.fprintf ppf "@[<v># window_start_s  ops  mean_ms@,";

@@ -49,7 +49,9 @@ type t = {
   tracer : Tracer.t;
   mutable vnow : float;
   mutable epoch : float; (* wall-clock at run start, `Real only *)
+  (* circular buffer: logical slot i lives at (runq_head + i) mod cap *)
   mutable runq : runnable array;
+  mutable runq_head : int;
   mutable runq_len : int;
   timers : timer Heap.t;
   mutable timer_seq : int;
@@ -75,6 +77,7 @@ let create ?(seed = 42) ?(policy = `Random) ?(tracer = Tracer.null) ~clock () =
     vnow = 0.;
     epoch = 0.;
     runq = [||];
+    runq_head = 0;
     runq_len = 0;
     timers = Heap.create ~cmp:cmp_timer;
     timer_seq = 0;
@@ -96,31 +99,41 @@ let now t =
   | `Real -> if t.running then Unix.gettimeofday () -. t.epoch else t.vnow
 
 let push_run t r =
-  if t.runq_len = Array.length t.runq then begin
-    let grown = Array.make (Stdlib.max 8 (2 * t.runq_len)) r in
-    Array.blit t.runq 0 grown 0 t.runq_len;
-    t.runq <- grown
+  let cap = Array.length t.runq in
+  if t.runq_len = cap then begin
+    (* grow, unwrapping so logical slot 0 lands at physical 0 *)
+    let grown = Array.make (Stdlib.max 8 (2 * cap)) r in
+    for i = 0 to t.runq_len - 1 do
+      grown.(i) <- t.runq.((t.runq_head + i) mod cap)
+    done;
+    t.runq <- grown;
+    t.runq_head <- 0
   end;
-  t.runq.(t.runq_len) <- r;
+  let cap = Array.length t.runq in
+  t.runq.((t.runq_head + t.runq_len) mod cap) <- r;
   t.runq_len <- t.runq_len + 1
 
+(* Both policies evolve the {e logical} queue exactly as the previous
+   flat-array code did — Fifo pops the front (now a head bump instead of
+   an O(n) shift), Random swap-removes logical slot [i] with the logical
+   last — so the dispatch order, and with it every PRNG-driven
+   simulation outcome, is bit-for-bit unchanged. *)
 let pop_run t =
   if t.runq_len = 0 then None
   else begin
+    let cap = Array.length t.runq in
     let i =
       match t.policy with
       | `Fifo -> 0
       | `Random -> Capfs_stats.Prng.int t.rng t.runq_len
     in
-    let r = t.runq.(i) in
-    (* swap-remove for Random; shift for Fifo to preserve order *)
+    let phys = (t.runq_head + i) mod cap in
+    let r = t.runq.(phys) in
     (match t.policy with
+    | `Fifo -> t.runq_head <- (t.runq_head + 1) mod cap
     | `Random ->
-      t.runq.(i) <- t.runq.(t.runq_len - 1);
-      t.runq_len <- t.runq_len - 1
-    | `Fifo ->
-      Array.blit t.runq 1 t.runq 0 (t.runq_len - 1);
-      t.runq_len <- t.runq_len - 1);
+      t.runq.(phys) <- t.runq.((t.runq_head + t.runq_len - 1) mod cap));
+    t.runq_len <- t.runq_len - 1;
     Some r
   end
 

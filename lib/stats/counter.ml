@@ -1,0 +1,10 @@
+type t = { stat : Stat.t; mutable enabled : bool }
+
+let make stat = { stat; enabled = true }
+let null = { stat = Stat.scalar "null"; enabled = false }
+let record t x = if t.enabled then Stat.record t.stat x
+let incr t = record t 1.0
+let stat t = t.stat
+let is_enabled t = t.enabled
+let set_enabled t on = t.enabled <- on
+let name t = Stat.name t.stat

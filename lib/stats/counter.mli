@@ -1,0 +1,38 @@
+(** Pre-resolved statistics handles.
+
+    [Registry.record r ("cache" ^ "." ^ "hits")] costs a string
+    allocation, a string hash and a table probe on every call — on the
+    replay hot path that is most of the work. A [Counter.t] resolves the
+    name once, at component construction time: it pins the underlying
+    {!Stat.t} together with its enabled flag, so recording is a single
+    mutable-field check plus the raw {!Stat.record}.
+
+    Handles stay live across {!Registry.set_enabled}: the registry
+    stores these same handles, so toggling a prefix flips the
+    [enabled] field the handle already reads. *)
+
+type t
+
+(** [make stat] — a fresh enabled handle. Normally obtained via
+    {!Registry.counter} instead, so toggling by name works. *)
+val make : Stat.t -> t
+
+(** A permanently disabled handle: [record] is a no-op. Components
+    constructed without a registry use this so the hot path carries no
+    option check. *)
+val null : t
+
+(** [record t x] records [x] iff the handle is enabled. *)
+val record : t -> float -> unit
+
+(** [incr t] is [record t 1.0]. *)
+val incr : t -> unit
+
+val stat : t -> Stat.t
+val is_enabled : t -> bool
+
+(** [set_enabled t on] flips the handle directly. Prefer
+    {!Registry.set_enabled} (by prefix) in application code. *)
+val set_enabled : t -> bool -> unit
+
+val name : t -> string

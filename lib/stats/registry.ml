@@ -1,52 +1,73 @@
-type entry = { stat : Stat.t; mutable enabled : bool }
-type t = { table : (string, entry) Hashtbl.t }
+type t = {
+  table : (string, Counter.t) Hashtbl.t;
+  (* Sorted-by-name view of every registered counter, computed lazily
+     and invalidated by [register]. [set_enabled]/[report]/[all]/[iter]
+     share it instead of re-folding and re-sorting the table per call. *)
+  mutable sorted : Counter.t array option;
+}
 
-let create () = { table = Hashtbl.create 64 }
+let create () = { table = Hashtbl.create 64; sorted = None }
 
 let register t stat =
   let name = Stat.name stat in
   if Hashtbl.mem t.table name then
     invalid_arg ("Registry.register: duplicate stat " ^ name);
-  Hashtbl.add t.table name { stat; enabled = true }
+  Hashtbl.add t.table name (Counter.make stat);
+  t.sorted <- None
+
+let counter t name =
+  match Hashtbl.find_opt t.table name with
+  | Some c -> c
+  | None -> invalid_arg ("Registry.counter: unknown stat " ^ name)
 
 let find t name =
   match Hashtbl.find_opt t.table name with
-  | Some e -> Some e.stat
+  | Some c -> Some (Counter.stat c)
   | None -> None
 
 let record t name x =
   match Hashtbl.find_opt t.table name with
-  | Some e when e.enabled -> Stat.record e.stat x
-  | Some _ | None -> ()
+  | Some c -> Counter.record c x
+  | None -> ()
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a =
+        Array.of_list (Hashtbl.fold (fun _ c acc -> c :: acc) t.table [])
+      in
+      Array.sort (fun a b -> compare (Counter.name a) (Counter.name b)) a;
+      t.sorted <- Some a;
+      a
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
 let set_enabled t ~prefix on =
-  Hashtbl.iter
-    (fun name e -> if starts_with ~prefix name then e.enabled <- on)
-    t.table
+  Array.iter
+    (fun c -> if starts_with ~prefix (Counter.name c) then Counter.set_enabled c on)
+    (sorted t)
 
 let enabled t name =
   match Hashtbl.find_opt t.table name with
-  | Some e -> e.enabled
+  | Some c -> Counter.is_enabled c
   | None -> false
 
+let iter t f = Array.iter (fun c -> f (Counter.stat c)) (sorted t)
+
 let all t =
-  Hashtbl.fold (fun _ e acc -> e.stat :: acc) t.table []
-  |> List.sort (fun a b -> compare (Stat.name a) (Stat.name b))
+  Array.fold_right (fun c acc -> Counter.stat c :: acc) (sorted t) []
 
-let reset t = Hashtbl.iter (fun _ e -> Stat.reset e.stat) t.table
-
-(* alias: [report]'s [all] parameter shadows the function above *)
-let all_stats = all
+let reset t = Hashtbl.iter (fun _ c -> Stat.reset (Counter.stat c)) t.table
 
 let report ?histograms ?(all = false) ppf t =
-  List.iter
-    (fun stat ->
-      if enabled t (Stat.name stat) && (all || Stat.count stat > 0) then
+  Array.iter
+    (fun c ->
+      let stat = Counter.stat c in
+      if Counter.is_enabled c && (all || Stat.count stat > 0) then
         if Stat.count stat = 0 then
           Format.fprintf ppf "%s: (no observations)@." (Stat.name stat)
         else Format.fprintf ppf "%a@." (Stat.report ?histograms) stat)
-    (all_stats t)
+    (sorted t)

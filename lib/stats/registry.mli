@@ -17,6 +17,14 @@ val register : t -> Stat.t -> unit
 (** [find t name] is the registered stat, or [None]. *)
 val find : t -> string -> Stat.t option
 
+(** [counter t name] is a pre-resolved handle on the named stat:
+    recording through it skips the name hash and table probe that
+    {!record} pays per call, so it is the sanctioned way to record from
+    per-operation paths. The handle observes later {!set_enabled}
+    toggles. Raises [Invalid_argument] if [name] was never registered —
+    resolve handles right after registering, in component constructors. *)
+val counter : t -> string -> Counter.t
+
 (** [record t name x] records into the named stat if it exists and is
     enabled; silently drops otherwise (cheap no-op for deactivated
     statistics). *)
@@ -30,6 +38,10 @@ val enabled : t -> string -> bool
 
 (** All registered stats, sorted by name. *)
 val all : t -> Stat.t list
+
+(** [iter t f] applies [f] to every registered stat in name order
+    without materialising the intermediate list of {!all}. *)
+val iter : t -> (Stat.t -> unit) -> unit
 
 val reset : t -> unit
 

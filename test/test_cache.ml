@@ -8,10 +8,14 @@ module Data = Capfs_disk.Data
 
 let vsched () = Sched.create ~clock:`Virtual ()
 
+(* Shorthand for packed block keys. *)
+let k = Block.Key.v
+let key_t = Alcotest.testable Block.Key.pp Block.Key.equal
+
 (* A writeback sink recording every flushed block, with optional delay to
    model disk time. *)
 type sink = {
-  mutable flushed : (Block.Key.t * Data.t) list list;
+  mutable flushed : (int * int * Data.t) list list;
   mutable blocks_written : int;
 }
 
@@ -51,9 +55,9 @@ let test_read_miss_then_hit () =
         incr fills;
         Data.of_string "abcd"
       in
-      let d1 = Cache.read c (1, 0) ~fill in
+      let d1 = Cache.read c (k 1 0) ~fill in
       Alcotest.(check string) "filled" "abcd" (Data.to_string d1);
-      let d2 = Cache.read c (1, 0) ~fill in
+      let d2 = Cache.read c (k 1 0) ~fill in
       Alcotest.(check string) "cached" "abcd" (Data.to_string d2);
       Alcotest.(check int) "fill ran once" 1 !fills;
       Alcotest.(check int) "one block" 1 (Cache.block_count c))
@@ -62,8 +66,8 @@ let test_write_then_read_back () =
   run_fs (fun s ->
       let _, wb = make_sink s in
       let c = Cache.create ~writeback:wb s (demand_config 8) in
-      Cache.write c (1, 0) (Data.of_string "dirty!");
-      let d = Cache.read c (1, 0) ~fill:(fun () -> Alcotest.fail "no fill") in
+      Cache.write c (k 1 0) (Data.of_string "dirty!");
+      let d = Cache.read c (k 1 0) ~fill:(fun () -> Alcotest.fail "no fill") in
       Alcotest.(check string) "dirty read back" "dirty!" (Data.to_string d);
       Alcotest.(check int) "dirty" 1 (Cache.dirty_count c))
 
@@ -73,26 +77,26 @@ let test_lru_eviction_order () =
       let c = Cache.create ~writeback:wb s (demand_config 3) in
       (* fill 3 frames clean *)
       for i = 0 to 2 do
-        ignore (Cache.read c (1, i) ~fill:(fill_const 16))
+        ignore (Cache.read c (k 1 i) ~fill:(fill_const 16))
       done;
       (* touch block 0 so block 1 is the LRU *)
-      ignore (Cache.read c (1, 0) ~fill:(fill_const 16));
+      ignore (Cache.read c (k 1 0) ~fill:(fill_const 16));
       (* a 4th block evicts block 1 *)
-      ignore (Cache.read c (1, 3) ~fill:(fill_const 16));
-      Alcotest.(check bool) "b0 kept" true (Cache.contains c (1, 0));
-      Alcotest.(check bool) "b1 evicted" false (Cache.contains c (1, 1));
-      Alcotest.(check bool) "b2 kept" true (Cache.contains c (1, 2));
-      Alcotest.(check bool) "b3 present" true (Cache.contains c (1, 3)))
+      ignore (Cache.read c (k 1 3) ~fill:(fill_const 16));
+      Alcotest.(check bool) "b0 kept" true (Cache.contains c (k 1 0));
+      Alcotest.(check bool) "b1 evicted" false (Cache.contains c (k 1 1));
+      Alcotest.(check bool) "b2 kept" true (Cache.contains c (k 1 2));
+      Alcotest.(check bool) "b3 present" true (Cache.contains c (k 1 3)))
 
 let test_dirty_blocks_never_evicted_silently () =
   run_fs (fun s ->
       let sink, wb = make_sink s in
       let c = Cache.create ~writeback:wb s (demand_config 3) in
-      Cache.write c (1, 0) (Data.sim 16);
-      Cache.write c (1, 1) (Data.sim 16);
-      Cache.write c (1, 2) (Data.sim 16);
+      Cache.write c (k 1 0) (Data.sim 16);
+      Cache.write c (k 1 1) (Data.sim 16);
+      Cache.write c (k 1 2) (Data.sim 16);
       (* cache full of dirty; a read miss must force a flush, not drop *)
-      ignore (Cache.read c (2, 0) ~fill:(fill_const 16));
+      ignore (Cache.read c (k 2 0) ~fill:(fill_const 16));
       Sched.sleep s 0.01;
       Alcotest.(check bool) "flushed something" true (sink.blocks_written > 0))
 
@@ -103,14 +107,16 @@ let test_demand_flush_whole_file () =
         Cache.create ~writeback:wb s (demand_config ~scope:`Whole_file 4)
       in
       (* oldest dirty is file 7; file 7 has 3 dirty blocks *)
-      Cache.write c (7, 0) (Data.sim 16);
-      Cache.write c (7, 1) (Data.sim 16);
-      Cache.write c (7, 2) (Data.sim 16);
-      Cache.write c (9, 0) (Data.sim 16);
+      Cache.write c (k 7 0) (Data.sim 16);
+      Cache.write c (k 7 1) (Data.sim 16);
+      Cache.write c (k 7 2) (Data.sim 16);
+      Cache.write c (k 9 0) (Data.sim 16);
       (* full: next allocation flushes all of file 7 *)
-      ignore (Cache.read c (2, 0) ~fill:(fill_const 16));
+      ignore (Cache.read c (k 2 0) ~fill:(fill_const 16));
       Sched.sleep s 0.01;
-      let flushed_keys = List.concat sink.flushed |> List.map fst in
+      let flushed_keys =
+        List.concat sink.flushed |> List.map (fun (ino, idx, _) -> (ino, idx))
+      in
       Alcotest.(check int) "3 blocks of file 7" 3 (List.length flushed_keys);
       Alcotest.(check bool) "all of ino 7" true
         (List.for_all (fun (ino, _) -> ino = 7) flushed_keys))
@@ -121,13 +127,15 @@ let test_demand_flush_single_block () =
       let c =
         Cache.create ~writeback:wb s (demand_config ~scope:`Single_block 4)
       in
-      Cache.write c (7, 0) (Data.sim 16);
-      Cache.write c (7, 1) (Data.sim 16);
-      Cache.write c (7, 2) (Data.sim 16);
-      Cache.write c (9, 0) (Data.sim 16);
-      ignore (Cache.read c (2, 0) ~fill:(fill_const 16));
+      Cache.write c (k 7 0) (Data.sim 16);
+      Cache.write c (k 7 1) (Data.sim 16);
+      Cache.write c (k 7 2) (Data.sim 16);
+      Cache.write c (k 9 0) (Data.sim 16);
+      ignore (Cache.read c (k 2 0) ~fill:(fill_const 16));
       Sched.sleep s 0.01;
-      let flushed_keys = List.concat sink.flushed |> List.map fst in
+      let flushed_keys =
+        List.concat sink.flushed |> List.map (fun (ino, idx, _) -> (ino, idx))
+      in
       Alcotest.(check (list (pair int int))) "only the oldest block"
         [ (7, 0) ] flushed_keys)
 
@@ -136,7 +144,7 @@ let test_overwrite_absorption () =
       let sink, wb = make_sink s in
       let c = Cache.create ~writeback:wb s (demand_config 8) in
       for _ = 1 to 10 do
-        Cache.write c (1, 0) (Data.sim 16)
+        Cache.write c (k 1 0) (Data.sim 16)
       done;
       Cache.sync c;
       (* ten writes, one disk write: nine absorbed in memory *)
@@ -146,8 +154,8 @@ let test_delete_absorbs_writes () =
   run_fs (fun s ->
       let sink, wb = make_sink s in
       let c = Cache.create ~writeback:wb s (demand_config 8) in
-      Cache.write c (1, 0) (Data.sim 16);
-      Cache.write c (1, 1) (Data.sim 16);
+      Cache.write c (k 1 0) (Data.sim 16);
+      Cache.write c (k 1 1) (Data.sim 16);
       Cache.remove_file c 1;
       Cache.sync c;
       Alcotest.(check int) "nothing hit the disk" 0 sink.blocks_written;
@@ -158,12 +166,12 @@ let test_truncate_drops_tail () =
       let _, wb = make_sink s in
       let c = Cache.create ~writeback:wb s (demand_config 8) in
       for i = 0 to 3 do
-        Cache.write c (1, i) (Data.sim 16)
+        Cache.write c (k 1 i) (Data.sim 16)
       done;
       Cache.truncate c 1 ~from:2;
-      Alcotest.(check bool) "b1 kept" true (Cache.contains c (1, 1));
-      Alcotest.(check bool) "b2 dropped" false (Cache.contains c (1, 2));
-      Alcotest.(check bool) "b3 dropped" false (Cache.contains c (1, 3));
+      Alcotest.(check bool) "b1 kept" true (Cache.contains c (k 1 1));
+      Alcotest.(check bool) "b2 dropped" false (Cache.contains c (k 1 2));
+      Alcotest.(check bool) "b3 dropped" false (Cache.contains c (k 1 3));
       Alcotest.(check int) "two dirty remain" 2 (Cache.dirty_count c))
 
 let test_periodic_update_flushes_old_dirty () =
@@ -177,7 +185,7 @@ let test_periodic_update_flushes_old_dirty () =
         }
       in
       let c = Cache.create ~writeback:wb s cfg in
-      Cache.write c (1, 0) (Data.sim 16);
+      Cache.write c (k 1 0) (Data.sim 16);
       Sched.sleep s 20.;
       Alcotest.(check int) "still buffered at 20s" 0 sink.blocks_written;
       Sched.sleep s 20.;
@@ -188,7 +196,7 @@ let test_ups_keeps_dirty_indefinitely () =
   run_fs (fun s ->
       let sink, wb = make_sink s in
       let c = Cache.create ~writeback:wb s (demand_config 16) in
-      Cache.write c (1, 0) (Data.sim 16);
+      Cache.write c (k 1 0) (Data.sim 16);
       Sched.sleep s 3600.;
       (* demand-only: an hour passes, nothing is written *)
       Alcotest.(check int) "no writes in an hour" 0 sink.blocks_written;
@@ -202,12 +210,12 @@ let test_nvram_capacity_stalls_writer () =
           (demand_config ~nvram:2 ~scope:`Single_block 8)
       in
       let t0 = Sched.now s in
-      Cache.write c (1, 0) (Data.sim 16);
-      Cache.write c (1, 1) (Data.sim 16);
+      Cache.write c (k 1 0) (Data.sim 16);
+      Cache.write c (k 1 1) (Data.sim 16);
       Alcotest.(check (float 1e-9)) "first two writes instant" 0.
         (Sched.now s -. t0);
       (* third write: NVRAM full -> drain the oldest (10ms writeback) *)
-      Cache.write c (1, 2) (Data.sim 16);
+      Cache.write c (k 1 2) (Data.sim 16);
       let elapsed = Sched.now s -. t0 in
       if elapsed < 0.009 then
         Alcotest.failf "writer should stall for the drain, took %.4f" elapsed;
@@ -225,11 +233,11 @@ let test_nvram_whole_file_leaves_more_room () =
            let c = Cache.create ~writeback:wb s
                (demand_config ~nvram:4 ~scope 16) in
            for i = 0 to 3 do
-             Cache.write c (1, i) (Data.sim 16)
+             Cache.write c (k 1 i) (Data.sim 16)
            done;
            let t0 = Sched.now s in
            for i = 0 to 7 do
-             Cache.write c (2, i) (Data.sim 16)
+             Cache.write c (k 2 i) (Data.sim 16)
            done;
            total := Sched.now s -. t0));
     Sched.run s;
@@ -250,15 +258,15 @@ let test_concurrent_writes_same_clean_block_nvram () =
           (demand_config ~nvram:2 ~scope:`Single_block 8)
       in
       (* a clean shared block *)
-      ignore (Cache.read c (7, 0) ~fill:(fill_const 16));
+      ignore (Cache.read c (k 7 0) ~fill:(fill_const 16));
       (* fill the NVRAM so clean->dirty transitions stall *)
-      Cache.write c (1, 0) (Data.sim 16);
-      Cache.write c (1, 1) (Data.sim 16);
+      Cache.write c (k 1 0) (Data.sim 16);
+      Cache.write c (k 1 1) (Data.sim 16);
       let writers_done = ref 0 in
       for _ = 1 to 2 do
         ignore
           (Sched.spawn s (fun () ->
-               Cache.write c (7, 0) (Data.sim 16);
+               Cache.write c (k 7 0) (Data.sim 16);
                incr writers_done))
       done;
       Sched.sleep s 1.0;
@@ -272,7 +280,7 @@ let test_sync_leaves_cache_clean () =
       let sink, wb = make_sink ~delay:0.001 s in
       let c = Cache.create ~writeback:wb s (demand_config 32) in
       for i = 0 to 9 do
-        Cache.write c (i, 0) (Data.sim 16)
+        Cache.write c (k i 0) (Data.sim 16)
       done;
       Cache.sync c;
       Alcotest.(check int) "all written" 10 sink.blocks_written;
@@ -284,8 +292,8 @@ let test_flush_file_only_that_file () =
   run_fs (fun s ->
       let sink, wb = make_sink ~delay:0.001 s in
       let c = Cache.create ~writeback:wb s (demand_config 32) in
-      Cache.write c (1, 0) (Data.sim 16);
-      Cache.write c (2, 0) (Data.sim 16);
+      Cache.write c (k 1 0) (Data.sim 16);
+      Cache.write c (k 2 0) (Data.sim 16);
       Cache.flush_file c 1;
       Alcotest.(check int) "one block written" 1 sink.blocks_written;
       Alcotest.(check int) "file 2 still dirty" 1 (Cache.dirty_count c))
@@ -294,22 +302,23 @@ let test_write_during_flush_keeps_block_dirty () =
   run_fs (fun s ->
       let sink, wb = make_sink ~delay:0.010 s in
       let c = Cache.create ~writeback:wb s (demand_config 8) in
-      Cache.write c (1, 0) (Data.of_string "v1");
+      Cache.write c (k 1 0) (Data.of_string "v1");
       (* start a flush, then overwrite while the snapshot is in flight:
          the overwrite must not be lost *)
       ignore (Sched.spawn s (fun () -> Cache.flush_file c 1));
       Sched.sleep s 0.001;
-      Cache.write c (1, 0) (Data.of_string "v2");
+      Cache.write c (k 1 0) (Data.of_string "v2");
       Sched.sleep s 0.1;
       (* fsync re-flushes until stable: two writes, v2 written last *)
       Alcotest.(check int) "two writes reached disk" 2 sink.blocks_written;
       Alcotest.(check int) "stable" 0 (Cache.dirty_count c);
       (match sink.flushed with
       | last :: _ ->
+        let _, _, d = List.hd last in
         Alcotest.(check string) "newest contents persisted" "v2"
-          (Data.to_string (snd (List.hd last)))
+          (Data.to_string d)
       | [] -> Alcotest.fail "nothing flushed");
-      match Cache.peek c (1, 0) with
+      match Cache.peek c (k 1 0) with
       | Some d ->
         Alcotest.(check string) "cache keeps v2" "v2" (Data.to_string d)
       | None -> Alcotest.fail "block must still be cached")
@@ -328,7 +337,7 @@ let test_concurrent_misses_share_fill () =
       for _ = 1 to 5 do
         ignore
           (Sched.spawn s (fun () ->
-               ignore (Cache.read c (1, 0) ~fill);
+               ignore (Cache.read c (k 1 0) ~fill);
                incr done_count))
       done;
       Sched.sleep s 0.1;
@@ -345,11 +354,11 @@ let test_sync_flush_delays_allocator () =
       (Sched.spawn s (fun () ->
            let _, wb = make_sink ~delay:0.050 s in
            let c = Cache.create ~writeback:wb s (demand_config ~async 2) in
-           Cache.write c (1, 0) (Data.sim 16);
-           Cache.write c (1, 1) (Data.sim 16);
+           Cache.write c (k 1 0) (Data.sim 16);
+           Cache.write c (k 1 1) (Data.sim 16);
            let t0 = Sched.now s in
            (* miss forces eviction of a dirty block *)
-           ignore (Cache.read c (2, 0) ~fill:(fill_const 16));
+           ignore (Cache.read c (k 2 0) ~fill:(fill_const 16));
            elapsed := Sched.now s -. t0));
     Sched.run s;
     !elapsed
@@ -364,7 +373,7 @@ let test_mem_copy_rate_charges_time () =
       let cfg = { (demand_config 8) with Cache.mem_copy_rate = 1.0e6 } in
       let c = Cache.create ~writeback:wb s cfg in
       let t0 = Sched.now s in
-      Cache.write c (1, 0) (Data.sim 4096);
+      Cache.write c (k 1 0) (Data.sim 4096);
       let dt = Sched.now s -. t0 in
       (* 4096 bytes at 1 MB/s = ~4.1 ms *)
       Alcotest.(check (float 1e-6)) "copy cost" 0.004096 dt)
@@ -374,10 +383,10 @@ let test_stats_recorded () =
       let reg = Capfs_stats.Registry.create () in
       let _, wb = make_sink s in
       let c = Cache.create ~registry:reg ~writeback:wb s (demand_config 4) in
-      ignore (Cache.read c (1, 0) ~fill:(fill_const 16));
-      ignore (Cache.read c (1, 0) ~fill:(fill_const 16));
-      Cache.write c (1, 1) (Data.sim 16);
-      Cache.write c (1, 1) (Data.sim 16);
+      ignore (Cache.read c (k 1 0) ~fill:(fill_const 16));
+      ignore (Cache.read c (k 1 0) ~fill:(fill_const 16));
+      Cache.write c (k 1 1) (Data.sim 16);
+      Cache.write c (k 1 1) (Data.sim 16);
       Cache.remove_file c 1;
       let count name =
         match Capfs_stats.Registry.find reg ("cache." ^ name) with
@@ -391,28 +400,27 @@ let test_stats_recorded () =
 
 (* Replacement policies *)
 
-let mk_block key =
-  Block.make ~key ~data:(Data.sim 16) ~now:0.
+let mk_block ino idx =
+  Block.make ~key:(k ino idx) ~data:(Data.sim 16) ~now:0.
 
 let test_replacement_lru_basic () =
   let p = Replacement.lru () in
-  let b1 = mk_block (1, 1) and b2 = mk_block (1, 2) and b3 = mk_block (1, 3) in
+  let b1 = mk_block 1 1 and b2 = mk_block 1 2 and b3 = mk_block 1 3 in
   List.iter (Replacement.insert p) [ b1; b2; b3 ];
   Replacement.access p b1;
   (match Replacement.victim p with
-  | Some v -> Alcotest.(check (pair int int)) "b2 is victim" (1, 2) v.Block.key
+  | Some v -> Alcotest.(check key_t) "b2 is victim" (k 1 2) v.Block.key
   | None -> Alcotest.fail "victim expected");
   Alcotest.(check int) "two left" 2 (Replacement.count p)
 
 let test_replacement_skips_pinned () =
   let p = Replacement.lru () in
-  let b1 = mk_block (1, 1) and b2 = mk_block (1, 2) in
+  let b1 = mk_block 1 1 and b2 = mk_block 1 2 in
   Replacement.insert p b1;
   Replacement.insert p b2;
   Block.pin b1;
   (match Replacement.victim p with
-  | Some v -> Alcotest.(check (pair int int)) "pinned skipped" (1, 2)
-                v.Block.key
+  | Some v -> Alcotest.(check key_t) "pinned skipped" (k 1 2) v.Block.key
   | None -> Alcotest.fail "victim expected");
   (match Replacement.victim p with
   | Some _ -> Alcotest.fail "only pinned block left"
@@ -421,19 +429,19 @@ let test_replacement_skips_pinned () =
 
 let test_replacement_lfu_prefers_cold () =
   let p = Replacement.lfu () in
-  let hot = mk_block (1, 1) and cold = mk_block (1, 2) in
+  let hot = mk_block 1 1 and cold = mk_block 1 2 in
   hot.Block.access_count <- 10;
   cold.Block.access_count <- 1;
   Replacement.insert p hot;
   Replacement.insert p cold;
   match Replacement.victim p with
-  | Some v -> Alcotest.(check (pair int int)) "cold victim" (1, 2) v.Block.key
+  | Some v -> Alcotest.(check key_t) "cold victim" (k 1 2) v.Block.key
   | None -> Alcotest.fail "victim expected"
 
 let test_replacement_random_deterministic () =
   let run seed =
     let p = Replacement.random ~seed in
-    let blocks = List.init 10 (fun i -> mk_block (1, i)) in
+    let blocks = List.init 10 (fun i -> mk_block 1 i) in
     List.iter (Replacement.insert p) blocks;
     let rec drain acc =
       match Replacement.victim p with
@@ -442,24 +450,24 @@ let test_replacement_random_deterministic () =
     in
     drain []
   in
-  Alcotest.(check (list (pair int int))) "same seed same order" (run 3) (run 3)
+  Alcotest.(check (list key_t)) "same seed same order" (run 3) (run 3)
 
 let test_replacement_slru_promotes () =
   let p = Replacement.slru ~protected_capacity:2 in
-  let b1 = mk_block (1, 1) and b2 = mk_block (1, 2) and b3 = mk_block (1, 3) in
+  let b1 = mk_block 1 1 and b2 = mk_block 1 2 and b3 = mk_block 1 3 in
   List.iter (Replacement.insert p) [ b1; b2; b3 ];
   (* b1 promoted to protected; victims come from probation first *)
   Replacement.access p b1;
   (match Replacement.victim p with
   | Some v ->
-    if v.Block.key = (1, 1) then
+    if Block.Key.equal v.Block.key (k 1 1) then
       Alcotest.fail "protected block evicted before probation"
   | None -> Alcotest.fail "victim expected");
   Alcotest.(check int) "two left" 2 (Replacement.count p)
 
 let test_replacement_lru_k_prefers_single_access () =
   let p = Replacement.lru_k ~k:2 in
-  let once = mk_block (1, 1) and twice = mk_block (1, 2) in
+  let once = mk_block 1 1 and twice = mk_block 1 2 in
   once.Block.last_access <- 1.;
   Replacement.insert p once;
   twice.Block.last_access <- 2.;
@@ -468,8 +476,7 @@ let test_replacement_lru_k_prefers_single_access () =
   Replacement.access p twice;
   (* [once] has no 2nd reference: preferred victim *)
   match Replacement.victim p with
-  | Some v -> Alcotest.(check (pair int int)) "once-accessed evicted" (1, 1)
-                v.Block.key
+  | Some v -> Alcotest.(check key_t) "once-accessed evicted" (k 1 1) v.Block.key
   | None -> Alcotest.fail "victim expected"
 
 let test_replacement_by_name () =
@@ -480,6 +487,58 @@ let test_replacement_by_name () =
     ignore (Replacement.by_name "clock-pro");
     Alcotest.fail "unknown policy must raise"
   with Invalid_argument _ -> ()
+
+(* Packed key representation: pack/unpack round-trips across the whole
+   legal range, and the smart constructor rejects out-of-range input. *)
+
+let test_key_roundtrip_boundaries () =
+  let cases =
+    [
+      (0, 0);
+      (0, Block.Key.max_index);
+      (Block.Key.max_ino, 0);
+      (Block.Key.max_ino, Block.Key.max_index);
+      (1, 1);
+      (12345, 678);
+    ]
+  in
+  List.iter
+    (fun (ino, idx) ->
+      let key = k ino idx in
+      Alcotest.(check int) "ino round-trips" ino (Block.Key.ino key);
+      Alcotest.(check int) "index round-trips" idx (Block.Key.index key))
+    cases
+
+let test_key_rejects_out_of_range () =
+  let expect_invalid name f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s must raise Invalid_argument" name
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "negative ino" (fun () -> k (-1) 0);
+  expect_invalid "negative index" (fun () -> k 0 (-1));
+  expect_invalid "ino overflow" (fun () -> k (Block.Key.max_ino + 1) 0);
+  expect_invalid "index overflow" (fun () -> k 0 (Block.Key.max_index + 1))
+
+let prop_key_roundtrip =
+  QCheck.Test.make ~name:"key pack/unpack round-trips" ~count:500
+    QCheck.(
+      pair (int_range 0 Block.Key.max_ino) (int_range 0 Block.Key.max_index))
+    (fun (ino, idx) ->
+      let key = k ino idx in
+      Block.Key.ino key = ino && Block.Key.index key = idx)
+
+let prop_key_injective =
+  QCheck.Test.make ~name:"distinct (ino,index) pack to distinct keys"
+    ~count:500
+    QCheck.(
+      pair
+        (pair (int_range 0 1_000_000) (int_range 0 Block.Key.max_index))
+        (pair (int_range 0 1_000_000) (int_range 0 Block.Key.max_index)))
+    (fun ((a_ino, a_idx), (b_ino, b_idx)) ->
+      let ka = k a_ino a_idx and kb = k b_ino b_idx in
+      Block.Key.equal ka kb = (a_ino = b_ino && a_idx = b_idx))
 
 (* Property: the cache never exceeds its configured frames, and every
    operation sequence leaves hit+miss accounting consistent. *)
@@ -498,8 +557,8 @@ let prop_cache_capacity_respected =
              let c = Cache.create ~writeback:wb s (demand_config ~nvram:2 4) in
              List.iter
                (fun (ino, (idx, is_write)) ->
-                 if is_write then Cache.write c (ino, idx) (Data.sim 16)
-                 else ignore (Cache.read c (ino, idx) ~fill:(fill_const 16));
+                 if is_write then Cache.write c (k ino idx) (Data.sim 16)
+                 else ignore (Cache.read c (k ino idx) ~fill:(fill_const 16));
                  if Cache.block_count c > 4 + 2 then ok := false)
                ops));
       Sched.run s;
@@ -518,7 +577,7 @@ let prop_sync_always_cleans =
              let _, wb = make_sink s in
              let c = Cache.create ~writeback:wb s (demand_config 16) in
              List.iter
-               (fun (ino, idx) -> Cache.write c (ino, idx) (Data.sim 16))
+               (fun (ino, idx) -> Cache.write c (k ino idx) (Data.sim 16))
                writes;
              Cache.sync c;
              clean := Cache.dirty_count c = 0));
@@ -527,7 +586,12 @@ let prop_sync_always_cleans =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_cache_capacity_respected; prop_sync_always_cleans ]
+    [
+      prop_key_roundtrip;
+      prop_key_injective;
+      prop_cache_capacity_respected;
+      prop_sync_always_cleans;
+    ]
 
 let suite =
   [
@@ -565,6 +629,10 @@ let suite =
     Alcotest.test_case "mem copy rate charges time" `Quick
       test_mem_copy_rate_charges_time;
     Alcotest.test_case "stats recorded" `Quick test_stats_recorded;
+    Alcotest.test_case "key round-trips at boundaries" `Quick
+      test_key_roundtrip_boundaries;
+    Alcotest.test_case "key rejects out-of-range" `Quick
+      test_key_rejects_out_of_range;
     Alcotest.test_case "replacement lru basic" `Quick test_replacement_lru_basic;
     Alcotest.test_case "replacement skips pinned" `Quick
       test_replacement_skips_pinned;

@@ -243,6 +243,43 @@ let test_adopted_files_cost_disk_reads () =
   in
   if misses = 0 then Alcotest.fail "pre-existing file should miss the cache"
 
+let test_clean_trace_replays_without_errors () =
+  (* a well-formed trace — every path created before use — must replay
+     with zero errors and an empty per-kind breakdown *)
+  let mk time op = { Record.time; client = 1; op } in
+  let path = "/d0/fresh" in
+  let trace =
+    [|
+      mk 0.1 (Record.Open { path; mode = Record.Write_only });
+      mk Record.no_time (Record.Write { path; offset = 0; bytes = 4096 });
+      mk Record.no_time (Record.Write { path; offset = 4096; bytes = 4096 });
+      mk 0.5 (Record.Close { path });
+      mk 0.6 (Record.Open { path; mode = Record.Read_only });
+      mk Record.no_time (Record.Read { path; offset = 0; bytes = 8192 });
+      mk 0.9 (Record.Close { path });
+      mk 1.0 (Record.Stat { path });
+      mk 1.1 (Record.Delete { path });
+    |]
+  in
+  let o = run_replay trace in
+  Alcotest.(check int) "zero errors" 0 o.Experiment.replay.Replay.errors;
+  Alcotest.(check (list (pair string int))) "no error kinds" []
+    o.Experiment.replay.Replay.errors_by_kind
+
+let test_errors_by_kind_sums_to_errors () =
+  let o = run_replay (small_trace ()) in
+  let total =
+    List.fold_left
+      (fun n (_, c) -> n + c)
+      0 o.Experiment.replay.Replay.errors_by_kind
+  in
+  Alcotest.(check int) "kinds account for every error"
+    o.Experiment.replay.Replay.errors total;
+  List.iter
+    (fun (kind, c) ->
+      if c <= 0 then Alcotest.failf "kind %s reported with count %d" kind c)
+    o.Experiment.replay.Replay.errors_by_kind
+
 (* Fleet: the parallel experiment runner *)
 
 module Fleet = Capfs_patsy.Fleet
@@ -360,6 +397,10 @@ let suite =
     Alcotest.test_case "multiplex routes by ino" `Quick
       test_multiplex_routes_by_ino;
     Alcotest.test_case "report cdf monotone" `Quick test_report_cdf_is_monotone;
+    Alcotest.test_case "clean trace zero errors" `Quick
+      test_clean_trace_replays_without_errors;
+    Alcotest.test_case "errors_by_kind sums" `Quick
+      test_errors_by_kind_sums_to_errors;
     Alcotest.test_case "adopted files cost reads" `Quick
       test_adopted_files_cost_disk_reads;
     Alcotest.test_case "fleet parallel == sequential" `Quick

@@ -207,6 +207,30 @@ let test_fifo_policy_order () =
   Sched.run s;
   Alcotest.(check string) "fifo order" "abc" (Buffer.contents order)
 
+let test_fifo_ring_wraparound () =
+  (* Many fibres yielding repeatedly force the run queue's circular
+     buffer to wrap its head pointer many times past the physical end;
+     FIFO round-robin order must survive every wrap. *)
+  let fibres = 13 and rounds = 7 in
+  let s = vsched ~policy:`Fifo () in
+  let order = ref [] in
+  for i = 0 to fibres - 1 do
+    ignore
+      (Sched.spawn s (fun () ->
+           for _ = 1 to rounds do
+             order := i :: !order;
+             Sched.yield s
+           done))
+  done;
+  Sched.run s;
+  let got = List.rev !order in
+  let expected =
+    List.concat_map
+      (fun _ -> List.init fibres (fun i -> i))
+      (List.init rounds (fun r -> r))
+  in
+  Alcotest.(check (list int)) "round-robin across wraps" expected got
+
 let test_random_policy_deterministic_by_seed () =
   let trace seed =
     let s = Sched.create ~seed ~clock:`Virtual () in
@@ -521,6 +545,7 @@ let suite =
     Alcotest.test_case "run until horizon" `Quick test_run_until_horizon;
     Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
     Alcotest.test_case "fifo policy order" `Quick test_fifo_policy_order;
+    Alcotest.test_case "fifo ring wraparound" `Quick test_fifo_ring_wraparound;
     Alcotest.test_case "random policy deterministic" `Quick
       test_random_policy_deterministic_by_seed;
     Alcotest.test_case "real clock sleeps" `Quick test_real_clock_sleeps;

@@ -236,6 +236,45 @@ let test_registry_report_zero_observation () =
     "~all:true includes the idle stat" true
     (contains full "disk.idle: (no observations)")
 
+let test_counter_handles () =
+  let r = Registry.create () in
+  Registry.register r (Stat.scalar "disk.seek");
+  Registry.register r (Stat.scalar "cache.hits");
+  let seek = Registry.counter r "disk.seek" in
+  let hits = Registry.counter r "cache.hits" in
+  Counter.record seek 4.;
+  Counter.incr hits;
+  Alcotest.(check int) "handle records" 1 (Stat.count (Counter.stat seek));
+  (* set_enabled by prefix must reach already-resolved handles *)
+  Registry.set_enabled r ~prefix:"disk." false;
+  Counter.record seek 100.;
+  Alcotest.(check int) "disabled handle drops" 1
+    (Stat.count (Counter.stat seek));
+  Counter.incr hits;
+  Alcotest.(check int) "other prefix unaffected" 2
+    (Stat.count (Counter.stat hits));
+  Registry.set_enabled r ~prefix:"disk." true;
+  Counter.record seek 5.;
+  Alcotest.(check int) "re-enabled handle records" 2
+    (Stat.count (Counter.stat seek));
+  (* the null counter never records and never fails *)
+  Counter.record Counter.null 1.;
+  Counter.incr Counter.null;
+  Alcotest.(check bool) "null disabled" false (Counter.is_enabled Counter.null);
+  try
+    ignore (Registry.counter r "no.such.stat");
+    Alcotest.fail "unknown counter name must raise"
+  with Invalid_argument _ -> ()
+
+let test_registry_iter () =
+  let r = Registry.create () in
+  Registry.register r (Stat.scalar "b");
+  Registry.register r (Stat.scalar "a");
+  let names = ref [] in
+  Registry.iter r (fun st -> names := Stat.name st :: !names);
+  Alcotest.(check (list string)) "iter in sorted order" [ "a"; "b" ]
+    (List.rev !names)
+
 (* Interval *)
 
 let test_interval_windows () =
@@ -339,6 +378,8 @@ let suite =
     Alcotest.test_case "registry" `Quick test_registry;
     Alcotest.test_case "registry report zero-observation" `Quick
       test_registry_report_zero_observation;
+    Alcotest.test_case "counter handles" `Quick test_counter_handles;
+    Alcotest.test_case "registry iter sorted" `Quick test_registry_iter;
     Alcotest.test_case "interval windows" `Quick test_interval_windows;
     Alcotest.test_case "interval late observation" `Quick
       test_interval_late_observation;
