@@ -637,7 +637,9 @@ let result_json (r : Fleet.job_result) =
       common
       @ [
           ("ok", "false");
-          ("error", Printf.sprintf "%S" (json_escape (Printexc.to_string e)));
+          ( "error",
+            Printf.sprintf "%S"
+              (json_escape (Format.asprintf "%a" Fleet.pp_failure e)) );
         ]
     | Ok o ->
       let ops = o.Experiment.replay.Replay.operations in
@@ -740,8 +742,8 @@ let perfsmoke ~jobs ~duration =
            else 0.)
           (if ops > 0 then r.Fleet.minor_words /. float_of_int ops else 0.)
       | Error e ->
-        Format.printf "  %-28s FAILED: %s@." r.Fleet.job.Fleet.label
-          (Printexc.to_string e))
+        Format.printf "  %-28s FAILED: %a@." r.Fleet.job.Fleet.label
+          Fleet.pp_failure e)
     results;
   (* the line CI parses: *)
   Format.printf "perfsmoke_total_ops_per_s %.0f@."

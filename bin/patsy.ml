@@ -8,6 +8,9 @@
 module Experiment = Capfs_patsy.Experiment
 module Fleet = Capfs_patsy.Fleet
 module Report = Capfs_patsy.Report
+module Crash = Capfs_patsy.Crash
+module Plan = Capfs_fault.Plan
+module Lfs = Capfs_layout.Lfs
 
 let setup_logs level =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -52,11 +55,59 @@ let print_one ~trace ~show_cdf ~show_windows ~show_stats outcome =
     Format.printf "@."
   end
 
+(* Crash-recovery mode (--crash-at): one experiment, killed mid-run,
+   recovered with Lfs.recover and checked against the shadow model. *)
+let run_crash ~config ~records plan =
+  let report = Crash.run ~config ~trace:records plan in
+  Format.printf "# crash: power cut at t=%g, %d ops applied before the cut@."
+    report.Crash.crash_time report.Crash.applied_ops;
+  List.iter
+    (fun (name, r) ->
+      Format.printf
+        "  %s: checkpoint seq %d, rolled %d segment(s) forward, %d live \
+         inode(s)%s@."
+        name r.Lfs.r_checkpoint_seq r.Lfs.r_rolled_segments
+        r.Lfs.r_recovered_inodes
+        (match r.Lfs.r_fsck_errors with
+        | [] -> ""
+        | errs -> Printf.sprintf ", %d fsck error(s)" (List.length errs)))
+    report.Crash.recoveries;
+  List.iter
+    (fun (name, e) ->
+      Format.printf "  %s: RECOVERY FAILED (%s)@." name
+        (Capfs_core.Errno.to_string e))
+    report.Crash.failed_volumes;
+  Format.printf "# shadow model: %d durable-floor entr(ies)%s, %d violation(s)@."
+    report.Crash.floor_size
+    (if report.Crash.floor_synced then ""
+     else " — floor sync did not complete before the crash")
+    (List.length report.Crash.violations);
+  List.iter
+    (fun v -> Format.printf "  violation: %a@." Crash.pp_violation v)
+    report.Crash.violations;
+  Format.printf "# verdict: %s@."
+    (if report.Crash.ok then "CONSISTENT" else "INCONSISTENT");
+  if report.Crash.ok then 0 else 1
+
 let run_main trace format policy duration seed parallel_jobs disks buses
-    cache_mb nvram_mb iosched replacement cleaner sync_flush trace_out
-    trace_buffer show_cdf show_windows show_stats log_level =
+    cache_mb nvram_mb iosched replacement cleaner sync_flush fault_plan
+    crash_at trace_out trace_buffer show_cdf show_windows show_stats
+    log_level =
   setup_logs log_level;
   let policies = policies_of_arg policy in
+  let plan =
+    match fault_plan with
+    | None -> Plan.empty
+    | Some spec -> (
+      match Plan.of_string spec with
+      | Ok p -> p
+      | Error msg -> invalid_arg ("--fault-plan: " ^ msg))
+  in
+  let plan =
+    match crash_at with
+    | None -> plan
+    | Some t -> { plan with Plan.crash_at = Some t }
+  in
   let config policy =
     {
       (Experiment.default policy) with
@@ -74,11 +125,15 @@ let run_main trace format policy duration seed parallel_jobs disks buses
       async_flush = not sync_flush;
       seed;
       trace_buffer = (if trace_out = None then 0 else trace_buffer);
+      fault_plan = (if Plan.is_empty plan then None else Some plan);
     }
   in
   (* load once here for the record count; the trace array is immutable,
      so the fleet workers can share it *)
   let records = load_trace ~trace ~format ~seed ~duration in
+  if plan.Plan.crash_at <> None then
+    run_crash ~config:(config (List.hd policies)) ~records plan
+  else begin
   Format.printf "# patsy: trace=%s policies=%s records=%d jobs=%d@." trace
     (String.concat ","
        (List.map Experiment.policy_name policies))
@@ -88,24 +143,25 @@ let run_main trace format policy duration seed parallel_jobs disks buses
       ~gen:(fun _ -> records)
       (List.map (fun p -> (trace, p)) policies)
   in
-  (match Fleet.failures results with
-  | [] -> ()
-  | (job, e) :: _ ->
-    Format.eprintf "patsy: experiment %s failed: %s@." job.Fleet.label
-      (Printexc.to_string e);
-    raise e);
-  List.iter
-    (fun r ->
-      print_one ~trace ~show_cdf ~show_windows ~show_stats
-        (Fleet.outcome_exn r))
-    results;
-  (match trace_out with
-  | None -> ()
-  | Some path ->
-    let stream = Fleet.merged_events results in
-    Capfs_obs.Export.to_file path stream;
-    Format.printf "# wrote %d trace events to %s@." (List.length stream) path);
-  0
+  match Fleet.failures results with
+  | (job, f) :: _ ->
+    Format.eprintf "patsy: experiment %s %a@." job.Fleet.label Fleet.pp_failure
+      f;
+    1
+  | [] ->
+    List.iter
+      (fun r ->
+        print_one ~trace ~show_cdf ~show_windows ~show_stats
+          (Fleet.outcome_exn r))
+      results;
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      let stream = Fleet.merged_events results in
+      Capfs_obs.Export.to_file path stream;
+      Format.printf "# wrote %d trace events to %s@." (List.length stream) path);
+    0
+  end
 
 open Cmdliner
 
@@ -168,6 +224,27 @@ let sync_flush =
            ~doc:"Flush synchronously from the allocating thread (the \
                  pre-lesson behaviour of §5.2).")
 
+let fault_plan =
+  Arg.(value & opt (some string) None
+       & info [ "fault-plan" ] ~docv:"PLAN"
+           ~doc:"Deterministic disk-fault schedule, as comma-separated \
+                 key=value pairs: read_error=P and write_error=P \
+                 (per-request transient failure probabilities), latent=P \
+                 (latent-sector-error density), stall_p=P and stall_s=S \
+                 (whole-disk stall probability and duration), crash_at=T \
+                 (power cut at virtual time T), seed=N (fault PRNG seed; \
+                 defaults to --seed). Same plan + same seed = same fault \
+                 schedule, at any -j.")
+
+let crash_at =
+  Arg.(value & opt (some float) None
+       & info [ "crash-at" ] ~docv:"T"
+           ~doc:"Kill the replay by power cut at virtual time $(docv), \
+                 then recover every volume (checkpoint + roll-forward + \
+                 fsck) and verify the namespace against the shadow \
+                 model. Shorthand for crash_at=T in --fault-plan; exits \
+                 non-zero if recovery or the consistency check fails.")
+
 let trace_out =
   Arg.(value & opt (some string) None
        & info [ "trace-out" ] ~docv:"FILE"
@@ -206,7 +283,8 @@ let cmd =
     Term.(
       const run_main $ trace $ format $ policy $ duration $ seed
       $ parallel_jobs $ disks $ buses $ cache_mb $ nvram_mb $ iosched
-      $ replacement $ cleaner $ sync_flush $ trace_out $ trace_buffer
-      $ show_cdf $ show_windows $ show_stats $ log_level)
+      $ replacement $ cleaner $ sync_flush $ fault_plan $ crash_at
+      $ trace_out $ trace_buffer $ show_cdf $ show_windows $ show_stats
+      $ log_level)
 
 let () = exit (Cmd.eval' cmd)

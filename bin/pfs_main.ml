@@ -23,7 +23,7 @@ let exec_command t line =
   match words with
   | [] -> ()
   | [ "help" ] -> print_endline help_text
-  | [ "mkdir"; p ] -> Client.mkdir client p
+  | [ "mkdir"; p ] -> Client.mkdir_exn client p
   | [ "ls"; p ] ->
     List.iter
       (fun e ->
@@ -34,21 +34,21 @@ let exec_command t line =
           | Capfs_layout.Inode.Multimedia -> 'm'
           | Capfs_layout.Inode.Regular -> '-')
           e.Capfs.Dir.name)
-      (Client.readdir client p)
+      (Client.readdir_exn client p)
   | "write" :: p :: rest ->
     let text = String.concat " " rest in
-    Client.write client ~client:0 p ~offset:0 (Data.of_string text);
-    Client.truncate client p ~size:(String.length text)
+    Client.write_exn client ~client:0 p ~offset:0 (Data.of_string text);
+    Client.truncate_exn client p ~size:(String.length text)
   | [ "cat"; p ] ->
-    let st = Client.stat client p in
-    let d = Client.read client ~client:0 p ~offset:0 ~bytes:st.Client.st_size in
+    let st = Client.stat_exn client p in
+    let d = Client.read_exn client ~client:0 p ~offset:0 ~bytes:st.Client.st_size in
     print_endline (Data.to_string d)
-  | [ "rm"; p ] -> Client.delete client p
-  | [ "rmdir"; p ] -> Client.rmdir client p
-  | [ "mv"; a; b ] -> Client.rename client ~src:a ~dst:b
-  | [ "ln"; target; link ] -> Client.symlink client ~target link
+  | [ "rm"; p ] -> Client.delete_exn client p
+  | [ "rmdir"; p ] -> Client.rmdir_exn client p
+  | [ "mv"; a; b ] -> Client.rename_exn client ~src:a ~dst:b
+  | [ "ln"; target; link ] -> Client.symlink_exn client ~target link
   | [ "stat"; p ] ->
-    let st = Client.stat client p in
+    let st = Client.stat_exn client p in
     Printf.printf "ino=%d size=%d nlink=%d mtime=%.3f\n" st.Client.st_ino
       st.Client.st_size st.Client.st_nlink st.Client.st_mtime
   | [ "statfs" ] ->
@@ -58,21 +58,16 @@ let exec_command t line =
       layout.Capfs_layout.Layout.l_name
       layout.Capfs_layout.Layout.total_blocks
       (layout.Capfs_layout.Layout.free_blocks ())
-  | [ "sync" ] -> Client.sync client
+  | [ "sync" ] -> Client.sync_exn client
   | cmd :: _ -> Printf.printf "unknown command %S (try help)\n" cmd
 
 let run_line t line =
   ignore
     (Sched.spawn t.Pfs.sched (fun () ->
-         try exec_command t line with
-         | Capfs.Namespace.Not_found_path p ->
-           Printf.printf "no such path: %s\n" p
-         | Capfs.Namespace.Already_exists p -> Printf.printf "exists: %s\n" p
-         | Capfs.Namespace.Not_a_directory p ->
-           Printf.printf "not a directory: %s\n" p
-         | Capfs.Namespace.Is_a_directory p ->
-           Printf.printf "is a directory: %s\n" p
-         | Capfs.Namespace.Not_empty p -> Printf.printf "not empty: %s\n" p));
+         (* every failure mode is one typed errno now *)
+         try exec_command t line
+         with Capfs_core.Errno.Error e ->
+           Printf.printf "error: %s\n" (Capfs_core.Errno.to_string e)));
   Sched.run t.Pfs.sched
 
 let main image size_mb commands =

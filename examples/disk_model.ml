@@ -41,7 +41,7 @@ let run_workload ~model ~iosched ~sequential n =
            ignore
              (Sched.spawn sched (fun () ->
                   let t0 = Sched.now sched in
-                  ignore (Driver.read driver ~lba ~sectors:8);
+                  ignore (Driver.read_exn driver ~lba ~sectors:8);
                   total := !total +. (Sched.now sched -. t0);
                   decr pending;
                   if !pending = 0 then Sched.signal sched done_ev));

@@ -31,10 +31,10 @@ let frame_budget = 0.100 (* a chunk every 100 ms: a ~1.3 Mbit/s MPEG-1 stream *)
 let stream sched client path =
   let stalls = ref 0 and worst = ref 0. and total = ref 0. in
   let chunks = media_bytes / chunk in
-  Client.open_ client ~client:1 path Client.RO;
+  Client.open_exn client ~client:1 path Client.RO;
   for i = 0 to chunks - 1 do
     let t0 = Sched.now sched in
-    ignore (Client.read client ~client:1 path ~offset:(i * chunk) ~bytes:chunk);
+    ignore (Client.read_exn client ~client:1 path ~offset:(i * chunk) ~bytes:chunk);
     let dt = Sched.now sched -. t0 in
     total := !total +. dt;
     if dt > frame_budget then incr stalls;
@@ -43,7 +43,7 @@ let stream sched client path =
     let left = frame_budget -. dt in
     if left > 0. then Sched.sleep sched left
   done;
-  Client.close_ client ~client:1 path;
+  Client.close_exn client ~client:1 path;
   (!stalls, !worst, !total /. float_of_int chunks)
 
 let () =
@@ -69,24 +69,24 @@ let () =
          (* write both media files, flush, and push them out of cache *)
          List.iter
            (fun (kind, path) ->
-             Client.create_file client ~kind path;
-             Client.open_ client ~client:1 path Client.WO;
+             Client.create_file_exn client ~kind path;
+             Client.open_exn client ~client:1 path Client.WO;
              let step = 64 * 1024 in
              for i = 0 to (media_bytes / step) - 1 do
-               Client.write client ~client:1 path ~offset:(i * step)
+               Client.write_exn client ~client:1 path ~offset:(i * step)
                  (Data.sim step)
              done;
-             Client.close_ client ~client:1 path;
-             Client.fsync client path)
+             Client.close_exn client ~client:1 path;
+             Client.fsync_exn client path)
            [ (Inode.Regular, "/plain.dat"); (Inode.Multimedia, "/movie.dat") ];
          (* evict: the cache only holds 512 KB; a scan of junk clears it *)
-         Client.open_ client ~client:1 "/junk" Client.WO;
-         Client.write client ~client:1 "/junk" ~offset:0
+         Client.open_exn client ~client:1 "/junk" Client.WO;
+         Client.write_exn client ~client:1 "/junk" ~offset:0
            (Data.sim (1024 * 1024));
-         Client.fsync client "/junk";
+         Client.fsync_exn client "/junk";
          (* an antagonist keeps the disk queue busy with random reads *)
          let noise_bytes = 64 * 1024 * 1024 in
-         Client.synthesize_file client "/noise.db" ~size:noise_bytes;
+         Client.synthesize_file_exn client "/noise.db" ~size:noise_bytes;
          let antagonist_on = ref true in
          let prng = Capfs_stats.Prng.create ~seed:11 in
          ignore
@@ -94,7 +94,7 @@ let () =
                 while !antagonist_on do
                   let block = Capfs_stats.Prng.int prng (noise_bytes / 4096) in
                   ignore
-                    (Client.read client ~client:2 "/noise.db"
+                    (Client.read_exn client ~client:2 "/noise.db"
                        ~offset:(block * 4096) ~bytes:4096);
                   Sched.sleep sched 0.025
                 done));

@@ -43,26 +43,26 @@ let () =
          in
          let client = Client.create fs in
          (* 5. use it *)
-         Client.mkdir client "/home";
-         Client.mkdir client "/home/alice";
-         Client.open_ client ~client:1 "/home/alice/notes.txt" Client.WO;
-         Client.write client ~client:1 "/home/alice/notes.txt" ~offset:0
+         Client.mkdir_exn client "/home";
+         Client.mkdir_exn client "/home/alice";
+         Client.open_exn client ~client:1 "/home/alice/notes.txt" Client.WO;
+         Client.write_exn client ~client:1 "/home/alice/notes.txt" ~offset:0
            (Data.of_string "cut-and-paste file systems!\n");
-         Client.close_ client ~client:1 "/home/alice/notes.txt";
-         Client.symlink client ~target:"/home/alice" "/home/a";
+         Client.close_exn client ~client:1 "/home/alice/notes.txt";
+         Client.symlink_exn client ~target:"/home/alice" "/home/a";
          let via_link =
-           Client.read client ~client:1 "/home/a/notes.txt" ~offset:0 ~bytes:64
+           Client.read_exn client ~client:1 "/home/a/notes.txt" ~offset:0 ~bytes:64
          in
          Format.printf "read back: %s" (Data.to_string via_link);
          Format.printf "directory of /home:@.";
          List.iter
            (fun e -> Format.printf "  %s@." e.Capfs.Dir.name)
-           (Client.readdir client "/home");
-         let st = Client.stat client "/home/alice/notes.txt" in
+           (Client.readdir_exn client "/home");
+         let st = Client.stat_exn client "/home/alice/notes.txt" in
          Format.printf "notes.txt: ino=%d size=%d@." st.Client.st_ino
            st.Client.st_size;
          (* everything to stable storage, then show what the run cost *)
-         Client.sync client;
+         Client.sync_exn client;
          Format.printf "layout after sync:@.";
          List.iter
            (fun (k, v) -> Format.printf "  %-24s %.0f@." k v)

@@ -116,9 +116,9 @@ let rpc_open t ~client_id path mode =
   Netlink.transfer t.net ~bytes:(String.length path);
   Counter.record t.c_opens 1.;
   (match mode with
-  | Read -> Client.open_ t.fs_client ~client:client_id path Client.RO
-  | Write -> Client.open_ t.fs_client ~client:client_id path Client.WO);
-  let st_info = Client.stat t.fs_client path in
+  | Read -> Client.open_exn t.fs_client ~client:client_id path Client.RO
+  | Write -> Client.open_exn t.fs_client ~client:client_id path Client.WO);
+  let st_info = Client.stat_exn t.fs_client path in
   let ino = st_info.Client.st_ino in
   let st = fstate t ino in
   (* someone else may hold dirty blocks for what we are about to read *)
@@ -139,7 +139,7 @@ let rpc_open t ~client_id path mode =
     g_ino = ino;
     g_version = st.version;
     g_cacheable = st.cacheable;
-    g_size = (Client.stat t.fs_client path).Client.st_size;
+    g_size = (Client.stat_exn t.fs_client path).Client.st_size;
   }
 
 let remove_one x xs =

@@ -1,7 +1,6 @@
 module Inode = Capfs_layout.Inode
 module Data = Capfs_disk.Data
-
-exception Bad_handle of string
+module Errno = Capfs_core.Errno
 
 type stat = {
   st_ino : int;
@@ -49,9 +48,26 @@ let file_of_ino t ino =
 
 let file_of_path t path = file_of_ino t (Namespace.resolve t.ns path)
 
+(* {2 The exception-to-errno boundary}
+
+   Bodies below raise ([Namespace] exceptions from path walking,
+   [Errno.Error] escalated from layouts and drivers); [trap] is where
+   every public operation converts that into a typed result. Anything
+   it does not recognise is a programming error and propagates. *)
+
+let trap f =
+  try Ok (f ()) with
+  | Namespace.Not_found_path _ -> Error Errno.ENOENT
+  | Namespace.Already_exists _ -> Error Errno.EEXIST
+  | Namespace.Not_a_directory _ -> Error Errno.ENOTDIR
+  | Namespace.Is_a_directory _ -> Error Errno.EISDIR
+  | Namespace.Not_empty _ -> Error Errno.ENOTEMPTY
+  | Namespace.Symlink_loop _ -> Error Errno.ELOOP
+  | Errno.Error e -> Error e
+
 (* {2 Namespace operations} *)
 
-let mkdir t path =
+let mkdir_x t path =
   let path = Namespace.normalize path in
   let parent, name = Namespace.split_parent t.ns path in
   let dir = File_table.create_file t.ftable ~kind:Inode.Directory in
@@ -61,13 +77,13 @@ let mkdir t path =
   Namespace.add_entry t.ns ~parent ~name ~ino:(File.ino dir)
     ~kind:Inode.Directory
 
-let create_file t ?(kind = Inode.Regular) path =
+let create_file_x t ?(kind = Inode.Regular) path =
   let path = Namespace.normalize path in
   let parent, name = Namespace.split_parent t.ns path in
   let file = File_table.create_file t.ftable ~kind in
   Namespace.add_entry t.ns ~parent ~name ~ino:(File.ino file) ~kind
 
-let symlink t ~target path =
+let symlink_x t ~target path =
   let path = Namespace.normalize path in
   let parent, name = Namespace.split_parent t.ns path in
   let link = File_table.create_file t.ftable ~kind:Inode.Symlink in
@@ -75,7 +91,7 @@ let symlink t ~target path =
     ~kind:Inode.Symlink;
   Namespace.set_symlink_target t.ns (File.ino link) target
 
-let readlink t path =
+let readlink_x t path =
   let path = Namespace.normalize path in
   let parent, name = Namespace.split_parent t.ns path in
   match Namespace.lookup t.ns ~dir:parent ~name with
@@ -83,22 +99,22 @@ let readlink t path =
     match Namespace.symlink_target t.ns entry_ino with
     | Some target -> target
     | None -> raise (Namespace.Not_found_path path))
-  | Some _ -> invalid_arg ("readlink: not a symlink: " ^ path)
+  | Some _ -> raise (Errno.Error Errno.EINVAL) (* not a symlink *)
   | None -> raise (Namespace.Not_found_path path)
 
-let rmdir t path =
+let rmdir_x t path =
   let path = Namespace.normalize path in
   let parent, name = Namespace.split_parent t.ns path in
-  (match Namespace.lookup t.ns ~dir:parent ~name with
+  match Namespace.lookup t.ns ~dir:parent ~name with
   | Some { Dir.kind = Inode.Directory; entry_ino; _ } ->
     if Namespace.entries t.ns entry_ino <> [] then
       raise (Namespace.Not_empty path);
     ignore (Namespace.remove_entry t.ns ~parent ~name);
     File_table.unlink t.ftable entry_ino
   | Some _ -> raise (Namespace.Not_a_directory path)
-  | None -> raise (Namespace.Not_found_path path))
+  | None -> raise (Namespace.Not_found_path path)
 
-let delete t path =
+let delete_x t path =
   let path = Namespace.normalize path in
   let parent, name = Namespace.split_parent t.ns path in
   match Namespace.lookup t.ns ~dir:parent ~name with
@@ -117,7 +133,7 @@ let delete t path =
     if not inode_alive then File_table.unlink t.ftable entry_ino
   | None -> raise (Namespace.Not_found_path path)
 
-let rename t ~src ~dst =
+let rename_x t ~src ~dst =
   let src = Namespace.normalize src and dst = Namespace.normalize dst in
   let sparent, sname = Namespace.split_parent t.ns src in
   let dparent, dname = Namespace.split_parent t.ns dst in
@@ -131,12 +147,12 @@ let rename t ~src ~dst =
   Namespace.add_entry t.ns ~parent:dparent ~name:dname
     ~ino:entry.Dir.entry_ino ~kind:entry.Dir.kind
 
-let readdir t path =
+let readdir_x t path =
   let path = Namespace.normalize path in
   let ino = Namespace.resolve t.ns path in
   Namespace.entries t.ns ino
 
-let stat t path =
+let stat_x t path =
   let path = Namespace.normalize path in
   let file = file_of_path t path in
   let inode = File.inode file in
@@ -151,7 +167,7 @@ let stat t path =
 
 let exists t path = Namespace.resolve_opt t.ns (Namespace.normalize path) <> None
 
-let ensure_dirs t path =
+let ensure_dirs_x t path =
   let path = Namespace.normalize path in
   let comps = String.split_on_char '/' path |> List.filter (fun c -> c <> "") in
   match List.rev comps with
@@ -162,27 +178,27 @@ let ensure_dirs t path =
       (List.fold_left
          (fun prefix d ->
            let dir_path = prefix ^ "/" ^ d in
-           if not (exists t dir_path) then mkdir t dir_path;
+           if not (exists t dir_path) then mkdir_x t dir_path;
            dir_path)
          "" dirs)
 
-let synthesize_file t ?(kind = Inode.Regular) path ~size =
+let synthesize_file_x t ?(kind = Inode.Regular) path ~size =
   let path = Namespace.normalize path in
-  ensure_dirs t path;
-  if not (exists t path) then create_file t ~kind path;
+  ensure_dirs_x t path;
+  if not (exists t path) then create_file_x t ~kind path;
   let file = file_of_path t path in
   let inode = File.inode file in
   if inode.Inode.size < size then begin
     let bb = t.fs.Fsys.config.Fsys.block_bytes in
     let blocks = (size + bb - 1) / bb in
-    t.fs.Fsys.layout.Capfs_layout.Layout.adopt inode ~blocks;
+    Errno.ok_exn (t.fs.Fsys.layout.Capfs_layout.Layout.adopt inode ~blocks);
     inode.Inode.size <- size;
     t.fs.Fsys.layout.Capfs_layout.Layout.update_inode inode
   end
 
 (* {2 File I/O} *)
 
-let open_ t ~client path mode =
+let open_x t ~client path mode =
   let path = Namespace.normalize path in
   let ino =
     match Namespace.resolve_opt t.ns path with
@@ -191,7 +207,7 @@ let open_ t ~client path mode =
       match mode with
       | RO -> raise (Namespace.Not_found_path path)
       | WO | RW ->
-        create_file t path;
+        create_file_x t path;
         Namespace.resolve t.ns path)
   in
   let file = file_of_ino t ino in
@@ -206,11 +222,11 @@ let open_ t ~client path mode =
     File.opened file
   end
 
-let close_ t ~client path =
+let close_x t ~client path =
   let path = Namespace.normalize path in
   let h = client_handles t client in
   match Hashtbl.find h path with
-  | exception Not_found -> raise (Bad_handle path)
+  | exception Not_found -> raise (Errno.Error Errno.EBADF)
   | ino ->
     Hashtbl.remove h path;
     (match File_table.get t.ftable ino with
@@ -233,37 +249,93 @@ let lookup_file t ~client path ~create_if_missing =
     | Some ino -> file_of_ino t ino
     | None ->
       if create_if_missing then begin
-        create_file t path;
+        create_file_x t path;
         file_of_path t path
       end
       else raise (Namespace.Not_found_path path))
 
-let read t ~client path ~offset ~bytes =
+let read_x t ~client path ~offset ~bytes =
   let path = Namespace.normalize path in
   let file = lookup_file t ~client path ~create_if_missing:false in
   File.read file ~offset ~bytes
 
-let write t ~client path ~offset data =
+let write_x t ~client path ~offset data =
   let path = Namespace.normalize path in
   let file = lookup_file t ~client path ~create_if_missing:true in
   File.write file ~offset data
 
-let truncate t path ~size =
+let truncate_x t path ~size =
   let path = Namespace.normalize path in
   File.truncate (file_of_path t path) ~size
 
-let fsync t path =
+let fsync_x t path =
   let path = Namespace.normalize path in
   File.flush (file_of_path t path)
 
-let sync t = Fsys.sync t.fs
-
-let close_all t ~client =
+let close_all_x t ~client =
   match Hashtbl.find_opt t.handles client with
   | None -> ()
   | Some h ->
     let paths = Hashtbl.fold (fun path _ acc -> path :: acc) h [] in
-    List.iter (fun path -> close_ t ~client path) paths
+    List.iter (fun path -> close_x t ~client path) paths
 
 let open_handles t =
   Hashtbl.fold (fun _ h acc -> acc + Hashtbl.length h) t.handles 0
+
+(* {2 Public result API + [_exn] conveniences} *)
+
+let mkdir t path = trap (fun () -> mkdir_x t path)
+let rmdir t path = trap (fun () -> rmdir_x t path)
+let create_file t ?kind path = trap (fun () -> create_file_x t ?kind path)
+let symlink t ~target path = trap (fun () -> symlink_x t ~target path)
+let readlink t path = trap (fun () -> readlink_x t path)
+let rename t ~src ~dst = trap (fun () -> rename_x t ~src ~dst)
+let delete t path = trap (fun () -> delete_x t path)
+let readdir t path = trap (fun () -> readdir_x t path)
+let stat t path = trap (fun () -> stat_x t path)
+let ensure_dirs t path = trap (fun () -> ensure_dirs_x t path)
+
+let synthesize_file t ?kind path ~size =
+  trap (fun () -> synthesize_file_x t ?kind path ~size)
+
+let open_ t ~client path mode = trap (fun () -> open_x t ~client path mode)
+let close_ t ~client path = trap (fun () -> close_x t ~client path)
+
+let read t ~client path ~offset ~bytes =
+  trap (fun () -> read_x t ~client path ~offset ~bytes)
+
+let write t ~client path ~offset data =
+  trap (fun () -> write_x t ~client path ~offset data)
+
+let truncate t path ~size = trap (fun () -> truncate_x t path ~size)
+let fsync t path = trap (fun () -> fsync_x t path)
+let sync t = Fsys.sync t.fs
+let close_all t ~client = trap (fun () -> close_all_x t ~client)
+
+let mkdir_exn t path = Errno.ok_exn (mkdir t path)
+let rmdir_exn t path = Errno.ok_exn (rmdir t path)
+let create_file_exn t ?kind path = Errno.ok_exn (create_file t ?kind path)
+let symlink_exn t ~target path = Errno.ok_exn (symlink t ~target path)
+let readlink_exn t path = Errno.ok_exn (readlink t path)
+let rename_exn t ~src ~dst = Errno.ok_exn (rename t ~src ~dst)
+let delete_exn t path = Errno.ok_exn (delete t path)
+let readdir_exn t path = Errno.ok_exn (readdir t path)
+let stat_exn t path = Errno.ok_exn (stat t path)
+let ensure_dirs_exn t path = Errno.ok_exn (ensure_dirs t path)
+
+let synthesize_file_exn t ?kind path ~size =
+  Errno.ok_exn (synthesize_file t ?kind path ~size)
+
+let open_exn t ~client path mode = Errno.ok_exn (open_ t ~client path mode)
+let close_exn t ~client path = Errno.ok_exn (close_ t ~client path)
+
+let read_exn t ~client path ~offset ~bytes =
+  Errno.ok_exn (read t ~client path ~offset ~bytes)
+
+let write_exn t ~client path ~offset data =
+  Errno.ok_exn (write t ~client path ~offset data)
+
+let truncate_exn t path ~size = Errno.ok_exn (truncate t path ~size)
+let fsync_exn t path = Errno.ok_exn (fsync t path)
+let sync_exn t = Errno.ok_exn (sync t)
+let close_all_exn t ~client = Errno.ok_exn (close_all t ~client)

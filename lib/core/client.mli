@@ -11,9 +11,13 @@
     writes against a path that is not open perform an implicit transient
     open — real traces occasionally miss the open record.
 
-    Errors surface as the {!Namespace} exceptions plus {!Bad_handle}. *)
-
-exception Bad_handle of string
+    {b Errors.} Every operation returns [('a, Capfs_core.Errno.t) result].
+    Path-walking failures map onto the usual codes ([ENOENT], [EEXIST],
+    [ENOTDIR], [EISDIR], [ENOTEMPTY], [ELOOP]); closing a handle that
+    was never opened is [EBADF]; layout and disk failures pass through
+    as [ENOSPC]/[EIO]/[ETIMEDOUT]. Each operation also has an [_exn]
+    twin that raises {!Capfs_core.Errno.Error} instead — convenient in
+    tests and setup code where failure is fatal anyway. *)
 
 type t
 
@@ -36,28 +40,42 @@ val file_table : t -> File_table.t
 
 val namespace : t -> Namespace.t
 
+(** [trap f] runs [f] and converts the errors this module's operations
+    can raise — the {!Namespace} exceptions and
+    {!Capfs_core.Errno.Error} — into an [Error] result. Front ends that
+    drive {!Namespace}/{!File} directly (e.g. the NFS server) use it to
+    share the one exception-to-errno mapping. Unrecognised exceptions
+    propagate. *)
+val trap : (unit -> 'a) -> ('a, Capfs_core.Errno.t) result
+
 (** {2 Namespace operations} *)
 
-val mkdir : t -> string -> unit
-val rmdir : t -> string -> unit
+val mkdir : t -> string -> (unit, Capfs_core.Errno.t) result
+val rmdir : t -> string -> (unit, Capfs_core.Errno.t) result
 
 (** [create_file t ?kind path] creates an empty file (exclusive). *)
-val create_file : t -> ?kind:Capfs_layout.Inode.kind -> string -> unit
+val create_file :
+  t -> ?kind:Capfs_layout.Inode.kind -> string ->
+  (unit, Capfs_core.Errno.t) result
 
-val symlink : t -> target:string -> string -> unit
-val readlink : t -> string -> string
-val rename : t -> src:string -> dst:string -> unit
+val symlink : t -> target:string -> string -> (unit, Capfs_core.Errno.t) result
+
+(** [EINVAL] if [path] names something that is not a symlink. *)
+val readlink : t -> string -> (string, Capfs_core.Errno.t) result
+
+val rename :
+  t -> src:string -> dst:string -> (unit, Capfs_core.Errno.t) result
 
 (** Unlink. Open files live on until their last close. *)
-val delete : t -> string -> unit
+val delete : t -> string -> (unit, Capfs_core.Errno.t) result
 
-val readdir : t -> string -> Dir.entry list
-val stat : t -> string -> stat
+val readdir : t -> string -> (Dir.entry list, Capfs_core.Errno.t) result
+val stat : t -> string -> (stat, Capfs_core.Errno.t) result
 val exists : t -> string -> bool
 
 (** [ensure_dirs t path] creates every missing directory on the way to
     [path]'s parent (mkdir -p for the dirname). *)
-val ensure_dirs : t -> string -> unit
+val ensure_dirs : t -> string -> (unit, Capfs_core.Errno.t) result
 
 (** Simulator aid ("we synthesize those parameters that are missing,
     e.g. … the initial layout of the file-system"): make sure [path]
@@ -65,34 +83,72 @@ val ensure_dirs : t -> string -> unit
     disk" — adopted by the layout at no simulated cost, so subsequent
     reads pay real disk time. Creates missing parents. *)
 val synthesize_file :
-  t -> ?kind:Capfs_layout.Inode.kind -> string -> size:int -> unit
+  t -> ?kind:Capfs_layout.Inode.kind -> string -> size:int ->
+  (unit, Capfs_core.Errno.t) result
 
 (** {2 File I/O} *)
 
 (** [open_ t ~client path mode] opens (creating on [WO]/[RW] if
     absent). *)
-val open_ : t -> client:int -> string -> open_mode -> unit
+val open_ :
+  t -> client:int -> string -> open_mode -> (unit, Capfs_core.Errno.t) result
 
-val close_ : t -> client:int -> string -> unit
+(** [EBADF] if the client holds no descriptor for [path]. *)
+val close_ : t -> client:int -> string -> (unit, Capfs_core.Errno.t) result
 
 (** [read t ~client path ~offset ~bytes] returns the data read (short
     at EOF). *)
 val read :
-  t -> client:int -> string -> offset:int -> bytes:int -> Capfs_disk.Data.t
+  t -> client:int -> string -> offset:int -> bytes:int ->
+  (Capfs_disk.Data.t, Capfs_core.Errno.t) result
 
 val write :
-  t -> client:int -> string -> offset:int -> Capfs_disk.Data.t -> unit
+  t -> client:int -> string -> offset:int -> Capfs_disk.Data.t ->
+  (unit, Capfs_core.Errno.t) result
 
-val truncate : t -> string -> size:int -> unit
+val truncate : t -> string -> size:int -> (unit, Capfs_core.Errno.t) result
 
 (** fsync: the file's dirty blocks reach stable storage. *)
-val fsync : t -> string -> unit
+val fsync : t -> string -> (unit, Capfs_core.Errno.t) result
 
 (** Whole-system sync: cache write-back plus layout checkpoint. *)
-val sync : t -> unit
+val sync : t -> (unit, Capfs_core.Errno.t) result
 
 (** Close every descriptor a client still holds (end-of-trace tidy-up). *)
-val close_all : t -> client:int -> unit
+val close_all : t -> client:int -> (unit, Capfs_core.Errno.t) result
 
 (** Open-descriptor count (diagnostics). *)
 val open_handles : t -> int
+
+(** {2 Raising conveniences}
+
+    Each mirrors its result-typed namesake but raises
+    {!Capfs_core.Errno.Error} on failure. *)
+
+val mkdir_exn : t -> string -> unit
+val rmdir_exn : t -> string -> unit
+val create_file_exn : t -> ?kind:Capfs_layout.Inode.kind -> string -> unit
+val symlink_exn : t -> target:string -> string -> unit
+val readlink_exn : t -> string -> string
+val rename_exn : t -> src:string -> dst:string -> unit
+val delete_exn : t -> string -> unit
+val readdir_exn : t -> string -> Dir.entry list
+val stat_exn : t -> string -> stat
+val ensure_dirs_exn : t -> string -> unit
+
+val synthesize_file_exn :
+  t -> ?kind:Capfs_layout.Inode.kind -> string -> size:int -> unit
+
+val open_exn : t -> client:int -> string -> open_mode -> unit
+val close_exn : t -> client:int -> string -> unit
+
+val read_exn :
+  t -> client:int -> string -> offset:int -> bytes:int -> Capfs_disk.Data.t
+
+val write_exn :
+  t -> client:int -> string -> offset:int -> Capfs_disk.Data.t -> unit
+
+val truncate_exn : t -> string -> size:int -> unit
+val fsync_exn : t -> string -> unit
+val sync_exn : t -> unit
+val close_all_exn : t -> client:int -> unit

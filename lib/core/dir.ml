@@ -40,6 +40,21 @@ let load file =
   end
 
 let store file entries =
+  (* Write first, shrink second: a crash-time checkpoint captured
+     between the two steps then parses as either the old or the new
+     contents — never as a hole, which is what truncating first
+     produces (it unmaps the old block while the rewrite is still
+     delayed-allocated in the cache). [drop_cached] keeps the
+     truncate-first cache lifecycle — the unflushed previous version
+     dies in memory and the rewrite starts a fresh aging clock —
+     without unmapping anything; the block-padded payload then replaces
+     blocks wholesale, with no read-modify-write. The codec never reads
+     the dead tail. *)
   let s = serialize entries in
-  File.truncate file ~size:0;
-  File.write file ~offset:0 (Data.of_string s)
+  let bb = File.block_bytes file in
+  let padded = ((String.length s + bb - 1) / bb) * bb in
+  let b = Bytes.make padded '\000' in
+  Bytes.blit_string s 0 b 0 (String.length s);
+  File.drop_cached file;
+  File.write file ~offset:0 (Data.of_string (Bytes.unsafe_to_string b));
+  File.truncate file ~size:(String.length s)

@@ -4,6 +4,7 @@ module Key = Capfs_cache.Block.Key
 module Layout = Capfs_layout.Layout
 module Inode = Capfs_layout.Inode
 module Data = Capfs_disk.Data
+module Errno = Capfs_core.Errno
 
 type t = {
   fsys : Fsys.t;
@@ -26,7 +27,7 @@ let size t = t.inode.Inode.size
 let block_bytes t = t.fsys.Fsys.config.Fsys.block_bytes
 
 let fill_from_layout t idx () =
-  t.fsys.Fsys.layout.Layout.read_block t.inode idx
+  Errno.ok_exn (t.fsys.Fsys.layout.Layout.read_block t.inode idx)
 
 let read_cached_block t idx =
   Cache.read t.fsys.Fsys.cache (Key.v (ino t) idx)
@@ -183,10 +184,13 @@ let truncate t ~size:new_size =
   if new_size < old_size then begin
     let keep_blocks = (new_size + bb - 1) / bb in
     Cache.truncate t.fsys.Fsys.cache (ino t) ~from:keep_blocks;
-    t.fsys.Fsys.layout.Layout.truncate t.inode ~blocks:keep_blocks
+    Errno.ok_exn
+      (t.fsys.Fsys.layout.Layout.truncate t.inode ~blocks:keep_blocks)
   end;
   t.inode.Inode.size <- new_size;
   t.inode.Inode.mtime <- Fsys.now t.fsys;
   t.fsys.Fsys.layout.Layout.update_inode t.inode
+
+let drop_cached t = Cache.remove_file t.fsys.Fsys.cache (ino t)
 
 let flush t = Cache.flush_file t.fsys.Fsys.cache (ino t)

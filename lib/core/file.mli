@@ -19,6 +19,10 @@ val ino : t -> int
 val kind : t -> Capfs_layout.Inode.kind
 val size : t -> int
 
+(** The file system's block size; writes aligned to it replace blocks
+    wholesale with no read-modify-write. *)
+val block_bytes : t -> int
+
 (** [read t ~offset ~bytes] returns the data actually read (short at
     EOF; empty beyond it). Holes read as zeroes. *)
 val read : t -> offset:int -> bytes:int -> Capfs_disk.Data.t
@@ -31,6 +35,12 @@ val write : t -> offset:int -> Capfs_disk.Data.t -> unit
     blocks beyond the new end — in-memory dirty data dies without disk
     traffic. *)
 val truncate : t -> size:int -> unit
+
+(** Drop the file's cached blocks without touching the layout: unlike
+    {!truncate}, the on-disk block mapping survives. An unflushed dirty
+    version dies in memory (the write-saving effect), and the next
+    write starts a fresh delayed-write aging clock. *)
+val drop_cached : t -> unit
 
 (** Write the file's dirty blocks to stable storage (fsync). *)
 val flush : t -> unit

@@ -1,5 +1,6 @@
 module Layout = Capfs_layout.Layout
 module Cache = Capfs_cache.Cache
+module Errno = Capfs_core.Errno
 
 type entry = { file : File.t; mutable unlinked : bool }
 type t = { fsys : Fsys.t; table : (int, entry) Hashtbl.t }
@@ -10,7 +11,7 @@ let get t ino =
   match Hashtbl.find_opt t.table ino with
   | Some e -> Some e.file
   | None -> (
-    match t.fsys.Fsys.layout.Layout.get_inode ino with
+    match Errno.ok_exn (t.fsys.Fsys.layout.Layout.get_inode ino) with
     | Some inode ->
       let file = File.instantiate t.fsys inode in
       Hashtbl.replace t.table ino { file; unlinked = false };
@@ -18,7 +19,7 @@ let get t ino =
     | None -> None)
 
 let create_file t ~kind =
-  let inode = t.fsys.Fsys.layout.Layout.alloc_inode ~kind in
+  let inode = Errno.ok_exn (t.fsys.Fsys.layout.Layout.alloc_inode ~kind) in
   let file = File.instantiate t.fsys inode in
   Hashtbl.replace t.table inode.Capfs_layout.Inode.ino
     { file; unlinked = false };
@@ -27,7 +28,7 @@ let create_file t ~kind =
 let free t ino =
   (* dirty blocks die in memory: this is the write-saving effect *)
   Cache.remove_file t.fsys.Fsys.cache ino;
-  t.fsys.Fsys.layout.Layout.free_inode ino;
+  Errno.ok_exn (t.fsys.Fsys.layout.Layout.free_inode ino);
   Hashtbl.remove t.table ino
 
 let unlink t ino =

@@ -1,4 +1,5 @@
 module Sched = Capfs_sched.Sched
+module Errno = Capfs_core.Errno
 module Cache = Capfs_cache.Cache
 module Layout = Capfs_layout.Layout
 module Inode = Capfs_layout.Inode
@@ -25,15 +26,19 @@ let create ?registry ?(config = default_config) ?replacement ~cache_config
     match registry with Some r -> r | None -> Capfs_stats.Registry.create ()
   in
   let cache =
-    Cache.create ~registry ?replacement ~writeback:layout.Layout.write_blocks
+    (* the cache's write-back daemons cannot thread a [result] back to a
+       caller; layout failures surface as [Errno.Error] and take down the
+       flushing fibre (hard faults escalate) *)
+    Cache.create ~registry ?replacement
+      ~writeback:(fun ups -> Errno.ok_exn (layout.Layout.write_blocks ups))
       sched cache_config
   in
   let t = { sched; registry; cache; layout; config } in
   (* a fresh layout has no root directory yet *)
-  (match layout.Layout.get_inode config.root_ino with
+  (match Errno.ok_exn (layout.Layout.get_inode config.root_ino) with
   | Some _ -> ()
   | None ->
-    let root = layout.Layout.alloc_inode ~kind:Inode.Directory in
+    let root = Errno.ok_exn (layout.Layout.alloc_inode ~kind:Inode.Directory) in
     if root.Inode.ino <> config.root_ino then
       invalid_arg "Fsys.create: layout did not assign the root inode number";
     root.Inode.nlink <- 2;
@@ -43,10 +48,11 @@ let create ?registry ?(config = default_config) ?replacement ~cache_config
 let now t = Sched.now t.sched
 
 let root t =
-  match t.layout.Layout.get_inode t.config.root_ino with
+  match Errno.ok_exn (t.layout.Layout.get_inode t.config.root_ino) with
   | Some inode -> inode
   | None -> failwith "Fsys.root: root inode missing"
 
 let sync t =
-  Cache.sync t.cache;
-  t.layout.Layout.sync ()
+  Errno.catch (fun () ->
+      Cache.sync t.cache;
+      Errno.ok_exn (t.layout.Layout.sync ()))

@@ -41,8 +41,9 @@ val create :
 
 val now : t -> float
 
-(** Root directory inode. *)
+(** Root directory inode. Raises {!Capfs_core.Errno.Error} if loading
+    it fails. *)
 val root : t -> Capfs_layout.Inode.t
 
 (** Flush every dirty block and checkpoint the layout. *)
-val sync : t -> unit
+val sync : t -> (unit, Capfs_core.Errno.t) result

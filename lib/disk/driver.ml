@@ -3,6 +3,8 @@ module Stats = Capfs_stats
 module Counter = Capfs_stats.Counter
 module Tracer = Capfs_obs.Tracer
 module Ev = Capfs_obs.Event
+module Errno = Capfs_core.Errno
+module Injector = Capfs_fault.Injector
 
 type transport = {
   t_name : string;
@@ -68,9 +70,18 @@ type t = {
   work : Sched.event;
   mutable in_service : bool;
   mutable idle_ev : Sched.event;
+  injector : Injector.t; (* cached off the scheduler at create time *)
+  max_retries : int;
+  retry_backoff : float;
+  timeout : float option;
+  mutable n_retries : int;
+  mutable n_timeouts : int;
+  mutable n_errors : int;
   c_wait : Counter.t;
   c_response : Counter.t;
   c_queue_len : Counter.t;
+  c_retries : Counter.t;
+  c_errors : Counter.t;
 }
 
 let service_loop t () =
@@ -93,7 +104,8 @@ let service_loop t () =
       Counter.record t.c_response (Iorequest.response_time req)
   done
 
-let create ?registry ?(name = "driver") ?policy sched transport =
+let create ?registry ?(name = "driver") ?policy ?(max_retries = 3)
+    ?(retry_backoff = 0.002) ?timeout sched transport =
   let policy =
     match policy with
     | Some p -> p
@@ -105,20 +117,24 @@ let create ?registry ?(name = "driver") ?policy sched transport =
         (Geometry.v ~cylinders:transport.total_sectors ~heads:1
            ~sectors_per_track:1 ~sector_bytes:transport.sector_bytes ())
   in
-  let c_wait, c_response, c_queue_len =
+  let c_wait, c_response, c_queue_len, c_retries, c_errors =
     match registry with
     | Some r ->
       List.iter
         (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
-        [ "wait"; "response" ];
+        [ "wait"; "response"; "retries"; "io_errors" ];
       (* the paper's "histograms of disk queue sizes" plug-in *)
       Stats.Registry.register r
         (Stats.Stat.with_histogram (name ^ ".queue_len")
            (Stats.Histogram.linear ~lo:0. ~hi:64. ~buckets:32));
       let c s = Stats.Registry.counter r (name ^ "." ^ s) in
-      (c "wait", c "response", c "queue_len")
-    | None -> Counter.(null, null, null)
+      (c "wait", c "response", c "queue_len", c "retries", c "io_errors")
+    | None -> Counter.(null, null, null, null, null)
   in
+  let injector = Sched.injector sched in
+  if Injector.enabled injector then
+    Injector.register_disk injector ~name:transport.t_name
+      ~total_sectors:transport.total_sectors;
   let t =
     {
       drv_name = name;
@@ -128,9 +144,18 @@ let create ?registry ?(name = "driver") ?policy sched transport =
       work = Sched.new_event ~name:(name ^ ".work") sched;
       in_service = false;
       idle_ev = Sched.new_event ~name:(name ^ ".idle") sched;
+      injector;
+      max_retries;
+      retry_backoff;
+      timeout;
+      n_retries = 0;
+      n_timeouts = 0;
+      n_errors = 0;
       c_wait;
       c_response;
       c_queue_len;
+      c_retries;
+      c_errors;
     }
   in
   ignore (Sched.spawn sched ~name:(name ^ ".service") ~daemon:true (service_loop t));
@@ -156,24 +181,114 @@ let submit t req =
   Iosched.add t.policy req;
   Sched.signal t.sched t.work
 
+(* {2 Blocking I/O with fault absorption}
+
+   Each attempt consults the injector (one branch when faults are off —
+   the same hot-path discipline as [Tracer.enabled]), runs the request
+   through the transport, and classifies the outcome. Transient errors
+   and timeouts are absorbed by retrying with exponential backoff; hard
+   errors (latent sectors, device-reported failures) escalate at once,
+   as do transients that survive [max_retries] attempts. *)
+
+let emit_fault t ~write ~lba ~sectors fault =
+  let tr = Sched.tracer t.sched in
+  if Tracer.enabled tr then
+    Tracer.emit tr ~time:(Sched.now t.sched)
+      (Ev.Disk_fault { disk = t.drv_name; lba; sectors; write; fault })
+
+let emit_retry t ~attempt ~delay =
+  let tr = Sched.tracer t.sched in
+  if Tracer.enabled tr then
+    Tracer.emit tr ~time:(Sched.now t.sched)
+      (Ev.Disk_retry { disk = t.drv_name; attempt; delay })
+
+(* Outcome of one attempt: the completed request, or an error plus
+   whether a retry could plausibly succeed. *)
+let attempt t op ?deadline ?data ~lba ~sectors () =
+  let write = op = Iorequest.Write in
+  let decision =
+    if Injector.enabled t.injector then
+      Injector.decide t.injector ~disk:t.transport.t_name ~write ~lba ~sectors
+    else Injector.Pass
+  in
+  (match decision with
+  | Injector.Pass -> ()
+  | Injector.Transient_error -> emit_fault t ~write ~lba ~sectors "transient"
+  | Injector.Hard_error -> emit_fault t ~write ~lba ~sectors "hard"
+  | Injector.Stall _ -> emit_fault t ~write ~lba ~sectors "stall");
+  match (decision, t.timeout) with
+  | Injector.Stall d, Some patience when d > patience ->
+    (* the whole device hangs for longer than the host will wait: charge
+       the host its patience and report the timeout without submitting *)
+    Sched.sleep t.sched patience;
+    t.n_timeouts <- t.n_timeouts + 1;
+    Error (Errno.ETIMEDOUT, `Retryable)
+  | _ -> (
+    (match decision with
+    | Injector.Stall d -> Sched.sleep t.sched d
+    | _ -> ());
+    let req = Iorequest.make t.sched op ~lba ~sectors ?deadline ?data () in
+    submit t req;
+    let completed =
+      match t.timeout with
+      | None ->
+        Iorequest.await t.sched req;
+        true
+      | Some patience -> Iorequest.await_timeout t.sched req patience
+    in
+    if not completed then begin
+      t.n_timeouts <- t.n_timeouts + 1;
+      Error (Errno.ETIMEDOUT, `Retryable)
+    end
+    else
+      match decision with
+      | Injector.Transient_error -> Error (Errno.EIO, `Retryable)
+      | Injector.Hard_error -> Error (Errno.EIO, `Hard)
+      | Injector.Pass | Injector.Stall _ -> (
+        match req.Iorequest.error with
+        | Some e -> Error (e, `Hard)
+        | None -> Ok req))
+
+let rec with_retries t op ?deadline ?data ~lba ~sectors ~tries () =
+  match attempt t op ?deadline ?data ~lba ~sectors () with
+  | Ok req -> Ok req
+  | Error (_, `Retryable) when tries < t.max_retries ->
+    let tries = tries + 1 in
+    let delay = t.retry_backoff *. float_of_int (1 lsl (tries - 1)) in
+    t.n_retries <- t.n_retries + 1;
+    Counter.record t.c_retries 1.;
+    emit_retry t ~attempt:tries ~delay;
+    if delay > 0. then Sched.sleep t.sched delay;
+    with_retries t op ?deadline ?data ~lba ~sectors ~tries ()
+  | Error (e, _) ->
+    t.n_errors <- t.n_errors + 1;
+    Counter.record t.c_errors 1.;
+    Error e
+
 let read t ~lba ~sectors =
-  let req = Iorequest.make t.sched Iorequest.Read ~lba ~sectors () in
-  submit t req;
-  Iorequest.await t.sched req;
-  match req.Iorequest.data with
-  | Some d -> d
-  | None -> Data.sim (sectors * t.transport.sector_bytes)
+  match with_retries t Iorequest.Read ~lba ~sectors ~tries:0 () with
+  | Error _ as e -> e
+  | Ok req -> (
+    match req.Iorequest.data with
+    | Some d -> Ok d
+    | None -> Ok (Data.sim (sectors * t.transport.sector_bytes)))
 
 let write t ?deadline ~lba data =
   let len = Data.length data in
   if len = 0 || len mod t.transport.sector_bytes <> 0 then
     invalid_arg "Driver.write: payload not a whole number of sectors";
   let sectors = len / t.transport.sector_bytes in
-  let req =
-    Iorequest.make t.sched Iorequest.Write ~lba ~sectors ?deadline ~data ()
-  in
-  submit t req;
-  Iorequest.await t.sched req
+  match
+    with_retries t Iorequest.Write ?deadline ~data ~lba ~sectors ~tries:0 ()
+  with
+  | Ok _ -> Ok ()
+  | Error _ as e -> e
+
+let read_exn t ~lba ~sectors = Errno.ok_exn (read t ~lba ~sectors)
+let write_exn t ?deadline ~lba data = Errno.ok_exn (write t ?deadline ~lba data)
+let retries t = t.n_retries
+let timeouts t = t.n_timeouts
+let io_errors t = t.n_errors
 
 let drain t =
   while Iosched.length t.policy > 0 || t.in_service do

@@ -44,11 +44,26 @@ type t
 
 (** [create sched transport] starts the service fibre (a daemon).
     [policy] defaults to C-LOOK over a flat geometry derived from the
-    transport when the transport has no geometry of its own. *)
+    transport when the transport has no geometry of its own.
+
+    Failure handling: each blocking {!read}/{!write} consults the
+    scheduler's fault injector ({!Capfs_fault.Injector}) once per
+    attempt. Transient errors and timeouts are absorbed by retrying up
+    to [max_retries] times (default 3) with exponential backoff
+    starting at [retry_backoff] seconds (default 2 ms: 2, 4, 8 ms …);
+    hard errors — latent sectors, device-reported failures — escalate
+    immediately as [Error EIO]. [timeout] (default: wait forever)
+    bounds how long one attempt may take before it is abandoned with
+    [ETIMEDOUT]; a whole-disk stall longer than [timeout] costs exactly
+    [timeout] of host time per attempt. Statistics: [<name>.retries]
+    and [<name>.io_errors] alongside the queue counters. *)
 val create :
   ?registry:Capfs_stats.Registry.t ->
   ?name:string ->
   ?policy:Iosched.t ->
+  ?max_retries:int ->
+  ?retry_backoff:float ->
+  ?timeout:float ->
   Capfs_sched.Sched.t ->
   transport ->
   t
@@ -69,12 +84,33 @@ val queue_length : t -> int
 (** Asynchronous submission; completion is signalled on the request. *)
 val submit : t -> Iorequest.t -> unit
 
-(** Blocking read of [sectors] sectors at [lba]. *)
-val read : t -> lba:int -> sectors:int -> Data.t
+(** Blocking read of [sectors] sectors at [lba]. [Error EIO] after an
+    unabsorbed device fault, [Error ETIMEDOUT] when every attempt
+    exceeded the driver's [timeout]. *)
+val read : t -> lba:int -> sectors:int -> (Data.t, Capfs_core.Errno.t) result
 
 (** Blocking write. The payload length must be a multiple of the sector
-    size; the sector count is derived from it. *)
-val write : t -> ?deadline:float -> lba:int -> Data.t -> unit
+    size; the sector count is derived from it. Errors as {!read}. *)
+val write :
+  t -> ?deadline:float -> lba:int -> Data.t -> (unit, Capfs_core.Errno.t) result
+
+(** {!read} raising {!Capfs_core.Errno.Error} — for callers inside an
+    {!Capfs_core.Errno.catch} boundary, and for tests. *)
+val read_exn : t -> lba:int -> sectors:int -> Data.t
+
+(** {!write} raising {!Capfs_core.Errno.Error}. *)
+val write_exn : t -> ?deadline:float -> lba:int -> Data.t -> unit
 
 (** Block until the queue is empty and the device idle. *)
 val drain : t -> unit
+
+(** {2 Failure accounting} — cumulative since creation. *)
+
+(** Attempts re-submitted after a transient fault or timeout. *)
+val retries : t -> int
+
+(** Attempts abandoned because they exceeded the driver's [timeout]. *)
+val timeouts : t -> int
+
+(** Requests that ultimately failed (escalated to the caller). *)
+val io_errors : t -> int

@@ -14,6 +14,7 @@ type t = {
   mutable completed_at : float;
   done_ev : Sched.event;
   mutable completed : bool;
+  mutable error : Capfs_core.Errno.t option;
 }
 
 (* atomic: requests are minted from concurrently running experiment
@@ -36,6 +37,7 @@ let make sched op ~lba ~sectors ?deadline ?data () =
     completed_at = now;
     done_ev = Sched.new_event ~name:"iorequest.done" sched;
     completed = false;
+    error = None;
   }
 
 let complete sched t =
@@ -45,7 +47,16 @@ let complete sched t =
     Sched.broadcast sched t.done_ev
   end
 
+let fail sched t err =
+  if not t.completed then begin
+    t.error <- Some err;
+    complete sched t
+  end
+
 let await sched t = if not t.completed then Sched.await sched t.done_ev
+
+let await_timeout sched t dt =
+  if t.completed then true else Sched.await_timeout sched t.done_ev dt
 
 let wait_time t = t.started_at -. t.submitted_at
 let service_time t = t.completed_at -. t.started_at

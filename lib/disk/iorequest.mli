@@ -19,6 +19,8 @@ type t = {
   mutable completed_at : float;  (** when completion was reported to the host *)
   done_ev : Capfs_sched.Sched.event;
   mutable completed : bool;
+  mutable error : Capfs_core.Errno.t option;
+      (** set before [completed] when the device reported a failure *)
 }
 
 (** [make sched op ~lba ~sectors] stamps the submission time from the
@@ -38,8 +40,16 @@ val make :
     [completed], wakes every waiter. Idempotent. *)
 val complete : Capfs_sched.Sched.t -> t -> unit
 
+(** Report failure: records [error], then {!complete}s. Idempotent (a
+    request that already completed keeps its first outcome). *)
+val fail : Capfs_sched.Sched.t -> t -> Capfs_core.Errno.t -> unit
+
 (** Block until {!complete} has been called (returns at once if already). *)
 val await : Capfs_sched.Sched.t -> t -> unit
+
+(** [await_timeout sched t dt] is [true] if the request completed within
+    [dt] seconds (or already had), [false] on timeout. *)
+val await_timeout : Capfs_sched.Sched.t -> t -> float -> bool
 
 (** Queueing delay: [started_at - submitted_at]. *)
 val wait_time : t -> float

@@ -193,6 +193,28 @@ let store_read t ~lba ~sectors =
     done;
     Data.Real out
 
+let store_snapshot t =
+  match t.store with
+  | None -> None
+  | Some store ->
+    let out = Array.make (Hashtbl.length store) (0, Bytes.empty) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun lba b ->
+        out.(!i) <- (lba, Bytes.copy b);
+        incr i)
+      store;
+    (* stable order, so a snapshot is comparable across runs *)
+    Array.sort (fun (a, _) (b, _) -> compare a b) out;
+    Some out
+
+let store_restore t sectors =
+  match t.store with
+  | None -> invalid_arg "Sim_disk.store_restore: disk has no backing store"
+  | Some store ->
+    Hashtbl.reset store;
+    Array.iter (fun (lba, b) -> Hashtbl.replace store lba (Bytes.copy b)) sectors
+
 let read_ahead t ~lba ~sectors ~queue_empty =
   let ra = t.model.Disk_model.cache.Disk_model.read_ahead_bytes in
   if ra > 0 && queue_empty () then begin

@@ -59,3 +59,15 @@ val execute : t -> queue_empty:(unit -> bool) -> Iorequest.t -> unit
 
 (** Current head cylinder (for queue schedulers). *)
 val current_cylinder : t -> int
+
+(** {2 Crash-recovery plumbing}
+
+    A simulated power cut freezes a scheduler mid-run; the surviving
+    state of a backed disk is exactly its sector store. [store_snapshot]
+    copies it out ([None] for an unbacked disk), sorted by lba so
+    snapshots are comparable; [store_restore] seeds a fresh disk from a
+    snapshot, replacing any existing contents. Raises [Invalid_argument]
+    on a disk created without [backing:true]. *)
+
+val store_snapshot : t -> (int * bytes) array option
+val store_restore : t -> (int * bytes) array -> unit

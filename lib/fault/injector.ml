@@ -1,0 +1,107 @@
+module Prng = Capfs_stats.Prng
+
+type decision = Pass | Transient_error | Hard_error | Stall of float
+
+type t = {
+  on : bool;
+  plan : Plan.t;
+  seed : int;
+  rng : Prng.t;
+  (* disk name -> set of latent bad lbas *)
+  latent : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable n_transient : int;
+  mutable n_hard : int;
+  mutable n_stall : int;
+}
+
+let make ~on ~seed plan =
+  {
+    on;
+    plan;
+    seed;
+    rng = Prng.create ~seed;
+    latent = Hashtbl.create 4;
+    n_transient = 0;
+    n_hard = 0;
+    n_stall = 0;
+  }
+
+let null = make ~on:false ~seed:0 Plan.empty
+
+let create ~seed plan =
+  let seed = match plan.Plan.seed with Some s -> s | None -> seed in
+  make ~on:(not (Plan.is_empty plan)) ~seed plan
+
+let enabled t = t.on
+let plan t = t.plan
+let crash_at t = t.plan.Plan.crash_at
+
+let register_disk t ~name ~total_sectors =
+  if t.on && t.plan.Plan.latent > 0 && not (Hashtbl.mem t.latent name) then begin
+    (* independent per-disk stream: placement does not depend on how
+       many decide() draws other disks made before this one attached *)
+    let rng = Prng.create ~seed:(t.seed lxor Hashtbl.hash name) in
+    let bad = Hashtbl.create t.plan.Plan.latent in
+    let n = Stdlib.min t.plan.Plan.latent total_sectors in
+    let placed = ref 0 in
+    while !placed < n do
+      let lba = Prng.int rng total_sectors in
+      if not (Hashtbl.mem bad lba) then begin
+        Hashtbl.replace bad lba ();
+        incr placed
+      end
+    done;
+    Hashtbl.replace t.latent name bad
+  end
+
+let overlap_latent t ~disk ~lba ~sectors =
+  match Hashtbl.find_opt t.latent disk with
+  | None -> false
+  | Some bad ->
+    Hashtbl.length bad > 0
+    &&
+    let hit = ref false in
+    for s = lba to lba + sectors - 1 do
+      if Hashtbl.mem bad s then hit := true
+    done;
+    !hit
+
+let repair_latent t ~disk ~lba ~sectors =
+  match Hashtbl.find_opt t.latent disk with
+  | None -> ()
+  | Some bad ->
+    if Hashtbl.length bad > 0 then
+      for s = lba to lba + sectors - 1 do
+        Hashtbl.remove bad s
+      done
+
+let decide t ~disk ~write ~lba ~sectors =
+  if not t.on then Pass
+  else begin
+    (* one draw per request, whatever the outcome: the fault schedule
+       stays aligned with the request sequence *)
+    let u = Prng.float t.rng in
+    if (not write) && overlap_latent t ~disk ~lba ~sectors then begin
+      t.n_hard <- t.n_hard + 1;
+      Hard_error
+    end
+    else begin
+      if write then repair_latent t ~disk ~lba ~sectors;
+      let p_err =
+        if write then t.plan.Plan.write_error else t.plan.Plan.read_error
+      in
+      if u < p_err then begin
+        t.n_transient <- t.n_transient + 1;
+        Transient_error
+      end
+      else if u < p_err +. t.plan.Plan.stall_p then begin
+        t.n_stall <- t.n_stall + 1;
+        Stall t.plan.Plan.stall_s
+      end
+      else Pass
+    end
+  end
+
+let transients t = t.n_transient
+let hards t = t.n_hard
+let stalls t = t.n_stall

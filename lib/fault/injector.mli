@@ -1,0 +1,59 @@
+(** Deterministic fault injection.
+
+    An injector turns a {!Plan} plus a seed into a concrete fault
+    schedule. It is carried on [Sched.t] exactly like the event tracer:
+    components that can fail (today the disk driver) fetch it with
+    [Sched.injector] and consult {!decide} on each request. {!null} is
+    permanently disabled and {!enabled} is a single field load, so the
+    no-faults hot path costs one branch — the same discipline as
+    [Tracer.enabled].
+
+    All randomness comes from one splitmix64 stream seeded at
+    {!create}, plus one independent per-disk stream for latent-sector
+    placement (seeded from the base seed and the disk name), so a given
+    (plan, seed) pair yields the same fault schedule on every run and
+    under any fleet parallelism. *)
+
+type t
+
+(** Fate of one I/O request. *)
+type decision =
+  | Pass            (** no fault *)
+  | Transient_error (** fails once; a retry may succeed *)
+  | Hard_error      (** latent sector: fails every time until rewritten *)
+  | Stall of float  (** whole-disk stall: service delayed this many seconds *)
+
+(** The disabled injector: {!enabled} is [false], {!decide} always
+    {!Pass}. The default carried by a scheduler. *)
+val null : t
+
+(** [create ~seed plan] — [plan.seed] overrides [seed] when set. An
+    injector built from {!Plan.empty} (without a crash trigger) is
+    disabled. *)
+val create : seed:int -> Plan.t -> t
+
+val enabled : t -> bool
+val plan : t -> Plan.t
+
+(** Virtual time of the planned power cut, if any. The crash itself is
+    enacted by the experiment harness (it stops the scheduler at that
+    horizon); the injector only carries the trigger. *)
+val crash_at : t -> float option
+
+(** [register_disk t ~name ~total_sectors] materializes the plan's
+    latent bad sectors for one disk. Idempotent per name; deterministic
+    in (seed, name, total_sectors) regardless of registration order. *)
+val register_disk : t -> name:string -> total_sectors:int -> unit
+
+(** [decide t ~disk ~write ~lba ~sectors] draws the fate of one request.
+    Reads overlapping a latent bad sector are {!Hard_error}; writes
+    overlapping one repair it (sector remap) and proceed to the
+    probabilistic draw. Exactly one PRNG draw happens per call, so the
+    schedule is a pure function of the call sequence. *)
+val decide : t -> disk:string -> write:bool -> lba:int -> sectors:int -> decision
+
+(** {2 Counters} — cumulative, for tests and reports. *)
+
+val transients : t -> int
+val hards : t -> int
+val stalls : t -> int

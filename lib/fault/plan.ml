@@ -1,0 +1,90 @@
+type t = {
+  read_error : float;
+  write_error : float;
+  latent : int;
+  stall_p : float;
+  stall_s : float;
+  crash_at : float option;
+  seed : int option;
+}
+
+let empty =
+  {
+    read_error = 0.;
+    write_error = 0.;
+    latent = 0;
+    stall_p = 0.;
+    stall_s = 0.;
+    crash_at = None;
+    seed = None;
+  }
+
+let is_empty t =
+  t.read_error = 0. && t.write_error = 0. && t.latent = 0 && t.stall_p = 0.
+  && t.crash_at = None
+
+let of_string s =
+  let parse_float k v =
+    match float_of_string_opt v with
+    | Some f when f >= 0. -> Ok f
+    | _ -> Error (Printf.sprintf "fault plan: %s wants a non-negative number, got %S" k v)
+  in
+  let parse_int k v =
+    match int_of_string_opt v with
+    | Some i when i >= 0 -> Ok i
+    | _ -> Error (Printf.sprintf "fault plan: %s wants a non-negative integer, got %S" k v)
+  in
+  let ( let* ) = Result.bind in
+  let fields =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+  in
+  List.fold_left
+    (fun acc field ->
+      let* t = acc in
+      match String.index_opt field '=' with
+      | None -> Error (Printf.sprintf "fault plan: expected key=value, got %S" field)
+      | Some i -> (
+        let k = String.sub field 0 i in
+        let v = String.sub field (i + 1) (String.length field - i - 1) in
+        match k with
+        | "read_error" ->
+          let* f = parse_float k v in
+          Ok { t with read_error = f }
+        | "write_error" ->
+          let* f = parse_float k v in
+          Ok { t with write_error = f }
+        | "latent" ->
+          let* n = parse_int k v in
+          Ok { t with latent = n }
+        | "stall_p" ->
+          let* f = parse_float k v in
+          Ok { t with stall_p = f }
+        | "stall_s" ->
+          let* f = parse_float k v in
+          Ok { t with stall_s = f }
+        | "crash_at" ->
+          let* f = parse_float k v in
+          Ok { t with crash_at = Some f }
+        | "seed" ->
+          let* n = parse_int k v in
+          Ok { t with seed = Some n }
+        | _ -> Error (Printf.sprintf "fault plan: unknown key %S" k)))
+    (Ok empty) fields
+
+let to_string t =
+  let parts = ref [] in
+  let add k v = parts := Printf.sprintf "%s=%s" k v :: !parts in
+  if t.read_error > 0. then add "read_error" (Printf.sprintf "%g" t.read_error);
+  if t.write_error > 0. then add "write_error" (Printf.sprintf "%g" t.write_error);
+  if t.latent > 0 then add "latent" (string_of_int t.latent);
+  if t.stall_p > 0. then add "stall_p" (Printf.sprintf "%g" t.stall_p);
+  if t.stall_s > 0. then add "stall_s" (Printf.sprintf "%g" t.stall_s);
+  (match t.crash_at with
+  | Some c -> add "crash_at" (Printf.sprintf "%g" c)
+  | None -> ());
+  (match t.seed with Some s -> add "seed" (string_of_int s) | None -> ());
+  String.concat "," (List.rev !parts)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

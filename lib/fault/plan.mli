@@ -1,0 +1,36 @@
+(** Declarative fault plans.
+
+    A plan is a small immutable record of fault rates and triggers; an
+    {!Injector} instantiates it with a PRNG seed into a concrete,
+    deterministic fault schedule. The textual form (accepted by Patsy's
+    [--fault-plan]) is a comma-separated [key=value] list:
+
+    {v read_error=0.01,write_error=0.005,latent=16,stall_p=0.001,stall_s=0.25,crash_at=30,seed=7 v}
+
+    Unknown keys are rejected; omitted keys keep their {!empty} value,
+    so ["latent=4"] alone is a valid plan. *)
+
+type t = {
+  read_error : float;   (** per-read probability of a transient error *)
+  write_error : float;  (** per-write probability of a transient error *)
+  latent : int;         (** latent bad sectors seeded per disk *)
+  stall_p : float;      (** per-request probability of a whole-disk stall *)
+  stall_s : float;      (** stall duration, scheduler seconds *)
+  crash_at : float option;  (** virtual time of the simulated power cut *)
+  seed : int option;    (** fault-stream seed; defaults to the experiment's *)
+}
+
+(** No faults at all. An {!Injector} built from it stays disabled. *)
+val empty : t
+
+(** [true] iff the plan injects no faults and carries no crash trigger. *)
+val is_empty : t -> bool
+
+(** Parse the [key=value] list; [Error msg] on unknown keys or
+    unparseable values. [of_string ""] is [Ok empty]. *)
+val of_string : string -> (t, string) result
+
+(** Round-trips through {!of_string}; omits [empty]-valued keys. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,6 +1,7 @@
 module Sched = Capfs_sched.Sched
 module Data = Capfs_disk.Data
 module Driver = Capfs_disk.Driver
+module Errno = Capfs_core.Errno
 module Stats = Capfs_stats
 module Counter = Capfs_stats.Counter
 
@@ -11,8 +12,6 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type config = { group_blocks : int; inodes_per_group : int }
 
 let default_config = { group_blocks = 2048; inodes_per_group = 64 }
-
-exception Disk_full
 
 let magic = "CAPFFS01"
 
@@ -63,8 +62,10 @@ let inode_addr t ino =
 
 let group_of_ino t ino = (ino - 1) / t.cfg.inodes_per_group
 
-let write_block_raw t ~addr data = Driver.write t.driver ~lba:(addr * t.spb) data
-let read_block_raw t ~addr = Driver.read t.driver ~lba:(addr * t.spb) ~sectors:t.spb
+let write_block_raw t ~addr data =
+  Driver.write_exn t.driver ~lba:(addr * t.spb) data
+let read_block_raw t ~addr =
+  Driver.read_exn t.driver ~lba:(addr * t.spb) ~sectors:t.spb
 
 let pad_to_block t s =
   let b = Bytes.make t.block_bytes '\000' in
@@ -94,7 +95,7 @@ let alloc_block t ~prefer_group =
     probe 0 0
   in
   let rec scan i =
-    if i >= t.ngroups then raise Disk_full
+    if i >= t.ngroups then raise (Errno.Error Errno.ENOSPC)
     else
       match try_group ((prefer_group + i) mod t.ngroups) with
       | Some addr -> addr
@@ -285,7 +286,7 @@ let to_layout t =
       | Inode.Regular | Inode.Symlink | Inode.Multimedia -> t.next_dir_group
     in
     let rec scan i =
-      if i >= t.ngroups then raise Disk_full
+      if i >= t.ngroups then raise (Errno.Error Errno.ENOSPC)
       else begin
         let g = (g0 + i) mod t.ngroups in
         let grp = t.groups.(g) in
@@ -417,15 +418,18 @@ let to_layout t =
     Layout.l_name = t.lname;
     block_bytes = t.block_bytes;
     total_blocks = t.total_blocks;
-    alloc_inode;
-    get_inode;
+    alloc_inode = (fun ~kind -> Errno.catch (fun () -> alloc_inode ~kind));
+    get_inode = (fun ino -> Errno.catch (fun () -> get_inode ino));
     update_inode;
-    free_inode;
-    read_block;
-    write_blocks;
-    truncate;
-    adopt;
-    sync;
+    free_inode = (fun ino -> Errno.catch (fun () -> free_inode ino));
+    read_block =
+      (fun inode blk -> Errno.catch (fun () -> read_block inode blk));
+    write_blocks = (fun ups -> Errno.catch (fun () -> write_blocks ups));
+    truncate =
+      (fun inode ~blocks -> Errno.catch (fun () -> truncate inode ~blocks));
+    adopt =
+      (fun inode ~blocks -> Errno.catch (fun () -> adopt inode ~blocks));
+    sync = (fun () -> Errno.catch (fun () -> sync ()));
     free_blocks = (fun () -> free_blocks_total t);
     layout_stats;
   }
@@ -442,7 +446,7 @@ let format ?(config = default_config) sched driver ~block_bytes =
 
 let mount ?registry ?(name = "ffs") sched driver =
   let sector = Driver.sector_bytes driver in
-  let sb_data = Driver.read driver ~lba:0 ~sectors:(4096 / sector) in
+  let sb_data = Driver.read_exn driver ~lba:0 ~sectors:(4096 / sector) in
   if not (Data.is_real sb_data) then
     raise (Codec.Corrupt "Ffs.mount: simulated disk holds no metadata; use format_and_mount");
   let block_bytes, total_blocks, group_blocks, ngroups, inodes_per_group =

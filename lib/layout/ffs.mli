@@ -20,8 +20,6 @@ type config = {
 
 val default_config : config
 
-exception Disk_full
-
 (** [format sched driver ~block_bytes] writes a fresh file system:
     superblock, then per-group bitmaps and empty inode tables. Whatever
     the disk held before is gone. *)

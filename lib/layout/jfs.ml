@@ -1,12 +1,11 @@
 module Sched = Capfs_sched.Sched
 module Data = Capfs_disk.Data
 module Driver = Capfs_disk.Driver
+module Errno = Capfs_core.Errno
 
 type config = { journal_blocks : int }
 
 let default_config = { journal_blocks = 64 }
-
-exception Disk_full
 
 let magic = "CAPJFS01"
 
@@ -49,7 +48,7 @@ let bit_set b i v =
 let alloc_block t =
   let n = data_blocks t in
   let rec probe i =
-    if i >= n then raise Disk_full
+    if i >= n then raise (Errno.Error Errno.ENOSPC)
     else begin
       let j = (t.rotor + i) mod n in
       if not (bit_get t.bitmap j) then begin
@@ -68,8 +67,10 @@ let free_block t addr =
 
 (* {2 Raw I/O} *)
 
-let write_block_raw t ~addr data = Driver.write t.driver ~lba:(addr * t.spb) data
-let read_block_raw t ~addr = Driver.read t.driver ~lba:(addr * t.spb) ~sectors:t.spb
+let write_block_raw t ~addr data =
+  Driver.write_exn t.driver ~lba:(addr * t.spb) data
+let read_block_raw t ~addr =
+  Driver.read_exn t.driver ~lba:(addr * t.spb) ~sectors:t.spb
 
 let pad_to_blocks t s =
   let n = ((String.length s + t.block_bytes - 1) / t.block_bytes) * t.block_bytes in
@@ -341,15 +342,18 @@ let to_layout t =
     Layout.l_name = t.lname;
     block_bytes = t.block_bytes;
     total_blocks = t.total_blocks;
-    alloc_inode;
-    get_inode;
+    alloc_inode = (fun ~kind -> Errno.catch (fun () -> alloc_inode ~kind));
+    get_inode = (fun ino -> Errno.catch (fun () -> get_inode ino));
     update_inode;
-    free_inode;
-    read_block;
-    write_blocks;
-    truncate;
-    adopt;
-    sync;
+    free_inode = (fun ino -> Errno.catch (fun () -> free_inode ino));
+    read_block =
+      (fun inode blk -> Errno.catch (fun () -> read_block inode blk));
+    write_blocks = (fun ups -> Errno.catch (fun () -> write_blocks ups));
+    truncate =
+      (fun inode ~blocks -> Errno.catch (fun () -> truncate inode ~blocks));
+    adopt =
+      (fun inode ~blocks -> Errno.catch (fun () -> adopt inode ~blocks));
+    sync = (fun () -> Errno.catch (fun () -> sync ()));
     free_blocks;
     layout_stats =
       (fun () ->
@@ -391,7 +395,7 @@ let format_and_mount ?registry ?(name = "jfs") ?(config = default_config)
    scan. *)
 let mount ?registry ?(name = "jfs") sched driver =
   let sector = Driver.sector_bytes driver in
-  let sb = Driver.read driver ~lba:0 ~sectors:(4096 / sector) in
+  let sb = Driver.read_exn driver ~lba:0 ~sectors:(4096 / sector) in
   if not (Data.is_real sb) then
     raise (Codec.Corrupt "Jfs.mount: simulated disk holds no metadata");
   let block_bytes, total_blocks, journal_blocks =
@@ -404,7 +408,7 @@ let mount ?registry ?(name = "jfs") sched driver =
   (* read the whole journal region once *)
   let region =
     Data.to_string
-      (Driver.read driver ~lba:(1 * t.spb)
+      (Driver.read_exn driver ~lba:(1 * t.spb)
          ~sectors:(journal_blocks * t.spb))
   in
   let apply (kind, next_ino, inodes, deleted) =

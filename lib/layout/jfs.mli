@@ -21,8 +21,6 @@ type config = {
 
 val default_config : config
 
-exception Disk_full
-
 (** [format sched driver ~block_bytes] writes a fresh image: superblock
     and an empty journal with an initial checkpoint record. *)
 val format :

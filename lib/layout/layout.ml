@@ -1,20 +1,28 @@
+module Errno = Capfs_core.Errno
+
 type t = {
   l_name : string;
   block_bytes : int;
   total_blocks : int;
-  alloc_inode : kind:Inode.kind -> Inode.t;
-  get_inode : int -> Inode.t option;
+  alloc_inode : kind:Inode.kind -> (Inode.t, Errno.t) result;
+  get_inode : int -> (Inode.t option, Errno.t) result;
   update_inode : Inode.t -> unit;
-  free_inode : int -> unit;
-  read_block : Inode.t -> int -> Capfs_disk.Data.t;
-  write_blocks : (int * int * Capfs_disk.Data.t) list -> unit;
-  truncate : Inode.t -> blocks:int -> unit;
-  adopt : Inode.t -> blocks:int -> unit;
-  sync : unit -> unit;
+  free_inode : int -> (unit, Errno.t) result;
+  read_block : Inode.t -> int -> (Capfs_disk.Data.t, Errno.t) result;
+  write_blocks : (int * int * Capfs_disk.Data.t) list -> (unit, Errno.t) result;
+  truncate : Inode.t -> blocks:int -> (unit, Errno.t) result;
+  adopt : Inode.t -> blocks:int -> (unit, Errno.t) result;
+  sync : unit -> (unit, Errno.t) result;
   free_blocks : unit -> int;
   layout_stats : unit -> (string * float) list;
 }
 
 let read_span t inode ~first ~count =
-  Capfs_disk.Data.concat
-    (List.init count (fun i -> t.read_block inode (first + i)))
+  let rec go i acc =
+    if i >= count then Ok (Capfs_disk.Data.concat (List.rev acc))
+    else
+      match t.read_block inode (first + i) with
+      | Ok d -> go (i + 1) (d :: acc)
+      | Error _ as e -> e
+  in
+  go 0 []

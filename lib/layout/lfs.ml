@@ -1,6 +1,7 @@
 module Sched = Capfs_sched.Sched
 module Data = Capfs_disk.Data
 module Driver = Capfs_disk.Driver
+module Errno = Capfs_core.Errno
 module Stats = Capfs_stats
 module Counter = Capfs_stats.Counter
 module Tracer = Capfs_obs.Tracer
@@ -35,8 +36,6 @@ let default_config =
     ino_stride = 1;
   }
 
-exception Disk_full
-
 let magic = "CAPLFS01"
 
 (* What a block in the log is, as recorded in the segment summary. *)
@@ -49,6 +48,9 @@ type seg_state = {
   mutable live : int; (* live blocks, excluding the summary *)
   mutable written_seq : int;
   mutable free : bool;
+  mutable pending_free : bool;
+      (* cleaned, but the durable checkpoint still references it: must
+         not be reused until the next checkpoint commits *)
 }
 
 type t = {
@@ -83,6 +85,13 @@ type t = {
   pending : (int, Data.t) Hashtbl.t; (* disk addr -> buffered data *)
   dirty_inodes : (int, unit) Hashtbl.t;
   mutable cleaning : bool;
+  (* checkpoint capture: while set, seals buffer their payloads in
+     [deferred_seals] instead of writing, so capturing the in-core
+     metadata never yields to other fibres *)
+  mutable capturing : bool;
+  mutable deferred_seals : (int * Data.t list * Data.t) list; (* reversed *)
+  mutable inflight_seals : int; (* seal writes issued but not yet durable *)
+  seal_done : Sched.event;
   (* adoption cursor: segment being filled with synthesized pre-existing
      blocks (simulator aid), -1 when none *)
   mutable adopt_seg : int;
@@ -102,13 +111,21 @@ let seg_base t s = t.seg0 + (s * t.cfg.seg_blocks)
 let free_segments t =
   Array.fold_left (fun n s -> if s.free then n + 1 else n) 0 t.segs
 
+(* Free now, or free as soon as the next checkpoint commits. The
+   cleaner budgets against this; only [find_free_segment] insists on
+   strictly free segments. *)
+let reclaimable_segments t =
+  Array.fold_left
+    (fun n s -> if s.free || s.pending_free then n + 1 else n)
+    0 t.segs
+
 (* {2 Raw block I/O} *)
 
 let write_block_raw t ~addr data =
-  Driver.write t.driver ~lba:(addr * t.spb) data
+  Driver.write_exn t.driver ~lba:(addr * t.spb) data
 
 let read_block_raw t ~addr =
-  Driver.read t.driver ~lba:(addr * t.spb) ~sectors:t.spb
+  Driver.read_exn t.driver ~lba:(addr * t.spb) ~sectors:t.spb
 
 (* Pad a serialized structure to whole blocks. *)
 let pad_to_blocks t s =
@@ -180,15 +197,50 @@ let find_free_segment t =
   in
   go 0
 
+let serialize_checkpoint t =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "CKPT";
+  Codec.Writer.u64 w t.seq;
+  Codec.Writer.u64 w t.next_ino;
+  Codec.Writer.f64 w (Sched.now t.sched);
+  Codec.Writer.u32 w (Hashtbl.length t.imap);
+  Hashtbl.iter
+    (fun ino addr ->
+      Codec.Writer.u64 w ino;
+      Codec.Writer.u64 w addr)
+    t.imap;
+  Codec.Writer.u32 w t.nsegs;
+  Array.iter
+    (fun s ->
+      Codec.Writer.u32 w s.live;
+      Codec.Writer.u64 w s.written_seq;
+      (* this checkpoint no longer references pending-free victims, so
+         the image may already call them free; the in-core flag only
+         flips once the image is durable *)
+      Codec.Writer.u8 w (if s.free || s.pending_free then 1 else 0))
+    t.segs;
+  (* indirect lists, so liveness checks survive a remount *)
+  Codec.Writer.u32 w (Hashtbl.length t.indirect_of);
+  Hashtbl.iter
+    (fun ino addrs ->
+      Codec.Writer.u64 w ino;
+      Codec.Writer.u32 w (List.length addrs);
+      List.iter (fun a -> Codec.Writer.u64 w a) addrs)
+    t.indirect_of;
+  let body = Codec.Writer.contents w in
+  let w2 = Codec.Writer.create () in
+  Codec.Writer.u32 w2 (Codec.crc body);
+  body ^ Codec.Writer.contents w2
+
 (* Forward declaration for the seal -> clean -> append cycle. *)
 let rec seal_segment t =
   if t.cur_pos > 1 then begin
+    let seg = t.cur_seg in
     let entries = List.rev t.cur_entries in
     let blocks = List.rev t.cur_data in
     let summary = pad_to_blocks t (serialize_summary t entries) in
     let payload = Data.concat (summary :: blocks) in
-    write_block_raw t ~addr:(seg_base t t.cur_seg) payload;
-    t.segs.(t.cur_seg).written_seq <- t.seq;
+    t.segs.(seg).written_seq <- t.seq;
     t.seq <- t.seq + 1;
     t.sealed_segments <- t.sealed_segments + 1;
     t.log_blocks_written <- t.log_blocks_written + List.length blocks + 1;
@@ -196,19 +248,33 @@ let rec seal_segment t =
     (let tr = Sched.tracer t.sched in
      if Tracer.enabled tr then
        Tracer.emit tr ~time:(Sched.now t.sched)
-         (Ev.Seg_write
-            { volume = t.lname; seg = t.cur_seg; blocks = List.length blocks }));
-    (* buffered blocks are now on disk *)
-    List.iteri
-      (fun i _ -> Hashtbl.remove t.pending (seg_base t t.cur_seg + 1 + i))
-      blocks;
+         (Ev.Seg_write { volume = t.lname; seg; blocks = List.length blocks }));
+    (* Open the successor before the write below can yield: an append
+       racing the seal I/O must land in a fresh buffer, not in the
+       sealed one where it would silently vanish. *)
     let next =
       match find_free_segment t with
       | Some s -> s
-      | None -> raise Disk_full
+      | None -> raise (Errno.Error Errno.ENOSPC)
     in
     open_segment t next;
-    maybe_clean t
+    if t.capturing then
+      (* a checkpoint capture is in flight: stay yield-free and let
+         [checkpoint] issue the write once the capture is complete *)
+      t.deferred_seals <- (seg, blocks, payload) :: t.deferred_seals
+    else begin
+      t.inflight_seals <- t.inflight_seals + 1;
+      Fun.protect
+        ~finally:(fun () ->
+          t.inflight_seals <- t.inflight_seals - 1;
+          Sched.broadcast t.sched t.seal_done)
+        (fun () -> write_block_raw t ~addr:(seg_base t seg) payload);
+      (* buffered blocks are now on disk *)
+      List.iteri
+        (fun i _ -> Hashtbl.remove t.pending (seg_base t seg + 1 + i))
+        blocks;
+      maybe_clean t
+    end
   end
 
 and append_block t entry data =
@@ -288,7 +354,7 @@ and pick_victim t =
   in
   Array.iteri
     (fun s st ->
-      if (not st.free) && s <> t.cur_seg then begin
+      if (not st.free) && (not st.pending_free) && s <> t.cur_seg then begin
         let cap = float_of_int (t.cfg.seg_blocks - 1) in
         let u = float_of_int st.live /. cap in
         if u < 1.0 then begin
@@ -322,7 +388,7 @@ and clean_segment t victim =
   let base = seg_base t victim in
   (* One sequential read of the whole segment. *)
   let seg_data =
-    Driver.read t.driver ~lba:(base * t.spb)
+    Driver.read_exn t.driver ~lba:(base * t.spb)
       ~sectors:(t.cfg.seg_blocks * t.spb)
   in
   let block_at i =
@@ -369,25 +435,88 @@ and clean_segment t victim =
         | None -> ()))
     reappend_inodes;
   t.segs.(victim).live <- 0;
-  t.segs.(victim).free <- true
+  (* The durable checkpoint still points into the victim; reusing it
+     before the next checkpoint commits would let a crash resurrect a
+     checkpoint whose blocks have been overwritten. Park it until then. *)
+  t.segs.(victim).pending_free <- true
 
 and maybe_clean t =
-  if (not t.cleaning) && free_segments t < t.cfg.min_free_segments then begin
+  if
+    (not t.cleaning) && (not t.capturing)
+    && reclaimable_segments t < t.cfg.min_free_segments
+  then begin
     t.cleaning <- true;
     let budget = ref (2 * t.nsegs) in
     (try
-       while free_segments t < t.cfg.target_free_segments && !budget > 0 do
+       while reclaimable_segments t < t.cfg.target_free_segments && !budget > 0 do
          decr budget;
          match pick_victim t with
          | Some v -> clean_segment t v
          | None -> budget := 0
-       done
+       done;
+       (* cleaned segments only become reusable once a checkpoint that
+          no longer references them is durable *)
+       if Array.exists (fun s -> s.pending_free) t.segs then checkpoint t
      with e ->
        t.cleaning <- false;
        raise e);
     t.cleaning <- false;
     Counter.record t.c_free_segments (float_of_int (free_segments t))
   end
+
+(* {2 Checkpoints (write path)} *)
+
+and checkpoint t =
+  (* Phase 1 — capture. The capture must be atomic with respect to
+     other fibres: sealing normally awaits disk I/O, and an inode
+     mutated during that await (e.g. a directory mid
+     truncate-and-rewrite) would be serialized half-updated into the
+     checkpoint image. With [capturing] set, seals buffer their
+     payloads instead of writing, so this whole block runs without
+     yielding. *)
+  t.capturing <- true;
+  let seals, ser =
+    Fun.protect
+      ~finally:(fun () -> t.capturing <- false)
+      (fun () ->
+        flush_dirty_inodes t;
+        seal_segment t;
+        let seals = List.rev t.deferred_seals in
+        t.deferred_seals <- [];
+        (seals, serialize_checkpoint t))
+  in
+  let max_bytes = t.cfg.checkpoint_blocks * t.block_bytes in
+  if String.length ser > max_bytes then
+    raise
+      (Codec.Corrupt
+         "checkpoint exceeds its region; reformat with a larger checkpoint_blocks");
+  let region = if t.ckpt_next_a then t.ckpt_a else t.ckpt_b in
+  t.ckpt_next_a <- not t.ckpt_next_a;
+  let seq = t.seq in
+  (* Phase 2 — write. Captured segments go out first, then any seal
+     still in flight from another fibre must land (the image points
+     into it), and only then the region that makes the image current. *)
+  List.iter
+    (fun (seg, blocks, payload) ->
+      write_block_raw t ~addr:(seg_base t seg) payload;
+      List.iteri
+        (fun i _ -> Hashtbl.remove t.pending (seg_base t seg + 1 + i))
+        blocks)
+    seals;
+  while t.inflight_seals > 0 do
+    Sched.await t.sched t.seal_done
+  done;
+  write_block_raw t ~addr:region (pad_to_blocks t ser);
+  t.ckpt_seq <- seq;
+  (* the image calling parked victims free is durable: reuse is safe *)
+  Array.iter
+    (fun s ->
+      if s.pending_free then begin
+        s.pending_free <- false;
+        s.free <- true
+      end)
+    t.segs;
+  Counter.record t.c_checkpoint 1.
 
 (* {2 Inode loading} *)
 
@@ -431,51 +560,6 @@ and load_inode t ino =
 
 (* {2 Checkpoints} *)
 
-let serialize_checkpoint t =
-  let w = Codec.Writer.create () in
-  Codec.Writer.string w "CKPT";
-  Codec.Writer.u64 w t.seq;
-  Codec.Writer.u64 w t.next_ino;
-  Codec.Writer.f64 w (Sched.now t.sched);
-  Codec.Writer.u32 w (Hashtbl.length t.imap);
-  Hashtbl.iter
-    (fun ino addr ->
-      Codec.Writer.u64 w ino;
-      Codec.Writer.u64 w addr)
-    t.imap;
-  Codec.Writer.u32 w t.nsegs;
-  Array.iter
-    (fun s ->
-      Codec.Writer.u32 w s.live;
-      Codec.Writer.u64 w s.written_seq;
-      Codec.Writer.u8 w (if s.free then 1 else 0))
-    t.segs;
-  (* indirect lists, so liveness checks survive a remount *)
-  Codec.Writer.u32 w (Hashtbl.length t.indirect_of);
-  Hashtbl.iter
-    (fun ino addrs ->
-      Codec.Writer.u64 w ino;
-      Codec.Writer.u32 w (List.length addrs);
-      List.iter (fun a -> Codec.Writer.u64 w a) addrs)
-    t.indirect_of;
-  let body = Codec.Writer.contents w in
-  let w2 = Codec.Writer.create () in
-  Codec.Writer.u32 w2 (Codec.crc body);
-  body ^ Codec.Writer.contents w2
-
-let checkpoint t =
-  flush_dirty_inodes t;
-  seal_segment t;
-  let ser = serialize_checkpoint t in
-  let max_bytes = t.cfg.checkpoint_blocks * t.block_bytes in
-  if String.length ser > max_bytes then
-    raise (Codec.Corrupt "checkpoint exceeds its region; reformat with a larger checkpoint_blocks");
-  let region = if t.ckpt_next_a then t.ckpt_a else t.ckpt_b in
-  t.ckpt_next_a <- not t.ckpt_next_a;
-  write_block_raw t ~addr:region (pad_to_blocks t ser);
-  t.ckpt_seq <- t.seq;
-  Counter.record t.c_checkpoint 1.
-
 let parse_checkpoint s =
   let crc_pos = String.length s - 4 in
   if crc_pos <= 0 then raise (Codec.Corrupt "checkpoint too small");
@@ -498,7 +582,7 @@ let parse_checkpoint s =
       let live = Codec.Reader.u32 r in
       let wseq = Codec.Reader.u64 r in
       let free = Codec.Reader.u8 r = 1 in
-      { live; written_seq = wseq; free })
+      { live; written_seq = wseq; free; pending_free = false })
   in
   let n_ind = Codec.Reader.u32 r in
   let indirects = List.init n_ind (fun _ ->
@@ -601,7 +685,9 @@ let make_t ?registry ?(name = "lfs") ~cfg sched driver ~block_bytes
     imap = Hashtbl.create 1024;
     inodes = Hashtbl.create 1024;
     indirect_of = Hashtbl.create 64;
-    segs = Array.init nsegs (fun _ -> { live = 0; written_seq = 0; free = true });
+    segs =
+      Array.init nsegs (fun _ ->
+          { live = 0; written_seq = 0; free = true; pending_free = false });
     next_ino = cfg.first_ino;
     seq = 1;
     ckpt_next_a = true;
@@ -613,6 +699,10 @@ let make_t ?registry ?(name = "lfs") ~cfg sched driver ~block_bytes
     pending = Hashtbl.create 256;
     dirty_inodes = Hashtbl.create 64;
     cleaning = false;
+    capturing = false;
+    deferred_seals = [];
+    inflight_seals = 0;
+    seal_done = Sched.new_event ~name:(name ^ ".seal_done") sched;
     adopt_seg = -1;
     adopt_pos = 1;
     sealed_segments = 0;
@@ -720,7 +810,7 @@ let to_layout t =
           t.segs.(s).written_seq <- 0;
           t.adopt_seg <- s;
           t.adopt_pos <- 1
-        | Some _ | None -> raise Disk_full
+        | Some _ | None -> raise (Errno.Error Errno.ENOSPC)
       end;
       let addr = seg_base t t.adopt_seg + t.adopt_pos in
       t.adopt_pos <- t.adopt_pos + 1;
@@ -744,26 +834,31 @@ let to_layout t =
       ("inodes", float_of_int (Hashtbl.length t.inodes));
     ]
   in
+  (* exceptions stop here: internals raise [Errno.Error], the public
+     record reports typed results *)
   {
     Layout.l_name = t.lname;
     block_bytes = t.block_bytes;
     total_blocks = t.total_blocks;
-    alloc_inode;
-    get_inode;
+    alloc_inode = (fun ~kind -> Errno.catch (fun () -> alloc_inode ~kind));
+    get_inode = (fun ino -> Errno.catch (fun () -> get_inode ino));
     update_inode;
-    free_inode;
-    read_block;
-    write_blocks;
-    truncate;
-    adopt;
-    sync = (fun () -> checkpoint t);
+    free_inode = (fun ino -> Errno.catch (fun () -> free_inode ino));
+    read_block =
+      (fun inode blk -> Errno.catch (fun () -> read_block inode blk));
+    write_blocks = (fun ups -> Errno.catch (fun () -> write_blocks ups));
+    truncate =
+      (fun inode ~blocks -> Errno.catch (fun () -> truncate inode ~blocks));
+    adopt =
+      (fun inode ~blocks -> Errno.catch (fun () -> adopt inode ~blocks));
+    sync = (fun () -> Errno.catch (fun () -> checkpoint t));
     free_blocks =
       (fun () -> free_segments t * (t.cfg.seg_blocks - 1));
     layout_stats;
   }
 
 let read_region t ~addr ~blocks =
-  Driver.read t.driver ~lba:(addr * t.spb) ~sectors:(blocks * t.spb)
+  Driver.read_exn t.driver ~lba:(addr * t.spb) ~sectors:(blocks * t.spb)
 
 let roll_forward t =
   (* Segments whose summaries carry a sequence newer than the checkpoint
@@ -822,12 +917,13 @@ let roll_forward t =
           | None -> ())
         | None -> ())
       t.imap
-  end
+  end;
+  List.length newer
 
-let mount ?registry ?(name = "lfs") ?(config = default_config) sched driver =
+let mount_t ?registry ?(name = "lfs") ?(config = default_config) sched driver =
   (* geometry comes from the superblock; config only tunes policies *)
   let sector = Driver.sector_bytes driver in
-  let sb_data = Driver.read driver ~lba:0 ~sectors:(4096 / sector) in
+  let sb_data = Driver.read_exn driver ~lba:0 ~sectors:(4096 / sector) in
   if not (Data.is_real sb_data) then
     raise (Codec.Corrupt "Lfs.mount: simulated disk holds no metadata; use format_and_mount");
   let ( block_bytes, total_blocks, seg_blocks, nsegs, seg0, ckpt_a, ckpt_b,
@@ -874,11 +970,86 @@ let mount ?registry ?(name = "lfs") ?(config = default_config) sched driver =
       indirects;
     (* next checkpoint goes to the other region *)
     t.ckpt_next_a <- not was_a);
-  roll_forward t;
+  let rolled = roll_forward t in
   (match find_free_segment t with
   | Some s -> open_segment t s
-  | None -> raise Disk_full);
-  to_layout t
+  | None -> raise (Errno.Error Errno.ENOSPC));
+  (t, rolled)
+
+let mount ?registry ?name ?config sched driver =
+  to_layout (fst (mount_t ?registry ?name ?config sched driver))
+
+(* {2 Crash recovery} *)
+
+type recovery_report = {
+  r_checkpoint_seq : int;
+  r_rolled_segments : int;
+  r_recovered_inodes : int;
+  r_fsck_errors : string list;
+}
+
+(* Structural consistency sweep over the recovered state: every
+   inode-map entry must deserialize into an inode whose block addresses
+   fall inside the volume. Free-segment membership is deliberately not
+   checked: blocks adopted after the last checkpoint legitimately live
+   in segments the checkpoint believed free. *)
+let fsck t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let check_addr what ino a =
+    if a <> Inode.addr_none && (a < 0 || a >= t.total_blocks) then
+      err "ino %d: %s address %d outside volume [0,%d)" ino what a
+        t.total_blocks
+  in
+  Hashtbl.iter
+    (fun ino addr ->
+      check_addr "inode-map" ino addr;
+      match load_inode t ino with
+      | None -> err "ino %d: in inode map at %d but unloadable" ino addr
+      | Some inode ->
+        if inode.Inode.ino <> ino then
+          err "ino %d: inode block at %d claims ino %d" ino addr
+            inode.Inode.ino;
+        if inode.Inode.size < 0 then
+          err "ino %d: negative size %d" ino inode.Inode.size;
+        List.iter (fun (_, a) -> check_addr "block" ino a)
+          (Inode.mapped inode)
+      | exception Codec.Corrupt m ->
+        err "ino %d: corrupt inode block at %d: %s" ino addr m
+      | exception Errno.Error e ->
+        err "ino %d: I/O error loading inode at %d: %s" ino addr
+          (Errno.to_string e))
+    t.imap;
+  List.rev !errors
+
+let recover ?registry ?name ?config sched driver =
+  match mount_t ?registry ?name ?config sched driver with
+  | t, rolled ->
+    let report =
+      {
+        r_checkpoint_seq = t.ckpt_seq;
+        r_rolled_segments = rolled;
+        r_recovered_inodes = Hashtbl.length t.imap;
+        r_fsck_errors = fsck t;
+      }
+    in
+    (let tr = Sched.tracer t.sched in
+     if Tracer.enabled tr then
+       Tracer.emit tr ~time:(Sched.now t.sched)
+         (Ev.Recovery
+            {
+              volume = t.lname;
+              segments = rolled;
+              inodes = report.r_recovered_inodes;
+            }));
+    Log.info (fun m ->
+        m "%s: recovered at seq %d: %d segments rolled, %d inodes, %d fsck \
+           errors"
+          t.lname report.r_checkpoint_seq rolled report.r_recovered_inodes
+          (List.length report.r_fsck_errors));
+    Ok (to_layout t, report)
+  | exception Errno.Error e -> Error e
+  | exception Codec.Corrupt _ -> Error Errno.EIO
 
 let format_and_mount ?registry ?(name = "lfs") ?(config = default_config)
     sched driver ~block_bytes =

@@ -41,10 +41,9 @@ type config = {
 (** 128-block (512 KB) segments, cost-benefit cleaning, ino stride 1. *)
 val default_config : config
 
-exception Disk_full
-
 (** [format sched driver ~block_bytes ~config] writes a fresh, empty
-    file system: superblock, initial checkpoint, all segments free. *)
+    file system: superblock, initial checkpoint, all segments free.
+    Raises {!Capfs_core.Errno.Error} if the disk fails underneath. *)
 val format :
   ?config:config ->
   Capfs_sched.Sched.t ->
@@ -54,7 +53,8 @@ val format :
 
 (** [mount sched driver ~block_bytes] reads the superblock and newer
     checkpoint, rolls the log forward, and returns the layout interface.
-    Raises [Codec.Corrupt] on an invalid image. The [config] cleaning
+    Raises [Codec.Corrupt] on an invalid image and
+    {!Capfs_core.Errno.Error} on I/O failure. The [config] cleaning
     parameters override the defaults (the on-disk geometry always comes
     from the superblock). *)
 val mount :
@@ -64,6 +64,30 @@ val mount :
   Capfs_sched.Sched.t ->
   Capfs_disk.Driver.t ->
   Layout.t
+
+(** What {!recover} did and found. *)
+type recovery_report = {
+  r_checkpoint_seq : int;    (** sequence of the checkpoint restored from *)
+  r_rolled_segments : int;   (** log segments newer than that checkpoint *)
+  r_recovered_inodes : int;  (** inode-map entries live after recovery *)
+  r_fsck_errors : string list;
+      (** structural inconsistencies (unloadable inodes, out-of-volume
+          addresses); empty on a clean recovery *)
+}
+
+(** [recover sched driver] is the crash-recovery entry point: {!mount}
+    (newer valid checkpoint + roll-forward over the segment summaries)
+    followed by a structural consistency sweep of the recovered inode
+    map. Returns the mounted layout and a report; [Error EIO] when no
+    valid checkpoint survives, [Error e] for driver failures during
+    recovery. Emits a [Recovery] trace event when tracing is on. *)
+val recover :
+  ?registry:Capfs_stats.Registry.t ->
+  ?name:string ->
+  ?config:config ->
+  Capfs_sched.Sched.t ->
+  Capfs_disk.Driver.t ->
+  (Layout.t * recovery_report, Capfs_core.Errno.t) result
 
 (** [format_and_mount] is the common test/simulator path: format a fresh
     image and mount it without re-reading metadata from disk (so it also

@@ -1,6 +1,7 @@
 module Sched = Capfs_sched.Sched
 module Data = Capfs_disk.Data
 module Driver = Capfs_disk.Driver
+module Errno = Capfs_core.Errno
 
 let create ?registry ?(name = "simlayout") ?(seed = 1996) sched driver
     ~block_bytes =
@@ -40,7 +41,7 @@ let create ?registry ?(name = "simlayout") ?(seed = 1996) sched driver
     if not (Hashtbl.mem loaded ino) then begin
       Hashtbl.replace loaded ino ();
       let addr = (origin_of ino + total_blocks - 1) mod total_blocks in
-      ignore (Driver.read driver ~lba:(addr * spb) ~sectors:spb)
+      ignore (Driver.read_exn driver ~lba:(addr * spb) ~sectors:spb)
     end
   in
   let alloc_inode ~kind =
@@ -68,7 +69,8 @@ let create ?registry ?(name = "simlayout") ?(seed = 1996) sched driver
   in
   let read_block (inode : Inode.t) blk =
     charge_inode_load inode.Inode.ino;
-    Driver.read driver ~lba:(addr_of inode.Inode.ino blk * spb) ~sectors:spb
+    Driver.read_exn driver ~lba:(addr_of inode.Inode.ino blk * spb)
+      ~sectors:spb
   in
   let write_blocks updates =
     List.iter
@@ -76,7 +78,7 @@ let create ?registry ?(name = "simlayout") ?(seed = 1996) sched driver
         let data =
           if Data.length data = block_bytes then data else Data.sim block_bytes
         in
-        Driver.write driver ~lba:(addr_of ino blk * spb) data)
+        Driver.write_exn driver ~lba:(addr_of ino blk * spb) data)
       updates
   in
   let truncate (inode : Inode.t) ~blocks =
@@ -92,15 +94,18 @@ let create ?registry ?(name = "simlayout") ?(seed = 1996) sched driver
     Layout.l_name = name;
     block_bytes;
     total_blocks;
-    alloc_inode;
-    get_inode;
+    alloc_inode = (fun ~kind -> Errno.catch (fun () -> alloc_inode ~kind));
+    get_inode = (fun ino -> Errno.catch (fun () -> get_inode ino));
     update_inode;
-    free_inode;
-    read_block;
-    write_blocks;
-    truncate;
-    adopt;
-    sync = (fun () -> ());
+    free_inode = (fun ino -> Errno.catch (fun () -> free_inode ino));
+    read_block =
+      (fun inode blk -> Errno.catch (fun () -> read_block inode blk));
+    write_blocks = (fun ups -> Errno.catch (fun () -> write_blocks ups));
+    truncate =
+      (fun inode ~blocks -> Errno.catch (fun () -> truncate inode ~blocks));
+    adopt =
+      (fun inode ~blocks -> Errno.catch (fun () -> adopt inode ~blocks));
+    sync = (fun () -> Ok ());
     free_blocks = (fun () -> total_blocks);
     layout_stats =
       (fun () ->

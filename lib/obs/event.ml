@@ -18,14 +18,25 @@ type kind =
       dur : float;
     }
   | Seg_write of { volume : string; seg : int; blocks : int }
+  | Disk_fault of {
+      disk : string;
+      lba : int;
+      sectors : int;
+      write : bool;
+      fault : string;
+    }
+  | Disk_retry of { disk : string; attempt : int; delay : float }
+  | Recovery of { volume : string; segments : int; inodes : int }
 
 type t = { time : float; seq : int; kind : kind }
 
 let layer_of = function
   | Dispatch _ | Block _ | Wake _ -> Sched
   | Cache_hit _ | Cache_miss _ | Cache_evict _ | Cache_flush _ -> Cache
-  | Disk_enqueue _ | Disk_seek _ | Disk_service _ -> Disk
-  | Seg_write _ -> Layout
+  | Disk_enqueue _ | Disk_seek _ | Disk_service _ | Disk_fault _
+  | Disk_retry _ ->
+    Disk
+  | Seg_write _ | Recovery _ -> Layout
 
 let layer_name = function
   | Sched -> "sched"
@@ -45,6 +56,9 @@ let kind_name = function
   | Disk_seek _ -> "seek"
   | Disk_service _ -> "service"
   | Seg_write _ -> "segment"
+  | Disk_fault _ -> "fault"
+  | Disk_retry _ -> "retry"
+  | Recovery _ -> "recovery"
 
 let source = function
   | Dispatch { thread; _ } | Block { thread; _ } | Wake { thread; _ } -> thread
@@ -53,15 +67,19 @@ let source = function
   | Cache_evict { cache; _ }
   | Cache_flush { cache; _ } ->
     cache
-  | Disk_enqueue { disk; _ } | Disk_seek { disk; _ } | Disk_service { disk; _ }
-    ->
+  | Disk_enqueue { disk; _ }
+  | Disk_seek { disk; _ }
+  | Disk_service { disk; _ }
+  | Disk_fault { disk; _ }
+  | Disk_retry { disk; _ } ->
     disk
-  | Seg_write { volume; _ } -> volume
+  | Seg_write { volume; _ } | Recovery { volume; _ } -> volume
 
 let duration = function
   | Disk_seek { dur; _ } | Disk_service { dur; _ } -> dur
   | Dispatch _ | Block _ | Wake _ | Cache_hit _ | Cache_miss _ | Cache_evict _
-  | Cache_flush _ | Disk_enqueue _ | Seg_write _ ->
+  | Cache_flush _ | Disk_enqueue _ | Seg_write _ | Disk_fault _ | Disk_retry _
+  | Recovery _ ->
     0.
 
 let pp_args ppf = function
@@ -84,6 +102,14 @@ let pp_args ppf = function
       lba sectors dur
   | Seg_write { seg; blocks; _ } ->
     Format.fprintf ppf "seg=%d blocks=%d" seg blocks
+  | Disk_fault { lba; sectors; write; fault; _ } ->
+    Format.fprintf ppf "%s lba=%d sectors=%d fault=%s"
+      (if write then "write" else "read")
+      lba sectors fault
+  | Disk_retry { attempt; delay; _ } ->
+    Format.fprintf ppf "attempt=%d delay=%.6f" attempt delay
+  | Recovery { segments; inodes; _ } ->
+    Format.fprintf ppf "segments=%d inodes=%d" segments inodes
 
 let pp ppf t =
   Format.fprintf ppf "%12.6f %-6s %-8s %-16s %a" t.time

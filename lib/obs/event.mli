@@ -48,6 +48,22 @@ type kind =
   (* storage layout *)
   | Seg_write of { volume : string; seg : int; blocks : int }
       (** the LFS sealed segment [seg] and wrote it as one large I/O *)
+  (* failure handling *)
+  | Disk_fault of {
+      disk : string;
+      lba : int;
+      sectors : int;
+      write : bool;
+      fault : string;
+    }
+      (** the injector failed (or stalled) this request; [fault] is
+          ["transient"], ["hard"] or ["stall"] *)
+  | Disk_retry of { disk : string; attempt : int; delay : float }
+      (** the driver is re-submitting a failed request after backing
+          off [delay] seconds; [attempt] counts from 1 *)
+  | Recovery of { volume : string; segments : int; inodes : int }
+      (** LFS crash recovery rolled [segments] log segments forward and
+          re-attached [inodes] inode-map entries *)
 
 type t = {
   time : float;  (** scheduler seconds (virtual in Patsy, elapsed in PFS) *)

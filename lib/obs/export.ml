@@ -94,7 +94,27 @@ let add_args buf (kind : Event.kind) =
     sep ();
     int "segment" seg;
     sep ();
-    int "blocks" blocks);
+    int "blocks" blocks
+  | Event.Disk_fault { disk; lba; sectors; write; fault } ->
+    str "disk" disk;
+    sep ();
+    int "lba" lba;
+    sep ();
+    int "sectors" sectors;
+    sep ();
+    str "op" (if write then "write" else "read");
+    sep ();
+    str "fault" fault
+  | Event.Disk_retry { disk; attempt; _ } ->
+    str "disk" disk;
+    sep ();
+    int "attempt" attempt
+  | Event.Recovery { volume; segments; inodes } ->
+    str "volume" volume;
+    sep ();
+    int "segments" segments;
+    sep ();
+    int "inodes" inodes);
   Buffer.add_char buf '}'
 
 (* Non-scheduler events render under a per-component synthetic thread

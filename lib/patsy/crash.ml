@@ -1,0 +1,273 @@
+module Sched = Capfs_sched.Sched
+module Record = Capfs_trace.Record
+module Sim_disk = Capfs_disk.Sim_disk
+module Driver = Capfs_disk.Driver
+module Iosched = Capfs_disk.Iosched
+module Bus = Capfs_disk.Bus
+module Disk_model = Capfs_disk.Disk_model
+module Lfs = Capfs_layout.Lfs
+module Inode = Capfs_layout.Inode
+module Fsys = Capfs.Fsys
+module Client = Capfs.Client
+module Namespace = Capfs.Namespace
+module Errno = Capfs_core.Errno
+module Stats = Capfs_stats
+
+let src = Logs.Src.create "capfs.crash" ~doc:"crash-recovery experiment"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type violation = { v_path : string; v_expected : string; v_found : string }
+
+type report = {
+  crash_time : float;
+  applied_ops : int;
+  floor_size : int;
+  floor_synced : bool;
+  recoveries : (string * Lfs.recovery_report) list;
+  failed_volumes : (string * Errno.t) list;
+  violations : violation list;
+  ok : bool;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s: expected %s, found %s" v.v_path v.v_expected v.v_found
+
+(* {2 The shadow model}
+
+   The shadow model is the durable floor: a snapshot of the namespace
+   (path, kind, size) taken just before a whole-system sync that
+   completes before the crash. Any path mutated at or after the walk
+   lands in [touched] (via the replay's observe hook) and is excluded.
+   What remains — state the file system acknowledged as stable and then
+   never changed — MUST survive the crash verbatim; everything else is
+   legitimately undefined, exactly like a real power cut. *)
+
+type floor_entry = { fl_path : string; fl_kind : Inode.kind; fl_size : int }
+
+let touch touched (r : Record.t) =
+  let add path = Hashtbl.replace touched (Namespace.normalize path) () in
+  match r.Record.op with
+  | Record.Write { path; _ }
+  | Record.Truncate { path; _ }
+  | Record.Delete { path }
+  | Record.Mkdir { path }
+  | Record.Rmdir { path } -> add path
+  | Record.Open { path; mode = Record.Write_only | Record.Read_write } ->
+    add path
+  | Record.Open _ | Record.Close _ | Record.Read _ | Record.Stat _ -> ()
+
+let walk_namespace client =
+  let acc = ref [] in
+  let rec go path =
+    List.iter
+      (fun e ->
+        let full =
+          (if path = "/" then "" else path) ^ "/" ^ e.Capfs.Dir.name
+        in
+        let size =
+          if e.Capfs.Dir.kind = Inode.Regular then
+            (Client.stat_exn client full).Client.st_size
+          else 0
+        in
+        acc :=
+          { fl_path = full; fl_kind = e.Capfs.Dir.kind; fl_size = size }
+          :: !acc;
+        if e.Capfs.Dir.kind = Inode.Directory then go full)
+      (Client.readdir_exn client path)
+  in
+  go "/";
+  !acc
+
+let kind_name = function
+  | Inode.Regular -> "regular"
+  | Inode.Directory -> "directory"
+  | Inode.Symlink -> "symlink"
+  | Inode.Multimedia -> "multimedia"
+
+(* {2 The experiment} *)
+
+let run ?(config = Experiment.default Experiment.Write_delay) ?sync_at ~trace
+    plan =
+  let crash_at =
+    match plan.Capfs_fault.Plan.crash_at with
+    | Some t when t > 0. -> t
+    | _ -> invalid_arg "Crash.run: the fault plan must set crash_at > 0"
+  in
+  let sync_at =
+    match sync_at with Some t -> t | None -> crash_at /. 2.
+  in
+  if sync_at >= crash_at then
+    invalid_arg "Crash.run: sync_at must fall before crash_at";
+  let cfg = { config with Experiment.fault_plan = Some plan } in
+  (* {3 Phase 1: run the workload into the crash} *)
+  let sched =
+    Sched.create ~seed:cfg.Experiment.seed ~clock:`Virtual
+      ~injector:(Experiment.injector_of cfg) ()
+  in
+  let farm = ref None in
+  let touched : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let applied = ref 0 in
+  let observe r =
+    incr applied;
+    touch touched r
+  in
+  let floor = ref [] and floor_synced = ref false in
+  ignore
+    (Sched.spawn sched ~name:"crash.workload" (fun () ->
+         (* formatting the volumes performs driver I/O, so the farm must
+            be assembled inside a fibre *)
+         let f = Experiment.build_farm ~backing:true sched cfg in
+         farm := Some f;
+         (* crash experiments need real payloads: summaries and file
+            contents must actually reach the backing stores *)
+         ignore
+           (Replay.run ~real_data:true ~observe f.Experiment.f_client trace)));
+  ignore
+    (Sched.spawn sched ~name:"crash.floor" (fun () ->
+         Sched.sleep sched sync_at;
+         let client =
+           match !farm with
+           | Some f -> f.Experiment.f_client
+           | None -> failwith "Crash.run: farm not built by sync_at"
+         in
+         (* mutations from here on are not part of the floor *)
+         Hashtbl.reset touched;
+         floor := walk_namespace client;
+         match Client.sync client with
+         | Ok () -> floor_synced := true
+         | Error e ->
+           Log.warn (fun m ->
+               m "floor sync failed (%a); shadow check is vacuous" Errno.pp e)));
+  (* the power cut: stop dispatching at the crash instant and abandon
+     the scheduler, fibres, caches — everything volatile *)
+  Sched.run ~until:crash_at sched;
+  let snapshots =
+    match !farm with
+    | None -> failwith "Crash.run: the workload never started"
+    | Some farm ->
+      Array.map
+        (fun d ->
+          match Sim_disk.store_snapshot d with
+          | Some s -> s
+          | None -> assert false (* farm was built with ~backing:true *))
+        farm.Experiment.f_disks
+  in
+  Log.info (fun m ->
+      m "crashed at t=%g: %d ops applied, %d floor entries (synced: %b)"
+        crash_at !applied (List.length !floor) !floor_synced);
+  (* {3 Phase 2: recover on a fresh scheduler from the surviving bytes} *)
+  let sched2 = Sched.create ~seed:cfg.Experiment.seed ~clock:`Virtual () in
+  let registry = Stats.Registry.create () in
+  let buses =
+    Array.init cfg.Experiment.nbuses (fun b ->
+        Bus.scsi2 ~registry ~name:(Printf.sprintf "bus%d" b) sched2)
+  in
+  let ndisks = cfg.Experiment.ndisks in
+  let disks =
+    Array.init ndisks (fun d ->
+        let disk =
+          Sim_disk.create ~registry
+            ~name:(Printf.sprintf "disk%d" d)
+            ~backing:true sched2 cfg.Experiment.disk_model
+            buses.(d mod cfg.Experiment.nbuses)
+        in
+        Sim_disk.store_restore disk snapshots.(d);
+        disk)
+  in
+  let geometry = cfg.Experiment.disk_model.Disk_model.geometry in
+  let drivers =
+    Array.init ndisks (fun d ->
+        Driver.create ~registry
+          ~name:(Printf.sprintf "driver%d" d)
+          ~policy:(Iosched.by_name geometry cfg.Experiment.iosched)
+          sched2
+          (Driver.sim_transport disks.(d)))
+  in
+  let out = ref None in
+  ignore
+    (Sched.spawn sched2 ~name:"crash.recover" (fun () ->
+         let recoveries = ref [] and failed = ref [] in
+         let volumes = ref [] in
+         for d = 0 to ndisks - 1 do
+           let name = Printf.sprintf "lfs%d" d in
+           match
+             Lfs.recover ~registry ~name
+               ~config:(Experiment.lfs_config_of cfg d)
+               sched2 drivers.(d)
+           with
+           | Ok (layout, rep) ->
+             recoveries := (name, rep) :: !recoveries;
+             volumes := layout :: !volumes
+           | Error e -> failed := (name, e) :: !failed
+         done;
+         let recoveries = List.rev !recoveries in
+         let failed = List.rev !failed in
+         let violations =
+           if failed <> [] || not !floor_synced then []
+           else begin
+             let layout = Multiplex.layout (Array.of_list (List.rev !volumes)) in
+             let fs =
+               Fsys.create ~registry
+                 ~cache_config:(Experiment.cache_config_of cfg)
+                 ~layout sched2
+             in
+             let client2 = Client.create fs in
+             List.filter_map
+               (fun fl ->
+                 if Hashtbl.mem touched fl.fl_path then None
+                 else
+                   match Client.stat client2 fl.fl_path with
+                   | Error e ->
+                     Some
+                       {
+                         v_path = fl.fl_path;
+                         v_expected = kind_name fl.fl_kind;
+                         v_found = "error " ^ Errno.to_string e;
+                       }
+                   | Ok st ->
+                     if st.Client.st_kind <> fl.fl_kind then
+                       Some
+                         {
+                           v_path = fl.fl_path;
+                           v_expected = kind_name fl.fl_kind;
+                           v_found = kind_name st.Client.st_kind;
+                         }
+                     else if
+                       fl.fl_kind = Inode.Regular
+                       && st.Client.st_size <> fl.fl_size
+                     then
+                       Some
+                         {
+                           v_path = fl.fl_path;
+                           v_expected = Printf.sprintf "size %d" fl.fl_size;
+                           v_found = Printf.sprintf "size %d" st.Client.st_size;
+                         }
+                     else None)
+               !floor
+           end
+         in
+         let checked = List.length !floor in
+         let clean_fsck =
+           List.for_all
+             (fun (_, r) -> r.Lfs.r_fsck_errors = [])
+             recoveries
+         in
+         out :=
+           Some
+             {
+               crash_time = crash_at;
+               applied_ops = !applied;
+               floor_size = checked;
+               floor_synced = !floor_synced;
+               recoveries;
+               failed_volumes = failed;
+               violations;
+               ok =
+                 !floor_synced && failed = [] && violations = []
+                 && clean_fsck;
+             }));
+  Sched.run sched2;
+  match !out with
+  | Some r -> r
+  | None -> failwith "Crash.run: recovery produced no report"

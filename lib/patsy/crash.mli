@@ -1,0 +1,59 @@
+(** Crash-recovery experiments: kill a replay mid-run, recover, verify.
+
+    The experiment plays a trace against a disk farm built with real
+    in-memory backing stores, under a {!Capfs_fault.Plan} whose
+    [crash_at] names the instant of the power cut. At [sync_at]
+    (default [crash_at / 2]) a shadow model is captured: the namespace
+    is walked into a {e durable floor} of (path, kind, size) triples and
+    a whole-system sync is issued; every path the replay mutates from
+    the walk onward is struck from the floor. At [crash_at] the
+    scheduler simply stops dispatching — fibres, caches and all other
+    volatile state are abandoned, exactly like a power cut — and only
+    the disks' sector stores survive.
+
+    Recovery then builds a fresh scheduler and disk farm seeded from the
+    surviving sector snapshots, runs {!Capfs_layout.Lfs.recover} on
+    every volume (checkpoint restore + log roll-forward + fsck), mounts
+    the recovered volumes behind a fresh client, and checks the floor:
+    every path that was stable and untouched at the crash must still
+    exist with the same kind and (for regular files) the same size.
+    Touched paths are legitimately undefined — the experiment asserts
+    durability of acknowledged state, not of in-flight work. *)
+
+type violation = {
+  v_path : string;
+  v_expected : string;
+  v_found : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type report = {
+  crash_time : float;          (** virtual time of the power cut *)
+  applied_ops : int;           (** trace ops applied before the crash *)
+  floor_size : int;            (** durable-floor entries captured *)
+  floor_synced : bool;
+      (** the floor sync completed before the crash; when false the
+          shadow check is vacuous and [ok] is false *)
+  recoveries : (string * Capfs_layout.Lfs.recovery_report) list;
+      (** per-volume recovery outcomes, in volume order *)
+  failed_volumes : (string * Capfs_core.Errno.t) list;
+      (** volumes {!Capfs_layout.Lfs.recover} could not bring back *)
+  violations : violation list; (** floor entries that did not survive *)
+  ok : bool;
+      (** all volumes recovered with clean fsck, the floor was synced,
+          and no violations *)
+}
+
+(** [run ~trace plan] executes one crash-recovery experiment. The plan
+    must set [crash_at > 0] (raises [Invalid_argument] otherwise);
+    transient/latent/stall rates in the plan apply while the workload
+    runs. [config] shapes the farm exactly as in {!Experiment.run}
+    (default: the [Write_delay] defaults); [sync_at] places the floor
+    capture (default [crash_at / 2], must be before [crash_at]). *)
+val run :
+  ?config:Experiment.config ->
+  ?sync_at:float ->
+  trace:Capfs_trace.Record.t array ->
+  Capfs_fault.Plan.t ->
+  report

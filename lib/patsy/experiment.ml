@@ -37,6 +37,7 @@ type config = {
   async_flush : bool;
   seed : int;
   trace_buffer : int;
+  fault_plan : Capfs_fault.Plan.t option;
 }
 
 let default policy =
@@ -56,6 +57,7 @@ let default policy =
     async_flush = true;
     seed = 1996;
     trace_buffer = 0;
+    fault_plan = None;
   }
 
 type outcome = {
@@ -117,7 +119,23 @@ let cache_config_of cfg =
       mem_copy_rate = cfg.mem_copy_rate;
     }
 
-let build_instance sched cfg =
+let lfs_config_of cfg d =
+  {
+    Lfs.default_config with
+    Lfs.seg_blocks = cfg.seg_blocks;
+    cleaner = cfg.cleaner;
+    first_ino = d + 1;
+    ino_stride = cfg.ndisks;
+  }
+
+type farm = {
+  f_client : Client.t;
+  f_registry : Stats.Registry.t;
+  f_disks : Sim_disk.t array;
+  f_drivers : Driver.t array;
+}
+
+let build_farm ?(backing = false) sched cfg =
   if cfg.ndisks < 1 || cfg.nbuses < 1 then
     invalid_arg "Experiment: need at least one disk and one bus";
   let registry = Stats.Registry.create () in
@@ -125,34 +143,27 @@ let build_instance sched cfg =
     Array.init cfg.nbuses (fun b ->
         Bus.scsi2 ~registry ~name:(Printf.sprintf "bus%d" b) sched)
   in
+  let disks =
+    Array.init cfg.ndisks (fun d ->
+        Sim_disk.create ~registry
+          ~name:(Printf.sprintf "disk%d" d)
+          ~backing sched cfg.disk_model
+          buses.(d mod cfg.nbuses))
+  in
+  let geometry = cfg.disk_model.Disk_model.geometry in
+  let drivers =
+    Array.init cfg.ndisks (fun d ->
+        Driver.create ~registry
+          ~name:(Printf.sprintf "driver%d" d)
+          ~policy:(Iosched.by_name geometry cfg.iosched)
+          sched
+          (Driver.sim_transport disks.(d)))
+  in
   let volumes =
     Array.init cfg.ndisks (fun d ->
-        let disk =
-          Sim_disk.create ~registry
-            ~name:(Printf.sprintf "disk%d" d)
-            sched cfg.disk_model
-            buses.(d mod cfg.nbuses)
-        in
-        let geometry = cfg.disk_model.Disk_model.geometry in
-        let driver =
-          Driver.create ~registry
-            ~name:(Printf.sprintf "driver%d" d)
-            ~policy:(Iosched.by_name geometry cfg.iosched)
-            sched
-            (Driver.sim_transport disk)
-        in
-        let lfs_config =
-          {
-            Lfs.default_config with
-            Lfs.seg_blocks = cfg.seg_blocks;
-            cleaner = cfg.cleaner;
-            first_ino = d + 1;
-            ino_stride = cfg.ndisks;
-          }
-        in
         Lfs.format_and_mount ~registry
           ~name:(Printf.sprintf "lfs%d" d)
-          ~config:lfs_config sched driver ~block_bytes)
+          ~config:(lfs_config_of cfg d) sched drivers.(d) ~block_bytes)
   in
   let layout = Multiplex.layout volumes in
   let replacement =
@@ -164,7 +175,17 @@ let build_instance sched cfg =
     Fsys.create ~registry ~replacement ~cache_config:(cache_config_of cfg)
       ~layout sched
   in
-  (Client.create fs, registry)
+  { f_client = Client.create fs; f_registry = registry; f_disks = disks;
+    f_drivers = drivers }
+
+let build_instance sched cfg =
+  let f = build_farm sched cfg in
+  (f.f_client, f.f_registry)
+
+let injector_of cfg =
+  match cfg.fault_plan with
+  | Some plan -> Capfs_fault.Injector.create ~seed:cfg.seed plan
+  | None -> Capfs_fault.Injector.null
 
 let stat_count registry name =
   match Stats.Registry.find registry name with
@@ -177,14 +198,19 @@ let run cfg ~trace =
       Capfs_obs.Tracer.create ~capacity:cfg.trace_buffer ()
     else Capfs_obs.Tracer.null
   in
-  let sched = Sched.create ~seed:cfg.seed ~clock:`Virtual ~tracer () in
+  let sched =
+    Sched.create ~seed:cfg.seed ~clock:`Virtual ~tracer
+      ~injector:(injector_of cfg) ()
+  in
   let out = ref None in
   ignore
     (Sched.spawn sched ~name:"experiment" (fun () ->
          let client, registry = build_instance sched cfg in
          let replay = Replay.run client trace in
-         (* drain outstanding writes so flush counters are complete *)
-         Client.sync client;
+         (* drain outstanding writes so flush counters are complete; a
+            fault plan can legitimately fail this final sync — the
+            replay's own error counters already tell that story *)
+         (match Client.sync client with Ok () | Error _ -> ());
          let fs = Client.fsys client in
          let hits = stat_count registry "cache.hits" in
          let misses = stat_count registry "cache.misses" in

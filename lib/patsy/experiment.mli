@@ -35,6 +35,10 @@ type config = {
   seed : int;
   trace_buffer : int;
       (** event-trace ring capacity; 0 (the default) disables tracing *)
+  fault_plan : Capfs_fault.Plan.t option;
+      (** disk-fault schedule for this run; [None] (the default) keeps
+          every disk perfect. The plan's own seed, when unset, defaults
+          to [seed], so a config is fully deterministic. *)
 }
 
 (** Paper-shaped defaults for a policy (128 MB cache, 4 MB NVRAM, 10
@@ -68,3 +72,29 @@ val run : config -> trace:Capfs_trace.Record.t array -> outcome
     the examples): returns the client interface and the registry. *)
 val build_instance :
   Capfs_sched.Sched.t -> config -> Capfs.Client.t * Capfs_stats.Registry.t
+
+(** The assembled simulator stack with its internals exposed — what the
+    crash-recovery runner needs to snapshot disks and remount volumes. *)
+type farm = {
+  f_client : Capfs.Client.t;
+  f_registry : Capfs_stats.Registry.t;
+  f_disks : Capfs_disk.Sim_disk.t array;
+  f_drivers : Capfs_disk.Driver.t array;
+}
+
+(** [build_farm sched config] is {!build_instance} with the disk farm
+    exposed. [backing:true] (default false) gives every simulated disk a
+    real in-memory sector store, so its contents survive a simulated
+    crash and can seed a recovery mount. *)
+val build_farm : ?backing:bool -> Capfs_sched.Sched.t -> config -> farm
+
+(** The injector [run] wires into the scheduler: built from
+    [config.fault_plan] (the null injector when [None]). *)
+val injector_of : config -> Capfs_fault.Injector.t
+
+(** Per-volume LFS geometry/cleaning config for volume [d] of
+    [config.ndisks] (inode space striped across volumes). *)
+val lfs_config_of : config -> int -> Capfs_layout.Lfs.config
+
+(** The cache configuration [config.policy] implies. *)
+val cache_config_of : config -> Capfs_cache.Cache.config

@@ -3,15 +3,29 @@
    atomic counter hands out job indices, each worker writes only its
    own result slots, and [Domain.join] publishes them to the caller. *)
 
+module Errno = Capfs_core.Errno
+
 type job = {
   label : string;
   trace : string;
   config : Experiment.config;
 }
 
+type failure = Failed of Errno.t | Crashed of exn
+
+let pp_failure ppf = function
+  | Failed e -> Format.fprintf ppf "failed: %a" Errno.pp e
+  | Crashed e -> Format.fprintf ppf "crashed: %s" (Printexc.to_string e)
+
+(* the one place a worker classifies what went wrong: typed file-system
+   errors stay typed, anything else is a crash *)
+let failure_of_exn = function
+  | Errno.Error e -> Failed e
+  | e -> Crashed e
+
 type job_result = {
   job : job;
-  result : (Experiment.outcome, exn) result;
+  result : (Experiment.outcome, failure) result;
   wall_s : float;
   minor_words : float;
   promoted_words : float;
@@ -64,8 +78,8 @@ let run_jobs ?(jobs = default_jobs ()) ~gen jl =
                 g1.Gc.minor_words -. g0.Gc.minor_words,
                 g1.Gc.promoted_words -. g0.Gc.promoted_words,
                 g1.Gc.major_collections - g0.Gc.major_collections )
-            | exception e -> (Error e, 0., 0., 0))
-          | exception e -> (Error e, 0., 0., 0)
+            | exception e -> (Error (failure_of_exn e), 0., 0., 0))
+          | exception e -> (Error (failure_of_exn e), 0., 0., 0)
         in
         let wall_s = Unix.gettimeofday () -. t0 in
         (* each slot is written by exactly one worker; Domain.join
@@ -108,7 +122,10 @@ let run_matrix ?jobs ?(config = Experiment.default) ~gen pairs =
        pairs)
 
 let outcome_exn r =
-  match r.result with Ok o -> o | Error e -> raise e
+  match r.result with
+  | Ok o -> o
+  | Error (Failed e) -> raise (Errno.Error e)
+  | Error (Crashed e) -> raise e
 
 let failures results =
   List.filter_map

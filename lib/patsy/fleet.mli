@@ -15,8 +15,11 @@
       generator's PRNG state is never shared;
     - trace record arrays are immutable, so a caller-supplied [gen] may
       return a shared pre-loaded array;
-    - a job that raises is captured as [Error exn] in its result slot;
-      the worker moves on to the next job and the pool never wedges. *)
+    - a job that fails is captured as an [Error] {!failure} in its
+      result slot; the worker moves on to the next job and the pool
+      never wedges. Typed file-system errors ({!Capfs_core.Errno.Error})
+      are kept as {!Failed} codes; anything else is a {!Crashed}
+      exception. *)
 
 type job = {
   label : string;             (** display / report key, unique per job *)
@@ -24,9 +27,17 @@ type job = {
   config : Experiment.config;
 }
 
+(** Why a job produced no outcome: a typed file-system error that
+    escaped the experiment (e.g. [ENOSPC] filling a tiny volume, [EIO]
+    from an unlucky fault plan), or an unclassified exception — a real
+    bug. *)
+type failure = Failed of Capfs_core.Errno.t | Crashed of exn
+
+val pp_failure : Format.formatter -> failure -> unit
+
 type job_result = {
   job : job;
-  result : (Experiment.outcome, exn) result;
+  result : (Experiment.outcome, failure) result;
   wall_s : float;             (** host wall-clock seconds for this job *)
   minor_words : float;
       (** words allocated in the worker domain's minor heap during the
@@ -65,11 +76,12 @@ val run_matrix :
   (string * Experiment.policy) list ->
   job_result list
 
-(** Outcome of a result, re-raising the captured exception on [Error]. *)
+(** Outcome of a result, re-raising the captured failure on [Error]
+    ({!Failed} codes re-raise as {!Capfs_core.Errno.Error}). *)
 val outcome_exn : job_result -> Experiment.outcome
 
-(** [failures results] — the jobs that raised, with their exceptions. *)
-val failures : job_result list -> (job * exn) list
+(** [failures results] — the jobs that failed, with their failures. *)
+val failures : job_result list -> (job * failure) list
 
 (** [merged_events results] — the event traces of the successful jobs,
     merged into one stream tagged with each event's job index. The order

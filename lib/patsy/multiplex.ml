@@ -27,11 +27,17 @@ let layout volumes =
           let v = (ino - 1) mod k in
           per_vol.(v) <- u :: per_vol.(v))
         updates;
-      Array.iteri
-        (fun v batch ->
-          if batch <> [] then
-            volumes.(v).Layout.write_blocks (List.rev batch))
-        per_vol
+      let rec go v =
+        if v >= k then Ok ()
+        else
+          match per_vol.(v) with
+          | [] -> go (v + 1)
+          | batch -> (
+            match volumes.(v).Layout.write_blocks (List.rev batch) with
+            | Ok () -> go (v + 1)
+            | Error _ as e -> e)
+      in
+      go 0
     in
     {
       Layout.l_name = Printf.sprintf "multiplex(%d)" k;
@@ -53,7 +59,12 @@ let layout volumes =
       adopt =
         (fun inode ~blocks ->
           (vol_of_ino inode.Inode.ino).Layout.adopt inode ~blocks);
-      sync = (fun () -> Array.iter (fun v -> v.Layout.sync ()) volumes);
+      sync =
+        (fun () ->
+          Array.fold_left
+            (fun acc v ->
+              match acc with Ok () -> v.Layout.sync () | Error _ -> acc)
+            (Ok ()) volumes);
       free_blocks =
         (fun () ->
           Array.fold_left (fun n v -> n + v.Layout.free_blocks ()) 0 volumes);

@@ -3,6 +3,7 @@ module Record = Capfs_trace.Record
 module Client = Capfs.Client
 module Data = Capfs_disk.Data
 module Stats = Capfs_stats
+module Errno = Capfs_core.Errno
 
 let src = Logs.Src.create "capfs.replay" ~doc:"trace replay engine"
 
@@ -17,13 +18,6 @@ type result = {
   latency_by_op : (string * Stats.Welford.t) list;
   windows : Stats.Interval.t;
 }
-
-(* indices into the per-kind error counters of [run] *)
-let error_kind_names =
-  [|
-    "not_found_path"; "already_exists"; "not_a_directory"; "is_a_directory";
-    "not_empty"; "symlink_loop"; "bad_handle";
-  |]
 
 (* {2 Missing-parameter synthesis} *)
 
@@ -106,16 +100,22 @@ let op_index_names =
     "rmdir";
   |]
 
-let dispatch client (r : Record.t) =
+(* [payload] is [Data.sim] for pure performance simulation and
+   [Data.real] for crash experiments, where segment summaries and data
+   must actually survive on the backing store. *)
+let dispatch client ~payload (r : Record.t) : (unit, Errno.t) Stdlib.result =
   let c = r.Record.client in
   match r.Record.op with
   | Record.Open { path; mode } -> Client.open_ client ~client:c path (mode_of mode)
   | Record.Close { path } -> Client.close_ client ~client:c path
-  | Record.Read { path; offset; bytes } ->
-    ignore (Client.read client ~client:c path ~offset ~bytes)
+  | Record.Read { path; offset; bytes } -> (
+    match Client.read client ~client:c path ~offset ~bytes with
+    | Ok _ -> Ok ()
+    | Error _ as e -> e)
   | Record.Write { path; offset; bytes } ->
-    Client.write client ~client:c path ~offset (Data.sim bytes)
-  | Record.Stat { path } -> ignore (Client.stat client path)
+    Client.write client ~client:c path ~offset (payload bytes)
+  | Record.Stat { path } -> (
+    match Client.stat client path with Ok _ -> Ok () | Error _ as e -> e)
   | Record.Delete { path } -> Client.delete client path
   | Record.Truncate { path; size } -> Client.truncate client path ~size
   | Record.Mkdir { path } -> Client.mkdir client path
@@ -131,27 +131,31 @@ let synthesized_size (r : Record.t) =
   | Record.Truncate { size; _ } -> size
   | _ -> 8192
 
-let dispatch_synthesizing client (r : Record.t) =
-  try dispatch client r
-  with Capfs.Namespace.Not_found_path _ -> (
+let dispatch_synthesizing client ~payload (r : Record.t) =
+  match dispatch client ~payload r with
+  | Error Errno.ENOENT -> (
     match r.Record.op with
     | Record.Open { path; _ }
     | Record.Read { path; _ }
     | Record.Stat { path }
-    | Record.Truncate { path; _ } ->
-      Client.synthesize_file client path ~size:(synthesized_size r);
-      dispatch client r
-    | Record.Write { path; _ } | Record.Mkdir { path } ->
+    | Record.Truncate { path; _ } -> (
+      match Client.synthesize_file client path ~size:(synthesized_size r) with
+      | Ok () -> dispatch client ~payload r
+      | Error _ as e -> e)
+    | Record.Write { path; _ } | Record.Mkdir { path } -> (
       (* missing parents *)
-      Client.ensure_dirs client path;
-      dispatch client r
+      match Client.ensure_dirs client path with
+      | Ok () -> dispatch client ~payload r
+      | Error _ as e -> e)
     | Record.Close _ | Record.Delete _ | Record.Rmdir _ ->
       (* nothing sensible to synthesize *)
-      raise (Capfs.Namespace.Not_found_path (Record.path r)))
+      Error Errno.ENOENT)
+  | r -> r
 
-let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
-    records =
+let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true)
+    ?(real_data = false) ?observe client records =
   if speedup <= 0. then invalid_arg "Replay.run: speedup <= 0";
+  let payload = if real_data then Data.real else Data.sim in
   let dispatch = if synthesize_missing then dispatch_synthesizing else dispatch in
   let records = synthesize_times records in
   let sched = (Client.fsys client).Capfs.Fsys.sched in
@@ -159,7 +163,7 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
   let by_op = Array.init op_count (fun _ -> Stats.Welford.create ()) in
   let windows = Stats.Interval.create ~width:window () in
   let operations = ref 0 and errors = ref 0 in
-  let error_kinds = Array.make (Array.length error_kind_names) 0 in
+  let error_kinds = Array.make (Array.length Errno.all) 0 in
   let t_first = ref infinity and t_last = ref 0. in
   let base = Sched.now sched in
   (* group records per client, preserving order: one index array per
@@ -186,22 +190,18 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
   let clients = Hashtbl.fold (fun c (a, _) acc -> (c, a) :: acc) slots [] in
   let remaining = ref (List.length clients) in
   let all_done = Sched.new_event ~name:"replay.done" sched in
-  let fail kind =
+  let fail e =
     incr errors;
-    error_kinds.(kind) <- error_kinds.(kind) + 1
+    let i = Errno.to_index e in
+    error_kinds.(i) <- error_kinds.(i) + 1
   in
   (* [dispatch client r] is called directly rather than through a
      per-op closure: this runs once per trace record. *)
   let measure (r : Record.t) =
     let t0 = Sched.now sched in
-    (try dispatch client r with
-    | Capfs.Namespace.Not_found_path _ -> fail 0
-    | Capfs.Namespace.Already_exists _ -> fail 1
-    | Capfs.Namespace.Not_a_directory _ -> fail 2
-    | Capfs.Namespace.Is_a_directory _ -> fail 3
-    | Capfs.Namespace.Not_empty _ -> fail 4
-    | Capfs.Namespace.Symlink_loop _ -> fail 5
-    | Client.Bad_handle _ -> fail 6);
+    (match dispatch client ~payload r with
+    | Ok () -> ( match observe with Some f -> f r | None -> ())
+    | Error e -> fail e);
     let t1 = Sched.now sched in
     incr operations;
     let dt = t1 -. t0 in
@@ -220,7 +220,7 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
         if target > now then Sched.sleep sched (target -. now);
         measure r)
       indices;
-    Client.close_all client ~client:cid;
+    (match Client.close_all client ~client:cid with Ok () | Error _ -> ());
     decr remaining;
     if !remaining = 0 then Sched.broadcast sched all_done
   in
@@ -239,7 +239,9 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true) client
   let errors_by_kind =
     List.filteri (fun _ (_, n) -> n > 0)
       (Array.to_list
-         (Array.mapi (fun i n -> (error_kind_names.(i), n)) error_kinds))
+         (Array.mapi
+            (fun i n -> (Errno.to_string Errno.all.(i), n))
+            error_kinds))
   in
   {
     operations = !operations;

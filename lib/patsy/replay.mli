@@ -20,8 +20,9 @@ type result = {
   operations : int;
   errors : int;         (** operations refused (ENOENT etc.) *)
   errors_by_kind : (string * int) list;
-      (** nonzero error classes only, e.g. [("not_found_path", 33)] —
-          which exception each refused operation raised *)
+      (** nonzero error classes only, keyed by
+          {!Capfs_core.Errno.to_string} mnemonics, e.g. [("enoent", 33)]
+          — the typed error each refused operation returned *)
   elapsed : float;      (** simulated seconds from first to last op *)
   latency : Capfs_stats.Sample_set.t;   (** per-operation latency *)
   latency_by_op : (string * Capfs_stats.Welford.t) list;
@@ -44,11 +45,20 @@ val synthesize_times : Capfs_trace.Record.t array -> Capfs_trace.Record.t array
     [synthesize_missing] is true (default), a reference to a file the
     trace assumes pre-exists creates it on the fly with adopted
     ("already on disk") blocks — the paper's synthesis of the initial
-    file-system layout. *)
+    file-system layout.
+
+    [real_data] (default false) makes writes carry {!Capfs_disk.Data}
+    [real] payloads instead of byte-count-only [sim] ones — required by
+    crash experiments, where file contents must survive on the backing
+    store. [observe] is called with each trace record {e after} it has
+    been applied successfully (shadow-model hook for consistency
+    checking); refused operations are not observed. *)
 val run :
   ?speedup:float ->
   ?window:float ->
   ?synthesize_missing:bool ->
+  ?real_data:bool ->
+  ?observe:(Capfs_trace.Record.t -> unit) ->
   Capfs.Client.t ->
   Capfs_trace.Record.t array ->
   result

@@ -8,9 +8,11 @@ module File_table = Capfs.File_table
 module Namespace = Capfs.Namespace
 module Fsys = Capfs.Fsys
 
+module Errno = Capfs_core.Errno
+
 type fh = int
 
-type error = Noent | Exist | Notdir | Isdir | Notempty | Stale | Loop
+type error = Noent | Exist | Notdir | Isdir | Notempty | Stale | Loop | Io
 
 type attr = {
   a_kind : Inode.kind;
@@ -64,7 +66,22 @@ let pp_error ppf e =
     | Isdir -> "NFSERR_ISDIR"
     | Notempty -> "NFSERR_NOTEMPTY"
     | Stale -> "NFSERR_STALE"
-    | Loop -> "NFSERR_LOOP")
+    | Loop -> "NFSERR_LOOP"
+    | Io -> "NFSERR_IO")
+
+(* The wire mapping: every internal failure is a typed {!Errno.t} by the
+   time it reaches this layer; this picks the NFS status for it (the
+   real protocol would instead encode [Errno.to_unix e]). *)
+let error_of_errno (e : Errno.t) : error =
+  match e with
+  | Errno.ENOENT -> Noent
+  | Errno.EEXIST -> Exist
+  | Errno.ENOTDIR -> Notdir
+  | Errno.EISDIR -> Isdir
+  | Errno.ENOTEMPTY -> Notempty
+  | Errno.ESTALE | Errno.EBADF -> Stale
+  | Errno.ELOOP -> Loop
+  | Errno.ENOSPC | Errno.EIO | Errno.ETIMEDOUT | Errno.EINVAL -> Io
 
 let attr_of (inode : Inode.t) =
   {
@@ -77,14 +94,16 @@ let attr_of (inode : Inode.t) =
 let file_of t fh =
   match File_table.get (Client.file_table t.client) fh with
   | Some f -> f
-  | None -> raise Not_found
+  | None -> raise (Errno.Error Errno.ESTALE)
 
 (* Directory-relative mutations reuse the path-based abstract interface
    by reconstructing a two-component path rooted at the handle. Handles
-   are inode numbers; names are single components. *)
+   are inode numbers; names are single components. Failures funnel
+   through {!Client.trap} — the one exception-to-errno boundary — and
+   then [error_of_errno] picks the protocol status. *)
 let handle t (req : request) : response =
   let ns = Client.namespace t.client in
-  try
+  let body () =
     match req with
     | Getattr fh -> Attr (attr_of (File.inode (file_of t fh)))
     | Setattr { file; size } ->
@@ -184,13 +203,10 @@ let handle t (req : request) : response =
           total_blocks = fs.Fsys.layout.Capfs_layout.Layout.total_blocks;
           free_blocks = fs.Fsys.layout.Capfs_layout.Layout.free_blocks ();
         }
-  with
-  | Not_found | Namespace.Not_found_path _ -> Error Noent
-  | Namespace.Already_exists _ -> Error Exist
-  | Namespace.Not_a_directory _ -> Error Notdir
-  | Namespace.Is_a_directory _ -> Error Isdir
-  | Namespace.Not_empty _ -> Error Notempty
-  | Namespace.Symlink_loop _ -> Error Loop
+  in
+  match Client.trap body with
+  | Ok r -> r
+  | Error e -> Error (error_of_errno e)
 
 let worker t () =
   while true do

@@ -24,6 +24,7 @@ type error =
   | Notempty
   | Stale
   | Loop
+  | Io  (** disk-level failure surfaced through the typed-error API *)
 
 type attr = {
   a_kind : Capfs_layout.Inode.kind;
@@ -76,3 +77,7 @@ val call : t -> request -> response
 val served : t -> int
 
 val pp_error : Format.formatter -> error -> unit
+
+(** Status code for a typed error ([ESTALE]/[EBADF] → [Stale],
+    media/space failures → [Io], …). *)
+val error_of_errno : Capfs_core.Errno.t -> error

@@ -89,5 +89,5 @@ let start ?(clock = `Real) ?(config = default_config) ?registry ~image
 let shutdown t =
   ignore
     (Sched.spawn t.sched ~name:"pfs.shutdown" (fun () ->
-         Capfs.Client.sync t.client));
+         Capfs.Client.sync_exn t.client));
   Sched.run t.sched

@@ -47,6 +47,7 @@ type t = {
   policy : policy;
   rng : Capfs_stats.Prng.t;
   tracer : Tracer.t;
+  injector : Capfs_fault.Injector.t;
   mutable vnow : float;
   mutable epoch : float; (* wall-clock at run start, `Real only *)
   (* circular buffer: logical slot i lives at (runq_head + i) mod cap *)
@@ -68,12 +69,14 @@ let cmp_timer a b =
   let c = compare a.at b.at in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?(seed = 42) ?(policy = `Random) ?(tracer = Tracer.null) ~clock () =
+let create ?(seed = 42) ?(policy = `Random) ?(tracer = Tracer.null)
+    ?(injector = Capfs_fault.Injector.null) ~clock () =
   {
     clk = clock;
     policy;
     rng = Capfs_stats.Prng.create ~seed;
     tracer;
+    injector;
     vnow = 0.;
     epoch = 0.;
     runq = [||];
@@ -92,6 +95,7 @@ let create ?(seed = 42) ?(policy = `Random) ?(tracer = Tracer.null) ~clock () =
 
 let clock t = t.clk
 let tracer t = t.tracer
+let injector t = t.injector
 
 let now t =
   match t.clk with

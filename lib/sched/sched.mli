@@ -48,6 +48,7 @@ val create :
   ?seed:int ->
   ?policy:policy ->
   ?tracer:Capfs_obs.Tracer.t ->
+  ?injector:Capfs_fault.Injector.t ->
   clock:clock ->
   unit ->
   t
@@ -58,6 +59,12 @@ val clock : t -> clock
     is off). Instrumented components guard emissions with
     [Tracer.enabled (Sched.tracer sched)]. *)
 val tracer : t -> Capfs_obs.Tracer.t
+
+(** The scheduler's fault injector ({!Capfs_fault.Injector.null}, i.e.
+    off, by default). Carried here for the same reason as the tracer:
+    every component of an instantiation sees one fault schedule without
+    any of them depending on the injection library's wiring. *)
+val injector : t -> Capfs_fault.Injector.t
 
 (** Current time in seconds: virtual-time offset (simulator) or elapsed
     wall-clock since [run] started (real). Starts at [0.]. *)

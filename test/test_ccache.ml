@@ -151,7 +151,7 @@ let test_delayed_writes_flush_on_close () =
       Alcotest.(check int) "clean after close" 0 (Cc_client.dirty_blocks a);
       (* visible server-side *)
       let d =
-        Capfs.Client.read fs_client ~client:50 "/delayed" ~offset:0 ~bytes:9
+        Capfs.Client.read_exn fs_client ~client:50 "/delayed" ~offset:0 ~bytes:9
       in
       Alcotest.(check string) "at the server" "buffered!" (Data.to_string d))
 

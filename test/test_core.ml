@@ -11,6 +11,7 @@ module Cache = Capfs_cache.Cache
 module Lfs = Capfs_layout.Lfs
 module Inode = Capfs_layout.Inode
 module Layout = Capfs_layout.Layout
+module Errno = Capfs_core.Errno
 
 let lfs_config =
   {
@@ -50,109 +51,104 @@ let run_fs f =
 let test_write_read_roundtrip () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.mkdir c "/home";
-      Client.open_ c ~client:1 "/home/hello.txt" Client.WO;
-      Client.write c ~client:1 "/home/hello.txt" ~offset:0
+      Client.mkdir_exn c "/home";
+      Client.open_exn c ~client:1 "/home/hello.txt" Client.WO;
+      Client.write_exn c ~client:1 "/home/hello.txt" ~offset:0
         (Data.of_string "hello, cut-and-paste world");
-      Client.close_ c ~client:1 "/home/hello.txt";
-      Client.open_ c ~client:2 "/home/hello.txt" Client.RO;
-      let d = Client.read c ~client:2 "/home/hello.txt" ~offset:0 ~bytes:100 in
+      Client.close_exn c ~client:1 "/home/hello.txt";
+      Client.open_exn c ~client:2 "/home/hello.txt" Client.RO;
+      let d = Client.read_exn c ~client:2 "/home/hello.txt" ~offset:0 ~bytes:100 in
       Alcotest.(check string) "contents" "hello, cut-and-paste world"
         (Data.to_string d);
-      Client.close_ c ~client:2 "/home/hello.txt")
+      Client.close_exn c ~client:2 "/home/hello.txt")
 
 let test_read_beyond_eof_is_short () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.open_ c ~client:1 "/f" Client.WO;
-      Client.write c ~client:1 "/f" ~offset:0 (Data.of_string "abc");
-      let d = Client.read c ~client:1 "/f" ~offset:1 ~bytes:100 in
+      Client.open_exn c ~client:1 "/f" Client.WO;
+      Client.write_exn c ~client:1 "/f" ~offset:0 (Data.of_string "abc");
+      let d = Client.read_exn c ~client:1 "/f" ~offset:1 ~bytes:100 in
       Alcotest.(check string) "short read" "bc" (Data.to_string d);
-      let d2 = Client.read c ~client:1 "/f" ~offset:10 ~bytes:5 in
+      let d2 = Client.read_exn c ~client:1 "/f" ~offset:10 ~bytes:5 in
       Alcotest.(check int) "empty beyond eof" 0 (Data.length d2))
 
 let test_partial_block_rmw () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.open_ c ~client:1 "/f" Client.WO;
-      Client.write c ~client:1 "/f" ~offset:0
+      Client.open_exn c ~client:1 "/f" Client.WO;
+      Client.write_exn c ~client:1 "/f" ~offset:0
         (Data.of_string (String.make 8192 'a'));
       (* overwrite 100 bytes in the middle of block 0 *)
-      Client.write c ~client:1 "/f" ~offset:1000
+      Client.write_exn c ~client:1 "/f" ~offset:1000
         (Data.of_string (String.make 100 'b'));
-      let d = Client.read c ~client:1 "/f" ~offset:0 ~bytes:8192 in
+      let d = Client.read_exn c ~client:1 "/f" ~offset:0 ~bytes:8192 in
       let str = Data.to_string d in
       Alcotest.(check char) "before" 'a' str.[999];
       Alcotest.(check char) "inside" 'b' str.[1000];
       Alcotest.(check char) "last inside" 'b' str.[1099];
       Alcotest.(check char) "after" 'a' str.[1100];
-      Alcotest.(check int) "size unchanged" 8192 (Client.stat c "/f").Client.st_size)
+      Alcotest.(check int) "size unchanged" 8192 (Client.stat_exn c "/f").Client.st_size)
 
 let test_write_spanning_blocks () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.open_ c ~client:1 "/f" Client.WO;
+      Client.open_exn c ~client:1 "/f" Client.WO;
       (* 3 blocks + offset straddle *)
       let payload = String.init 10000 (fun i -> Char.chr (33 + (i mod 90))) in
-      Client.write c ~client:1 "/f" ~offset:2048 (Data.of_string payload);
-      let d = Client.read c ~client:1 "/f" ~offset:2048 ~bytes:10000 in
+      Client.write_exn c ~client:1 "/f" ~offset:2048 (Data.of_string payload);
+      let d = Client.read_exn c ~client:1 "/f" ~offset:2048 ~bytes:10000 in
       Alcotest.(check string) "spanning write" payload (Data.to_string d);
-      Alcotest.(check int) "size" 12048 (Client.stat c "/f").Client.st_size)
+      Alcotest.(check int) "size" 12048 (Client.stat_exn c "/f").Client.st_size)
 
 let test_mkdir_nested_and_readdir () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.mkdir c "/a";
-      Client.mkdir c "/a/b";
-      Client.create_file c "/a/b/f1";
-      Client.create_file c "/a/b/f2";
+      Client.mkdir_exn c "/a";
+      Client.mkdir_exn c "/a/b";
+      Client.create_file_exn c "/a/b/f1";
+      Client.create_file_exn c "/a/b/f2";
       let names =
-        Client.readdir c "/a/b" |> List.map (fun e -> e.Dir.name)
+        Client.readdir_exn c "/a/b" |> List.map (fun e -> e.Dir.name)
       in
       Alcotest.(check (list string)) "entries" [ "f1"; "f2" ] names;
-      let top = Client.readdir c "/a" |> List.map (fun e -> e.Dir.name) in
+      let top = Client.readdir_exn c "/a" |> List.map (fun e -> e.Dir.name) in
       Alcotest.(check (list string)) "nested" [ "b" ] top)
 
 let test_namespace_errors () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.mkdir c "/d";
-      Client.create_file c "/d/f";
-      (try
-         Client.create_file c "/d/f";
-         Alcotest.fail "duplicate create must raise"
-       with Namespace.Already_exists _ -> ());
-      (try
-         Client.open_ c ~client:1 "/missing" Client.RO;
-         Alcotest.fail "RO open of missing must raise"
-       with Namespace.Not_found_path _ -> ());
-      (try
-         Client.mkdir c "/d/f/sub";
-         Alcotest.fail "mkdir under a file must raise"
-       with Namespace.Not_a_directory _ -> ());
-      (try
-         Client.rmdir c "/d";
-         Alcotest.fail "rmdir of non-empty must raise"
-       with Namespace.Not_empty _ -> ());
-      (try
-         Client.delete c "/d";
-         Alcotest.fail "delete of a directory must raise"
-       with Namespace.Is_a_directory _ -> ());
-      Client.delete c "/d/f";
-      Client.rmdir c "/d";
+      Client.mkdir_exn c "/d";
+      Client.create_file_exn c "/d/f";
+      (match Client.create_file c "/d/f" with
+      | Error Errno.EEXIST -> ()
+      | _ -> Alcotest.fail "duplicate create must be EEXIST");
+      (match Client.open_ c ~client:1 "/missing" Client.RO with
+      | Error Errno.ENOENT -> ()
+      | _ -> Alcotest.fail "RO open of missing must be ENOENT");
+      (match Client.mkdir c "/d/f/sub" with
+      | Error Errno.ENOTDIR -> ()
+      | _ -> Alcotest.fail "mkdir under a file must be ENOTDIR");
+      (match Client.rmdir c "/d" with
+      | Error Errno.ENOTEMPTY -> ()
+      | _ -> Alcotest.fail "rmdir of non-empty must be ENOTEMPTY");
+      (match Client.delete c "/d" with
+      | Error Errno.EISDIR -> ()
+      | _ -> Alcotest.fail "delete of a directory must be EISDIR");
+      Client.delete_exn c "/d/f";
+      Client.rmdir_exn c "/d";
       Alcotest.(check bool) "gone" false (Client.exists c "/d"))
 
 let test_delete_while_open_unix_semantics () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.open_ c ~client:1 "/f" Client.WO;
-      Client.write c ~client:1 "/f" ~offset:0 (Data.of_string "still here");
-      Client.delete c "/f";
+      Client.open_exn c ~client:1 "/f" Client.WO;
+      Client.write_exn c ~client:1 "/f" ~offset:0 (Data.of_string "still here");
+      Client.delete_exn c "/f";
       Alcotest.(check bool) "name gone" false (Client.exists c "/f");
       (* the open descriptor still reads the data *)
-      let d = Client.read c ~client:1 "/f" ~offset:0 ~bytes:10 in
+      let d = Client.read_exn c ~client:1 "/f" ~offset:0 ~bytes:10 in
       Alcotest.(check string) "data alive" "still here" (Data.to_string d);
-      Client.close_ c ~client:1 "/f";
+      Client.close_exn c ~client:1 "/f";
       (* after last close the inode is reaped *)
       let ft = Client.file_table c in
       ignore ft;
@@ -162,11 +158,11 @@ let test_truncate_shrinks_and_absorbs () =
   run_fs (fun s ->
       let c, _ = make_client s in
       let reg = (Client.fsys c).Fsys.registry in
-      Client.open_ c ~client:1 "/f" Client.WO;
-      Client.write c ~client:1 "/f" ~offset:0
+      Client.open_exn c ~client:1 "/f" Client.WO;
+      Client.write_exn c ~client:1 "/f" ~offset:0
         (Data.of_string (String.make 16384 'x'));
-      Client.truncate c "/f" ~size:4096;
-      Alcotest.(check int) "size" 4096 (Client.stat c "/f").Client.st_size;
+      Client.truncate_exn c "/f" ~size:4096;
+      Alcotest.(check int) "size" 4096 (Client.stat_exn c "/f").Client.st_size;
       (* the truncated dirty blocks never reached the disk *)
       match Capfs_stats.Registry.find reg "cache.absorbed_writes" with
       | Some st ->
@@ -177,53 +173,52 @@ let test_truncate_shrinks_and_absorbs () =
 let test_rename_moves_and_replaces () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.mkdir c "/a";
-      Client.mkdir c "/b";
-      Client.open_ c ~client:1 "/a/f" Client.WO;
-      Client.write c ~client:1 "/a/f" ~offset:0 (Data.of_string "payload");
-      Client.close_ c ~client:1 "/a/f";
-      Client.rename c ~src:"/a/f" ~dst:"/b/g";
+      Client.mkdir_exn c "/a";
+      Client.mkdir_exn c "/b";
+      Client.open_exn c ~client:1 "/a/f" Client.WO;
+      Client.write_exn c ~client:1 "/a/f" ~offset:0 (Data.of_string "payload");
+      Client.close_exn c ~client:1 "/a/f";
+      Client.rename_exn c ~src:"/a/f" ~dst:"/b/g";
       Alcotest.(check bool) "src gone" false (Client.exists c "/a/f");
-      let d = Client.read c ~client:1 "/b/g" ~offset:0 ~bytes:7 in
+      let d = Client.read_exn c ~client:1 "/b/g" ~offset:0 ~bytes:7 in
       Alcotest.(check string) "moved" "payload" (Data.to_string d);
       (* replacing rename *)
-      Client.create_file c "/b/h";
-      Client.rename c ~src:"/b/g" ~dst:"/b/h";
-      let d2 = Client.read c ~client:1 "/b/h" ~offset:0 ~bytes:7 in
+      Client.create_file_exn c "/b/h";
+      Client.rename_exn c ~src:"/b/g" ~dst:"/b/h";
+      let d2 = Client.read_exn c ~client:1 "/b/h" ~offset:0 ~bytes:7 in
       Alcotest.(check string) "replaced" "payload" (Data.to_string d2))
 
 let test_symlink_resolution () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.mkdir c "/real";
-      Client.create_file c "/real/data";
-      Client.open_ c ~client:1 "/real/data" Client.WO;
-      Client.write c ~client:1 "/real/data" ~offset:0 (Data.of_string "via link");
-      Client.close_ c ~client:1 "/real/data";
-      Client.symlink c ~target:"/real" "/alias";
-      Alcotest.(check string) "readlink" "/real" (Client.readlink c "/alias");
-      let d = Client.read c ~client:9 "/alias/data" ~offset:0 ~bytes:8 in
+      Client.mkdir_exn c "/real";
+      Client.create_file_exn c "/real/data";
+      Client.open_exn c ~client:1 "/real/data" Client.WO;
+      Client.write_exn c ~client:1 "/real/data" ~offset:0 (Data.of_string "via link");
+      Client.close_exn c ~client:1 "/real/data";
+      Client.symlink_exn c ~target:"/real" "/alias";
+      Alcotest.(check string) "readlink" "/real" (Client.readlink_exn c "/alias");
+      let d = Client.read_exn c ~client:9 "/alias/data" ~offset:0 ~bytes:8 in
       Alcotest.(check string) "followed" "via link" (Data.to_string d))
 
 let test_symlink_loop_detected () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.symlink c ~target:"/l2" "/l1";
-      Client.symlink c ~target:"/l1" "/l2";
-      try
-        ignore (Client.read c ~client:1 "/l1/x" ~offset:0 ~bytes:1);
-        Alcotest.fail "loop must raise"
-      with Namespace.Symlink_loop _ | Namespace.Not_found_path _ -> ())
+      Client.symlink_exn c ~target:"/l2" "/l1";
+      Client.symlink_exn c ~target:"/l1" "/l2";
+      match Client.read c ~client:1 "/l1/x" ~offset:0 ~bytes:1 with
+      | Error (Errno.ELOOP | Errno.ENOENT) -> ()
+      | _ -> Alcotest.fail "loop must be ELOOP")
 
 let test_stat_fields () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.mkdir c "/dir";
-      let st = Client.stat c "/dir" in
+      Client.mkdir_exn c "/dir";
+      let st = Client.stat_exn c "/dir" in
       Alcotest.(check bool) "dir kind" true (st.Client.st_kind = Inode.Directory);
-      Client.open_ c ~client:1 "/f" Client.WO;
-      Client.write c ~client:1 "/f" ~offset:0 (Data.of_string "xyz");
-      let st2 = Client.stat c "/f" in
+      Client.open_exn c ~client:1 "/f" Client.WO;
+      Client.write_exn c ~client:1 "/f" ~offset:0 (Data.of_string "xyz");
+      let st2 = Client.stat_exn c "/f" in
       Alcotest.(check int) "size" 3 st2.Client.st_size;
       Alcotest.(check bool) "file kind" true (st2.Client.st_kind = Inode.Regular))
 
@@ -231,10 +226,10 @@ let test_fsync_then_data_on_disk () =
   run_fs (fun s ->
       let c, _ = make_client s in
       let reg = (Client.fsys c).Fsys.registry in
-      Client.open_ c ~client:1 "/f" Client.WO;
-      Client.write c ~client:1 "/f" ~offset:0
+      Client.open_exn c ~client:1 "/f" Client.WO;
+      Client.write_exn c ~client:1 "/f" ~offset:0
         (Data.of_string (String.make 8192 'd'));
-      Client.fsync c "/f";
+      Client.fsync_exn c "/f";
       match Capfs_stats.Registry.find reg "cache.flushed_blocks" with
       | Some st ->
         Alcotest.(check int) "two blocks flushed" 2
@@ -255,71 +250,70 @@ let test_persistence_across_remount () =
         in
         let fs = Fsys.create ~cache_config ~layout s in
         let c = Client.create fs in
-        Client.mkdir c "/persist";
-        Client.open_ c ~client:1 "/persist/f" Client.WO;
-        Client.write c ~client:1 "/persist/f" ~offset:0
+        Client.mkdir_exn c "/persist";
+        Client.open_exn c ~client:1 "/persist/f" Client.WO;
+        Client.write_exn c ~client:1 "/persist/f" ~offset:0
           (Data.of_string "survives remount");
-        Client.close_ c ~client:1 "/persist/f";
-        Client.symlink c ~target:"/persist/f" "/link";
-        Client.sync c
+        Client.close_exn c ~client:1 "/persist/f";
+        Client.symlink_exn c ~target:"/persist/f" "/link";
+        Client.sync_exn c
       in
       let layout2 = Lfs.mount ~config:lfs_config s drv in
       let fs2 = Fsys.create ~cache_config ~layout:layout2 s in
       let c2 = Client.create fs2 in
-      let d = Client.read c2 ~client:1 "/persist/f" ~offset:0 ~bytes:50 in
+      let d = Client.read_exn c2 ~client:1 "/persist/f" ~offset:0 ~bytes:50 in
       Alcotest.(check string) "data" "survives remount" (Data.to_string d);
       Alcotest.(check string) "symlink" "/persist/f"
-        (Client.readlink c2 "/link");
-      let names = Client.readdir c2 "/" |> List.map (fun e -> e.Dir.name) in
+        (Client.readlink_exn c2 "/link");
+      let names = Client.readdir_exn c2 "/" |> List.map (fun e -> e.Dir.name) in
       Alcotest.(check (list string)) "root entries" [ "link"; "persist" ] names)
 
 let test_multimedia_prefetch () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.create_file c ~kind:Inode.Multimedia "/movie";
-      Client.open_ c ~client:1 "/movie" Client.RW;
-      Client.write c ~client:1 "/movie" ~offset:0
+      Client.create_file_exn c ~kind:Inode.Multimedia "/movie";
+      Client.open_exn c ~client:1 "/movie" Client.RW;
+      Client.write_exn c ~client:1 "/movie" ~offset:0
         (Data.of_string (String.make (64 * 1024) 'm'));
-      Client.fsync c "/movie";
+      Client.fsync_exn c "/movie";
       (* drop the cache by reading lots of other data *)
-      Client.open_ c ~client:1 "/filler" Client.WO;
-      Client.write c ~client:1 "/filler" ~offset:0
+      Client.open_exn c ~client:1 "/filler" Client.WO;
+      Client.write_exn c ~client:1 "/filler" ~offset:0
         (Data.of_string (String.make (256 * 1024) 'f'));
       (* read the start; the active file's fibre preloads ahead *)
-      ignore (Client.read c ~client:1 "/movie" ~offset:0 ~bytes:4096);
+      ignore (Client.read_exn c ~client:1 "/movie" ~offset:0 ~bytes:4096);
       Sched.sleep s 0.2;
       let cache = (Client.fsys c).Fsys.cache in
-      let movie_ino = (Client.stat c "/movie").Client.st_ino in
+      let movie_ino = (Client.stat_exn c "/movie").Client.st_ino in
       let cached = List.length (Cache.keys_of_file cache movie_ino) in
       (* the whole 64 KB file fits inside the prefetch window *)
       let expected = Stdlib.min File.mm_window_blocks (64 * 1024 / 4096) in
       if cached < expected then
         Alcotest.failf "prefetch window not resident: %d blocks" cached;
-      Client.close_ c ~client:1 "/movie")
+      Client.close_exn c ~client:1 "/movie")
 
 let test_concurrent_clients_isolated_handles () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.open_ c ~client:1 "/shared" Client.WO;
-      Client.open_ c ~client:2 "/shared" Client.RO;
+      Client.open_exn c ~client:1 "/shared" Client.WO;
+      Client.open_exn c ~client:2 "/shared" Client.RO;
       Alcotest.(check int) "two handles" 2 (Client.open_handles c);
-      Client.close_ c ~client:1 "/shared";
+      Client.close_exn c ~client:1 "/shared";
       (* client 2's handle still valid *)
-      ignore (Client.read c ~client:2 "/shared" ~offset:0 ~bytes:0);
-      Client.close_ c ~client:2 "/shared";
+      ignore (Client.read_exn c ~client:2 "/shared" ~offset:0 ~bytes:0);
+      Client.close_exn c ~client:2 "/shared";
       Alcotest.(check int) "all closed" 0 (Client.open_handles c);
-      try
-        Client.close_ c ~client:2 "/shared";
-        Alcotest.fail "double close must raise"
-      with Client.Bad_handle _ -> ())
+      match Client.close_ c ~client:2 "/shared" with
+      | Error Errno.EBADF -> ()
+      | _ -> Alcotest.fail "double close must be EBADF")
 
 let test_close_all () =
   run_fs (fun s ->
       let c, _ = make_client s in
-      Client.open_ c ~client:7 "/a" Client.WO;
-      Client.open_ c ~client:7 "/b" Client.WO;
-      Client.open_ c ~client:8 "/c" Client.WO;
-      Client.close_all c ~client:7;
+      Client.open_exn c ~client:7 "/a" Client.WO;
+      Client.open_exn c ~client:7 "/b" Client.WO;
+      Client.open_exn c ~client:8 "/c" Client.WO;
+      Client.close_all_exn c ~client:7;
       Alcotest.(check int) "only client 8 remains" 1 (Client.open_handles c))
 
 let test_many_files_under_pressure () =
@@ -327,17 +321,17 @@ let test_many_files_under_pressure () =
      log keep everything consistent. *)
   run_fs (fun s ->
       let c, _ = make_client ~sectors:65536 s in
-      Client.mkdir c "/load";
+      Client.mkdir_exn c "/load";
       for i = 0 to 49 do
         let path = Printf.sprintf "/load/f%d" i in
-        Client.open_ c ~client:1 path Client.WO;
-        Client.write c ~client:1 path ~offset:0
+        Client.open_exn c ~client:1 path Client.WO;
+        Client.write_exn c ~client:1 path ~offset:0
           (Data.of_string (String.make 12288 (Char.chr (65 + (i mod 26)))));
-        Client.close_ c ~client:1 path
+        Client.close_exn c ~client:1 path
       done;
       for i = 0 to 49 do
         let path = Printf.sprintf "/load/f%d" i in
-        let d = Client.read c ~client:1 path ~offset:0 ~bytes:12288 in
+        let d = Client.read_exn c ~client:1 path ~offset:0 ~bytes:12288 in
         Alcotest.(check string)
           (Printf.sprintf "file %d" i)
           (String.make 12288 (Char.chr (65 + (i mod 26))))
@@ -365,7 +359,7 @@ let prop_random_fs_operations_consistent =
                  | 0 | 1 | 2 ->
                    (* write n-dependent contents *)
                    let contents = Printf.sprintf "v%d-%d" n file in
-                   Client.write c ~client:1 p ~offset:0
+                   Client.write_exn c ~client:1 p ~offset:0
                      (Data.of_string contents);
                    (* model: overwrite prefix semantics *)
                    let old =
@@ -381,12 +375,12 @@ let prop_random_fs_operations_consistent =
                    Hashtbl.replace model p merged
                  | 3 ->
                    if Hashtbl.mem model p then begin
-                     Client.delete c p;
+                     Client.delete_exn c p;
                      Hashtbl.remove model p
                    end
                  | 4 ->
                    if Hashtbl.mem model p then
-                     Client.truncate c p ~size:2;
+                     Client.truncate_exn c p ~size:2;
                    (match Hashtbl.find_opt model p with
                    | Some v ->
                      Hashtbl.replace model p
@@ -398,7 +392,7 @@ let prop_random_fs_operations_consistent =
              Hashtbl.iter
                (fun p v ->
                  let d =
-                   Client.read c ~client:1 p ~offset:0 ~bytes:(String.length v)
+                   Client.read_exn c ~client:1 p ~offset:0 ~bytes:(String.length v)
                  in
                  if Data.to_string d <> v then ok := false)
                model));

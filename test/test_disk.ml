@@ -397,8 +397,8 @@ let test_driver_blocking_roundtrip () =
   let drv = Driver.create s mem in
   ignore
     (Sched.spawn s (fun () ->
-         Driver.write drv ~lba:10 (Data.of_string (String.make 1024 'z'));
-         let d = Driver.read drv ~lba:10 ~sectors:2 in
+         Driver.write_exn drv ~lba:10 (Data.of_string (String.make 1024 'z'));
+         let d = Driver.read_exn drv ~lba:10 ~sectors:2 in
          Alcotest.(check string) "roundtrip" (String.make 1024 'z')
            (Data.to_string d)));
   Sched.run s
@@ -412,7 +412,7 @@ let test_driver_parallel_requests_all_complete () =
   for i = 0 to 19 do
     ignore
       (Sched.spawn s (fun () ->
-           ignore (Driver.read drv ~lba:(i * 5000) ~sectors:8);
+           ignore (Driver.read_exn drv ~lba:(i * 5000) ~sectors:8);
            incr done_count))
   done;
   Sched.run s;
@@ -427,7 +427,7 @@ let test_driver_queueing_increases_latency () =
         let disk = Sim_disk.create s Disk_model.hp97560 bus in
         let drv = Driver.create s (Driver.sim_transport disk) in
         let t0 = Sched.now s in
-        ignore (Driver.read drv ~lba:1_000_000 ~sectors:8);
+        ignore (Driver.read_exn drv ~lba:1_000_000 ~sectors:8);
         Sched.now s -. t0)
   in
   let s = vsched () in
@@ -438,12 +438,12 @@ let test_driver_queueing_increases_latency () =
   let prng = Capfs_stats.Prng.create ~seed:5 in
   for _ = 0 to 14 do
     let lba = Capfs_stats.Prng.int prng 2_000_000 in
-    ignore (Sched.spawn s (fun () -> ignore (Driver.read drv ~lba ~sectors:8)))
+    ignore (Sched.spawn s (fun () -> ignore (Driver.read_exn drv ~lba ~sectors:8)))
   done;
   ignore
     (Sched.spawn s (fun () ->
          let t0 = Sched.now s in
-         ignore (Driver.read drv ~lba:1_000_000 ~sectors:8);
+         ignore (Driver.read_exn drv ~lba:1_000_000 ~sectors:8);
          queued := Sched.now s -. t0));
   Sched.run s;
   if !queued <= lone *. 2. then
@@ -459,7 +459,7 @@ let test_driver_drain () =
   for i = 0 to 9 do
     ignore
       (Sched.spawn s (fun () ->
-           ignore (Driver.read drv ~lba:(i * 10_000) ~sectors:8);
+           ignore (Driver.read_exn drv ~lba:(i * 10_000) ~sectors:8);
            last_done := Stdlib.max !last_done (Sched.now s)))
   done;
   ignore

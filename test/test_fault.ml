@@ -1,0 +1,344 @@
+(* Tests for the fault-injection subsystem: plan parsing, injector
+   determinism, driver retry/backoff behaviour, crash recovery against
+   the shadow model, and the typed-error (Errno) round-trips. *)
+
+module Sched = Capfs_sched.Sched
+module Driver = Capfs_disk.Driver
+module Data = Capfs_disk.Data
+module Plan = Capfs_fault.Plan
+module Injector = Capfs_fault.Injector
+module Errno = Capfs_core.Errno
+module Synth = Capfs_trace.Synth
+module Experiment = Capfs_patsy.Experiment
+module Fleet = Capfs_patsy.Fleet
+module Crash = Capfs_patsy.Crash
+module Replay = Capfs_patsy.Replay
+module Lfs = Capfs_layout.Lfs
+
+(* the same fast shape test_patsy uses: tiny cache, 2 disks, 1 bus *)
+let test_config policy =
+  {
+    (Experiment.default policy) with
+    Experiment.ndisks = 2;
+    nbuses = 1;
+    cache_mb = 4;
+    nvram_mb = 1;
+    seed = 7;
+  }
+
+let small_trace ?(seed = 3) ?(duration = 120.) () =
+  Synth.generate ~seed ~duration
+    { Synth.sprite_1a with Synth.clients = 4; files = 60; dirs = 4 }
+
+(* Plans *)
+
+let test_plan_roundtrip () =
+  let text =
+    "read_error=0.01,write_error=0.005,latent=16,stall_p=0.001,stall_s=0.25,\
+     crash_at=30,seed=7"
+  in
+  let plan =
+    match Plan.of_string text with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "of_string rejected a valid plan: %s" m
+  in
+  Alcotest.(check (float 0.)) "read_error" 0.01 plan.Plan.read_error;
+  Alcotest.(check (float 0.)) "write_error" 0.005 plan.Plan.write_error;
+  Alcotest.(check int) "latent" 16 plan.Plan.latent;
+  Alcotest.(check (float 0.)) "stall_p" 0.001 plan.Plan.stall_p;
+  Alcotest.(check (float 0.)) "stall_s" 0.25 plan.Plan.stall_s;
+  Alcotest.(check (option (float 0.))) "crash_at" (Some 30.) plan.Plan.crash_at;
+  Alcotest.(check (option int)) "seed" (Some 7) plan.Plan.seed;
+  (match Plan.of_string (Plan.to_string plan) with
+  | Ok p -> Alcotest.(check bool) "to_string round-trips" true (p = plan)
+  | Error m -> Alcotest.failf "to_string emitted an unparseable plan: %s" m);
+  (match Plan.of_string "" with
+  | Ok p -> Alcotest.(check bool) "empty string is empty plan" true (Plan.is_empty p)
+  | Error m -> Alcotest.failf "of_string \"\" failed: %s" m);
+  (match Plan.of_string "latent=4" with
+  | Ok p ->
+    Alcotest.(check int) "single key" 4 p.Plan.latent;
+    Alcotest.(check bool) "single key is not empty" false (Plan.is_empty p)
+  | Error m -> Alcotest.failf "of_string \"latent=4\" failed: %s" m);
+  (match Plan.of_string "bogus_key=1" with
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+  | Error _ -> ());
+  (match Plan.of_string "latent=not_a_number" with
+  | Ok _ -> Alcotest.fail "unparseable value accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "empty is empty" true (Plan.is_empty Plan.empty);
+  Alcotest.(check string) "empty prints empty" "" (Plan.to_string Plan.empty)
+
+(* Errno *)
+
+let test_errno_roundtrip () =
+  Array.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "of_unix (to_unix %s)" (Errno.to_string e))
+        true
+        (Errno.of_unix (Errno.to_unix e) = e))
+    Errno.all;
+  Array.iteri
+    (fun i e -> Alcotest.(check int) "to_index is positional" i (Errno.to_index e))
+    Errno.all;
+  let names = Array.to_list (Array.map Errno.to_string Errno.all) in
+  Alcotest.(check int)
+    "mnemonics are distinct"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (* unmapped host errors collapse to EIO rather than raising *)
+  Alcotest.(check bool) "unmapped -> EIO" true (Errno.of_unix Unix.EACCES = Errno.EIO)
+
+(* Injector determinism *)
+
+let fault_plan =
+  {
+    Plan.empty with
+    Plan.read_error = 0.05;
+    write_error = 0.02;
+    latent = 8;
+    stall_p = 0.01;
+    stall_s = 0.1;
+  }
+
+let decisions inj =
+  Injector.register_disk inj ~name:"d0" ~total_sectors:1024;
+  Injector.register_disk inj ~name:"d1" ~total_sectors:1024;
+  List.init 400 (fun i ->
+      let disk = if i mod 3 = 0 then "d1" else "d0" in
+      Injector.decide inj ~disk ~write:(i mod 2 = 0) ~lba:(i * 7 mod 1024)
+        ~sectors:8)
+
+let test_injector_determinism () =
+  (* fresh injector per schedule: decide advances the PRNG stream, so a
+     schedule is only comparable from a pristine injector *)
+  let a = Injector.create ~seed:42 fault_plan in
+  let b = Injector.create ~seed:42 fault_plan in
+  Alcotest.(check bool) "same seed, same schedule" true (decisions a = decisions b);
+  Alcotest.(check int) "transients agree" (Injector.transients a)
+    (Injector.transients b);
+  Alcotest.(check int) "hards agree" (Injector.hards a) (Injector.hards b);
+  Alcotest.(check int) "stalls agree" (Injector.stalls a) (Injector.stalls b);
+  let schedule ~seed plan = decisions (Injector.create ~seed plan) in
+  Alcotest.(check bool) "different seed, different schedule" false
+    (schedule ~seed:42 fault_plan = schedule ~seed:43 fault_plan);
+  (* the plan's own seed overrides the experiment's *)
+  Alcotest.(check bool) "plan seed wins" true
+    (schedule ~seed:42 fault_plan
+    = schedule ~seed:1 { fault_plan with Plan.seed = Some 42 })
+
+let test_injector_null () =
+  Alcotest.(check bool) "null is disabled" false (Injector.enabled Injector.null);
+  Alcotest.(check bool) "empty plan is disabled" false
+    (Injector.enabled (Injector.create ~seed:1 Plan.empty));
+  Alcotest.(check bool) "a crash trigger alone enables" true
+    (Injector.enabled
+       (Injector.create ~seed:1 { Plan.empty with Plan.crash_at = Some 30. }));
+  let inj = Injector.create ~seed:1 fault_plan in
+  Alcotest.(check bool) "faulty plan is enabled" true (Injector.enabled inj);
+  Alcotest.(check (option (float 0.))) "no crash trigger" None
+    (Injector.crash_at inj)
+
+let test_latent_sectors () =
+  (* latent faults only: reads over a bad sector fail hard, a write
+     repairs it (sector remap), and the bad set is a pure function of
+     (seed, disk name) *)
+  let latent_only = { Plan.empty with Plan.latent = 8 } in
+  let bad_lbas inj =
+    Injector.register_disk inj ~name:"d0" ~total_sectors:512;
+    List.filter
+      (fun lba ->
+        Injector.decide inj ~disk:"d0" ~write:false ~lba ~sectors:1
+        = Injector.Hard_error)
+      (List.init 512 Fun.id)
+  in
+  let a = Injector.create ~seed:11 latent_only in
+  let bad = bad_lbas a in
+  Alcotest.(check bool) "some latent sectors materialized" true (bad <> []);
+  Alcotest.(check bool) "at most [latent] of them" true (List.length bad <= 8);
+  let b = Injector.create ~seed:11 latent_only in
+  Alcotest.(check bool) "bad set is deterministic" true (bad = bad_lbas b);
+  let lba = List.hd bad in
+  (match Injector.decide a ~disk:"d0" ~write:true ~lba ~sectors:1 with
+  | Injector.Hard_error -> Alcotest.fail "write to a latent sector failed hard"
+  | _ -> ());
+  Alcotest.(check bool) "write repaired the sector" true
+    (Injector.decide a ~disk:"d0" ~write:false ~lba ~sectors:1 = Injector.Pass);
+  Alcotest.(check bool) "hard errors were counted" true (Injector.hards a > 0)
+
+(* Driver retry and backoff *)
+
+let test_driver_retries_and_escalation () =
+  (* every read attempt draws a transient: the driver retries
+     [max_retries] times with exponential backoff, then escalates EIO *)
+  let plan = { Plan.empty with Plan.read_error = 1.0 } in
+  let sched =
+    Sched.create ~seed:5 ~clock:`Virtual
+      ~injector:(Injector.create ~seed:5 plan) ()
+  in
+  let drv =
+    Driver.create ~max_retries:2 ~retry_backoff:0.002 sched
+      (Driver.mem_transport ~sector_bytes:512 ~total_sectors:128 sched ())
+  in
+  ignore
+    (Sched.spawn sched ~name:"test" (fun () ->
+         (match Driver.write drv ~lba:0 (Data.of_string (String.make 512 'x')) with
+         | Ok () -> ()
+         | Error e ->
+           Alcotest.failf "write failed (%s) under a read-only plan"
+             (Errno.to_string e));
+         let t0 = Sched.now sched in
+         (match Driver.read drv ~lba:0 ~sectors:1 with
+         | Ok _ -> Alcotest.fail "read succeeded under read_error=1.0"
+         | Error e ->
+           Alcotest.(check string) "escalates as EIO" "eio" (Errno.to_string e));
+         let elapsed = Sched.now sched -. t0 in
+         (* two retries: backoff 2 ms then 4 ms of virtual time *)
+         Alcotest.(check bool)
+           (Printf.sprintf "backoff elapsed (%.4f)" elapsed)
+           true
+           (elapsed >= 0.006)));
+  Sched.run sched;
+  Alcotest.(check int) "retries counted" 2 (Driver.retries drv);
+  Alcotest.(check int) "one escalated error" 1 (Driver.io_errors drv);
+  Alcotest.(check int) "three transient draws" 3
+    (Injector.transients (Sched.injector sched));
+  Alcotest.(check int) "no timeouts" 0 (Driver.timeouts drv)
+
+let test_driver_clean_under_null_injector () =
+  let sched = Sched.create ~seed:5 ~clock:`Virtual () in
+  let drv =
+    Driver.create sched
+      (Driver.mem_transport ~sector_bytes:512 ~total_sectors:128 sched ())
+  in
+  ignore
+    (Sched.spawn sched ~name:"test" (fun () ->
+         (match Driver.write drv ~lba:3 (Data.of_string (String.make 1024 'y')) with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "write: %s" (Errno.to_string e));
+         match Driver.read drv ~lba:3 ~sectors:2 with
+         | Ok data ->
+           Alcotest.(check int) "payload length" 1024 (Data.length data)
+         | Error e -> Alcotest.failf "read: %s" (Errno.to_string e)));
+  Sched.run sched;
+  Alcotest.(check int) "no retries" 0 (Driver.retries drv);
+  Alcotest.(check int) "no io errors" 0 (Driver.io_errors drv)
+
+(* Replay under faults: the fleet must stay deterministic *)
+
+let summary (r : Fleet.job_result) =
+  match r.Fleet.result with
+  | Ok o ->
+    let rp = o.Experiment.replay in
+    Printf.sprintf "ops=%d errs=%d kinds=%s flushed=%d" rp.Replay.operations
+      rp.Replay.errors
+      (String.concat ","
+         (List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n)
+            rp.Replay.errors_by_kind))
+      o.Experiment.blocks_flushed
+  | Error f -> Format.asprintf "%a" Fleet.pp_failure f
+
+let test_fleet_fault_determinism () =
+  (* same jobs, same fault plan: a 1-domain and a 4-domain fleet must
+     report identical outcomes, faults included (j1 ≡ j4) *)
+  let plan =
+    { Plan.empty with Plan.read_error = 0.002; write_error = 0.001; latent = 4 }
+  in
+  let jobs =
+    List.map
+      (fun seed ->
+        {
+          Fleet.label = Printf.sprintf "faulty-%d" seed;
+          trace = "sprite";
+          config =
+            {
+              (test_config Experiment.Ups) with
+              Experiment.seed;
+              fault_plan = Some plan;
+            };
+        })
+      [ 1; 2; 3 ]
+  in
+  let gen _ = small_trace () in
+  let j1 = Fleet.run_jobs ~jobs:1 ~gen jobs in
+  let j4 = Fleet.run_jobs ~jobs:4 ~gen jobs in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string)
+        (Printf.sprintf "outcome of %s" a.Fleet.job.Fleet.label)
+        (summary a) (summary b))
+    j1 j4
+
+(* Crash and recovery against the shadow model *)
+
+let crash_plan = { Plan.empty with Plan.crash_at = Some 60. }
+
+let test_crash_recovery_consistent () =
+  let config = test_config Experiment.Write_delay in
+  let report = Crash.run ~config ~trace:(small_trace ()) crash_plan in
+  Alcotest.(check (float 0.)) "crash time" 60. report.Crash.crash_time;
+  Alcotest.(check bool) "ops applied before the cut" true
+    (report.Crash.applied_ops > 0);
+  Alcotest.(check bool) "floor synced" true report.Crash.floor_synced;
+  Alcotest.(check int) "every volume recovered" config.Experiment.ndisks
+    (List.length report.Crash.recoveries);
+  Alcotest.(check int) "no failed volumes" 0
+    (List.length report.Crash.failed_volumes);
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s fsck clean" name)
+        [] r.Lfs.r_fsck_errors)
+    report.Crash.recoveries;
+  List.iter
+    (fun v -> Format.eprintf "violation: %a@." Crash.pp_violation v)
+    report.Crash.violations;
+  Alcotest.(check int) "no shadow-model violations" 0
+    (List.length report.Crash.violations);
+  Alcotest.(check bool) "verdict consistent" true report.Crash.ok
+
+let test_crash_recovery_with_faults () =
+  (* same experiment with transient faults in the mix: retries absorb
+     them and recovery must still satisfy the shadow model *)
+  let config = test_config Experiment.Write_delay in
+  let plan =
+    {
+      crash_plan with
+      Plan.read_error = 0.001;
+      write_error = 0.0005;
+      stall_p = 0.001;
+      stall_s = 0.02;
+    }
+  in
+  let report = Crash.run ~config ~trace:(small_trace ()) plan in
+  Alcotest.(check bool) "verdict consistent under faults" true report.Crash.ok
+
+let test_crash_requires_trigger () =
+  Alcotest.check_raises "crash_at is mandatory"
+    (Invalid_argument "Crash.run: the fault plan must set crash_at > 0")
+    (fun () ->
+      ignore
+        (Crash.run
+           ~config:(test_config Experiment.Write_delay)
+           ~trace:(small_trace ()) Plan.empty))
+
+let suite =
+  [
+    Alcotest.test_case "plan round-trip" `Quick test_plan_roundtrip;
+    Alcotest.test_case "errno round-trip" `Quick test_errno_roundtrip;
+    Alcotest.test_case "injector determinism" `Quick test_injector_determinism;
+    Alcotest.test_case "null injector" `Quick test_injector_null;
+    Alcotest.test_case "latent sectors" `Quick test_latent_sectors;
+    Alcotest.test_case "driver retries and escalation" `Quick
+      test_driver_retries_and_escalation;
+    Alcotest.test_case "driver clean without faults" `Quick
+      test_driver_clean_under_null_injector;
+    Alcotest.test_case "fleet fault determinism (j1 = j4)" `Slow
+      test_fleet_fault_determinism;
+    Alcotest.test_case "crash, recover, shadow model" `Slow
+      test_crash_recovery_consistent;
+    Alcotest.test_case "crash recovery under faults" `Slow
+      test_crash_recovery_with_faults;
+    Alcotest.test_case "crash trigger required" `Quick test_crash_requires_trigger;
+  ]

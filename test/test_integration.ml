@@ -46,20 +46,20 @@ let test_client_over_ffs () =
       in
       let fs = Fsys.create ~cache_config:(cache_config 64) ~layout s in
       let c = Client.create fs in
-      Client.mkdir c "/ffs";
-      Client.open_ c ~client:1 "/ffs/file" Client.WO;
-      Client.write c ~client:1 "/ffs/file" ~offset:0
+      Client.mkdir_exn c "/ffs";
+      Client.open_exn c ~client:1 "/ffs/file" Client.WO;
+      Client.write_exn c ~client:1 "/ffs/file" ~offset:0
         (Data.of_string (String.make 10000 'F'));
-      Client.fsync c "/ffs/file";
-      let d = Client.read c ~client:1 "/ffs/file" ~offset:0 ~bytes:10000 in
+      Client.fsync_exn c "/ffs/file";
+      let d = Client.read_exn c ~client:1 "/ffs/file" ~offset:0 ~bytes:10000 in
       Alcotest.(check string) "ffs roundtrip" (String.make 10000 'F')
         (Data.to_string d);
-      Client.sync c;
+      Client.sync_exn c;
       (* remount from the image *)
       let layout2 = Ffs.mount s drv in
       let fs2 = Fsys.create ~cache_config:(cache_config 64) ~layout:layout2 s in
       let c2 = Client.create fs2 in
-      let d2 = Client.read c2 ~client:1 "/ffs/file" ~offset:0 ~bytes:10000 in
+      let d2 = Client.read_exn c2 ~client:1 "/ffs/file" ~offset:0 ~bytes:10000 in
       Alcotest.(check string) "ffs remount" (String.make 10000 'F')
         (Data.to_string d2))
 
@@ -74,18 +74,18 @@ let test_client_over_sim_layout () =
       let layout = Sim_layout.create ~seed:3 s drv ~block_bytes:4096 in
       let fs = Fsys.create ~cache_config:(cache_config 32) ~layout s in
       let c = Client.create fs in
-      Client.mkdir c "/sim";
-      Client.open_ c ~client:1 "/sim/f" Client.WO;
+      Client.mkdir_exn c "/sim";
+      Client.open_exn c ~client:1 "/sim/f" Client.WO;
       let t0 = Sched.now s in
-      Client.write c ~client:1 "/sim/f" ~offset:0 (Data.sim 65536);
-      Client.fsync c "/sim/f";
+      Client.write_exn c ~client:1 "/sim/f" ~offset:0 (Data.sim 65536);
+      Client.fsync_exn c "/sim/f";
       let flush_time = Sched.now s -. t0 in
       if flush_time <= 0. then
         Alcotest.fail "simulated flush must cost simulated time";
       (* read back: contents are simulated, length is what matters *)
-      let d = Client.read c ~client:1 "/sim/f" ~offset:0 ~bytes:65536 in
+      let d = Client.read_exn c ~client:1 "/sim/f" ~offset:0 ~bytes:65536 in
       Alcotest.(check int) "length" 65536 (Data.length d);
-      Alcotest.(check int) "size" 65536 (Client.stat c "/sim/f").Client.st_size)
+      Alcotest.(check int) "size" 65536 (Client.stat_exn c "/sim/f").Client.st_size)
 
 (* NVRAM-equipped full stack: dirty data bounded while ordinary I/O
    proceeds. *)
@@ -107,15 +107,15 @@ let test_client_with_nvram_stack () =
       let c = Client.create fs in
       for i = 0 to 9 do
         let p = Printf.sprintf "/f%d" i in
-        Client.open_ c ~client:1 p Client.WO;
-        Client.write c ~client:1 p ~offset:0
+        Client.open_exn c ~client:1 p Client.WO;
+        Client.write_exn c ~client:1 p ~offset:0
           (Data.of_string (String.make 16384 (Char.chr (97 + i))))
       done;
       Alcotest.(check bool) "nvram bounded" true
         (Cache.nvram_used fs.Fsys.cache <= 16);
       for i = 0 to 9 do
         let p = Printf.sprintf "/f%d" i in
-        let d = Client.read c ~client:1 p ~offset:0 ~bytes:16384 in
+        let d = Client.read_exn c ~client:1 p ~offset:0 ~bytes:16384 in
         Alcotest.(check string) p (String.make 16384 (Char.chr (97 + i)))
           (Data.to_string d)
       done)
@@ -155,16 +155,16 @@ let test_coda_trace_replay () =
    operations and compare observable state — the cut-and-paste promise. *)
 let test_pfs_and_patsy_agree_on_state () =
   let ops c =
-    Client.mkdir c "/proj";
-    Client.open_ c ~client:1 "/proj/report" Client.WO;
-    Client.write c ~client:1 "/proj/report" ~offset:0
+    Client.mkdir_exn c "/proj";
+    Client.open_exn c ~client:1 "/proj/report" Client.WO;
+    Client.write_exn c ~client:1 "/proj/report" ~offset:0
       (Data.of_string (String.make 5000 'r'));
-    Client.close_ c ~client:1 "/proj/report";
-    Client.truncate c "/proj/report" ~size:3000;
-    Client.create_file c "/proj/temp";
-    Client.delete c "/proj/temp";
-    ( (Client.stat c "/proj/report").Client.st_size,
-      List.map (fun e -> e.Dir.name) (Client.readdir c "/proj") )
+    Client.close_exn c ~client:1 "/proj/report";
+    Client.truncate_exn c "/proj/report" ~size:3000;
+    Client.create_file_exn c "/proj/temp";
+    Client.delete_exn c "/proj/temp";
+    ( (Client.stat_exn c "/proj/report").Client.st_size,
+      List.map (fun e -> e.Dir.name) (Client.readdir_exn c "/proj") )
   in
   (* Patsy-style: simulated disk, sim payloads *)
   let patsy_result = ref None in
@@ -234,18 +234,18 @@ let prop_stack_invariants =
               try
                 match action with
                 | 0 | 1 ->
-                  Client.write c ~client:1 p ~offset:(action * 4096)
+                  Client.write_exn c ~client:1 p ~offset:(action * 4096)
                     (Data.sim 4096)
                 | 2 ->
                   if Client.exists c p then
-                    ignore (Client.read c ~client:1 p ~offset:0 ~bytes:4096)
-                | 3 -> if Client.exists c p then Client.delete c p
-                | 4 -> if Client.exists c p then Client.truncate c p ~size:100
-                | _ -> if Client.exists c p then Client.fsync c p
+                    ignore (Client.read_exn c ~client:1 p ~offset:0 ~bytes:4096)
+                | 3 -> if Client.exists c p then Client.delete_exn c p
+                | 4 -> if Client.exists c p then Client.truncate_exn c p ~size:100
+                | _ -> if Client.exists c p then Client.fsync_exn c p
               with
               | Namespace.Not_found_path _ | Namespace.Already_exists _ -> ())
             ops;
-          Client.sync c;
+          Client.sync_exn c;
           if Cache.dirty_count fs.Fsys.cache <> 0 then ok := false;
           if Cache.nvram_used fs.Fsys.cache <> 0 then ok := false);
       !ok)

@@ -29,6 +29,17 @@ let small_lfs_config =
 
 let block_of_char c = Data.of_string (String.make 4096 c)
 
+(* The Layout record is result-typed now; tests treat failure as fatal. *)
+let ok = Capfs_core.Errno.ok_exn
+let alloc_inode l ~kind = ok (l.Layout.alloc_inode ~kind)
+let get_inode l ino = ok (l.Layout.get_inode ino)
+let write_blocks l ups = ok (l.Layout.write_blocks ups)
+let read_block l f i = ok (l.Layout.read_block f i)
+let truncate_l l f ~blocks = ok (l.Layout.truncate f ~blocks)
+let adopt_l l f ~blocks = ok (l.Layout.adopt f ~blocks)
+let free_inode l ino = ok (l.Layout.free_inode ino)
+let sync_l l = ok (l.Layout.sync ())
+
 (* Codec *)
 
 let test_codec_roundtrip () =
@@ -115,15 +126,15 @@ let test_lfs_write_read_roundtrip () =
       let drv = mem_driver s in
       let l = Lfs.format_and_mount ~config:small_lfs_config s drv
           ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l
         [ (f.Inode.ino, 0, block_of_char 'a'); (f.Inode.ino, 1, block_of_char 'b') ];
       Alcotest.(check string) "block 0" (String.make 4096 'a')
-        (Data.to_string (l.Layout.read_block f 0));
+        (Data.to_string (read_block l f 0));
       Alcotest.(check string) "block 1" (String.make 4096 'b')
-        (Data.to_string (l.Layout.read_block f 1));
+        (Data.to_string (read_block l f 1));
       (* a hole reads back as nothing *)
-      Alcotest.(check int) "hole size" 4096 (Data.length (l.Layout.read_block f 9)))
+      Alcotest.(check int) "hole size" 4096 (Data.length (read_block l f 9)))
 
 let test_lfs_persists_across_remount () =
   run_fs (fun s ->
@@ -131,40 +142,40 @@ let test_lfs_persists_across_remount () =
       let ino =
         let l = Lfs.format_and_mount ~config:small_lfs_config s drv
             ~block_bytes:4096 in
-        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        let f = alloc_inode l ~kind:Inode.Regular in
         f.Inode.size <- 8192;
         l.Layout.update_inode f;
-        l.Layout.write_blocks
+        write_blocks l
           [ (f.Inode.ino, 0, block_of_char 'x');
             (f.Inode.ino, 1, block_of_char 'y') ];
-        l.Layout.sync ();
+        sync_l l;
         f.Inode.ino
       in
       (* fresh mount from disk state only *)
       let l2 = Lfs.mount ~config:small_lfs_config s drv in
-      match l2.Layout.get_inode ino with
+      match get_inode l2 ino with
       | None -> Alcotest.fail "inode lost across remount"
       | Some f ->
         Alcotest.(check int) "size" 8192 f.Inode.size;
         Alcotest.(check string) "block 0" (String.make 4096 'x')
-          (Data.to_string (l2.Layout.read_block f 0));
+          (Data.to_string (read_block l2 f 0));
         Alcotest.(check string) "block 1" (String.make 4096 'y')
-          (Data.to_string (l2.Layout.read_block f 1)))
+          (Data.to_string (read_block l2 f 1)))
 
 let test_lfs_indirect_blocks_roundtrip () =
   run_fs (fun s ->
       let drv = mem_driver ~sectors:32768 s in
       let l = Lfs.format_and_mount ~config:small_lfs_config s drv
           ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      let f = alloc_inode l ~kind:Inode.Regular in
       (* more blocks than ndirect (32) forces indirect spill *)
       let n = 50 in
-      l.Layout.write_blocks
+      write_blocks l
         (List.init n (fun i ->
              (f.Inode.ino, i, block_of_char (Char.chr (Char.code 'A' + (i mod 26))))));
-      l.Layout.sync ();
+      sync_l l;
       let l2 = Lfs.mount ~config:small_lfs_config s drv in
-      match l2.Layout.get_inode f.Inode.ino with
+      match get_inode l2 f.Inode.ino with
       | None -> Alcotest.fail "inode lost"
       | Some f' ->
         for i = 0 to n - 1 do
@@ -172,7 +183,7 @@ let test_lfs_indirect_blocks_roundtrip () =
           Alcotest.(check string)
             (Printf.sprintf "block %d" i)
             expect
-            (Data.to_string (l2.Layout.read_block f' i))
+            (Data.to_string (read_block l2 f' i))
         done)
 
 let test_lfs_overwrite_updates_in_log () =
@@ -180,11 +191,11 @@ let test_lfs_overwrite_updates_in_log () =
       let drv = mem_driver s in
       let l = Lfs.format_and_mount ~config:small_lfs_config s drv
           ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char '1') ];
-      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char '2') ];
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l [ (f.Inode.ino, 0, block_of_char '1') ];
+      write_blocks l [ (f.Inode.ino, 0, block_of_char '2') ];
       Alcotest.(check string) "latest wins" (String.make 4096 '2')
-        (Data.to_string (l.Layout.read_block f 0)))
+        (Data.to_string (read_block l f 0)))
 
 let test_lfs_cleaner_preserves_data () =
   run_fs (fun s ->
@@ -193,11 +204,11 @@ let test_lfs_cleaner_preserves_data () =
       let drv = mem_driver ~sectors:4096 s in
       let l = Lfs.format_and_mount ~config:small_lfs_config s drv
           ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      let f = alloc_inode l ~kind:Inode.Regular in
       (* Overwrite a small file many times: the log fills with dead
          blocks and the cleaner must run. *)
       for round = 0 to 60 do
-        l.Layout.write_blocks
+        write_blocks l
           (List.init 8 (fun i ->
                (f.Inode.ino, i,
                 block_of_char (Char.chr (Char.code 'a' + ((round + i) mod 26))))))
@@ -212,7 +223,7 @@ let test_lfs_cleaner_preserves_data () =
       for i = 0 to 7 do
         let expect = String.make 4096 (Char.chr (Char.code 'a' + ((60 + i) mod 26))) in
         Alcotest.(check string) (Printf.sprintf "block %d intact" i) expect
-          (Data.to_string (l.Layout.read_block f i))
+          (Data.to_string (read_block l f i))
       done)
 
 let test_lfs_greedy_cleaner_also_works () =
@@ -220,39 +231,39 @@ let test_lfs_greedy_cleaner_also_works () =
       let drv = mem_driver s in
       let cfg = { small_lfs_config with Lfs.cleaner = Lfs.Greedy } in
       let l = Lfs.format_and_mount ~config:cfg s drv ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      let f = alloc_inode l ~kind:Inode.Regular in
       for round = 0 to 60 do
-        l.Layout.write_blocks
+        write_blocks l
           [ (f.Inode.ino, round mod 4, block_of_char 'g') ]
       done;
       Alcotest.(check string) "data intact" (String.make 4096 'g')
-        (Data.to_string (l.Layout.read_block f 0)))
+        (Data.to_string (read_block l f 0)))
 
 let test_lfs_truncate_frees_segments () =
   run_fs (fun s ->
       let drv = mem_driver s in
       let l = Lfs.format_and_mount ~config:small_lfs_config s drv
           ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l
         (List.init 20 (fun i -> (f.Inode.ino, i, block_of_char 'z')));
       let free_before = l.Layout.free_blocks () in
-      l.Layout.truncate f ~blocks:0;
+      truncate_l l f ~blocks:0;
       ignore free_before;
       Alcotest.(check int) "no mapped blocks" 0
         (List.length (Inode.mapped f));
       Alcotest.(check int) "hole read" 4096
-        (Data.length (l.Layout.read_block f 0)))
+        (Data.length (read_block l f 0)))
 
 let test_lfs_free_inode_forgets () =
   run_fs (fun s ->
       let drv = mem_driver s in
       let l = Lfs.format_and_mount ~config:small_lfs_config s drv
           ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'q') ];
-      l.Layout.free_inode f.Inode.ino;
-      Alcotest.(check bool) "gone" true (l.Layout.get_inode f.Inode.ino = None))
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l [ (f.Inode.ino, 0, block_of_char 'q') ];
+      free_inode l f.Inode.ino;
+      Alcotest.(check bool) "gone" true (get_inode l f.Inode.ino = None))
 
 let test_lfs_roll_forward_recovers () =
   run_fs (fun s ->
@@ -260,31 +271,31 @@ let test_lfs_roll_forward_recovers () =
       let ino =
         let l = Lfs.format_and_mount ~config:small_lfs_config s drv
             ~block_bytes:4096 in
-        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-        l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'c') ];
-        l.Layout.sync ();
+        let f = alloc_inode l ~kind:Inode.Regular in
+        write_blocks l [ (f.Inode.ino, 0, block_of_char 'c') ];
+        sync_l l;
         (* post-checkpoint writes: enough to seal full segments, then
            "crash" without checkpointing *)
         for i = 0 to 39 do
-          l.Layout.write_blocks [ (f.Inode.ino, 1 + (i mod 20), block_of_char 'd') ]
+          write_blocks l [ (f.Inode.ino, 1 + (i mod 20), block_of_char 'd') ]
         done;
         f.Inode.ino
       in
       let l2 = Lfs.mount ~config:small_lfs_config s drv in
-      match l2.Layout.get_inode ino with
+      match get_inode l2 ino with
       | None -> Alcotest.fail "inode lost in recovery"
       | Some f ->
         (* the checkpointed block must be there; rolled-forward blocks
            for any sealed segment must read back as 'd' *)
         Alcotest.(check string) "checkpointed block" (String.make 4096 'c')
-          (Data.to_string (l2.Layout.read_block f 0));
+          (Data.to_string (read_block l2 f 0));
         if f.Inode.nblocks > 1 then begin
           match Inode.get_addr f 1 with
           | a when a = Inode.addr_none -> ()
           | _ ->
             Alcotest.(check string) "rolled-forward block"
               (String.make 4096 'd')
-              (Data.to_string (l2.Layout.read_block f 1))
+              (Data.to_string (read_block l2 f 1))
         end)
 
 let test_lfs_disk_full_raises () =
@@ -294,22 +305,25 @@ let test_lfs_disk_full_raises () =
       let cfg = { small_lfs_config with Lfs.min_free_segments = 1;
                   target_free_segments = 2 } in
       let l = Lfs.format_and_mount ~config:cfg s drv ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      try
-        (* one batch exceeding the log's capacity: all blocks live, the
-           cleaner has nothing to reclaim, the log must report full *)
+      let f = alloc_inode l ~kind:Inode.Regular in
+      (* one batch exceeding the log's capacity: all blocks live, the
+         cleaner has nothing to reclaim, the log must report full *)
+      match
         l.Layout.write_blocks
-          (List.init 600 (fun i -> (f.Inode.ino, i, block_of_char 'f')));
-        Alcotest.fail "expected Disk_full"
-      with Lfs.Disk_full -> ())
+          (List.init 600 (fun i -> (f.Inode.ino, i, block_of_char 'f')))
+      with
+      | Error Capfs_core.Errno.ENOSPC -> ()
+      | Ok () -> Alcotest.fail "expected ENOSPC"
+      | Error e ->
+        Alcotest.failf "expected ENOSPC, got %s" (Capfs_core.Errno.to_string e))
 
 let test_lfs_stats_exposed () =
   run_fs (fun s ->
       let drv = mem_driver s in
       let l = Lfs.format_and_mount ~config:small_lfs_config s drv
           ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l
         (List.init 40 (fun i -> (f.Inode.ino, i, block_of_char 'k')));
       let stats = l.Layout.layout_stats () in
       List.iter
@@ -325,16 +339,16 @@ let test_lfs_stats_exposed () =
 
 let corrupt_sector drv ~lba =
   (* overwrite with garbage *)
-  Driver.write drv ~lba (Data.of_string (String.make 512 '\xde'))
+  Driver.write_exn drv ~lba (Data.of_string (String.make 512 '\xde'))
 
 let test_lfs_corrupt_superblock_detected () =
   run_fs (fun s ->
       let drv = mem_driver s in
       let l = Lfs.format_and_mount ~config:small_lfs_config s drv
           ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'v') ];
-      l.Layout.sync ();
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l [ (f.Inode.ino, 0, block_of_char 'v') ];
+      sync_l l;
       corrupt_sector drv ~lba:0;
       match Lfs.mount ~config:small_lfs_config s drv with
       | _ -> Alcotest.fail "corrupt superblock must be rejected"
@@ -346,24 +360,24 @@ let test_lfs_torn_checkpoint_falls_back () =
       let ino =
         let l = Lfs.format_and_mount ~config:small_lfs_config s drv
             ~block_bytes:4096 in
-        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-        l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'c') ];
-        l.Layout.sync ();
+        let f = alloc_inode l ~kind:Inode.Regular in
+        write_blocks l [ (f.Inode.ino, 0, block_of_char 'c') ];
+        sync_l l;
         (* a second sync writes the alternate region *)
-        l.Layout.write_blocks [ (f.Inode.ino, 1, block_of_char 'd') ];
-        l.Layout.sync ();
+        write_blocks l [ (f.Inode.ino, 1, block_of_char 'd') ];
+        sync_l l;
         f.Inode.ino
       in
       (* tear the newer checkpoint region (region A and B alternate; the
          2nd sync went to B at block 9 with checkpoint_blocks = 8) *)
       corrupt_sector drv ~lba:(9 * 8);
       let l2 = Lfs.mount ~config:small_lfs_config s drv in
-      match l2.Layout.get_inode ino with
+      match get_inode l2 ino with
       | None -> Alcotest.fail "fallback checkpoint lost the inode"
       | Some f ->
         (* the older checkpoint plus roll-forward still reads block 0 *)
         Alcotest.(check string) "block 0 intact" (String.make 4096 'c')
-          (Data.to_string (l2.Layout.read_block f 0)))
+          (Data.to_string (read_block l2 f 0)))
 
 let test_ffs_corrupt_superblock_detected () =
   run_fs (fun s ->
@@ -371,7 +385,7 @@ let test_ffs_corrupt_superblock_detected () =
       let l = Ffs.format_and_mount
           ~config:{ Ffs.group_blocks = 128; inodes_per_group = 16 }
           s drv ~block_bytes:4096 in
-      l.Layout.sync ();
+      sync_l l;
       corrupt_sector drv ~lba:0;
       match Ffs.mount s drv with
       | _ -> Alcotest.fail "corrupt ffs superblock must be rejected"
@@ -383,13 +397,13 @@ let test_lfs_adopted_blocks_survive_cleaning_pressure () =
       let l = Lfs.format_and_mount ~config:small_lfs_config s drv
           ~block_bytes:4096 in
       (* adopt a pre-existing file, then churn real writes around it *)
-      let old = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.adopt old ~blocks:8;
+      let old = alloc_inode l ~kind:Inode.Regular in
+      adopt_l l old ~blocks:8;
       old.Inode.size <- 8 * 4096;
       l.Layout.update_inode old;
-      let churn = l.Layout.alloc_inode ~kind:Inode.Regular in
+      let churn = alloc_inode l ~kind:Inode.Regular in
       for round = 0 to 40 do
-        l.Layout.write_blocks
+        write_blocks l
           [ (churn.Inode.ino, round mod 6, block_of_char 'w') ]
       done;
       (* the adopted addresses must still be mapped *)
@@ -407,13 +421,13 @@ let test_ffs_write_read_roundtrip () =
       let drv = mem_driver s in
       let l = Ffs.format_and_mount ~config:small_ffs_config s drv
           ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l
         [ (f.Inode.ino, 0, block_of_char 'm'); (f.Inode.ino, 1, block_of_char 'n') ];
       Alcotest.(check string) "block 0" (String.make 4096 'm')
-        (Data.to_string (l.Layout.read_block f 0));
+        (Data.to_string (read_block l f 0));
       Alcotest.(check string) "block 1" (String.make 4096 'n')
-        (Data.to_string (l.Layout.read_block f 1)))
+        (Data.to_string (read_block l f 1)))
 
 let test_ffs_persists_across_remount () =
   run_fs (fun s ->
@@ -421,33 +435,33 @@ let test_ffs_persists_across_remount () =
       let ino =
         let l = Ffs.format_and_mount ~config:small_ffs_config s drv
             ~block_bytes:4096 in
-        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        let f = alloc_inode l ~kind:Inode.Regular in
         f.Inode.size <- 4096;
         l.Layout.update_inode f;
-        l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'p') ];
-        l.Layout.sync ();
+        write_blocks l [ (f.Inode.ino, 0, block_of_char 'p') ];
+        sync_l l;
         f.Inode.ino
       in
       let l2 = Ffs.mount s drv in
-      match l2.Layout.get_inode ino with
+      match get_inode l2 ino with
       | None -> Alcotest.fail "ffs inode lost"
       | Some f ->
         Alcotest.(check int) "size" 4096 f.Inode.size;
         Alcotest.(check string) "data" (String.make 4096 'p')
-          (Data.to_string (l2.Layout.read_block f 0)))
+          (Data.to_string (read_block l2 f 0)))
 
 let test_ffs_blocks_stay_put_on_overwrite () =
   run_fs (fun s ->
       let drv = mem_driver s in
       let l = Ffs.format_and_mount ~config:small_ffs_config s drv
           ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char '1') ];
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l [ (f.Inode.ino, 0, block_of_char '1') ];
       let a1 = Inode.get_addr f 0 in
-      l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char '2') ];
+      write_blocks l [ (f.Inode.ino, 0, block_of_char '2') ];
       Alcotest.(check int) "update in place" a1 (Inode.get_addr f 0);
       Alcotest.(check string) "new data" (String.make 4096 '2')
-        (Data.to_string (l.Layout.read_block f 0)))
+        (Data.to_string (read_block l f 0)))
 
 let test_ffs_free_reuses_blocks () =
   run_fs (fun s ->
@@ -455,11 +469,11 @@ let test_ffs_free_reuses_blocks () =
       let l = Ffs.format_and_mount ~config:small_ffs_config s drv
           ~block_bytes:4096 in
       let free0 = l.Layout.free_blocks () in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l
         (List.init 10 (fun i -> (f.Inode.ino, i, block_of_char 'r')));
       Alcotest.(check int) "10 used" (free0 - 10) (l.Layout.free_blocks ());
-      l.Layout.truncate f ~blocks:0;
+      truncate_l l f ~blocks:0;
       Alcotest.(check int) "freed" free0 (l.Layout.free_blocks ())
 
 )
@@ -471,7 +485,7 @@ let test_ffs_inode_numbers_unique () =
           ~block_bytes:4096 in
       let seen = Hashtbl.create 64 in
       for _ = 1 to 40 do
-        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        let f = alloc_inode l ~kind:Inode.Regular in
         if Hashtbl.mem seen f.Inode.ino then
           Alcotest.failf "duplicate ino %d" f.Inode.ino;
         Hashtbl.replace seen f.Inode.ino ()
@@ -485,13 +499,13 @@ let test_jfs_write_read_roundtrip () =
   run_fs (fun s ->
       let drv = mem_driver s in
       let l = Jfs.format_and_mount ~config:jfs_config s drv ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l
         [ (f.Inode.ino, 0, block_of_char 'j'); (f.Inode.ino, 1, block_of_char 'k') ];
       Alcotest.(check string) "block 0" (String.make 4096 'j')
-        (Data.to_string (l.Layout.read_block f 0));
+        (Data.to_string (read_block l f 0));
       Alcotest.(check string) "block 1" (String.make 4096 'k')
-        (Data.to_string (l.Layout.read_block f 1)))
+        (Data.to_string (read_block l f 1)))
 
 let test_jfs_journal_replay_on_mount () =
   run_fs (fun s ->
@@ -499,30 +513,30 @@ let test_jfs_journal_replay_on_mount () =
       let ino =
         let l = Jfs.format_and_mount ~config:jfs_config s drv
             ~block_bytes:4096 in
-        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+        let f = alloc_inode l ~kind:Inode.Regular in
         f.Inode.size <- 8192;
         l.Layout.update_inode f;
-        l.Layout.write_blocks
+        write_blocks l
           [ (f.Inode.ino, 0, block_of_char 'p');
             (f.Inode.ino, 1, block_of_char 'q') ];
-        l.Layout.sync ();
+        sync_l l;
         (* a deletion in a later commit must also replay *)
-        let victim = l.Layout.alloc_inode ~kind:Inode.Regular in
-        l.Layout.write_blocks [ (victim.Inode.ino, 0, block_of_char 'v') ];
-        l.Layout.sync ();
-        l.Layout.free_inode victim.Inode.ino;
-        l.Layout.sync ();
+        let victim = alloc_inode l ~kind:Inode.Regular in
+        write_blocks l [ (victim.Inode.ino, 0, block_of_char 'v') ];
+        sync_l l;
+        free_inode l victim.Inode.ino;
+        sync_l l;
         f.Inode.ino
       in
       let l2 = Jfs.mount s drv in
-      (match l2.Layout.get_inode ino with
+      (match get_inode l2 ino with
       | None -> Alcotest.fail "journal replay lost the inode"
       | Some f ->
         Alcotest.(check int) "size" 8192 f.Inode.size;
         Alcotest.(check string) "data" (String.make 4096 'p')
-          (Data.to_string (l2.Layout.read_block f 0)));
+          (Data.to_string (read_block l2 f 0)));
       Alcotest.(check bool) "deleted inode stays deleted" true
-        (l2.Layout.get_inode (ino + 1) = None))
+        (get_inode l2 (ino + 1) = None))
 
 let test_jfs_uncommitted_changes_lost_on_crash () =
   run_fs (fun s ->
@@ -530,52 +544,52 @@ let test_jfs_uncommitted_changes_lost_on_crash () =
       let committed, uncommitted =
         let l = Jfs.format_and_mount ~config:jfs_config s drv
             ~block_bytes:4096 in
-        let a = l.Layout.alloc_inode ~kind:Inode.Regular in
-        l.Layout.write_blocks [ (a.Inode.ino, 0, block_of_char 'a') ];
-        l.Layout.sync ();
+        let a = alloc_inode l ~kind:Inode.Regular in
+        write_blocks l [ (a.Inode.ino, 0, block_of_char 'a') ];
+        sync_l l;
         (* no sync after this one: a crash forgets it *)
-        let b = l.Layout.alloc_inode ~kind:Inode.Regular in
-        l.Layout.write_blocks [ (b.Inode.ino, 0, block_of_char 'b') ];
+        let b = alloc_inode l ~kind:Inode.Regular in
+        write_blocks l [ (b.Inode.ino, 0, block_of_char 'b') ];
         (a.Inode.ino, b.Inode.ino)
       in
       let l2 = Jfs.mount s drv in
       Alcotest.(check bool) "committed survives" true
-        (l2.Layout.get_inode committed <> None);
+        (get_inode l2 committed <> None);
       Alcotest.(check bool) "uncommitted is gone" true
-        (l2.Layout.get_inode uncommitted = None))
+        (get_inode l2 uncommitted = None))
 
 let test_jfs_compaction_keeps_state () =
   run_fs (fun s ->
       let drv = mem_driver s in
       let l = Jfs.format_and_mount ~config:jfs_config s drv ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      let f = alloc_inode l ~kind:Inode.Regular in
       (* many small commits overflow an 8-block journal repeatedly *)
       for round = 0 to 59 do
-        l.Layout.write_blocks
+        write_blocks l
           [ (f.Inode.ino, round mod 4,
              block_of_char (Char.chr (97 + (round mod 26)))) ];
-        l.Layout.sync ()
+        sync_l l
       done;
       let compactions = List.assoc "compactions" (l.Layout.layout_stats ()) in
       if compactions < 1. then Alcotest.fail "journal never compacted";
       let l2 = Jfs.mount s drv in
-      match l2.Layout.get_inode f.Inode.ino with
+      match get_inode l2 f.Inode.ino with
       | None -> Alcotest.fail "inode lost across compactions"
       | Some f' ->
         Alcotest.(check string) "latest committed data"
           (String.make 4096 (Char.chr (97 + (56 mod 26))))
-          (Data.to_string (l2.Layout.read_block f' 0)))
+          (Data.to_string (read_block l2 f' 0)))
 
 let test_jfs_free_blocks_accounting () =
   run_fs (fun s ->
       let drv = mem_driver s in
       let l = Jfs.format_and_mount ~config:jfs_config s drv ~block_bytes:4096 in
       let free0 = l.Layout.free_blocks () in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      l.Layout.write_blocks
+      let f = alloc_inode l ~kind:Inode.Regular in
+      write_blocks l
         (List.init 10 (fun i -> (f.Inode.ino, i, block_of_char 'z')));
       Alcotest.(check int) "allocated" (free0 - 10) (l.Layout.free_blocks ());
-      l.Layout.truncate f ~blocks:0;
+      truncate_l l f ~blocks:0;
       Alcotest.(check int) "freed" free0 (l.Layout.free_blocks ()))
 
 (* Simulator layout *)
@@ -586,14 +600,14 @@ let test_sim_layout_sticky_addresses () =
       let disk = Capfs_disk.Sim_disk.create s Capfs_disk.Disk_model.hp97560 bus in
       let drv = Driver.create s (Driver.sim_transport disk) in
       let l = Sim_layout.create ~seed:7 s drv ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
+      let f = alloc_inode l ~kind:Inode.Regular in
       (* reading the same block twice must hit the same disk address:
          timing of the second read shows the on-disk cache hit *)
       let t0 = Sched.now s in
-      ignore (l.Layout.read_block f 0);
+      ignore (read_block l f 0);
       let first = Sched.now s -. t0 in
       let t1 = Sched.now s in
-      ignore (l.Layout.read_block f 0);
+      ignore (read_block l f 0);
       let second = Sched.now s -. t1 in
       if second >= first then
         Alcotest.failf
@@ -607,8 +621,8 @@ let test_sim_layout_deterministic_by_seed () =
         let mem = Driver.mem_transport ~sector_bytes:512 ~total_sectors:8192 s () in
         let drv = Driver.create s mem in
         let l = Sim_layout.create ~seed s drv ~block_bytes:4096 in
-        let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-        l.Layout.write_blocks [ (f.Inode.ino, 0, block_of_char 'w') ];
+        let f = alloc_inode l ~kind:Inode.Regular in
+        write_blocks l [ (f.Inode.ino, 0, block_of_char 'w') ];
         order := l.Layout.layout_stats ());
     !order
   in
@@ -620,9 +634,9 @@ let test_sim_layout_charges_first_touch () =
       let mem = Driver.mem_transport ~sector_bytes:512 ~total_sectors:8192 s () in
       let drv = Driver.create s mem in
       let l = Sim_layout.create ~registry:reg ~seed:5 s drv ~block_bytes:4096 in
-      let f = l.Layout.alloc_inode ~kind:Inode.Regular in
-      ignore (l.Layout.read_block f 0);
-      ignore (l.Layout.read_block f 1);
+      let f = alloc_inode l ~kind:Inode.Regular in
+      ignore (read_block l f 0);
+      ignore (read_block l f 1);
       match Capfs_stats.Registry.find reg "simlayout.guesses" with
       | Some st ->
         Alcotest.(check int) "one placement guess" 1
@@ -643,17 +657,17 @@ let prop_layout_read_after_write layout_name make_layout =
       run_fs (fun s ->
           let drv = mem_driver ~sectors:16384 s in
           let l = make_layout s drv in
-          let files = Array.init 3 (fun _ -> l.Layout.alloc_inode ~kind:Inode.Regular) in
+          let files = Array.init 3 (fun _ -> alloc_inode l ~kind:Inode.Regular) in
           let model : (int * int, char) Hashtbl.t = Hashtbl.create 64 in
           List.iteri
             (fun i (fidx, blk) ->
               let c = Char.chr (Char.code 'a' + (i mod 26)) in
-              l.Layout.write_blocks [ (files.(fidx).Inode.ino, blk, block_of_char c) ];
+              write_blocks l [ (files.(fidx).Inode.ino, blk, block_of_char c) ];
               Hashtbl.replace model (fidx, blk) c)
             ops;
           Hashtbl.iter
             (fun (fidx, blk) c ->
-              let got = Data.to_string (l.Layout.read_block files.(fidx) blk) in
+              let got = Data.to_string (read_block l files.(fidx) blk) in
               if got <> String.make 4096 c then ok := false)
             model);
       !ok)

@@ -14,6 +14,17 @@ module Lfs = Capfs_layout.Lfs
 module Driver = Capfs_disk.Driver
 module Data = Capfs_disk.Data
 
+(* The Layout record is result-typed now; tests treat failure as fatal. *)
+let ok = Capfs_core.Errno.ok_exn
+let alloc_inode l ~kind = ok (l.Layout.alloc_inode ~kind)
+let get_inode l ino = ok (l.Layout.get_inode ino)
+let write_blocks l ups = ok (l.Layout.write_blocks ups)
+let read_block l f i = ok (l.Layout.read_block f i)
+let truncate_l l f ~blocks = ok (l.Layout.truncate f ~blocks)
+let adopt_l l f ~blocks = ok (l.Layout.adopt f ~blocks)
+let free_inode l ino = ok (l.Layout.free_inode ino)
+let sync_l l = ok (l.Layout.sync ())
+
 (* a fast config for tests: tiny cache, 2 disks, 1 bus *)
 let test_config policy =
   {
@@ -183,23 +194,23 @@ let test_multiplex_routes_by_ino () =
          in
          let volumes = [| vol 0; vol 1 |] in
          let m = Multiplex.layout volumes in
-         let a = m.Layout.alloc_inode ~kind:Inode.Regular in
-         let b = m.Layout.alloc_inode ~kind:Inode.Regular in
+         let a = alloc_inode m ~kind:Inode.Regular in
+         let b = alloc_inode m ~kind:Inode.Regular in
          (* round-robin: volume 0 mints odd inos (1,3,..), volume 1 even *)
          Alcotest.(check int) "first ino" 1 a.Inode.ino;
          Alcotest.(check int) "second ino" 2 b.Inode.ino;
-         m.Layout.write_blocks
+         write_blocks m
            [ (a.Inode.ino, 0, Data.of_string (String.make 4096 'a'));
              (b.Inode.ino, 0, Data.of_string (String.make 4096 'b')) ];
          Alcotest.(check string) "a data" (String.make 4096 'a')
-           (Data.to_string (m.Layout.read_block a 0));
+           (Data.to_string (read_block m a 0));
          Alcotest.(check string) "b data" (String.make 4096 'b')
-           (Data.to_string (m.Layout.read_block b 0));
+           (Data.to_string (read_block m b 0));
          (* each volume holds exactly its own file *)
          Alcotest.(check bool) "a on vol0" true
-           (volumes.(0).Layout.get_inode 1 <> None);
+           (get_inode volumes.(0) 1 <> None);
          Alcotest.(check bool) "a not on vol1" true
-           (volumes.(1).Layout.get_inode 1 = None)));
+           (get_inode volumes.(1) 1 = None)));
   Sched.run s
 
 (* Report plumbing *)
@@ -340,9 +351,9 @@ let test_fleet_crash_does_not_wedge_pool () =
   let results = Fleet.run_jobs ~jobs:2 ~gen:fleet_gen jobs_list in
   Alcotest.(check int) "all jobs reported" 3 (List.length results);
   (match Fleet.failures results with
-  | [ (job, Invalid_argument _) ] ->
+  | [ (job, Fleet.Crashed (Invalid_argument _)) ] ->
     Alcotest.(check string) "failed job" "boom" job.Fleet.label
-  | fs -> Alcotest.failf "expected 1 Invalid_argument failure, got %d" (List.length fs));
+  | fs -> Alcotest.failf "expected 1 crashed failure, got %d" (List.length fs));
   List.iter
     (fun (r : Fleet.job_result) ->
       if r.Fleet.job.Fleet.label <> "boom" then
@@ -352,7 +363,7 @@ let test_fleet_crash_does_not_wedge_pool () =
             Alcotest.failf "%s replayed nothing" r.Fleet.job.Fleet.label
         | Error e ->
           Alcotest.failf "%s should have succeeded: %s" r.Fleet.job.Fleet.label
-            (Printexc.to_string e))
+            (Format.asprintf "%a" Fleet.pp_failure e))
     results
 
 let test_fleet_gen_failure_is_an_error () =
@@ -369,11 +380,13 @@ let test_fleet_gen_failure_is_an_error () =
       ]
   in
   (match (List.nth results 0).Fleet.result with
-  | Error (Failure _) -> ()
+  | Error (Fleet.Crashed (Failure _)) -> ()
   | Ok _ | Error _ -> Alcotest.fail "gen failure must surface as Error");
   match (List.nth results 1).Fleet.result with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "good job failed: %s" (Printexc.to_string e)
+  | Error e ->
+    Alcotest.failf "good job failed: %s"
+      (Format.asprintf "%a" Fleet.pp_failure e)
 
 let suite =
   [

@@ -32,8 +32,8 @@ let test_blockdev_roundtrip () =
       let drv = Driver.create s transport in
       ignore
         (Sched.spawn s (fun () ->
-             Driver.write drv ~lba:10 (Data.of_string (String.make 1024 'k'));
-             let d = Driver.read drv ~lba:10 ~sectors:2 in
+             Driver.write_exn drv ~lba:10 (Data.of_string (String.make 1024 'k'));
+             let d = Driver.read_exn drv ~lba:10 ~sectors:2 in
              Alcotest.(check string) "roundtrip" (String.make 1024 'k')
                (Data.to_string d)));
       Sched.run s;
@@ -53,7 +53,7 @@ let test_blockdev_persists_across_reopen () =
         let drv = Driver.create s tr in
         ignore
           (Sched.spawn s (fun () ->
-               Driver.write drv ~lba:5 (Data.of_string (String.make 512 'p'))));
+               Driver.write_exn drv ~lba:5 (Data.of_string (String.make 512 'p'))));
         Sched.run s;
         File_blockdev.close tr
       in
@@ -62,7 +62,7 @@ let test_blockdev_persists_across_reopen () =
       let drv = Driver.create s tr in
       ignore
         (Sched.spawn s (fun () ->
-             let d = Driver.read drv ~lba:5 ~sectors:1 in
+             let d = Driver.read_exn drv ~lba:5 ~sectors:1 in
              Alcotest.(check string) "persisted" (String.make 512 'p')
                (Data.to_string d)));
       Sched.run s;
@@ -74,13 +74,13 @@ let test_pfs_format_and_basic_io () =
   with_temp_image (fun path ->
       let t = Pfs.start ~clock:`Virtual ~image:path ~size_mb:8 () in
       in_fibre t (fun () ->
-          Capfs.Client.mkdir t.Pfs.client "/docs";
-          Capfs.Client.open_ t.Pfs.client ~client:1 "/docs/a" Capfs.Client.WO;
-          Capfs.Client.write t.Pfs.client ~client:1 "/docs/a" ~offset:0
+          Capfs.Client.mkdir_exn t.Pfs.client "/docs";
+          Capfs.Client.open_exn t.Pfs.client ~client:1 "/docs/a" Capfs.Client.WO;
+          Capfs.Client.write_exn t.Pfs.client ~client:1 "/docs/a" ~offset:0
             (Data.of_string "pfs data");
-          Capfs.Client.close_ t.Pfs.client ~client:1 "/docs/a";
+          Capfs.Client.close_exn t.Pfs.client ~client:1 "/docs/a";
           let d =
-            Capfs.Client.read t.Pfs.client ~client:1 "/docs/a" ~offset:0
+            Capfs.Client.read_exn t.Pfs.client ~client:1 "/docs/a" ~offset:0
               ~bytes:8
           in
           Alcotest.(check string) "read back" "pfs data" (Data.to_string d));
@@ -91,19 +91,19 @@ let test_pfs_survives_restart () =
       let () =
         let t = Pfs.start ~clock:`Virtual ~image:path ~size_mb:8 () in
         in_fibre t (fun () ->
-            Capfs.Client.mkdir t.Pfs.client "/keep";
-            Capfs.Client.open_ t.Pfs.client ~client:1 "/keep/f"
+            Capfs.Client.mkdir_exn t.Pfs.client "/keep";
+            Capfs.Client.open_exn t.Pfs.client ~client:1 "/keep/f"
               Capfs.Client.WO;
-            Capfs.Client.write t.Pfs.client ~client:1 "/keep/f" ~offset:0
+            Capfs.Client.write_exn t.Pfs.client ~client:1 "/keep/f" ~offset:0
               (Data.of_string "across restarts");
-            Capfs.Client.close_ t.Pfs.client ~client:1 "/keep/f");
+            Capfs.Client.close_exn t.Pfs.client ~client:1 "/keep/f");
         Pfs.shutdown t
       in
       (* second server process: must mount, not format *)
       let t2 = Pfs.start ~clock:`Virtual ~image:path ~size_mb:8 () in
       in_fibre t2 (fun () ->
           let d =
-            Capfs.Client.read t2.Pfs.client ~client:1 "/keep/f" ~offset:0
+            Capfs.Client.read_exn t2.Pfs.client ~client:1 "/keep/f" ~offset:0
               ~bytes:50
           in
           Alcotest.(check string) "mounted, not formatted" "across restarts"
@@ -116,11 +116,11 @@ let test_pfs_real_clock_smoke () =
       let t = Pfs.start ~clock:`Real ~image:path ~size_mb:8 () in
       let t0 = Unix.gettimeofday () in
       in_fibre t (fun () ->
-          Capfs.Client.open_ t.Pfs.client ~client:1 "/rt" Capfs.Client.WO;
-          Capfs.Client.write t.Pfs.client ~client:1 "/rt" ~offset:0
+          Capfs.Client.open_exn t.Pfs.client ~client:1 "/rt" Capfs.Client.WO;
+          Capfs.Client.write_exn t.Pfs.client ~client:1 "/rt" ~offset:0
             (Data.of_string "realtime");
           let d =
-            Capfs.Client.read t.Pfs.client ~client:1 "/rt" ~offset:0 ~bytes:8
+            Capfs.Client.read_exn t.Pfs.client ~client:1 "/rt" ~offset:0 ~bytes:8
           in
           Alcotest.(check string) "io" "realtime" (Data.to_string d));
       let elapsed = Unix.gettimeofday () -. t0 in
