@@ -41,6 +41,11 @@ let section title = Format.printf "@.=== %s@.@." title
 (* Set by -trace-out: per-experiment event ring capacity (0 = off). *)
 let trace_buffer = ref 0
 
+(* Cleared by -no-coalesce: run the unbatched pre-clustering flush path
+   (the configuration the paper-comparison tables in EXPERIMENTS.md are
+   pinned to). *)
+let coalesce = ref true
+
 let experiment_config ?(policy = Experiment.Ups) () =
   {
     (Experiment.default policy) with
@@ -49,9 +54,12 @@ let experiment_config ?(policy = Experiment.Ups) () =
     cache_mb = 24;
     nvram_mb = 4;
     trace_buffer = !trace_buffer;
+    coalesce = !coalesce;
   }
 
-let trace_names = [ "sprite-1a"; "sprite-1b"; "sprite-2a"; "sprite-2b"; "sprite-5" ]
+(* Restricted by -traces T1,T2 — the CI smoke gate runs two traces. *)
+let trace_names =
+  ref [ "sprite-1a"; "sprite-1b"; "sprite-2a"; "sprite-2b"; "sprite-5" ]
 
 (* Traces are generated inside the worker domain that replays them (the
    Fleet [gen] callback) — no cross-domain PRNG or cache sharing. *)
@@ -83,7 +91,7 @@ let run_matrix ~jobs ~duration =
   let pairs =
     List.concat_map
       (fun trace -> List.map (fun p -> (trace, p)) Experiment.all_policies)
-      trace_names
+      !trace_names
   in
   let t0 = Unix.gettimeofday () in
   let results =
@@ -141,7 +149,7 @@ let figure5 ~matrix =
               ( Experiment.policy_name policy,
                 Stats.Sample_set.mean o.Experiment.replay.Replay.latency ))
             Experiment.all_policies ))
-      trace_names
+      !trace_names
   in
   Report.print_mean_table Format.std_formatter ~rows;
   Format.printf "@.@.write traffic (cache blocks flushed to the log):@.";
@@ -155,7 +163,7 @@ let figure5 ~matrix =
               ( Experiment.policy_name policy,
                 float_of_int o.Experiment.blocks_flushed ))
             Experiment.all_policies ))
-      trace_names
+      !trace_names
   in
   Report.print_mean_table ~scale:1e-3 ~unit:"k" Format.std_formatter ~rows;
   Format.printf "@.@.cache hit rates and absorbed writes:@.";
@@ -171,7 +179,7 @@ let figure5 ~matrix =
             (o.Experiment.writes_absorbed / 1000))
         Experiment.all_policies;
       Format.printf "@.")
-    trace_names
+    !trace_names
 
 (* {1 Ablations}
 
@@ -222,7 +230,9 @@ let ablation_sync_flush ~duration =
                  { Capfs_cache.Cache.block_bytes = 4096;
                    capacity_blocks = 80; nvram_blocks = 0;
                    trigger = Capfs_cache.Cache.Demand; scope = `Whole_file;
-                   async_flush = async; mem_copy_rate = 0. }
+                   async_flush = async; mem_copy_rate = 0.;
+                   coalesce = false; flush_window = 4;
+                   max_extent_blocks = 64 }
              in
              for round = 0 to 19 do
                (* a 64-block file fills most of the cache with dirty data *)
@@ -592,7 +602,8 @@ let micro () =
    "results": [ { "label", "trace", "policy", "worker", "ok",
    "wall_s", "operations", "replayed_ops_per_s", "mean_latency_ms",
    "p95_latency_ms", "cache_hit_rate", "blocks_flushed",
-   "writes_absorbed", "errors", "errors_by_kind", "sim_elapsed_s",
+   "writes_absorbed", "errors", "skipped_ops", "errors_by_kind",
+   "sim_elapsed_s",
    "minor_words_per_op", "promoted_words_per_op",
    "major_collections" } ] } — the GC fields are per-domain
    Gc.quick_stat deltas taken around the experiment (see Fleet);
@@ -665,6 +676,7 @@ let result_json (r : Fleet.job_result) =
           ("blocks_flushed", string_of_int o.Experiment.blocks_flushed);
           ("writes_absorbed", string_of_int o.Experiment.writes_absorbed);
           ("errors", string_of_int o.Experiment.replay.Replay.errors);
+          ("skipped_ops", string_of_int o.Experiment.replay.Replay.skipped_ops);
           ( "errors_by_kind",
             "{"
             ^ String.concat ", "
@@ -749,16 +761,153 @@ let perfsmoke ~jobs ~duration =
   Format.printf "perfsmoke_total_ops_per_s %.0f@."
     (if total_wall > 0. then float_of_int total_ops /. total_wall else 0.)
 
+(* {1 Baseline gate (-baseline FILE)}
+
+   Compares the run just performed against a committed
+   BENCH_results.json, per experiment label. Two checks:
+
+   - [minor_words_per_op] is deterministic on a given machine, so any
+     per-label growth beyond 20 % means a real allocation slipped into
+     the replay path — fail.
+   - throughput is wall-clock and therefore noisy per cell (the light
+     cells finish in ~0.2 s), so [replayed_ops_per_s] is gated in
+     aggregate: total replayed operations over total wall seconds across
+     the matched labels must not drop more than 25 %.
+
+   Exits 1 on violation, 2 if nothing overlaps (a vacuous gate is a
+   misconfigured gate). The CI smoke job runs
+   [figures -j 1 -traces sprite-1a,sprite-1b -baseline BENCH_results.json]. *)
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let i = ref from and found = ref (-1) in
+  while !found < 0 && !i + m <= n do
+    if String.sub s !i m = sub then found := !i else incr i
+  done;
+  if !found < 0 then None else Some !found
+
+(* Pull ["name": <scalar>] out of one result line of our own JSON
+   writer. Good enough for the schema we emit; not a JSON parser. *)
+let json_number line name =
+  match find_sub line (Printf.sprintf "\"%s\": " name) 0 with
+  | None -> None
+  | Some i ->
+    let start = i + String.length name + 4 in
+    let stop = ref start in
+    let n = String.length line in
+    while
+      !stop < n && (match line.[!stop] with ',' | '}' | '\n' -> false | _ -> true)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.trim (String.sub line start (!stop - start)))
+
+let json_string line name =
+  match find_sub line (Printf.sprintf "\"%s\": \"" name) 0 with
+  | None -> None
+  | Some i ->
+    let start = i + String.length name + 5 in
+    Option.map
+      (fun stop -> String.sub line start (stop - start))
+      (String.index_from_opt line start '"')
+
+type baseline_row = { b_ops : float; b_wall : float; b_minor : float }
+
+let read_baseline path =
+  let ic = open_in path in
+  let rows = Hashtbl.create 32 in
+  (try
+     while true do
+       let line = input_line ic in
+       match json_string line "label" with
+       | None -> ()
+       | Some label -> (
+         match
+           ( json_number line "operations",
+             json_number line "wall_s",
+             json_number line "minor_words_per_op" )
+         with
+         | Some b_ops, Some b_wall, Some b_minor ->
+           Hashtbl.replace rows label { b_ops; b_wall; b_minor }
+         | _ -> ())
+     done
+   with End_of_file -> ());
+  close_in ic;
+  rows
+
+let baseline_gate ~path results =
+  section (Printf.sprintf "baseline gate: vs %s" path);
+  let base = read_baseline path in
+  let fresh =
+    List.filter_map
+      (fun (r : Fleet.job_result) ->
+        match r.Fleet.result with
+        | Error _ -> None
+        | Ok o ->
+          let ops = float_of_int o.Experiment.replay.Replay.operations in
+          let minor =
+            if ops > 0. then r.Fleet.minor_words /. ops else 0.
+          in
+          Some (r.Fleet.job.Fleet.label, ops, r.Fleet.wall_s, minor))
+      results
+  in
+  let failures = ref 0 in
+  let ops_new = ref 0. and wall_new = ref 0. in
+  let ops_base = ref 0. and wall_base = ref 0. in
+  let matched = ref 0 in
+  List.iter
+    (fun (label, ops, wall, minor) ->
+      match Hashtbl.find_opt base label with
+      | None -> Format.printf "  %-36s (not in baseline, skipped)@." label
+      | Some b ->
+        incr matched;
+        ops_new := !ops_new +. ops;
+        wall_new := !wall_new +. wall;
+        ops_base := !ops_base +. b.b_ops;
+        wall_base := !wall_base +. b.b_wall;
+        let growth =
+          if b.b_minor > 0. then (minor -. b.b_minor) /. b.b_minor else 0.
+        in
+        let bad = growth > 0.20 in
+        if bad then incr failures;
+        Format.printf "  %-36s minor_words/op %8.1f -> %8.1f (%+5.1f%%)%s@."
+          label b.b_minor minor (100. *. growth)
+          (if bad then "  FAIL (> +20%)" else ""))
+    fresh;
+  if !matched = 0 then begin
+    Format.printf "  no overlapping experiments with the baseline — refusing \
+                   to pass vacuously@.";
+    exit 2
+  end;
+  let tput_new = if !wall_new > 0. then !ops_new /. !wall_new else 0. in
+  let tput_base = if !wall_base > 0. then !ops_base /. !wall_base else 0. in
+  let drop =
+    if tput_base > 0. then (tput_base -. tput_new) /. tput_base else 0.
+  in
+  let tput_bad = drop > 0.25 in
+  if tput_bad then incr failures;
+  Format.printf
+    "  aggregate replayed_ops_per_s %10.0f -> %10.0f (%+5.1f%%)%s@." tput_base
+    tput_new
+    (-100. *. drop)
+    (if tput_bad then "  FAIL (> -25%)" else "");
+  if !failures > 0 then begin
+    Format.printf "baseline gate: %d failure(s)@." !failures;
+    exit 1
+  end
+  else Format.printf "baseline gate: ok (%d experiment(s) compared)@." !matched
+
 (* {1 Main} *)
 
 let usage =
   "usage: main.exe [quick|full|figures|ablations|micro|perfsmoke] [-j N] \
-   [-trace-out FILE]"
+   [-trace-out FILE] [-no-coalesce] [-traces T1,T2] [-baseline FILE]"
 
 let parse_args () =
   let preset = ref "default" in
   let jobs = ref (Fleet.default_jobs ()) in
   let trace_out = ref None in
+  let baseline = ref None in
   let rec go i =
     if i < Array.length Sys.argv then
       match Sys.argv.(i) with
@@ -773,15 +922,26 @@ let parse_args () =
         if i + 1 >= Array.length Sys.argv then failwith usage;
         trace_out := Some Sys.argv.(i + 1);
         go (i + 2)
+      | "-no-coalesce" | "--no-coalesce" ->
+        coalesce := false;
+        go (i + 1)
+      | "-traces" | "--traces" ->
+        if i + 1 >= Array.length Sys.argv then failwith usage;
+        trace_names := String.split_on_char ',' Sys.argv.(i + 1);
+        go (i + 2)
+      | "-baseline" | "--baseline" ->
+        if i + 1 >= Array.length Sys.argv then failwith usage;
+        baseline := Some Sys.argv.(i + 1);
+        go (i + 2)
       | s ->
         preset := s;
         go (i + 1)
   in
   go 1;
-  (!preset, Stdlib.max 1 !jobs, !trace_out)
+  (!preset, Stdlib.max 1 !jobs, !trace_out, !baseline)
 
 let () =
-  let preset, jobs, trace_out = parse_args () in
+  let preset, jobs, trace_out, baseline = parse_args () in
   if trace_out <> None then trace_buffer := 65536;
   let duration, do_figures, do_ablations, do_micro, do_perfsmoke =
     match preset with
@@ -799,9 +959,10 @@ let () =
     preset duration jobs;
   if do_figures then begin
     let matrix = run_matrix ~jobs ~duration in
-    figure_cdf ~matrix ~figure:2 "sprite-1a";
-    figure_cdf ~matrix ~figure:3 "sprite-1b";
-    figure_cdf ~matrix ~figure:4 "sprite-5";
+    List.iter
+      (fun (figure, trace) ->
+        if List.mem trace !trace_names then figure_cdf ~matrix ~figure trace)
+      [ (2, "sprite-1a"); (3, "sprite-1b"); (4, "sprite-5") ];
     figure5 ~matrix
   end;
   if do_ablations then begin
@@ -825,4 +986,7 @@ let () =
     let stream = Fleet.merged_events !results_log in
     Capfs_obs.Export.to_file path stream;
     Format.printf "@.wrote %d trace events to %s@." (List.length stream) path);
+  (match baseline with
+  | None -> ()
+  | Some path -> baseline_gate ~path !results_log);
   Format.printf "@.done.@."

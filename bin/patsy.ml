@@ -90,9 +90,9 @@ let run_crash ~config ~records plan =
   if report.Crash.ok then 0 else 1
 
 let run_main trace format policy duration seed parallel_jobs disks buses
-    cache_mb nvram_mb iosched replacement cleaner sync_flush fault_plan
-    crash_at trace_out trace_buffer show_cdf show_windows show_stats
-    log_level =
+    cache_mb nvram_mb iosched replacement cleaner sync_flush no_coalesce
+    flush_window max_extent request_overhead fault_plan crash_at trace_out
+    trace_buffer show_cdf show_windows show_stats log_level =
   setup_logs log_level;
   let policies = policies_of_arg policy in
   let plan =
@@ -123,6 +123,10 @@ let run_main trace format policy duration seed parallel_jobs disks buses
         | "cost-benefit" -> Capfs_layout.Lfs.Cost_benefit
         | c -> invalid_arg ("unknown cleaner: " ^ c));
       async_flush = not sync_flush;
+      coalesce = not no_coalesce;
+      flush_window;
+      max_extent;
+      request_overhead;
       seed;
       trace_buffer = (if trace_out = None then 0 else trace_buffer);
       fault_plan = (if Plan.is_empty plan then None else Some plan);
@@ -224,6 +228,34 @@ let sync_flush =
            ~doc:"Flush synchronously from the allocating thread (the \
                  pre-lesson behaviour of §5.2).")
 
+let no_coalesce =
+  Arg.(value & flag
+       & info [ "no-coalesce" ]
+           ~doc:"Disable I/O coalescing: no flush-set clustering in the \
+                 cache and no request merging in the disk driver. \
+                 Restores the pre-clustering simulated behaviour \
+                 bit-for-bit.")
+
+let flush_window =
+  Arg.(value & opt int 4
+       & info [ "flush-window" ] ~docv:"N"
+           ~doc:"Extent write-backs the cache flusher keeps in flight at \
+                 once (write-behind pipelining; coalescing only).")
+
+let max_extent =
+  Arg.(value & opt int 64
+       & info [ "max-extent" ] ~docv:"BLOCKS"
+           ~doc:"Cap on one clustered flush extent, and on one merged \
+                 disk request, in file blocks (coalescing only).")
+
+let request_overhead =
+  Arg.(value & opt (some float) None
+       & info [ "request-overhead" ] ~docv:"SECONDS"
+           ~doc:"Per-request fixed disk cost (controller command decode \
+                 etc.), charged once per physical request regardless of \
+                 size — the term coalescing amortises. Default: the disk \
+                 model's own figure (2 ms for the HP97560).")
+
 let fault_plan =
   Arg.(value & opt (some string) None
        & info [ "fault-plan" ] ~docv:"PLAN"
@@ -283,7 +315,8 @@ let cmd =
     Term.(
       const run_main $ trace $ format $ policy $ duration $ seed
       $ parallel_jobs $ disks $ buses $ cache_mb $ nvram_mb $ iosched
-      $ replacement $ cleaner $ sync_flush $ fault_plan $ crash_at
+      $ replacement $ cleaner $ sync_flush $ no_coalesce $ flush_window
+      $ max_extent $ request_overhead $ fault_plan $ crash_at
       $ trace_out $ trace_buffer $ show_cdf $ show_windows $ show_stats
       $ log_level)
 

@@ -25,6 +25,9 @@ type config = {
   scope : flush_scope;
   async_flush : bool;
   mem_copy_rate : float;
+  coalesce : bool;
+  flush_window : int;
+  max_extent_blocks : int;
 }
 
 let default_config ~capacity_blocks =
@@ -36,6 +39,9 @@ let default_config ~capacity_blocks =
     scope = `Whole_file;
     async_flush = true;
     mem_copy_rate = 0.;
+    coalesce = false;
+    flush_window = 4;
+    max_extent_blocks = 64;
   }
 
 (* A flush job: blocks with the version each had when snapshotted. *)
@@ -71,7 +77,9 @@ type t = {
   mutable volatile_used : int;
   mutable nvram_count : int;
   mutable flushing_count : int;
+  mutable inflight_extents : int; (* extent writebacks in the window *)
   space_ev : Sched.event;
+  extent_done_ev : Sched.event;
   flush_q : flush_job Mailbox.t;
 }
 
@@ -244,6 +252,24 @@ let rehouse_from_nvram t b =
       Replacement.insert t.policy b
     | None -> table_remove t b
 
+(* Completion bookkeeping for one written-back block: release the frame
+   of a zombie, otherwise come clean — unless it was re-dirtied while in
+   flight (version moved on), in which case it is back on the dirty list
+   and stays there. *)
+let complete_flushed t b version =
+  t.flushing_count <- t.flushing_count - 1;
+  Counter.incr t.c.flushed_blocks;
+  if b.Block.zombie then release_frame t b
+  else if b.Block.state = Block.Flushing && b.Block.version = version then begin
+    b.Block.state <- Block.Clean;
+    if b.Block.in_nvram then begin
+      b.Block.in_nvram <- false;
+      t.nvram_count <- t.nvram_count - 1;
+      rehouse_from_nvram t b
+    end
+    else Replacement.insert t.policy b
+  end
+
 (* Write back in bounded chunks, releasing frames and waking waiters
    after each — the §5.2 lesson: a thread short of one frame must not
    sit through the write-back of a whole large file. *)
@@ -267,33 +293,131 @@ let do_writeback t (job : flush_job) =
           (Ev.Cache_flush { cache = t.cname; blocks = len });
       t.writeback !payload;
       for i = !pos to !pos + len - 1 do
-        let b = job.job_blocks.(i) in
-        let version = job.job_versions.(i) in
-        t.flushing_count <- t.flushing_count - 1;
-        Counter.incr t.c.flushed_blocks;
-        if b.Block.zombie then release_frame t b
-        else if b.Block.state = Block.Flushing && b.Block.version = version
-        then begin
-          b.Block.state <- Block.Clean;
-          if b.Block.in_nvram then begin
-            b.Block.in_nvram <- false;
-            t.nvram_count <- t.nvram_count - 1;
-            rehouse_from_nvram t b
-          end
-          else Replacement.insert t.policy b
-        end
-        (* else: re-dirtied while in flight; it is back on the dirty list *)
+        complete_flushed t job.job_blocks.(i) job.job_versions.(i)
       done;
       space_freed t;
       pos := !pos + len
     done
   end
 
+(* {2 Clustered write-back (coalesce = true)}
+
+   The flush set is sorted by (ino, index) and cut into extents —
+   maximal runs of one file's consecutive blocks, capped at
+   [max_extent_blocks]. Each extent travels as a single vectored
+   [writeback] call (one [write_blocks] batch, so the layout can turn
+   it into one scatter-gather disk request), and up to [flush_window]
+   extents are in flight at once: write-behind pipelining through a
+   bounded window. The call blocks until the whole job is stable, so
+   the synchronous flush paths keep their semantics. *)
+let do_writeback_clustered t (job : flush_job) =
+  let n = Array.length job.job_blocks in
+  if n = 0 then space_freed t
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun i j ->
+        let a = job.job_blocks.(i) and b = job.job_blocks.(j) in
+        let c = compare (Block.ino a) (Block.ino b) in
+        if c <> 0 then c
+        else
+          let c = compare (Block.index a) (Block.index b) in
+          if c <> 0 then c
+          else compare job.job_versions.(i) job.job_versions.(j))
+      order;
+    (* extent boundaries: file change, index gap or duplicate, cap *)
+    let extents = ref [] and start = ref 0 in
+    for k = 1 to n do
+      let cut =
+        k = n
+        || k - !start >= t.cfg.max_extent_blocks
+        ||
+        let prev = job.job_blocks.(order.(k - 1))
+        and cur = job.job_blocks.(order.(k)) in
+        Block.ino cur <> Block.ino prev
+        || Block.index cur <> Block.index prev + 1
+      in
+      if cut then begin
+        extents := (!start, k - !start) :: !extents;
+        start := k
+      end
+    done;
+    let extents = List.rev !extents in
+    let remaining = ref (List.length extents) in
+    List.iter
+      (fun (off, len) ->
+        while t.inflight_extents >= t.cfg.flush_window do
+          Sched.await t.sched t.extent_done_ev
+        done;
+        t.inflight_extents <- t.inflight_extents + 1;
+        ignore
+          (Sched.spawn t.sched ~name:(t.cname ^ ".extent") (fun () ->
+               let payload = ref [] in
+               for k = off + len - 1 downto off do
+                 let b = job.job_blocks.(order.(k)) in
+                 payload := (Block.ino b, Block.index b, b.Block.data) :: !payload
+               done;
+               let tr = tracer t in
+               if Tracer.enabled tr then
+                 Tracer.emit tr ~time:(now t)
+                   (Ev.Cache_flush { cache = t.cname; blocks = len });
+               t.writeback !payload;
+               for k = off to off + len - 1 do
+                 complete_flushed t job.job_blocks.(order.(k))
+                   job.job_versions.(order.(k))
+               done;
+               space_freed t;
+               t.inflight_extents <- t.inflight_extents - 1;
+               decr remaining;
+               Sched.broadcast t.sched t.extent_done_ev)))
+      extents;
+    while !remaining > 0 do
+      Sched.await t.sched t.extent_done_ev
+    done
+  end
+
+let do_writeback t job =
+  if t.cfg.coalesce then do_writeback_clustered t job else do_writeback t job
+
 let flush_blocks t blocks =
   match snapshot_for_flush t blocks with
   | None -> ()
   | Some job ->
     if t.cfg.async_flush then Mailbox.send t.flush_q job else do_writeback t job
+
+(* With coalescing on, a single-block flush drags along the oldest
+   block's file-contiguous dirty neighbours (up to [max_extent_blocks]):
+   they would each force their own demand flush moments later, and as
+   one extent they cost one disk request and one metadata update. *)
+let cluster_around_oldest t (oldest : Block.t) =
+  match Hashtbl.find_opt t.by_ino (Block.ino oldest) with
+  | None -> [| oldest |]
+  | Some fb ->
+    let dirty_at i =
+      match Hashtbl.find_opt fb i with
+      | Some b when b.Block.state = Block.Dirty -> Some b
+      | _ -> None
+    in
+    let idx = Block.index oldest in
+    let cap = t.cfg.max_extent_blocks in
+    let lo = ref idx and hi = ref idx and count = ref 1 in
+    let more = ref true in
+    while !more && !count < cap do
+      match dirty_at (!lo - 1) with
+      | Some _ ->
+        decr lo;
+        incr count
+      | None -> more := false
+    done;
+    more := true;
+    while !more && !count < cap do
+      match dirty_at (!hi + 1) with
+      | Some _ ->
+        incr hi;
+        incr count
+      | None -> more := false
+    done;
+    Array.init (!hi - !lo + 1) (fun k -> Option.get (dirty_at (!lo + k)))
 
 (* Flush "through the oldest dirty block": the whole owning file or just
    the block itself, per the configured scope. *)
@@ -303,7 +427,8 @@ let flush_oldest t =
   | Some oldest ->
     let batch =
       match t.cfg.scope with
-      | `Single_block -> [| oldest |]
+      | `Single_block ->
+        if t.cfg.coalesce then cluster_around_oldest t oldest else [| oldest |]
       | `Whole_file -> dirty_blocks_of_ino t (Block.ino oldest)
     in
     flush_blocks t batch;
@@ -548,10 +673,35 @@ let sync t =
 
 (* {2 Daemons} *)
 
+(* Concatenate queued flush jobs into one, preserving arrival order
+   (the clustered write-back re-sorts by (ino, index) anyway). *)
+let merge_jobs jobs =
+  match jobs with
+  | [ j ] -> j
+  | _ ->
+    {
+      job_blocks = Array.concat (List.map (fun j -> j.job_blocks) jobs);
+      job_versions = Array.concat (List.map (fun j -> j.job_versions) jobs);
+    }
+
 let flusher_loop t () =
   while true do
     let job = Mailbox.recv t.flush_q in
-    do_writeback t job
+    if t.cfg.coalesce then begin
+      (* batch everything already queued behind it: one flush set, so
+         adjacent blocks from separate jobs cluster into one extent *)
+      let jobs = ref [ job ] in
+      let rec drain () =
+        match Mailbox.try_recv t.flush_q with
+        | Some j ->
+          jobs := j :: !jobs;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      do_writeback t (merge_jobs (List.rev !jobs))
+    end
+    else do_writeback t job
   done
 
 let periodic_loop t ~max_age ~scan_interval () =
@@ -573,6 +723,9 @@ let create ?registry ?(name = "cache") ?replacement ~writeback sched cfg =
   if cfg.capacity_blocks < 1 then invalid_arg "Cache.create: no capacity";
   if cfg.block_bytes < 1 then invalid_arg "Cache.create: bad block size";
   if cfg.nvram_blocks < 0 then invalid_arg "Cache.create: negative nvram";
+  if cfg.flush_window < 1 then invalid_arg "Cache.create: empty flush window";
+  if cfg.max_extent_blocks < 1 then
+    invalid_arg "Cache.create: empty max extent";
   let c =
     match registry with
     | Some r ->
@@ -602,7 +755,9 @@ let create ?registry ?(name = "cache") ?replacement ~writeback sched cfg =
       volatile_used = 0;
       nvram_count = 0;
       flushing_count = 0;
+      inflight_extents = 0;
       space_ev = Sched.new_event ~name:(name ^ ".space") sched;
+      extent_done_ev = Sched.new_event ~name:(name ^ ".extent_done") sched;
       flush_q = Mailbox.create ~name:(name ^ ".flushq") sched;
     }
   in

@@ -27,6 +27,15 @@
     §5.2 lesson; [async_flush = false] restores the original synchronous
     behaviour for the ablation benchmark.
 
+    With [coalesce = true] the flusher also {e clusters}: queued flush
+    jobs are merged, the flush set is sorted by (ino, index) and cut
+    into contiguous extents of at most [max_extent_blocks], and each
+    extent goes down as one vectored [writeback] call, with up to
+    [flush_window] extents in flight at once. A single-block demand
+    flush additionally drags along the oldest block's file-contiguous
+    dirty neighbours. [coalesce = false] (the default) keeps the
+    pre-clustering flush path bit-identical.
+
     {2 Write-back plumbing}
 
     The cache does not know what a disk is: [writeback] (usually the
@@ -53,10 +62,18 @@ type config = {
   scope : flush_scope;
   async_flush : bool;
   mem_copy_rate : float;  (** bytes/s charged per block copy; 0 = free *)
+  coalesce : bool;
+      (** cluster flush sets into contiguous extents and pipeline them;
+          [false] reproduces the pre-clustering flush behaviour exactly *)
+  flush_window : int;
+      (** max extent write-backs in flight at once (coalesce only) *)
+  max_extent_blocks : int;
+      (** cap on one extent's length in blocks (coalesce only) *)
 }
 
 (** 30-second-update defaults: 4 KB blocks, periodic flush, whole-file
-    scope, asynchronous flusher, no NVRAM, free copies. *)
+    scope, asynchronous flusher, no NVRAM, free copies, no coalescing
+    (window 4 / extent cap 64 take effect when [coalesce] is turned on). *)
 val default_config : capacity_blocks:int -> config
 
 type t

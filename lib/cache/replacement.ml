@@ -218,24 +218,32 @@ let slru ~protected_capacity =
     o_count = (fun () -> probation.o_count () + protected_.o_count ());
   }
 
+(* Per-key access history as a fixed-size ring of the k most recent
+   times — O(1) note and k-th-age lookup, no list rebuilt per access. *)
+type lru_k_hist = { times : float array; mutable h_n : int; mutable head : int }
+
 let lru_k ~k =
   if k < 1 then invalid_arg "Replacement.lru_k: k < 1";
   let pool = Pool.create () in
-  let history : float list Ktbl.t = Ktbl.create 256 in
+  let history : lru_k_hist Ktbl.t = Ktbl.create 256 in
   let note b =
-    let past =
-      match Ktbl.find_opt history b.Block.key with Some h -> h | None -> []
-    in
     let h =
-      b.Block.last_access
-      :: (if List.length past >= k then List.filteri (fun i _ -> i < k - 1) past
-          else past)
+      match Ktbl.find_opt history b.Block.key with
+      | Some h -> h
+      | None ->
+        let h = { times = Array.make k neg_infinity; h_n = 0; head = k - 1 } in
+        Ktbl.replace history b.Block.key h;
+        h
     in
-    Ktbl.replace history b.Block.key h
+    h.head <- (h.head + 1) mod k;
+    h.times.(h.head) <- b.Block.last_access;
+    if h.h_n < k then h.h_n <- h.h_n + 1
   in
   let kth_age b =
     match Ktbl.find_opt history b.Block.key with
-    | Some h when List.length h >= k -> List.nth h (k - 1)
+    | Some h when h.h_n >= k ->
+      (* k-th most recent = the oldest retained entry *)
+      h.times.((h.head + 1) mod k)
     | Some _ | None -> neg_infinity (* young history: preferred victim *)
   in
   let victim () =

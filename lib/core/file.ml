@@ -114,7 +114,7 @@ let read t ~offset ~bytes =
    simulated stays simulated (there are no bytes to preserve). *)
 let merge_block ~block_bytes ~old ~at src =
   match old with
-  | Data.Real _ ->
+  | Data.Real _ | Data.Gather _ ->
     let merged = Bytes.make block_bytes '\000' in
     Bytes.blit_string (Data.to_string old) 0 merged 0
       (Stdlib.min block_bytes (Data.length old));

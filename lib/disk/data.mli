@@ -1,15 +1,26 @@
-(** Data payloads: real bytes or simulated placeholders.
+(** Data payloads: real bytes, simulated placeholders, or gather lists.
 
     "The difference between a simulated cache and a real cache is the lack
     of a data pointer in the simulated case." A [Data.t] is either a real
-    byte buffer (PFS) or just a length (Patsy). All framework code moves
-    [Data.t] values around; only the PFS helper components ever look
-    inside. The simulator charges memory-copy time through
-    {!copy_seconds}, so moving fake data still costs simulated time. *)
+    byte buffer (PFS), just a length (Patsy), or a scatter-gather list of
+    either (a merged I/O request carrying several waiters' buffers as one
+    transfer). All framework code moves [Data.t] values around; only the
+    PFS helper components ever look inside. The simulator charges
+    memory-copy time through {!copy_seconds}, so moving fake data still
+    costs simulated time. *)
 
 type t =
   | Real of bytes
   | Sim of int  (** length in bytes, no backing store *)
+  | Gather of gather
+      (** scatter-gather list; always >= 2 segments, at least one real *)
+
+and gather = {
+  g_total : int;  (** total length in bytes *)
+  g_segs : (int * t) list;
+      (** (offset, segment) sorted ascending, abutting, covering
+          [0, g_total); segments are [Real] or [Sim], never nested *)
+}
 
 (** [real n] is a zero-filled real buffer of [n] bytes. *)
 val real : int -> t
@@ -20,27 +31,37 @@ val sim : int -> t
 (** [of_string s] is a real payload holding [s]. *)
 val of_string : string -> t
 
+(** [gather ts] lays the payloads end to end as one scatter-gather value
+    without copying — the result {e aliases} the segment buffers, so it
+    must be consumed before the sources are mutated. Nested gathers are
+    flattened; degenerate inputs normalise to [Sim]/the sole segment, so
+    an all-simulated gather costs nothing. *)
+val gather : t list -> t
+
 (** Payload length in bytes. *)
 val length : t -> int
 
-(** [sub t ~pos ~len] extracts a slice. Simulated slices stay simulated.
-    Raises [Invalid_argument] on out-of-range. *)
+(** [sub t ~pos ~len] extracts a slice. Simulated slices stay simulated;
+    a slice of a gather that falls inside one segment is that segment's
+    slice. Raises [Invalid_argument] on out-of-range. *)
 val sub : t -> pos:int -> len:int -> t
 
 (** [blit ~src ~src_pos ~dst ~dst_pos ~len] copies bytes when both sides
     are real; when either side is simulated it only checks bounds (there
     is nothing to move). Mixed copies into a [Real] destination from a
     [Sim] source zero-fill the range, modelling reading from a fresh
-    simulated disk. *)
+    simulated disk. Gather sources and destinations are walked segment by
+    segment. *)
 val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
 
-(** [concat ts] joins payloads; the result is [Real] iff all inputs are. *)
+(** [concat ts] joins payloads with a copy; the result is [Real] iff all
+    inputs are fully real (use {!gather} to join without copying). *)
 val concat : t list -> t
 
 (** [to_string t] renders real bytes, or zeros for simulated data. *)
 val to_string : t -> string
 
-(** [is_real t]. *)
+(** [is_real t] — for a gather, whether every segment is real. *)
 val is_real : t -> bool
 
 (** [copy_seconds ~rate_bytes_per_sec len] is the simulated cost of a

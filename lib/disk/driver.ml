@@ -47,9 +47,16 @@ let mem_transport ?(latency = 0.) ~sector_bytes ~total_sectors sched () =
       | Some d ->
         let nsec = Data.length d / sector_bytes in
         for i = 0 to nsec - 1 do
+          (* a sector-sized sub of a block-aligned gather normalises to
+             the underlying Real/Sim slice, so only a misaligned gather
+             needs flattening *)
           match Data.sub d ~pos:(i * sector_bytes) ~len:sector_bytes with
           | Data.Real b -> Hashtbl.replace store (req.Iorequest.lba + i) b
           | Data.Sim _ -> Hashtbl.remove store (req.Iorequest.lba + i)
+          | Data.Gather _ as g ->
+            Hashtbl.replace store
+              (req.Iorequest.lba + i)
+              (Bytes.of_string (Data.to_string g))
         done
       | None -> ()));
     Iorequest.complete sched req
@@ -71,18 +78,104 @@ type t = {
   mutable in_service : bool;
   mutable idle_ev : Sched.event;
   injector : Injector.t; (* cached off the scheduler at create time *)
+  coalesce : bool;
+  max_merge_sectors : int;
   max_retries : int;
   retry_backoff : float;
   timeout : float option;
   mutable n_retries : int;
   mutable n_timeouts : int;
   mutable n_errors : int;
+  mutable n_merges : int;
   c_wait : Counter.t;
   c_response : Counter.t;
   c_queue_len : Counter.t;
   c_retries : Counter.t;
   c_errors : Counter.t;
+  c_merged : Counter.t;
+  c_merge_span : Counter.t;
 }
+
+let emit_fault t ~write ~lba ~sectors fault =
+  let tr = Sched.tracer t.sched in
+  if Tracer.enabled tr then
+    Tracer.emit tr ~time:(Sched.now t.sched)
+      (Ev.Disk_fault { disk = t.drv_name; lba; sectors; write; fault })
+
+(* Fold [req] and its just-dequeued neighbours into one scatter-gather
+   request spanning their union. Writes carry a gather payload (or, when
+   spans overlap, a flattened buffer with later submissions winning);
+   reads are sliced back per constituent by [Iorequest.complete]. *)
+let merge_requests t (req : Iorequest.t) companions =
+  let all = req :: companions in
+  (* submission order *)
+  let lo =
+    List.fold_left
+      (fun a (c : Iorequest.t) -> Stdlib.min a c.Iorequest.lba)
+      req.Iorequest.lba companions
+  in
+  let hi =
+    List.fold_left
+      (fun a c -> Stdlib.max a (Iorequest.last_lba c))
+      (Iorequest.last_lba req) companions
+  in
+  let sectors = hi - lo in
+  let bps = t.transport.sector_bytes in
+  let payload_of (c : Iorequest.t) =
+    match c.Iorequest.data with
+    | Some d -> d
+    | None -> Data.sim (c.Iorequest.sectors * bps)
+  in
+  let data =
+    match req.Iorequest.op with
+    | Iorequest.Read -> None
+    | Iorequest.Write ->
+      let sum =
+        List.fold_left (fun a (c : Iorequest.t) -> a + c.Iorequest.sectors) 0 all
+      in
+      if sum = sectors then
+        (* gap-free and non-overlapping: sorted by lba the payloads abut
+           exactly, so the gather aliases them without a copy *)
+        Some
+          (Data.gather
+             (List.map payload_of
+                (List.stable_sort
+                   (fun (a : Iorequest.t) b ->
+                     compare a.Iorequest.lba b.Iorequest.lba)
+                   all)))
+      else if List.exists (fun c -> Data.is_real (payload_of c)) all then begin
+        let out = Data.real (sectors * bps) in
+        List.iter
+          (fun (c : Iorequest.t) ->
+            let d = payload_of c in
+            Data.blit ~src:d ~src_pos:0 ~dst:out
+              ~dst_pos:((c.Iorequest.lba - lo) * bps)
+              ~len:(Data.length d))
+          all;
+        Some out
+      end
+      else Some (Data.sim (sectors * bps))
+  in
+  let parent =
+    Iorequest.make t.sched req.Iorequest.op ~lba:lo ~sectors ?data ()
+  in
+  parent.Iorequest.constituents <- all;
+  let count = List.length all in
+  t.n_merges <- t.n_merges + 1;
+  Counter.record t.c_merged (float_of_int count);
+  Counter.record t.c_merge_span (float_of_int sectors);
+  let tr = Sched.tracer t.sched in
+  if Tracer.enabled tr then
+    Tracer.emit tr ~time:(Sched.now t.sched)
+      (Ev.Disk_merge
+         {
+           disk = t.drv_name;
+           lba = lo;
+           sectors;
+           write = req.Iorequest.op = Iorequest.Write;
+           count;
+         });
+  parent
 
 let service_loop t () =
   while true do
@@ -95,17 +188,57 @@ let service_loop t () =
       Sched.await t.sched t.work
     | Some req ->
       t.in_service <- true;
+      let req =
+        if not t.coalesce then req
+        else
+          match
+            Iosched.take_adjacent t.policy req
+              ~max_sectors:t.max_merge_sectors
+          with
+          | [] -> req
+          | companions -> merge_requests t req companions
+      in
+      (* One injector draw per physical request — a merged request is a
+         single device transaction, so its waiters share one fate. With
+         faults off this is one branch, and no PRNG state advances. *)
+      (if Injector.enabled t.injector then
+         let write = req.Iorequest.op = Iorequest.Write in
+         let lba = req.Iorequest.lba and sectors = req.Iorequest.sectors in
+         match
+           Injector.decide t.injector ~disk:t.transport.t_name ~write ~lba
+             ~sectors
+         with
+         | Injector.Pass -> ()
+         | Injector.Transient_error ->
+           emit_fault t ~write ~lba ~sectors "transient";
+           req.Iorequest.error <- Some Errno.EIO;
+           req.Iorequest.fault_retryable <- true
+         | Injector.Hard_error ->
+           emit_fault t ~write ~lba ~sectors "hard";
+           req.Iorequest.error <- Some Errno.EIO
+         | Injector.Stall d ->
+           emit_fault t ~write ~lba ~sectors "stall";
+           Sched.sleep t.sched d);
       let queue_empty () = Iosched.length t.policy = 0 in
       t.transport.execute ~queue_empty req;
       (* Defensive: transports complete requests themselves, but an early
          immediate-report path must not leave the request dangling. *)
       Iorequest.complete t.sched req;
-      Counter.record t.c_wait (Iorequest.wait_time req);
-      Counter.record t.c_response (Iorequest.response_time req)
+      (match req.Iorequest.constituents with
+      | [] ->
+        Counter.record t.c_wait (Iorequest.wait_time req);
+        Counter.record t.c_response (Iorequest.response_time req)
+      | cs ->
+        List.iter
+          (fun c ->
+            Counter.record t.c_wait (Iorequest.wait_time c);
+            Counter.record t.c_response (Iorequest.response_time c))
+          cs)
   done
 
-let create ?registry ?(name = "driver") ?policy ?(max_retries = 3)
-    ?(retry_backoff = 0.002) ?timeout sched transport =
+let create ?registry ?(name = "driver") ?policy ?(coalesce = false)
+    ?(max_merge_sectors = 1024) ?(max_retries = 3) ?(retry_backoff = 0.002)
+    ?timeout sched transport =
   let policy =
     match policy with
     | Some p -> p
@@ -117,19 +250,31 @@ let create ?registry ?(name = "driver") ?policy ?(max_retries = 3)
         (Geometry.v ~cylinders:transport.total_sectors ~heads:1
            ~sectors_per_track:1 ~sector_bytes:transport.sector_bytes ())
   in
-  let c_wait, c_response, c_queue_len, c_retries, c_errors =
+  let ( c_wait,
+        c_response,
+        c_queue_len,
+        c_retries,
+        c_errors,
+        c_merged,
+        c_merge_span ) =
     match registry with
     | Some r ->
       List.iter
         (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
-        [ "wait"; "response"; "retries"; "io_errors" ];
+        [ "wait"; "response"; "retries"; "io_errors"; "merged"; "merge_span" ];
       (* the paper's "histograms of disk queue sizes" plug-in *)
       Stats.Registry.register r
         (Stats.Stat.with_histogram (name ^ ".queue_len")
            (Stats.Histogram.linear ~lo:0. ~hi:64. ~buckets:32));
       let c s = Stats.Registry.counter r (name ^ "." ^ s) in
-      (c "wait", c "response", c "queue_len", c "retries", c "io_errors")
-    | None -> Counter.(null, null, null, null, null)
+      ( c "wait",
+        c "response",
+        c "queue_len",
+        c "retries",
+        c "io_errors",
+        c "merged",
+        c "merge_span" )
+    | None -> Counter.(null, null, null, null, null, null, null)
   in
   let injector = Sched.injector sched in
   if Injector.enabled injector then
@@ -145,17 +290,22 @@ let create ?registry ?(name = "driver") ?policy ?(max_retries = 3)
       in_service = false;
       idle_ev = Sched.new_event ~name:(name ^ ".idle") sched;
       injector;
+      coalesce;
+      max_merge_sectors;
       max_retries;
       retry_backoff;
       timeout;
       n_retries = 0;
       n_timeouts = 0;
       n_errors = 0;
+      n_merges = 0;
       c_wait;
       c_response;
       c_queue_len;
       c_retries;
       c_errors;
+      c_merged;
+      c_merge_span;
     }
   in
   ignore (Sched.spawn sched ~name:(name ^ ".service") ~daemon:true (service_loop t));
@@ -183,18 +333,12 @@ let submit t req =
 
 (* {2 Blocking I/O with fault absorption}
 
-   Each attempt consults the injector (one branch when faults are off —
-   the same hot-path discipline as [Tracer.enabled]), runs the request
-   through the transport, and classifies the outcome. Transient errors
-   and timeouts are absorbed by retrying with exponential backoff; hard
+   The fault decision is drawn in the service loop, once per physical
+   (possibly merged) request; each attempt here submits, waits, and
+   classifies the outcome left on the request. Transient errors and
+   timeouts are absorbed by retrying with exponential backoff; hard
    errors (latent sectors, device-reported failures) escalate at once,
    as do transients that survive [max_retries] attempts. *)
-
-let emit_fault t ~write ~lba ~sectors fault =
-  let tr = Sched.tracer t.sched in
-  if Tracer.enabled tr then
-    Tracer.emit tr ~time:(Sched.now t.sched)
-      (Ev.Disk_fault { disk = t.drv_name; lba; sectors; write; fault })
 
 let emit_retry t ~attempt ~delay =
   let tr = Sched.tracer t.sched in
@@ -203,51 +347,29 @@ let emit_retry t ~attempt ~delay =
       (Ev.Disk_retry { disk = t.drv_name; attempt; delay })
 
 (* Outcome of one attempt: the completed request, or an error plus
-   whether a retry could plausibly succeed. *)
+   whether a retry could plausibly succeed. A device stall longer than
+   [timeout] shows up here as the waiter giving up after its patience;
+   the stalled request is orphaned and completes (harmlessly) whenever
+   the device comes back. *)
 let attempt t op ?deadline ?data ~lba ~sectors () =
-  let write = op = Iorequest.Write in
-  let decision =
-    if Injector.enabled t.injector then
-      Injector.decide t.injector ~disk:t.transport.t_name ~write ~lba ~sectors
-    else Injector.Pass
+  let req = Iorequest.make t.sched op ~lba ~sectors ?deadline ?data () in
+  submit t req;
+  let completed =
+    match t.timeout with
+    | None ->
+      Iorequest.await t.sched req;
+      true
+    | Some patience -> Iorequest.await_timeout t.sched req patience
   in
-  (match decision with
-  | Injector.Pass -> ()
-  | Injector.Transient_error -> emit_fault t ~write ~lba ~sectors "transient"
-  | Injector.Hard_error -> emit_fault t ~write ~lba ~sectors "hard"
-  | Injector.Stall _ -> emit_fault t ~write ~lba ~sectors "stall");
-  match (decision, t.timeout) with
-  | Injector.Stall d, Some patience when d > patience ->
-    (* the whole device hangs for longer than the host will wait: charge
-       the host its patience and report the timeout without submitting *)
-    Sched.sleep t.sched patience;
+  if not completed then begin
     t.n_timeouts <- t.n_timeouts + 1;
     Error (Errno.ETIMEDOUT, `Retryable)
-  | _ -> (
-    (match decision with
-    | Injector.Stall d -> Sched.sleep t.sched d
-    | _ -> ());
-    let req = Iorequest.make t.sched op ~lba ~sectors ?deadline ?data () in
-    submit t req;
-    let completed =
-      match t.timeout with
-      | None ->
-        Iorequest.await t.sched req;
-        true
-      | Some patience -> Iorequest.await_timeout t.sched req patience
-    in
-    if not completed then begin
-      t.n_timeouts <- t.n_timeouts + 1;
-      Error (Errno.ETIMEDOUT, `Retryable)
-    end
-    else
-      match decision with
-      | Injector.Transient_error -> Error (Errno.EIO, `Retryable)
-      | Injector.Hard_error -> Error (Errno.EIO, `Hard)
-      | Injector.Pass | Injector.Stall _ -> (
-        match req.Iorequest.error with
-        | Some e -> Error (e, `Hard)
-        | None -> Ok req))
+  end
+  else
+    match req.Iorequest.error with
+    | Some e ->
+      Error (e, if req.Iorequest.fault_retryable then `Retryable else `Hard)
+    | None -> Ok req
 
 let rec with_retries t op ?deadline ?data ~lba ~sectors ~tries () =
   match attempt t op ?deadline ?data ~lba ~sectors () with
@@ -289,6 +411,7 @@ let write_exn t ?deadline ~lba data = Errno.ok_exn (write t ?deadline ~lba data)
 let retries t = t.n_retries
 let timeouts t = t.n_timeouts
 let io_errors t = t.n_errors
+let merges t = t.n_merges
 
 let drain t =
   while Iosched.length t.policy > 0 || t.in_service do

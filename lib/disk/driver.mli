@@ -46,21 +46,36 @@ type t
     [policy] defaults to C-LOOK over a flat geometry derived from the
     transport when the transport has no geometry of its own.
 
-    Failure handling: each blocking {!read}/{!write} consults the
-    scheduler's fault injector ({!Capfs_fault.Injector}) once per
-    attempt. Transient errors and timeouts are absorbed by retrying up
-    to [max_retries] times (default 3) with exponential backoff
-    starting at [retry_backoff] seconds (default 2 ms: 2, 4, 8 ms …);
-    hard errors — latent sectors, device-reported failures — escalate
-    immediately as [Error EIO]. [timeout] (default: wait forever)
-    bounds how long one attempt may take before it is abandoned with
-    [ETIMEDOUT]; a whole-disk stall longer than [timeout] costs exactly
-    [timeout] of host time per attempt. Statistics: [<name>.retries]
-    and [<name>.io_errors] alongside the queue counters. *)
+    Coalescing: with [coalesce] (default [false]), the service fibre
+    merges queued same-operation requests that abut or overlap the
+    elected request into one scatter-gather request of at most
+    [max_merge_sectors] sectors (default 1024). All merged waiters
+    complete — or fail — together with the physical request; reads are
+    sliced back per constituent. Each merge records the constituent
+    count under [<name>.merged] and the span under [<name>.merge_span],
+    and emits a [Disk_merge] trace event. With [coalesce] off the
+    service order and timing are bit-identical to a build without this
+    feature.
+
+    Failure handling: the scheduler's fault injector
+    ({!Capfs_fault.Injector}) is consulted once per physical (possibly
+    merged) request at service time, so every merged waiter observes the
+    same typed outcome. Transient errors and timeouts are absorbed by
+    retrying up to [max_retries] times (default 3) with exponential
+    backoff starting at [retry_backoff] seconds (default 2 ms: 2, 4,
+    8 ms …); hard errors — latent sectors, device-reported failures —
+    escalate immediately as [Error EIO]. [timeout] (default: wait
+    forever) bounds how long one attempt may take before it is abandoned
+    with [ETIMEDOUT]; a whole-disk stall longer than [timeout] costs the
+    host [timeout] per attempt while the device sits out the stall.
+    Statistics: [<name>.retries] and [<name>.io_errors] alongside the
+    queue counters. *)
 val create :
   ?registry:Capfs_stats.Registry.t ->
   ?name:string ->
   ?policy:Iosched.t ->
+  ?coalesce:bool ->
+  ?max_merge_sectors:int ->
   ?max_retries:int ->
   ?retry_backoff:float ->
   ?timeout:float ->
@@ -114,3 +129,7 @@ val timeouts : t -> int
 
 (** Requests that ultimately failed (escalated to the caller). *)
 val io_errors : t -> int
+
+(** Scatter-gather merges performed by the service fibre (each merge
+    subsumes two or more queued requests). *)
+val merges : t -> int

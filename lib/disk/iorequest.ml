@@ -15,6 +15,8 @@ type t = {
   done_ev : Sched.event;
   mutable completed : bool;
   mutable error : Capfs_core.Errno.t option;
+  mutable fault_retryable : bool;
+  mutable constituents : t list;
 }
 
 (* atomic: requests are minted from concurrently running experiment
@@ -38,12 +40,41 @@ let make sched op ~lba ~sectors ?deadline ?data () =
     done_ev = Sched.new_event ~name:"iorequest.done" sched;
     completed = false;
     error = None;
+    fault_retryable = false;
+    constituents = [];
   }
 
-let complete sched t =
+(* A merged (scatter-gather) request completes its constituents the
+   instant it completes itself — including the early completion of an
+   immediate-report write — so merged waiters observe the same latency
+   they would from the physical request, and a failed merged request
+   delivers the same typed error to every waiter. *)
+let rec complete sched t =
   if not t.completed then begin
     t.completed <- true;
     t.completed_at <- Sched.now sched;
+    (match t.constituents with
+    | [] -> ()
+    | cs ->
+      let bps =
+        match t.data with
+        | Some d when t.sectors > 0 -> Data.length d / t.sectors
+        | Some _ | None -> 0
+      in
+      List.iter
+        (fun c ->
+          c.started_at <- t.started_at;
+          c.fault_retryable <- t.fault_retryable;
+          (match t.error with Some e -> c.error <- Some e | None -> ());
+          (match (t.op, t.data) with
+          | Read, Some d when bps > 0 && c.error = None ->
+            c.data <-
+              Some
+                (Data.sub d ~pos:((c.lba - t.lba) * bps)
+                   ~len:(c.sectors * bps))
+          | _ -> ());
+          complete sched c)
+        cs);
     Sched.broadcast sched t.done_ev
   end
 

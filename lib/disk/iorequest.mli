@@ -21,6 +21,15 @@ type t = {
   mutable completed : bool;
   mutable error : Capfs_core.Errno.t option;
       (** set before [completed] when the device reported a failure *)
+  mutable fault_retryable : bool;
+      (** with [error]: the failure was a transient (injected) one, worth
+          retrying; [false] means a hard error *)
+  mutable constituents : t list;
+      (** for a merged scatter-gather request: the original queued
+          requests it subsumes. {!complete} (and {!fail}) propagate the
+          outcome — timing, error, retryability, and per-range read data
+          slices — to every constituent before waking the parent's own
+          waiters. *)
 }
 
 (** [make sched op ~lba ~sectors] stamps the submission time from the
@@ -37,7 +46,8 @@ val make :
   t
 
 (** Report completion to the host: stamps [completed_at], sets
-    [completed], wakes every waiter. Idempotent. *)
+    [completed], completes any [constituents], wakes every waiter.
+    Idempotent. *)
 val complete : Capfs_sched.Sched.t -> t -> unit
 
 (** Report failure: records [error], then {!complete}s. Idempotent (a

@@ -25,6 +25,45 @@ let next t ~current_cyl =
 
 let cyl t r = Geometry.cylinder_of_lba t.geometry r.Iorequest.lba
 
+(* Coalescing support: pull every queued request that extends [r] into
+   one contiguous same-op span. A candidate must abut or overlap the
+   current span (so the union stays gap-free — a merged write must cover
+   every sector it claims) and keep the span within [max_sectors].
+   Requests carrying deadlines are left alone so scan-EDF ordering stays
+   meaningful. Scanning repeats until a fixed point because accepting one
+   candidate can bring another into range. *)
+let take_adjacent t (r : Iorequest.t) ~max_sectors =
+  if r.Iorequest.deadline <> None || max_sectors <= r.Iorequest.sectors then []
+  else begin
+    let lo = ref r.Iorequest.lba and hi = ref (Iorequest.last_lba r) in
+    let taken = ref [] in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let candidate =
+        List.find_opt
+          (fun c ->
+            c.Iorequest.op = r.Iorequest.op
+            && c.Iorequest.deadline = None
+            && c.Iorequest.lba <= !hi
+            && Iorequest.last_lba c >= !lo
+            && Stdlib.max !hi (Iorequest.last_lba c)
+               - Stdlib.min !lo c.Iorequest.lba
+               <= max_sectors)
+          t.queue
+      in
+      match candidate with
+      | Some c ->
+        remove t c;
+        taken := c :: !taken;
+        lo := Stdlib.min !lo c.Iorequest.lba;
+        hi := Stdlib.max !hi (Iorequest.last_lba c);
+        progress := true
+      | None -> ()
+    done;
+    List.rev !taken
+  end
+
 (* Pick the minimum of [candidates] under [key]; submission order (list
    order) breaks ties because [List.fold_left] keeps the earlier one on
    equal keys. *)

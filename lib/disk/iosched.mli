@@ -21,6 +21,15 @@ val add : t -> Iorequest.t -> unit
     elects to service next, or [None] when idle. *)
 val next : t -> current_cyl:int -> Iorequest.t option
 
+(** [take_adjacent t r ~max_sectors] removes and returns (in submission
+    order) every queued request of the same operation that abuts or
+    overlaps [r]'s sector span — transitively, so a chain of adjacent
+    requests is drained in one call — as long as the merged span stays
+    within [max_sectors]. Requests with deadlines are never taken (and a
+    deadlined [r] takes nothing), keeping scan-EDF semantics intact. The
+    driver uses this to build scatter-gather requests. *)
+val take_adjacent : t -> Iorequest.t -> max_sectors:int -> Iorequest.t list
+
 (** Pending-request count. *)
 val length : t -> int
 

@@ -175,9 +175,13 @@ let store_write t ~lba (data : Data.t) =
     let sb = sector_bytes t in
     let nsec = Data.length data / sb in
     for i = 0 to nsec - 1 do
+      (* sector-sized subs of a block-aligned gather normalise to the
+         underlying Real/Sim slice; a misaligned gather is flattened *)
       match Data.sub data ~pos:(i * sb) ~len:sb with
       | Data.Real b -> Hashtbl.replace store (lba + i) b
       | Data.Sim _ -> Hashtbl.remove store (lba + i)
+      | Data.Gather _ as g ->
+        Hashtbl.replace store (lba + i) (Bytes.of_string (Data.to_string g))
     done
 
 let store_read t ~lba ~sectors =

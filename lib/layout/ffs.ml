@@ -369,24 +369,80 @@ let to_layout t =
     | a when a = Inode.addr_none -> Data.sim t.block_bytes
     | addr -> read_block_raw t ~addr
   in
+  (* Vectored read: resolve all addresses first, then fetch each
+     physically consecutive run as one request (holes stay in-core). *)
+  let read_blocks (inode : Inode.t) ~first ~count =
+    let addrs = Array.init count (fun i -> Inode.get_addr inode (first + i)) in
+    let parts = ref [] in
+    let i = ref 0 in
+    while !i < count do
+      if addrs.(!i) = Inode.addr_none then begin
+        parts := Data.sim t.block_bytes :: !parts;
+        incr i
+      end
+      else begin
+        let run = ref 1 in
+        while
+          !i + !run < count && addrs.(!i + !run) = addrs.(!i) + !run
+        do
+          incr run
+        done;
+        parts :=
+          Driver.read_exn t.driver
+            ~lba:(addrs.(!i) * t.spb)
+            ~sectors:(!run * t.spb)
+          :: !parts;
+        i := !i + !run
+      end
+    done;
+    Data.concat (List.rev !parts)
+  in
+  (* Vectored write-back: resolve (allocating where needed, so an
+     extent of fresh blocks lands contiguously via the rotor), then
+     write each physically consecutive run as one gather request. *)
   let write_blocks updates =
+    let resolved =
+      List.filter_map
+        (fun (ino, blk, data) ->
+          match get_inode ino with
+          | None ->
+            Log.warn (fun m -> m "write_blocks: unknown ino %d" ino);
+            None
+          | Some inode ->
+            let addr =
+              match Inode.get_addr inode blk with
+              | a when a = Inode.addr_none ->
+                let a = alloc_block t ~prefer_group:(group_of_ino t ino) in
+                Inode.set_addr inode blk a;
+                Hashtbl.replace t.dirty_inodes ino ();
+                a
+              | a -> a
+            in
+            t.data_writes <- t.data_writes + 1;
+            Some (addr, data))
+        updates
+    in
+    let run_addr = ref (-1) and run_len = ref 0 and run_data = ref [] in
+    let flush_run () =
+      if !run_len > 0 then
+        Driver.write_exn t.driver
+          ~lba:(!run_addr * t.spb)
+          (Data.gather (List.rev !run_data))
+    in
     List.iter
-      (fun (ino, blk, data) ->
-        match get_inode ino with
-        | None -> Log.warn (fun m -> m "write_blocks: unknown ino %d" ino)
-        | Some inode ->
-          let addr =
-            match Inode.get_addr inode blk with
-            | a when a = Inode.addr_none ->
-              let a = alloc_block t ~prefer_group:(group_of_ino t ino) in
-              Inode.set_addr inode blk a;
-              Hashtbl.replace t.dirty_inodes ino ();
-              a
-            | a -> a
-          in
-          write_block_raw t ~addr data;
-          t.data_writes <- t.data_writes + 1)
-      updates
+      (fun (addr, data) ->
+        if !run_len > 0 && addr = !run_addr + !run_len then begin
+          run_data := data :: !run_data;
+          incr run_len
+        end
+        else begin
+          flush_run ();
+          run_addr := addr;
+          run_len := 1;
+          run_data := [ data ]
+        end)
+      resolved;
+    flush_run ()
   in
   let truncate (inode : Inode.t) ~blocks =
     let dropped = Inode.truncate_blocks inode ~blocks in
@@ -424,6 +480,9 @@ let to_layout t =
     free_inode = (fun ino -> Errno.catch (fun () -> free_inode ino));
     read_block =
       (fun inode blk -> Errno.catch (fun () -> read_block inode blk));
+    read_blocks =
+      (fun inode ~first ~count ->
+        Errno.catch (fun () -> read_blocks inode ~first ~count));
     write_blocks = (fun ups -> Errno.catch (fun () -> write_blocks ups));
     truncate =
       (fun inode ~blocks -> Errno.catch (fun () -> truncate inode ~blocks));
@@ -461,13 +520,15 @@ let mount ?registry ?(name = "ffs") sched driver =
     (fun grp ->
       let bm = read_block_raw t ~addr:grp.base in
       let im = read_block_raw t ~addr:(grp.base + 1) in
-      (match bm with
-      | Data.Real b -> Bytes.blit b 0 grp.block_bitmap 0 (bitmap_bytes t)
-      | Data.Sim _ -> raise (Codec.Corrupt "ffs bitmap unreadable"));
-      (match im with
-      | Data.Real b ->
-        Bytes.blit b 0 grp.inode_bitmap 0 (Bytes.length grp.inode_bitmap)
-      | Data.Sim _ -> raise (Codec.Corrupt "ffs inode bitmap unreadable")))
+      (if Data.is_real bm then
+         Data.blit ~src:bm ~src_pos:0 ~dst:(Data.Real grp.block_bitmap)
+           ~dst_pos:0 ~len:(bitmap_bytes t)
+       else raise (Codec.Corrupt "ffs bitmap unreadable"));
+      if Data.is_real im then
+        Data.blit ~src:im ~src_pos:0 ~dst:(Data.Real grp.inode_bitmap)
+          ~dst_pos:0
+          ~len:(Bytes.length grp.inode_bitmap)
+      else raise (Codec.Corrupt "ffs inode bitmap unreadable"))
     t.groups;
   to_layout t
 

@@ -296,24 +296,75 @@ let to_layout t =
     | a when a = Inode.addr_none -> Data.sim t.block_bytes
     | addr -> read_block_raw t ~addr
   in
+  (* Vectored read: physically consecutive runs travel as one request
+     (same clustering as Ffs; holes stay in-core). *)
+  let read_blocks (i : Inode.t) ~first ~count =
+    let addrs = Array.init count (fun k -> Inode.get_addr i (first + k)) in
+    let parts = ref [] in
+    let k = ref 0 in
+    while !k < count do
+      if addrs.(!k) = Inode.addr_none then begin
+        parts := Data.sim t.block_bytes :: !parts;
+        incr k
+      end
+      else begin
+        let run = ref 1 in
+        while !k + !run < count && addrs.(!k + !run) = addrs.(!k) + !run do
+          incr run
+        done;
+        parts :=
+          Driver.read_exn t.driver
+            ~lba:(addrs.(!k) * t.spb)
+            ~sectors:(!run * t.spb)
+          :: !parts;
+        k := !k + !run
+      end
+    done;
+    Data.concat (List.rev !parts)
+  in
+  (* Vectored write-back: resolve/allocate every address, then write
+     each physically consecutive run as one gather request. *)
   let write_blocks updates =
+    let resolved =
+      List.filter_map
+        (fun (ino, blk, data) ->
+          match Hashtbl.find_opt t.inodes ino with
+          | None -> None
+          | Some i ->
+            let addr =
+              match Inode.get_addr i blk with
+              | a when a = Inode.addr_none ->
+                let a = alloc_block t in
+                Inode.set_addr i blk a;
+                Hashtbl.replace t.dirty_inodes ino ();
+                a
+              | a -> a
+            in
+            t.data_writes <- t.data_writes + 1;
+            Some (addr, data))
+        updates
+    in
+    let run_addr = ref (-1) and run_len = ref 0 and run_data = ref [] in
+    let flush_run () =
+      if !run_len > 0 then
+        Driver.write_exn t.driver
+          ~lba:(!run_addr * t.spb)
+          (Data.gather (List.rev !run_data))
+    in
     List.iter
-      (fun (ino, blk, data) ->
-        match Hashtbl.find_opt t.inodes ino with
-        | None -> ()
-        | Some i ->
-          let addr =
-            match Inode.get_addr i blk with
-            | a when a = Inode.addr_none ->
-              let a = alloc_block t in
-              Inode.set_addr i blk a;
-              Hashtbl.replace t.dirty_inodes ino ();
-              a
-            | a -> a
-          in
-          write_block_raw t ~addr data;
-          t.data_writes <- t.data_writes + 1)
-      updates
+      (fun (addr, data) ->
+        if !run_len > 0 && addr = !run_addr + !run_len then begin
+          run_data := data :: !run_data;
+          incr run_len
+        end
+        else begin
+          flush_run ();
+          run_addr := addr;
+          run_len := 1;
+          run_data := [ data ]
+        end)
+      resolved;
+    flush_run ()
   in
   let truncate (i : Inode.t) ~blocks =
     List.iter (free_block t) (Inode.truncate_blocks i ~blocks);
@@ -348,6 +399,9 @@ let to_layout t =
     free_inode = (fun ino -> Errno.catch (fun () -> free_inode ino));
     read_block =
       (fun inode blk -> Errno.catch (fun () -> read_block inode blk));
+    read_blocks =
+      (fun inode ~first ~count ->
+        Errno.catch (fun () -> read_blocks inode ~first ~count));
     write_blocks = (fun ups -> Errno.catch (fun () -> write_blocks ups));
     truncate =
       (fun inode ~blocks -> Errno.catch (fun () -> truncate inode ~blocks));

@@ -26,6 +26,7 @@ type kind =
       fault : string;
     }
   | Disk_retry of { disk : string; attempt : int; delay : float }
+  | Disk_merge of { disk : string; lba : int; sectors : int; write : bool; count : int }
   | Recovery of { volume : string; segments : int; inodes : int }
 
 type t = { time : float; seq : int; kind : kind }
@@ -34,7 +35,7 @@ let layer_of = function
   | Dispatch _ | Block _ | Wake _ -> Sched
   | Cache_hit _ | Cache_miss _ | Cache_evict _ | Cache_flush _ -> Cache
   | Disk_enqueue _ | Disk_seek _ | Disk_service _ | Disk_fault _
-  | Disk_retry _ ->
+  | Disk_retry _ | Disk_merge _ ->
     Disk
   | Seg_write _ | Recovery _ -> Layout
 
@@ -58,6 +59,7 @@ let kind_name = function
   | Seg_write _ -> "segment"
   | Disk_fault _ -> "fault"
   | Disk_retry _ -> "retry"
+  | Disk_merge _ -> "merge"
   | Recovery _ -> "recovery"
 
 let source = function
@@ -71,7 +73,8 @@ let source = function
   | Disk_seek { disk; _ }
   | Disk_service { disk; _ }
   | Disk_fault { disk; _ }
-  | Disk_retry { disk; _ } ->
+  | Disk_retry { disk; _ }
+  | Disk_merge { disk; _ } ->
     disk
   | Seg_write { volume; _ } | Recovery { volume; _ } -> volume
 
@@ -79,7 +82,7 @@ let duration = function
   | Disk_seek { dur; _ } | Disk_service { dur; _ } -> dur
   | Dispatch _ | Block _ | Wake _ | Cache_hit _ | Cache_miss _ | Cache_evict _
   | Cache_flush _ | Disk_enqueue _ | Seg_write _ | Disk_fault _ | Disk_retry _
-  | Recovery _ ->
+  | Disk_merge _ | Recovery _ ->
     0.
 
 let pp_args ppf = function
@@ -108,6 +111,10 @@ let pp_args ppf = function
       lba sectors fault
   | Disk_retry { attempt; delay; _ } ->
     Format.fprintf ppf "attempt=%d delay=%.6f" attempt delay
+  | Disk_merge { lba; sectors; write; count; _ } ->
+    Format.fprintf ppf "%s lba=%d sectors=%d count=%d"
+      (if write then "write" else "read")
+      lba sectors count
   | Recovery { segments; inodes; _ } ->
     Format.fprintf ppf "segments=%d inodes=%d" segments inodes
 

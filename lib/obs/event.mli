@@ -61,6 +61,15 @@ type kind =
   | Disk_retry of { disk : string; attempt : int; delay : float }
       (** the driver is re-submitting a failed request after backing
           off [delay] seconds; [attempt] counts from 1 *)
+  | Disk_merge of {
+      disk : string;
+      lba : int;
+      sectors : int;
+      write : bool;
+      count : int;
+    }
+      (** the driver coalesced [count] adjacent queued requests into one
+          scatter-gather request spanning [sectors] sectors at [lba] *)
   | Recovery of { volume : string; segments : int; inodes : int }
       (** LFS crash recovery rolled [segments] log segments forward and
           re-attached [inodes] inode-map entries *)

@@ -109,6 +109,16 @@ let add_args buf (kind : Event.kind) =
     str "disk" disk;
     sep ();
     int "attempt" attempt
+  | Event.Disk_merge { disk; lba; sectors; write; count } ->
+    str "disk" disk;
+    sep ();
+    int "lba" lba;
+    sep ();
+    int "sectors" sectors;
+    sep ();
+    str "op" (if write then "write" else "read");
+    sep ();
+    int "count" count
   | Event.Recovery { volume; segments; inodes } ->
     str "volume" volume;
     sep ();

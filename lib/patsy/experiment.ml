@@ -35,6 +35,10 @@ type config = {
   seg_blocks : int;
   cleaner : Lfs.cleaner_policy;
   async_flush : bool;
+  coalesce : bool;
+  flush_window : int;
+  max_extent : int;
+  request_overhead : float option;
   seed : int;
   trace_buffer : int;
   fault_plan : Capfs_fault.Plan.t option;
@@ -55,6 +59,10 @@ let default policy =
     seg_blocks = 128;
     cleaner = Lfs.Cost_benefit;
     async_flush = true;
+    coalesce = true;
+    flush_window = 4;
+    max_extent = 64;
+    request_overhead = None;
     seed = 1996;
     trace_buffer = 0;
     fault_plan = None;
@@ -77,47 +85,29 @@ let block_bytes = 4096
 let cache_config_of cfg =
   let capacity_blocks = cfg.cache_mb * 1024 * 1024 / block_bytes in
   let nvram_blocks = cfg.nvram_mb * 1024 * 1024 / block_bytes in
+  let base =
+    {
+      Cache.block_bytes;
+      capacity_blocks;
+      nvram_blocks = 0;
+      trigger = Cache.Demand;
+      scope = `Whole_file;
+      async_flush = cfg.async_flush;
+      mem_copy_rate = cfg.mem_copy_rate;
+      coalesce = cfg.coalesce;
+      flush_window = cfg.flush_window;
+      max_extent_blocks = cfg.max_extent;
+    }
+  in
   match cfg.policy with
   | Write_delay ->
     {
-      Cache.block_bytes;
-      capacity_blocks;
-      nvram_blocks = 0;
-      trigger = Cache.Periodic { max_age = 30.; scan_interval = 5. };
-      scope = `Whole_file;
-      async_flush = cfg.async_flush;
-      mem_copy_rate = cfg.mem_copy_rate;
+      base with
+      Cache.trigger = Cache.Periodic { max_age = 30.; scan_interval = 5. };
     }
-  | Ups ->
-    {
-      Cache.block_bytes;
-      capacity_blocks;
-      nvram_blocks = 0;
-      trigger = Cache.Demand;
-      scope = `Whole_file;
-      async_flush = cfg.async_flush;
-      mem_copy_rate = cfg.mem_copy_rate;
-    }
-  | Nvram_whole ->
-    {
-      Cache.block_bytes;
-      capacity_blocks;
-      nvram_blocks;
-      trigger = Cache.Demand;
-      scope = `Whole_file;
-      async_flush = cfg.async_flush;
-      mem_copy_rate = cfg.mem_copy_rate;
-    }
-  | Nvram_partial ->
-    {
-      Cache.block_bytes;
-      capacity_blocks;
-      nvram_blocks;
-      trigger = Cache.Demand;
-      scope = `Single_block;
-      async_flush = cfg.async_flush;
-      mem_copy_rate = cfg.mem_copy_rate;
-    }
+  | Ups -> base
+  | Nvram_whole -> { base with Cache.nvram_blocks }
+  | Nvram_partial -> { base with Cache.nvram_blocks; scope = `Single_block }
 
 let lfs_config_of cfg d =
   {
@@ -139,6 +129,13 @@ let build_farm ?(backing = false) sched cfg =
   if cfg.ndisks < 1 || cfg.nbuses < 1 then
     invalid_arg "Experiment: need at least one disk and one bus";
   let registry = Stats.Registry.create () in
+  let disk_model =
+    (* per-request fixed cost (command decode etc.) is an experiment
+       knob; [None] keeps the model's own figure *)
+    match cfg.request_overhead with
+    | None -> cfg.disk_model
+    | Some o -> { cfg.disk_model with Disk_model.controller_overhead = o }
+  in
   let buses =
     Array.init cfg.nbuses (fun b ->
         Bus.scsi2 ~registry ~name:(Printf.sprintf "bus%d" b) sched)
@@ -147,15 +144,18 @@ let build_farm ?(backing = false) sched cfg =
     Array.init cfg.ndisks (fun d ->
         Sim_disk.create ~registry
           ~name:(Printf.sprintf "disk%d" d)
-          ~backing sched cfg.disk_model
+          ~backing sched disk_model
           buses.(d mod cfg.nbuses))
   in
-  let geometry = cfg.disk_model.Disk_model.geometry in
+  let geometry = disk_model.Disk_model.geometry in
+  let spb = block_bytes / geometry.Geometry.sector_bytes in
   let drivers =
     Array.init cfg.ndisks (fun d ->
         Driver.create ~registry
           ~name:(Printf.sprintf "driver%d" d)
           ~policy:(Iosched.by_name geometry cfg.iosched)
+          ~coalesce:cfg.coalesce
+          ~max_merge_sectors:(cfg.max_extent * spb)
           sched
           (Driver.sim_transport disks.(d)))
   in

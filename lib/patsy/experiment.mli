@@ -32,6 +32,16 @@ type config = {
   seg_blocks : int;         (** LFS segment size in blocks *)
   cleaner : Capfs_layout.Lfs.cleaner_policy;
   async_flush : bool;       (** §5.2 lesson; false for the ablation *)
+  coalesce : bool;
+      (** I/O coalescing end to end: the cache clusters flush sets into
+          contiguous extents and the driver merges adjacent queued
+          requests. [false] restores the pre-clustering behaviour
+          bit-for-bit. *)
+  flush_window : int;       (** extent write-backs in flight at once *)
+  max_extent : int;         (** extent / merge cap, in file blocks *)
+  request_overhead : float option;
+      (** per-request fixed disk cost (controller command decode),
+          seconds; [None] keeps the disk model's own figure *)
   seed : int;
   trace_buffer : int;
       (** event-trace ring capacity; 0 (the default) disables tracing *)

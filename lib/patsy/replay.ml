@@ -12,6 +12,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type result = {
   operations : int;
   errors : int;
+  skipped_ops : int;
   errors_by_kind : (string * int) list;
   elapsed : float;
   latency : Stats.Sample_set.t;
@@ -162,7 +163,7 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true)
   let latency = Stats.Sample_set.create ~cap:200_000 () in
   let by_op = Array.init op_count (fun _ -> Stats.Welford.create ()) in
   let windows = Stats.Interval.create ~width:window () in
-  let operations = ref 0 and errors = ref 0 in
+  let operations = ref 0 and errors = ref 0 and skipped = ref 0 in
   let error_kinds = Array.make (Array.length Errno.all) 0 in
   let t_first = ref infinity and t_last = ref 0. in
   let base = Sched.now sched in
@@ -195,12 +196,23 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true)
     let i = Errno.to_index e in
     error_kinds.(i) <- error_kinds.(i) + 1
   in
+  (* A close/delete/rmdir of a path the trace never created is a trace
+     artifact — the target predates the trace window, and an op that
+     only destroys state has nothing sensible to synthesize. Counted
+     apart from real errors. *)
+  let is_trace_artifact (r : Record.t) =
+    match r.Record.op with
+    | Record.Close _ | Record.Delete _ | Record.Rmdir _ -> true
+    | _ -> false
+  in
   (* [dispatch client r] is called directly rather than through a
      per-op closure: this runs once per trace record. *)
   let measure (r : Record.t) =
     let t0 = Sched.now sched in
     (match dispatch client ~payload r with
     | Ok () -> ( match observe with Some f -> f r | None -> ())
+    | Error Errno.ENOENT when synthesize_missing && is_trace_artifact r ->
+      incr skipped
     | Error e -> fail e);
     let t1 = Sched.now sched in
     incr operations;
@@ -234,8 +246,8 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true)
   if !remaining > 0 then Sched.await sched all_done;
   Stats.Interval.flush windows;
   Log.info (fun m ->
-      m "replay: %d ops, %d errors, %.1f simulated seconds" !operations
-        !errors (!t_last -. !t_first));
+      m "replay: %d ops, %d errors, %d skipped, %.1f simulated seconds"
+        !operations !errors !skipped (!t_last -. !t_first));
   let errors_by_kind =
     List.filteri (fun _ (_, n) -> n > 0)
       (Array.to_list
@@ -246,6 +258,7 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true)
   {
     operations = !operations;
     errors = !errors;
+    skipped_ops = !skipped;
     errors_by_kind;
     elapsed = (if !operations = 0 then 0. else !t_last -. !t_first);
     latency;

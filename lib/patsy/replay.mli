@@ -19,6 +19,12 @@
 type result = {
   operations : int;
   errors : int;         (** operations refused (ENOENT etc.) *)
+  skipped_ops : int;
+      (** trace artifacts, counted apart from errors: a close, delete or
+          rmdir of a path the trace never created (the target predates
+          the trace window, and an operation that only destroys state
+          has nothing sensible to synthesize). Only counted when
+          [synthesize_missing] is on. *)
   errors_by_kind : (string * int) list;
       (** nonzero error classes only, keyed by
           {!Capfs_core.Errno.to_string} mnemonics, e.g. [("enoent", 33)]

@@ -68,7 +68,9 @@ let print_outcome_summary ppf (o : Experiment.outcome) =
       (String.concat ","
          (List.map
             (fun (kind, n) -> Printf.sprintf "%s:%d" kind n)
-            o.Experiment.replay.Replay.errors_by_kind))
+            o.Experiment.replay.Replay.errors_by_kind));
+  if o.Experiment.replay.Replay.skipped_ops > 0 then
+    Format.fprintf ppf " skipped=%d" o.Experiment.replay.Replay.skipped_ops
 
 let print_windows ppf (r : Replay.result) =
   Format.fprintf ppf "@[<v># window_start_s  ops  mean_ms@,";

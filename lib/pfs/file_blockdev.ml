@@ -51,6 +51,7 @@ let transport ?(sector_bytes = 512) sched ~path ~size_bytes () =
     | Iorequest.Write -> (
       match req.Iorequest.data with
       | Some (Data.Real b) -> pwrite ~off b
+      | Some (Data.Gather _ as g) -> pwrite ~off (Bytes.of_string (Data.to_string g))
       | Some (Data.Sim _) ->
         (* simulated payloads have no bytes; persist zeroes *)
         pwrite ~off (Bytes.make len '\000')

@@ -75,6 +75,9 @@ let start ?(clock = `Real) ?(config = default_config) ?registry ~image
              scope = config.scope;
              async_flush = true;
              mem_copy_rate = 0.;
+             coalesce = true;
+             flush_window = 4;
+             max_extent_blocks = 64;
            }
          in
          let fs = Capfs.Fsys.create ?registry ~cache_config ~layout sched in

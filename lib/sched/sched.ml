@@ -303,12 +303,21 @@ let fire_due t horizon =
   in
   go ()
 
+module Fd_set = Set.Make (struct
+  type t = Unix.file_descr
+
+  let compare = Stdlib.compare
+end)
+
 let select_real t timeout =
   let fds = List.map (fun w -> w.fd) t.fd_waiters in
   match Unix.select fds [] [] timeout with
   | ready, _, _ ->
+    (* set membership, not [List.mem] per waiter: n waiters on n ready
+       descriptors is O(n log n), not O(n²) *)
+    let ready = Fd_set.of_list ready in
     let woken, still =
-      List.partition (fun w -> List.mem w.fd ready) t.fd_waiters
+      List.partition (fun w -> Fd_set.mem w.fd ready) t.fd_waiters
     in
     t.fd_waiters <- still;
     List.iter (fun w -> w.fresume ()) woken

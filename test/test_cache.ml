@@ -28,7 +28,8 @@ let make_sink ?(delay = 0.) sched =
   in
   (sink, writeback)
 
-let demand_config ?(nvram = 0) ?(scope = `Whole_file) ?(async = true) capacity =
+let demand_config ?(nvram = 0) ?(scope = `Whole_file) ?(async = true)
+    ?(coalesce = false) ?(flush_window = 4) ?(max_extent = 64) capacity =
   {
     Cache.block_bytes = 4096;
     capacity_blocks = capacity;
@@ -37,6 +38,9 @@ let demand_config ?(nvram = 0) ?(scope = `Whole_file) ?(async = true) capacity =
     scope;
     async_flush = async;
     mem_copy_rate = 0.;
+    coalesce;
+    flush_window;
+    max_extent_blocks = max_extent;
   }
 
 let run_fs f =
@@ -138,6 +142,53 @@ let test_demand_flush_single_block () =
       in
       Alcotest.(check (list (pair int int))) "only the oldest block"
         [ (7, 0) ] flushed_keys)
+
+(* With coalescing on, a single-block demand flush drags the oldest
+   block's file-contiguous dirty neighbours along, and the whole extent
+   reaches the writeback sink as one vectored batch. *)
+let test_demand_flush_single_block_clusters_when_coalescing () =
+  run_fs (fun s ->
+      let sink, wb = make_sink s in
+      let c =
+        Cache.create ~writeback:wb s
+          (demand_config ~scope:`Single_block ~coalesce:true 4)
+      in
+      Cache.write c (k 7 0) (Data.sim 16);
+      Cache.write c (k 7 1) (Data.sim 16);
+      Cache.write c (k 7 2) (Data.sim 16);
+      Cache.write c (k 9 0) (Data.sim 16);
+      ignore (Cache.read c (k 2 0) ~fill:(fill_const 16));
+      Sched.sleep s 0.01;
+      let batch =
+        match List.rev sink.flushed with
+        | first :: _ -> List.map (fun (ino, idx, _) -> (ino, idx)) first
+        | [] -> Alcotest.fail "nothing flushed"
+      in
+      Alcotest.(check (list (pair int int)))
+        "the oldest block and its file-contiguous neighbours, one batch"
+        [ (7, 0); (7, 1); (7, 2) ]
+        batch)
+
+(* The extent cap bounds a clustered batch. *)
+let test_cluster_respects_max_extent () =
+  run_fs (fun s ->
+      let sink, wb = make_sink s in
+      let c =
+        Cache.create ~writeback:wb s
+          (demand_config ~scope:`Single_block ~coalesce:true ~max_extent:2 4)
+      in
+      Cache.write c (k 7 0) (Data.sim 16);
+      Cache.write c (k 7 1) (Data.sim 16);
+      Cache.write c (k 7 2) (Data.sim 16);
+      Cache.write c (k 9 0) (Data.sim 16);
+      ignore (Cache.read c (k 2 0) ~fill:(fill_const 16));
+      Sched.sleep s 0.01;
+      let first_batch =
+        match List.rev sink.flushed with
+        | first :: _ -> List.map (fun (ino, idx, _) -> (ino, idx)) first
+        | [] -> Alcotest.fail "nothing flushed"
+      in
+      Alcotest.(check int) "extent capped at 2" 2 (List.length first_batch))
 
 let test_overwrite_absorption () =
   run_fs (fun s ->
@@ -479,6 +530,99 @@ let test_replacement_lru_k_prefers_single_access () =
   | Some v -> Alcotest.(check key_t) "once-accessed evicted" (k 1 1) v.Block.key
   | None -> Alcotest.fail "victim expected"
 
+(* The ring-buffer history must pick exactly the victims the original
+   list-based LRU-K picked: replay a randomized workload against a
+   reference model with the same swap-remove pool order and a naive
+   k-history list, and compare every eviction. *)
+let test_replacement_lru_k_ring_matches_reference () =
+  let k_hist = 2 in
+  let p = Replacement.lru_k ~k:k_hist in
+  (* reference: insertion array with swap-remove + list history *)
+  let ref_pool = ref [||] and ref_len = ref 0 in
+  let ref_hist : (Block.Key.t, float list) Hashtbl.t = Hashtbl.create 64 in
+  let ref_insert b =
+    let arr = !ref_pool in
+    let arr =
+      if !ref_len = Array.length arr then begin
+        let grown = Array.make (Stdlib.max 16 (2 * !ref_len)) b in
+        Array.blit arr 0 grown 0 !ref_len;
+        grown
+      end
+      else arr
+    in
+    arr.(!ref_len) <- b;
+    incr ref_len;
+    ref_pool := arr
+  in
+  let ref_note (b : Block.t) =
+    let past =
+      match Hashtbl.find_opt ref_hist b.Block.key with Some h -> h | None -> []
+    in
+    let h =
+      b.Block.last_access
+      :: (if List.length past >= k_hist then
+            List.filteri (fun i _ -> i < k_hist - 1) past
+          else past)
+    in
+    Hashtbl.replace ref_hist b.Block.key h
+  in
+  let ref_kth_age (b : Block.t) =
+    match Hashtbl.find_opt ref_hist b.Block.key with
+    | Some h when List.length h >= k_hist -> List.nth h (k_hist - 1)
+    | Some _ | None -> neg_infinity
+  in
+  let ref_victim () =
+    let best = ref None in
+    for i = 0 to !ref_len - 1 do
+      let b = !ref_pool.(i) in
+      match !best with
+      | Some (bb, _) when ref_kth_age bb <= ref_kth_age b -> ()
+      | Some _ | None -> best := Some (b, i)
+    done;
+    match !best with
+    | Some (b, i) ->
+      !ref_pool.(i) <- !ref_pool.(!ref_len - 1);
+      decr ref_len;
+      Hashtbl.remove ref_hist b.Block.key;
+      Some b
+    | None -> None
+  in
+  let prng = ref 42 in
+  let rand n =
+    prng := (!prng * 1103515245) + 12345;
+    abs !prng mod n
+  in
+  let live : Block.t list ref = ref [] in
+  let clock = ref 0. in
+  for step = 0 to 499 do
+    clock := !clock +. 1.;
+    match rand 3 with
+    | 0 ->
+      let b = mk_block 1 step in
+      b.Block.last_access <- !clock;
+      Replacement.insert p b;
+      ref_insert b;
+      ref_note b;
+      live := b :: !live
+    | 1 when !live <> [] ->
+      let b = List.nth !live (rand (List.length !live)) in
+      b.Block.last_access <- !clock;
+      Replacement.access p b;
+      ref_note b
+    | _ when !live <> [] -> (
+      let v = Replacement.victim p in
+      let rv = ref_victim () in
+      match (v, rv) with
+      | Some v, Some rv ->
+        Alcotest.(check key_t)
+          (Printf.sprintf "victim parity at step %d" step)
+          rv.Block.key v.Block.key;
+        live := List.filter (fun b -> not (b == v)) !live
+      | None, None -> ()
+      | _ -> Alcotest.fail "one model had a victim, the other did not")
+    | _ -> ()
+  done
+
 let test_replacement_by_name () =
   List.iter
     (fun n -> ignore (Replacement.by_name n))
@@ -643,6 +787,12 @@ let suite =
       test_replacement_slru_promotes;
     Alcotest.test_case "replacement lru-k" `Quick
       test_replacement_lru_k_prefers_single_access;
+    Alcotest.test_case "replacement lru-k ring matches reference" `Quick
+      test_replacement_lru_k_ring_matches_reference;
+    Alcotest.test_case "single-block flush clusters when coalescing" `Quick
+      test_demand_flush_single_block_clusters_when_coalescing;
+    Alcotest.test_case "cluster respects max extent" `Quick
+      test_cluster_respects_max_extent;
     Alcotest.test_case "replacement by name" `Quick test_replacement_by_name;
   ]
   @ qsuite

@@ -33,6 +33,9 @@ let cache_config =
     scope = `Whole_file;
     async_flush = true;
     mem_copy_rate = 0.;
+    coalesce = false;
+    flush_window = 4;
+    max_extent_blocks = 64;
   }
 
 let make_client ?(sectors = 16384) s =

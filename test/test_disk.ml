@@ -472,6 +472,86 @@ let test_driver_drain () =
     Alcotest.failf "drain returned at %.4f before last completion %.4f"
       !drained_at !last_done
 
+(* Request merging: two adjacent writes queued behind a busy device go
+   down as one scatter-gather request, and the payload lands intact. *)
+let test_driver_merges_adjacent_writes () =
+  let s = vsched () in
+  let mem =
+    Driver.mem_transport ~latency:0.01 ~sector_bytes:512 ~total_sectors:1024 s
+      ()
+  in
+  let drv = Driver.create ~coalesce:true s mem in
+  (* occupy the device so the two adjacent writes queue and merge *)
+  ignore
+    (Sched.spawn s (fun () ->
+         Driver.write_exn drv ~lba:100 (Data.of_string (String.make 512 'a'))));
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep s 0.001;
+         Driver.write_exn drv ~lba:10 (Data.of_string (String.make 512 'b'))));
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep s 0.002;
+         Driver.write_exn drv ~lba:11 (Data.of_string (String.make 512 'c'))));
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep s 0.1;
+         let d = Driver.read_exn drv ~lba:10 ~sectors:2 in
+         Alcotest.(check string)
+           "merged payload intact"
+           (String.make 512 'b' ^ String.make 512 'c')
+           (Data.to_string d)));
+  Sched.run s;
+  Alcotest.(check int) "one merge" 1 (Driver.merges drv)
+
+let test_driver_merged_read_slices_per_waiter () =
+  let s = vsched () in
+  let mem =
+    Driver.mem_transport ~latency:0.01 ~sector_bytes:512 ~total_sectors:1024 s
+      ()
+  in
+  let drv = Driver.create ~coalesce:true s mem in
+  let got = Array.make 2 "" in
+  ignore
+    (Sched.spawn s (fun () ->
+         Driver.write_exn drv ~lba:20
+           (Data.of_string (String.make 512 'x' ^ String.make 512 'y'));
+         (* keep the device busy so the two reads below queue together *)
+         ignore (Driver.read_exn drv ~lba:500 ~sectors:1)));
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep s 0.015;
+         got.(0) <- Data.to_string (Driver.read_exn drv ~lba:20 ~sectors:1)));
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep s 0.016;
+         got.(1) <- Data.to_string (Driver.read_exn drv ~lba:21 ~sectors:1)));
+  Sched.run s;
+  Alcotest.(check int) "one merge" 1 (Driver.merges drv);
+  Alcotest.(check string) "first waiter's slice" (String.make 512 'x') got.(0);
+  Alcotest.(check string) "second waiter's slice" (String.make 512 'y') got.(1)
+
+let test_driver_no_merge_when_disabled () =
+  let s = vsched () in
+  let mem =
+    Driver.mem_transport ~latency:0.01 ~sector_bytes:512 ~total_sectors:1024 s
+      ()
+  in
+  let drv = Driver.create s mem in
+  ignore
+    (Sched.spawn s (fun () ->
+         Driver.write_exn drv ~lba:100 (Data.of_string (String.make 512 'a'))));
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep s 0.001;
+         Driver.write_exn drv ~lba:10 (Data.of_string (String.make 512 'b'))));
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep s 0.002;
+         Driver.write_exn drv ~lba:11 (Data.of_string (String.make 512 'c'))));
+  Sched.run s;
+  Alcotest.(check int) "no merges by default" 0 (Driver.merges drv)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_geometry_bijective; prop_geometry_hp97560_bijective;
@@ -527,5 +607,11 @@ let suite =
     Alcotest.test_case "driver queueing latency" `Quick
       test_driver_queueing_increases_latency;
     Alcotest.test_case "driver drain" `Quick test_driver_drain;
+    Alcotest.test_case "driver merges adjacent writes" `Quick
+      test_driver_merges_adjacent_writes;
+    Alcotest.test_case "merged read slices per waiter" `Quick
+      test_driver_merged_read_slices_per_waiter;
+    Alcotest.test_case "no merging when disabled" `Quick
+      test_driver_no_merge_when_disabled;
   ]
   @ qsuite

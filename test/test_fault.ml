@@ -225,6 +225,49 @@ let test_driver_clean_under_null_injector () =
   Alcotest.(check int) "no retries" 0 (Driver.retries drv);
   Alcotest.(check int) "no io errors" 0 (Driver.io_errors drv)
 
+(* Fault on a merged request: one injector draw decides the whole
+   scatter-gather request, and every constituent waiter receives the
+   same typed error. *)
+let test_merged_request_fault_propagates_to_all_waiters () =
+  let plan = { Plan.empty with Plan.write_error = 1.0 } in
+  let sched =
+    Sched.create ~seed:5 ~clock:`Virtual
+      ~injector:(Injector.create ~seed:5 plan) ()
+  in
+  let drv =
+    Driver.create ~coalesce:true ~max_retries:0 sched
+      (Driver.mem_transport ~latency:0.01 ~sector_bytes:512 ~total_sectors:1024
+         sched ())
+  in
+  let errs = Array.make 2 None in
+  (* occupy the device so the two adjacent writes queue and merge *)
+  ignore
+    (Sched.spawn sched ~name:"far" (fun () ->
+         ignore (Driver.write drv ~lba:100 (Data.of_string (String.make 512 'a')))));
+  ignore
+    (Sched.spawn sched ~name:"w0" (fun () ->
+         Sched.sleep sched 0.001;
+         match Driver.write drv ~lba:10 (Data.of_string (String.make 512 'b')) with
+         | Ok () -> ()
+         | Error e -> errs.(0) <- Some e));
+  ignore
+    (Sched.spawn sched ~name:"w1" (fun () ->
+         Sched.sleep sched 0.002;
+         match Driver.write drv ~lba:11 (Data.of_string (String.make 512 'c')) with
+         | Ok () -> ()
+         | Error e -> errs.(1) <- Some e));
+  Sched.run sched;
+  Alcotest.(check int) "the two adjacent writes merged" 1 (Driver.merges drv);
+  Alcotest.(check (option string))
+    "first waiter failed with EIO" (Some "eio")
+    (Option.map Errno.to_string errs.(0));
+  Alcotest.(check (option string))
+    "second waiter failed with EIO" (Some "eio")
+    (Option.map Errno.to_string errs.(1));
+  (* one draw for the far write + ONE for the merged pair — not three *)
+  Alcotest.(check int) "one draw per physical request" 2
+    (Injector.transients (Sched.injector sched))
+
 (* Replay under faults: the fleet must stay deterministic *)
 
 let summary (r : Fleet.job_result) =
@@ -245,18 +288,17 @@ let test_fleet_fault_determinism () =
   let plan =
     { Plan.empty with Plan.read_error = 0.002; write_error = 0.001; latent = 4 }
   in
+  let base = test_config Experiment.Ups in
+  (* flush clustering and driver merging must be on: determinism has to
+     hold for the batched pipeline, not just the legacy path *)
+  Alcotest.(check bool) "coalescing on" true base.Experiment.coalesce;
   let jobs =
     List.map
       (fun seed ->
         {
           Fleet.label = Printf.sprintf "faulty-%d" seed;
           trace = "sprite";
-          config =
-            {
-              (test_config Experiment.Ups) with
-              Experiment.seed;
-              fault_plan = Some plan;
-            };
+          config = { base with Experiment.seed; fault_plan = Some plan };
         })
       [ 1; 2; 3 ]
   in
@@ -314,6 +356,19 @@ let test_crash_recovery_with_faults () =
   let report = Crash.run ~config ~trace:(small_trace ()) plan in
   Alcotest.(check bool) "verdict consistent under faults" true report.Crash.ok
 
+let test_crash_recovery_with_clustered_flushes () =
+  (* single-block scope + coalescing: demand flushes drag contiguous
+     dirty neighbours along as one extent; a power cut mid-replay must
+     still leave every volume recoverable and shadow-consistent *)
+  let config = test_config Experiment.Nvram_partial in
+  Alcotest.(check bool) "coalescing is on" true config.Experiment.coalesce;
+  let report = Crash.run ~config ~trace:(small_trace ()) crash_plan in
+  Alcotest.(check int) "every volume recovered" config.Experiment.ndisks
+    (List.length report.Crash.recoveries);
+  Alcotest.(check int) "no shadow-model violations" 0
+    (List.length report.Crash.violations);
+  Alcotest.(check bool) "verdict consistent" true report.Crash.ok
+
 let test_crash_requires_trigger () =
   Alcotest.check_raises "crash_at is mandatory"
     (Invalid_argument "Crash.run: the fault plan must set crash_at > 0")
@@ -338,7 +393,11 @@ let suite =
       test_fleet_fault_determinism;
     Alcotest.test_case "crash, recover, shadow model" `Slow
       test_crash_recovery_consistent;
+    Alcotest.test_case "merged fault reaches all waiters" `Quick
+      test_merged_request_fault_propagates_to_all_waiters;
     Alcotest.test_case "crash recovery under faults" `Slow
       test_crash_recovery_with_faults;
+    Alcotest.test_case "crash recovery with clustered flushes" `Slow
+      test_crash_recovery_with_clustered_flushes;
     Alcotest.test_case "crash trigger required" `Quick test_crash_requires_trigger;
   ]

@@ -29,6 +29,9 @@ let cache_config capacity =
     scope = `Whole_file;
     async_flush = true;
     mem_copy_rate = 0.;
+    coalesce = false;
+    flush_window = 4;
+    max_extent_blocks = 64;
   }
 
 (* The client stack over the FFS baseline layout: cut-and-paste means
