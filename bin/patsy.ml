@@ -9,6 +9,7 @@ module Experiment = Capfs_patsy.Experiment
 module Fleet = Capfs_patsy.Fleet
 module Report = Capfs_patsy.Report
 module Crash = Capfs_patsy.Crash
+module Diffval = Capfs_diffval.Diffval
 module Plan = Capfs_fault.Plan
 module Lfs = Capfs_layout.Lfs
 
@@ -89,9 +90,69 @@ let run_crash ~config ~records plan =
     (if report.Crash.ok then "CONSISTENT" else "INCONSISTENT");
   if report.Crash.ok then 0 else 1
 
+(* Differential mode (--differential): the same trace through Patsy
+   (virtual time, simulated disk) and PFS (real time, real backing file),
+   policy-visible statistics diffed within tolerance. *)
+let skew_of_spec spec =
+  let int v = int_of_string v in
+  match String.index_opt spec '=' with
+  | None when spec = "no-coalesce" ->
+    fun c -> { c with Experiment.coalesce = false }
+  | None -> invalid_arg ("--diff-skew: expected KEY=VALUE, got " ^ spec)
+  | Some i -> (
+    let key = String.sub spec 0 i in
+    let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match key with
+    | "cache-mb" -> fun c -> { c with Experiment.cache_mb = int v }
+    | "nvram-mb" -> fun c -> { c with Experiment.nvram_mb = int v }
+    | "flush-window" -> fun c -> { c with Experiment.flush_window = int v }
+    | "max-extent" -> fun c -> { c with Experiment.max_extent = int v }
+    | "seg-blocks" -> fun c -> { c with Experiment.seg_blocks = int v }
+    | "replacement" -> fun c -> { c with Experiment.replacement = v }
+    | "iosched" -> fun c -> { c with Experiment.iosched = v }
+    | k -> invalid_arg ("--diff-skew: unknown key " ^ k))
+
+let run_differential ~trace ~records ~config ~image_mb ~speedup ~report_out
+    ~skew_spec =
+  let dcfg =
+    {
+      (Diffval.default ()) with
+      Diffval.base =
+        {
+          config with
+          (* PFS runs on one backing file; the comparable farm is the
+             single-spindle one, and simulated memcpy time would charge
+             real seconds on the on-line half *)
+          Experiment.ndisks = 1;
+          nbuses = 1;
+          mem_copy_rate = 0.;
+        };
+      image_mb;
+      speedup;
+    }
+  in
+  let skew = Option.map skew_of_spec skew_spec in
+  match Diffval.run ?skew ~config:dcfg ~trace_name:trace records with
+  | Error e ->
+    Format.eprintf "patsy --differential: harness failure (%a)@."
+      Capfs_core.Errno.pp e;
+    2
+  | Ok report ->
+    Format.printf "%a" Diffval.pp report;
+    (match report_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Diffval.to_json report);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "# wrote JSON report to %s@." path);
+    if report.Diffval.r_ok then 0 else 1
+
 let run_main trace format policy duration seed parallel_jobs disks buses
     cache_mb nvram_mb iosched replacement cleaner sync_flush no_coalesce
-    flush_window max_extent request_overhead fault_plan crash_at trace_out
+    flush_window max_extent request_overhead fault_plan crash_at
+    differential image_mb diff_speedup diff_report diff_skew trace_out
     trace_buffer show_cdf show_windows show_stats log_level =
   setup_logs log_level;
   let policies = policies_of_arg policy in
@@ -135,7 +196,12 @@ let run_main trace format policy duration seed parallel_jobs disks buses
   (* load once here for the record count; the trace array is immutable,
      so the fleet workers can share it *)
   let records = load_trace ~trace ~format ~seed ~duration in
-  if plan.Plan.crash_at <> None then
+  if differential then
+    run_differential ~trace ~records
+      ~config:(config (List.hd policies))
+      ~image_mb ~speedup:diff_speedup ~report_out:diff_report
+      ~skew_spec:diff_skew
+  else if plan.Plan.crash_at <> None then
     run_crash ~config:(config (List.hd policies)) ~records plan
   else begin
   Format.printf "# patsy: trace=%s policies=%s records=%d jobs=%d@." trace
@@ -277,6 +343,45 @@ let crash_at =
                  model. Shorthand for crash_at=T in --fault-plan; exits \
                  non-zero if recovery or the consistency check fails.")
 
+let differential =
+  Arg.(value & flag
+       & info [ "differential" ]
+           ~doc:"Differential sim-vs-real validation: replay the trace \
+                 through Patsy (virtual time, simulated disk) and through \
+                 PFS (real time, real backing file), then diff the \
+                 policy-visible statistics within declared tolerances \
+                 (see VALIDATION.md). Uses the first --policy, forces one \
+                 disk/one bus, and honours --fault-plan (crash_at \
+                 stripped). Exits 0 when equivalent, 1 on drift.")
+
+let image_mb =
+  Arg.(value & opt int 128
+       & info [ "image-mb" ] ~docv:"MB"
+           ~doc:"Backing-image size for the PFS half of --differential.")
+
+let diff_speedup =
+  Arg.(value & opt float 100_000.
+       & info [ "diff-speedup" ] ~docv:"X"
+           ~doc:"Replay time compression for --differential, applied to \
+                 both halves so time-triggered policy behaviour stays \
+                 comparable (the PFS half runs under the real clock).")
+
+let diff_report =
+  Arg.(value & opt (some string) None
+       & info [ "diff-report" ] ~docv:"FILE"
+           ~doc:"Write the machine-readable differential report (JSON: \
+                 both snapshots, per-counter verdicts, fsck findings) to \
+                 $(docv).")
+
+let diff_skew =
+  Arg.(value & opt (some string) None
+       & info [ "diff-skew" ] ~docv:"KEY=VALUE"
+           ~doc:"Deliberately skew one policy parameter on the PFS half \
+                 only (cache-mb, nvram-mb, flush-window, max-extent, \
+                 seg-blocks, replacement, iosched, or the bare \
+                 no-coalesce) — a self-test: the differential run must \
+                 then exit non-zero.")
+
 let trace_out =
   Arg.(value & opt (some string) None
        & info [ "trace-out" ] ~docv:"FILE"
@@ -317,6 +422,7 @@ let cmd =
       $ parallel_jobs $ disks $ buses $ cache_mb $ nvram_mb $ iosched
       $ replacement $ cleaner $ sync_flush $ no_coalesce $ flush_window
       $ max_extent $ request_overhead $ fault_plan $ crash_at
+      $ differential $ image_mb $ diff_speedup $ diff_report $ diff_skew
       $ trace_out $ trace_buffer $ show_cdf $ show_windows $ show_stats
       $ log_level)
 

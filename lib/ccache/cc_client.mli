@@ -14,12 +14,22 @@ type t
     with the server's consistency engine. *)
 val attach : Cc_server.t -> client_id:int -> cache_blocks:int -> t
 
+(** [open_ t path mode] opens through the server's consistency engine.
+    The returned grant (applied internally) invalidates a stale cached
+    copy — the granted version is newer — and records whether the file
+    is cacheable at all; a write-open may trigger recalls or cache
+    disabling on {e other} clients before it returns. *)
 val open_ : t -> string -> Cc_server.open_mode -> unit
 
 (** [read t path ~offset ~bytes] — through the local cache when
     allowed. The file must be open by this client. *)
 val read : t -> string -> offset:int -> bytes:int -> Capfs_disk.Data.t
 
+(** [write t path ~offset data] buffers into the local cache (delayed
+    write-back) when the file is cacheable; dirty blocks go home on
+    {!close_}, on a server recall, or when the local cache is full and
+    a whole file is pushed to make room. Uncacheable files write
+    through to the server block by block. *)
 val write : t -> string -> offset:int -> Capfs_disk.Data.t -> unit
 
 (** Push dirty blocks home and release the descriptor. *)
@@ -27,10 +37,15 @@ val close_ : t -> string -> unit
 
 (** {2 Introspection} *)
 
+(** Block reads served from the local cache — the traffic client
+    caching exists to eliminate. *)
 val local_hits : t -> int
+
+(** Block reads that went over the wire to the server. *)
 val remote_reads : t -> int
 
 (** Blocks currently cached locally (clean + dirty). *)
 val cached_blocks : t -> int
 
+(** Locally buffered blocks not yet written back to the server. *)
 val dirty_blocks : t -> int

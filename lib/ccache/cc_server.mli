@@ -18,19 +18,32 @@
 
 type t
 
+(** How the client intends to use the file; a [Write] open bumps the
+    file's version and can flip other clients into the uncacheable
+    regime. *)
 type open_mode = Read | Write
 
 (** What the client must do with its cache after an open. *)
 type open_grant = {
-  g_ino : int;
+  g_ino : int;        (** server-side inode number: the cache key and the
+                          handle for every subsequent rpc on this file *)
   g_version : int;   (** invalidate the cached copy if yours is older *)
   g_cacheable : bool; (** false: concurrent write sharing, bypass cache *)
-  g_size : int;
+  g_size : int;       (** current size in bytes, so the client can run
+                          reads and appends against its cache without
+                          asking again *)
 }
 
+(** [create client link] wraps an abstract-client interface (any
+    Patsy/PFS assembly) with the consistency engine; every rpc charges
+    [link] for its messages. With [registry], protocol counters are
+    registered under ["ccsrv.*"] (opens, recalls, disables, reads,
+    writes). *)
 val create :
   ?registry:Capfs_stats.Registry.t -> Capfs.Client.t -> Netlink.t -> t
 
+(** The block size of the underlying file system — the unit of
+    {!rpc_read_block}/{!rpc_write_block} and of client cache slots. *)
 val block_bytes : t -> int
 
 (** The scheduler of the file system behind the server; clients use it
@@ -49,12 +62,22 @@ val attach :
 
 (** {2 RPC entry points} (each charges the network link) *)
 
+(** [rpc_open t ~client_id path mode] runs the Sprite open protocol:
+    recalls dirty blocks from a previous writer, decides cacheability,
+    and returns the grant. Creates the file on a [Write] open of a
+    missing path. *)
 val rpc_open : t -> client_id:int -> string -> open_mode -> open_grant
+
+(** [rpc_close t ~client_id ~ino] releases the open; when the last
+    writer closes, files under the uncacheable regime become cacheable
+    again for later opens. *)
 val rpc_close : t -> client_id:int -> ino:int -> unit
 
 (** [rpc_read_block t ~ino idx] — one file block. *)
 val rpc_read_block : t -> client_id:int -> ino:int -> int -> Capfs_disk.Data.t
 
+(** [rpc_write_block t ~ino idx data] — one file block, written through
+    the server's (shared) cache: a recalled or uncacheable write. *)
 val rpc_write_block :
   t -> client_id:int -> ino:int -> int -> Capfs_disk.Data.t -> unit
 

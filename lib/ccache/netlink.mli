@@ -7,12 +7,22 @@
     senders share the medium (10 Mbit/s Ethernet of the era by
     default). *)
 
+(** One shared medium. The link is a mutex around a time charge: a
+    message holds the medium for [latency + wire_bytes / bandwidth]
+    scheduler seconds, so concurrent senders queue — half-duplex
+    Ethernet without collisions (the retry behaviour of CSMA/CD is
+    folded into the fixed latency). *)
 type t
 
 (** [ethernet_10 sched] — 10 Mbit/s, 0.5 ms per-message latency: a
     1990s departmental LAN. *)
 val ethernet_10 : ?registry:Capfs_stats.Registry.t -> Capfs_sched.Sched.t -> t
 
+(** [create ~bandwidth_bytes_per_sec ~latency sched] builds a link with
+    the given serialization rate and fixed per-message setup cost
+    (propagation + protocol processing, charged once per
+    {!transfer}). With [registry], per-message medium time is recorded
+    under [<name>.transfer] ([name] defaults to ["netlink"]). *)
 val create :
   ?registry:Capfs_stats.Registry.t ->
   ?name:string ->
@@ -22,9 +32,14 @@ val create :
   t
 
 (** [transfer t ~bytes] blocks the calling fibre for the message's time
-    on the (contended) medium. [bytes] excludes protocol overhead; a
-    fixed 160-byte header is added per message. *)
+    on the (contended) medium. Framing: [bytes] is payload only; a
+    fixed 160-byte header — Ethernet + IP + UDP + RPC overhead of an
+    NFS-era packet — is added per message, so zero-payload RPCs (open,
+    close, callbacks) still pay for a real packet. One [transfer] is
+    one message: callers model a request/reply exchange as two
+    transfers, and large reads/writes as one transfer per block. *)
 val transfer : t -> bytes:int -> unit
 
-(** Total payload bytes carried so far (both directions). *)
+(** Total payload bytes carried so far (both directions, headers
+    excluded). *)
 val bytes_carried : t -> int

@@ -161,14 +161,14 @@ let run ?(config = Experiment.default Experiment.Write_delay) ?sync_at ~trace
   let registry = Stats.Registry.create () in
   let buses =
     Array.init cfg.Experiment.nbuses (fun b ->
-        Bus.scsi2 ~registry ~name:(Printf.sprintf "bus%d" b) sched2)
+        Bus.scsi2 ~registry ~name:(Stats.Names.bus b) sched2)
   in
   let ndisks = cfg.Experiment.ndisks in
   let disks =
     Array.init ndisks (fun d ->
         let disk =
           Sim_disk.create ~registry
-            ~name:(Printf.sprintf "disk%d" d)
+            ~name:(Stats.Names.disk d)
             ~backing:true sched2 cfg.Experiment.disk_model
             buses.(d mod cfg.Experiment.nbuses)
         in
@@ -179,7 +179,7 @@ let run ?(config = Experiment.default Experiment.Write_delay) ?sync_at ~trace
   let drivers =
     Array.init ndisks (fun d ->
         Driver.create ~registry
-          ~name:(Printf.sprintf "driver%d" d)
+          ~name:(Stats.Names.driver d)
           ~policy:(Iosched.by_name geometry cfg.Experiment.iosched)
           sched2
           (Driver.sim_transport disks.(d)))
@@ -190,7 +190,7 @@ let run ?(config = Experiment.default Experiment.Write_delay) ?sync_at ~trace
          let recoveries = ref [] and failed = ref [] in
          let volumes = ref [] in
          for d = 0 to ndisks - 1 do
-           let name = Printf.sprintf "lfs%d" d in
+           let name = Stats.Names.lfs d in
            match
              Lfs.recover ~registry ~name
                ~config:(Experiment.lfs_config_of cfg d)

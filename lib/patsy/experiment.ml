@@ -138,12 +138,12 @@ let build_farm ?(backing = false) sched cfg =
   in
   let buses =
     Array.init cfg.nbuses (fun b ->
-        Bus.scsi2 ~registry ~name:(Printf.sprintf "bus%d" b) sched)
+        Bus.scsi2 ~registry ~name:(Stats.Names.bus b) sched)
   in
   let disks =
     Array.init cfg.ndisks (fun d ->
         Sim_disk.create ~registry
-          ~name:(Printf.sprintf "disk%d" d)
+          ~name:(Stats.Names.disk d)
           ~backing sched disk_model
           buses.(d mod cfg.nbuses))
   in
@@ -152,7 +152,7 @@ let build_farm ?(backing = false) sched cfg =
   let drivers =
     Array.init cfg.ndisks (fun d ->
         Driver.create ~registry
-          ~name:(Printf.sprintf "driver%d" d)
+          ~name:(Stats.Names.driver d)
           ~policy:(Iosched.by_name geometry cfg.iosched)
           ~coalesce:cfg.coalesce
           ~max_merge_sectors:(cfg.max_extent * spb)
@@ -162,7 +162,7 @@ let build_farm ?(backing = false) sched cfg =
   let volumes =
     Array.init cfg.ndisks (fun d ->
         Lfs.format_and_mount ~registry
-          ~name:(Printf.sprintf "lfs%d" d)
+          ~name:(Stats.Names.lfs d)
           ~config:(lfs_config_of cfg d) sched drivers.(d) ~block_bytes)
   in
   let layout = Multiplex.layout volumes in
@@ -191,6 +191,10 @@ let stat_count registry name =
   match Stats.Registry.find registry name with
   | Some st -> Stats.Stat.count st
   | None -> 0
+
+let snapshot outcome =
+  Stats.Snapshot.capture ~filter:Stats.Snapshot.policy_visible
+    outcome.registry
 
 let run cfg ~trace =
   let tracer =

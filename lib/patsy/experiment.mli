@@ -70,6 +70,18 @@ type outcome = {
           [config.trace_buffer] > 0 *)
 }
 
+(** The file block size every instantiation uses (4096 bytes). Exposed
+    so other front ends (diffval's PFS half, tests) assemble stacks with
+    the very same geometry. *)
+val block_bytes : int
+
+(** [snapshot outcome] freezes the outcome's registry restricted to the
+    policy-visible keys ({!Capfs_stats.Snapshot.policy_visible}) — the
+    simulator half of a differential sim-vs-real comparison. The replay
+    already drained outstanding writes with a final sync, so the flush
+    counters are complete. *)
+val snapshot : outcome -> Capfs_stats.Snapshot.t
+
 (** [run config ~trace] executes one experiment in its own virtual-time
     scheduler and returns the measurements. Every run builds a private
     scheduler, disk farm, cache and statistics registry, so concurrent

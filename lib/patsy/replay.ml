@@ -154,7 +154,7 @@ let dispatch_synthesizing client ~payload (r : Record.t) =
   | r -> r
 
 let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true)
-    ?(real_data = false) ?observe client records =
+    ?(real_data = false) ?(serial = false) ?observe client records =
   if speedup <= 0. then invalid_arg "Replay.run: speedup <= 0";
   let payload = if real_data then Data.real else Data.sim in
   let dispatch = if synthesize_missing then dispatch_synthesizing else dispatch in
@@ -236,13 +236,38 @@ let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true)
     decr remaining;
     if !remaining = 0 then Sched.broadcast sched all_done
   in
-  List.iter
-    (fun ((cid, _) as work) ->
-      ignore
-        (Sched.spawn sched
-           ~name:(Printf.sprintf "replay.c%d" cid)
-           (client_fibre work)))
-    clients;
+  (* Serial mode dispatches every record from one fibre in strict trace
+     order: no cross-client interleaving, so two engines replaying the
+     same trace make identical logical state transitions. Differential
+     validation (lib/diffval) depends on this determinism; concurrent
+     mode is the realistic default for performance experiments. *)
+  if serial then begin
+    remaining := 1;
+    ignore
+      (Sched.spawn sched ~name:"replay.serial" (fun () ->
+           Array.iter
+             (fun r ->
+               let target = base +. (r.Record.time /. speedup) in
+               let now = Sched.now sched in
+               if target > now then Sched.sleep sched (target -. now);
+               measure r)
+             records;
+           List.iter
+             (fun (cid, _) ->
+               match Client.close_all client ~client:cid with
+               | Ok () | Error _ -> ())
+             clients;
+           decr remaining;
+           Sched.broadcast sched all_done))
+  end
+  else
+    List.iter
+      (fun ((cid, _) as work) ->
+        ignore
+          (Sched.spawn sched
+             ~name:(Printf.sprintf "replay.c%d" cid)
+             (client_fibre work)))
+      clients;
   if !remaining > 0 then Sched.await sched all_done;
   Stats.Interval.flush windows;
   Log.info (fun m ->

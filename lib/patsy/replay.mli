@@ -56,7 +56,19 @@ val synthesize_times : Capfs_trace.Record.t array -> Capfs_trace.Record.t array
     [real_data] (default false) makes writes carry {!Capfs_disk.Data}
     [real] payloads instead of byte-count-only [sim] ones — required by
     crash experiments, where file contents must survive on the backing
-    store. [observe] is called with each trace record {e after} it has
+    store.
+
+    [serial] (default false) dispatches every record from a single
+    fibre in strict trace order instead of one fibre per trace client.
+    Cross-client interleaving is engine-timing-dependent (a simulated
+    disk and a real file complete I/O at different speeds), so two
+    engines replaying the same trace concurrently can make {e
+    different} logical state transitions — serial mode removes that,
+    which is what differential validation needs. Keep the concurrent
+    default for performance experiments: queue depth and overlap are
+    part of what Patsy measures.
+
+    [observe] is called with each trace record {e after} it has
     been applied successfully (shadow-model hook for consistency
     checking); refused operations are not observed. *)
 val run :
@@ -64,6 +76,7 @@ val run :
   ?window:float ->
   ?synthesize_missing:bool ->
   ?real_data:bool ->
+  ?serial:bool ->
   ?observe:(Capfs_trace.Record.t -> unit) ->
   Capfs.Client.t ->
   Capfs_trace.Record.t array ->

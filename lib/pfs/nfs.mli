@@ -14,68 +14,106 @@
     It runs under either clock, so client/server interaction can also be
     simulated, as the paper plans for its client-caching work. *)
 
+(** An opaque file handle. Here it is the inode number, which — like a
+    real NFS handle — stays valid across server restarts as long as the
+    file exists; a handle whose inode has been deleted or recycled
+    answers {!Stale}. *)
 type fh = int
 
+(** NFS-style status codes, the errno subset NFSv2 can express. *)
 type error =
-  | Noent
-  | Exist
-  | Notdir
-  | Isdir
-  | Notempty
-  | Stale
-  | Loop
+  | Noent     (** no such file or directory ([NFSERR_NOENT]) *)
+  | Exist     (** target name already exists ([NFSERR_EXIST]) *)
+  | Notdir    (** a directory operation on a non-directory *)
+  | Isdir     (** a file operation on a directory *)
+  | Notempty  (** [Rmdir] of a non-empty directory *)
+  | Stale     (** the handle's inode no longer exists ([NFSERR_STALE]) *)
+  | Loop      (** symlink expansion exceeded the traversal limit *)
   | Io  (** disk-level failure surfaced through the typed-error API *)
 
+(** Post-operation attributes, the [fattr]-subset every reply that
+    touches a file reports. *)
 type attr = {
   a_kind : Capfs_layout.Inode.kind;
+      (** regular / directory / symlink / multimedia — drives the
+          client-side [NFDIR]/[NFREG] dispatch *)
   a_size : int;
+      (** file length in bytes. For a directory: the byte size of its
+          entry blocks, not the entry count; for a symlink: the length
+          of the target path. *)
   a_nlink : int;
+      (** hard-link count: 1 for regular files and symlinks (the
+          namespace has no hard links), 2 for directories — [.] and the
+          parent entry; subdirectories are not back-counted *)
   a_mtime : float;
+      (** last content-modification time, in the {e server's} clock
+          (virtual seconds under [`Virtual], Unix epoch under [`Real])
+          — the cache-validation timestamp of NFSv2 *)
 }
 
+(** One NFS procedure call. Constructors mirror the NFSv2 procedure
+    set (plus the NFSv3 [Commit]); [fh] arguments are handles
+    previously returned in a {!Handle} reply or {!mount_root}. *)
 type request =
-  | Getattr of fh
+  | Getattr of fh  (** attributes of an open or known handle *)
   | Setattr of { file : fh; size : int }
+      (** truncate/extend to [size] bytes (the only settable attribute
+          here: no ownership or mode bits in the framework) *)
   | Lookup of { dir : fh; name : string }
-  | Readlink of fh
+      (** one component, no slashes: the NFS lookup contract *)
+  | Readlink of fh  (** target of a symlink, unexpanded *)
   | Read of { file : fh; offset : int; count : int }
+      (** up to [count] bytes from [offset]; short reads at EOF *)
   | Write of { file : fh; offset : int; data : Capfs_disk.Data.t }
-  | Create of { dir : fh; name : string }
-  | Remove of { dir : fh; name : string }
+      (** write-behind through the shared block cache; durability only
+          on {!Commit} (or the cache policy's own flush) *)
+  | Create of { dir : fh; name : string }  (** regular file, exclusive *)
+  | Remove of { dir : fh; name : string }  (** unlink a non-directory *)
   | Rename of { sdir : fh; sname : string; ddir : fh; dname : string }
+      (** atomic within the server; replaces [dname] if it exists *)
   | Symlink of { dir : fh; name : string; target : string }
   | Mkdir of { dir : fh; name : string }
-  | Rmdir of { dir : fh; name : string }
-  | Readdir of fh
+  | Rmdir of { dir : fh; name : string }  (** must be empty *)
+  | Readdir of fh  (** full listing, no cookies — in-process, no XDR cap *)
   | Commit of fh  (** NFSv3-style: force the file to stable storage *)
-  | Statfs
+  | Statfs  (** file-system totals, for [df] *)
 
+(** A worker's reply; which constructor answers which {!request} follows
+    NFSv2 ([Lookup]/[Create]/[Mkdir]/[Symlink] → {!Handle}, [Read] →
+    {!Payload}, [Getattr]/[Setattr]/[Write] → {!Attr}, destructive ops
+    → {!Done}, …). *)
 type response =
-  | Attr of attr
-  | Handle of fh * attr
-  | Payload of Capfs_disk.Data.t
-  | Link of string
-  | Entries of (string * fh) list
+  | Attr of attr                (** post-op attributes *)
+  | Handle of fh * attr         (** new or looked-up handle + attributes *)
+  | Payload of Capfs_disk.Data.t  (** read data, possibly short *)
+  | Link of string              (** symlink target *)
+  | Entries of (string * fh) list  (** directory listing, unsorted *)
   | Fsinfo of { total_blocks : int; free_blocks : int }
-  | Done
-  | Error of error
+      (** {!Statfs} reply, in file-system blocks *)
+  | Done                        (** success with nothing to return *)
+  | Error of error              (** the call failed; nothing changed *)
 
+(** A running front end: a request mailbox plus its worker fibres. *)
 type t
 
 (** [serve client ~workers] spawns the worker fibres (daemons) and
-    returns the server. *)
+    returns the server. [workers] (default 4) bounds the number of
+    requests in service concurrently — each worker "acts as a
+    representative of a client while the request is in progress". *)
 val serve : ?workers:int -> Capfs.Client.t -> t
 
 (** Handle of the root directory (the MOUNT protocol's job). *)
 val mount_root : t -> fh
 
 (** [call t request] enqueues the request and blocks until a worker
-    replies. *)
+    replies. Safe from any fibre on the server's scheduler; calls are
+    served FIFO but complete out of order when workers block on I/O. *)
 val call : t -> request -> response
 
 (** Requests served so far. *)
 val served : t -> int
 
+(** Prints the wire mnemonic ([NFSERR_NOENT], [NFSERR_STALE], …). *)
 val pp_error : Format.formatter -> error -> unit
 
 (** Status code for a typed error ([ESTALE]/[EBADF] → [Stale],

@@ -34,9 +34,11 @@ type t = {
   client : Capfs.Client.t;
   nfs : Nfs.t;
   image_path : string;
+  registry : Capfs_stats.Registry.t option;
 }
 
 let block_bytes = 4096
+let max_extent_blocks = 64
 
 let start ?(clock = `Real) ?(config = default_config) ?registry ~image
     ~size_mb () =
@@ -49,9 +51,15 @@ let start ?(clock = `Real) ?(config = default_config) ?registry ~image
     Geometry.v ~cylinders:transport.Driver.total_sectors ~heads:1
       ~sectors_per_track:1 ~sector_bytes:transport.Driver.sector_bytes ()
   in
+  (* instance names and coalescing knobs deliberately match Patsy's
+     single-disk farm, so the two halves register identical counter keys
+     and batch I/O identically (the diffval contract; VALIDATION.md) *)
+  let spb = block_bytes / transport.Driver.sector_bytes in
   let driver =
-    Driver.create ?registry ~name:"pfsdisk"
+    Driver.create ?registry ~name:(Capfs_stats.Names.driver 0)
       ~policy:(Iosched.by_name flat_geometry config.iosched)
+      ~coalesce:true
+      ~max_merge_sectors:(max_extent_blocks * spb)
       sched transport
   in
   (* [start] runs outside the scheduler, but mounting needs fibre
@@ -59,12 +67,14 @@ let start ?(clock = `Real) ?(config = default_config) ?registry ~image
   let assembled = ref None in
   ignore
     (Sched.spawn sched ~name:"pfs.boot" (fun () ->
+         let lfs_name = Capfs_stats.Names.lfs 0 in
          let layout =
-           try Lfs.mount ?registry sched driver
+           try Lfs.mount ?registry ~name:lfs_name sched driver
            with Codec.Corrupt reason ->
              Log.info (fun m ->
                  m "image %s not mountable (%s): formatting" image reason);
-             Lfs.format_and_mount ?registry sched driver ~block_bytes
+             Lfs.format_and_mount ?registry ~name:lfs_name sched driver
+               ~block_bytes
          in
          let cache_config =
            {
@@ -77,7 +87,7 @@ let start ?(clock = `Real) ?(config = default_config) ?registry ~image
              mem_copy_rate = 0.;
              coalesce = true;
              flush_window = 4;
-             max_extent_blocks = 64;
+             max_extent_blocks;
            }
          in
          let fs = Capfs.Fsys.create ?registry ~cache_config ~layout sched in
@@ -86,8 +96,14 @@ let start ?(clock = `Real) ?(config = default_config) ?registry ~image
          assembled := Some (client, nfs)));
   Sched.run sched;
   match !assembled with
-  | Some (client, nfs) -> { sched; client; nfs; image_path = image }
+  | Some (client, nfs) -> { sched; client; nfs; image_path = image; registry }
   | None -> failwith "Pfs.start: bootstrap did not complete"
+
+let snapshot t =
+  Option.map
+    (Capfs_stats.Snapshot.capture
+       ~filter:Capfs_stats.Snapshot.policy_visible)
+    t.registry
 
 let shutdown t =
   ignore

@@ -21,10 +21,14 @@ type config = {
 val default_config : config
 
 type t = {
-  sched : Capfs_sched.Sched.t;
-  client : Capfs.Client.t;
-  nfs : Nfs.t;
-  image_path : string;
+  sched : Capfs_sched.Sched.t;  (** the server's scheduler (real clock
+                                    in production, virtual in tests) *)
+  client : Capfs.Client.t;      (** the abstract client interface *)
+  nfs : Nfs.t;                  (** the NFS front end *)
+  image_path : string;          (** backing image the server runs on *)
+  registry : Capfs_stats.Registry.t option;
+      (** the registry passed to {!start}, if any — the handle
+          {!snapshot} freezes *)
 }
 
 (** [start ~image ~size_mb ()] opens (formatting when fresh or invalid)
@@ -42,3 +46,10 @@ val start :
 
 (** Flush everything and checkpoint (call before exiting). *)
 val shutdown : t -> unit
+
+(** [snapshot t] freezes the server's statistics registry restricted to
+    the policy-visible keys ({!Capfs_stats.Snapshot.policy_visible}) —
+    the on-line half of a differential sim-vs-real comparison. [None]
+    when {!start} was given no registry. Capture after a sync (e.g.
+    {!shutdown}) for complete flush counters. *)
+val snapshot : t -> Capfs_stats.Snapshot.t option

@@ -1,0 +1,5 @@
+let cache = "cache"
+let driver d = "driver" ^ string_of_int d
+let lfs d = "lfs" ^ string_of_int d
+let disk d = "disk" ^ string_of_int d
+let bus b = "bus" ^ string_of_int b

@@ -277,9 +277,49 @@ let test_nfs_concurrent_clients () =
       Alcotest.(check int) "all clients served" 8 !finished;
       if Nfs.served nfs < 16 then Alcotest.fail "nfsd served too few calls")
 
+(* Replay a short synthesized trace against PFS over a real backing
+   file: the workload generator built for the simulator drives the
+   on-line server unchanged, and the volume survives a cold restart. *)
+let test_pfs_trace_replay_over_file () =
+  with_temp_image (fun path ->
+      let records =
+        Capfs_trace.Synth.generate ~seed:5 ~duration:30.
+          Capfs_trace.Synth.sprite_1a
+      in
+      let result =
+        let t = Pfs.start ~clock:`Virtual ~image:path ~size_mb:24 () in
+        let r = ref None in
+        in_fibre t (fun () ->
+            r :=
+              Some
+                (Capfs_patsy.Replay.run ~speedup:1000. ~real_data:true t.Pfs.client
+                   records);
+            Capfs_core.Errno.ok_exn (Capfs.Client.sync t.Pfs.client));
+        Pfs.shutdown t;
+        Option.get !r
+      in
+      Alcotest.(check bool)
+        "replayed some operations" true
+        (result.Capfs_patsy.Replay.operations > 0);
+      Alcotest.(check int) "no refused operations" 0
+        result.Capfs_patsy.Replay.errors;
+      (* crash-free close: a cold remount of the image must succeed and
+         serve I/O without recovery complaints *)
+      let t = Pfs.start ~clock:`Virtual ~image:path ~size_mb:24 () in
+      in_fibre t (fun () ->
+          Capfs.Client.mkdir_exn t.Pfs.client "/after-restart";
+          Capfs.Client.open_exn t.Pfs.client ~client:1 "/after-restart/ok"
+            Capfs.Client.WO;
+          Capfs.Client.write_exn t.Pfs.client ~client:1 "/after-restart/ok"
+            ~offset:0 (Data.of_string "alive");
+          Capfs.Client.close_exn t.Pfs.client ~client:1 "/after-restart/ok");
+      Pfs.shutdown t)
+
 let suite =
   [
     Alcotest.test_case "blockdev roundtrip" `Quick test_blockdev_roundtrip;
+    Alcotest.test_case "trace replay over file" `Quick
+      test_pfs_trace_replay_over_file;
     Alcotest.test_case "blockdev persists" `Quick
       test_blockdev_persists_across_reopen;
     Alcotest.test_case "pfs format + io" `Quick test_pfs_format_and_basic_io;
