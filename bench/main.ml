@@ -64,7 +64,7 @@ let trace_names =
 (* Traces are generated inside the worker domain that replays them (the
    Fleet [gen] callback) — no cross-domain PRNG or cache sharing. *)
 let gen_trace ~duration name =
-  Synth.generate ~seed:1996 ~duration (Synth.profile_by_name name)
+  Synth.source ~seed:1996 ~duration (Synth.profile_by_name name)
 
 (* Every Fleet result is also logged here for BENCH_results.json. *)
 let results_log : Fleet.job_result list ref = ref []
@@ -500,7 +500,7 @@ let micro () =
                   ignore
                     (Capfs_cache.Cache.read c
                        (Capfs_cache.Block.Key.v 1 (!i mod 512))
-                       ~fill:(fun () -> Capfs_disk.Data.sim 16))));
+                       ~fill:(fun _ -> Capfs_disk.Data.sim 16))));
            Capfs_sched.Sched.run s2))
   in
   let lru_bench =
@@ -767,8 +767,9 @@ let perfsmoke ~jobs ~duration =
    BENCH_results.json, per experiment label. Two checks:
 
    - [minor_words_per_op] is deterministic on a given machine, so any
-     per-label growth beyond 20 % means a real allocation slipped into
-     the replay path — fail.
+     per-label growth beyond 10 % means a real allocation slipped into
+     the replay path — fail. (The zero-copy data plane roughly halved
+     the figure; the gate is tight so it stays down.)
    - throughput is wall-clock and therefore noisy per cell (the light
      cells finish in ~0.2 s), so [replayed_ops_per_s] is gated in
      aggregate: total replayed operations over total wall seconds across
@@ -868,11 +869,11 @@ let baseline_gate ~path results =
         let growth =
           if b.b_minor > 0. then (minor -. b.b_minor) /. b.b_minor else 0.
         in
-        let bad = growth > 0.20 in
+        let bad = growth > 0.10 in
         if bad then incr failures;
         Format.printf "  %-36s minor_words/op %8.1f -> %8.1f (%+5.1f%%)%s@."
           label b.b_minor minor (100. *. growth)
-          (if bad then "  FAIL (> +20%)" else ""))
+          (if bad then "  FAIL (> +10%)" else ""))
     fresh;
   if !matched = 0 then begin
     Format.printf "  no overlapping experiments with the baseline — refusing \
@@ -897,17 +898,98 @@ let baseline_gate ~path results =
   end
   else Format.printf "baseline gate: ok (%d experiment(s) compared)@." !matched
 
+
+(* {1 gentrace / streamsmoke: the large-trace streaming smoke}
+
+   Two subcommands, two separate processes by design: [gentrace]
+   materializes a ~N-record synthetic trace and saves it in sprite text
+   form (generation inherently builds the array — the generator ends
+   with a global time sort), then [streamsmoke] replays that file
+   through the cursor-backed source in a fresh process, so the peak RSS
+   it reports reflects streamed replay alone, not generation. *)
+
+let gentrace ~out ~records ~seed =
+  section (Printf.sprintf "gentrace: ~%d records -> %s" records out);
+  let profile = Synth.profile_by_name (List.hd !trace_names) in
+  (* record volume scales ~linearly with duration: calibrate on a short
+     sample, then generate the real thing *)
+  let sample_dur = 120. in
+  let sample = Synth.generate ~seed ~duration:sample_dur profile in
+  let per_s = float_of_int (Array.length sample) /. sample_dur in
+  let duration = float_of_int records /. per_s in
+  let trace = Synth.generate ~seed ~duration profile in
+  Capfs_trace.Sprite_format.save out trace;
+  Format.printf "gentrace_records %d@." (Array.length trace);
+  Format.printf "gentrace_simulated_s %.0f@." duration
+
+(* peak resident set of this process, from /proc (Linux only) *)
+let vm_hwm_mb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> acc
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          go
+            (int_of_string_opt
+               (String.trim
+                  (String.map
+                     (function '0' .. '9' as c -> c | _ -> ' ')
+                     (String.sub line 6 (String.length line - 6))
+                   |> String.trim |> String.split_on_char ' ' |> List.hd)))
+        else go acc
+    in
+    let r = go None in
+    close_in ic;
+    Option.map (fun kb -> float_of_int kb /. 1024.) r
+
+let streamsmoke ~file ~rss_mb =
+  section (Printf.sprintf "stream smoke: %s" file);
+  let source = Capfs_trace.Source.sprite_file file in
+  let config = experiment_config ~policy:Experiment.Ups () in
+  let t0 = Unix.gettimeofday () in
+  let o = Experiment.run config ~trace:source in
+  let wall = Unix.gettimeofday () -. t0 in
+  let ops = o.Experiment.replay.Replay.operations in
+  Format.printf "streamsmoke_ops %d@." ops;
+  Format.printf "streamsmoke_errors %d@." o.Experiment.replay.Replay.errors;
+  Format.printf "streamsmoke_ops_per_s %.0f@."
+    (if wall > 0. then float_of_int ops /. wall else 0.);
+  (match vm_hwm_mb () with
+  | None -> Format.printf "streamsmoke_vm_hwm_mb unavailable@."
+  | Some hwm ->
+    Format.printf "streamsmoke_vm_hwm_mb %.1f@." hwm;
+    match rss_mb with
+    | Some ceiling when hwm > float_of_int ceiling ->
+      Format.printf
+        "streamsmoke: FAIL peak RSS %.1f MB exceeds the %d MB ceiling — \
+         streamed replay is materializing the trace@."
+        hwm ceiling;
+      exit 1
+    | Some ceiling ->
+      Format.printf "streamsmoke: ok (peak RSS %.1f MB <= %d MB)@." hwm
+        ceiling
+    | None -> ())
+
 (* {1 Main} *)
 
 let usage =
-  "usage: main.exe [quick|full|figures|ablations|micro|perfsmoke] [-j N] \
-   [-trace-out FILE] [-no-coalesce] [-traces T1,T2] [-baseline FILE]"
+  "usage: main.exe [quick|full|figures|ablations|micro|perfsmoke\
+   |gentrace|streamsmoke] [-j N] [-trace-out FILE] [-no-coalesce] \
+   [-traces T1,T2] [-baseline FILE] [-o FILE] [-records N] [-file FILE] \
+   [-rss-mb MB]"
 
 let parse_args () =
   let preset = ref "default" in
   let jobs = ref (Fleet.default_jobs ()) in
   let trace_out = ref None in
   let baseline = ref None in
+  let out = ref "stream.trace" in
+  let records = ref 1_000_000 in
+  let file = ref None in
+  let rss_mb = ref None in
   let rec go i =
     if i < Array.length Sys.argv then
       match Sys.argv.(i) with
@@ -933,16 +1015,46 @@ let parse_args () =
         if i + 1 >= Array.length Sys.argv then failwith usage;
         baseline := Some Sys.argv.(i + 1);
         go (i + 2)
+      | "-o" | "--out" ->
+        if i + 1 >= Array.length Sys.argv then failwith usage;
+        out := Sys.argv.(i + 1);
+        go (i + 2)
+      | "-records" | "--records" ->
+        if i + 1 >= Array.length Sys.argv then failwith usage;
+        records := int_of_string Sys.argv.(i + 1);
+        go (i + 2)
+      | "-file" | "--file" ->
+        if i + 1 >= Array.length Sys.argv then failwith usage;
+        file := Some Sys.argv.(i + 1);
+        go (i + 2)
+      | "-rss-mb" | "--rss-mb" ->
+        if i + 1 >= Array.length Sys.argv then failwith usage;
+        rss_mb := Some (int_of_string Sys.argv.(i + 1));
+        go (i + 2)
       | s ->
         preset := s;
         go (i + 1)
   in
   go 1;
-  (!preset, Stdlib.max 1 !jobs, !trace_out, !baseline)
+  (!preset, Stdlib.max 1 !jobs, !trace_out, !baseline, !out, !records, !file,
+   !rss_mb)
 
 let () =
-  let preset, jobs, trace_out, baseline = parse_args () in
+  let preset, jobs, trace_out, baseline, out, records, file, rss_mb =
+    parse_args ()
+  in
   if trace_out <> None then trace_buffer := 65536;
+  (* standalone subcommands: no matrix, no BENCH_results.json rewrite *)
+  (match preset with
+  | "gentrace" ->
+    gentrace ~out ~records ~seed:1996;
+    exit 0
+  | "streamsmoke" ->
+    (match file with
+    | Some f -> streamsmoke ~file:f ~rss_mb
+    | None -> failwith usage);
+    exit 0
+  | _ -> ());
   let duration, do_figures, do_ablations, do_micro, do_perfsmoke =
     match preset with
     | "quick" -> (300., true, true, true, false)

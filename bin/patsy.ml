@@ -17,14 +17,21 @@ let setup_logs level =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level
 
-let load_trace ~trace ~format ~seed ~duration =
-  match format with
-  | "sprite-file" -> Capfs_trace.Sprite_format.load trace
-  | "coda-file" -> Capfs_trace.Coda_format.load trace
-  | "synth" ->
+(* [-stream] with a file format replays straight off the file: replay
+   memory stays O(active window) however big the trace is. Everything
+   else (synth profiles, array mode) materializes as before. *)
+let source_of_trace ~trace ~format ~seed ~duration ~stream =
+  match (format, stream) with
+  | "sprite-file", true -> Capfs_trace.Source.sprite_file trace
+  | "coda-file", true -> Capfs_trace.Source.coda_file trace
+  | "sprite-file", false ->
+    Capfs_trace.Source.of_array ~name:trace (Capfs_trace.Sprite_format.load trace)
+  | "coda-file", false ->
+    Capfs_trace.Source.of_array ~name:trace (Capfs_trace.Coda_format.load trace)
+  | "synth", _ ->
     let profile = Capfs_trace.Synth.profile_by_name trace in
-    Capfs_trace.Synth.generate ~seed ?duration profile
-  | f -> invalid_arg ("unknown trace format: " ^ f)
+    Capfs_trace.Synth.source ~seed ?duration profile
+  | f, _ -> invalid_arg ("unknown trace format: " ^ f)
 
 let policy_of_name = function
   | "write-delay" | "write-delay-30s" -> Experiment.Write_delay
@@ -112,7 +119,7 @@ let skew_of_spec spec =
     | "iosched" -> fun c -> { c with Experiment.iosched = v }
     | k -> invalid_arg ("--diff-skew: unknown key " ^ k))
 
-let run_differential ~trace ~records ~config ~image_mb ~speedup ~report_out
+let run_differential ~trace ~source ~config ~image_mb ~speedup ~report_out
     ~skew_spec =
   let dcfg =
     {
@@ -132,7 +139,7 @@ let run_differential ~trace ~records ~config ~image_mb ~speedup ~report_out
     }
   in
   let skew = Option.map skew_of_spec skew_spec in
-  match Diffval.run ?skew ~config:dcfg ~trace_name:trace records with
+  match Diffval.run ?skew ~config:dcfg ~trace_name:trace source with
   | Error e ->
     Format.eprintf "patsy --differential: harness failure (%a)@."
       Capfs_core.Errno.pp e;
@@ -152,8 +159,8 @@ let run_differential ~trace ~records ~config ~image_mb ~speedup ~report_out
 let run_main trace format policy duration seed parallel_jobs disks buses
     cache_mb nvram_mb iosched replacement cleaner sync_flush no_coalesce
     flush_window max_extent request_overhead fault_plan crash_at
-    differential image_mb diff_speedup diff_report diff_skew trace_out
-    trace_buffer show_cdf show_windows show_stats log_level =
+    differential image_mb diff_speedup diff_report diff_skew stream
+    trace_out trace_buffer show_cdf show_windows show_stats log_level =
   setup_logs log_level;
   let policies = policies_of_arg policy in
   let plan =
@@ -193,24 +200,29 @@ let run_main trace format policy duration seed parallel_jobs disks buses
       fault_plan = (if Plan.is_empty plan then None else Some plan);
     }
   in
-  (* load once here for the record count; the trace array is immutable,
-     so the fleet workers can share it *)
-  let records = load_trace ~trace ~format ~seed ~duration in
+  (* build once here; sources (and the arrays behind them) are
+     immutable, so the fleet workers can share it *)
+  let source = source_of_trace ~trace ~format ~seed ~duration ~stream in
   if differential then
-    run_differential ~trace ~records
+    run_differential ~trace ~source
       ~config:(config (List.hd policies))
       ~image_mb ~speedup:diff_speedup ~report_out:diff_report
       ~skew_spec:diff_skew
   else if plan.Plan.crash_at <> None then
-    run_crash ~config:(config (List.hd policies)) ~records plan
+    (* crash replay needs the records in hand (it replays prefixes) *)
+    run_crash ~config:(config (List.hd policies))
+      ~records:(Capfs_trace.Source.to_array source) plan
   else begin
-  Format.printf "# patsy: trace=%s policies=%s records=%d jobs=%d@." trace
+  Format.printf "# patsy: trace=%s policies=%s records=%s jobs=%d@." trace
     (String.concat ","
        (List.map Experiment.policy_name policies))
-    (Array.length records) parallel_jobs;
+    (match Capfs_trace.Source.as_array source with
+    | Some a -> string_of_int (Array.length a)
+    | None -> "streamed")
+    parallel_jobs;
   let results =
     Fleet.run_matrix ~jobs:parallel_jobs ~config
-      ~gen:(fun _ -> records)
+      ~gen:(fun _ -> source)
       (List.map (fun p -> (trace, p)) policies)
   in
   match Fleet.failures results with
@@ -389,6 +401,14 @@ let trace_out =
                  trace_event JSON to $(docv) (open with Perfetto or \
                  chrome://tracing). Enables event tracing for the run.")
 
+let stream =
+  Arg.(value & flag
+       & info [ "stream" ]
+           ~doc:"Stream the trace file instead of loading it: replay \
+                 pulls records through a cursor with O(active window) \
+                 memory (file formats only; synth profiles always \
+                 materialize).")
+
 let trace_buffer =
   Arg.(value & opt int 65536
        & info [ "trace-buffer" ] ~docv:"EVENTS"
@@ -423,7 +443,7 @@ let cmd =
       $ replacement $ cleaner $ sync_flush $ no_coalesce $ flush_window
       $ max_extent $ request_overhead $ fault_plan $ crash_at
       $ differential $ image_mb $ diff_speedup $ diff_report $ diff_skew
-      $ trace_out $ trace_buffer $ show_cdf $ show_windows $ show_stats
-      $ log_level)
+      $ stream $ trace_out $ trace_buffer $ show_cdf $ show_windows
+      $ show_stats $ log_level)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,7 +30,7 @@ let () =
       cache_mb = 8;
     }
   in
-  let o = Experiment.run config ~trace:loaded in
+  let o = Experiment.run config ~trace:(Capfs_trace.Source.of_array loaded) in
   Format.printf "@.measurements every 15 minutes of simulation time:@.";
   Format.printf "%a@." Report.print_windows o.Experiment.replay;
   Format.printf "@.";

@@ -10,13 +10,15 @@ module Fleet = Capfs_patsy.Fleet
 module Report = Capfs_patsy.Report
 module Synth = Capfs_trace.Synth
 
-let gen _name =
+let gen_records _name =
   Synth.generate ~seed:1996 ~duration:600.
     { Synth.sprite_1a with Synth.clients = 10; files = 400; dirs = 10 }
 
+let gen name = Capfs_trace.Source.of_array ~name (gen_records name)
+
 let () =
   Format.printf "trace: %d records over 600 simulated seconds@.@."
-    (Array.length (gen "sprite-1a"));
+    (Array.length (gen_records "sprite-1a"));
   let config policy =
     {
       (Experiment.default policy) with

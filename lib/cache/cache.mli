@@ -82,11 +82,23 @@ type t
     scan daemon if configured). [replacement] defaults to LRU.
     Statistics are registered under [name] (default "cache"):
     hits, misses, evictions, flushed_blocks, absorbed_writes, overwrites,
-    read_stall, write_stall, dirty_blocks, nvram_used. *)
+    read_stall, write_stall, dirty_blocks, nvram_used, blit_count,
+    copied_bytes.
+
+    With [arena] set, the cache owns its payloads zero-copy: real heap
+    payloads arriving at {!write} (or a miss {!read}'s fill) are copied
+    once into a slab cell — counted as one [blit_count] event recording
+    [copied_bytes] — and from then on the payload travels by reference
+    (flush snapshot, vectored write-back, scatter-gather request) until
+    the device boundary. The cell is released when the block leaves the
+    table and recycled once the last holder (e.g. an in-flight flush or
+    the LFS append buffer) drops its reference. Without [arena] every
+    payload is a heap value and behaviour is unchanged. *)
 val create :
   ?registry:Capfs_stats.Registry.t ->
   ?name:string ->
   ?replacement:Replacement.t ->
+  ?arena:Capfs_disk.Arena.t ->
   writeback:((int * int * Capfs_disk.Data.t) list -> unit) ->
   Capfs_sched.Sched.t ->
   config ->
@@ -94,10 +106,16 @@ val create :
 
 val config : t -> config
 
-(** [read t key ~fill] returns the block's data, calling [fill ()] (a
+(** [read t key ~fill] returns the block's data, calling [fill key] (a
     blocking read from the layout) on a miss. Concurrent misses on the
-    same key share one fill. *)
-val read : t -> Block.Key.t -> fill:(unit -> Capfs_disk.Data.t) -> Capfs_disk.Data.t
+    same key share one fill. [fill] receives the key so callers can
+    reuse one long-lived fill function instead of allocating a closure
+    capturing the index on every read. *)
+val read :
+  t ->
+  Block.Key.t ->
+  fill:(Block.Key.t -> Capfs_disk.Data.t) ->
+  Capfs_disk.Data.t
 
 (** [write t key data] buffers [data] as the block's new contents. May
     stall for NVRAM space or a clean frame; returns once buffered
@@ -105,7 +123,9 @@ val read : t -> Block.Key.t -> fill:(unit -> Capfs_disk.Data.t) -> Capfs_disk.Da
 val write : t -> Block.Key.t -> Capfs_disk.Data.t -> unit
 
 (** [peek t key] is the cached data without side effects (no policy
-    update, no fill). *)
+    update, no fill). The result is borrowed from the cache: with an
+    arena it must not be stashed across operations that could evict the
+    block (use {!Capfs_disk.Data.detach} to keep a copy). *)
 val peek : t -> Block.Key.t -> Capfs_disk.Data.t option
 
 (** Drop one block. Dirty contents are discarded (and counted absorbed). *)

@@ -55,8 +55,10 @@ let file_of_path t path = file_of_ino t (Namespace.resolve t.ns path)
    every public operation converts that into a typed result. Anything
    it does not recognise is a programming error and propagates. *)
 
-let trap f =
-  try Ok (f ()) with
+(* [trap f] wraps the cold operations; the replay-hot ones below use a
+   bare [try]/[with] handing the exception to [errno_or_reraise], so no
+   thunk closure is allocated per call. *)
+let errno_or_reraise : exn -> ('a, Errno.t) result = function
   | Namespace.Not_found_path _ -> Error Errno.ENOENT
   | Namespace.Already_exists _ -> Error Errno.EEXIST
   | Namespace.Not_a_directory _ -> Error Errno.ENOTDIR
@@ -64,6 +66,9 @@ let trap f =
   | Namespace.Not_empty _ -> Error Errno.ENOTEMPTY
   | Namespace.Symlink_loop _ -> Error Errno.ELOOP
   | Errno.Error e -> Error e
+  | e -> raise e
+
+let trap f = try Ok (f ()) with e -> errno_or_reraise e
 
 (* {2 Namespace operations} *)
 
@@ -290,25 +295,30 @@ let create_file t ?kind path = trap (fun () -> create_file_x t ?kind path)
 let symlink t ~target path = trap (fun () -> symlink_x t ~target path)
 let readlink t path = trap (fun () -> readlink_x t path)
 let rename t ~src ~dst = trap (fun () -> rename_x t ~src ~dst)
-let delete t path = trap (fun () -> delete_x t path)
+let delete t path = try Ok (delete_x t path) with e -> errno_or_reraise e
 let readdir t path = trap (fun () -> readdir_x t path)
-let stat t path = trap (fun () -> stat_x t path)
+let stat t path = try Ok (stat_x t path) with e -> errno_or_reraise e
 let ensure_dirs t path = trap (fun () -> ensure_dirs_x t path)
 
 let synthesize_file t ?kind path ~size =
   trap (fun () -> synthesize_file_x t ?kind path ~size)
 
-let open_ t ~client path mode = trap (fun () -> open_x t ~client path mode)
-let close_ t ~client path = trap (fun () -> close_x t ~client path)
+let open_ t ~client path mode =
+  try Ok (open_x t ~client path mode) with e -> errno_or_reraise e
+
+let close_ t ~client path =
+  try Ok (close_x t ~client path) with e -> errno_or_reraise e
 
 let read t ~client path ~offset ~bytes =
-  trap (fun () -> read_x t ~client path ~offset ~bytes)
+  try Ok (read_x t ~client path ~offset ~bytes) with e -> errno_or_reraise e
 
 let write t ~client path ~offset data =
-  trap (fun () -> write_x t ~client path ~offset data)
+  try Ok (write_x t ~client path ~offset data) with e -> errno_or_reraise e
 
-let truncate t path ~size = trap (fun () -> truncate_x t path ~size)
-let fsync t path = trap (fun () -> fsync_x t path)
+let truncate t path ~size =
+  try Ok (truncate_x t path ~size) with e -> errno_or_reraise e
+
+let fsync t path = try Ok (fsync_x t path) with e -> errno_or_reraise e
 let sync t = Fsys.sync t.fs
 let close_all t ~client = trap (fun () -> close_all_x t ~client)
 

@@ -9,6 +9,7 @@ module Errno = Capfs_core.Errno
 type t = {
   fsys : Fsys.t;
   inode : Inode.t;
+  fill : Key.t -> Data.t; (* one layout-read closure per file, not per read *)
   mutable opens : int;
   mutable mm_high_water : int; (* furthest block read, for prefetch *)
   mutable mm_running : bool;
@@ -17,7 +18,10 @@ type t = {
 let mm_window_blocks = 32
 
 let instantiate fsys inode =
-  { fsys; inode; opens = 0; mm_high_water = 0; mm_running = false }
+  let fill key =
+    Errno.ok_exn (fsys.Fsys.layout.Layout.read_block inode (Key.index key))
+  in
+  { fsys; inode; fill; opens = 0; mm_high_water = 0; mm_running = false }
 
 let inode t = t.inode
 let ino t = t.inode.Inode.ino
@@ -26,12 +30,8 @@ let size t = t.inode.Inode.size
 
 let block_bytes t = t.fsys.Fsys.config.Fsys.block_bytes
 
-let fill_from_layout t idx () =
-  Errno.ok_exn (t.fsys.Fsys.layout.Layout.read_block t.inode idx)
-
 let read_cached_block t idx =
-  Cache.read t.fsys.Fsys.cache (Key.v (ino t) idx)
-    ~fill:(fill_from_layout t idx)
+  Cache.read t.fsys.Fsys.cache (Key.v (ino t) idx) ~fill:t.fill
 
 (* {2 Multimedia prefetch fibre} *)
 
@@ -114,7 +114,7 @@ let read t ~offset ~bytes =
    simulated stays simulated (there are no bytes to preserve). *)
 let merge_block ~block_bytes ~old ~at src =
   match old with
-  | Data.Real _ | Data.Gather _ ->
+  | Data.Real _ | Data.Gather _ | Data.Slice _ ->
     let merged = Bytes.make block_bytes '\000' in
     Bytes.blit_string (Data.to_string old) 0 merged 0
       (Stdlib.min block_bytes (Data.length old));

@@ -16,8 +16,8 @@ type t = {
   config : config;
 }
 
-let create ?registry ?(config = default_config) ?replacement ~cache_config
-    ~layout sched =
+let create ?registry ?(config = default_config) ?replacement ?arena
+    ~cache_config ~layout sched =
   if layout.Layout.block_bytes <> config.block_bytes then
     invalid_arg "Fsys.create: layout and config disagree on block size";
   if cache_config.Cache.block_bytes <> config.block_bytes then
@@ -29,7 +29,7 @@ let create ?registry ?(config = default_config) ?replacement ~cache_config
     (* the cache's write-back daemons cannot thread a [result] back to a
        caller; layout failures surface as [Errno.Error] and take down the
        flushing fibre (hard faults escalate) *)
-    Cache.create ~registry ?replacement
+    Cache.create ~registry ?replacement ?arena
       ~writeback:(fun ups -> Errno.ok_exn (layout.Layout.write_blocks ups))
       sched cache_config
   in

@@ -29,11 +29,15 @@ type t = {
     allocates the cache with its write-back wired to
     [layout.write_blocks], and creates the root directory if the layout
     does not know it yet (fresh file system). [replacement] picks the
-    cache replacement policy (default LRU). *)
+    cache replacement policy (default LRU). [arena] enables the
+    zero-copy data plane: block payloads live in the slab arena and
+    travel by reference down to the device boundary (see
+    {!Capfs_cache.Cache.create}). *)
 val create :
   ?registry:Capfs_stats.Registry.t ->
   ?config:config ->
   ?replacement:Capfs_cache.Replacement.t ->
+  ?arena:Capfs_disk.Arena.t ->
   cache_config:Capfs_cache.Cache.config ->
   layout:Capfs_layout.Layout.t ->
   Capfs_sched.Sched.t ->

@@ -70,6 +70,12 @@ let default_tolerances =
     ("free_segments", Informational);
     ("merged", Informational);
     ("merge_span", Informational);
+    (* zero-copy accounting: where payload bytes are physically copied
+       is an engine property (the PFS half blits at the real device
+       boundary, the sim half charges the cache-adopt copy), never a
+       policy outcome *)
+    ("blit_count", Informational);
+    ("copied_bytes", Informational);
   ]
 
 (* a counter nobody declared: gate it, but leave slack — new stats
@@ -170,7 +176,7 @@ let sanitize base = { base with Experiment.fault_plan =
 
 (* {2 The Patsy half: virtual time, simulated disk} *)
 
-let run_patsy ~speedup base records =
+let run_patsy ~speedup base source =
   let sched =
     Sched.create ~seed:base.Experiment.seed ~clock:`Virtual
       ~injector:(Experiment.injector_of base) ()
@@ -182,8 +188,8 @@ let run_patsy ~speedup base records =
             so its volume can be remounted and fsck'd like PFS's image *)
          let farm = Experiment.build_farm ~backing:true sched base in
          let replay =
-           Replay.run ~speedup ~serial:true ~real_data:true farm.Experiment.f_client
-             records
+           Replay.run_source ~speedup ~serial:true ~real_data:true
+             farm.Experiment.f_client source
          in
          (* equivalent sync point: drain all outstanding writes before
             the snapshot, so flush counters are complete on both halves *)
@@ -248,7 +254,7 @@ let run_patsy ~speedup base records =
 
 (* {2 The PFS half: real clock, real backing file} *)
 
-let run_pfs ~speedup ~image_mb ~clock base records =
+let run_pfs ~speedup ~image_mb ~clock base source =
   let image = Filename.temp_file "capfs_diffval" ".img" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove image with Sys_error _ -> ())
@@ -295,7 +301,10 @@ let run_pfs ~speedup ~image_mb ~clock base records =
                  ~cache_config:(Experiment.cache_config_of base) ~layout sched
              in
              let client = Client.create fs in
-             let replay = Replay.run ~speedup ~serial:true ~real_data:true client records in
+             let replay =
+               Replay.run_source ~speedup ~serial:true ~real_data:true client
+                 source
+             in
              (match Client.sync client with
              | Ok () | (exception Errno.Error _) -> ()
              | Error _ -> ());
@@ -414,18 +423,18 @@ let verdicts_ok verdicts = List.for_all (fun v -> v.v_ok) verdicts
 
 (* {2 The harness} *)
 
-let run ?config ?skew ~trace_name records =
+let run ?config ?skew ~trace_name source =
   let cfg = match config with Some c -> c | None -> default () in
   let base = sanitize cfg.base in
   let pfs_base =
     match skew with None -> base | Some f -> sanitize (f base)
   in
-  if records = [||] then Error Errno.EINVAL
+  if Capfs_trace.Source.length source = 0 then Error Errno.EINVAL
   else
     match
-      ( run_patsy ~speedup:cfg.speedup base records,
+      ( run_patsy ~speedup:cfg.speedup base source,
         run_pfs ~speedup:cfg.speedup ~image_mb:cfg.image_mb
-          ~clock:cfg.pfs_clock pfs_base records )
+          ~clock:cfg.pfs_clock pfs_base source )
     with
     | Error e, _ | _, Error e -> Error e
     | Ok patsy, Ok pfs ->

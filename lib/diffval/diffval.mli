@@ -114,10 +114,12 @@ val diff_snapshots :
 
 val verdicts_ok : verdict list -> bool
 
-(** [run ~trace_name records] executes both halves and diffs them.
-    [skew], when given, rewrites the PFS half's configuration only —
-    deliberately desynchronizing the halves to prove the harness
-    detects it (the resulting report must have [r_ok = false]).
+(** [run ~trace_name source] executes both halves and diffs them. Both
+    halves replay the same {!Capfs_trace.Source.t} serially (each makes
+    its own passes over it; cursor-backed sources stream). [skew], when
+    given, rewrites the PFS half's configuration only — deliberately
+    desynchronizing the halves to prove the harness detects it (the
+    resulting report must have [r_ok = false]).
 
     [Error e] is a harness failure (no outcome produced, unusable
     backing file); an out-of-tolerance comparison is {e not} an error —
@@ -127,7 +129,7 @@ val run :
   ?config:config ->
   ?skew:(Capfs_patsy.Experiment.config -> Capfs_patsy.Experiment.config) ->
   trace_name:string ->
-  Capfs_trace.Record.t array ->
+  Capfs_trace.Source.t ->
   (report, Capfs_core.Errno.t) result
 
 (** Machine-readable report: one JSON object with both sides' replay

@@ -1,0 +1,89 @@
+(* A slab arena for block payloads. One off-heap bigarray slab is cut
+   into fixed-size cells; [alloc] hands out refcounted [Data.Slice]
+   views and a cell returns to the free list when its count reaches
+   zero (for cache-owned blocks: on eviction). The slab never moves and
+   the GC never scans it, so payload bytes cost no minor-heap traffic
+   and no copying until a real device boundary.
+
+   The arena never blocks: with the free list empty (or an oversized
+   request) [alloc] falls back to a plain GC-heap [Data.real] buffer,
+   on which retain/release are no-ops. *)
+
+type t = {
+  buf : Data.buf;
+  cell_bytes : int;
+  ncells : int;
+  cells : Data.cell array;
+  mutable free : int list;
+  poison : bool;
+  mutable live : int;       (* cells currently allocated *)
+  mutable fallbacks : int;  (* allocs served from the GC heap *)
+  mutable recycled : int;   (* cells returned and reusable *)
+}
+
+let poison_byte = '\xde'
+
+let create ?(poison = false) ~cell_bytes ~cells:ncells () =
+  if cell_bytes < 1 then invalid_arg "Arena.create: cell_bytes < 1";
+  if ncells < 1 then invalid_arg "Arena.create: cells < 1";
+  let buf =
+    Bigarray.Array1.create Bigarray.char Bigarray.c_layout
+      (cell_bytes * ncells)
+  in
+  Bigarray.Array1.fill buf '\000';
+  (* cells are built before [t] exists; the free hook reaches the arena
+     through a forward reference patched right below *)
+  let free_hook = ref (fun (_ : Data.cell) -> ()) in
+  let cells =
+    Array.init ncells (fun i ->
+        { Data.c_slot = i; c_rc = 0; c_free = (fun c -> !free_hook c) })
+  in
+  let free = List.init ncells (fun i -> i) in
+  let t =
+    {
+      buf; cell_bytes; ncells; cells; free; poison;
+      live = 0; fallbacks = 0; recycled = 0;
+    }
+  in
+  (free_hook :=
+     fun c ->
+       let slot = c.Data.c_slot in
+       if t.poison then
+         Bigarray.Array1.(fill (sub t.buf (slot * t.cell_bytes) t.cell_bytes))
+           poison_byte;
+       t.free <- slot :: t.free;
+       t.live <- t.live - 1;
+       t.recycled <- t.recycled + 1);
+  t
+
+let cell_bytes t = t.cell_bytes
+let capacity t = t.ncells
+let live t = t.live
+let fallbacks t = t.fallbacks
+let recycled t = t.recycled
+
+let alloc ?len t =
+  let len = match len with Some l -> l | None -> t.cell_bytes in
+  if len < 0 then invalid_arg "Arena.alloc: negative length";
+  match t.free with
+  | slot :: rest when len <= t.cell_bytes ->
+    t.free <- rest;
+    t.live <- t.live + 1;
+    let c = t.cells.(slot) in
+    c.Data.c_rc <- 1;
+    Data.Slice
+      {
+        Data.s_buf = t.buf;
+        s_off = slot * t.cell_bytes;
+        s_len = len;
+        s_cell = Some c;
+      }
+  | _ ->
+    t.fallbacks <- t.fallbacks + 1;
+    Data.real len
+
+let copy_in t data =
+  let len = Data.length data in
+  let out = alloc ~len t in
+  Data.blit ~src:data ~src_pos:0 ~dst:out ~dst_pos:0 ~len;
+  out

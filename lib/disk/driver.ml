@@ -53,7 +53,9 @@ let mem_transport ?(latency = 0.) ~sector_bytes ~total_sectors sched () =
           match Data.sub d ~pos:(i * sector_bytes) ~len:sector_bytes with
           | Data.Real b -> Hashtbl.replace store (req.Iorequest.lba + i) b
           | Data.Sim _ -> Hashtbl.remove store (req.Iorequest.lba + i)
-          | Data.Gather _ as g ->
+          | (Data.Gather _ | Data.Slice _) as g ->
+            (* device boundary: the store outlives the request, so a
+               slab slice is copied off its (recyclable) arena cell *)
             Hashtbl.replace store
               (req.Iorequest.lba + i)
               (Bytes.of_string (Data.to_string g))
@@ -94,6 +96,8 @@ type t = {
   c_errors : Counter.t;
   c_merged : Counter.t;
   c_merge_span : Counter.t;
+  c_blit : Counter.t;
+  c_copied : Counter.t;
 }
 
 let emit_fault t ~write ~lba ~sectors fault =
@@ -144,7 +148,11 @@ let merge_requests t (req : Iorequest.t) companions =
                      compare a.Iorequest.lba b.Iorequest.lba)
                    all)))
       else if List.exists (fun c -> Data.is_real (payload_of c)) all then begin
+        (* overlapping spans: the only copy the merged write path ever
+           makes — flatten, later submissions winning *)
         let out = Data.real (sectors * bps) in
+        Counter.incr t.c_blit;
+        Counter.record t.c_copied (float_of_int (sectors * bps));
         List.iter
           (fun (c : Iorequest.t) ->
             let d = payload_of c in
@@ -256,12 +264,17 @@ let create ?registry ?(name = "driver") ?policy ?(coalesce = false)
         c_retries,
         c_errors,
         c_merged,
-        c_merge_span ) =
+        c_merge_span,
+        c_blit,
+        c_copied ) =
     match registry with
     | Some r ->
       List.iter
         (fun s -> Stats.Registry.register r (Stats.Stat.scalar (name ^ "." ^ s)))
-        [ "wait"; "response"; "retries"; "io_errors"; "merged"; "merge_span" ];
+        [
+          "wait"; "response"; "retries"; "io_errors"; "merged"; "merge_span";
+          "blit_count"; "copied_bytes";
+        ];
       (* the paper's "histograms of disk queue sizes" plug-in *)
       Stats.Registry.register r
         (Stats.Stat.with_histogram (name ^ ".queue_len")
@@ -273,8 +286,10 @@ let create ?registry ?(name = "driver") ?policy ?(coalesce = false)
         c "retries",
         c "io_errors",
         c "merged",
-        c "merge_span" )
-    | None -> Counter.(null, null, null, null, null, null, null)
+        c "merge_span",
+        c "blit_count",
+        c "copied_bytes" )
+    | None -> Counter.(null, null, null, null, null, null, null, null, null)
   in
   let injector = Sched.injector sched in
   if Injector.enabled injector then
@@ -306,6 +321,8 @@ let create ?registry ?(name = "driver") ?policy ?(coalesce = false)
       c_errors;
       c_merged;
       c_merge_span;
+      c_blit;
+      c_copied;
     }
   in
   ignore (Sched.spawn sched ~name:(name ^ ".service") ~daemon:true (service_loop t));

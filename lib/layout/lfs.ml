@@ -239,7 +239,9 @@ let rec seal_segment t =
     let entries = List.rev t.cur_entries in
     let blocks = List.rev t.cur_data in
     let summary = pad_to_blocks t (serialize_summary t entries) in
-    let payload = Data.concat (summary :: blocks) in
+    (* a scatter-gather payload: the buffered blocks travel to the
+       driver by reference — no flattening copy at seal time *)
+    let payload = Data.gather (summary :: blocks) in
     t.segs.(seg).written_seq <- t.seq;
     t.seq <- t.seq + 1;
     t.sealed_segments <- t.sealed_segments + 1;
@@ -269,9 +271,12 @@ let rec seal_segment t =
           t.inflight_seals <- t.inflight_seals - 1;
           Sched.broadcast t.sched t.seal_done)
         (fun () -> write_block_raw t ~addr:(seg_base t seg) payload);
-      (* buffered blocks are now on disk *)
+      (* buffered blocks are now on disk: drop them from the read path
+         and release the append buffer's payload references *)
       List.iteri
-        (fun i _ -> Hashtbl.remove t.pending (seg_base t seg + 1 + i))
+        (fun i d ->
+          Hashtbl.remove t.pending (seg_base t seg + 1 + i);
+          Data.release d)
         blocks;
       maybe_clean t
     end
@@ -284,6 +289,10 @@ and append_block t entry data =
     seal_segment t
   done;
   let addr = seg_base t t.cur_seg + t.cur_pos in
+  (* the append buffer holds this payload until its seal is durable:
+     co-own it so a slab cell cannot be recycled out from under the
+     open segment (released in [seal_segment]/[checkpoint]) *)
+  Data.retain data;
   t.cur_entries <- entry :: t.cur_entries;
   t.cur_data <- data :: t.cur_data;
   Hashtbl.replace t.pending addr data;
@@ -500,7 +509,9 @@ and checkpoint t =
     (fun (seg, blocks, payload) ->
       write_block_raw t ~addr:(seg_base t seg) payload;
       List.iteri
-        (fun i _ -> Hashtbl.remove t.pending (seg_base t seg + 1 + i))
+        (fun i d ->
+          Hashtbl.remove t.pending (seg_base t seg + 1 + i);
+          Data.release d)
         blocks)
     seals;
   while t.inflight_seals > 0 do

@@ -210,7 +210,7 @@ let run cfg ~trace =
   ignore
     (Sched.spawn sched ~name:"experiment" (fun () ->
          let client, registry = build_instance sched cfg in
-         let replay = Replay.run client trace in
+         let replay = Replay.run_source client trace in
          (* drain outstanding writes so flush counters are complete; a
             fault plan can legitimately fail this final sync — the
             replay's own error counters already tell that story *)

@@ -85,9 +85,12 @@ val snapshot : outcome -> Capfs_stats.Snapshot.t
 (** [run config ~trace] executes one experiment in its own virtual-time
     scheduler and returns the measurements. Every run builds a private
     scheduler, disk farm, cache and statistics registry, so concurrent
-    runs in different domains share no mutable state; the trace array
-    is read, never written. *)
-val run : config -> trace:Capfs_trace.Record.t array -> outcome
+    runs in different domains share no mutable state; the trace records
+    are read, never written. Array-backed sources replay from the array
+    (the historical path, bit for bit); cursor-backed sources stream,
+    keeping replay memory O(active window) however long the trace is
+    (see {!Replay.run_source}). *)
+val run : config -> trace:Capfs_trace.Source.t -> outcome
 
 (** [build_instance sched config] assembles the simulator stack (for
     callers that want to drive it themselves, e.g. the bin/patsy CLI and

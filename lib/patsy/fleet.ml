@@ -47,7 +47,7 @@ let run_jobs ?(jobs = default_jobs ()) ~gen jl =
     (* per-worker trace memo: the same trace name may back several
        policies; regenerating it in every worker keeps the generator's
        PRNG private to the domain that uses it *)
-    let traces : (string, Capfs_trace.Record.t array) Hashtbl.t =
+    let traces : (string, Capfs_trace.Source.t) Hashtbl.t =
       Hashtbl.create 8
     in
     let trace_of name =
@@ -55,6 +55,10 @@ let run_jobs ?(jobs = default_jobs ()) ~gen jl =
       | Some t -> t
       | None ->
         let t = gen name in
+        (* force lazily generated arrays now, so generation is billed
+           here (outside the GC window) and not to the first experiment;
+           cursor-backed sources stay unmaterialized *)
+        ignore (Capfs_trace.Source.as_array t : Capfs_trace.Record.t array option);
         Hashtbl.replace traces name t;
         t
     in

@@ -12,9 +12,14 @@
     Domain isolation rules:
     - traces are generated {e inside} the worker domain that needs them
       (the [gen] callback), memoized per worker by trace name — the
-      generator's PRNG state is never shared;
-    - trace record arrays are immutable, so a caller-supplied [gen] may
-      return a shared pre-loaded array;
+      generator's PRNG state is never shared; lazily generated sources
+      are forced at memoization time, so the cost is never billed to an
+      experiment's GC counters;
+    - trace record arrays are immutable by convention, so a
+      caller-supplied [gen] may return a source over a shared
+      pre-loaded array; cursor-backed sources (e.g.
+      {!Capfs_trace.Source.sprite_file}) stream each worker's replay
+      with O(active window) memory;
     - a job that fails is captured as an [Error] {!failure} in its
       result slot; the worker moves on to the next job and the pool
       never wedges. Typed file-system errors ({!Capfs_core.Errno.Error})
@@ -62,7 +67,7 @@ val matrix_label : trace:string -> Experiment.policy -> string
     per worker. Results are returned in job order. *)
 val run_jobs :
   ?jobs:int ->
-  gen:(string -> Capfs_trace.Record.t array) ->
+  gen:(string -> Capfs_trace.Source.t) ->
   job list ->
   job_result list
 
@@ -72,7 +77,7 @@ val run_jobs :
 val run_matrix :
   ?jobs:int ->
   ?config:(Experiment.policy -> Experiment.config) ->
-  gen:(string -> Capfs_trace.Record.t array) ->
+  gen:(string -> Capfs_trace.Source.t) ->
   (string * Experiment.policy) list ->
   job_result list
 

@@ -81,3 +81,24 @@ val run :
   Capfs.Client.t ->
   Capfs_trace.Record.t array ->
   result
+
+(** [run_source client source] is {!run} over a {!Capfs_trace.Source.t}.
+    Array-backed sources take the exact array replay path (bit-for-bit
+    identical results). Cursor-backed sources {e stream}: replay memory
+    is O(active window) — the longest open-session span (untimed I/O
+    cannot be timed until its close arrives) plus the inter-client
+    dispatch skew — instead of O(trace length). Streamed results are
+    equal to array results on the same records: the time-synthesis
+    cursor computes the same synthesized times in the same order, and
+    the per-client fibre spawn order is replicated exactly. The source
+    is traversed twice (a counting pass, then the replay pass). *)
+val run_source :
+  ?speedup:float ->
+  ?window:float ->
+  ?synthesize_missing:bool ->
+  ?real_data:bool ->
+  ?serial:bool ->
+  ?observe:(Capfs_trace.Record.t -> unit) ->
+  Capfs.Client.t ->
+  Capfs_trace.Source.t ->
+  result

@@ -29,16 +29,43 @@ let transport ?(sector_bytes = 512) sched ~path ~size_bytes () =
     fill 0;
     buf
   in
-  let pwrite ~off b =
-    ignore (Unix.lseek fd off Unix.SEEK_SET);
-    let len = Bytes.length b in
-    let rec drain pos =
-      if pos < len then begin
-        let n = Unix.write fd b pos (len - pos) in
-        drain (pos + n)
+  (* pwritev-style vectored write: one seek, then each segment of the
+     payload written in sequence — a merged scatter-gather request never
+     flattens into one contiguous heap buffer. Slab slices and simulated
+     segments stage through a reused scratch buffer (the only copy on
+     the whole write path, at the real device boundary). *)
+  let scratch = ref Bytes.empty in
+  let scratch_for len =
+    if Bytes.length !scratch < len then scratch := Bytes.create len;
+    !scratch
+  in
+  let write_seq b pos len =
+    let rec drain pos remaining =
+      if remaining > 0 then begin
+        let n = Unix.write fd b pos remaining in
+        drain (pos + n) (remaining - n)
       end
     in
-    drain 0
+    drain pos len
+  in
+  let rec write_segment (d : Data.t) =
+    match d with
+    | Data.Real b -> write_seq b 0 (Bytes.length b)
+    | Data.Slice _ ->
+      let len = Data.length d in
+      let buf = scratch_for len in
+      Data.blit ~src:d ~src_pos:0 ~dst:(Data.Real buf) ~dst_pos:0 ~len;
+      write_seq buf 0 len
+    | Data.Sim n ->
+      (* simulated payloads have no bytes; persist zeroes *)
+      let buf = scratch_for n in
+      Bytes.fill buf 0 n '\000';
+      write_seq buf 0 n
+    | Data.Gather g -> List.iter (fun (_, s) -> write_segment s) g.Data.g_segs
+  in
+  let pwritev ~off d =
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    write_segment d
   in
   let execute ~queue_empty:_ (req : Iorequest.t) =
     if Iorequest.last_lba req > total_sectors then
@@ -50,11 +77,7 @@ let transport ?(sector_bytes = 512) sched ~path ~size_bytes () =
     | Iorequest.Read -> req.Iorequest.data <- Some (Data.Real (pread ~off ~len))
     | Iorequest.Write -> (
       match req.Iorequest.data with
-      | Some (Data.Real b) -> pwrite ~off b
-      | Some (Data.Gather _ as g) -> pwrite ~off (Bytes.of_string (Data.to_string g))
-      | Some (Data.Sim _) ->
-        (* simulated payloads have no bytes; persist zeroes *)
-        pwrite ~off (Bytes.make len '\000')
+      | Some d -> pwritev ~off d
       | None -> ()));
     Iorequest.complete sched req
   in

@@ -90,7 +90,20 @@ let start ?(clock = `Real) ?(config = default_config) ?registry ~image
              max_extent_blocks;
            }
          in
-         let fs = Capfs.Fsys.create ?registry ~cache_config ~layout sched in
+         (* PFS payloads are always real bytes: give the cache a slab
+            arena sized for every frame plus the flush pipeline's
+            in-flight extents (overflow falls back to heap buffers) *)
+         let arena =
+           Capfs_disk.Arena.create ~cell_bytes:block_bytes
+             ~cells:
+               (cache_config.Cache.capacity_blocks
+               + cache_config.Cache.nvram_blocks
+               + (cache_config.Cache.flush_window * max_extent_blocks))
+             ()
+         in
+         let fs =
+           Capfs.Fsys.create ?registry ~arena ~cache_config ~layout sched
+         in
          let client = Capfs.Client.create fs in
          let nfs = Nfs.serve ~workers:config.workers client in
          assembled := Some (client, nfs)));

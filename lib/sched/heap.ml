@@ -44,6 +44,10 @@ let push t x =
 
 let peek t = if t.len = 0 then None else Some t.data.(0)
 
+exception Empty
+
+let top_exn t = if t.len = 0 then raise Empty else t.data.(0)
+
 let delete_at t i =
   t.len <- t.len - 1;
   if i <> t.len then begin

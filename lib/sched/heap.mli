@@ -15,6 +15,12 @@ val push : 'a t -> 'a -> unit
 (** Smallest element without removing it. *)
 val peek : 'a t -> 'a option
 
+exception Empty
+
+(** Like {!peek} but raising {!Empty} instead of allocating an option —
+    for callers probing the heap on a per-operation hot path. *)
+val top_exn : 'a t -> 'a
+
 (** Remove and return the smallest element. *)
 val pop : 'a t -> 'a option
 

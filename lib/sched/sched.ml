@@ -25,13 +25,43 @@ type thread = {
   daemon : bool;
 }
 
-type runnable = { thread : thread; thunk : unit -> unit }
-type timer = { at : float; seq : int; action : unit -> unit }
+(* Runnables and timers carry suspended fibres directly: the hot
+   suspension paths (sleep, await, yield) park the effect continuation
+   itself instead of wrapping it in a chain of closures. The [Run]/
+   [A_fun]/[W_fun] arms remain for spawn and the general [Suspend]
+   effect. Dispatch of every variant follows the exact sequence the
+   closure-based code had (Block, then Wake at resume time, then a
+   run-queue push), so scheduling order — and with it every PRNG-driven
+   simulation outcome — is bit-for-bit unchanged. *)
+type runnable =
+  | Run of { thread : thread; thunk : unit -> unit }
+  | Cont of {
+      thread : thread;
+      k : (unit, unit) Effect.Deep.continuation;
+    }
+  | Cont_bool of {
+      thread : thread;
+      k : (bool, unit) Effect.Deep.continuation;
+      v : bool;
+    }
+
+let runnable_thread = function
+  | Run { thread; _ } | Cont { thread; _ } | Cont_bool { thread; _ } -> thread
+
+type timer_action =
+  | A_fun of (unit -> unit)
+  | A_cont of { thread : thread; k : (unit, unit) Effect.Deep.continuation }
+
+type timer = { at : float; seq : int; action : timer_action }
+
+type waiter_wake =
+  | W_fun of (bool -> unit) (* true = signalled, false = timed out *)
+  | W_cont of (bool, unit) Effect.Deep.continuation
 
 type waiter = {
   wthread : thread;
   mutable active : bool;
-  wake : bool -> unit; (* true = signalled, false = timed out *)
+  wake : waiter_wake;
 }
 
 type event = {
@@ -48,7 +78,10 @@ type t = {
   rng : Capfs_stats.Prng.t;
   tracer : Tracer.t;
   injector : Capfs_fault.Injector.t;
-  mutable vnow : float;
+  (* a [float ref] rather than a mutable field: this record is mixed,
+     so a float field would box on every store — and the virtual clock
+     advances on every timer fire and every solo fast-path sleep *)
+  vnow : float ref;
   mutable epoch : float; (* wall-clock at run start, `Real only *)
   (* circular buffer: logical slot i lives at (runq_head + i) mod cap *)
   mutable runq : runnable array;
@@ -62,6 +95,7 @@ type t = {
   mutable current : thread option;
   mutable running : bool;
   mutable stopping : bool;
+  mutable horizon : float; (* active [run ~until] bound, else infinity *)
   mutable failure : exn option;
 }
 
@@ -77,7 +111,7 @@ let create ?(seed = 42) ?(policy = `Random) ?(tracer = Tracer.null)
     rng = Capfs_stats.Prng.create ~seed;
     tracer;
     injector;
-    vnow = 0.;
+    vnow = ref 0.;
     epoch = 0.;
     runq = [||];
     runq_head = 0;
@@ -90,6 +124,7 @@ let create ?(seed = 42) ?(policy = `Random) ?(tracer = Tracer.null)
     current = None;
     running = false;
     stopping = false;
+    horizon = infinity;
     failure = None;
   }
 
@@ -99,8 +134,8 @@ let injector t = t.injector
 
 let now t =
   match t.clk with
-  | `Virtual -> t.vnow
-  | `Real -> if t.running then Unix.gettimeofday () -. t.epoch else t.vnow
+  | `Virtual -> !(t.vnow)
+  | `Real -> if t.running then Unix.gettimeofday () -. t.epoch else !(t.vnow)
 
 let push_run t r =
   let cap = Array.length t.runq in
@@ -143,13 +178,25 @@ let pop_run t =
 
 let add_timer t ~at action =
   t.timer_seq <- t.timer_seq + 1;
-  Heap.push t.timers { at; seq = t.timer_seq; action }
+  Heap.push t.timers { at; seq = t.timer_seq; action = A_fun action }
 
-(* The single suspension effect: the performer hands the handler a
+let add_timer_cont t ~at thread k =
+  t.timer_seq <- t.timer_seq + 1;
+  Heap.push t.timers { at; seq = t.timer_seq; action = A_cont { thread; k } }
+
+(* The general suspension effect: the performer hands the handler a
    registration function that receives the resume callback. Resuming
    pushes the continuation back on the run queue; it never runs inline.
-   The label names what the fibre blocks on, for the event tracer. *)
-type _ Effect.t += Suspend : string * (('a -> unit) -> unit) -> 'a Effect.t
+   The label names what the fibre blocks on, for the event tracer.
+
+   The three specialized effects cover the hot suspensions — they carry
+   their operands directly so neither the performer nor the handler
+   allocates a registration/resume closure pair. *)
+type _ Effect.t +=
+  | Suspend : string * (('a -> unit) -> unit) -> 'a Effect.t
+  | Sleep_until : float -> unit Effect.t
+  | Yield : unit Effect.t
+  | Wait : event -> bool Effect.t
 
 let suspend ~on register = Effect.perform (Suspend (on, register))
 
@@ -165,6 +212,16 @@ let finish t thread result =
         m "thread %S died: %s" thread.name (Printexc.to_string e));
     if t.failure = None then t.failure <- Some e
 
+let trace_block t thread on =
+  if Tracer.enabled t.tracer then
+    Tracer.emit t.tracer ~time:(now t)
+      (Ev.Block { tid = thread.tid; thread = thread.name; on })
+
+let trace_wake t thread =
+  if Tracer.enabled t.tracer then
+    Tracer.emit t.tracer ~time:(now t)
+      (Ev.Wake { tid = thread.tid; thread = thread.name })
+
 let start t thread f =
   let open Effect.Deep in
   match_with f ()
@@ -177,14 +234,28 @@ let start t thread f =
           | Suspend (on, register) ->
             Some
               (fun (k : (a, _) continuation) ->
-                if Tracer.enabled t.tracer then
-                  Tracer.emit t.tracer ~time:(now t)
-                    (Ev.Block { tid = thread.tid; thread = thread.name; on });
+                trace_block t thread on;
                 register (fun v ->
-                    if Tracer.enabled t.tracer then
-                      Tracer.emit t.tracer ~time:(now t)
-                        (Ev.Wake { tid = thread.tid; thread = thread.name });
-                    push_run t { thread; thunk = (fun () -> continue k v) }))
+                    trace_wake t thread;
+                    push_run t (Run { thread; thunk = (fun () -> continue k v) })))
+          | Sleep_until at ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                trace_block t thread "timer";
+                add_timer_cont t ~at thread k)
+          | Yield ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                trace_block t thread "yield";
+                trace_wake t thread;
+                push_run t (Cont { thread; k }))
+          | Wait ev ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                trace_block t thread ev.ename;
+                Queue.push
+                  { wthread = thread; active = true; wake = W_cont k }
+                  ev.queue)
           | _ -> None);
     }
 
@@ -194,19 +265,72 @@ let spawn ?name ?(daemon = false) t f =
   let name = match name with Some n -> n | None -> Printf.sprintf "t%d" tid in
   let thread = { tid; name; daemon } in
   Hashtbl.replace t.live tid thread;
-  push_run t { thread; thunk = (fun () -> start t thread f) };
+  push_run t (Run { thread; thunk = (fun () -> start t thread f) });
   tid
+
+(* {2 The solo fast path}
+
+   When a fibre suspends while the run queue is empty, the scheduler's
+   next steps are forced: [pop_run] finds nothing, the idle loop fires
+   the fibre's own timer (or, for a yield, pops it right back), and the
+   fibre resumes — after one PRNG draw over a one-element queue. Both
+   yield and a short sleep can therefore complete {e in place}: advance
+   the virtual clock, burn the draw [pop_run] would have made, and
+   return, skipping the effect suspension entirely (a perform + timer +
+   continuation costs ~50 words of minor heap, and replay suspends
+   several times per replayed operation — pacing, cache copy delays,
+   disk positioning).
+
+   Bit-for-bit equivalence is the contract. The fast path is taken only
+   when every observable the slow path touches evolves identically:
+   - virtual clock only (a real clock must actually sleep);
+   - the run queue is empty (nothing else could have been dispatched);
+   - no timer due at or before the wake-up time (an earlier — or
+     equal-time, by seq order — timer could ready other fibres first);
+   - inside [run ~until], the wake-up lies within the horizon (the
+     slow path would park the fibre and stop the clock at the bound);
+   - the tracer is off (the slow path emits Block/Wake/Dispatch events).
+   The PRNG draw is replicated exactly: [`Random] dispatch consumes one
+   [Prng.int] per pop even for a one-element queue, so skipping the
+   queue must still burn that draw or every later random decision
+   shifts. Timer seq numbers need no compensation — they only break
+   ties among timers that actually coexist in the heap, and their
+   relative order is unchanged. *)
+
+let burn_solo_pop_draw t =
+  match t.policy with
+  | `Random -> ignore (Capfs_stats.Prng.int t.rng 1 : int)
+  | `Fifo -> ()
+
+let solo_wake_at t ~at =
+  t.clk = `Virtual && t.running && t.runq_len = 0
+  && (not (Tracer.enabled t.tracer))
+  && at <= t.horizon
+  && (match Heap.top_exn t.timers with
+     | tm -> tm.at > at
+     | exception Heap.Empty -> true)
 
 let yield t =
   check_alive t;
-  suspend ~on:"yield" (fun resume -> resume ())
+  if
+    t.clk = `Virtual && t.running && t.runq_len = 0
+    && not (Tracer.enabled t.tracer)
+  then
+    (* the slow path pushes this fibre back and pops it again without
+       firing timers or advancing the clock *)
+    burn_solo_pop_draw t
+  else Effect.perform Yield
 
 let sleep t dt =
   check_alive t;
   if dt <= 0. then yield t
   else begin
     let at = now t +. dt in
-    suspend ~on:"timer" (fun resume -> add_timer t ~at (fun () -> resume ()))
+    if solo_wake_at t ~at then begin
+      if at > !(t.vnow) then t.vnow := at;
+      burn_solo_pop_draw t
+    end
+    else Effect.perform (Sleep_until at)
   end
 
 let new_event ?(name = "event") _t =
@@ -220,14 +344,7 @@ let current_thread t =
 let await t ev =
   check_alive t;
   if ev.pending > 0 then ev.pending <- ev.pending - 1
-  else begin
-    let th = current_thread t in
-    let signalled =
-      suspend ~on:ev.ename (fun resume ->
-          Queue.push { wthread = th; active = true; wake = resume } ev.queue)
-    in
-    ignore (signalled : bool)
-  end
+  else ignore (Effect.perform (Wait ev) : bool)
 
 let await_timeout t ev dt =
   check_alive t;
@@ -239,28 +356,37 @@ let await_timeout t ev dt =
     let th = current_thread t in
     let at = now t +. dt in
     suspend ~on:ev.ename (fun resume ->
-        let w = { wthread = th; active = true; wake = resume } in
+        let w = { wthread = th; active = true; wake = W_fun resume } in
         Queue.push w ev.queue;
         add_timer t ~at (fun () ->
             if w.active then begin
               w.active <- false;
-              w.wake false
+              match w.wake with
+              | W_fun f -> f false
+              | W_cont _ -> assert false (* timeouts only pair with W_fun *)
             end))
   end
 
-let rec wake_one ev =
+let wake_waiter t (w : waiter) v =
+  match w.wake with
+  | W_fun f -> f v
+  | W_cont k ->
+    trace_wake t w.wthread;
+    push_run t (Cont_bool { thread = w.wthread; k; v })
+
+let rec wake_one t ev =
   match Queue.take_opt ev.queue with
   | None -> false
   | Some w ->
     if w.active then begin
       w.active <- false;
-      w.wake true;
+      wake_waiter t w true;
       true
     end
-    else wake_one ev
+    else wake_one t ev
 
-let signal _t ev = if not (wake_one ev) then ev.pending <- ev.pending + 1
-let broadcast _t ev = while wake_one ev do () done
+let signal t ev = if not (wake_one t ev) then ev.pending <- ev.pending + 1
+let broadcast t ev = while wake_one t ev do () done
 
 let waiters _t ev =
   Queue.fold (fun n w -> if w.active then n + 1 else n) 0 ev.queue
@@ -296,8 +422,12 @@ let fire_due t horizon =
     match Heap.peek t.timers with
     | Some timer when timer.at <= horizon ->
       ignore (Heap.pop t.timers);
-      if t.clk = `Virtual && timer.at > t.vnow then t.vnow <- timer.at;
-      timer.action ();
+      if t.clk = `Virtual && timer.at > !(t.vnow) then t.vnow := timer.at;
+      (match timer.action with
+      | A_fun f -> f ()
+      | A_cont { thread; k } ->
+        trace_wake t thread;
+        push_run t (Cont { thread; k }));
       go ()
     | Some _ | None -> ()
   in
@@ -328,7 +458,8 @@ let run ?until t =
   t.running <- true;
   t.stopping <- false;
   t.failure <- None;
-  t.epoch <- Unix.gettimeofday () -. t.vnow;
+  t.epoch <- Unix.gettimeofday () -. !(t.vnow);
+  t.horizon <- (match until with Some u -> u | None -> infinity);
   let horizon = until in
   let past_horizon at =
     match horizon with Some u -> at > u | None -> false
@@ -337,12 +468,16 @@ let run ?until t =
     if t.stopping then ()
     else
       match pop_run t with
-      | Some { thread; thunk } ->
+      | Some r ->
+        let thread = runnable_thread r in
         if Tracer.enabled t.tracer then
           Tracer.emit t.tracer ~time:(now t)
             (Ev.Dispatch { tid = thread.tid; thread = thread.name });
         t.current <- Some thread;
-        thunk ();
+        (match r with
+        | Run { thunk; _ } -> thunk ()
+        | Cont { k; _ } -> Effect.Deep.continue k ()
+        | Cont_bool { k; v; _ } -> Effect.Deep.continue k v);
         t.current <- None;
         loop ()
       | None -> idle ()
@@ -364,7 +499,7 @@ let run ?until t =
         (* Next event lies beyond the horizon: stop the simulation there. *)
         ignore (timer : timer);
         (match horizon with
-        | Some u when t.clk = `Virtual && u > t.vnow -> t.vnow <- u
+        | Some u when t.clk = `Virtual && u > !(t.vnow) -> t.vnow := u
         | Some _ | None -> ())
       | None ->
         if t.fd_waiters <> [] && t.clk = `Real then begin
@@ -383,7 +518,8 @@ let run ?until t =
   let cleanup () =
     t.running <- false;
     t.current <- None;
-    if t.clk = `Real then t.vnow <- Unix.gettimeofday () -. t.epoch
+    t.horizon <- infinity;
+    if t.clk = `Real then t.vnow := Unix.gettimeofday () -. t.epoch
   in
   (try loop ()
    with e ->

@@ -3,7 +3,10 @@ type t = {
   mutable samples : float array;
   mutable len : int;
   mutable seen : int;
-  mutable sum : float;
+  (* a [float ref] is an all-float record, so accumulating into it never
+     boxes; a [mutable float] field in this mixed record would allocate
+     on every [add] *)
+  sum : float ref;
   rng : Prng.t;
   mutable sorted : bool;
 }
@@ -17,7 +20,7 @@ let create ?cap ?(seed = 0x9e3779b9) () =
     samples = Array.make 64 0.;
     len = 0;
     seen = 0;
-    sum = 0.;
+    sum = ref 0.;
     rng = Prng.create ~seed;
     sorted = true;
   }
@@ -33,7 +36,7 @@ let push t x =
 
 let add t x =
   t.seen <- t.seen + 1;
-  t.sum <- t.sum +. x;
+  t.sum := !(t.sum) +. x;
   t.sorted <- false;
   match t.cap with
   | None -> push t x
@@ -47,7 +50,7 @@ let add t x =
     end
 
 let count t = t.seen
-let mean t = if t.seen = 0 then 0. else t.sum /. float_of_int t.seen
+let mean t = if t.seen = 0 then 0. else !(t.sum) /. float_of_int t.seen
 
 let ensure_sorted t =
   if not t.sorted then begin
@@ -94,5 +97,5 @@ let cdf_points t ~points =
 let reset t =
   t.len <- 0;
   t.seen <- 0;
-  t.sum <- 0.;
+  t.sum := 0.;
   t.sorted <- true

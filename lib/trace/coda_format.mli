@@ -16,11 +16,17 @@
 exception Parse_error of int * string
 
 val parse_line : line:int -> string -> Record.t option
+
+(** The returned array is fresh and immutable by convention (shared
+    freely, never mutated — see {!Source}). *)
 val of_string : string -> Record.t array
 
 (** Render records whose paths have the ["/coda/vol/vnode"] shape back
     into fid form; other paths get a deterministic synthetic fid. *)
 val to_string : Record.t array -> string
 
+(** [load] materializes the whole trace; {!Source.coda_file} streams
+    the same format with O(1) memory. *)
 val load : string -> Record.t array
+
 val save : string -> Record.t array -> unit

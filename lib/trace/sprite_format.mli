@@ -19,12 +19,18 @@ val parse_line : line:int -> string -> Record.t option
 
 val print_record : Buffer.t -> Record.t -> unit
 
-(** Parse a whole trace body. *)
+(** Parse a whole trace body. The returned array is fresh and, like
+    every record array in the tree, immutable by convention: consumers
+    (replay, diffval, the fleet) share it without copying — including
+    across domains — and never write to it. *)
 val of_string : string -> Record.t array
 
 val to_string : Record.t array -> string
 
-(** File I/O convenience wrappers. *)
+(** File I/O convenience wrappers. [load] materializes the whole trace;
+    for O(1)-memory replay of large traces use
+    {!Source.sprite_file}, which streams the same format line by
+    line. *)
 val load : string -> Record.t array
 
 val save : string -> Record.t array -> unit

@@ -288,3 +288,11 @@ let generate ~seed ?duration p =
       if c <> 0 then c else compare a b)
     order;
   Array.map (fun i -> records.(i)) order
+
+let source ~seed ?duration p =
+  (* generation materializes the whole array anyway (the final global
+     sort needs it), so the source is array-backed — replay takes its
+     exact array path — but lazy: a fleet worker that never runs this
+     trace never pays for it. For O(1)-memory replay of a big synthetic
+     trace, save it to a file and stream with [Source.sprite_file]. *)
+  Source.of_lazy ~name:p.profile_name (lazy (generate ~seed ?duration p))

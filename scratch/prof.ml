@@ -1,0 +1,71 @@
+module Sched = Capfs_sched.Sched
+module Experiment = Capfs_patsy.Experiment
+module Replay = Capfs_patsy.Replay
+module Synth = Capfs_trace.Synth
+module Record = Capfs_trace.Record
+module Client = Capfs.Client
+module Data = Capfs_disk.Data
+module Errno = Capfs_core.Errno
+
+let op_index (r : Record.t) =
+  match r.Record.op with
+  | Record.Open _ -> 0 | Record.Close _ -> 1 | Record.Read _ -> 2
+  | Record.Write _ -> 3 | Record.Stat _ -> 4 | Record.Delete _ -> 5
+  | Record.Truncate _ -> 6 | Record.Mkdir _ -> 7 | Record.Rmdir _ -> 8
+
+let names = [|"open";"close";"read";"write";"stat";"delete";"truncate";"mkdir";"rmdir"|]
+
+let () =
+  let profile = Synth.profile_by_name "sprite-1a" in
+  let records = Synth.generate ~seed:1996 ~duration:900. profile in
+  let cfg = Experiment.default Experiment.Ups in
+  let sched = Sched.create ~seed:42 ~clock:`Virtual () in
+  let words = Array.make 9 0. and counts = Array.make 9 0 in
+  let overhead = ref 0. in
+  ignore
+    (Sched.spawn sched (fun () ->
+         let client, _ = Experiment.build_instance sched cfg in
+         (* measurement overhead: empty bracket *)
+         let o0 = Gc.minor_words () in
+         for _ = 1 to 10000 do
+           let w0 = Gc.minor_words () in
+           ignore (Sys.opaque_identity w0)
+         done;
+         overhead := (Gc.minor_words () -. o0) /. 10000.;
+         Array.iter
+           (fun (r : Record.t) ->
+             let i = op_index r in
+             let w0 = Gc.minor_words () in
+             (match r.Record.op with
+             | Record.Open { path; mode } ->
+               let m = match mode with
+                 | Record.Read_only -> Client.RO
+                 | Record.Write_only -> Client.WO
+                 | Record.Read_write -> Client.RW in
+               ignore (Client.open_ client ~client:r.Record.client path m)
+             | Record.Close { path } ->
+               ignore (Client.close_ client ~client:r.Record.client path)
+             | Record.Read { path; offset; bytes } ->
+               ignore (Client.read client ~client:r.Record.client path ~offset ~bytes)
+             | Record.Write { path; offset; bytes } ->
+               ignore (Client.write client ~client:r.Record.client path ~offset (Data.sim bytes))
+             | Record.Stat { path } -> ignore (Client.stat client path)
+             | Record.Delete { path } -> ignore (Client.delete client path)
+             | Record.Truncate { path; size } -> ignore (Client.truncate client path ~size)
+             | Record.Mkdir { path } -> ignore (Client.mkdir client path)
+             | Record.Rmdir { path } -> ignore (Client.rmdir client path));
+             words.(i) <- words.(i) +. (Gc.minor_words () -. w0);
+             counts.(i) <- counts.(i) + 1)
+           records));
+  Sched.run sched;
+  let total_w = Array.fold_left (+.) 0. words in
+  let total_n = Array.fold_left (+) 0 counts in
+  Printf.printf "overhead per bracket: %.1f words\n" !overhead;
+  Printf.printf "%d records, %.1f words/op overall (uncorrected)\n\n" total_n (total_w /. float_of_int total_n);
+  Array.iteri
+    (fun i n ->
+      if n > 0 then
+        Printf.printf "%-9s n=%7d  words/op=%8.1f  share=%5.1f%%\n" names.(i) n
+          (words.(i) /. float_of_int n)
+          (100. *. words.(i) /. total_w))
+    counts

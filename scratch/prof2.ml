@@ -1,0 +1,30 @@
+module Sched = Capfs_sched.Sched
+module Experiment = Capfs_patsy.Experiment
+module Replay = Capfs_patsy.Replay
+module Synth = Capfs_trace.Synth
+module Source = Capfs_trace.Source
+
+let () =
+  let profile = Synth.profile_by_name "sprite-1a" in
+  let records = Synth.generate ~seed:1996 ~duration:900. profile in
+  let n = Array.length records in
+  (* full experiment, like the bench cell *)
+  let cfg = Experiment.default Experiment.Ups in
+  let w0 = Gc.minor_words () in
+  let o = Experiment.run cfg ~trace:(Source.of_array records) in
+  let w1 = Gc.minor_words () in
+  Printf.printf "full Experiment.run: %d ops, %.1f words/op\n"
+    o.Experiment.replay.Replay.operations
+    ((w1 -. w0) /. float_of_int n);
+  (* replay with pacing+measure but a pre-warmed... instead: serial run *)
+  let sched = Sched.create ~seed:42 ~clock:`Virtual () in
+  let out = ref None in
+  let w2 = Gc.minor_words () in
+  ignore
+    (Sched.spawn sched (fun () ->
+         let client, _ = Experiment.build_instance sched cfg in
+         out := Some (Replay.run ~serial:true client records)));
+  Sched.run sched;
+  let w3 = Gc.minor_words () in
+  Printf.printf "serial Replay.run (whole sched): %.1f words/op\n"
+    ((w3 -. w2) /. float_of_int n)

@@ -1,0 +1,46 @@
+module Sched = Capfs_sched.Sched
+module Experiment = Capfs_patsy.Experiment
+module Synth = Capfs_trace.Synth
+module Record = Capfs_trace.Record
+module Client = Capfs.Client
+module Data = Capfs_disk.Data
+
+let () =
+  let profile = Synth.profile_by_name "sprite-1a" in
+  let records = Synth.generate ~seed:1996 ~duration:900. profile in
+  let n = float_of_int (Array.length records) in
+  let cfg = Experiment.default Experiment.Ups in
+  let sched = Sched.create ~seed:42 ~clock:`Virtual () in
+  let w_loop = ref 0. in
+  let w0 = Gc.minor_words () in
+  ignore
+    (Sched.spawn sched (fun () ->
+         let client, _ = Experiment.build_instance sched cfg in
+         let a = Gc.minor_words () in
+         Array.iter
+           (fun (r : Record.t) ->
+             match r.Record.op with
+             | Record.Open { path; mode } ->
+               let m = match mode with
+                 | Record.Read_only -> Client.RO
+                 | Record.Write_only -> Client.WO
+                 | Record.Read_write -> Client.RW in
+               ignore (Client.open_ client ~client:r.Record.client path m)
+             | Record.Close { path } ->
+               ignore (Client.close_ client ~client:r.Record.client path)
+             | Record.Read { path; offset; bytes } ->
+               ignore (Client.read client ~client:r.Record.client path ~offset ~bytes)
+             | Record.Write { path; offset; bytes } ->
+               ignore (Client.write client ~client:r.Record.client path ~offset (Data.sim bytes))
+             | Record.Stat { path } -> ignore (Client.stat client path)
+             | Record.Delete { path } -> ignore (Client.delete client path)
+             | Record.Truncate { path; size } -> ignore (Client.truncate client path ~size)
+             | Record.Mkdir { path } -> ignore (Client.mkdir client path)
+             | Record.Rmdir { path } -> ignore (Client.rmdir client path))
+           records;
+         w_loop := Gc.minor_words () -. a));
+  Sched.run sched;
+  let w1 = Gc.minor_words () in
+  Printf.printf "dispatch loop:   %.1f words/op\n" (!w_loop /. n);
+  Printf.printf "whole run:       %.1f words/op\n" ((w1 -. w0) /. n);
+  Printf.printf "drain remainder: %.1f words/op\n" ((w1 -. w0 -. !w_loop) /. n)

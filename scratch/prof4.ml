@@ -1,0 +1,73 @@
+module Sched = Capfs_sched.Sched
+module Experiment = Capfs_patsy.Experiment
+module Synth = Capfs_trace.Synth
+module Record = Capfs_trace.Record
+module Client = Capfs.Client
+module Data = Capfs_disk.Data
+module Stats = Capfs_stats
+
+let dispatch client (r : Record.t) =
+  match r.Record.op with
+  | Record.Open { path; mode } ->
+    let m = match mode with
+      | Record.Read_only -> Client.RO
+      | Record.Write_only -> Client.WO
+      | Record.Read_write -> Client.RW in
+    ignore (Client.open_ client ~client:r.Record.client path m)
+  | Record.Close { path } -> ignore (Client.close_ client ~client:r.Record.client path)
+  | Record.Read { path; offset; bytes } ->
+    ignore (Client.read client ~client:r.Record.client path ~offset ~bytes)
+  | Record.Write { path; offset; bytes } ->
+    ignore (Client.write client ~client:r.Record.client path ~offset (Data.sim bytes))
+  | Record.Stat { path } -> ignore (Client.stat client path)
+  | Record.Delete { path } -> ignore (Client.delete client path)
+  | Record.Truncate { path; size } -> ignore (Client.truncate client path ~size)
+  | Record.Mkdir { path } -> ignore (Client.mkdir client path)
+  | Record.Rmdir { path } -> ignore (Client.rmdir client path)
+
+let variant name f =
+  let profile = Synth.profile_by_name "sprite-1a" in
+  let records = Synth.generate ~seed:1996 ~duration:900. profile in
+  let n = float_of_int (Array.length records) in
+  let cfg = Experiment.default Experiment.Ups in
+  let sched = Sched.create ~seed:42 ~clock:`Virtual () in
+  let w0 = Gc.minor_words () in
+  ignore
+    (Sched.spawn sched (fun () ->
+         let client, _ = Experiment.build_instance sched cfg in
+         f sched client records));
+  Sched.run sched;
+  let w1 = Gc.minor_words () in
+  Printf.printf "%-28s %.1f words/op\n" name ((w1 -. w0) /. n)
+
+let () =
+  variant "dispatch only" (fun _ client records ->
+      Array.iter (fun r -> dispatch client r) records);
+  variant "dispatch + pace" (fun sched client records ->
+      Array.iter
+        (fun (r : Record.t) ->
+          let target = r.Record.time in
+          let now = Sched.now sched in
+          if target > now then Sched.sleep sched (target -. now);
+          dispatch client r)
+        records);
+  variant "dispatch + pace + stats" (fun sched client records ->
+      let latency = Stats.Sample_set.create ~cap:200_000 () in
+      let windows = Stats.Interval.create ~width:900. () in
+      let w = Stats.Welford.create () in
+      let t_first = ref infinity and t_last = ref 0. in
+      Array.iter
+        (fun (r : Record.t) ->
+          let target = r.Record.time in
+          let now = Sched.now sched in
+          if target > now then Sched.sleep sched (target -. now);
+          let t0 = Sched.now sched in
+          dispatch client r;
+          let t1 = Sched.now sched in
+          let dt = t1 -. t0 in
+          Stats.Sample_set.add latency dt;
+          Stats.Interval.add windows ~time:t1 dt;
+          t_first := Stdlib.min !t_first t0;
+          t_last := Stdlib.max !t_last t1;
+          Stats.Welford.add w dt)
+        records)

@@ -1,0 +1,27 @@
+module Sched = Capfs_sched.Sched
+module Experiment = Capfs_patsy.Experiment
+module Replay = Capfs_patsy.Replay
+module Synth = Capfs_trace.Synth
+
+let run name ~synthesize_missing ~serial =
+  let profile = Synth.profile_by_name "sprite-1a" in
+  let records = Synth.generate ~seed:1996 ~duration:900. profile in
+  let n = float_of_int (Array.length records) in
+  let cfg = Experiment.default Experiment.Ups in
+  let sched = Sched.create ~seed:42 ~clock:`Virtual () in
+  let out = ref None in
+  let w0 = Gc.minor_words () in
+  ignore
+    (Sched.spawn sched (fun () ->
+         let client, _ = Experiment.build_instance sched cfg in
+         out := Some (Replay.run ~serial ~synthesize_missing client records)));
+  Sched.run sched;
+  let w1 = Gc.minor_words () in
+  let o = Option.get !out in
+  Printf.printf "%-36s %.1f words/op (%d ops, %d errors, %d skipped)\n" name
+    ((w1 -. w0) /. n) o.Replay.operations o.Replay.errors o.Replay.skipped_ops
+
+let () =
+  run "serial, synthesize" ~synthesize_missing:true ~serial:true;
+  run "serial, no synthesize" ~synthesize_missing:false ~serial:true;
+  run "concurrent, synthesize" ~synthesize_missing:true ~serial:false

@@ -1,0 +1,96 @@
+module Sched = Capfs_sched.Sched
+module Experiment = Capfs_patsy.Experiment
+module Synth = Capfs_trace.Synth
+module Record = Capfs_trace.Record
+module Client = Capfs.Client
+module Data = Capfs_disk.Data
+module Errno = Capfs_core.Errno
+
+let op_index (r : Record.t) =
+  match r.Record.op with
+  | Record.Open _ -> 0 | Record.Close _ -> 1 | Record.Read _ -> 2
+  | Record.Write _ -> 3 | Record.Stat _ -> 4 | Record.Delete _ -> 5
+  | Record.Truncate _ -> 6 | Record.Mkdir _ -> 7 | Record.Rmdir _ -> 8
+
+let names = [|"open";"close";"read";"write";"stat";"delete";"truncate";"mkdir";"rmdir"|]
+
+let dispatch client (r : Record.t) : (unit, Errno.t) result =
+  let c = r.Record.client in
+  match r.Record.op with
+  | Record.Open { path; mode } ->
+    let m = match mode with
+      | Record.Read_only -> Client.RO
+      | Record.Write_only -> Client.WO
+      | Record.Read_write -> Client.RW in
+    Client.open_ client ~client:c path m
+  | Record.Close { path } -> Client.close_ client ~client:c path
+  | Record.Read { path; offset; bytes } -> (
+    match Client.read client ~client:c path ~offset ~bytes with
+    | Ok _ -> Ok () | Error _ as e -> e)
+  | Record.Write { path; offset; bytes } ->
+    Client.write client ~client:c path ~offset (Data.sim bytes)
+  | Record.Stat { path } -> (
+    match Client.stat client path with Ok _ -> Ok () | Error _ as e -> e)
+  | Record.Delete { path } -> Client.delete client path
+  | Record.Truncate { path; size } -> Client.truncate client path ~size
+  | Record.Mkdir { path } -> Client.mkdir client path
+  | Record.Rmdir { path } -> Client.rmdir client path
+
+let synthesized_size (r : Record.t) =
+  match r.Record.op with
+  | Record.Read { offset; bytes; _ } -> Stdlib.max 8192 (offset + bytes)
+  | Record.Truncate { size; _ } -> size
+  | _ -> 8192
+
+let () =
+  let profile = Synth.profile_by_name "sprite-1a" in
+  let records = Synth.generate ~seed:1996 ~duration:900. profile in
+  let cfg = Experiment.default Experiment.Ups in
+  let sched = Sched.create ~seed:42 ~clock:`Virtual () in
+  let words = Array.make 9 0. and counts = Array.make 9 0 in
+  let synth_words = ref 0. and synth_n = ref 0 in
+  ignore
+    (Sched.spawn sched (fun () ->
+         let client, _ = Experiment.build_instance sched cfg in
+         Array.iter
+           (fun (r : Record.t) ->
+             let i = op_index r in
+             (* pace *)
+             let target = r.Record.time in
+             let now = Sched.now sched in
+             if target > now then Sched.sleep sched (target -. now);
+             let w0 = Gc.minor_words () in
+             (match dispatch client r with
+             | Error Errno.ENOENT -> (
+               let s0 = Gc.minor_words () in
+               (match r.Record.op with
+               | Record.Open { path; _ } | Record.Read { path; _ }
+               | Record.Stat { path } | Record.Truncate { path; _ } ->
+                 (match Client.synthesize_file client path ~size:(synthesized_size r) with
+                 | Ok () -> ignore (dispatch client r)
+                 | Error _ -> ())
+               | Record.Write { path; _ } | Record.Mkdir { path } ->
+                 (match Client.ensure_dirs client path with
+                 | Ok () -> ignore (dispatch client r)
+                 | Error _ -> ())
+               | _ -> ());
+               incr synth_n;
+               synth_words := !synth_words +. (Gc.minor_words () -. s0))
+             | _ -> ());
+             words.(i) <- words.(i) +. (Gc.minor_words () -. w0);
+             counts.(i) <- counts.(i) + 1)
+           records));
+  Sched.run sched;
+  let total_w = Array.fold_left (+.) 0. words in
+  let total_n = Array.fold_left (+) 0 counts in
+  Printf.printf "%d records, dispatch total %.1f words/op\n" total_n (total_w /. float_of_int total_n);
+  Printf.printf "synthesis: %d calls, %.1f words each, %.1f words/op amortized\n\n"
+    !synth_n (!synth_words /. float_of_int (Stdlib.max 1 !synth_n))
+    (!synth_words /. float_of_int total_n);
+  Array.iteri
+    (fun i n ->
+      if n > 0 then
+        Printf.printf "%-9s n=%7d  words/op=%8.1f  share=%5.1f%%\n" names.(i) n
+          (words.(i) /. float_of_int n)
+          (100. *. words.(i) /. total_w))
+    counts

@@ -1,0 +1,48 @@
+module Sched = Capfs_sched.Sched
+module Experiment = Capfs_patsy.Experiment
+module Synth = Capfs_trace.Synth
+module Client = Capfs.Client
+module Data = Capfs_disk.Data
+
+let () =
+  let cfg = Experiment.default Experiment.Ups in
+  let sched = Sched.create ~seed:42 ~clock:`Virtual () in
+  ignore
+    (Sched.spawn sched (fun () ->
+         let client, _ = Experiment.build_instance sched cfg in
+         let n = 2000 in
+         (* one big file: n blocks of 4096 *)
+         (match Client.synthesize_file client "/p/big" ~size:(n * 4096) with
+         | Ok () -> () | Error _ -> failwith "synth");
+         let bracket name iters f =
+           let w0 = Gc.minor_words () in
+           for i = 0 to iters - 1 do f i done;
+           Printf.printf "%-34s %8.1f words/iter\n" name
+             ((Gc.minor_words () -. w0) /. float_of_int iters)
+         in
+         (* cold reads: every block is a cache miss -> simulated disk *)
+         bracket "read miss (disk fill)" n (fun i ->
+             ignore (Client.read client ~client:1 "/p/big" ~offset:(i * 4096) ~bytes:4096));
+         (* warm reads: all hits *)
+         bracket "read hit" n (fun i ->
+             ignore (Client.read client ~client:1 "/p/big" ~offset:(i * 4096) ~bytes:4096));
+         (* sub-block warm reads *)
+         bracket "read hit (1k sub-block)" n (fun i ->
+             ignore (Client.read client ~client:1 "/p/big" ~offset:(i * 4096) ~bytes:1024));
+         (* whole-block overwrites (hits) *)
+         bracket "write whole block (cached)" n (fun i ->
+             ignore (Client.write client ~client:1 "/p/big" ~offset:(i * 4096) (Data.sim 4096)));
+         (* partial writes (read-modify-write on cached blocks) *)
+         bracket "write 1k into cached block" n (fun i ->
+             ignore (Client.write client ~client:1 "/p/big" ~offset:(i * 4096) (Data.sim 1024)));
+         (* appends: fresh tail blocks *)
+         bracket "append whole blocks" n (fun i ->
+             ignore (Client.write client ~client:1 "/p/big"
+                       ~offset:((n + i) * 4096) (Data.sim 4096)));
+         (* stat / open / close on the warm path *)
+         bracket "stat" n (fun _ -> ignore (Client.stat client "/p/big"));
+         bracket "open+close" n (fun i ->
+             let p = if i land 1 = 0 then "/p/big" else "/p/big" in
+             ignore (Client.open_ client ~client:2 p Client.RO);
+             ignore (Client.close_ client ~client:2 p))));
+  Sched.run sched

@@ -1,0 +1,14 @@
+module Sched = Capfs_sched.Sched
+
+let () =
+  let sched = Sched.create ~seed:42 ~clock:`Virtual () in
+  ignore
+    (Sched.spawn sched (fun () ->
+         let n = 100000 in
+         let w0 = Gc.minor_words () in
+         for _ = 1 to n do Sched.sleep sched 1e-6 done;
+         Printf.printf "sleep:  %.1f words\n" ((Gc.minor_words () -. w0) /. float_of_int n);
+         let w0 = Gc.minor_words () in
+         for _ = 1 to n do Sched.yield sched done;
+         Printf.printf "yield:  %.1f words\n" ((Gc.minor_words () -. w0) /. float_of_int n)));
+  Sched.run sched

@@ -1,0 +1,16 @@
+module Stats = Capfs_stats
+
+let bench name f =
+  let n = 200000 in
+  let w0 = Gc.minor_words () in
+  for i = 1 to n do f (float_of_int i *. 1e-6) done;
+  Printf.printf "%-24s %.1f words/call\n" name ((Gc.minor_words () -. w0) /. float_of_int n)
+
+let () =
+  let latency = Stats.Sample_set.create ~cap:200_000 () in
+  let windows = Stats.Interval.create ~width:900. () in
+  let w = Stats.Welford.create () in
+  bench "Sample_set.add" (fun x -> Stats.Sample_set.add latency x);
+  bench "Interval.add" (fun x -> Stats.Interval.add windows ~time:x x);
+  bench "Welford.add" (fun x -> Stats.Welford.add w x);
+  bench "float id (box cost)" (fun x -> ignore (Sys.opaque_identity x))

@@ -48,14 +48,14 @@ let run_fs f =
   ignore (Sched.spawn s (fun () -> f s));
   Sched.run s
 
-let fill_const n () = Data.sim n
+let fill_const n _key = Data.sim n
 
 let test_read_miss_then_hit () =
   run_fs (fun s ->
       let _, wb = make_sink s in
       let c = Cache.create ~writeback:wb s (demand_config 8) in
       let fills = ref 0 in
-      let fill () =
+      let fill _key =
         incr fills;
         Data.of_string "abcd"
       in
@@ -71,7 +71,7 @@ let test_write_then_read_back () =
       let _, wb = make_sink s in
       let c = Cache.create ~writeback:wb s (demand_config 8) in
       Cache.write c (k 1 0) (Data.of_string "dirty!");
-      let d = Cache.read c (k 1 0) ~fill:(fun () -> Alcotest.fail "no fill") in
+      let d = Cache.read c (k 1 0) ~fill:(fun _ -> Alcotest.fail "no fill") in
       Alcotest.(check string) "dirty read back" "dirty!" (Data.to_string d);
       Alcotest.(check int) "dirty" 1 (Cache.dirty_count c))
 
@@ -379,7 +379,7 @@ let test_concurrent_misses_share_fill () =
       let _, wb = make_sink s in
       let c = Cache.create ~writeback:wb s (demand_config 8) in
       let fills = ref 0 in
-      let fill () =
+      let fill _key =
         incr fills;
         Sched.sleep s 0.005;
         Data.sim 16

@@ -126,7 +126,10 @@ let short_trace () = Synth.generate ~seed:11 ~duration:90. Synth.sprite_1a
    every gated counter within tolerance, both halves fsck-clean. *)
 let test_end_to_end_equivalent () =
   let records = short_trace () in
-  match Diffval.run ~config:(test_config ()) ~trace_name:"unit" records with
+  match
+    Diffval.run ~config:(test_config ()) ~trace_name:"unit"
+      (Capfs_trace.Source.of_array records)
+  with
   | Error e -> Alcotest.failf "harness failure: %s" (Capfs_core.Errno.to_string e)
   | Ok r ->
       Alcotest.(check (list string)) "no patsy-only keys" [] r.Diffval.r_only_patsy;
@@ -154,14 +157,17 @@ let test_end_to_end_equivalent () =
 let test_end_to_end_skew_detected () =
   let records = Synth.generate ~seed:11 ~duration:60. Synth.sprite_1a in
   let skew c = { c with Experiment.seg_blocks = 32 } in
-  match Diffval.run ~config:(test_config ()) ~skew ~trace_name:"unit-skew" records with
+  match
+    Diffval.run ~config:(test_config ()) ~skew ~trace_name:"unit-skew"
+      (Capfs_trace.Source.of_array records)
+  with
   | Error e -> Alcotest.failf "harness failure: %s" (Capfs_core.Errno.to_string e)
   | Ok r ->
       Alcotest.(check bool) "marked skewed" true r.Diffval.r_skewed;
       Alcotest.(check bool) "drift detected" false r.Diffval.r_ok
 
 let test_empty_trace_is_einval () =
-  match Diffval.run ~trace_name:"empty" [||] with
+  match Diffval.run ~trace_name:"empty" (Capfs_trace.Source.of_array [||]) with
   | Error Capfs_core.Errno.EINVAL -> ()
   | Error e ->
       Alcotest.failf "expected EINVAL, got %s" (Capfs_core.Errno.to_string e)

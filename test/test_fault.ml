@@ -302,7 +302,7 @@ let test_fleet_fault_determinism () =
         })
       [ 1; 2; 3 ]
   in
-  let gen _ = small_trace () in
+  let gen _ = Capfs_trace.Source.of_array (small_trace ()) in
   let j1 = Fleet.run_jobs ~jobs:1 ~gen jobs in
   let j4 = Fleet.run_jobs ~jobs:4 ~gen jobs in
   List.iter2

@@ -150,7 +150,7 @@ let test_coda_trace_replay () =
       nvram_mb = 1;
     }
   in
-  let o = Experiment.run config ~trace in
+  let o = Experiment.run config ~trace:(Capfs_trace.Source.of_array trace) in
   Alcotest.(check int) "all ops" 8 o.Experiment.replay.Replay.operations;
   Alcotest.(check int) "no errors" 0 o.Experiment.replay.Replay.errors
 

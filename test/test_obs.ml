@@ -73,8 +73,9 @@ let small_config policy =
   }
 
 let gen name =
-  Synth.generate ~seed:3 ~duration:60.
-    { (Synth.profile_by_name name) with Synth.clients = 2; files = 20; dirs = 2 }
+  Capfs_trace.Source.of_array ~name
+    (Synth.generate ~seed:3 ~duration:60.
+       { (Synth.profile_by_name name) with Synth.clients = 2; files = 20; dirs = 2 })
 
 let pairs =
   [

@@ -89,7 +89,7 @@ let test_synthesize_preserves_order_and_count () =
 (* Replay over a full simulated instance *)
 
 let run_replay ?(config = test_config Experiment.Ups) trace =
-  Experiment.run config ~trace
+  Experiment.run config ~trace:(Capfs_trace.Source.of_array trace)
 
 let test_replay_executes_all_operations () =
   let trace = small_trace () in
@@ -121,7 +121,8 @@ let test_replay_deterministic () =
 let test_replay_windows_cover_run () =
   let trace = small_trace ~duration:120. () in
   let o =
-    Experiment.run (test_config Experiment.Ups) ~trace
+    Experiment.run (test_config Experiment.Ups)
+      ~trace:(Capfs_trace.Source.of_array trace)
   in
   let windows =
     Capfs_stats.Interval.windows o.Experiment.replay.Replay.windows
@@ -140,8 +141,9 @@ let test_replay_windows_cover_run () =
 
 let test_ups_writes_less_than_write_delay () =
   let trace = small_trace ~duration:240. () in
-  let wd = Experiment.run (test_config Experiment.Write_delay) ~trace in
-  let ups = Experiment.run (test_config Experiment.Ups) ~trace in
+  let src = Capfs_trace.Source.of_array trace in
+  let wd = Experiment.run (test_config Experiment.Write_delay) ~trace:src in
+  let ups = Experiment.run (test_config Experiment.Ups) ~trace:src in
   if ups.Experiment.blocks_flushed >= wd.Experiment.blocks_flushed then
     Alcotest.failf "write saving failed: ups flushed %d, write-delay %d"
       ups.Experiment.blocks_flushed wd.Experiment.blocks_flushed;
@@ -151,7 +153,10 @@ let test_ups_writes_less_than_write_delay () =
 
 let test_nvram_bounds_dirty_data () =
   let trace = small_trace ~duration:240. () in
-  let o = Experiment.run (test_config Experiment.Nvram_whole) ~trace in
+  let o =
+    Experiment.run (test_config Experiment.Nvram_whole)
+      ~trace:(Capfs_trace.Source.of_array trace)
+  in
   (* 1 MB NVRAM = 256 blocks: the nvram_used stat must never exceed it *)
   match Capfs_stats.Registry.find o.Experiment.registry "cache.nvram_used" with
   | Some st ->
@@ -163,7 +168,10 @@ let test_all_policies_complete () =
   let trace = small_trace ~duration:60. () in
   List.iter
     (fun policy ->
-      let o = Experiment.run (test_config policy) ~trace in
+      let o =
+        Experiment.run (test_config policy)
+          ~trace:(Capfs_trace.Source.of_array trace)
+      in
       Alcotest.(check int)
         (Experiment.policy_name policy ^ " completes")
         (Array.length trace)
@@ -304,8 +312,9 @@ let fleet_pairs =
   ]
 
 let fleet_gen name =
-  Synth.generate ~seed:3 ~duration:90.
-    { (Synth.profile_by_name name) with Synth.clients = 3; files = 40; dirs = 4 }
+  Capfs_trace.Source.of_array ~name
+    (Synth.generate ~seed:3 ~duration:90.
+       { (Synth.profile_by_name name) with Synth.clients = 3; files = 40; dirs = 4 })
 
 let test_fleet_parallel_matches_sequential () =
   (* same seeds => byte-identical figures regardless of the domain count *)
@@ -388,6 +397,127 @@ let test_fleet_gen_failure_is_an_error () =
     Alcotest.failf "good job failed: %s"
       (Format.asprintf "%a" Fleet.pp_failure e)
 
+(* {2 Streamed replay: byte-identical to the array path}
+
+   [Replay.run_source] over a cursor-backed source must produce the
+   same result as the array path on the same records — same synthesized
+   times, same fibre spawn order, same interleaving, same stats. The
+   synthetic profiles leave I/O times unrecorded, so these traces
+   exercise the streaming holdback time synthesis, not just pass-through. *)
+
+module Source = Capfs_trace.Source
+
+(* wrap an array as a cursor-backed source: forces the streaming path *)
+let streamed_of records =
+  Source.of_fn ~name:"streamed" (fun () ->
+      let i = ref 0 in
+      fun () ->
+        if !i >= Array.length records then None
+        else begin
+          let r = records.(!i) in
+          incr i;
+          Some r
+        end)
+
+let outcome_fingerprint (o : Experiment.outcome) =
+  Printf.sprintf "ops=%d errs=%d skip=%d elapsed=%.9f lat_n=%d lat_mean=%.12g flushed=%d absorbed=%d hit=%.12g"
+    o.Experiment.replay.Replay.operations
+    o.Experiment.replay.Replay.errors
+    o.Experiment.replay.Replay.skipped_ops
+    o.Experiment.replay.Replay.elapsed
+    (Capfs_stats.Sample_set.count o.Experiment.replay.Replay.latency)
+    (Capfs_stats.Sample_set.mean o.Experiment.replay.Replay.latency)
+    o.Experiment.blocks_flushed
+    o.Experiment.writes_absorbed
+    o.Experiment.cache_hit_rate
+
+let test_streamed_replay_equals_array () =
+  let records = small_trace ~duration:180. () in
+  let arr = Experiment.run (test_config Experiment.Ups)
+      ~trace:(Source.of_array records) in
+  let strm = Experiment.run (test_config Experiment.Ups)
+      ~trace:(streamed_of records) in
+  Alcotest.(check string) "identical outcome"
+    (outcome_fingerprint arr) (outcome_fingerprint strm)
+
+let test_streamed_serial_replay_equals_array () =
+  (* serial mode is what diffval runs: strict trace order either way *)
+  let records = small_trace ~duration:120. () in
+  let run trace =
+    let sched = Sched.create ~seed:5 ~clock:`Virtual () in
+    let out = ref None in
+    ignore
+      (Sched.spawn sched (fun () ->
+           let client, _ =
+             Experiment.build_instance sched (test_config Experiment.Ups)
+           in
+           out := Some (Replay.run_source ~serial:true client trace)));
+    Sched.run sched;
+    Option.get !out
+  in
+  let a = run (Source.of_array records) in
+  let b = run (streamed_of records) in
+  Alcotest.(check int) "ops" a.Replay.operations b.Replay.operations;
+  Alcotest.(check int) "errors" a.Replay.errors b.Replay.errors;
+  Alcotest.(check (float 0.)) "elapsed" a.Replay.elapsed b.Replay.elapsed;
+  Alcotest.(check (float 0.)) "mean latency"
+    (Capfs_stats.Sample_set.mean a.Replay.latency)
+    (Capfs_stats.Sample_set.mean b.Replay.latency)
+
+(* File-streaming round trips: save a trace, then replay it three ways —
+   materialized load, line-streamed — and demand identical outcomes. *)
+
+let with_temp_trace save records f =
+  let path = Filename.temp_file "capfs_stream_test" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      save path records;
+      f path)
+
+let test_sprite_file_stream_equals_load () =
+  let records = small_trace ~duration:120. () in
+  with_temp_trace Capfs_trace.Sprite_format.save records (fun path ->
+      let loaded = Capfs_trace.Sprite_format.load path in
+      let arr = Experiment.run (test_config Experiment.Write_delay)
+          ~trace:(Source.of_array loaded) in
+      let strm = Experiment.run (test_config Experiment.Write_delay)
+          ~trace:(Source.sprite_file path) in
+      Alcotest.(check string) "identical outcome"
+        (outcome_fingerprint arr) (outcome_fingerprint strm))
+
+let test_coda_file_stream_equals_load () =
+  let records = small_trace ~duration:120. () in
+  with_temp_trace Capfs_trace.Coda_format.save records (fun path ->
+      let loaded = Capfs_trace.Coda_format.load path in
+      let arr = Experiment.run (test_config Experiment.Ups)
+          ~trace:(Source.of_array loaded) in
+      let strm = Experiment.run (test_config Experiment.Ups)
+          ~trace:(Source.coda_file path) in
+      Alcotest.(check string) "identical outcome"
+        (outcome_fingerprint arr) (outcome_fingerprint strm))
+
+let test_source_helpers () =
+  let records = small_trace ~duration:60. () in
+  let s = streamed_of records in
+  Alcotest.(check int) "length drains a pass" (Array.length records)
+    (Source.length s);
+  Alcotest.(check bool) "cursor-backed has no array" true
+    (Source.as_array s = None);
+  let drained = Source.to_array s in
+  Alcotest.(check int) "to_array drains all" (Array.length records)
+    (Array.length drained);
+  Array.iteri
+    (fun i r -> if r != records.(i) then Alcotest.fail "record identity") 
+    drained;
+  let lazy_forced = ref false in
+  let ls =
+    Source.of_lazy (lazy (lazy_forced := true; records))
+  in
+  Alcotest.(check bool) "lazy not forced yet" false !lazy_forced;
+  ignore (Source.as_array ls);
+  Alcotest.(check bool) "as_array forces" true !lazy_forced
+
 let suite =
   [
     Alcotest.test_case "synthesize equidistant" `Quick
@@ -401,6 +531,15 @@ let suite =
     Alcotest.test_case "replay takes trace time" `Quick
       test_replay_takes_trace_time;
     Alcotest.test_case "replay deterministic" `Quick test_replay_deterministic;
+    Alcotest.test_case "streamed replay equals array" `Quick
+      test_streamed_replay_equals_array;
+    Alcotest.test_case "streamed serial equals array" `Quick
+      test_streamed_serial_replay_equals_array;
+    Alcotest.test_case "sprite file stream equals load" `Quick
+      test_sprite_file_stream_equals_load;
+    Alcotest.test_case "coda file stream equals load" `Quick
+      test_coda_file_stream_equals_load;
+    Alcotest.test_case "source helpers" `Quick test_source_helpers;
     Alcotest.test_case "replay windows" `Quick test_replay_windows_cover_run;
     Alcotest.test_case "ups writes less" `Quick
       test_ups_writes_less_than_write_delay;

@@ -35,7 +35,7 @@ def source_keys():
     driver = (ROOT / "lib/disk/driver.ml").read_text()
     # driver registers the six listed names plus queue_len (histogram)
     names = ocaml_string_list(
-        driver, '[ "wait"; "response"; "retries"; "io_errors"'
+        driver, '"wait"; "response"; "retries"; "io_errors"'
     )
     for name in names + ["queue_len"]:
         keys.append(("driverN." + name, "lib/disk/driver.ml"))
