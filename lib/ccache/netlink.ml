@@ -38,6 +38,112 @@ let ethernet_10 ?registry sched =
     ~bandwidth_bytes_per_sec:(10.0e6 /. 8.)
     ~latency:0.5e-3 sched
 
+module Frame = struct
+  module Errno = Capfs_core.Errno
+
+  let header_bytes = 16
+  let magic = 0xCAF5
+  let default_max_payload = 1 lsl 20
+
+  type t = { req_id : int; opcode : int; payload : string }
+
+  (* header layout, little-endian: magic u16 | opcode u16 | req_id u32 |
+     payload_len u32 | reserved u32 (zero) *)
+  let encode_header b f =
+    Bytes.set_uint16_le b 0 magic;
+    Bytes.set_uint16_le b 2 (f.opcode land 0xffff);
+    Bytes.set_int32_le b 4 (Int32.of_int f.req_id);
+    Bytes.set_int32_le b 8 (Int32.of_int (String.length f.payload));
+    Bytes.set_int32_le b 12 0l
+
+  let to_bytes f =
+    let b = Bytes.create (header_bytes + String.length f.payload) in
+    encode_header b f;
+    Bytes.blit_string f.payload 0 b header_bytes (String.length f.payload);
+    b
+
+  (* Retry-on-EINTR write loop; short writes restart at the cut. With
+     [sched], EAGAIN on a non-blocking fd backs off through the
+     scheduler so the writing fibre never spins a whole domain. *)
+  let write_all ?sched fd b =
+    let n = Bytes.length b in
+    let rec go off =
+      if off >= n then Ok ()
+      else
+        match Unix.write fd b off (n - off) with
+        | 0 -> Error Errno.EIO
+        | k -> go (off + k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          -> (
+          match sched with
+          | Some s ->
+            Capfs_sched.Sched.sleep s 0.0002;
+            go off
+          | None -> Error Errno.EAGAIN)
+        | exception Unix.Unix_error (e, _, _) -> Error (Errno.of_unix e)
+    in
+    go 0
+
+  let write ?sched fd f = write_all ?sched fd (to_bytes f)
+
+  (* Reassembly loop shared by the blocking and fibre readers: [wait]
+     is what to do when the fd has no bytes yet (block, or park the
+     fibre on the scheduler's readiness list). Returns [Ok None] on a
+     clean EOF at a frame boundary; EOF mid-header or mid-payload is a
+     torn frame — [Error EIO]. *)
+  let read_into ~wait fd =
+    let read_exact b off len ~started =
+      let rec go off len started =
+        if len = 0 then Ok true
+        else
+          match Unix.read fd b off len with
+          | 0 -> if started then Error Errno.EIO else Ok false
+          | k -> go (off + k) (len - k) true
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len started
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            wait ();
+            go off len started
+          | exception Unix.Unix_error (e, _, _) -> Error (Errno.of_unix e)
+      in
+      go off len started
+    in
+    fun ~max_payload ->
+      let hdr = Bytes.create header_bytes in
+      match read_exact hdr 0 header_bytes ~started:false with
+      | Error _ as e -> e
+      | Ok false -> Ok None
+      | Ok true ->
+        if Bytes.get_uint16_le hdr 0 <> magic then Error Errno.EINVAL
+        else begin
+          let opcode = Bytes.get_uint16_le hdr 2 in
+          let req_id = Int32.to_int (Bytes.get_int32_le hdr 4) in
+          let len = Int32.to_int (Bytes.get_int32_le hdr 8) in
+          if len < 0 || len > max_payload then Error Errno.EINVAL
+          else
+            let pb = Bytes.create len in
+            match read_exact pb 0 len ~started:true with
+            | Error _ as e -> e
+            | Ok _ ->
+              Ok
+                (Some
+                   { req_id; opcode; payload = Bytes.unsafe_to_string pb })
+        end
+
+  let read ?(max_payload = default_max_payload) fd =
+    (* blocking fd: an EAGAIN here means someone marked it non-blocking
+       without a scheduler to park on — yielding the CPU briefly is the
+       least-wrong answer *)
+    read_into ~wait:(fun () -> ignore (Unix.select [ fd ] [] [] 0.05)) fd
+      ~max_payload
+
+  let read_sched ?(max_payload = default_max_payload) sched fd =
+    read_into
+      ~wait:(fun () -> Capfs_sched.Sched.wait_readable sched fd)
+      fd ~max_payload
+end
+
 let transfer t ~bytes =
   if bytes < 0 then invalid_arg "Netlink.transfer: negative size";
   let wire = bytes + header_bytes in

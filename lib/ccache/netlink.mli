@@ -43,3 +43,58 @@ val transfer : t -> bytes:int -> unit
 (** Total payload bytes carried so far (both directions, headers
     excluded). *)
 val bytes_carried : t -> int
+
+(** Real wire framing — the same module, cut-and-pasted onto an actual
+    socket. Where {!transfer} charges simulated seconds for a notional
+    packet, [Frame] moves request/reply messages over a Unix file
+    descriptor for the multi-client PFS server: a fixed 16-byte header
+    (magic, opcode, request id, payload length) followed by the
+    payload.
+
+    Concurrency contract: frames from concurrent writers must be
+    serialized per connection (the server holds a per-connection mutex
+    around {!Frame.write}), but {e replies may come back in any order}
+    — the request id is the correlation key, so one socket can carry
+    many interleaved in-flight requests (the load generator pipelines
+    on exactly this). *)
+module Frame : sig
+  type t = { req_id : int; opcode : int; payload : string }
+
+  (** Bytes of the fixed header preceding every payload (16). *)
+  val header_bytes : int
+
+  (** Default payload-size cap, 1 MiB: a reader refuses anything larger
+      with [EINVAL] before allocating, so a corrupt or hostile length
+      field cannot balloon memory. *)
+  val default_max_payload : int
+
+  (** [write fd f] sends the frame, looping over short writes ([EINTR]
+      restarts; partial writes resume at the cut). On a non-blocking fd,
+      [sched] makes [EAGAIN] back off through the scheduler (the fibre
+      sleeps, the domain keeps serving); without [sched] it surfaces as
+      [Error EAGAIN]. *)
+  val write :
+    ?sched:Capfs_sched.Sched.t ->
+    Unix.file_descr ->
+    t ->
+    (unit, Capfs_core.Errno.t) result
+
+  (** [read fd] reassembles one frame from a (normally blocking) fd.
+      [Ok None] is a clean EOF at a frame boundary; EOF mid-header or
+      mid-payload is a torn frame, [Error EIO]. A bad magic number or a
+      length outside [0..max_payload] is [Error EINVAL]. *)
+  val read :
+    ?max_payload:int ->
+    Unix.file_descr ->
+    (t option, Capfs_core.Errno.t) result
+
+  (** {!read} for a non-blocking fd inside a fibre: short reads park the
+      fibre on {!Capfs_sched.Sched.wait_readable} (real clock only)
+      instead of spinning, so one listener domain multiplexes many
+      connections. *)
+  val read_sched :
+    ?max_payload:int ->
+    Capfs_sched.Sched.t ->
+    Unix.file_descr ->
+    (t option, Capfs_core.Errno.t) result
+end

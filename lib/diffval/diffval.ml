@@ -14,9 +14,11 @@ module Client = Capfs.Client
 module Errno = Capfs_core.Errno
 module Plan = Capfs_fault.Plan
 module Experiment = Capfs_patsy.Experiment
-module Multiplex = Capfs_patsy.Multiplex
+module Multiplex = Capfs_layout.Multiplex
 module Replay = Capfs_patsy.Replay
 module File_blockdev = Capfs_pfs.File_blockdev
+module Pfs = Capfs_pfs.Pfs
+module Cache = Capfs_cache.Cache
 
 let src = Logs.Src.create "capfs.diffval" ~doc:"differential sim-vs-real validation"
 
@@ -188,7 +190,7 @@ let run_patsy ~speedup base source =
             so its volume can be remounted and fsck'd like PFS's image *)
          let farm = Experiment.build_farm ~backing:true sched base in
          let replay =
-           Replay.run_source ~speedup ~serial:true ~real_data:true
+           Replay.run ~speedup ~serial:true ~real_data:true
              farm.Experiment.f_client source
          in
          (* equivalent sync point: drain all outstanding writes before
@@ -252,7 +254,48 @@ let run_patsy ~speedup base source =
         s_snapshot = snap;
       }
 
-(* {2 The PFS half: real clock, real backing file} *)
+(* {2 The PFS half: real clock, real backing file}
+
+   Since the [Pfs.Config] redesign this half goes through [Pfs.create]
+   itself — the very constructor the production server and every test
+   use — instead of hand-assembling a lookalike stack. What diffval
+   certifies is therefore the deployed construction path, not a
+   parallel copy of it. *)
+
+(* Translate an experiment config into the [Pfs.Config] of the
+   equivalent single-volume server. The cache knobs go through
+   [Experiment.cache_config_of] so policy → trigger/scope/nvram mapping
+   stays in one place. [workers = 0]: replay drives the abstract client
+   interface directly, and idle NFS worker fibres would shift the
+   scheduler's PRNG dispatch draws. *)
+let pfs_config_of ~image ~image_mb ~clock base =
+  let cc = Experiment.cache_config_of base in
+  let block = Experiment.block_bytes in
+  Pfs.Config.make ~image ~size_mb:image_mb
+    ~cache_mb:(cc.Cache.capacity_blocks * block / (1024 * 1024))
+    ~nvram_mb:(cc.Cache.nvram_blocks * block / (1024 * 1024))
+    ~trigger:cc.Cache.trigger ~scope:cc.Cache.scope
+    ~iosched:base.Experiment.iosched
+    ~replacement:base.Experiment.replacement
+    ~seg_blocks:base.Experiment.seg_blocks ~cleaner:base.Experiment.cleaner
+    ~async_flush:cc.Cache.async_flush
+    ~mem_copy_rate:cc.Cache.mem_copy_rate
+    ~coalesce:cc.Cache.coalesce
+    ~flush_window:cc.Cache.flush_window
+    ~max_extent:cc.Cache.max_extent_blocks ~workers:0 ~clock
+    ~seed:base.Experiment.seed ()
+
+(* The differential harness must never mistake "no data" for "no
+   drift": a volume that yields no snapshot is a harness error
+   ([EINVAL], exit 2 in the patsy CLI), not silent equivalence. *)
+let volume_snapshot t =
+  match Pfs.snapshot t with
+  | Some snap -> Ok snap
+  | None ->
+    Log.err (fun m ->
+        m "PFS volume has no statistics registry — harness bug, not \
+           equivalence");
+    Error Errno.EINVAL
 
 let run_pfs ~speedup ~image_mb ~clock base source =
   let image = Filename.temp_file "capfs_diffval" ".img" in
@@ -260,95 +303,66 @@ let run_pfs ~speedup ~image_mb ~clock base source =
     ~finally:(fun () -> try Sys.remove image with Sys_error _ -> ())
     (fun () ->
       let size_bytes = image_mb * 1024 * 1024 in
-      let sched =
-        Sched.create ~seed:base.Experiment.seed ~clock
-          ~injector:(Experiment.injector_of base) ()
-      in
       let registry = Stats.Registry.create () in
-      let transport = File_blockdev.transport sched ~path:image ~size_bytes () in
-      let flat =
-        Geometry.v ~cylinders:transport.Driver.total_sectors ~heads:1
-          ~sectors_per_track:1 ~sector_bytes:transport.Driver.sector_bytes ()
-      in
-      let spb = Experiment.block_bytes / transport.Driver.sector_bytes in
-      let driver =
-        Driver.create ~registry ~name:(Names.driver 0)
-          ~policy:(Iosched.by_name flat base.Experiment.iosched)
-          ~coalesce:base.Experiment.coalesce
-          ~max_merge_sectors:(base.Experiment.max_extent * spb)
-          sched transport
-      in
-      let out = ref None in
-      ignore
-        (Sched.spawn sched ~name:"diffval.pfs" (fun () ->
-             let layout =
-               Lfs.format_and_mount ~registry ~name:(Names.lfs 0)
-                 ~config:(Experiment.lfs_config_of base 0) sched driver
-                 ~block_bytes:Experiment.block_bytes
-             in
-             (* one volume behind the same multiplexer the simulator
-                uses: identical ino routing on both halves *)
-             let layout = Multiplex.layout [| layout |] in
-             let replacement =
-               Replacement.by_name ~seed:base.Experiment.seed
-                 ~capacity:
-                   (base.Experiment.cache_mb * 1024 * 1024
-                   / Experiment.block_bytes)
-                 base.Experiment.replacement
-             in
-             let fs =
-               Fsys.create ~registry ~replacement
-                 ~cache_config:(Experiment.cache_config_of base) ~layout sched
-             in
-             let client = Client.create fs in
-             let replay =
-               Replay.run_source ~speedup ~serial:true ~real_data:true client
-                 source
-             in
-             (match Client.sync client with
-             | Ok () | (exception Errno.Error _) -> ()
-             | Error _ -> ());
-             let snap =
-               Snapshot.capture ~filter:Snapshot.policy_visible registry
-             in
-             out := Some (replay, snap)));
-      Sched.run sched;
-      File_blockdev.close transport;
-      match !out with
-      | None -> Error Errno.EIO
-      | Some (replay, snap) ->
-        (* crash-free close check: reopen the image cold and fsck it,
-           exactly what a PFS restart does *)
-        let sched2 = Sched.create ~clock:`Virtual () in
-        let tr2 = File_blockdev.transport sched2 ~path:image ~size_bytes () in
-        let drv2 =
-          Driver.create ~name:(Names.driver 0)
-            ~policy:(Iosched.by_name flat base.Experiment.iosched)
-            sched2 tr2
-        in
-        let fsck = ref [ "recovery did not run" ] and inodes = ref 0 in
+      let cfg = pfs_config_of ~image ~image_mb ~clock base in
+      match
+        Pfs.create ~registry ~injector:(Experiment.injector_of base) cfg
+      with
+      | Error _ as e -> e
+      | Ok t -> (
+        let out = ref None in
         ignore
-          (Sched.spawn sched2 ~name:"diffval.pfs.fsck" (fun () ->
-               match Lfs.recover ~name:(Names.lfs 0) sched2 drv2 with
-               | Ok (_, rep) ->
-                 fsck := rep.Lfs.r_fsck_errors;
-                 inodes := rep.Lfs.r_recovered_inodes
-               | Error e ->
-                 fsck := [ "recovery failed: " ^ Errno.to_string e ]));
-        Sched.run sched2;
-        File_blockdev.close tr2;
-        Ok
-          {
-            s_clock =
-              (match clock with `Real -> "real" | `Virtual -> "virtual");
-            s_operations = replay.Replay.operations;
-            s_errors = replay.Replay.errors;
-            s_skipped = replay.Replay.skipped_ops;
-            s_elapsed = replay.Replay.elapsed;
-            s_fsck_errors = !fsck;
-            s_recovered_inodes = !inodes;
-            s_snapshot = snap;
-          })
+          (Sched.spawn t.Pfs.sched ~name:"diffval.pfs" (fun () ->
+               out :=
+                 Some
+                   (Replay.run ~speedup ~serial:true ~real_data:true
+                      t.Pfs.client source)));
+        Sched.run t.Pfs.sched;
+        (* equivalent sync point: [Pfs.shutdown] syncs and closes, so
+           flush counters are complete before the capture *)
+        Pfs.shutdown t;
+        match (!out, volume_snapshot t) with
+        | None, _ -> Error Errno.EIO
+        | _, (Error _ as e) -> e
+        | Some replay, Ok snap ->
+          (* crash-free close check: reopen the image cold and fsck it,
+             exactly what a PFS restart does *)
+          let sched2 = Sched.create ~clock:`Virtual () in
+          let tr2 =
+            File_blockdev.transport sched2 ~path:image ~size_bytes ()
+          in
+          let flat =
+            Geometry.v ~cylinders:tr2.Driver.total_sectors ~heads:1
+              ~sectors_per_track:1 ~sector_bytes:tr2.Driver.sector_bytes ()
+          in
+          let drv2 =
+            Driver.create ~name:(Names.driver 0)
+              ~policy:(Iosched.by_name flat base.Experiment.iosched)
+              sched2 tr2
+          in
+          let fsck = ref [ "recovery did not run" ] and inodes = ref 0 in
+          ignore
+            (Sched.spawn sched2 ~name:"diffval.pfs.fsck" (fun () ->
+                 match Lfs.recover ~name:(Names.lfs 0) sched2 drv2 with
+                 | Ok (_, rep) ->
+                   fsck := rep.Lfs.r_fsck_errors;
+                   inodes := rep.Lfs.r_recovered_inodes
+                 | Error e ->
+                   fsck := [ "recovery failed: " ^ Errno.to_string e ]));
+          Sched.run sched2;
+          File_blockdev.close tr2;
+          Ok
+            {
+              s_clock =
+                (match clock with `Real -> "real" | `Virtual -> "virtual");
+              s_operations = replay.Replay.operations;
+              s_errors = replay.Replay.errors;
+              s_skipped = replay.Replay.skipped_ops;
+              s_elapsed = replay.Replay.elapsed;
+              s_fsck_errors = !fsck;
+              s_recovered_inodes = !inodes;
+              s_snapshot = snap;
+            }))
 
 (* {2 The diff} *)
 

@@ -114,6 +114,13 @@ val diff_snapshots :
 
 val verdicts_ok : verdict list -> bool
 
+(** The PFS half's snapshot, with the "no data is not equivalence"
+    guard: a volume that yields no statistics snapshot (built without a
+    registry) is a harness error — [Error EINVAL], which the patsy CLI
+    turns into exit 2 — never a silently-empty comparison. *)
+val volume_snapshot :
+  Capfs_pfs.Pfs.t -> (Capfs_stats.Snapshot.t, Capfs_core.Errno.t) result
+
 (** [run ~trace_name source] executes both halves and diffs them. Both
     halves replay the same {!Capfs_trace.Source.t} serially (each makes
     its own passes over it; cursor-backed sources stream). [skew], when

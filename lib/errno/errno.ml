@@ -11,11 +11,12 @@ type t =
   | EIO
   | ETIMEDOUT
   | EINVAL
+  | EAGAIN
 
 let all =
   [|
     ENOENT; EEXIST; ENOTDIR; EISDIR; ENOTEMPTY; ELOOP; EBADF; ESTALE; ENOSPC;
-    EIO; ETIMEDOUT; EINVAL;
+    EIO; ETIMEDOUT; EINVAL; EAGAIN;
   |]
 
 let to_index = function
@@ -31,6 +32,7 @@ let to_index = function
   | EIO -> 9
   | ETIMEDOUT -> 10
   | EINVAL -> 11
+  | EAGAIN -> 12
 
 let to_string = function
   | ENOENT -> "enoent"
@@ -45,6 +47,7 @@ let to_string = function
   | EIO -> "eio"
   | ETIMEDOUT -> "etimedout"
   | EINVAL -> "einval"
+  | EAGAIN -> "eagain"
 
 (* Linux's ESTALE; Unix.error has no portable constructor for it *)
 let estale_code = 116
@@ -62,6 +65,7 @@ let to_unix = function
   | EIO -> Unix.EIO
   | ETIMEDOUT -> Unix.ETIMEDOUT
   | EINVAL -> Unix.EINVAL
+  | EAGAIN -> Unix.EAGAIN
 
 let of_unix = function
   | Unix.ENOENT -> ENOENT
@@ -76,6 +80,7 @@ let of_unix = function
   | Unix.EIO -> EIO
   | Unix.ETIMEDOUT -> ETIMEDOUT
   | Unix.EINVAL -> EINVAL
+  | Unix.EAGAIN | Unix.EWOULDBLOCK -> EAGAIN
   | _ -> EIO
 
 exception Error of t

@@ -25,6 +25,10 @@ type t =
   | EIO         (** hard input/output error *)
   | ETIMEDOUT   (** I/O did not complete within the driver's deadline *)
   | EINVAL      (** invalid argument *)
+  | EAGAIN
+      (** resource temporarily unavailable — the server's typed
+          admission-control pushback: a shard's bounded request queue is
+          full and the client should back off and retry *)
 
 (** Every constructor, in declaration order. The order is stable: replay
     and bench report error counts in arrays indexed by {!to_index}. *)

@@ -1,6 +1,3 @@
-module Layout = Capfs_layout.Layout
-module Inode = Capfs_layout.Inode
-
 let layout volumes =
   let k = Array.length volumes in
   if k = 0 then invalid_arg "Multiplex.layout: no volumes";

@@ -2,9 +2,10 @@
 
     The traced Sprite server held "a total of 14 file-systems on the set
     of [10] disks" behind one 128 MB cache. This module presents several
-    volume layouts (each typically an LFS on its own simulated disk) as
-    one {!Capfs_layout.Layout.t}, so a single server-wide cache and
-    namespace sit on top, while I/O spreads over the disks.
+    volume layouts (each typically an LFS on its own disk — simulated in
+    Patsy, a backing file per shard in the PFS server) as one
+    {!Layout.t}, so a single server-wide cache and namespace sit on top,
+    while I/O spreads over the disks.
 
     The volumes must have been created with disjoint inode spaces
     ([Lfs.config.first_ino = v + 1], [ino_stride = nvolumes]); requests
@@ -15,5 +16,4 @@
 
 (** [layout volumes] is the routing layout over [volumes]; raises
     [Invalid_argument] on an empty array. *)
-val layout :
-  Capfs_layout.Layout.t array -> Capfs_layout.Layout.t
+val layout : Layout.t array -> Layout.t

@@ -6,6 +6,7 @@ module Iosched = Capfs_disk.Iosched
 module Bus = Capfs_disk.Bus
 module Disk_model = Capfs_disk.Disk_model
 module Lfs = Capfs_layout.Lfs
+module Multiplex = Capfs_layout.Multiplex
 module Inode = Capfs_layout.Inode
 module Fsys = Capfs.Fsys
 module Client = Capfs.Client
@@ -122,7 +123,8 @@ let run ?(config = Experiment.default Experiment.Write_delay) ?sync_at ~trace
          (* crash experiments need real payloads: summaries and file
             contents must actually reach the backing stores *)
          ignore
-           (Replay.run ~real_data:true ~observe f.Experiment.f_client trace)));
+           (Replay.run ~real_data:true ~observe f.Experiment.f_client
+              (Capfs_trace.Source.of_array trace))));
   ignore
     (Sched.spawn sched ~name:"crash.floor" (fun () ->
          Sched.sleep sched sync_at;

@@ -9,6 +9,7 @@ module Geometry = Capfs_disk.Geometry
 module Cache = Capfs_cache.Cache
 module Replacement = Capfs_cache.Replacement
 module Lfs = Capfs_layout.Lfs
+module Multiplex = Capfs_layout.Multiplex
 module Fsys = Capfs.Fsys
 module Client = Capfs.Client
 
@@ -210,7 +211,7 @@ let run cfg ~trace =
   ignore
     (Sched.spawn sched ~name:"experiment" (fun () ->
          let client, registry = build_instance sched cfg in
-         let replay = Replay.run_source client trace in
+         let replay = Replay.run client trace in
          (* drain outstanding writes so flush counters are complete; a
             fault plan can legitimately fail this final sync — the
             replay's own error counters already tell that story *)

@@ -344,8 +344,8 @@ let pace e (r : Record.t) =
   let now = Sched.now e.e_sched in
   if target > now then Sched.sleep e.e_sched (target -. now)
 
-let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true)
-    ?(real_data = false) ?(serial = false) ?observe client records =
+let run_array ?observe ~speedup ~window ~synthesize_missing ~real_data
+    ~serial client records =
   let e =
     make_engine ?observe ~speedup ~window ~synthesize_missing ~real_data client
   in
@@ -520,13 +520,14 @@ let run_streamed ?observe ~speedup ~window ~synthesize_missing ~real_data
   if !remaining > 0 then Sched.await sched all_done;
   e.e_finish ()
 
-let run_source ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true)
+let run ?(speedup = 1.0) ?(window = 900.) ?(synthesize_missing = true)
     ?(real_data = false) ?(serial = false) ?observe client source =
   match Source.as_array source with
   | Some records ->
-    (* array-backed: the exact historical replay path, bit for bit *)
-    run ~speedup ~window ~synthesize_missing ~real_data ~serial ?observe
-      client records
+    (* array-backed: the exact historical replay path, bit for bit (and
+       the lean one — no per-client queues, no synthesizing cursor) *)
+    run_array ?observe ~speedup ~window ~synthesize_missing ~real_data
+      ~serial client records
   | None ->
     run_streamed ?observe ~speedup ~window ~synthesize_missing ~real_data
       ~serial client source

@@ -44,7 +44,7 @@ type result = {
     mutated. *)
 val synthesize_times : Capfs_trace.Record.t array -> Capfs_trace.Record.t array
 
-(** [run client records] spawns one fibre per trace client, replays to
+(** [run client source] spawns one fibre per trace client, replays to
     completion (all fibres joined), then closes leftover descriptors.
     [speedup] divides every inter-operation delay (default 1.0 = trace
     time); [window] is the report interval (default 900 s). When
@@ -52,6 +52,19 @@ val synthesize_times : Capfs_trace.Record.t array -> Capfs_trace.Record.t array
     trace assumes pre-exists creates it on the fly with adopted
     ("already on disk") blocks — the paper's synthesis of the initial
     file-system layout.
+
+    The one entry point takes a {!Capfs_trace.Source.t}; wrap a record
+    array with {!Capfs_trace.Source.of_array}. Array-backed sources take
+    the exact in-memory replay path (bit-for-bit identical results, no
+    cursor machinery on the hot loop). Cursor-backed sources {e stream}:
+    replay memory is O(active window) — the longest open-session span
+    (untimed I/O cannot be timed until its close arrives) plus the
+    inter-client dispatch skew — instead of O(trace length). Streamed
+    results are equal to array results on the same records: the
+    time-synthesis cursor computes the same synthesized times in the
+    same order, and the per-client fibre spawn order is replicated
+    exactly. A cursor-backed source is traversed twice (a counting pass,
+    then the replay pass).
 
     [real_data] (default false) makes writes carry {!Capfs_disk.Data}
     [real] payloads instead of byte-count-only [sim] ones — required by
@@ -72,27 +85,6 @@ val synthesize_times : Capfs_trace.Record.t array -> Capfs_trace.Record.t array
     been applied successfully (shadow-model hook for consistency
     checking); refused operations are not observed. *)
 val run :
-  ?speedup:float ->
-  ?window:float ->
-  ?synthesize_missing:bool ->
-  ?real_data:bool ->
-  ?serial:bool ->
-  ?observe:(Capfs_trace.Record.t -> unit) ->
-  Capfs.Client.t ->
-  Capfs_trace.Record.t array ->
-  result
-
-(** [run_source client source] is {!run} over a {!Capfs_trace.Source.t}.
-    Array-backed sources take the exact array replay path (bit-for-bit
-    identical results). Cursor-backed sources {e stream}: replay memory
-    is O(active window) — the longest open-session span (untimed I/O
-    cannot be timed until its close arrives) plus the inter-client
-    dispatch skew — instead of O(trace length). Streamed results are
-    equal to array results on the same records: the time-synthesis
-    cursor computes the same synthesized times in the same order, and
-    the per-client fibre spawn order is replicated exactly. The source
-    is traversed twice (a counting pass, then the replay pass). *)
-val run_source :
   ?speedup:float ->
   ?window:float ->
   ?synthesize_missing:bool ->

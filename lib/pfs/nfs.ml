@@ -12,7 +12,7 @@ module Errno = Capfs_core.Errno
 
 type fh = int
 
-type error = Noent | Exist | Notdir | Isdir | Notempty | Stale | Loop | Io
+type error = Noent | Exist | Notdir | Isdir | Notempty | Stale | Loop | Again | Io
 
 type attr = {
   a_kind : Inode.kind;
@@ -67,6 +67,7 @@ let pp_error ppf e =
     | Notempty -> "NFSERR_NOTEMPTY"
     | Stale -> "NFSERR_STALE"
     | Loop -> "NFSERR_LOOP"
+    | Again -> "NFSERR_JUKEBOX"
     | Io -> "NFSERR_IO")
 
 (* The wire mapping: every internal failure is a typed {!Errno.t} by the
@@ -81,6 +82,8 @@ let error_of_errno (e : Errno.t) : error =
   | Errno.ENOTEMPTY -> Notempty
   | Errno.ESTALE | Errno.EBADF -> Stale
   | Errno.ELOOP -> Loop
+  (* NFSv3's "try again later" status; v2 servers abused it the same way *)
+  | Errno.EAGAIN -> Again
   | Errno.ENOSPC | Errno.EIO | Errno.ETIMEDOUT | Errno.EINVAL -> Io
 
 let attr_of (inode : Inode.t) =

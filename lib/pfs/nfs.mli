@@ -29,6 +29,9 @@ type error =
   | Notempty  (** [Rmdir] of a non-empty directory *)
   | Stale     (** the handle's inode no longer exists ([NFSERR_STALE]) *)
   | Loop      (** symlink expansion exceeded the traversal limit *)
+  | Again
+      (** server overloaded, retry later ([NFSERR_JUKEBOX]) — what the
+          sharded server's [EAGAIN] admission pushback maps to *)
   | Io  (** disk-level failure surfaced through the typed-error API *)
 
 (** Post-operation attributes, the [fattr]-subset every reply that

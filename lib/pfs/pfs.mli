@@ -5,7 +5,143 @@
     abstract client interface — over a {e real} clock and a {e real}
     Unix-file block device, and puts the NFS front end on top. "We did
     not have to change anything in the code except for some small
-    additions when data was actually moved." *)
+    additions when data was actually moved."
+
+    Construction is two steps: build a validated {!Config.t}, then
+    {!create} a volume from it. Every front end — the pfs shell, the
+    sharded multi-client server ({!Server}), the load generator, the
+    differential validator — goes through the same pair, so a
+    configuration knob exists in exactly one place. *)
+
+(** A full description of one PFS volume: backing image, cache policy
+    knobs, layout geometry, scheduler clock. The record is deliberately
+    flat and immutable — build one with {!Config.make}, adjust with
+    functional update, and let {!Config.validate} (called again by
+    {!create}) reject nonsense with a typed [EINVAL] instead of a crash
+    deep in construction. *)
+module Config : sig
+  type t = {
+    image : string;  (** backing image path (created when missing) *)
+    size_mb : int;  (** image size when creating, MB *)
+    cache_mb : int;  (** block-cache capacity, MB *)
+    nvram_mb : int;  (** NVRAM staging area, MB (0 = none) *)
+    trigger : Capfs_cache.Cache.flush_trigger;
+    scope : Capfs_cache.Cache.flush_scope;
+    iosched : string;  (** disk-scheduling policy name *)
+    replacement : string;  (** cache-replacement policy name *)
+    seg_blocks : int;  (** LFS segment size, blocks *)
+    cleaner : Capfs_layout.Lfs.cleaner_policy;
+    async_flush : bool;
+    mem_copy_rate : float;  (** simulated copy cost, s/byte (0 = free) *)
+    coalesce : bool;  (** merge adjacent I/O in cache and driver *)
+    flush_window : int;  (** concurrent flush extents *)
+    max_extent : int;  (** largest coalesced extent, blocks *)
+    workers : int;  (** NFS worker fibres (0 = direct calls only) *)
+    shards : int;  (** server namespace shards (see {!Server}) *)
+    admission : int;
+        (** per-shard admission limit: in-flight requests beyond this
+            are refused with a typed [EAGAIN] (0 = unlimited) *)
+    clock : Capfs_sched.Sched.clock;
+    seed : int;  (** PRNG seed (scheduler and replacement policy) *)
+  }
+
+  (** [make ~image ()] — a classic Unix server: 64 MB image, 16 MB
+      cache, 30-second-update whole-file flushes, C-LOOK, LRU, real
+      clock, one shard. Every field has a keyword to override. *)
+  val make :
+    ?size_mb:int ->
+    ?cache_mb:int ->
+    ?nvram_mb:int ->
+    ?trigger:Capfs_cache.Cache.flush_trigger ->
+    ?scope:Capfs_cache.Cache.flush_scope ->
+    ?iosched:string ->
+    ?replacement:string ->
+    ?seg_blocks:int ->
+    ?cleaner:Capfs_layout.Lfs.cleaner_policy ->
+    ?async_flush:bool ->
+    ?mem_copy_rate:float ->
+    ?coalesce:bool ->
+    ?flush_window:int ->
+    ?max_extent:int ->
+    ?workers:int ->
+    ?shards:int ->
+    ?admission:int ->
+    ?clock:Capfs_sched.Sched.clock ->
+    ?seed:int ->
+    image:string ->
+    unit ->
+    t
+
+  (** [validate t] checks every field against its domain (positive
+      sizes, known policy names from
+      {!Capfs_disk.Iosched.known_policies} and
+      {!Capfs_cache.Replacement.known_policies}, non-empty image path)
+      and returns the config unchanged or [Error EINVAL], logging each
+      violation. {!create} validates again, so callers building configs
+      in OCaml may skip this; front ends parsing user input should not.
+  *)
+  val validate : t -> (t, Capfs_core.Errno.t) result
+
+  (** The [KEY=VALUE] strings {!of_args} accepts — one per
+      configuration knob. *)
+  val keys : string list
+
+  (** Manpage-style description of the [KEY=VALUE] grammar, for CLI
+      [--set] documentation. *)
+  val arg_doc : string
+
+  (** [of_args args] folds [KEY=VALUE] settings over [base] (default:
+      [make ~image:"" ()] — supply [base] or a [size-mb]/[image]-less
+      override set and set the image on the result) and validates.
+      Unknown keys, malformed values and out-of-domain results are all
+      [Error EINVAL]. This is the {e single} argument grammar shared by
+      the pfs CLI, the load generator and test fixtures. *)
+  val of_args : ?base:t -> string list -> (t, Capfs_core.Errno.t) result
+end
+
+type t = {
+  sched : Capfs_sched.Sched.t;
+      (** the volume's scheduler (real clock in production, virtual in
+          tests) *)
+  client : Capfs.Client.t;  (** the abstract client interface *)
+  nfs : Nfs.t;  (** the NFS front end *)
+  image_path : string;  (** backing image the volume runs on *)
+  registry : Capfs_stats.Registry.t option;
+      (** the registry passed to {!create}, if any — the handle
+          {!snapshot} freezes *)
+  config : Config.t;  (** the validated config the volume was built from *)
+  transport : Capfs_disk.Driver.transport;
+      (** the Unix-file block device under the driver *)
+}
+
+(** [create cfg] opens (formatting when fresh or invalid) the
+    file-system image at [cfg.image] and assembles one volume: driver,
+    cache, LFS behind a single-way {!Capfs_layout.Multiplex.layout},
+    NFS front end. Validation failures and typed construction errors
+    come back as [Error]; [injector] threads a fault plan into the
+    scheduler (the differential validator's hook). *)
+val create :
+  ?registry:Capfs_stats.Registry.t ->
+  ?injector:Capfs_fault.Injector.t ->
+  Config.t ->
+  (t, Capfs_core.Errno.t) result
+
+(** Flush everything, checkpoint, and close the backing image (call
+    before exiting). *)
+val shutdown : t -> unit
+
+(** [snapshot t] freezes the volume's statistics registry restricted to
+    the policy-visible keys ({!Capfs_stats.Snapshot.policy_visible}) —
+    the on-line half of a differential sim-vs-real comparison. [None]
+    when {!create} was given no registry. Capture after a sync (e.g.
+    {!shutdown}) for complete flush counters. *)
+val snapshot : t -> Capfs_stats.Snapshot.t option
+
+(** {2 Deprecated one-call interface}
+
+    The pre-{!Config} API, kept for one release. [config]'s six fields
+    are a strict subset of {!Config.t}; [start] raises on failure where
+    {!create} returns a typed error. *)
 
 type config = {
   cache_mb : int;
@@ -16,25 +152,9 @@ type config = {
   workers : int;  (** NFS worker fibres *)
 }
 
-(** 30-second-update, whole-file flushes, C-LOOK — a classic Unix
-    server. 16 MB cache by default (a PFS image is usually small). *)
 val default_config : config
+[@@ocaml.deprecated "Use Pfs.Config.make instead."]
 
-type t = {
-  sched : Capfs_sched.Sched.t;  (** the server's scheduler (real clock
-                                    in production, virtual in tests) *)
-  client : Capfs.Client.t;      (** the abstract client interface *)
-  nfs : Nfs.t;                  (** the NFS front end *)
-  image_path : string;          (** backing image the server runs on *)
-  registry : Capfs_stats.Registry.t option;
-      (** the registry passed to {!start}, if any — the handle
-          {!snapshot} freezes *)
-}
-
-(** [start ~image ~size_mb ()] opens (formatting when fresh or invalid)
-    the file-system image at [image] and starts the server. [clock]
-    defaults to [`Real]; tests pass [`Virtual] to run PFS under
-    simulated time — the very point of the shared framework. *)
 val start :
   ?clock:Capfs_sched.Sched.clock ->
   ?config:config ->
@@ -43,13 +163,4 @@ val start :
   size_mb:int ->
   unit ->
   t
-
-(** Flush everything and checkpoint (call before exiting). *)
-val shutdown : t -> unit
-
-(** [snapshot t] freezes the server's statistics registry restricted to
-    the policy-visible keys ({!Capfs_stats.Snapshot.policy_visible}) —
-    the on-line half of a differential sim-vs-real comparison. [None]
-    when {!start} was given no registry. Capture after a sync (e.g.
-    {!shutdown}) for complete flush counters. *)
-val snapshot : t -> Capfs_stats.Snapshot.t option
+[@@ocaml.deprecated "Use Pfs.Config.make + Pfs.create instead."]

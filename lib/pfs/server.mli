@@ -1,0 +1,83 @@
+(** Scale-out PFS: one server, many volumes, many clients.
+
+    The namespace is sharded by hashing a path's first component onto
+    [shards] independent PFS volumes ({!Pfs.create} each, so every
+    shard has its own scheduler, cache, LFS and backing image —
+    [<image>.shard<i>]). Under the [`Real] clock each shard lives on a
+    pinned OCaml 5 domain from {!Capfs_patsy.Fleet.Pool} and pumps its
+    own ingress queue; under [`Virtual] the caller pumps with {!drive}.
+    The request execution path — admission, routing, the abstract
+    client interface, the multiplexed volume layer, the driver — is the
+    same code under both clocks; only the wake-up mechanism differs.
+
+    {b Admission.} Each shard bounds its in-flight requests at
+    [Config.admission]; a full (or stopping) shard refuses at {!submit}
+    time with a typed [EAGAIN] — the client-visible pushback that maps
+    to [NFSERR_JUKEBOX] on the NFS side. Counted per shard under
+    [server.submitted] / [server.rejected] / [server.completed]. *)
+
+type t
+
+(** [create cfg] builds [cfg.shards] volumes (validating first) and,
+    under the [`Real] clock, starts their pinned service domains. A
+    failure tears down the volumes already built. [injector] is
+    threaded into every shard's scheduler. *)
+val create :
+  ?injector:Capfs_fault.Injector.t ->
+  Pfs.Config.t ->
+  (t, Capfs_core.Errno.t) result
+
+val shards : t -> int
+
+(** [route t path] — the shard index [path] lives on: FNV-1a of the
+    first path component, mod [shards]. Stable across runs, restarts
+    and processes. *)
+val route : t -> string -> int
+
+(** [submit t req ~complete] — admission check, then hand [req] to its
+    shard; [complete] fires {e on the shard's domain} once (out of
+    order with other submissions). [Error EAGAIN] when the target shard
+    is full or stopping. A [Sync] fans out to every shard and completes
+    once with the worst per-shard verdict; [Stats]/[Shutdown] are
+    server-level and answer [Error EINVAL] here. *)
+val submit :
+  t ->
+  Wire.request ->
+  complete:(Wire.reply -> unit) ->
+  (unit, Capfs_core.Errno.t) result
+
+(** Pump a [`Virtual]-clock server until quiescent: drain every shard's
+    inbox, run its scheduler, repeat while anything moved. Raises
+    [Invalid_argument] on a real-clock server (its shards pump
+    themselves). *)
+val drive : t -> unit
+
+(** [call t req] — submit and wait for the reply (driving the shards
+    first under [`Virtual]); admission pushback comes back as
+    [Err EAGAIN]. [Stats] answers immediately with {!report_json};
+    [Shutdown] is refused ([Err EINVAL]) — in-process callers use
+    {!shutdown}. *)
+val call : t -> Wire.request -> Wire.reply
+
+(** Per-shard statistics snapshots, index order. *)
+val snapshots : t -> Capfs_stats.Snapshot.t array
+
+(** Every shard's snapshot merged into one: counts and totals summed by
+    key, means recomputed. *)
+val merged : t -> Capfs_stats.Snapshot.t
+
+(** JSON report: shard count, per-shard snapshots, merged totals. *)
+val report_json : t -> string
+
+(** Stop accepting ([EAGAIN]), drain in-flight requests, sync and close
+    every volume, retire the domains. Idempotent. *)
+val shutdown : t -> unit
+
+(** [serve t lfd] — the multi-client front door: accept connections
+    from the listening socket [lfd] (already bound and listening; Unix
+    or TCP), speak {!Capfs_ccache.Netlink.Frame} framing with
+    {!Wire} payloads, and pipeline out-of-order replies per connection.
+    Blocks until a client sends [Shutdown] (which gets no reply), then
+    drains, shuts the server down and returns — the caller's clean exit
+    is the acknowledgement. Requires a [`Real]-clock server. *)
+val serve : t -> Unix.file_descr -> unit

@@ -1,0 +1,218 @@
+module Errno = Capfs_core.Errno
+
+type stat = { size : int; is_dir : bool }
+
+type request =
+  | Open of { client : int; path : string; mode : Capfs.Client.open_mode }
+  | Close of { client : int; path : string }
+  | Read of { client : int; path : string; offset : int; count : int }
+  | Write of { client : int; path : string; offset : int; data : string }
+  | Mkdir of string
+  | Delete of string
+  | Stat of string
+  | Sync
+  | Stats
+  | Shutdown
+
+type reply =
+  | Ok_unit
+  | Ok_data of string
+  | Ok_stat of stat
+  | Ok_stats of string
+  | Err of Errno.t
+
+let op_open = 1
+let op_close = 2
+let op_read = 3
+let op_write = 4
+let op_mkdir = 5
+let op_delete = 6
+let op_stat = 7
+let op_sync = 8
+let op_stats = 9
+let op_shutdown = 10
+
+let opcode = function
+  | Open _ -> op_open
+  | Close _ -> op_close
+  | Read _ -> op_read
+  | Write _ -> op_write
+  | Mkdir _ -> op_mkdir
+  | Delete _ -> op_delete
+  | Stat _ -> op_stat
+  | Sync -> op_sync
+  | Stats -> op_stats
+  | Shutdown -> op_shutdown
+
+let route_path = function
+  | Open { path; _ } | Close { path; _ } | Read { path; _ }
+  | Write { path; _ } ->
+    Some path
+  | Mkdir p | Delete p | Stat p -> Some p
+  | Sync | Stats | Shutdown -> None
+
+(* {2 Payload codecs}
+
+   Strings are u16-LE length + bytes; integers are u32 LE. A [Write]'s
+   data is the unprefixed tail of the payload: the frame header already
+   carries the total length, so the data needs no second one. *)
+
+exception Short
+
+let add_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+
+let add_str b s =
+  if String.length s > 0xffff then invalid_arg "Wire: path too long";
+  Buffer.add_uint16_le b (String.length s);
+  Buffer.add_string b s
+
+type cursor = { buf : string; mutable pos : int }
+
+let get_u8 c =
+  if c.pos + 1 > String.length c.buf then raise Short;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  if c.pos + 4 > String.length c.buf then raise Short;
+  let v = Int32.to_int (String.get_int32_le c.buf c.pos) in
+  c.pos <- c.pos + 4;
+  v land 0xffffffff
+
+let get_str c =
+  if c.pos + 2 > String.length c.buf then raise Short;
+  let n = String.get_uint16_le c.buf c.pos in
+  if c.pos + 2 + n > String.length c.buf then raise Short;
+  let s = String.sub c.buf (c.pos + 2) n in
+  c.pos <- c.pos + 2 + n;
+  s
+
+let get_rest c =
+  let s = String.sub c.buf c.pos (String.length c.buf - c.pos) in
+  c.pos <- String.length c.buf;
+  s
+
+let mode_byte = function Capfs.Client.RO -> 0 | WO -> 1 | RW -> 2
+
+let mode_of_byte = function
+  | 0 -> Capfs.Client.RO
+  | 1 -> WO
+  | 2 -> RW
+  | _ -> raise Short
+
+let encode_request r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Open { client; path; mode } ->
+    add_u32 b client;
+    add_u8 b (mode_byte mode);
+    add_str b path
+  | Close { client; path } ->
+    add_u32 b client;
+    add_str b path
+  | Read { client; path; offset; count } ->
+    add_u32 b client;
+    add_u32 b offset;
+    add_u32 b count;
+    add_str b path
+  | Write { client; path; offset; data } ->
+    add_u32 b client;
+    add_u32 b offset;
+    add_str b path;
+    Buffer.add_string b data
+  | Mkdir p | Delete p | Stat p -> add_str b p
+  | Sync | Stats | Shutdown -> ());
+  (opcode r, Buffer.contents b)
+
+let decode_request ~opcode payload =
+  let c = { buf = payload; pos = 0 } in
+  match
+    if opcode = op_open then begin
+      let client = get_u32 c in
+      let mode = mode_of_byte (get_u8 c) in
+      let path = get_str c in
+      Open { client; path; mode }
+    end
+    else if opcode = op_close then begin
+      let client = get_u32 c in
+      let path = get_str c in
+      Close { client; path }
+    end
+    else if opcode = op_read then begin
+      let client = get_u32 c in
+      let offset = get_u32 c in
+      let count = get_u32 c in
+      let path = get_str c in
+      Read { client; path; offset; count }
+    end
+    else if opcode = op_write then begin
+      let client = get_u32 c in
+      let offset = get_u32 c in
+      let path = get_str c in
+      let data = get_rest c in
+      Write { client; path; offset; data }
+    end
+    else if opcode = op_mkdir then Mkdir (get_str c)
+    else if opcode = op_delete then Delete (get_str c)
+    else if opcode = op_stat then Stat (get_str c)
+    else if opcode = op_sync then Sync
+    else if opcode = op_stats then Stats
+    else if opcode = op_shutdown then Shutdown
+    else raise Short
+  with
+  | r -> Ok r
+  | exception Short -> Error Errno.EINVAL
+
+(* Reply status byte: 0 for success, [1 + Errno.to_index e] for a typed
+   failure — the same closed errno vocabulary on the wire as in the
+   API. *)
+
+let encode_reply r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Ok_unit -> add_u8 b 0
+  | Ok_data s ->
+    add_u8 b 0;
+    Buffer.add_string b s
+  | Ok_stat { size; is_dir } ->
+    add_u8 b 0;
+    add_u32 b size;
+    add_u8 b (if is_dir then 1 else 0)
+  | Ok_stats s ->
+    add_u8 b 0;
+    Buffer.add_string b s
+  | Err e -> add_u8 b (1 + Errno.to_index e));
+  Buffer.contents b
+
+let decode_reply ~opcode payload =
+  let c = { buf = payload; pos = 0 } in
+  match
+    let status = get_u8 c in
+    if status > 0 then begin
+      let i = status - 1 in
+      if i >= Array.length Errno.all then raise Short else Err Errno.all.(i)
+    end
+    else if opcode = op_read || opcode = op_write then
+      if opcode = op_read then Ok_data (get_rest c) else Ok_unit
+    else if opcode = op_stat then begin
+      let size = get_u32 c in
+      let is_dir = get_u8 c = 1 in
+      Ok_stat { size; is_dir }
+    end
+    else if opcode = op_stats then Ok_stats (get_rest c)
+    else Ok_unit
+  with
+  | r -> Ok r
+  | exception Short -> Error Errno.EINVAL
+
+let pp_reply ppf = function
+  | Ok_unit -> Format.pp_print_string ppf "ok"
+  | Ok_data s -> Format.fprintf ppf "ok (%d bytes)" (String.length s)
+  | Ok_stat { size; is_dir } ->
+    Format.fprintf ppf "ok (%s, %d bytes)"
+      (if is_dir then "dir" else "file")
+      size
+  | Ok_stats s -> Format.fprintf ppf "ok (stats, %d bytes)" (String.length s)
+  | Err e -> Format.fprintf ppf "error %s" (Errno.to_string e)

@@ -1,0 +1,64 @@
+(** The PFS request/reply vocabulary and its wire codecs.
+
+    One request type serves three transports: in-process calls
+    ({!Server.call}), the socket protocol (a {!Capfs_ccache.Netlink.Frame}
+    whose opcode and payload these codecs fill), and the load
+    generator. Requests name files by {e path} — the abstract client
+    interface's own vocabulary — so routing can hash the first path
+    component to a shard before any file-system state is touched.
+
+    Integers are little-endian u32, strings are u16-length-prefixed; a
+    write's data rides as the payload tail (the frame header already
+    carries its length). A reply's first byte is a status: [0] for
+    success, [1 + Errno.to_index e] for failure — the same closed errno
+    vocabulary on the wire as in the API. *)
+
+type stat = { size : int; is_dir : bool }
+
+type request =
+  | Open of { client : int; path : string; mode : Capfs.Client.open_mode }
+  | Close of { client : int; path : string }
+  | Read of { client : int; path : string; offset : int; count : int }
+  | Write of { client : int; path : string; offset : int; data : string }
+  | Mkdir of string
+  | Delete of string
+  | Stat of string
+  | Sync  (** flush every shard; replies when the slowest one is stable *)
+  | Stats  (** merged per-shard statistics report (JSON payload) *)
+  | Shutdown
+      (** stop the server. No reply is sent: the client closes after
+          writing it, and a clean server exit is the acknowledgement. *)
+
+type reply =
+  | Ok_unit
+  | Ok_data of string  (** read payload, possibly short at EOF *)
+  | Ok_stat of stat
+  | Ok_stats of string  (** the merged JSON report *)
+  | Err of Capfs_core.Errno.t
+
+(** Frame opcode of a request; replies echo it. *)
+val opcode : request -> int
+
+(** The path a request is routed by; [None] for the server-level
+    operations ([Sync] fans out to every shard, [Stats]/[Shutdown] are
+    answered by the listener itself). *)
+val route_path : request -> string option
+
+val encode_request : request -> int * string
+(** [(opcode, payload)]. *)
+
+(** [decode_request ~opcode payload] — [Error EINVAL] on an unknown
+    opcode or a payload that doesn't parse (truncated field, bad open
+    mode). *)
+val decode_request :
+  opcode:int -> string -> (request, Capfs_core.Errno.t) result
+
+val encode_reply : reply -> string
+
+(** Replies are decoded under the request's echoed [opcode] — the
+    status byte says whether it's an error, the opcode says which
+    success shape follows. *)
+val decode_reply :
+  opcode:int -> string -> (reply, Capfs_core.Errno.t) result
+
+val pp_reply : Format.formatter -> reply -> unit

@@ -302,6 +302,9 @@ let burn_solo_pop_draw t =
   | `Random -> ignore (Capfs_stats.Prng.int t.rng 1 : int)
   | `Fifo -> ()
 
+let live_nondaemon t =
+  Hashtbl.fold (fun _ th n -> if th.daemon then n else n + 1) t.live 0
+
 let solo_wake_at t ~at =
   t.clk = `Virtual && t.running && t.runq_len = 0
   && (not (Tracer.enabled t.tracer))
@@ -309,6 +312,14 @@ let solo_wake_at t ~at =
   && (match Heap.top_exn t.timers with
      | tm -> tm.at > at
      | exception Heap.Empty -> true)
+  (* A lone daemon (say a periodic flusher whose service loop outlived
+     every non-daemon fibre) must take the slow path: parked on its
+     timer, [idle] sees no non-daemon work and [run] returns. Waking it
+     in place would spin its service loop forever and never hand the
+     scheduler back. *)
+  && (match t.current with
+     | Some th when th.daemon -> live_nondaemon t > 0
+     | Some _ | None -> true)
 
 let yield t =
   check_alive t;
@@ -409,9 +420,6 @@ let live_names t =
       if th.daemon then ("*" ^ th.name) :: acc else th.name :: acc)
     t.live []
   |> List.sort compare
-
-let live_nondaemon t =
-  Hashtbl.fold (fun _ th n -> if th.daemon then n else n + 1) t.live 0
 
 let stop t = t.stopping <- true
 

@@ -1,0 +1,47 @@
+(* In-process shard-routing probe: ops/s through Server.call under the
+   virtual clock, 1 vs 4 shards — the loadgen path minus the wire. On a
+   single core more shards cost a little (more schedulers to pump); on
+   a real multi-core box the socket server spreads them over domains. *)
+module Pfs = Capfs_pfs.Pfs
+module Server = Capfs_pfs.Server
+module Wire = Capfs_pfs.Wire
+
+let dirs = [| "/alpha"; "/beta"; "/gamma"; "/delta" |]
+
+let run shards =
+  let path = Filename.temp_file "prof10" ".img" in
+  let cfg =
+    Pfs.Config.make ~image:path ~size_mb:8 ~clock:`Virtual ~shards ~workers:0 ()
+  in
+  let t =
+    match Server.create cfg with
+    | Ok t -> t
+    | Error e -> failwith (Capfs_core.Errno.to_string e)
+  in
+  Array.iter (fun d -> ignore (Server.call t (Wire.Mkdir d))) dirs;
+  let ops = 4_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to ops - 1 do
+    let file = Printf.sprintf "%s/f%d" dirs.(i mod 4) (i mod 16) in
+    (match Server.call t (Wire.Write { client = 0; path = file; offset = 0;
+                                       data = String.make 512 'x' }) with
+    | Wire.Ok_unit -> ()
+    | r -> Format.kasprintf failwith "write: %a" Wire.pp_reply r);
+    match Server.call t (Wire.Read { client = 0; path = file; offset = 0;
+                                     count = 512 }) with
+    | Wire.Ok_data _ -> ()
+    | r -> Format.kasprintf failwith "read: %a" Wire.pp_reply r
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Server.shutdown t;
+  Sys.remove path;
+  for i = 0 to shards - 1 do
+    let s = Printf.sprintf "%s.shard%d" path i in
+    if Sys.file_exists s then Sys.remove s
+  done;
+  Printf.printf "%d shard(s): %6.0f ops/s (%d ops in %.2fs)\n%!"
+    shards (float_of_int (2 * ops) /. dt) (2 * ops) dt
+
+let () =
+  run 1;
+  run 4

@@ -23,7 +23,7 @@ let () =
   ignore
     (Sched.spawn sched (fun () ->
          let client, _ = Experiment.build_instance sched cfg in
-         out := Some (Replay.run ~serial:true client records)));
+         out := Some (Replay.run ~serial:true client (Capfs_trace.Source.of_array records))));
   Sched.run sched;
   let w3 = Gc.minor_words () in
   Printf.printf "serial Replay.run (whole sched): %.1f words/op\n"

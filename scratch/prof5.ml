@@ -14,7 +14,7 @@ let run name ~synthesize_missing ~serial =
   ignore
     (Sched.spawn sched (fun () ->
          let client, _ = Experiment.build_instance sched cfg in
-         out := Some (Replay.run ~serial ~synthesize_missing client records)));
+         out := Some (Replay.run ~serial ~synthesize_missing client (Capfs_trace.Source.of_array records))));
   Sched.run sched;
   let w1 = Gc.minor_words () in
   let o = Option.get !out in

@@ -184,6 +184,185 @@ let test_network_time_is_charged () =
       Alcotest.(check (float 1e-9)) "warm read free" 0. warm;
       Cc_client.close_ a "/timed")
 
+(* Netlink.Frame: the real wire framing under the multi-client PFS
+   server. The edge cases a socket actually produces: short reads
+   mid-header and mid-payload, oversized length fields, torn frames,
+   clean EOF, and interleaved out-of-order replies on one connection. *)
+
+module Frame = Netlink.Frame
+
+let errno = Alcotest.testable Capfs_core.Errno.pp ( = )
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+(* The exact bytes [Frame.write] puts on the wire, for byte-level
+   corruption and dribbling. *)
+let frame_bytes f =
+  with_socketpair (fun a b ->
+      (match Frame.write a f with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "frame_bytes: %s" (Capfs_core.Errno.to_string e));
+      Unix.close a;
+      let buf = Buffer.create 64 in
+      let chunk = Bytes.create 4096 in
+      let rec go () =
+        let n = Unix.read b chunk 0 4096 in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        end
+      in
+      go ();
+      Buffer.contents buf)
+
+let check_frame msg (want : Frame.t) = function
+  | Ok (Some (got : Frame.t)) ->
+    Alcotest.(check int) (msg ^ ": req_id") want.Frame.req_id got.Frame.req_id;
+    Alcotest.(check int) (msg ^ ": opcode") want.Frame.opcode got.Frame.opcode;
+    Alcotest.(check string) (msg ^ ": payload") want.Frame.payload
+      got.Frame.payload
+  | Ok None -> Alcotest.failf "%s: unexpected EOF" msg
+  | Error e -> Alcotest.failf "%s: %s" msg (Capfs_core.Errno.to_string e)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let f1 = { Frame.req_id = 7; opcode = 3; payload = "hello frame" } in
+      let f2 = { Frame.req_id = 8; opcode = 5; payload = "" } in
+      (match Frame.write a f1 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" (Capfs_core.Errno.to_string e));
+      (match Frame.write a f2 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" (Capfs_core.Errno.to_string e));
+      Unix.close a;
+      check_frame "first" f1 (Frame.read b);
+      check_frame "second (empty payload)" f2 (Frame.read b);
+      (* and after the last whole frame: a clean EOF, not an error *)
+      match Frame.read b with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.fail "expected EOF"
+      | Error e -> Alcotest.failf "eof: %s" (Capfs_core.Errno.to_string e))
+
+let test_frame_short_reads () =
+  (* a dribbling writer: the frame arrives a few bytes at a time, with
+     cuts inside the header and inside the payload. [read_sched] must
+     reassemble it exactly (real clock: it parks on wait_readable). *)
+  let f =
+    { Frame.req_id = 42; opcode = 9; payload = String.init 100 Char.chr }
+  in
+  let bytes = frame_bytes f in
+  with_socketpair (fun a b ->
+      Unix.set_nonblock b;
+      let s = Sched.create ~clock:`Real () in
+      let got = ref None in
+      ignore
+        (Sched.spawn s ~name:"dribbler" (fun () ->
+             let n = String.length bytes in
+             let step = 3 in
+             let off = ref 0 in
+             while !off < n do
+               let k = min step (n - !off) in
+               ignore (Unix.write_substring a bytes !off k);
+               off := !off + k;
+               Sched.sleep s 0.002
+             done));
+      ignore
+        (Sched.spawn s ~name:"reader" (fun () ->
+             got := Some (Frame.read_sched s b)));
+      Sched.run s;
+      match !got with
+      | Some r -> check_frame "dribbled" f r
+      | None -> Alcotest.fail "reader did not finish")
+
+let test_frame_oversized_payload () =
+  with_socketpair (fun a b ->
+      let f = { Frame.req_id = 1; opcode = 1; payload = String.make 200 'x' } in
+      (match Frame.write a f with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" (Capfs_core.Errno.to_string e));
+      (* the reader's cap is authoritative: a length field beyond it is
+         refused before any allocation *)
+      match Frame.read ~max_payload:64 b with
+      | Error e ->
+        Alcotest.check errno "oversized refused" Capfs_core.Errno.EINVAL e
+      | Ok _ -> Alcotest.fail "oversized payload accepted")
+
+let test_frame_bad_magic () =
+  let f = { Frame.req_id = 3; opcode = 2; payload = "p" } in
+  let bytes = Bytes.of_string (frame_bytes f) in
+  Bytes.set bytes 0 '\xde';
+  Bytes.set bytes 1 '\xad';
+  with_socketpair (fun a b ->
+      ignore (Unix.write a bytes 0 (Bytes.length bytes));
+      Unix.close a;
+      match Frame.read b with
+      | Error e ->
+        Alcotest.check errno "bad magic refused" Capfs_core.Errno.EINVAL e
+      | Ok _ -> Alcotest.fail "bad magic accepted")
+
+let test_frame_torn () =
+  let f = { Frame.req_id = 5; opcode = 4; payload = "torn payload bytes" } in
+  let bytes = frame_bytes f in
+  let torn_at cut =
+    with_socketpair (fun a b ->
+        ignore (Unix.write_substring a bytes 0 cut);
+        Unix.close a;
+        match Frame.read b with
+        | Error e ->
+          Alcotest.check errno
+            (Printf.sprintf "EOF after %d bytes is a torn frame" cut)
+            Capfs_core.Errno.EIO e
+        | Ok (Some _) -> Alcotest.failf "parsed a frame cut at %d" cut
+        | Ok None -> Alcotest.failf "cut at %d read as clean EOF" cut)
+  in
+  (* mid-header and mid-payload *)
+  torn_at 7;
+  torn_at (Frame.header_bytes + 4)
+
+let test_frame_interleaved_replies () =
+  (* one connection, replies out of order: the req_id is the
+     correlation key, exactly what the load generator pipelines on *)
+  with_socketpair (fun a b ->
+      let replies =
+        [
+          { Frame.req_id = 11; opcode = 2; payload = "second request's reply" };
+          { Frame.req_id = 10; opcode = 1; payload = "first request's reply" };
+          { Frame.req_id = 12; opcode = 3; payload = "third" };
+        ]
+      in
+      List.iter
+        (fun f ->
+          match Frame.write a f with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "write: %s" (Capfs_core.Errno.to_string e))
+        replies;
+      Unix.close a;
+      let by_id = Hashtbl.create 4 in
+      let rec collect () =
+        match Frame.read b with
+        | Ok (Some f) ->
+          Hashtbl.replace by_id f.Frame.req_id f;
+          collect ()
+        | Ok None -> ()
+        | Error e -> Alcotest.failf "collect: %s" (Capfs_core.Errno.to_string e)
+      in
+      collect ();
+      Alcotest.(check int) "all demuxed" 3 (Hashtbl.length by_id);
+      List.iter
+        (fun (want : Frame.t) ->
+          match Hashtbl.find_opt by_id want.Frame.req_id with
+          | Some got ->
+            Alcotest.(check string) "payload by req_id" want.Frame.payload
+              got.Frame.payload
+          | None -> Alcotest.failf "req %d lost" want.Frame.req_id)
+        replies)
+
 let suite =
   [
     Alcotest.test_case "local cache hits" `Quick test_local_cache_hits;
@@ -200,4 +379,12 @@ let suite =
     Alcotest.test_case "client cache bounded" `Quick test_client_cache_bounded;
     Alcotest.test_case "network time charged" `Quick
       test_network_time_is_charged;
+    Alcotest.test_case "frame roundtrip + eof" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame short reads" `Quick test_frame_short_reads;
+    Alcotest.test_case "frame oversized payload" `Quick
+      test_frame_oversized_payload;
+    Alcotest.test_case "frame bad magic" `Quick test_frame_bad_magic;
+    Alcotest.test_case "frame torn" `Quick test_frame_torn;
+    Alcotest.test_case "frame interleaved replies" `Quick
+      test_frame_interleaved_replies;
   ]

@@ -186,7 +186,15 @@ let test_pfs_and_patsy_agree_on_state () =
   Fun.protect
     ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
     (fun () ->
-      let t = Capfs_pfs.Pfs.start ~clock:`Virtual ~image:path ~size_mb:8 () in
+      let t =
+        match
+          Capfs_pfs.Pfs.create
+            (Capfs_pfs.Pfs.Config.make ~image:path ~size_mb:8 ~clock:`Virtual ())
+        with
+        | Ok t -> t
+        | Error e ->
+          Alcotest.failf "Pfs.create: %s" (Capfs_core.Errno.to_string e)
+      in
       ignore
         (Sched.spawn t.Capfs_pfs.Pfs.sched (fun () ->
              pfs_result := Some (ops t.Capfs_pfs.Pfs.client)));

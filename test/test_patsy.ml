@@ -7,7 +7,7 @@ module Synth = Capfs_trace.Synth
 module Replay = Capfs_patsy.Replay
 module Experiment = Capfs_patsy.Experiment
 module Report = Capfs_patsy.Report
-module Multiplex = Capfs_patsy.Multiplex
+module Multiplex = Capfs_layout.Multiplex
 module Layout = Capfs_layout.Layout
 module Inode = Capfs_layout.Inode
 module Lfs = Capfs_layout.Lfs
@@ -399,7 +399,7 @@ let test_fleet_gen_failure_is_an_error () =
 
 (* {2 Streamed replay: byte-identical to the array path}
 
-   [Replay.run_source] over a cursor-backed source must produce the
+   [Replay.run] over a cursor-backed source must produce the
    same result as the array path on the same records — same synthesized
    times, same fibre spawn order, same interleaving, same stats. The
    synthetic profiles leave I/O times unrecorded, so these traces
@@ -451,7 +451,7 @@ let test_streamed_serial_replay_equals_array () =
            let client, _ =
              Experiment.build_instance sched (test_config Experiment.Ups)
            in
-           out := Some (Replay.run_source ~serial:true client trace)));
+           out := Some (Replay.run ~serial:true client trace)));
     Sched.run sched;
     Option.get !out
   in

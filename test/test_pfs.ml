@@ -21,6 +21,11 @@ let in_fibre t f =
   ignore (Sched.spawn t.Pfs.sched ~name:"test" (fun () -> f ()));
   Sched.run t.Pfs.sched
 
+let start_pfs ?(clock = `Virtual) ?(size_mb = 8) path =
+  match Pfs.create (Pfs.Config.make ~image:path ~size_mb ~clock ()) with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "Pfs.create: %s" (Capfs_core.Errno.to_string e)
+
 (* File_blockdev *)
 
 let test_blockdev_roundtrip () =
@@ -72,7 +77,7 @@ let test_blockdev_persists_across_reopen () =
 
 let test_pfs_format_and_basic_io () =
   with_temp_image (fun path ->
-      let t = Pfs.start ~clock:`Virtual ~image:path ~size_mb:8 () in
+      let t = start_pfs path in
       in_fibre t (fun () ->
           Capfs.Client.mkdir_exn t.Pfs.client "/docs";
           Capfs.Client.open_exn t.Pfs.client ~client:1 "/docs/a" Capfs.Client.WO;
@@ -89,7 +94,7 @@ let test_pfs_format_and_basic_io () =
 let test_pfs_survives_restart () =
   with_temp_image (fun path ->
       let () =
-        let t = Pfs.start ~clock:`Virtual ~image:path ~size_mb:8 () in
+        let t = start_pfs path in
         in_fibre t (fun () ->
             Capfs.Client.mkdir_exn t.Pfs.client "/keep";
             Capfs.Client.open_exn t.Pfs.client ~client:1 "/keep/f"
@@ -100,7 +105,7 @@ let test_pfs_survives_restart () =
         Pfs.shutdown t
       in
       (* second server process: must mount, not format *)
-      let t2 = Pfs.start ~clock:`Virtual ~image:path ~size_mb:8 () in
+      let t2 = start_pfs path in
       in_fibre t2 (fun () ->
           let d =
             Capfs.Client.read_exn t2.Pfs.client ~client:1 "/keep/f" ~offset:0
@@ -113,7 +118,7 @@ let test_pfs_real_clock_smoke () =
   (* the same stack under the real clock: a small write/read finishes
      promptly in wall-clock time *)
   with_temp_image (fun path ->
-      let t = Pfs.start ~clock:`Real ~image:path ~size_mb:8 () in
+      let t = start_pfs ~clock:`Real path in
       let t0 = Unix.gettimeofday () in
       in_fibre t (fun () ->
           Capfs.Client.open_exn t.Pfs.client ~client:1 "/rt" Capfs.Client.WO;
@@ -128,7 +133,7 @@ let test_pfs_real_clock_smoke () =
 
 (* NFS front end *)
 
-let nfs_setup path = Pfs.start ~clock:`Virtual ~image:path ~size_mb:8 ()
+let nfs_setup path = start_pfs path
 
 let test_nfs_lookup_create_write_read () =
   with_temp_image (fun path ->
@@ -287,13 +292,13 @@ let test_pfs_trace_replay_over_file () =
           Capfs_trace.Synth.sprite_1a
       in
       let result =
-        let t = Pfs.start ~clock:`Virtual ~image:path ~size_mb:24 () in
+        let t = start_pfs ~size_mb:24 path in
         let r = ref None in
         in_fibre t (fun () ->
             r :=
               Some
                 (Capfs_patsy.Replay.run ~speedup:1000. ~real_data:true t.Pfs.client
-                   records);
+                   (Capfs_trace.Source.of_array records));
             Capfs_core.Errno.ok_exn (Capfs.Client.sync t.Pfs.client));
         Pfs.shutdown t;
         Option.get !r
@@ -305,7 +310,7 @@ let test_pfs_trace_replay_over_file () =
         result.Capfs_patsy.Replay.errors;
       (* crash-free close: a cold remount of the image must succeed and
          serve I/O without recovery complaints *)
-      let t = Pfs.start ~clock:`Virtual ~image:path ~size_mb:24 () in
+      let t = start_pfs ~size_mb:24 path in
       in_fibre t (fun () ->
           Capfs.Client.mkdir_exn t.Pfs.client "/after-restart";
           Capfs.Client.open_exn t.Pfs.client ~client:1 "/after-restart/ok"

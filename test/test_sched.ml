@@ -179,6 +179,26 @@ let test_daemons_do_not_block_exit () =
   Sched.run s;
   Alcotest.(check int) "daemon ticked thrice" 3 !ticks
 
+let test_lone_daemon_sleep_parks () =
+  (* Regression: once every non-daemon fibre has finished, a daemon's
+     virtual-clock sleep must actually suspend it so [run] can observe
+     that no non-daemon work remains and return. The solo fast path
+     used to complete the sleep in place for the lone daemon, spinning
+     its service loop forever (a Pfs periodic flusher outliving the
+     boot fibre livelocked exactly this way). Fifo dispatch makes the
+     non-daemon finish first, so the daemon's sleep happens alone. *)
+  let s = vsched ~policy:`Fifo () in
+  let ticks = ref 0 in
+  ignore (Sched.spawn s ~name:"boot" (fun () -> ()));
+  ignore
+    (Sched.spawn s ~daemon:true ~name:"flusher" (fun () ->
+         while true do
+           Sched.sleep s 5.;
+           incr ticks
+         done));
+  Sched.run s;
+  Alcotest.(check int) "lone daemon parked, not spun" 0 !ticks
+
 let test_run_until_horizon () =
   let s = vsched () in
   let late = ref false in
@@ -542,6 +562,8 @@ let suite =
     Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
     Alcotest.test_case "daemons do not block exit" `Quick
       test_daemons_do_not_block_exit;
+    Alcotest.test_case "lone daemon sleep parks" `Quick
+      test_lone_daemon_sleep_parks;
     Alcotest.test_case "run until horizon" `Quick test_run_until_horizon;
     Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
     Alcotest.test_case "fifo policy order" `Quick test_fifo_policy_order;
