@@ -23,6 +23,7 @@ module Pfs = Capfs_pfs.Pfs
 module Wire = Capfs_pfs.Wire
 module Server = Capfs_pfs.Server
 module Frame = Capfs_ccache.Netlink.Frame
+module CC = Capfs_pfs.Cached_client
 
 let config_of image args =
   Pfs.Config.of_args ~base:(Pfs.Config.make ~image ()) args
@@ -220,13 +221,143 @@ module Hist = struct
     end
 end
 
+(* {2 Workload families}
+
+   [seq] is the original pipelined open/write/close/open/read/close
+   cycle over private per-client directories. The shared families model
+   a hot set: every client holds the same [files] files under /shared
+   open and reads them — Zipf-skewed ([zipf:<theta>], pure reads) or
+   uniform with a write mix ([readmostly:<ratio>], [1-ratio] of the ops
+   cycle a handle RO->WO->write->RO so the grant machinery sees real
+   sharing). The shared families are where client-side caching shows:
+   with [--cache] the same loop runs over {!Cached_client}. *)
+
+type workload = Seq | Zipf of float | Readmostly of float
+
+let parse_workload s =
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "seq" ] -> Seq
+  | [ "zipf"; t ] -> (
+    match float_of_string_opt t with
+    | Some t when t >= 0. -> Zipf t
+    | _ -> die "pfs loadgen: bad zipf theta %S" t)
+  | [ "readmostly"; r ] -> (
+    match float_of_string_opt r with
+    | Some r when r >= 0. && r <= 1. -> Readmostly r
+    | _ -> die "pfs loadgen: bad readmostly ratio %S" r)
+  | _ ->
+    die "pfs loadgen: unknown workload %S (seq | zipf:<theta> | \
+         readmostly:<ratio>)" s
+
+let workload_name = function
+  | Seq -> "seq"
+  | Zipf t -> Printf.sprintf "zipf:%g" t
+  | Readmostly r -> Printf.sprintf "readmostly:%g" r
+
+(* Zipf(theta) over ranks 1..n, as an inverse-CDF table. *)
+let zipf_cdf ~n ~theta =
+  let w = Array.init n (fun i -> float_of_int (i + 1) ** -.theta) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let acc = ref 0. in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let sample_cdf cdf rng =
+  let r = Random.State.float rng 1.0 in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < r then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let shared_dir = "/shared"
+let shared_file k = Printf.sprintf "%s/f%d" shared_dir k
+
+let connect_to addr =
+  let fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+  in
+  let rec go tries =
+    match Unix.connect fd addr with
+    | () -> ()
+    | exception Unix.Unix_error _ when tries > 0 ->
+      Unix.sleepf 0.05;
+      go (tries - 1)
+  in
+  go 100;
+  fd
+
+(* One synchronous call over a blocking connection (setup and the
+   old-vocabulary client; no pipelining, no batching — exactly what a
+   pre-grant client speaks). *)
+let sync_call fd next_id req =
+  let opcode, body = Wire.encode_request req in
+  incr next_id;
+  let req_id = !next_id in
+  (match Frame.write fd { Frame.req_id; opcode; payload = body } with
+  | Ok () -> ()
+  | Error e -> die "pfs loadgen: send failed (%s)" (Errno.to_string e));
+  let rec wait () =
+    match Frame.read fd with
+    | Ok (Some { Frame.req_id = rid; opcode = op; payload }) ->
+      if rid <> req_id then wait ()
+      else (
+        match Wire.decode_reply ~opcode:op payload with
+        | Ok r -> r
+        | Error e -> die "pfs loadgen: bad reply (%s)" (Errno.to_string e))
+    | Ok None -> die "pfs loadgen: server closed the connection"
+    | Error e -> die "pfs loadgen: recv failed (%s)" (Errno.to_string e)
+  in
+  wait ()
+
+(* Build the shared hot set before any client starts. *)
+let setup_shared addr ~files ~bytes =
+  let fd = connect_to addr in
+  let next_id = ref 0 in
+  let call = sync_call fd next_id in
+  (match call (Wire.Mkdir shared_dir) with
+  | Wire.Ok_unit | Wire.Err Errno.EEXIST -> ()
+  | r -> die "pfs loadgen: mkdir %s: %s" shared_dir
+           (Format.asprintf "%a" Wire.pp_reply r));
+  let payload = String.make bytes 'i' in
+  for k = 0 to files - 1 do
+    let path = shared_file k in
+    let expect what = function
+      | Wire.Ok_unit -> ()
+      | r -> die "pfs loadgen: %s %s: %s" what path
+               (Format.asprintf "%a" Wire.pp_reply r)
+    in
+    expect "open"
+      (call (Wire.Open { client = 999999; path; mode = Client.WO }));
+    expect "write"
+      (call (Wire.Write { client = 999999; path; offset = 0; data = payload }));
+    expect "close" (call (Wire.Close { client = 999999; path }))
+  done;
+  Unix.close fd
+
 type client_result = {
   ops : int;
   eagain : int;
   errors : int;
   secs : float;
+  hits : int;
+  misses : int;
   hist : int array;
 }
+
+let report_client ~ops ~eagain ~errors ~secs ~hits ~misses ~hist out_fd =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%d %d %d %.6f %d %d" ops eagain errors secs hits misses);
+  Array.iter (fun v -> Buffer.add_string b (" " ^ string_of_int v)) hist;
+  Buffer.add_char b '\n';
+  let line = Buffer.contents b in
+  let _ = Unix.write_substring out_fd line 0 (String.length line) in
+  Unix.close out_fd
 
 (* One pipelined client: [depth] requests in flight on one blocking
    socket, replies correlated by request id (they return out of
@@ -345,23 +476,135 @@ let run_client ~addr ~id ~depth ~files ~bytes ~seconds out_fd =
   done;
   let secs = Unix.gettimeofday () -. t0 in
   Unix.close fd;
-  let b = Buffer.create 1024 in
-  Buffer.add_string b
-    (Printf.sprintf "%d %d %d %.6f" !ops !eagain !errors secs);
-  Array.iter (fun v -> Buffer.add_string b (" " ^ string_of_int v)) hist;
-  Buffer.add_char b '\n';
-  let line = Buffer.contents b in
-  let _ = Unix.write_substring out_fd line 0 (String.length line) in
-  Unix.close out_fd
+  report_client ~ops:!ops ~eagain:!eagain ~errors:!errors ~secs ~hits:0
+    ~misses:0 ~hist out_fd
+
+(* The shared-hot-set client (zipf / readmostly), synchronous: one op
+   at a time over handles held open for the whole run. With [cache] the
+   loop runs over {!Cached_client} — repeated reads of a granted file
+   touch no wire; without, the same loop is one plain RPC per step, the
+   old-client vocabulary. *)
+let run_client_shared ~addr ~id ~files ~bytes ~seconds ~workload ~cache out_fd
+    =
+  let fd = connect_to addr in
+  let rng = Random.State.make [| 0xC0FFEE; id |] in
+  let pick, write_frac =
+    match workload with
+    | Zipf theta ->
+      let cdf = zipf_cdf ~n:files ~theta in
+      ((fun () -> sample_cdf cdf rng), 0.0)
+    | Readmostly ratio -> ((fun () -> Random.State.int rng files), 1.0 -. ratio)
+    | Seq -> die "pfs loadgen: seq is not a shared workload"
+  in
+  let payload = String.make bytes 'y' in
+  let hist = Hist.create () in
+  let ops = ref 0 and eagain = ref 0 and errors = ref 0 in
+  let note r t1 =
+    match r with
+    | Ok () ->
+      Hist.add hist (Unix.gettimeofday () -. t1);
+      incr ops
+    | Error Errno.EAGAIN -> incr eagain
+    | Error _ -> incr errors
+  in
+  let ( let* ) = Result.bind in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. seconds in
+  let hits, misses =
+    if cache then begin
+      let cc = CC.create ~client:(id + 1) (CC.socket_transport fd) in
+      for k = 0 to files - 1 do
+        match CC.open_ cc (shared_file k) Client.RO with
+        | Ok () -> ()
+        | Error e ->
+          die "client %d: open %s: %s" id (shared_file k) (Errno.to_string e)
+      done;
+      while Unix.gettimeofday () < deadline do
+        let p = shared_file (pick ()) in
+        let t1 = Unix.gettimeofday () in
+        let r =
+          if write_frac > 0. && Random.State.float rng 1.0 < write_frac then begin
+            let r =
+              let* () = CC.close_ cc p in
+              let* () = CC.open_ cc p Client.WO in
+              let* () = CC.write cc p ~offset:0 ~data:payload in
+              let* () = CC.close_ cc p in
+              CC.open_ cc p Client.RO
+            in
+            (* whatever failed mid-cycle, leave the handle readable *)
+            (match r with Error _ -> ignore (CC.open_ cc p Client.RO) | Ok () -> ());
+            r
+          end
+          else
+            match CC.read cc p ~offset:0 ~count:bytes with
+            | Ok _ -> Ok ()
+            | Error e -> Error e
+        in
+        note r t1
+      done;
+      let h = CC.local_hits cc and m = CC.remote_misses cc in
+      CC.disconnect cc;
+      (h, m)
+    end
+    else begin
+      let next_id = ref 0 in
+      let call = sync_call fd next_id in
+      let rpc req =
+        match call req with Wire.Err e -> Error e | _ -> Ok ()
+      in
+      for k = 0 to files - 1 do
+        match
+          rpc (Wire.Open { client = id; path = shared_file k; mode = Client.RO })
+        with
+        | Ok () -> ()
+        | Error e ->
+          die "client %d: open %s: %s" id (shared_file k) (Errno.to_string e)
+      done;
+      while Unix.gettimeofday () < deadline do
+        let p = shared_file (pick ()) in
+        let t1 = Unix.gettimeofday () in
+        let r =
+          if write_frac > 0. && Random.State.float rng 1.0 < write_frac then begin
+            let r =
+              let* () = rpc (Wire.Close { client = id; path = p }) in
+              let* () = rpc (Wire.Open { client = id; path = p; mode = Client.WO }) in
+              let* () =
+                rpc (Wire.Write { client = id; path = p; offset = 0; data = payload })
+              in
+              let* () = rpc (Wire.Close { client = id; path = p }) in
+              rpc (Wire.Open { client = id; path = p; mode = Client.RO })
+            in
+            (match r with
+            | Error _ ->
+              ignore (rpc (Wire.Open { client = id; path = p; mode = Client.RO }))
+            | Ok () -> ());
+            r
+          end
+          else rpc (Wire.Read { client = id; path = p; offset = 0; count = bytes })
+        in
+        note r t1
+      done;
+      for k = 0 to files - 1 do
+        ignore (rpc (Wire.Close { client = id; path = shared_file k }))
+      done;
+      Unix.close fd;
+      (0, 0)
+    end
+  in
+  let secs = Unix.gettimeofday () -. t0 in
+  report_client ~ops:!ops ~eagain:!eagain ~errors:!errors ~secs ~hits ~misses
+    ~hist out_fd
 
 let parse_client_line line =
   match String.split_on_char ' ' (String.trim line) with
-  | ops :: eagain :: errors :: secs :: hist ->
+  | ops :: eagain :: errors :: secs :: hits :: misses :: hist ->
     {
       ops = int_of_string ops;
       eagain = int_of_string eagain;
       errors = int_of_string errors;
       secs = float_of_string secs;
+      hits = int_of_string hits;
+      misses = int_of_string misses;
       hist = Array.of_list (List.map int_of_string hist);
     }
   | _ -> die "loadgen: malformed client report: %s" line
@@ -379,9 +622,53 @@ let read_all fd =
   in
   go ()
 
+(* Read-your-writes across two cached clients, through the push
+   channel: A rewrites a file B holds cached; B's next read must see
+   the new bytes and must have acted on at least one Invalidate. Runs
+   against the live loadgen server, after the measured phase. *)
+let consistency_probe addr ~bytes =
+  let path = shared_dir ^ "/f0" in
+  let pat c = String.make bytes c in
+  let a = CC.create ~client:100001 (CC.socket_transport (connect_to addr)) in
+  let b = CC.create ~client:100002 (CC.socket_transport (connect_to addr)) in
+  let step name r =
+    match r with
+    | Ok v -> Ok v
+    | Error e ->
+      Printf.eprintf "pfs loadgen: consistency probe: %s failed (%s)\n%!"
+        name (Errno.to_string e);
+      Error e
+  in
+  let check name cond = step name (if cond then Ok () else Error Errno.EIO) in
+  let ( let* ) = Result.bind in
+  let run () =
+    let* () = step "A open WO" (CC.open_ a path Client.WO) in
+    let* () = step "A write P" (CC.write a path ~offset:0 ~data:(pat 'P')) in
+    let* () = step "A close" (CC.close_ a path) in
+    let* () = step "B open RO" (CC.open_ b path Client.RO) in
+    let* d1 = step "B read 1" (CC.read b path ~offset:0 ~count:bytes) in
+    let* () = check "B sees P" (d1 = pat 'P') in
+    (* warm B's cache, then rewrite behind its back *)
+    let* _ = step "B read 2" (CC.read b path ~offset:0 ~count:bytes) in
+    let* () = step "A reopen WO" (CC.open_ a path Client.WO) in
+    let* () = step "A write Q" (CC.write a path ~offset:0 ~data:(pat 'Q')) in
+    let* () = step "A reclose" (CC.close_ a path) in
+    (* the Invalidate rides B's connection; give its writer a beat *)
+    Unix.sleepf 0.1;
+    let* d2 = step "B read 3" (CC.read b path ~offset:0 ~count:bytes) in
+    let* () = check "B sees Q" (d2 = pat 'Q') in
+    let* () = check "B was invalidated" (CC.invalidations b >= 1) in
+    step "B close" (CC.close_ b path)
+  in
+  let ok = match run () with Ok () -> true | Error _ -> false in
+  CC.disconnect a;
+  CC.disconnect b;
+  ok
+
 (* One full benchmark run at a given shard count: fork the server,
    fork the clients, gather, shut the server down over the wire. *)
-let loadgen_run ~image ~sets ~shards ~clients ~depth ~files ~bytes ~seconds =
+let loadgen_run ~image ~sets ~shards ~clients ~depth ~files ~bytes ~seconds
+    ~workload ~cache =
   let image = Printf.sprintf "%s.s%d" image shards in
   let cfg =
     match config_of image (Printf.sprintf "shards=%d" shards :: sets) with
@@ -426,6 +713,7 @@ let loadgen_run ~image ~sets ~shards ~clients ~depth ~files ~bytes ~seconds =
       wait_ready (tries - 1)
   in
   wait_ready 200;
+  if workload <> Seq then setup_shared addr ~files ~bytes;
   (* client children, one pipe each *)
   let kids =
     List.init clients (fun id ->
@@ -433,7 +721,11 @@ let loadgen_run ~image ~sets ~shards ~clients ~depth ~files ~bytes ~seconds =
         match Unix.fork () with
         | 0 ->
           Unix.close r;
-          run_client ~addr ~id ~depth ~files ~bytes ~seconds w;
+          (match workload with
+          | Seq -> run_client ~addr ~id ~depth ~files ~bytes ~seconds w
+          | Zipf _ | Readmostly _ ->
+            run_client_shared ~addr ~id ~files ~bytes ~seconds ~workload
+              ~cache w);
           exit 0
         | pid ->
           Unix.close w;
@@ -449,6 +741,9 @@ let loadgen_run ~image ~sets ~shards ~clients ~depth ~files ~bytes ~seconds =
           die "pfs loadgen: a client failed";
         parse_client_line text)
       kids
+  in
+  let consistency =
+    if cache then Some (consistency_probe addr ~bytes) else None
   in
   (* stop the server over the wire: Shutdown gets no reply *)
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -466,26 +761,48 @@ let loadgen_run ~image ~sets ~shards ~clients ~depth ~files ~bytes ~seconds =
   List.iter (fun r -> Hist.merge hist r.hist) results;
   let ops = List.fold_left (fun a r -> a + r.ops) 0 results in
   let eagain = List.fold_left (fun a r -> a + r.eagain) 0 results in
-  let errors = List.fold_left (fun a r -> a + r.errors) 0 results in
+  let errors =
+    List.fold_left (fun a r -> a + r.errors) 0 results
+    + (match consistency with Some false -> 1 | _ -> 0)
+  in
+  let hits = List.fold_left (fun a r -> a + r.hits) 0 results in
+  let misses = List.fold_left (fun a r -> a + r.misses) 0 results in
   let secs = List.fold_left (fun a r -> Float.max a r.secs) 0.001 results in
   let ops_per_sec = float_of_int ops /. secs in
+  let hit_rate =
+    if hits + misses = 0 then 0.
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
   let b = Buffer.create 512 in
   Printf.bprintf b
-    "{\"shards\": %d, \"clients\": %d, \"depth\": %d, \"seconds\": %.3f, \
+    "{\"shards\": %d, \"clients\": %d, \"depth\": %d, \"workload\": \"%s\", \
+     \"cache\": %b, \"seconds\": %.3f, \
      \"ops\": %d, \"eagain\": %d, \"errors\": %d, \"ops_per_sec\": %.1f, \
-     \"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f}"
-    shards clients depth secs ops eagain errors ops_per_sec
+     \"client_hits\": %d, \"client_misses\": %d, \"hit_rate\": %.3f, \
+     \"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f"
+    shards clients depth (workload_name workload) cache secs ops eagain
+    errors ops_per_sec hits misses hit_rate
     (Hist.quantile_us hist 0.50)
     (Hist.quantile_us hist 0.99)
     (Hist.quantile_us hist 0.999);
+  (match consistency with
+  | Some c -> Printf.bprintf b ", \"consistency\": %b" c
+  | None -> ());
+  Buffer.add_char b '}';
   Printf.printf
-    "pfs loadgen: %d shard(s), %d clients: %d ops in %.2fs — %.0f ops/s, \
-     p50 %.0fµs p99 %.0fµs p999 %.0fµs (%d eagain, %d errors)\n%!"
-    shards clients ops secs ops_per_sec
+    "pfs loadgen: %d shard(s), %d clients, %s%s: %d ops in %.2fs — %.0f \
+     ops/s, p50 %.0fµs p99 %.0fµs p999 %.0fµs (%d eagain, %d errors%s)\n%!"
+    shards clients (workload_name workload)
+    (if cache then " +cache" else "")
+    ops secs ops_per_sec
     (Hist.quantile_us hist 0.50)
     (Hist.quantile_us hist 0.99)
     (Hist.quantile_us hist 0.999)
-    eagain errors;
+    eagain errors
+    (match consistency with
+    | Some true -> ", consistency ok"
+    | Some false -> ", CONSISTENCY FAILED"
+    | None -> "");
   (Buffer.contents b, ops_per_sec, errors)
 
 (* Splice a "loadgen" member into BENCH_results.json, preserving
@@ -534,7 +851,12 @@ let splice_bench path loadgen_json =
   output_string oc (base ^ sep ^ "\"loadgen\": " ^ loadgen_json ^ "\n}\n");
   close_out oc
 
-let loadgen_main image sets shard_list clients depth files bytes seconds out =
+let loadgen_main image sets shard_list clients depth files bytes seconds
+    workload cache out =
+  let workload = parse_workload workload in
+  if cache && workload = Seq then
+    die "pfs loadgen: --cache needs a shared workload (zipf:* or \
+         readmostly:*)";
   let shard_list =
     match
       String.split_on_char ',' shard_list
@@ -550,7 +872,7 @@ let loadgen_main image sets shard_list clients depth files bytes seconds out =
       (fun shards ->
         let json, ops_per_sec, errors =
           loadgen_run ~image ~sets ~shards ~clients ~depth ~files ~bytes
-            ~seconds
+            ~seconds ~workload ~cache
         in
         (shards, json, ops_per_sec, errors))
       shard_list
@@ -649,6 +971,24 @@ let loadgen_cmd =
     Arg.(
       value & opt float 3.0 & info [ "seconds" ] ~doc:"Measured duration.")
   in
+  let workload =
+    Arg.(
+      value & opt string "seq"
+      & info [ "workload" ]
+          ~doc:"$(b,seq) (private files, pipelined), \
+                $(b,zipf:<theta>) (shared hot-set reads, Zipf-skewed), or \
+                $(b,readmostly:<ratio>) (shared files, $(i,ratio) of ops \
+                are reads)."
+          ~docv:"KIND")
+  in
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:"Run clients through the leased client cache \
+                (Open_grant/Invalidate/Writeback vocabulary) instead of \
+                plain per-op RPC. Needs a shared workload.")
+  in
   let out =
     Arg.(
       value & opt string "BENCH_results.json"
@@ -659,7 +999,7 @@ let loadgen_cmd =
        ~doc:"fork a server and N clients, report ops/s and tail latency")
     Term.(
       const loadgen_main $ image $ sets $ shards $ clients $ depth $ files
-      $ bytes $ seconds $ out)
+      $ bytes $ seconds $ workload $ cache $ out)
 
 let cmd =
   let default =

@@ -97,4 +97,43 @@ module Frame : sig
     Capfs_sched.Sched.t ->
     Unix.file_descr ->
     (t option, Capfs_core.Errno.t) result
+
+  (** [blit_header b off ~req_id ~opcode ~payload_len] writes the
+      16-byte frame header at [b.(off)] — the gather writer lays many
+      headers and payloads into one buffer and hands it to
+      {!write_bytes} in a single call. *)
+  val blit_header :
+    Bytes.t -> int -> req_id:int -> opcode:int -> payload_len:int -> unit
+
+  (** [write_bytes fd b ~len] writes [b.(0..len)] with the same
+      EINTR/EAGAIN discipline as {!write} and returns the number of
+      [write(2)] calls that moved bytes — normally 1, more only when the
+      kernel cut the write short. *)
+  val write_bytes :
+    ?sched:Capfs_sched.Sched.t ->
+    Unix.file_descr ->
+    Bytes.t ->
+    len:int ->
+    (int, Capfs_core.Errno.t) result
+
+  (** Incremental frame reassembly over caller-supplied byte chunks, for
+      readers that drain an fd opportunistically (a cached client
+      polling for pushed invalidations before serving a local hit)
+      rather than parking on it. Feed whatever [read(2)] returned, then
+      {!Splitter.pop} complete frames until [Ok None]. Protocol errors
+      (bad magic, oversized length) are sticky — a desynchronized byte
+      stream has no resync point. *)
+  module Splitter : sig
+    type frame := t
+    type t
+
+    val create : ?max_payload:int -> unit -> t
+
+    (** [feed t b off len] appends [b.(off..off+len)] to the pending
+        stream. Raises [Invalid_argument] on an out-of-bounds slice. *)
+    val feed : t -> Bytes.t -> int -> int -> unit
+
+    (** Next complete frame, [Ok None] when more bytes are needed. *)
+    val pop : t -> (frame option, Capfs_core.Errno.t) result
+  end
 end

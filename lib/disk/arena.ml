@@ -15,15 +15,23 @@ type t = {
   ncells : int;
   cells : Data.cell array;
   mutable free : int list;
+  lock : Mutex.t option; (* [shared] arenas: guards the free list *)
   poison : bool;
   mutable live : int;       (* cells currently allocated *)
   mutable fallbacks : int;  (* allocs served from the GC heap *)
   mutable recycled : int;   (* cells returned and reusable *)
 }
 
+let locked t f =
+  match t.lock with
+  | None -> f ()
+  | Some m ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let poison_byte = '\xde'
 
-let create ?(poison = false) ~cell_bytes ~cells:ncells () =
+let create ?(poison = false) ?(shared = false) ~cell_bytes ~cells:ncells () =
   if cell_bytes < 1 then invalid_arg "Arena.create: cell_bytes < 1";
   if ncells < 1 then invalid_arg "Arena.create: cells < 1";
   let buf =
@@ -41,7 +49,9 @@ let create ?(poison = false) ~cell_bytes ~cells:ncells () =
   let free = List.init ncells (fun i -> i) in
   let t =
     {
-      buf; cell_bytes; ncells; cells; free; poison;
+      buf; cell_bytes; ncells; cells; free;
+      lock = (if shared then Some (Mutex.create ()) else None);
+      poison;
       live = 0; fallbacks = 0; recycled = 0;
     }
   in
@@ -51,9 +61,10 @@ let create ?(poison = false) ~cell_bytes ~cells:ncells () =
        if t.poison then
          Bigarray.Array1.(fill (sub t.buf (slot * t.cell_bytes) t.cell_bytes))
            poison_byte;
-       t.free <- slot :: t.free;
-       t.live <- t.live - 1;
-       t.recycled <- t.recycled + 1);
+       locked t (fun () ->
+           t.free <- slot :: t.free;
+           t.live <- t.live - 1;
+           t.recycled <- t.recycled + 1));
   t
 
 let cell_bytes t = t.cell_bytes
@@ -65,10 +76,19 @@ let recycled t = t.recycled
 let alloc ?len t =
   let len = match len with Some l -> l | None -> t.cell_bytes in
   if len < 0 then invalid_arg "Arena.alloc: negative length";
-  match t.free with
-  | slot :: rest when len <= t.cell_bytes ->
-    t.free <- rest;
-    t.live <- t.live + 1;
+  let slot =
+    if len > t.cell_bytes then None
+    else
+      locked t (fun () ->
+          match t.free with
+          | slot :: rest ->
+            t.free <- rest;
+            t.live <- t.live + 1;
+            Some slot
+          | [] -> None)
+  in
+  match slot with
+  | Some slot ->
     let c = t.cells.(slot) in
     c.Data.c_rc <- 1;
     Data.Slice
@@ -78,7 +98,7 @@ let alloc ?len t =
         s_len = len;
         s_cell = Some c;
       }
-  | _ ->
+  | None ->
     t.fallbacks <- t.fallbacks + 1;
     Data.real len
 

@@ -20,8 +20,13 @@ type t
 
 (** [create ~cell_bytes ~cells ()] maps one slab of [cell_bytes * cells]
     bytes. [poison] fills freed cells with [0xDE] — cheap use-after-free
-    detection for tests. *)
-val create : ?poison:bool -> cell_bytes:int -> cells:int -> unit -> t
+    detection for tests. [shared] guards the free list with a mutex so
+    cells may be allocated on one domain and released on another (e.g. a
+    read reply filled on a shard domain and freed by the listener's
+    writer fibre); refcount handoff must still be published through a
+    lock or queue of the caller's own. *)
+val create :
+  ?poison:bool -> ?shared:bool -> cell_bytes:int -> cells:int -> unit -> t
 
 (** A fresh cell as a [Data.Slice] of [len] (default [cell_bytes])
     bytes, zeroed at arena creation but {e not} re-zeroed on recycle;

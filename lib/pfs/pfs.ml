@@ -35,6 +35,7 @@ module Config = struct
     workers : int;
     shards : int;
     admission : int;
+    lease_s : float;
     clock : Sched.clock;
     seed : int;
   }
@@ -46,7 +47,7 @@ module Config = struct
       ?(cleaner = Lfs.default_config.Lfs.cleaner) ?(async_flush = true)
       ?(mem_copy_rate = 0.) ?(coalesce = true) ?(flush_window = 4)
       ?(max_extent = 64) ?(workers = 4) ?(shards = 1) ?(admission = 64)
-      ?(clock = `Real) ?(seed = 1996) ~image () =
+      ?(lease_s = 5.0) ?(clock = `Real) ?(seed = 1996) ~image () =
     {
       image;
       size_mb;
@@ -66,6 +67,7 @@ module Config = struct
       workers;
       shards;
       admission;
+      lease_s;
       clock;
       seed;
     }
@@ -98,6 +100,7 @@ module Config = struct
     check (t.workers >= 0) "workers < 0";
     check (t.shards >= 1) "shards < 1";
     check (t.admission >= 0) "admission < 0";
+    check (t.lease_s > 0.) "lease-s <= 0";
     match !bad with
     | [] -> Ok t
     | problems ->
@@ -130,6 +133,7 @@ module Config = struct
       "workers";
       "shards";
       "admission";
+      "lease-s";
       "clock";
       "seed";
     ]
@@ -139,7 +143,8 @@ module Config = struct
      (demand | periodic:MAX_AGE:SCAN_INTERVAL), scope (whole-file | \
      single-block), iosched, replacement, seg-blocks, cleaner (greedy | \
      cost-benefit), async-flush, mem-copy-rate, coalesce, flush-window, \
-     max-extent, workers, shards, admission, clock (real | virtual), seed"
+     max-extent, workers, shards, admission, lease-s (client-cache lease \
+     seconds), clock (real | virtual), seed"
 
   exception Bad of string
 
@@ -201,6 +206,7 @@ module Config = struct
       | "workers" -> { t with workers = int v }
       | "shards" -> { t with shards = int v }
       | "admission" -> { t with admission = int v }
+      | "lease-s" -> { t with lease_s = float v }
       | "clock" -> (
         match v with
         | "real" -> { t with clock = `Real }

@@ -13,6 +13,10 @@
     differential validator — goes through the same pair, so a
     configuration knob exists in exactly one place. *)
 
+(** The fixed PFS block size (4096 bytes) — the unit the cache, the
+    layouts, the reply arena and the cached client all agree on. *)
+val block_bytes : int
+
 (** A full description of one PFS volume: backing image, cache policy
     knobs, layout geometry, scheduler clock. The record is deliberately
     flat and immutable — build one with {!Config.make}, adjust with
@@ -41,6 +45,10 @@ module Config : sig
     admission : int;
         (** per-shard admission limit: in-flight requests beyond this
             are refused with a typed [EAGAIN] (0 = unlimited) *)
+    lease_s : float;
+        (** client-cache lease duration stamped into {!Wire.grant}s:
+            how long a {!Cached_client} may serve local hits before
+            renewing (must be positive) *)
     clock : Capfs_sched.Sched.clock;
     seed : int;  (** PRNG seed (scheduler and replacement policy) *)
   }
@@ -66,6 +74,7 @@ module Config : sig
     ?workers:int ->
     ?shards:int ->
     ?admission:int ->
+    ?lease_s:float ->
     ?clock:Capfs_sched.Sched.clock ->
     ?seed:int ->
     image:string ->

@@ -14,9 +14,27 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type job = { req : Wire.request; complete : Wire.reply -> unit }
 
+(* Consistency and data-plane state common to every shard and the
+   listener: the lease table (any shard may grant or invalidate), the
+   push sinks (client id -> how to reach its connection), the shared
+   reply arena (read payloads filled on shard domains, blitted and
+   freed on the listener — hence [~shared]), and the wire counters. *)
+type shared = {
+  lease : Lease.t;
+  pushers : (int, Wire.push -> unit) Hashtbl.t;
+  pushers_lock : Mutex.t;
+  reply_arena : Capfs_disk.Arena.t;
+  w_blit : int Atomic.t; (* server-path payload blits *)
+  w_copied : int Atomic.t; (* bytes those blits moved *)
+  w_frames : int Atomic.t; (* frames put on the wire *)
+  w_syscalls : int Atomic.t; (* write(2) calls that carried them *)
+  w_batched : int Atomic.t; (* messages that rode a Batch container *)
+}
+
 type shard = {
   s_index : int;
   volume : Pfs.t;
+  s_shared : shared;
   s_registry : Registry.t;
   inbox : job Queue.t;
   lock : Mutex.t;
@@ -33,9 +51,33 @@ type shard = {
 type t = {
   config : Pfs.Config.t;
   shards : shard array;
+  shared : shared;
   pool : Pool.t option; (* one pinned domain per shard under [`Real] *)
   stopped : bool Atomic.t;
 }
+
+let register_pusher t ~client sink =
+  Mutex.lock t.shared.pushers_lock;
+  Hashtbl.replace t.shared.pushers client sink;
+  Mutex.unlock t.shared.pushers_lock
+
+let unregister_pusher t ~client =
+  Mutex.lock t.shared.pushers_lock;
+  Hashtbl.remove t.shared.pushers client;
+  Mutex.unlock t.shared.pushers_lock
+
+(* Fan an [Invalidate] out to the named clients' connections. Runs on a
+   shard domain mid-[exec]; real-connection sinks only enqueue on the
+   listener's completion queue, so no I/O happens under the lock. *)
+let deliver_invalidations sd ~path ~version clients =
+  if clients <> [] then begin
+    Mutex.lock sd.pushers_lock;
+    let sinks = List.filter_map (Hashtbl.find_opt sd.pushers) clients in
+    Mutex.unlock sd.pushers_lock;
+    List.iter
+      (fun sink -> sink (Wire.Invalidate { path; version }))
+      sinks
+  end
 
 (* {2 Routing} *)
 
@@ -65,32 +107,114 @@ let route t path = fnv1a (first_component path) mod Array.length t.shards
 
 (* {2 Request execution — inside a fibre on the shard's scheduler} *)
 
+(* A mutation through the old, grant-free vocabulary must still keep
+   granted caches honest: bump the path's version and invalidate every
+   holder (minus the mutator). No-op for never-granted paths. *)
+let note_mutation sd ~client ~path =
+  match Lease.note_write sd.lease ~client ~path with
+  | None -> ()
+  | Some (version, holders) ->
+    deliver_invalidations sd ~path ~version holders
+
 let exec sh req =
   let c = sh.volume.Pfs.client in
+  let sd = sh.s_shared in
   match (req : Wire.request) with
   | Open { client; path; mode } -> (
     match Client.open_ c ~client path mode with
     | Ok () -> Wire.Ok_unit
     | Error e -> Wire.Err e)
   | Close { client; path } -> (
+    Lease.close_ sd.lease ~client ~path;
     match Client.close_ c ~client path with
     | Ok () -> Wire.Ok_unit
     | Error e -> Wire.Err e)
   | Read { client; path; offset; count } -> (
     match Client.read c ~client path ~offset ~bytes:count with
-    | Ok d -> Wire.Ok_data (Data.to_string d)
+    | Ok d ->
+      (* one copy, cache slab -> reply arena: the slice then rides to
+         the writer fibre's gather buffer with no intermediate string *)
+      let len = Data.length d in
+      let out = Capfs_disk.Arena.copy_in sd.reply_arena d in
+      Atomic.incr sd.w_blit;
+      ignore (Atomic.fetch_and_add sd.w_copied len);
+      Wire.Ok_data out
     | Error e -> Wire.Err e)
   | Write { client; path; offset; data } -> (
     match Client.write c ~client path ~offset (Data.of_string data) with
-    | Ok () -> Wire.Ok_unit
+    | Ok () ->
+      note_mutation sd ~client ~path;
+      Wire.Ok_unit
     | Error e -> Wire.Err e)
+  | Open_grant { client; path; mode } -> (
+    let write = mode <> Client.RO in
+    let volume_open =
+      match Lease.held sd.lease ~client ~path with
+      | Some w when w = write -> Ok () (* pure renewal *)
+      | Some _ -> (
+        (* mode change without an intervening close: reopen *)
+        match Client.close_ c ~client path with
+        | Ok () -> Client.open_ c ~client path mode
+        | Error _ as e -> e)
+      | None -> Client.open_ c ~client path mode
+    in
+    match volume_open with
+    | Error e -> Wire.Err e
+    | Ok () -> (
+      match Client.stat c path with
+      | Error e -> Wire.Err e
+      | Ok st ->
+        let gi = Lease.open_grant sd.lease ~client ~path ~write in
+        deliver_invalidations sd ~path ~version:gi.Lease.gi_version
+          gi.Lease.gi_invalidate;
+        Wire.Ok_grant
+          {
+            Wire.version = gi.Lease.gi_version;
+            cacheable = gi.Lease.gi_cacheable;
+            lease_s = Lease.lease_s sd.lease;
+            size = st.Client.st_size;
+          }))
+  | Writeback { client; path; size; close; blocks } -> (
+    let rec apply = function
+      | [] -> Ok ()
+      | (off, data) :: rest -> (
+        match
+          Client.write c ~client path ~offset:off (Data.of_string data)
+        with
+        | Ok () -> apply rest
+        | Error _ as e -> e)
+    in
+    let applied =
+      match apply blocks with
+      | Error _ as e -> e
+      | Ok () -> (
+        (* the batch's final size is authoritative: shrink if the
+           client truncated under delayed write *)
+        match Client.stat c path with
+        | Ok st when st.Client.st_size > size ->
+          Client.truncate c path ~size
+        | Ok _ -> Ok ()
+        | Error _ as e -> e)
+    in
+    match applied with
+    | Error e -> Wire.Err e
+    | Ok () ->
+      if close then begin
+        Lease.close_ sd.lease ~client ~path;
+        match Client.close_ c ~client path with
+        | Ok () -> Wire.Ok_unit
+        | Error e -> Wire.Err e
+      end
+      else Wire.Ok_unit)
   | Mkdir p -> (
     match Client.mkdir c p with
     | Ok () -> Wire.Ok_unit
     | Error e -> Wire.Err e)
   | Delete p -> (
     match Client.delete c p with
-    | Ok () -> Wire.Ok_unit
+    | Ok () ->
+      note_mutation sd ~client:(-1) ~path:p;
+      Wire.Ok_unit
     | Error e -> Wire.Err e)
   | Stat p -> (
     match Client.stat c p with
@@ -291,6 +415,28 @@ let create ?injector (cfg : Pfs.Config.t) =
   | Ok cfg -> (
     let n = cfg.Pfs.Config.shards in
     let real = cfg.Pfs.Config.clock = `Real in
+    let shared =
+      {
+        lease = Lease.create ~lease_s:cfg.Pfs.Config.lease_s ();
+        pushers = Hashtbl.create 64;
+        pushers_lock = Mutex.create ();
+        (* read replies: bounded by in-flight admission; oversized or
+           overflow reads fall back to heap buffers gracefully *)
+        reply_arena =
+          Capfs_disk.Arena.create ~shared:true ~cell_bytes:Pfs.block_bytes
+            ~cells:
+              (max 64
+                 (min 1024
+                    (if cfg.Pfs.Config.admission = 0 then 1024
+                     else cfg.Pfs.Config.admission * n)))
+            ();
+        w_blit = Atomic.make 0;
+        w_copied = Atomic.make 0;
+        w_frames = Atomic.make 0;
+        w_syscalls = Atomic.make 0;
+        w_batched = Atomic.make 0;
+      }
+    in
     let built = ref [] in
     let destroy_built () =
       List.iter
@@ -338,6 +484,7 @@ let create ?injector (cfg : Pfs.Config.t) =
             {
               s_index = i;
               volume;
+              s_shared = shared;
               s_registry;
               inbox = Queue.create ();
               lock = Mutex.create ();
@@ -364,7 +511,7 @@ let create ?injector (cfg : Pfs.Config.t) =
         end
         else None
       in
-      Ok { config = cfg; shards; pool; stopped = Atomic.make false })
+      Ok { config = cfg; shards; shared; pool; stopped = Atomic.make false })
 
 let shards t = Array.length t.shards
 
@@ -418,7 +565,22 @@ let report_json t =
     (snapshots t);
   Buffer.add_string b "],\n  \"totals\": ";
   Snapshot.add_json b (merged t);
-  Buffer.add_string b "\n}";
+  Buffer.add_string b ",\n  \"wire\": {";
+  let sd = t.shared in
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\": %d" (Capfs_stats.Names.wire name)
+           (Atomic.get v)))
+    [
+      ("frames_sent", sd.w_frames);
+      ("syscalls", sd.w_syscalls);
+      ("batched", sd.w_batched);
+      ("blit_count", sd.w_blit);
+      ("copied_bytes", sd.w_copied);
+    ];
+  Buffer.add_string b "}\n}";
   Buffer.contents b
 
 (* {2 Shutdown and the blocking call} *)
@@ -474,7 +636,10 @@ let call t req =
         done;
         Mutex.unlock m);
       match !cell with
-      | Some r -> r
+      (* read payloads live in the shared reply arena; the in-process
+         boundary hands the caller a private heap copy instead of a
+         slice whose cell is about to recycle *)
+      | Some r -> Wire.detach_reply r
       | None -> Wire.Err Errno.EIO))
 
 (* {2 The socket listener}
@@ -485,17 +650,32 @@ let call t req =
    wake pipe, and a per-connection writer fibre serializes replies
    (out-of-order by design — the request id correlates). *)
 
+(* One outbound message: a typed reply still owning its (possibly
+   arena-backed) payload, or a pre-encoded frame body (server pushes). *)
+type out_msg =
+  | Reply of { req_id : int; opcode : int; reply : Wire.reply }
+  | Raw of { req_id : int; opcode : int; payload : string }
+
 type conn = {
   fd : Unix.file_descr;
-  outbox : (int * int * Wire.reply) Queue.t; (* req_id, opcode, reply *)
+  outbox : out_msg Queue.t;
   out_ev : Sched.event;
   mutable closed : bool;
+  mutable batch_ok : bool;
+      (* peer has spoken the batch/grant vocabulary: it can decode a
+         Batch container, and pushes may be sent to it *)
+  mutable gather : Bytes.t; (* reusable writer buffer, grows to fit *)
+  mutable pusher_ids : int list; (* client ids registered via Open_grant *)
 }
+
+(* How many pending messages one gathered write may carry. *)
+let max_gather_msgs = 64
 
 let serve t lfd =
   (match t.pool with
   | Some _ -> ()
   | None -> invalid_arg "Server.serve: needs a real-clock server");
+  let sd = t.shared in
   let ls = Sched.create ~clock:`Real () in
   let cq = Queue.create () in
   let cq_lock = Mutex.create () in
@@ -509,21 +689,67 @@ let serve t lfd =
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
-  (* shard domains land replies here *)
-  let remote_complete conn req_id op reply =
+  (* shard domains land replies (and pushes) here *)
+  let enqueue_remote conn msg =
     Mutex.lock cq_lock;
-    Queue.push (conn, req_id, op, reply) cq;
+    Queue.push (conn, msg) cq;
     Mutex.unlock cq_lock;
     poke_listener ()
   in
-  (* replies produced on the listener domain itself skip the queue *)
-  let local_complete conn req_id op reply =
-    if not conn.closed then begin
-      Queue.push (req_id, op, reply) conn.outbox;
+  (* messages produced on the listener domain itself skip the queue *)
+  let enqueue_local conn msg =
+    if conn.closed then
+      (* drop, but never leak a reply's arena cell *)
+      match msg with
+      | Reply { reply; _ } -> Wire.release_reply reply
+      | Raw _ -> ()
+    else begin
+      Queue.push msg conn.outbox;
       Sched.signal ls conn.out_ev
     end
   in
   let writer conn () =
+    let ensure len =
+      if Bytes.length conn.gather < len then begin
+        let cap = ref (max 4096 (Bytes.length conn.gather)) in
+        while !cap < len do
+          cap := !cap * 2
+        done;
+        conn.gather <- Bytes.create !cap
+      end
+    in
+    let flush len =
+      match Frame.write_bytes ~sched:ls conn.fd conn.gather ~len with
+      | Ok sys ->
+        ignore (Atomic.fetch_and_add sd.w_syscalls sys);
+        Atomic.incr sd.w_frames
+      | Error _ -> conn.closed <- true
+    in
+    let payload_len = function
+      | Reply { reply; _ } -> Wire.reply_bytes reply
+      | Raw { payload; _ } -> String.length payload
+    in
+    (* lay one message at [off]: entry/frame header then payload,
+       straight from the arena slice — no intermediate string *)
+    let blit_msg ~entry msg off plen =
+      (match msg with
+      | Reply { req_id; opcode; _ } | Raw { req_id; opcode; _ } ->
+        if entry then
+          Wire.Batch.blit_entry_header conn.gather off ~req_id ~opcode
+            ~payload_len:plen
+        else
+          Frame.blit_header conn.gather off ~req_id ~opcode
+            ~payload_len:plen);
+      let body =
+        off + if entry then Wire.Batch.entry_header else Frame.header_bytes
+      in
+      match msg with
+      | Reply { reply; _ } ->
+        Wire.blit_reply reply conn.gather body;
+        Wire.release_reply reply
+      | Raw { payload; _ } ->
+        Bytes.blit_string payload 0 conn.gather body plen
+    in
     let rec loop () =
       if Queue.is_empty conn.outbox then
         if conn.closed then ()
@@ -532,45 +758,115 @@ let serve t lfd =
           loop ()
         end
       else begin
-        let req_id, op, reply = Queue.pop conn.outbox in
-        (match
-           Frame.write ~sched:ls conn.fd
-             { Frame.req_id; opcode = op; payload = Wire.encode_reply reply }
-         with
-        | Ok () -> ()
-        | Error _ -> conn.closed <- true);
+        (* gather whatever is pending — capped by count and by the
+           container payload limit — into one write(2) *)
+        let limit = if conn.batch_ok then max_gather_msgs else 1 in
+        let msgs = ref [] in
+        let total = ref 0 in
+        let count = ref 0 in
+        let stop_gather = ref false in
+        while
+          (not !stop_gather)
+          && !count < limit
+          && not (Queue.is_empty conn.outbox)
+        do
+          let m = Queue.peek conn.outbox in
+          let plen = payload_len m in
+          if
+            !count = 0
+            || !total + Wire.Batch.entry_header + plen
+               <= Frame.default_max_payload
+          then begin
+            ignore (Queue.pop conn.outbox);
+            msgs := (m, plen) :: !msgs;
+            total := !total + Wire.Batch.entry_header + plen;
+            incr count
+          end
+          else stop_gather := true
+        done;
+        (match List.rev !msgs with
+        | [] -> ()
+        | [ (m, plen) ] ->
+          let len = Frame.header_bytes + plen in
+          ensure len;
+          blit_msg ~entry:false m 0 plen;
+          flush len
+        | batch ->
+          let len = Frame.header_bytes + !total in
+          ensure len;
+          Frame.blit_header conn.gather 0 ~req_id:0
+            ~opcode:Wire.Batch.opcode ~payload_len:!total;
+          let off = ref Frame.header_bytes in
+          List.iter
+            (fun (m, plen) ->
+              blit_msg ~entry:true m !off plen;
+              off := !off + Wire.Batch.entry_header + plen)
+            batch;
+          ignore (Atomic.fetch_and_add sd.w_batched (List.length batch));
+          flush len);
         loop ()
       end
     in
     loop ()
   in
   let reader conn () =
+    let process req_id opcode payload =
+      match Wire.decode_request ~opcode payload with
+      | Error e -> enqueue_local conn (Reply { req_id; opcode; reply = Wire.Err e })
+      | Ok Wire.Shutdown ->
+        (* no reply: the client closes, a clean exit acknowledges *)
+        stop := true;
+        poke_listener ()
+      | Ok Wire.Stats ->
+        enqueue_local conn
+          (Reply { req_id; opcode; reply = Wire.Ok_stats (report_json t) })
+      | Ok req -> (
+        (match req with
+        | Wire.Open_grant { client; _ } ->
+          (* the grant vocabulary implies batch fluency, and names the
+             connection as this client's push channel *)
+          conn.batch_ok <- true;
+          if not (List.mem client conn.pusher_ids) then begin
+            conn.pusher_ids <- client :: conn.pusher_ids;
+            register_pusher t ~client (fun push ->
+                let opcode, payload = Wire.encode_push push in
+                enqueue_remote conn
+                  (Raw { req_id = Wire.push_req_id; opcode; payload }))
+          end
+        | _ -> ());
+        match
+          submit t req ~complete:(fun r ->
+              enqueue_remote conn (Reply { req_id; opcode; reply = r }))
+        with
+        | Ok () -> ()
+        | Error e ->
+          enqueue_local conn (Reply { req_id; opcode; reply = Wire.Err e }))
+    in
     let rec loop () =
       match Frame.read_sched ls conn.fd with
-      | Ok (Some { Frame.req_id; opcode; payload }) -> (
-        match Wire.decode_request ~opcode payload with
+      | Ok (Some { Frame.req_id; opcode; payload })
+        when opcode = Wire.Batch.opcode -> (
+        conn.batch_ok <- true;
+        match Wire.Batch.decode payload with
         | Error e ->
-          local_complete conn req_id opcode (Wire.Err e);
+          enqueue_local conn (Reply { req_id; opcode; reply = Wire.Err e });
           loop ()
-        | Ok Wire.Shutdown ->
-          (* no reply: the client closes, a clean exit acknowledges *)
-          stop := true;
-          poke_listener ();
-          loop ()
-        | Ok Wire.Stats ->
-          local_complete conn req_id opcode (Wire.Ok_stats (report_json t));
-          loop ()
-        | Ok req -> (
-          match
-            submit t req ~complete:(fun r ->
-                remote_complete conn req_id opcode r)
-          with
-          | Ok () -> loop ()
-          | Error e ->
-            local_complete conn req_id opcode (Wire.Err e);
-            loop ()))
+        | Ok entries ->
+          List.iter (fun (rid, op, pl) -> process rid op pl) entries;
+          loop ())
+      | Ok (Some { Frame.req_id; opcode; payload }) ->
+        process req_id opcode payload;
+        loop ()
       | Ok None | Error _ ->
         conn.closed <- true;
+        (* a dead connection stops caching: drop its push channels and
+           every lease its clients held *)
+        List.iter
+          (fun cid ->
+            unregister_pusher t ~client:cid;
+            ignore (Lease.drop_client sd.lease ~client:cid))
+          conn.pusher_ids;
+        conn.pusher_ids <- [];
         Sched.signal ls conn.out_ev
     in
     loop ()
@@ -588,6 +884,9 @@ let serve t lfd =
             outbox = Queue.create ();
             out_ev = Sched.new_event ls;
             closed = false;
+            batch_ok = false;
+            gather = Bytes.create 4096;
+            pusher_ids = [];
           }
         in
         conns := conn :: !conns;
@@ -605,9 +904,7 @@ let serve t lfd =
     let pending = List.rev (Queue.fold (fun acc x -> x :: acc) [] cq) in
     Queue.clear cq;
     Mutex.unlock cq_lock;
-    List.iter
-      (fun (conn, req_id, op, reply) -> local_complete conn req_id op reply)
-      pending
+    List.iter (fun (conn, msg) -> enqueue_local conn msg) pending
   in
   let completion_pump () =
     let buf = Bytes.create 256 in

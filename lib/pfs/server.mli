@@ -52,6 +52,17 @@ val submit :
     themselves). *)
 val drive : t -> unit
 
+(** [register_pusher t ~client sink] names [sink] as client [client]'s
+    push channel: every {!Wire.push} the server owes that client (cache
+    invalidations) is handed to it. May fire on a shard's domain
+    mid-request — a sink must only enqueue. The socket listener
+    registers connections automatically at their first [Open_grant];
+    this entry point exists for in-process transports (the virtual-clock
+    {!Cached_client}). *)
+val register_pusher : t -> client:int -> (Wire.push -> unit) -> unit
+
+val unregister_pusher : t -> client:int -> unit
+
 (** [call t req] — submit and wait for the reply (driving the shards
     first under [`Virtual]); admission pushback comes back as
     [Err EAGAIN]. [Stats] answers immediately with {!report_json};

@@ -1,6 +1,8 @@
 module Errno = Capfs_core.Errno
+module Data = Capfs_disk.Data
 
 type stat = { size : int; is_dir : bool }
+type grant = { version : int; cacheable : bool; lease_s : float; size : int }
 
 type request =
   | Open of { client : int; path : string; mode : Capfs.Client.open_mode }
@@ -13,13 +15,28 @@ type request =
   | Sync
   | Stats
   | Shutdown
+  | Open_grant of {
+      client : int;
+      path : string;
+      mode : Capfs.Client.open_mode;
+    }
+  | Writeback of {
+      client : int;
+      path : string;
+      size : int;
+      close : bool;
+      blocks : (int * string) list;
+    }
 
 type reply =
   | Ok_unit
-  | Ok_data of string
+  | Ok_data of Data.t
   | Ok_stat of stat
   | Ok_stats of string
+  | Ok_grant of grant
   | Err of Errno.t
+
+type push = Invalidate of { path : string; version : int }
 
 let op_open = 1
 let op_close = 2
@@ -31,6 +48,15 @@ let op_stat = 7
 let op_sync = 8
 let op_stats = 9
 let op_shutdown = 10
+let op_open_grant = 11
+let op_writeback = 12
+let op_invalidate = 13
+let op_batch = 14
+
+(* Server-pushed frames ride the reply path with a req_id no client ever
+   issues; clients demultiplex on it before consulting their in-flight
+   table. *)
+let push_req_id = 0xfffffff0
 
 let opcode = function
   | Open _ -> op_open
@@ -43,10 +69,14 @@ let opcode = function
   | Sync -> op_sync
   | Stats -> op_stats
   | Shutdown -> op_shutdown
+  | Open_grant _ -> op_open_grant
+  | Writeback _ -> op_writeback
 
 let route_path = function
   | Open { path; _ } | Close { path; _ } | Read { path; _ }
-  | Write { path; _ } ->
+  | Write { path; _ }
+  | Open_grant { path; _ }
+  | Writeback { path; _ } ->
     Some path
   | Mkdir p | Delete p | Stat p -> Some p
   | Sync | Stats | Shutdown -> None
@@ -123,7 +153,23 @@ let encode_request r =
     add_str b path;
     Buffer.add_string b data
   | Mkdir p | Delete p | Stat p -> add_str b p
-  | Sync | Stats | Shutdown -> ());
+  | Sync | Stats | Shutdown -> ()
+  | Open_grant { client; path; mode } ->
+    add_u32 b client;
+    add_u8 b (mode_byte mode);
+    add_str b path
+  | Writeback { client; path; size; close; blocks } ->
+    add_u32 b client;
+    add_u32 b size;
+    add_u8 b (if close then 1 else 0);
+    add_str b path;
+    add_u32 b (List.length blocks);
+    List.iter
+      (fun (off, data) ->
+        add_u32 b off;
+        add_u32 b (String.length data);
+        Buffer.add_string b data)
+      blocks);
   (opcode r, Buffer.contents b)
 
 let decode_request ~opcode payload =
@@ -160,6 +206,32 @@ let decode_request ~opcode payload =
     else if opcode = op_sync then Sync
     else if opcode = op_stats then Stats
     else if opcode = op_shutdown then Shutdown
+    else if opcode = op_open_grant then begin
+      let client = get_u32 c in
+      let mode = mode_of_byte (get_u8 c) in
+      let path = get_str c in
+      Open_grant { client; path; mode }
+    end
+    else if opcode = op_writeback then begin
+      let client = get_u32 c in
+      let size = get_u32 c in
+      let close = get_u8 c = 1 in
+      let path = get_str c in
+      let n = get_u32 c in
+      (* each block needs >= 8 header bytes: a hostile count can't force
+         a huge list allocation past the payload it actually shipped *)
+      if n * 8 > String.length c.buf - c.pos then raise Short;
+      let blocks =
+        List.init n (fun _ ->
+            let off = get_u32 c in
+            let len = get_u32 c in
+            if c.pos + len > String.length c.buf then raise Short;
+            let data = String.sub c.buf c.pos len in
+            c.pos <- c.pos + len;
+            (off, data))
+      in
+      Writeback { client; path; size; close; blocks }
+    end
     else raise Short
   with
   | r -> Ok r
@@ -167,24 +239,58 @@ let decode_request ~opcode payload =
 
 (* Reply status byte: 0 for success, [1 + Errno.to_index e] for a typed
    failure — the same closed errno vocabulary on the wire as in the
-   API. *)
+   API. The reply codec is blit-based: the writer fibre lays replies
+   straight into its gather buffer ([blit_reply]), so an [Ok_data]
+   payload moves arena slab -> socket buffer with no intermediate
+   string. [encode_reply] is the same codec run against a fresh
+   buffer. *)
+
+let reply_bytes = function
+  | Ok_unit | Err _ -> 1
+  | Ok_data d -> 1 + Data.length d
+  | Ok_stat _ -> 1 + 5
+  | Ok_stats s -> 1 + String.length s
+  | Ok_grant _ -> 1 + 13
+
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let blit_reply r b off =
+  match r with
+  | Ok_unit -> Bytes.set_uint8 b off 0
+  | Err e -> Bytes.set_uint8 b off (1 + Errno.to_index e)
+  | Ok_data d ->
+    Bytes.set_uint8 b off 0;
+    Data.blit ~src:d ~src_pos:0 ~dst:(Data.Real b) ~dst_pos:(off + 1)
+      ~len:(Data.length d)
+  | Ok_stat { size; is_dir } ->
+    Bytes.set_uint8 b off 0;
+    set_u32 b (off + 1) size;
+    Bytes.set_uint8 b (off + 5) (if is_dir then 1 else 0)
+  | Ok_stats s ->
+    Bytes.set_uint8 b off 0;
+    Bytes.blit_string s 0 b (off + 1) (String.length s)
+  | Ok_grant { version; cacheable; lease_s; size } ->
+    Bytes.set_uint8 b off 0;
+    set_u32 b (off + 1) version;
+    Bytes.set_uint8 b (off + 5) (if cacheable then 1 else 0);
+    (* lease travels as u32 milliseconds *)
+    set_u32 b (off + 6) (int_of_float (lease_s *. 1000.));
+    set_u32 b (off + 10) size
 
 let encode_reply r =
-  let b = Buffer.create 64 in
-  (match r with
-  | Ok_unit -> add_u8 b 0
-  | Ok_data s ->
-    add_u8 b 0;
-    Buffer.add_string b s
-  | Ok_stat { size; is_dir } ->
-    add_u8 b 0;
-    add_u32 b size;
-    add_u8 b (if is_dir then 1 else 0)
-  | Ok_stats s ->
-    add_u8 b 0;
-    Buffer.add_string b s
-  | Err e -> add_u8 b (1 + Errno.to_index e));
-  Buffer.contents b
+  let n = reply_bytes r in
+  let b = Bytes.create n in
+  blit_reply r b 0;
+  Bytes.unsafe_to_string b
+
+let release_reply = function Ok_data d -> Data.release d | _ -> ()
+
+let detach_reply = function
+  | Ok_data d ->
+    let d' = Data.detach d in
+    Data.release d;
+    Ok_data d'
+  | r -> r
 
 let decode_reply ~opcode payload =
   let c = { buf = payload; pos = 0 } in
@@ -195,24 +301,115 @@ let decode_reply ~opcode payload =
       if i >= Array.length Errno.all then raise Short else Err Errno.all.(i)
     end
     else if opcode = op_read || opcode = op_write then
-      if opcode = op_read then Ok_data (get_rest c) else Ok_unit
+      if opcode = op_read then Ok_data (Data.of_string (get_rest c))
+      else Ok_unit
     else if opcode = op_stat then begin
       let size = get_u32 c in
       let is_dir = get_u8 c = 1 in
       Ok_stat { size; is_dir }
     end
     else if opcode = op_stats then Ok_stats (get_rest c)
+    else if opcode = op_open_grant then begin
+      let version = get_u32 c in
+      let cacheable = get_u8 c = 1 in
+      let lease_s = float_of_int (get_u32 c) /. 1000. in
+      let size = get_u32 c in
+      Ok_grant { version; cacheable; lease_s; size }
+    end
     else Ok_unit
   with
   | r -> Ok r
   | exception Short -> Error Errno.EINVAL
 
+(* {2 Server pushes}
+
+   An [Invalidate] is a server-initiated frame: same header, the
+   reserved {!push_req_id}, its own opcode. *)
+
+let encode_push (Invalidate { path; version }) =
+  let b = Buffer.create 32 in
+  add_u32 b version;
+  add_str b path;
+  (op_invalidate, Buffer.contents b)
+
+let decode_push ~opcode payload =
+  if opcode <> op_invalidate then Error Errno.EINVAL
+  else
+    let c = { buf = payload; pos = 0 } in
+    match
+      let version = get_u32 c in
+      let path = get_str c in
+      Invalidate { path; version }
+    with
+    | p -> Ok p
+    | exception Short -> Error Errno.EINVAL
+
+(* {2 Batch container}
+
+   One frame carrying N (req_id, opcode, payload) entries so a pipelined
+   sender — a client with several requests queued, the writer fibre with
+   several replies pending — pays one syscall, not N. Entry layout:
+   u32 req_id | u16 opcode | u32 payload_len | payload. *)
+
+module Batch = struct
+  let opcode = op_batch
+  let entry_header = 10
+
+  let encoded_bytes entries =
+    List.fold_left
+      (fun acc (_, _, p) -> acc + entry_header + String.length p)
+      0 entries
+
+  let blit_entry_header b off ~req_id ~opcode ~payload_len =
+    set_u32 b off req_id;
+    Bytes.set_uint16_le b (off + 4) (opcode land 0xffff);
+    set_u32 b (off + 6) payload_len
+
+  let encode entries =
+    let b = Bytes.create (encoded_bytes entries) in
+    let off = ref 0 in
+    List.iter
+      (fun (req_id, opcode, payload) ->
+        blit_entry_header b !off ~req_id ~opcode
+          ~payload_len:(String.length payload);
+        Bytes.blit_string payload 0 b (!off + entry_header)
+          (String.length payload);
+        off := !off + entry_header + String.length payload)
+      entries;
+    Bytes.unsafe_to_string b
+
+  let decode payload =
+    let n = String.length payload in
+    let rec go acc pos =
+      if pos = n then Ok (List.rev acc)
+      else if pos + entry_header > n then Error Errno.EINVAL
+      else
+        let req_id =
+          Int32.to_int (String.get_int32_le payload pos) land 0xffffffff
+        in
+        let opcode = String.get_uint16_le payload (pos + 4) in
+        let len =
+          Int32.to_int (String.get_int32_le payload (pos + 6))
+          land 0xffffffff
+        in
+        if pos + entry_header + len > n then Error Errno.EINVAL
+        else
+          let body = String.sub payload (pos + entry_header) len in
+          go ((req_id, opcode, body) :: acc) (pos + entry_header + len)
+    in
+    go [] 0
+end
+
 let pp_reply ppf = function
   | Ok_unit -> Format.pp_print_string ppf "ok"
-  | Ok_data s -> Format.fprintf ppf "ok (%d bytes)" (String.length s)
+  | Ok_data d -> Format.fprintf ppf "ok (%d bytes)" (Data.length d)
   | Ok_stat { size; is_dir } ->
     Format.fprintf ppf "ok (%s, %d bytes)"
       (if is_dir then "dir" else "file")
       size
   | Ok_stats s -> Format.fprintf ppf "ok (stats, %d bytes)" (String.length s)
+  | Ok_grant { version; cacheable; lease_s; size } ->
+    Format.fprintf ppf "ok (grant v%d %s lease %.1fs, %d bytes)" version
+      (if cacheable then "cacheable" else "uncacheable")
+      lease_s size
   | Err e -> Format.fprintf ppf "error %s" (Errno.to_string e)

@@ -15,6 +15,14 @@
 
 type stat = { size : int; is_dir : bool }
 
+(** What an {!request.Open_grant} reply carries: the {!Capfs_ccache}
+    consistency vocabulary on the wire. [version] bumps at every
+    write-open; [cacheable] false means concurrent write sharing was
+    detected and the client must write through; [lease_s] bounds how
+    long local hits may be served without renewing (u32 milliseconds on
+    the wire); [size] is the file size at grant time. *)
+type grant = { version : int; cacheable : bool; lease_s : float; size : int }
+
 type request =
   | Open of { client : int; path : string; mode : Capfs.Client.open_mode }
   | Close of { client : int; path : string }
@@ -28,13 +36,44 @@ type request =
   | Shutdown
       (** stop the server. No reply is sent: the client closes after
           writing it, and a clean server exit is the acknowledgement. *)
+  | Open_grant of {
+      client : int;
+      path : string;
+      mode : Capfs.Client.open_mode;
+    }
+      (** [Open] plus a caching contract: the reply is an {!reply.Ok_grant}
+          and the server starts pushing {!push.Invalidate} frames for
+          this path to the issuing connection. Re-sent by a live holder
+          to renew its lease. *)
+  | Writeback of {
+      client : int;
+      path : string;
+      size : int;  (** file size after the batch (may truncate) *)
+      close : bool;  (** this writeback also closes the handle *)
+      blocks : (int * string) list;  (** (byte offset, data), ascending *)
+    }
+      (** one frame committing every dirty block of one file — the
+          delayed-write flush at close or lease expiry. *)
 
 type reply =
   | Ok_unit
-  | Ok_data of string  (** read payload, possibly short at EOF *)
+  | Ok_data of Capfs_disk.Data.t
+      (** read payload, possibly short at EOF. Server-side this is an
+          arena slice released by the writer fibre after
+          {!blit_reply}; {!Server.call} hands callers a detached
+          GC-heap copy. *)
   | Ok_stat of stat
   | Ok_stats of string  (** the merged JSON report *)
+  | Ok_grant of grant  (** reply to [Open_grant] *)
   | Err of Capfs_core.Errno.t
+
+(** A server-initiated frame, delivered on the reply path under
+    {!push_req_id}. *)
+type push = Invalidate of { path : string; version : int }
+
+(** The reserved request id push frames travel under; clients never
+    issue ids at or above it. *)
+val push_req_id : int
 
 (** Frame opcode of a request; replies echo it. *)
 val opcode : request -> int
@@ -55,10 +94,64 @@ val decode_request :
 
 val encode_reply : reply -> string
 
+(** Encoded payload length of a reply — what {!blit_reply} will write. *)
+val reply_bytes : reply -> int
+
+(** [blit_reply r b off] lays the encoded reply at [b.(off)]; with
+    [Ok_data] the payload moves arena slab -> [b] in one copy, no
+    intermediate string. [b] must have {!reply_bytes}[ r] bytes free at
+    [off]. *)
+val blit_reply : reply -> Bytes.t -> int -> unit
+
+(** Drop the writer's reference on an [Ok_data] arena slice (no-op for
+    every other shape). *)
+val release_reply : reply -> unit
+
+(** Deep-copy an [Ok_data] payload off the arena (releasing the slice)
+    so the reply can outlive the reply arena — the in-process
+    {!Server.call} boundary. *)
+val detach_reply : reply -> reply
+
 (** Replies are decoded under the request's echoed [opcode] — the
     status byte says whether it's an error, the opcode says which
     success shape follows. *)
 val decode_reply :
   opcode:int -> string -> (reply, Capfs_core.Errno.t) result
+
+val encode_push : push -> int * string
+(** [(opcode, payload)]. *)
+
+val decode_push : opcode:int -> string -> (push, Capfs_core.Errno.t) result
+
+(** One frame carrying N (req_id, opcode, payload) entries, so a
+    pipelined client or the per-connection writer fibre pays one
+    [write(2)] for a burst instead of one per message. Entry layout:
+    u32 req_id | u16 opcode | u32 payload_len | payload. The container
+    is opt-in per connection: the server only sends batches to peers
+    that have already sent one (or an [Open_grant]), so old clients
+    keep seeing plain frames. *)
+module Batch : sig
+  (** The container's frame opcode. *)
+  val opcode : int
+
+  (** Bytes per entry header (10). *)
+  val entry_header : int
+
+  (** Total encoded size of a batch — for sizing a gather buffer. *)
+  val encoded_bytes : (int * int * string) list -> int
+
+  (** [blit_entry_header b off ~req_id ~opcode ~payload_len] writes one
+      entry header at [b.(off)]; the payload follows at
+      [off + entry_header]. *)
+  val blit_entry_header :
+    Bytes.t -> int -> req_id:int -> opcode:int -> payload_len:int -> unit
+
+  val encode : (int * int * string) list -> string
+
+  (** [Error EINVAL] on a truncated entry header or a payload length
+      running past the container. *)
+  val decode :
+    string -> ((int * int * string) list, Capfs_core.Errno.t) result
+end
 
 val pp_reply : Format.formatter -> reply -> unit

@@ -3,3 +3,4 @@ let driver d = "driver" ^ string_of_int d
 let lfs d = "lfs" ^ string_of_int d
 let disk d = "disk" ^ string_of_int d
 let bus b = "bus" ^ string_of_int b
+let wire c = "wire." ^ c

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "capfs"
-    [ ("stats", Test_stats.suite); ("obs", Test_obs.suite); ("sched", Test_sched.suite); ("disk", Test_disk.suite); ("cache", Test_cache.suite); ("layout", Test_layout.suite); ("trace", Test_trace.suite); ("core", Test_core.suite); ("fault", Test_fault.suite); ("patsy", Test_patsy.suite); ("pfs", Test_pfs.suite); ("server", Test_server.suite); ("diffval", Test_diffval.suite); ("integration", Test_integration.suite); ("ccache", Test_ccache.suite) ]
+    [ ("stats", Test_stats.suite); ("obs", Test_obs.suite); ("sched", Test_sched.suite); ("disk", Test_disk.suite); ("cache", Test_cache.suite); ("layout", Test_layout.suite); ("trace", Test_trace.suite); ("core", Test_core.suite); ("fault", Test_fault.suite); ("patsy", Test_patsy.suite); ("pfs", Test_pfs.suite); ("server", Test_server.suite); ("cached_client", Test_cached_client.suite); ("diffval", Test_diffval.suite); ("integration", Test_integration.suite); ("ccache", Test_ccache.suite) ]

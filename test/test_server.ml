@@ -8,6 +8,7 @@ module Pfs = Capfs_pfs.Pfs
 module Server = Capfs_pfs.Server
 module Wire = Capfs_pfs.Wire
 module Errno = Capfs_core.Errno
+module Data = Capfs_disk.Data
 
 let with_temp_base shards f =
   let path = Filename.temp_file "capfs_srv" ".img" in
@@ -58,6 +59,18 @@ let test_wire_request_roundtrip () =
       Wire.Sync;
       Wire.Stats;
       Wire.Shutdown;
+      Wire.Open_grant { client = 4; path = "/shared/f"; mode = Capfs.Client.RO };
+      Wire.Open_grant { client = 5; path = "/w"; mode = Capfs.Client.RW };
+      Wire.Writeback
+        {
+          client = 4;
+          path = "/shared/f";
+          size = 8192;
+          close = true;
+          blocks = [ (0, String.make 4096 'a'); (4096, String.make 4096 'b') ];
+        };
+      Wire.Writeback
+        { client = 4; path = "/shared/f"; size = 0; close = false; blocks = [] };
     ]
 
 let roundtrip_reply ~opcode reply =
@@ -72,14 +85,69 @@ let test_wire_reply_roundtrip () =
   roundtrip_reply
     ~opcode:
       (op (Wire.Read { client = 1; path = "/f"; offset = 0; count = 4 }))
-    (Wire.Ok_data "data");
+    (Wire.Ok_data (Data.of_string "data"));
   roundtrip_reply ~opcode:(op (Wire.Stat "/f"))
     (Wire.Ok_stat { Wire.size = 12345; is_dir = false });
   roundtrip_reply ~opcode:(op (Wire.Stat "/d"))
     (Wire.Ok_stat { Wire.size = 0; is_dir = true });
   roundtrip_reply ~opcode:(op Wire.Stats) (Wire.Ok_stats "{\"shards\":2}");
   roundtrip_reply ~opcode:(op Wire.Sync) (Wire.Err Errno.EAGAIN);
-  roundtrip_reply ~opcode:(op (Wire.Mkdir "/d")) (Wire.Err Errno.ENOENT)
+  roundtrip_reply ~opcode:(op (Wire.Mkdir "/d")) (Wire.Err Errno.ENOENT);
+  roundtrip_reply
+    ~opcode:
+      (op (Wire.Open_grant { client = 1; path = "/f"; mode = Capfs.Client.RO }))
+    (Wire.Ok_grant
+       { Wire.version = 7; cacheable = true; lease_s = 2.5; size = 40960 });
+  roundtrip_reply
+    ~opcode:
+      (op (Wire.Open_grant { client = 1; path = "/f"; mode = Capfs.Client.WO }))
+    (Wire.Ok_grant
+       { Wire.version = 1; cacheable = false; lease_s = 0.25; size = 0 })
+
+let test_wire_push_roundtrip () =
+  let p = Wire.Invalidate { path = "/shared/doc"; version = 42 } in
+  let opcode, payload = Wire.encode_push p in
+  match Wire.decode_push ~opcode payload with
+  | Ok p' ->
+    if p <> p' then Alcotest.fail "push did not survive the wire"
+  | Error e -> Alcotest.failf "decode_push: %s" (Errno.to_string e)
+
+let test_wire_batch_roundtrip () =
+  let entries =
+    [
+      (1, 3, "first payload");
+      (2, 4, "");
+      (Wire.push_req_id, 13, String.make 5000 'z');
+    ]
+  in
+  let s = Wire.Batch.encode entries in
+  Alcotest.(check int)
+    "encoded_bytes" (String.length s)
+    (Wire.Batch.encoded_bytes entries);
+  (match Wire.Batch.decode s with
+  | Ok entries' ->
+    if entries <> entries' then Alcotest.fail "batch did not survive the wire"
+  | Error e -> Alcotest.failf "Batch.decode: %s" (Errno.to_string e));
+  match Wire.Batch.decode "" with
+  | Ok [] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "empty batch must decode to no entries"
+
+let test_wire_batch_errors () =
+  let s = Wire.Batch.encode [ (9, 3, "payload") ] in
+  (* truncated entry header *)
+  (match Wire.Batch.decode (String.sub s 0 (Wire.Batch.entry_header - 1)) with
+  | Error Errno.EINVAL -> ()
+  | Ok _ | Error _ -> Alcotest.fail "truncated header must be EINVAL");
+  (* declared payload length runs past the container *)
+  (match Wire.Batch.decode (String.sub s 0 (String.length s - 2)) with
+  | Error Errno.EINVAL -> ()
+  | Ok _ | Error _ -> Alcotest.fail "overrunning payload must be EINVAL");
+  (* an oversized length field must not be trusted *)
+  let b = Bytes.of_string s in
+  Bytes.set_int32_le b 6 0x7fffffffl;
+  match Wire.Batch.decode (Bytes.to_string b) with
+  | Error Errno.EINVAL -> ()
+  | Ok _ | Error _ -> Alcotest.fail "oversized length must be EINVAL"
 
 let test_wire_decode_errors () =
   (match Wire.decode_request ~opcode:0xFF "" with
@@ -201,7 +269,8 @@ let test_server_ops_across_shards () =
                    (Wire.Read
                       { client = 1; path; offset = 0; count = String.length data })
                with
-              | Wire.Ok_data d' -> Alcotest.(check string) "read back" data d'
+              | Wire.Ok_data d' ->
+                Alcotest.(check string) "read back" data (Data.to_string d')
               | r -> Alcotest.failf "read: %a" Wire.pp_reply r);
               match Server.call t (Wire.Stat path) with
               | Wire.Ok_stat { Wire.size; is_dir } ->
@@ -274,7 +343,8 @@ let test_server_restart_persistence () =
                   (Wire.Read
                      { client = 1; path = p; offset = 0; count = 64 })
               with
-              | Wire.Ok_data got -> Alcotest.(check string) ("reread " ^ p) want got
+              | Wire.Ok_data got ->
+                Alcotest.(check string) ("reread " ^ p) want (Data.to_string got)
               | r -> Alcotest.failf "reread %s: %a" p Wire.pp_reply r)
             [ "/one"; "/two"; "/three" ]))
 
@@ -319,6 +389,9 @@ let suite =
       test_wire_request_roundtrip;
     Alcotest.test_case "wire reply roundtrip" `Quick test_wire_reply_roundtrip;
     Alcotest.test_case "wire decode errors" `Quick test_wire_decode_errors;
+    Alcotest.test_case "wire push roundtrip" `Quick test_wire_push_roundtrip;
+    Alcotest.test_case "wire batch roundtrip" `Quick test_wire_batch_roundtrip;
+    Alcotest.test_case "wire batch errors" `Quick test_wire_batch_errors;
     Alcotest.test_case "config of_args roundtrip" `Quick
       test_config_of_args_roundtrip;
     Alcotest.test_case "config rejects nonsense" `Quick
